@@ -1,0 +1,36 @@
+//! Ablation 4: γ-acyclicity deciders — the reduction-based production test
+//! against the exponential γ-cycle search, on acyclic (chain/star) and
+//! cyclic (cycle) hypergraphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idr_hypergraph::{gamma, gyo, Hypergraph};
+use idr_workload::generators;
+
+fn bench_acyclicity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acyclicity");
+    for &n in &[4usize, 8, 12] {
+        let chain = Hypergraph::of_scheme(&generators::chain_scheme(n));
+        group.bench_with_input(BenchmarkId::new("reduction_chain", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(gamma::is_gamma_acyclic(&chain)));
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_search_chain", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(gamma::is_gamma_acyclic_oracle(&chain)));
+        });
+
+        let cyc = Hypergraph::of_scheme(&generators::cycle_scheme(n.max(3)));
+        group.bench_with_input(BenchmarkId::new("reduction_cycle", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(gamma::is_gamma_acyclic(&cyc)));
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_search_cycle", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(gamma::is_gamma_acyclic_oracle(&cyc)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("gyo_alpha_chain", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(gyo::is_alpha_acyclic(&chain)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acyclicity);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation 1 (DESIGN.md §7): attribute-closure computation — the indexed
+//! bitset algorithm vs the naive bitset scan vs a `BTreeSet`-based
+//! implementation. Closure is the inner loop of KEP, Algorithm 6 and the
+//! splitness test, so this is the data-structure decision that sets the
+//! recognition constant factor.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idr_fd::{naive, KeyDeps};
+use idr_relation::Attribute;
+use idr_workload::generators;
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_closure");
+    for n in [8usize, 16, 32, 64] {
+        // A chain scheme of n relations: 2n key dependencies whose closure
+        // from one end walks the whole chain.
+        let db = generators::chain_scheme(n);
+        let kd = KeyDeps::of(&db);
+        let fds = kd.full().clone();
+        let start = db.scheme(0).attrs();
+        group.bench_with_input(BenchmarkId::new("indexed_bitset", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(fds.closure(start)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_bitset", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(naive::closure_naive(&fds, start)));
+        });
+        let start_bt: BTreeSet<Attribute> = start.iter().collect();
+        group.bench_with_input(BenchmarkId::new("btreeset", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(naive::closure_btreeset(&fds, &start_bt)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! TH-CTM and EX2: the maintenance-cost landscape.
+//!
+//! * `ctm_algorithm5` — split-free scheme, per-insert cost of Algorithm 5
+//!   over a prebuilt index: flat in the state size (constant-time
+//!   maintainability, Theorem 3.3).
+//! * `algebraic_algorithm2` — split scheme, per-insert cost of Algorithm 2
+//!   over a prebuilt representative instance: flat in the state size
+//!   (algebraic maintainability, Theorem 3.2 — the state-size-dependent
+//!   part of ctm's definition is about *ad hoc* retrieval, not about
+//!   index-assisted lookups).
+//! * `rechase_baseline` — the strawman: re-chasing the whole updated
+//!   state; grows with the state.
+//! * `outside_class_chase` — Example 2's adversarial chain: even the
+//!   *decision* inherently grows with the state (Theorem 3.4's flavour).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idr_bench::instance;
+use idr_core::maintain::{algorithm2, algorithm5, IrMaintainer, StateIndex};
+use idr_core::recognition::recognize;
+use idr_fd::KeyDeps;
+use idr_relation::{SymbolTable, Tuple};
+use idr_workload::generators;
+use idr_workload::states::entity_tuple;
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance_scaling");
+    group.sample_size(20);
+
+    for entities in [100usize, 400, 1600, 6400] {
+        // Split-free family: cycle(5); Algorithm 5 over a state index.
+        {
+            let mut inst = instance(generators::cycle_scheme(5), entities, 7);
+            let members: Vec<usize> = (0..inst.scheme.len()).collect();
+            let idx = StateIndex::build(&inst.scheme, &members, &inst.state).unwrap();
+            let t: Tuple = entity_tuple(&inst.scheme, &mut inst.symbols, 0)
+                .project(inst.scheme.scheme(0).attrs());
+            group.bench_with_input(
+                BenchmarkId::new("ctm_algorithm5", entities),
+                &entities,
+                |b, _| {
+                    b.iter(|| {
+                        std::hint::black_box(algorithm5(&inst.scheme, &idx, 0, &t))
+                    });
+                },
+            );
+        }
+
+        // Split family: split(3); Algorithm 2 over a prebuilt rep.
+        {
+            let mut inst = instance(generators::split_scheme(3), entities, 7);
+            let kd = KeyDeps::of(&inst.scheme);
+            let ir = recognize(&inst.scheme, &kd).accepted().unwrap();
+            let m = IrMaintainer::new(&inst.scheme, &ir, &inst.state).unwrap();
+            let t: Tuple = entity_tuple(&inst.scheme, &mut inst.symbols, 0)
+                .project(inst.scheme.scheme(0).attrs());
+            group.bench_with_input(
+                BenchmarkId::new("algebraic_algorithm2", entities),
+                &entities,
+                |b, _| {
+                    b.iter(|| {
+                        std::hint::black_box(algorithm2(&inst.scheme, &m.reps()[0], 0, &t))
+                    });
+                },
+            );
+        }
+
+    }
+
+    // Strawman: re-chase the whole updated state per insert. Kept to small
+    // states — the whole point is that it does not scale.
+    for entities in [50usize, 100, 200] {
+        let mut inst = instance(generators::cycle_scheme(5), entities, 7);
+        let t: Tuple = entity_tuple(&inst.scheme, &mut inst.symbols, 0)
+            .project(inst.scheme.scheme(0).attrs());
+        let mut updated = inst.state.clone();
+        updated.insert(0, t).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("rechase_baseline", entities),
+            &entities,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(idr_chase::is_consistent(
+                        &inst.scheme,
+                        &updated,
+                        inst.kd.full(),
+                    ))
+                });
+            },
+        );
+    }
+
+    // Outside the class: the Example 2 chain, where the refutation itself
+    // must traverse the state.
+    for n in [25usize, 100, 400] {
+        let db = generators::example2_scheme();
+        let kd = KeyDeps::of(&db);
+        let mut sym = SymbolTable::new();
+        let (state, bad) = generators::example2_adversarial_state(&db, &mut sym, n);
+        let mut updated = state.clone();
+        updated.insert(2, bad).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("outside_class_chase", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(idr_chase::is_consistent(&db, &updated, kd.full()))
+                });
+            },
+        );
+    }
+    // Theorem 3.4's inflated witness: on a split scheme, deciding the
+    // probe via base-relation access (the chase here) costs Ω(state),
+    // while Algorithm 2 over the prebuilt representative instance stays
+    // flat — the algebraic-vs-ctm gap made measurable.
+    for n in [10usize, 40, 160] {
+        let db = generators::split_scheme(3);
+        let kd = KeyDeps::of(&db);
+        let block: Vec<usize> = (0..db.len()).collect();
+        let mut sym = SymbolTable::new();
+        let w = idr_core::ctm_witness::non_ctm_witness(&db, &kd, &block, &mut sym)
+            .expect("split(3) splits");
+        let inflated = w.inflate(&db, &mut sym, n);
+        let mut bad = inflated.clone();
+        bad.insert(w.probe_scheme, w.probe.clone()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("split_witness_chase", n),
+            &n,
+            |b, _| {
+                b.iter(|| std::hint::black_box(idr_chase::is_consistent(&db, &bad, kd.full())));
+            },
+        );
+        let keys: Vec<idr_relation::AttrSet> = db
+            .schemes()
+            .iter()
+            .flat_map(|s| s.keys().iter().copied())
+            .collect();
+        let rep = idr_core::KeRep::build(&keys, inflated.iter_all().map(|(_, t)| t.clone()))
+            .expect("consistent");
+        group.bench_with_input(
+            BenchmarkId::new("split_witness_algorithm2", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(algorithm2(&db, &rep, w.probe_scheme, &w.probe))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! TH-RECOG: Algorithm 6 is polynomial (Corollary 5.4). Recognition
+//! runtime against the number of relation schemes, across the structural
+//! families: many small blocks (block chain), one giant key-equivalent
+//! block (cycle), and a deep KEP recursion (chain of singleton blocks via
+//! directed bridges).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idr_core::recognition::recognize;
+use idr_core::split::is_split_free;
+use idr_fd::KeyDeps;
+use idr_workload::generators;
+
+fn bench_recognition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recognition");
+    for &n in &[8usize, 16, 32, 64] {
+        let db = generators::cycle_scheme(n);
+        group.bench_with_input(BenchmarkId::new("cycle_one_block", n), &n, |b, _| {
+            b.iter(|| {
+                let kd = KeyDeps::of(&db);
+                std::hint::black_box(recognize(&db, &kd).is_accepted())
+            });
+        });
+    }
+    for &blocks in &[2usize, 4, 8, 16] {
+        let db = generators::block_chain_scheme(blocks, 4);
+        let n = db.len();
+        group.bench_with_input(
+            BenchmarkId::new("block_chain", n),
+            &blocks,
+            |b, _| {
+                b.iter(|| {
+                    let kd = KeyDeps::of(&db);
+                    std::hint::black_box(recognize(&db, &kd).is_accepted())
+                });
+            },
+        );
+    }
+    // The split-freeness test (the ctm characterisation, §5.4).
+    for &m in &[2usize, 4, 8] {
+        let db = generators::split_scheme(m);
+        let kd = KeyDeps::of(&db);
+        let all: Vec<usize> = (0..db.len()).collect();
+        group.bench_with_input(BenchmarkId::new("split_test", db.len()), &m, |b, _| {
+            b.iter(|| std::hint::black_box(is_split_free(&db, &kd, &all)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recognition);
+criterion_main!(benches);

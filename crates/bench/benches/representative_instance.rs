@@ -1,0 +1,75 @@
+//! Ablation 2 / Corollary 3.1: computing the representative instance of a
+//! key-equivalent state — Algorithm 1's whole-tuple merging (`KeRep`)
+//! against the generic fd-rule chase, as the state grows.
+//!
+//! The paper's point is qualitative (Algorithm 1 only ever equates whole
+//! tuples, so a key-indexed merge suffices); the benchmark shows the
+//! resulting asymptotic gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use idr_bench::instance;
+use idr_core::KeRep;
+use idr_relation::AttrSet;
+use idr_workload::generators;
+
+fn bench_rep_instance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("representative_instance");
+    group.sample_size(10);
+    for entities in [50usize, 100, 200] {
+        let inst = instance(generators::cycle_scheme(5), entities, 42);
+        let keys: Vec<AttrSet> = inst
+            .scheme
+            .schemes()
+            .iter()
+            .flat_map(|s| s.keys().iter().copied())
+            .collect();
+        group.throughput(Throughput::Elements(inst.state.total_tuples() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_kerep", entities),
+            &entities,
+            |b, _| {
+                b.iter(|| {
+                    let rep = KeRep::build(
+                        &keys,
+                        inst.state.iter_all().map(|(_, t)| t.clone()),
+                    )
+                    .expect("consistent");
+                    std::hint::black_box(rep.len())
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("indexed_chase", entities),
+            &entities,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = idr_chase::Tableau::of_state(&inst.scheme, &inst.state);
+                    idr_chase::fast::chase_fast(&mut t, inst.kd.full()).expect("consistent");
+                    std::hint::black_box(t.len())
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("generic_chase", entities),
+            &entities,
+            |b, _| {
+                b.iter(|| {
+                    let ri = idr_chase::representative_instance(
+                        &inst.scheme,
+                        &inst.state,
+                        inst.kd.full(),
+                    )
+                    .expect("consistent");
+                    std::hint::black_box(ri.tableau.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rep_instance);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! TH-BOUND: bounded query answering. Evaluating the predetermined
+//! Theorem 4.1 expression for `[X]` versus chasing the state tableau and
+//! projecting, as the state grows. The expression is compiled once per
+//! scheme (boundedness: its size depends only on `R` and `F`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idr_bench::instance;
+use idr_core::query::ir_total_projection_expr;
+use idr_core::recognition::recognize;
+use idr_relation::AttrSet;
+use idr_workload::generators;
+
+fn bench_total_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("total_projection");
+    group.sample_size(10);
+    for entities in [50usize, 100, 250] {
+        // Example 11 generalised: a cross-block query, the hard case.
+        let inst = instance(generators::block_chain_scheme(2, 4), entities, 21);
+        let u = inst.scheme.universe();
+        // X = anchor of block 0 + an attribute of block 1: answerable only
+        // through the bridge.
+        let x = AttrSet::from_iter([u.attr_of("X0_1"), u.attr_of("X1_1")]);
+        let ir = recognize(&inst.scheme, &inst.kd).accepted().unwrap();
+        let expr = ir_total_projection_expr(&inst.scheme, &inst.kd, &ir, x)
+            .expect("coverable through the bridge");
+
+        group.bench_with_input(
+            BenchmarkId::new("bounded_expression", entities),
+            &entities,
+            |b, _| {
+                b.iter(|| {
+                    let rel = expr.eval(&inst.scheme, &inst.state).unwrap();
+                    std::hint::black_box(rel.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chase_oracle", entities),
+            &entities,
+            |b, _| {
+                b.iter(|| {
+                    let rows =
+                        idr_chase::total_projection(&inst.scheme, &inst.state, inst.kd.full(), x)
+                            .expect("consistent");
+                    std::hint::black_box(rows.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chase_oracle_indexed", entities),
+            &entities,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = idr_chase::Tableau::of_state(&inst.scheme, &inst.state);
+                    idr_chase::fast::chase_fast(&mut t, inst.kd.full()).expect("consistent");
+                    std::hint::black_box(t.total_projection(x).len())
+                });
+            },
+        );
+    }
+
+    // Expression *compilation* cost (depends only on R and F, not the
+    // state) — the "predetermined" part of boundedness.
+    for blocks in [2usize, 3, 4] {
+        let inst = instance(generators::block_chain_scheme(blocks, 3), 10, 3);
+        let u = inst.scheme.universe();
+        let x = AttrSet::from_iter([
+            u.attr_of("X0_1"),
+            u.attr_of(&format!("X{}_1", blocks - 1)),
+        ]);
+        let ir = recognize(&inst.scheme, &inst.kd).accepted().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("expression_compilation", blocks),
+            &blocks,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(ir_total_projection_expr(
+                        &inst.scheme,
+                        &inst.kd,
+                        &ir,
+                        x,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_total_projection);
+criterion_main!(benches);

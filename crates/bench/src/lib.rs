@@ -1,0 +1,41 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one experiment of
+//! EXPERIMENTS.md; this library provides the fixtures they share.
+
+use idr_fd::KeyDeps;
+use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable};
+use idr_workload::states::{generate, WorkloadConfig};
+
+/// A prepared benchmark instance: scheme, key dependencies, a consistent
+/// state of roughly `entities` entities, and a symbol table to mint insert
+/// tuples from.
+pub struct Instance {
+    pub scheme: DatabaseScheme,
+    pub kd: KeyDeps,
+    pub state: DatabaseState,
+    pub symbols: SymbolTable,
+}
+
+/// Builds an instance over a consistent generated state.
+pub fn instance(scheme: DatabaseScheme, entities: usize, seed: u64) -> Instance {
+    let kd = KeyDeps::of(&scheme);
+    let mut symbols = SymbolTable::new();
+    let w = generate(
+        &scheme,
+        &mut symbols,
+        WorkloadConfig {
+            entities,
+            fragment_pct: 60,
+            inserts: 0,
+            corrupt_pct: 0,
+            seed,
+        },
+    );
+    Instance {
+        scheme,
+        kd,
+        state: w.state,
+        symbols,
+    }
+}

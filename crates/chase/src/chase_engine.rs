@@ -1,0 +1,241 @@
+use idr_fd::{Fd, FdSet};
+use idr_relation::Attribute;
+
+use crate::tableau::{ChaseSym, Tableau};
+
+/// An inconsistency found while chasing: an fd-rule tried to equate two
+/// distinct constants (§2.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inconsistent {
+    /// The violated dependency.
+    pub fd: Fd,
+    /// The column on which the constants clashed.
+    pub column: Attribute,
+}
+
+impl std::fmt::Display for Inconsistent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chase found an inconsistency in column {} applying {:?}",
+            self.column.index(),
+            self.fd
+        )
+    }
+}
+
+impl std::error::Error for Inconsistent {}
+
+/// Statistics from a chase run — the paper's boundedness notion counts
+/// fd-rule applications, so we do too.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Number of symbol-equating fd-rule applications.
+    pub rule_applications: usize,
+    /// Number of full scan passes over the fd set.
+    pub passes: usize,
+}
+
+/// Outcome of a chase: the tableau was chased to a fixpoint, or an
+/// inconsistency was found (in which case the paper defines the result to
+/// be the empty tableau).
+pub type ChaseOutcome = Result<ChaseStats, Inconsistent>;
+
+/// `CHASE_F(T)`: applies fd-rules exhaustively to the tableau (§2.3,
+/// \[MMS]). On success the tableau satisfies every dependency; on
+/// inconsistency the tableau contents are unspecified (callers treat the
+/// state as inconsistent, per \[H2]).
+///
+/// Symbol precedence when equating (v1 vs v2): distinct constants are an
+/// inconsistency; a constant beats any variable; the distinguished variable
+/// beats a nondistinguished one; between ndvs the lower index wins — the
+/// renaming rules of §2.3. Variables are column-local, so a renaming only
+/// scans one column.
+pub fn chase(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
+    let mut stats = ChaseStats::default();
+    loop {
+        stats.passes += 1;
+        let mut changed = false;
+        for fd in fds.fds() {
+            // Restart the per-fd scan after each application: equating can
+            // merge or split groups.
+            'rescan: loop {
+                let mut groups: std::collections::HashMap<Vec<ChaseSym>, usize> =
+                    std::collections::HashMap::new();
+                for i in 0..t.len() {
+                    let key: Vec<ChaseSym> =
+                        fd.lhs.iter().map(|a| t.rows()[i].sym(a)).collect();
+                    match groups.entry(key) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(i);
+                        }
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            let j = *e.get();
+                            if apply_rule(t, *fd, j, i, &mut stats)? {
+                                changed = true;
+                                continue 'rescan;
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        if !changed {
+            return Ok(stats);
+        }
+    }
+}
+
+/// Applies the fd-rule for `fd` to rows `i`, `j` (which agree on `fd.lhs`);
+/// returns whether anything was renamed.
+fn apply_rule(
+    t: &mut Tableau,
+    fd: Fd,
+    i: usize,
+    j: usize,
+    stats: &mut ChaseStats,
+) -> Result<bool, Inconsistent> {
+    let mut any = false;
+    for a in fd.rhs.iter() {
+        let s1 = t.rows()[i].sym(a);
+        let s2 = t.rows()[j].sym(a);
+        if s1 == s2 {
+            continue;
+        }
+        let (winner, loser) = match (s1, s2) {
+            (ChaseSym::Const(_), ChaseSym::Const(_)) => {
+                return Err(Inconsistent { fd, column: a });
+            }
+            (ChaseSym::Const(_), _) => (s1, s2),
+            (_, ChaseSym::Const(_)) => (s2, s1),
+            (ChaseSym::Dv, _) => (s1, s2),
+            (_, ChaseSym::Dv) => (s2, s1),
+            (ChaseSym::Ndv(x), ChaseSym::Ndv(y)) => {
+                if x < y {
+                    (s1, s2)
+                } else {
+                    (s2, s1)
+                }
+            }
+        };
+        rename_in_column(t, a, loser, winner);
+        stats.rule_applications += 1;
+        any = true;
+    }
+    Ok(any)
+}
+
+/// Renames every occurrence of `old` in column `a` to `new`. Variables are
+/// column-local by construction, so this renames globally.
+fn rename_in_column(t: &mut Tableau, a: Attribute, old: ChaseSym, new: ChaseSym) {
+    let col = a.index();
+    for row in t.rows_mut() {
+        if row.syms[col] == old {
+            row.syms[col] = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::{state_of, SchemeBuilder, SymbolTable, Universe};
+
+    #[test]
+    fn chase_equates_through_fd() {
+        // R1(AB), R2(AC); A→B, A→C; rows share A value → rep instance has a
+        // total ABC tuple after chasing.
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "AC", &["A"])
+            .build()
+            .unwrap();
+        let kd = idr_fd::KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("A", "a"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        let mut t = Tableau::of_state(&scheme, &state);
+        let stats = chase(&mut t, kd.full()).unwrap();
+        assert!(stats.rule_applications >= 2);
+        let abc = scheme.universe().set_of("ABC");
+        assert_eq!(t.total_projection(abc).len(), 1);
+    }
+
+    #[test]
+    fn chase_detects_key_violation() {
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", &["A"])
+            .build()
+            .unwrap();
+        let kd = idr_fd::KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b1")]),
+                ("R1", &[("A", "a"), ("B", "b2")]),
+            ],
+        )
+        .unwrap();
+        let mut t = Tableau::of_state(&scheme, &state);
+        let err = chase(&mut t, kd.full()).unwrap_err();
+        assert_eq!(err.column, scheme.universe().attr_of("B"));
+    }
+
+    #[test]
+    fn chase_scheme_tableau_computes_closures() {
+        // [BMSU]: after chasing T_R, row i's dv set is Ri⁺.
+        let u = Universe::of_chars("ABCD");
+        let f = FdSet::parse(&u, "A->B, B->C");
+        let schemes = [u.set_of("AB"), u.set_of("BC"), u.set_of("CD")];
+        let mut t = Tableau::of_scheme(&schemes, 4);
+        chase(&mut t, &f).unwrap();
+        assert_eq!(t.rows()[0].dv_attrs(), u.set_of("ABC"));
+        assert_eq!(t.rows()[1].dv_attrs(), u.set_of("BC"));
+        assert_eq!(t.rows()[2].dv_attrs(), u.set_of("CD"));
+    }
+
+    #[test]
+    fn chase_is_idempotent() {
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "AC", &["A"])
+            .build()
+            .unwrap();
+        let kd = idr_fd::KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("A", "a"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        let mut t = Tableau::of_state(&scheme, &state);
+        chase(&mut t, kd.full()).unwrap();
+        let snapshot = t.clone();
+        let stats = chase(&mut t, kd.full()).unwrap();
+        assert_eq!(stats.rule_applications, 0);
+        assert_eq!(t, snapshot);
+    }
+
+    #[test]
+    fn empty_tableau_chases_trivially() {
+        let u = Universe::of_chars("AB");
+        let f = FdSet::parse(&u, "A->B");
+        let mut t = Tableau::new(2);
+        let stats = chase(&mut t, &f).unwrap();
+        assert_eq!(stats.rule_applications, 0);
+    }
+}

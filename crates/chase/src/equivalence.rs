@@ -1,0 +1,187 @@
+//! Tableau equivalence up to renaming of nondistinguished variables —
+//! the notion Lemma 4.2 is stated in ("T_r chases to a tableau which is
+//! equivalent to T_d … identical up to renaming of ndv's").
+//!
+//! Full tableau equivalence (\[ASU]) is homomorphism-based and NP-hard in
+//! general; the paper only ever needs the *renaming* form for chased
+//! state tableaux, where every ndv occurs exactly once per tableau (all
+//! ndvs distinct, Corollary 3.1(a)) — there, two tableaux are equivalent
+//! iff their rows' constant parts match up row-for-row with equal constant
+//! positions. A backtracking matcher handles the general small case.
+
+use std::collections::HashMap;
+
+use crate::tableau::{ChaseSym, Tableau};
+
+/// Whether `a` and `b` are identical up to a bijective renaming of their
+/// ndvs (per column — variables never cross columns) and reordering of
+/// rows.
+///
+/// Exponential in the worst case (row matching with backtracking); guarded
+/// to small tableaux since it is a test-support oracle.
+pub fn equivalent_up_to_ndv_renaming(a: &Tableau, b: &Tableau) -> bool {
+    if a.width() != b.width() || a.len() != b.len() {
+        return false;
+    }
+    let n = a.len();
+    assert!(n <= 64, "equivalence oracle: tableau too large ({n} rows)");
+    let mut used = vec![false; n];
+    let mut forward: HashMap<(usize, u32), (usize, u32)> = HashMap::new();
+    let mut backward: HashMap<(usize, u32), (usize, u32)> = HashMap::new();
+    match_rows(a, b, 0, &mut used, &mut forward, &mut backward)
+}
+
+fn match_rows(
+    a: &Tableau,
+    b: &Tableau,
+    row: usize,
+    used: &mut Vec<bool>,
+    forward: &mut HashMap<(usize, u32), (usize, u32)>,
+    backward: &mut HashMap<(usize, u32), (usize, u32)>,
+) -> bool {
+    if row == a.len() {
+        return true;
+    }
+    for cand in 0..b.len() {
+        if used[cand] {
+            continue;
+        }
+        // Try to unify row `row` of `a` with row `cand` of `b`,
+        // extending the ndv bijection; record additions for rollback.
+        let mut added: Vec<(usize, u32)> = Vec::new();
+        let mut ok = true;
+        for col in 0..a.width() {
+            let attr = idr_relation::Attribute::from_index(col);
+            let (sa, sb) = (a.rows()[row].sym(attr), b.rows()[cand].sym(attr));
+            match (sa, sb) {
+                (ChaseSym::Const(x), ChaseSym::Const(y)) if x == y => {}
+                (ChaseSym::Dv, ChaseSym::Dv) => {}
+                (ChaseSym::Ndv(x), ChaseSym::Ndv(y)) => {
+                    let key = (col, x);
+                    let val = (col, y);
+                    match (forward.get(&key), backward.get(&val)) {
+                        (None, None) => {
+                            forward.insert(key, val);
+                            backward.insert(val, key);
+                            added.push(key);
+                        }
+                        (Some(&v), Some(&k)) if v == val && k == key => {}
+                        _ => {
+                            ok = false;
+                        }
+                    }
+                }
+                _ => {
+                    ok = false;
+                }
+            }
+            if !ok {
+                break;
+            }
+        }
+        if ok {
+            used[cand] = true;
+            if match_rows(a, b, row + 1, used, forward, backward) {
+                return true;
+            }
+            used[cand] = false;
+        }
+        for key in added {
+            if let Some(val) = forward.remove(&key) {
+                backward.remove(&val);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::{state_of, SchemeBuilder, SymbolTable};
+
+    #[test]
+    fn identical_tableaux_are_equivalent() {
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", &["A"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        let st = state_of(&scheme, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
+        let t1 = Tableau::of_state(&scheme, &st);
+        let t2 = Tableau::of_state(&scheme, &st);
+        assert!(equivalent_up_to_ndv_renaming(&t1, &t2));
+    }
+
+    #[test]
+    fn ndv_numbering_is_irrelevant() {
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "BC", &["B"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        // Same tuples inserted in different orders ⇒ different ndv numbers
+        // and row orders.
+        let s1 = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("B", "b2"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        let s2 = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R2", &[("B", "b2"), ("C", "c")]),
+                ("R1", &[("A", "a"), ("B", "b")]),
+            ],
+        )
+        .unwrap();
+        let t1 = Tableau::of_state(&scheme, &s1);
+        let t2 = Tableau::of_state(&scheme, &s2);
+        assert!(equivalent_up_to_ndv_renaming(&t1, &t2));
+    }
+
+    #[test]
+    fn different_constants_are_inequivalent() {
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", &["A"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        let s1 = state_of(&scheme, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
+        let s2 = state_of(&scheme, &mut sym, &[("R1", &[("A", "a"), ("B", "b2")])]).unwrap();
+        let t1 = Tableau::of_state(&scheme, &s1);
+        let t2 = Tableau::of_state(&scheme, &s2);
+        assert!(!equivalent_up_to_ndv_renaming(&t1, &t2));
+    }
+
+    #[test]
+    fn ndv_sharing_patterns_matter() {
+        // A tableau where two rows share an ndv is not equivalent to one
+        // where they don't (the bijection cannot split a variable).
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "A", &["A"])
+            .scheme("R2", "AB", &["A"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        let st = state_of(
+            &scheme,
+            &mut sym,
+            &[("R1", &[("A", "a1")]), ("R1", &[("A", "a2")])],
+        )
+        .unwrap();
+        let t1 = Tableau::of_state(&scheme, &st);
+        let mut t2 = t1.clone();
+        // Manually alias the two B-column ndvs in t2.
+        let b = scheme.universe().attr_of("B");
+        let s0 = t2.rows()[0].sym(b);
+        t2.rows_mut()[1].syms[b.index()] = s0;
+        assert!(!equivalent_up_to_ndv_renaming(&t1, &t2));
+    }
+}

@@ -1,0 +1,127 @@
+//! Losslessness (§2.3): `S ⊆ R` is lossless wrt `F` when `CHASE_F(T_S)`
+//! has a row of all distinguished variables, and a *lossless subset of R
+//! covering X* additionally has `∪S ⊇ X`.
+
+use idr_fd::FdSet;
+use idr_relation::AttrSet;
+
+use crate::chase_engine::chase;
+use crate::tableau::Tableau;
+
+/// Whether the family of schemes is lossless with respect to `fds`,
+/// chasing the scheme tableau over a universe of the family's union.
+///
+/// Note the paper's convention for lossless *subsets*: losslessness is
+/// judged against the fds *embedded in the subset* and dv-ness against the
+/// subset's own union — callers pass the appropriate `fds`.
+pub fn is_lossless(schemes: &[AttrSet], fds: &FdSet) -> bool {
+    if schemes.is_empty() {
+        return false;
+    }
+    let union = schemes.iter().fold(AttrSet::empty(), |a, &b| a | b);
+    let width = tableau_width(&union, fds);
+    let mut t = Tableau::of_scheme(schemes, width);
+    if chase(&mut t, fds).is_err() {
+        return false;
+    }
+    t.rows()
+        .iter()
+        .any(|r| union.is_subset(r.dv_attrs()))
+}
+
+/// The per-row dv sets after chasing the scheme tableau — by the \[BMSU]
+/// characterisation these are exactly the closures `Sᵢ⁺` wrt `fds`,
+/// *provided each fd is embedded in some scheme of the family* (the
+/// paper's cover-embedding setting; key dependencies always qualify).
+/// Cross-validated against `FdSet::closure` in tests; Lemma 3.8's
+/// splitness test is built on this equivalence.
+pub fn dv_closures(schemes: &[AttrSet], fds: &FdSet) -> Vec<AttrSet> {
+    let union = schemes.iter().fold(AttrSet::empty(), |a, &b| a | b);
+    let width = tableau_width(&union, fds);
+    let mut t = Tableau::of_scheme(schemes, width);
+    if chase(&mut t, fds).is_err() {
+        return Vec::new();
+    }
+    t.rows().iter().map(|r| r.dv_attrs()).collect()
+}
+
+/// Width covering both the scheme union and every attribute the fds
+/// mention, so the chase never indexes outside the tableau.
+fn tableau_width(union: &AttrSet, fds: &FdSet) -> usize {
+    let mut all = *union;
+    for fd in fds.fds() {
+        all |= fd.attrs();
+    }
+    all.iter().map(|a| a.index()).max().map_or(0, |m| m + 1)
+}
+
+/// Whether `subset` is a lossless subset of the database scheme covering
+/// `x` (§2.3): `∪S ⊇ X` and `S` lossless wrt the fds embedded in `S`.
+pub fn is_lossless_subset_covering(subset: &[AttrSet], embedded_fds: &FdSet, x: AttrSet) -> bool {
+    let union = subset.iter().fold(AttrSet::empty(), |a, &b| a | b);
+    x.is_subset(union) && is_lossless(subset, embedded_fds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    #[test]
+    fn extension_join_pair_is_lossless() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->B, B->C");
+        assert!(is_lossless(&[u.set_of("AB"), u.set_of("BC")], &f));
+    }
+
+    #[test]
+    fn independent_facts_are_lossy() {
+        let u = Universe::of_chars("ABCD");
+        let f = FdSet::parse(&u, "A->B, C->D");
+        assert!(!is_lossless(&[u.set_of("AB"), u.set_of("CD")], &f));
+    }
+
+    #[test]
+    fn lossy_without_fds() {
+        let u = Universe::of_chars("ABC");
+        assert!(!is_lossless(&[u.set_of("AB"), u.set_of("BC")], &FdSet::new()));
+    }
+
+    #[test]
+    fn dv_closures_match_fd_closures() {
+        let u = Universe::of_chars("ABCD");
+        let f = FdSet::parse(&u, "A->B, B->C, CD->A");
+        let schemes = [u.set_of("AB"), u.set_of("BC"), u.set_of("CD"), u.set_of("AD")];
+        let dv = dv_closures(&schemes, &f);
+        for (i, &s) in schemes.iter().enumerate() {
+            assert_eq!(dv[i], f.closure(s), "scheme {i}");
+        }
+    }
+
+    #[test]
+    fn covering_requires_union_superset() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->B");
+        assert!(is_lossless_subset_covering(
+            &[u.set_of("AB")],
+            &f,
+            u.set_of("A")
+        ));
+        assert!(!is_lossless_subset_covering(
+            &[u.set_of("AB")],
+            &f,
+            u.set_of("AC")
+        ));
+    }
+
+    #[test]
+    fn singleton_scheme_is_lossless() {
+        let u = Universe::of_chars("AB");
+        assert!(is_lossless(&[u.set_of("AB")], &FdSet::new()));
+    }
+
+    #[test]
+    fn empty_family_is_not_lossless() {
+        assert!(!is_lossless(&[], &FdSet::new()));
+    }
+}

@@ -1,0 +1,359 @@
+use std::fmt;
+
+use idr_relation::{AttrSet, Attribute, DatabaseScheme, DatabaseState, Tuple, Universe, Value};
+
+/// A tableau entry (§2.2): a constant, the distinguished variable of its
+/// column (`a_i`), or a nondistinguished variable (`b_j`, globally
+/// numbered).
+///
+/// Variables never travel between columns (the paper: "no variables can
+/// appear in two different columns"), which the chase exploits: renaming a
+/// variable only touches its own column.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChaseSym {
+    /// An interned constant.
+    Const(Value),
+    /// The distinguished variable of the column (one per column, so the
+    /// column index is the identity).
+    Dv,
+    /// A nondistinguished variable, globally numbered.
+    Ndv(u32),
+}
+
+impl ChaseSym {
+    /// Whether the symbol is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, ChaseSym::Const(_))
+    }
+
+    /// Whether the symbol is the distinguished variable.
+    pub fn is_dv(self) -> bool {
+        matches!(self, ChaseSym::Dv)
+    }
+}
+
+impl fmt::Debug for ChaseSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseSym::Const(v) => write!(f, "c{}", v.index()),
+            ChaseSym::Dv => write!(f, "a"),
+            ChaseSym::Ndv(i) => write!(f, "b{i}"),
+        }
+    }
+}
+
+/// A tableau row: one symbol per universe attribute, plus the origin tag
+/// (which relation scheme the row came from — the `TAG` column in the
+/// paper's examples).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Row {
+    pub(crate) syms: Vec<ChaseSym>,
+    /// Index of the relation scheme this row originates from, if any.
+    pub tag: Option<usize>,
+}
+
+impl Row {
+    /// The symbol in column `a`.
+    #[inline]
+    pub fn sym(&self, a: Attribute) -> ChaseSym {
+        self.syms[a.index()]
+    }
+
+    /// The set of columns holding constants — "the constant components of
+    /// the row are defined on C".
+    pub fn const_attrs(&self) -> AttrSet {
+        AttrSet::from_iter(
+            self.syms
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_const())
+                .map(|(i, _)| Attribute::from_index(i)),
+        )
+    }
+
+    /// The set of columns holding distinguished variables.
+    pub fn dv_attrs(&self) -> AttrSet {
+        AttrSet::from_iter(
+            self.syms
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_dv())
+                .map(|(i, _)| Attribute::from_index(i)),
+        )
+    }
+
+    /// Whether the row is total (all constants) on `x`.
+    pub fn total_on(&self, x: AttrSet) -> bool {
+        x.iter().all(|a| self.sym(a).is_const())
+    }
+
+    /// The constant components of the row as a [`Tuple`] (over
+    /// [`Row::const_attrs`]).
+    pub fn const_tuple(&self) -> Tuple {
+        Tuple::from_pairs(self.syms.iter().enumerate().filter_map(|(i, s)| match s {
+            ChaseSym::Const(v) => Some((Attribute::from_index(i), *v)),
+            _ => None,
+        }))
+    }
+
+    /// The restriction `row[X]` as a tuple, defined only when the row is
+    /// total on `X`.
+    pub fn tuple_on(&self, x: AttrSet) -> Option<Tuple> {
+        if !self.total_on(x) {
+            return None;
+        }
+        Some(self.const_tuple().project(x))
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.syms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s:?}")?;
+        }
+        match self.tag {
+            Some(t) => write!(f, " | R{t}]"),
+            None => write!(f, " | -]"),
+        }
+    }
+}
+
+/// A tableau: a set of rows over the universe (§2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tableau {
+    width: usize,
+    rows: Vec<Row>,
+    next_ndv: u32,
+}
+
+impl Tableau {
+    /// An empty tableau over a universe of `width` attributes.
+    pub fn new(width: usize) -> Self {
+        Tableau {
+            width,
+            rows: Vec::new(),
+            next_ndv: 0,
+        }
+    }
+
+    /// The tableau `T_r` for a database state (§2.2): one row per tuple,
+    /// constants on the origin scheme, fresh ndvs elsewhere.
+    pub fn of_state(scheme: &DatabaseScheme, state: &DatabaseState) -> Self {
+        let mut t = Tableau::new(scheme.universe().len());
+        for (i, tuple) in state.iter_all() {
+            t.push_tuple(tuple, Some(i));
+        }
+        t
+    }
+
+    /// The tableau `T_R` for a database scheme (\[ABU]\[ASU]): one row per
+    /// relation scheme with dvs on its attributes and ndvs elsewhere.
+    pub fn of_scheme(schemes: &[AttrSet], width: usize) -> Self {
+        let mut t = Tableau::new(width);
+        for (i, &r) in schemes.iter().enumerate() {
+            let syms = (0..width)
+                .map(|col| {
+                    if r.contains(Attribute::from_index(col)) {
+                        ChaseSym::Dv
+                    } else {
+                        t.fresh_ndv()
+                    }
+                })
+                .collect();
+            t.rows.push(Row { syms, tag: Some(i) });
+        }
+        t
+    }
+
+    /// Appends a row for a (possibly partial) tuple: constants where the
+    /// tuple is defined, fresh ndvs elsewhere. Returns the row index.
+    pub fn push_tuple(&mut self, tuple: &Tuple, tag: Option<usize>) -> usize {
+        let syms = (0..self.width)
+            .map(|col| match tuple.get(Attribute::from_index(col)) {
+                Some(v) => ChaseSym::Const(v),
+                None => self.fresh_ndv(),
+            })
+            .collect();
+        self.rows.push(Row { syms, tag });
+        self.rows.len() - 1
+    }
+
+    /// Number of columns (universe size).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable access for the chase engine.
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the tableau has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows total on `x`, projected to `x` and deduplicated — the
+    /// restricted projection `πt_X` (§2.1).
+    pub fn total_projection(&self, x: AttrSet) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.tuple_on(x))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Removes rows whose entire symbol vectors duplicate an earlier row.
+    pub fn dedup_rows(&mut self) {
+        let mut seen: std::collections::HashSet<Vec<ChaseSym>> = std::collections::HashSet::new();
+        self.rows.retain(|r| seen.insert(r.syms.clone()));
+    }
+
+    /// Minimisation as used by Algorithm 1 step (2) and Lemma 4.2's
+    /// comparison: keep one row per distinct set of constant components
+    /// (rows agreeing on all constants differ only in ndvs padded around
+    /// the same facts and are homomorphically redundant).
+    pub fn minimize_by_constants(&mut self) {
+        let mut seen: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
+        self.rows.retain(|r| seen.insert(r.const_tuple()));
+    }
+
+    /// Whether some row consists entirely of distinguished variables —
+    /// the losslessness criterion (§2.3).
+    pub fn has_all_dv_row(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.syms.iter().all(|s| s.is_dv()))
+    }
+
+    fn fresh_ndv(&mut self) -> ChaseSym {
+        let s = ChaseSym::Ndv(self.next_ndv);
+        self.next_ndv += 1;
+        s
+    }
+
+    /// Renders the tableau in the paper's tabular style.
+    pub fn render(&self, universe: &Universe) -> String {
+        let mut out = String::new();
+        for a in universe.iter() {
+            out.push_str(universe.name(a));
+            out.push('\t');
+        }
+        out.push_str("TAG\n");
+        for r in &self.rows {
+            for s in &r.syms {
+                out.push_str(&format!("{s:?}\t"));
+            }
+            match r.tag {
+                Some(t) => out.push_str(&format!("R{t}\n")),
+                None => out.push_str("-\n"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::{state_of, SchemeBuilder, SymbolTable};
+
+    #[test]
+    fn state_tableau_shape() {
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "BC", &["B"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("B", "b"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        let t = Tableau::of_state(&scheme, &state);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0].const_attrs(), scheme.universe().set_of("AB"));
+        assert_eq!(t.rows()[0].tag, Some(0));
+        // Ndvs are pairwise distinct across the whole tableau.
+        let mut ndvs = std::collections::HashSet::new();
+        for r in t.rows() {
+            for s in &r.syms {
+                if let ChaseSym::Ndv(i) = s {
+                    assert!(ndvs.insert(*i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_tableau_shape() {
+        let u = Universe::of_chars("ABC");
+        let t = Tableau::of_scheme(&[u.set_of("AB"), u.set_of("BC")], 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0].dv_attrs(), u.set_of("AB"));
+        assert_eq!(t.rows()[1].dv_attrs(), u.set_of("BC"));
+        assert!(!t.has_all_dv_row());
+    }
+
+    #[test]
+    fn total_projection_filters_partial_rows() {
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "A", &["A"])
+            .scheme("R2", "AB", &["A"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a1")]),
+                ("R2", &[("A", "a2"), ("B", "b")]),
+            ],
+        )
+        .unwrap();
+        let t = Tableau::of_state(&scheme, &state);
+        let u = scheme.universe();
+        assert_eq!(t.total_projection(u.set_of("A")).len(), 2);
+        assert_eq!(t.total_projection(u.set_of("AB")).len(), 1);
+    }
+
+    #[test]
+    fn dedup_rows_removes_exact_duplicates() {
+        let u = Universe::of_chars("AB");
+        let mut t = Tableau::new(2);
+        let mut sym = SymbolTable::new();
+        let tup = Tuple::from_pairs([
+            (u.attr_of("A"), sym.intern("a")),
+            (u.attr_of("B"), sym.intern("b")),
+        ]);
+        t.push_tuple(&tup, Some(0));
+        t.push_tuple(&tup, Some(0));
+        // Full-width constant rows are exact duplicates.
+        assert_eq!(t.len(), 2);
+        t.dedup_rows();
+        assert_eq!(t.len(), 1);
+    }
+}

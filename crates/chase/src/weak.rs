@@ -1,0 +1,136 @@
+//! The weak instance model (§2.5): consistency, representative instances
+//! and X-total projections.
+
+use idr_fd::FdSet;
+use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple};
+
+use crate::chase_engine::{chase, ChaseStats};
+use crate::tableau::Tableau;
+
+/// A representative instance: the chased state tableau `CHASE_F(T_r)`
+/// (\[H2]), with the chase statistics.
+#[derive(Clone, Debug)]
+pub struct RepInstance {
+    /// The chased tableau.
+    pub tableau: Tableau,
+    /// Work done by the chase.
+    pub stats: ChaseStats,
+}
+
+impl RepInstance {
+    /// The X-total projection `[X]` of the representative instance (§2.5).
+    pub fn total_projection(&self, x: AttrSet) -> Vec<Tuple> {
+        self.tableau.total_projection(x)
+    }
+}
+
+/// Whether the state is consistent with respect to `fds`: a weak instance
+/// exists iff the chase of the state tableau does not fail (\[H2]\[GMV]).
+pub fn is_consistent(scheme: &DatabaseScheme, state: &DatabaseState, fds: &FdSet) -> bool {
+    let mut t = Tableau::of_state(scheme, state);
+    chase(&mut t, fds).is_ok()
+}
+
+/// Computes the representative instance for a state, or `None` when the
+/// state is inconsistent.
+pub fn representative_instance(
+    scheme: &DatabaseScheme,
+    state: &DatabaseState,
+    fds: &FdSet,
+) -> Option<RepInstance> {
+    let mut t = Tableau::of_state(scheme, state);
+    match chase(&mut t, fds) {
+        Ok(stats) => Some(RepInstance { tableau: t, stats }),
+        Err(_) => None,
+    }
+}
+
+/// The X-total projection `[X]` for a state (§2.5): `πt_X(CHASE_F(T_r))`,
+/// or `None` when the state is inconsistent.
+pub fn total_projection(
+    scheme: &DatabaseScheme,
+    state: &DatabaseState,
+    fds: &FdSet,
+    x: AttrSet,
+) -> Option<Vec<Tuple>> {
+    representative_instance(scheme, state, fds).map(|ri| ri.total_projection(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_fd::KeyDeps;
+    use idr_relation::{state_of, SchemeBuilder, SymbolTable};
+
+    fn fixture() -> (DatabaseScheme, SymbolTable, DatabaseState) {
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "BC", &["B"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("B", "b"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        (scheme, sym, state)
+    }
+
+    #[test]
+    fn consistent_state_has_rep_instance() {
+        let (scheme, _sym, state) = fixture();
+        let kd = KeyDeps::of(&scheme);
+        assert!(is_consistent(&scheme, &state, kd.full()));
+        let ri = representative_instance(&scheme, &state, kd.full()).unwrap();
+        // B→C extends the R1 row to ABC.
+        let abc = scheme.universe().set_of("ABC");
+        assert_eq!(ri.total_projection(abc).len(), 1);
+    }
+
+    #[test]
+    fn total_projection_derives_new_facts() {
+        let (scheme, _sym, state) = fixture();
+        let kd = KeyDeps::of(&scheme);
+        // [AC] contains <a, c> even though no relation holds AC.
+        let ac = scheme.universe().set_of("AC");
+        let proj = total_projection(&scheme, &state, kd.full(), ac).unwrap();
+        assert_eq!(proj.len(), 1);
+        assert_eq!(proj[0].attrs(), ac);
+    }
+
+    #[test]
+    fn inconsistent_state_detected() {
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", &["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b1")]),
+                ("R1", &[("A", "a"), ("B", "b2")]),
+            ],
+        )
+        .unwrap();
+        assert!(!is_consistent(&scheme, &state, kd.full()));
+        assert!(representative_instance(&scheme, &state, kd.full()).is_none());
+        assert!(total_projection(&scheme, &state, kd.full(), scheme.universe().set_of("A"))
+            .is_none());
+    }
+
+    #[test]
+    fn empty_state_is_consistent() {
+        let (scheme, _sym, _state) = fixture();
+        let kd = KeyDeps::of(&scheme);
+        let empty = DatabaseState::empty(&scheme);
+        assert!(is_consistent(&scheme, &empty, kd.full()));
+    }
+}

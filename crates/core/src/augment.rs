@@ -1,0 +1,150 @@
+//! Augmentation and reduction (§4.3): `AUG(R) = R ∪ S` for
+//! `S ⊆ SUBSET(R)`, and `RED(R)`, the reduction dropping relation schemes
+//! properly contained in others. Theorem 4.3: the class of
+//! independence-reducible schemes is closed under augmentation;
+//! Corollary 4.2: `R` is independence-reducible iff `RED(R)` is.
+
+use idr_fd::{keys::candidate_keys, KeyDeps};
+use idr_relation::{AttrSet, DatabaseScheme, RelationScheme};
+
+/// Adds a new relation scheme over `attrs` (which must be a nonempty
+/// subset of some existing scheme) to the database scheme. The new
+/// scheme's keys are its candidate keys with respect to the embedded key
+/// dependencies — so the embedded cover is unchanged up to equivalence.
+///
+/// # Panics
+///
+/// Panics if `attrs` is empty or not a subset of any existing scheme
+/// (fixtures want loud failures; `AUG` is only defined on `SUBSET(R)`).
+pub fn augment(scheme: &DatabaseScheme, kd: &KeyDeps, name: &str, attrs: AttrSet) -> DatabaseScheme {
+    assert!(!attrs.is_empty(), "AUG: empty subset");
+    assert!(
+        scheme.schemes().iter().any(|s| attrs.is_subset(s.attrs())),
+        "AUG: {attrs:?} is not a subset of any relation scheme"
+    );
+    let keys = {
+        let ks = candidate_keys(kd.full(), attrs);
+        if ks.is_empty() {
+            vec![attrs]
+        } else {
+            ks
+        }
+    };
+    let mut schemes: Vec<RelationScheme> = scheme.schemes().to_vec();
+    schemes.push(RelationScheme::new(name, attrs, keys).expect("keys embedded by construction"));
+    DatabaseScheme::new(scheme.universe().clone(), schemes)
+        .expect("augmentation preserves the cover")
+}
+
+/// `RED(R)`: drops every relation scheme that is a proper subset of
+/// another (and deduplicates equal schemes, keeping the first).
+pub fn reduce(scheme: &DatabaseScheme) -> DatabaseScheme {
+    let all = scheme.schemes();
+    let keep: Vec<RelationScheme> = all
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| {
+            !all.iter().enumerate().any(|(j, t)| {
+                *i != j
+                    && (s.attrs().is_proper_subset(t.attrs())
+                        || (s.attrs() == t.attrs() && j < *i))
+            })
+        })
+        .map(|(_, s)| s.clone())
+        .collect();
+    DatabaseScheme::new(scheme.universe().clone(), keep)
+        .expect("reduction preserves the cover")
+}
+
+/// Whether the database scheme is reduced (no scheme a proper subset of
+/// another).
+pub fn is_reduced(scheme: &DatabaseScheme) -> bool {
+    let all = scheme.schemes();
+    !all.iter().enumerate().any(|(i, s)| {
+        all.iter()
+            .enumerate()
+            .any(|(j, t)| i != j && s.attrs().is_subset(t.attrs()) && s.attrs() != t.attrs())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognition::recognize;
+    use idr_relation::SchemeBuilder;
+
+    fn example11() -> DatabaseScheme {
+        SchemeBuilder::new("ABCDEFG")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R4", "AD", &["A"])
+            .scheme("R5", "DEF", &["D"])
+            .scheme("R6", "DEG", &["D"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn augment_with_keyless_subset_stays_accepted() {
+        // Case 1 of Theorem 4.3: S embeds no key of any scheme.
+        let db = example11();
+        let kd = KeyDeps::of(&db);
+        assert!(recognize(&db, &kd).is_accepted());
+        // EF ⊆ DEF embeds no key (keys are A, B, C, D).
+        let aug = augment(&db, &kd, "S", db.universe().set_of("EF"));
+        let kd2 = KeyDeps::of(&aug);
+        assert!(recognize(&aug, &kd2).is_accepted());
+    }
+
+    #[test]
+    fn augment_with_key_subset_stays_accepted() {
+        // Case 2 of Theorem 4.3: S embeds a key.
+        let db = example11();
+        let kd = KeyDeps::of(&db);
+        // DE ⊆ DEF embeds key D.
+        let aug = augment(&db, &kd, "S", db.universe().set_of("DE"));
+        let kd2 = KeyDeps::of(&aug);
+        let ir = recognize(&aug, &kd2).accepted().expect("AUG closure");
+        // S joins block 2 ({R5, R6}).
+        let s_idx = aug.index_of("S").unwrap();
+        assert_eq!(ir.block_of[s_idx], ir.block_of[4]);
+    }
+
+    #[test]
+    fn augmented_subset_keys_are_candidate_keys() {
+        let db = example11();
+        let kd = KeyDeps::of(&db);
+        let aug = augment(&db, &kd, "S", db.universe().set_of("DF"));
+        let s = &aug.schemes()[aug.index_of("S").unwrap()];
+        // Keys of DF ⊆ DEF wrt F: D determines F, F determines nothing.
+        assert_eq!(s.keys(), &[db.universe().set_of("D")]);
+    }
+
+    #[test]
+    fn reduce_drops_contained_schemes() {
+        let db = example11();
+        let kd = KeyDeps::of(&db);
+        let aug = augment(&db, &kd, "S", db.universe().set_of("DE"));
+        assert!(!is_reduced(&aug));
+        let red = reduce(&aug);
+        assert!(is_reduced(&red));
+        assert_eq!(red.len(), db.len());
+        // Corollary 4.2 both ways.
+        let kd_aug = KeyDeps::of(&aug);
+        let kd_red = KeyDeps::of(&red);
+        assert_eq!(
+            recognize(&aug, &kd_aug).is_accepted(),
+            recognize(&red, &kd_red).is_accepted()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a subset")]
+    fn augment_rejects_non_subsets() {
+        let db = example11();
+        let kd = KeyDeps::of(&db);
+        // AG spans two schemes.
+        let _ = augment(&db, &kd, "S", db.universe().set_of("AG"));
+    }
+}

@@ -1,0 +1,115 @@
+//! The baseline scheme classes the paper subsumes (§5.3): Sagiv's
+//! independent schemes \[S1]\[S2] and the γ-acyclic cover-embedding BCNF
+//! schemes of Chan & Hernández \[CH1]. Theorems 5.2/5.3: both classes are
+//! accepted by Algorithm 6.
+
+use idr_fd::{normal, KeyDeps};
+use idr_hypergraph::{gamma, Hypergraph};
+use idr_relation::DatabaseScheme;
+
+/// Whether the scheme is independent with respect to its embedded key
+/// dependencies — the uniqueness condition, which characterises
+/// independence for cover-embedding BCNF schemes with key dependencies
+/// \[S1]\[S2].
+pub fn is_independent(scheme: &DatabaseScheme, kd: &KeyDeps) -> bool {
+    normal::satisfies_uniqueness(scheme, kd)
+}
+
+/// Whether the scheme is in BCNF with respect to its embedded key
+/// dependencies.
+pub fn is_bcnf(scheme: &DatabaseScheme, kd: &KeyDeps) -> bool {
+    normal::is_bcnf(scheme, kd.full())
+}
+
+/// Whether the scheme's hypergraph is γ-acyclic.
+pub fn is_gamma_acyclic(scheme: &DatabaseScheme) -> bool {
+    gamma::is_gamma_acyclic(&Hypergraph::of_scheme(scheme))
+}
+
+/// The \[CH1] class: γ-acyclic, cover-embedding, BCNF.
+pub fn is_gamma_acyclic_bcnf(scheme: &DatabaseScheme, kd: &KeyDeps) -> bool {
+    is_gamma_acyclic(scheme) && is_bcnf(scheme, kd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognition::recognize;
+    use idr_relation::SchemeBuilder;
+
+    #[test]
+    fn theorem_5_3_independent_implies_accepted() {
+        let db = SchemeBuilder::new("CTHRSG")
+            .scheme("S1", "HRCT", &["HR", "HT"])
+            .scheme("S2", "CSG", &["CS"])
+            .scheme("S3", "HSR", &["HS"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(is_independent(&db, &kd));
+        assert!(recognize(&db, &kd).is_accepted());
+    }
+
+    #[test]
+    fn theorem_5_2_gamma_acyclic_bcnf_implies_accepted() {
+        // A γ-acyclic BCNF chain.
+        let db = SchemeBuilder::new("ABCD")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "BC", &["B"])
+            .scheme("R3", "CD", &["C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(is_gamma_acyclic_bcnf(&db, &kd));
+        assert!(recognize(&db, &kd).is_accepted());
+    }
+
+    #[test]
+    fn example1_r_in_neither_baseline_but_accepted() {
+        // The paper's motivating point: R is neither independent nor
+        // γ-acyclic, yet independence-reducible.
+        let db = SchemeBuilder::new("CTHRSG")
+            .scheme("R1", "HRC", &["HR"])
+            .scheme("R2", "HTR", &["HT", "HR"])
+            .scheme("R3", "HTC", &["HT"])
+            .scheme("R4", "CSG", &["CS"])
+            .scheme("R5", "HSR", &["HS"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(!is_independent(&db, &kd));
+        assert!(!is_gamma_acyclic(&db));
+        assert!(recognize(&db, &kd).is_accepted());
+    }
+
+    #[test]
+    fn example3_in_neither_baseline_but_accepted() {
+        // Example 3: key-equivalent, not independent, not even α-acyclic.
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(!is_independent(&db, &kd));
+        assert!(!is_gamma_acyclic(&db));
+        assert!(!idr_hypergraph::gyo::is_alpha_acyclic(
+            &Hypergraph::of_scheme(&db)
+        ));
+        assert!(recognize(&db, &kd).is_accepted());
+    }
+
+    #[test]
+    fn key_equivalent_schemes_are_bcnf() {
+        // Lemma 3.1 on Example 3.
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(is_bcnf(&db, &kd));
+    }
+}

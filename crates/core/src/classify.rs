@@ -1,0 +1,194 @@
+//! The scheme classifier: assembles the paper's full taxonomy for a given
+//! database scheme — the tool behind the class-inclusion experiments
+//! (EXPERIMENTS.md TH-INCL) and the `scheme_zoo` example.
+
+use idr_fd::KeyDeps;
+use idr_relation::DatabaseScheme;
+
+use crate::baselines;
+use crate::key_equiv::whole_scheme_key_equivalent;
+use crate::recognition::{recognize, IrScheme, Recognition};
+use crate::split::is_split_free;
+
+/// Everything the paper lets us decide about a database scheme with
+/// embedded key dependencies. `Option<bool>` fields are `None` when the
+/// property is not decided by the paper's results for this scheme
+/// (boundedness and algebraic-maintainability are only *established* for
+/// independence-reducible schemes; outside the class they may still hold).
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// BCNF with respect to the embedded key dependencies.
+    pub bcnf: bool,
+    /// Independent (uniqueness condition) — Sagiv's class \[S1]\[S2].
+    pub independent: bool,
+    /// γ-acyclic hypergraph — with BCNF, the \[CH1] class.
+    pub gamma_acyclic: bool,
+    /// The whole scheme is key-equivalent (§3).
+    pub key_equivalent: bool,
+    /// Accepted by Algorithm 6, with the witnessing partition.
+    pub independence_reducible: Option<IrScheme>,
+    /// Every block of the partition is split-free (§5.4); `None` when not
+    /// independence-reducible.
+    pub split_free: Option<bool>,
+    /// Constant-time-maintainable. Decided by Theorem 5.5 (ctm ⟺
+    /// split-free) when independence-reducible; `None` otherwise.
+    pub ctm: Option<bool>,
+    /// Bounded wrt the key dependencies. `true` by Theorem 4.1 when
+    /// independence-reducible; `None` (unknown) otherwise.
+    pub bounded: Option<bool>,
+    /// Algebraic-maintainable. `true` by Theorem 4.2 when
+    /// independence-reducible; `None` otherwise.
+    pub algebraic_maintainable: Option<bool>,
+}
+
+/// Classifies a database scheme against every class the paper discusses.
+pub fn classify(scheme: &DatabaseScheme) -> Classification {
+    let kd = KeyDeps::of(scheme);
+    let bcnf = baselines::is_bcnf(scheme, &kd);
+    let independent = baselines::is_independent(scheme, &kd);
+    let gamma_acyclic = baselines::is_gamma_acyclic(scheme);
+    let key_equivalent = whole_scheme_key_equivalent(scheme, &kd);
+    let independence_reducible = match recognize(scheme, &kd) {
+        Recognition::Accepted(ir) => Some(ir),
+        Recognition::Rejected(_) => None,
+    };
+    let split_free = independence_reducible.as_ref().map(|ir| {
+        ir.partition
+            .iter()
+            .all(|block| is_split_free(scheme, &kd, block))
+    });
+    let ctm = split_free;
+    let (bounded, algebraic_maintainable) = if independence_reducible.is_some() {
+        (Some(true), Some(true))
+    } else {
+        (None, None)
+    };
+    Classification {
+        bcnf,
+        independent,
+        gamma_acyclic,
+        key_equivalent,
+        independence_reducible,
+        split_free,
+        ctm,
+        bounded,
+        algebraic_maintainable,
+    }
+}
+
+impl Classification {
+    /// One-line summary for tables and examples.
+    pub fn summary(&self) -> String {
+        let ir = self.independence_reducible.is_some();
+        let opt = |o: Option<bool>| match o {
+            Some(true) => "yes",
+            Some(false) => "no",
+            None => "?",
+        };
+        format!(
+            "bcnf={} independent={} γ-acyclic={} key-equivalent={} ind-reducible={} split-free={} ctm={} bounded={} alg-maint={}",
+            if self.bcnf { "yes" } else { "no" },
+            if self.independent { "yes" } else { "no" },
+            if self.gamma_acyclic { "yes" } else { "no" },
+            if self.key_equivalent { "yes" } else { "no" },
+            if ir { "yes" } else { "no" },
+            opt(self.split_free),
+            opt(self.ctm),
+            opt(self.bounded),
+            opt(self.algebraic_maintainable),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::SchemeBuilder;
+
+    #[test]
+    fn example1_r_full_classification() {
+        // The headline claims of Example 1: not independent, not
+        // γ-acyclic, but independence-reducible, bounded and ctm.
+        let db = SchemeBuilder::new("CTHRSG")
+            .scheme("R1", "HRC", &["HR"])
+            .scheme("R2", "HTR", &["HT", "HR"])
+            .scheme("R3", "HTC", &["HT"])
+            .scheme("R4", "CSG", &["CS"])
+            .scheme("R5", "HSR", &["HS"])
+            .build()
+            .unwrap();
+        let c = classify(&db);
+        assert!(!c.independent);
+        assert!(!c.gamma_acyclic);
+        assert!(c.independence_reducible.is_some());
+        assert_eq!(c.bounded, Some(true));
+        assert_eq!(c.algebraic_maintainable, Some(true));
+        assert_eq!(c.ctm, Some(true), "Example 1's R is ctm");
+    }
+
+    #[test]
+    fn example5_scheme_is_accepted_but_not_ctm() {
+        // Key-equivalent but split (key BC) ⇒ algebraic-maintainable, not
+        // ctm (Corollary 3.3).
+        let db = SchemeBuilder::new("ABCDE")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "AC", &["A"])
+            .scheme("R3", "AE", &["A", "E"])
+            .scheme("R4", "EB", &["E"])
+            .scheme("R5", "EC", &["E"])
+            .scheme("R6", "BCD", &["BC", "D"])
+            .scheme("R7", "DA", &["D", "A"])
+            .build()
+            .unwrap();
+        let c = classify(&db);
+        assert!(c.key_equivalent);
+        assert!(c.independence_reducible.is_some());
+        assert_eq!(c.ctm, Some(false));
+        assert_eq!(c.algebraic_maintainable, Some(true));
+    }
+
+    #[test]
+    fn example2_scheme_is_outside_the_class() {
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["AB"])
+            .scheme("R2", "BC", &["B"])
+            .scheme("R3", "AC", &["A"])
+            .build()
+            .unwrap();
+        let c = classify(&db);
+        assert!(c.independence_reducible.is_none());
+        assert_eq!(c.bounded, None);
+        assert_eq!(c.ctm, None);
+        assert!(c.summary().contains("ind-reducible=no"));
+    }
+
+    #[test]
+    fn independent_scheme_classification() {
+        let db = SchemeBuilder::new("CTHRSG")
+            .scheme("S1", "HRCT", &["HR", "HT"])
+            .scheme("S2", "CSG", &["CS"])
+            .scheme("S3", "HSR", &["HS"])
+            .build()
+            .unwrap();
+        let c = classify(&db);
+        assert!(c.independent);
+        assert!(c.independence_reducible.is_some());
+        // Independent ⇒ ctm (singleton blocks cannot split keys... they
+        // can, but for this scheme they do not).
+        assert_eq!(c.ctm, Some(true));
+    }
+
+    #[test]
+    fn example9_chain_is_ctm() {
+        let db = SchemeBuilder::new("ABCDE")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "CD", &["C", "D"])
+            .scheme("R4", "DE", &["D", "E"])
+            .build()
+            .unwrap();
+        let c = classify(&db);
+        assert!(c.key_equivalent);
+        assert_eq!(c.ctm, Some(true));
+    }
+}

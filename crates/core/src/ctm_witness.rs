@@ -1,0 +1,322 @@
+//! Executable Theorem 3.4: constructing the adversarial instances of
+//! Lemma 3.7 that defeat any constant-time maintenance algorithm on a
+//! *split* key-equivalent scheme.
+//!
+//! Given a key `K` split in some `Sᵢ⁺`, the proof builds:
+//!
+//! * `t1` on `U_l = ∪S_l`, where `S_l` is a partial closure computation
+//!   covering `K` whose schemes all avoid `K` — its projections `s_l`
+//!   assemble a total tuple on `K` out of fragments;
+//! * `t2` on `U_q`, agreeing with `t1` exactly on `K`, fragmented over a
+//!   chain `S_q1, …, S_qp` leading from a scheme that *contains* `K` to a
+//!   scheme `S_q(p+1)` that shares a non-`K` attribute with `U_l`;
+//! * the probe tuple `u = t2[S_q(p+1)]`.
+//!
+//! Then `s_l ∪ s'_q` is consistent, `s'_q ∪ {u}` is consistent, but
+//! `s_l ∪ s'_q ∪ {u}` is inconsistent — and the only values linking `u` to
+//! `s_l` are `t1[K]`-fragments scattered across relations, which can be
+//! duplicated arbitrarily ([`NonCtmWitness::inflate`]) so that no bounded
+//! number of single-tuple selections can tell the instances apart.
+
+use idr_fd::KeyDeps;
+use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, SymbolTable, Tuple};
+
+use crate::split::split_keys;
+
+/// The adversarial instance of Theorem 3.4.
+#[derive(Clone, Debug)]
+pub struct NonCtmWitness {
+    /// The split key `K`.
+    pub key: AttrSet,
+    /// Scheme indices of `S_l` (the fragment assembly avoiding `K`).
+    pub s_l: Vec<usize>,
+    /// Scheme indices of the `t2` chain `S_q1, …, S_qp` (may be empty).
+    pub s_q_prefix: Vec<usize>,
+    /// Scheme index of `S_q(p+1)` — where the probe `u` is inserted.
+    pub probe_scheme: usize,
+    /// The consistent base state `s = s_l ∪ s'_q`.
+    pub state: DatabaseState,
+    /// The probe tuple `u`; inserting it into `probe_scheme` makes the
+    /// state inconsistent.
+    pub probe: Tuple,
+}
+
+/// Builds a non-ctm witness for a *split* key-equivalent subset of the
+/// scheme, or `None` if the subset is split-free (Theorem 3.3 then says a
+/// witness cannot exist).
+pub fn non_ctm_witness(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    block: &[usize],
+    symbols: &mut SymbolTable,
+) -> Option<NonCtmWitness> {
+    let splits = split_keys(scheme, kd, block);
+    let split = splits.first()?;
+    let k = split.key;
+    let seed = split.split_in[0];
+
+    // S_l: grow a closure from `seed` through schemes avoiding K until K
+    // is covered (the partial computation witnessing the split).
+    let w: Vec<usize> = block
+        .iter()
+        .copied()
+        .filter(|&p| !k.is_subset(scheme.scheme(p).attrs()))
+        .collect();
+    let mut s_l = vec![seed];
+    let mut u_l = scheme.scheme(seed).attrs();
+    while !k.is_subset(u_l) {
+        let next = w.iter().copied().find(|&z| {
+            !s_l.contains(&z)
+                && !scheme.scheme(z).attrs().is_subset(u_l)
+                && scheme.scheme(z).keys().iter().any(|key| key.is_subset(u_l))
+        })?;
+        s_l.push(next);
+        u_l |= scheme.scheme(next).attrs();
+    }
+
+    // The t2 chain: start from a scheme containing K and grow by keys
+    // until a scheme intersects U_l − K.
+    let start_q = block
+        .iter()
+        .copied()
+        .find(|&q| k.is_subset(scheme.scheme(q).attrs()))?;
+    let mut chain = vec![start_q];
+    let mut u_q = scheme.scheme(start_q).attrs();
+    let outside = u_l - k;
+    let probe_scheme = loop {
+        if let Some(&last) = chain.last() {
+            if scheme.scheme(last).attrs().intersects(outside) {
+                break last;
+            }
+        }
+        let next = block.iter().copied().find(|&z| {
+            !chain.contains(&z)
+                && !scheme.scheme(z).attrs().is_subset(u_q)
+                && scheme.scheme(z).keys().iter().any(|key| key.is_subset(u_q))
+        })?;
+        chain.push(next);
+        u_q |= scheme.scheme(next).attrs();
+    };
+    let s_q_prefix: Vec<usize> = chain
+        .iter()
+        .copied()
+        .filter(|&z| z != probe_scheme)
+        .collect();
+
+    // t1: unique constants on U_l. t2: t1 on K, unique elsewhere on U_q.
+    let u = scheme.universe();
+    let t1 = Tuple::from_pairs(
+        u_l.iter()
+            .map(|a| (a, symbols.fresh(&format!("t1.{}", u.name(a))))),
+    );
+    let t2 = Tuple::from_pairs(u_q.iter().map(|a| {
+        let v = if k.contains(a) {
+            t1.value(a)
+        } else {
+            symbols.fresh(&format!("t2.{}", u.name(a)))
+        };
+        (a, v)
+    }));
+
+    // Assemble the state: s_l = t1-fragments, s'_q = t2-fragments over the
+    // chain prefix.
+    let mut state = DatabaseState::empty(scheme);
+    for &i in &s_l {
+        let _ = state.insert(i, t1.project(scheme.scheme(i).attrs()));
+    }
+    for &i in &s_q_prefix {
+        let _ = state.insert(i, t2.project(scheme.scheme(i).attrs()));
+    }
+    let probe = t2.project(scheme.scheme(probe_scheme).attrs());
+    Some(NonCtmWitness {
+        key: k,
+        s_l,
+        s_q_prefix,
+        probe_scheme,
+        state,
+        probe,
+    })
+}
+
+impl NonCtmWitness {
+    /// Lemma 3.7's inflation: for every scheme of `S_l` that holds a
+    /// nonempty fragment of `K`, add `n` extra tuples agreeing with `t1`
+    /// on `K ∩ S_h` but fresh elsewhere. The inflated state stays
+    /// consistent, the probe still refutes it, and any maintenance
+    /// algorithm restricted to selections on `K`-fragments must now sift
+    /// through `n + 1` candidates — the state-size dependence of
+    /// Theorem 3.4.
+    pub fn inflate(
+        &self,
+        scheme: &DatabaseScheme,
+        symbols: &mut SymbolTable,
+        n: usize,
+    ) -> DatabaseState {
+        let mut state = self.state.clone();
+        let t1_frag = |state: &DatabaseState, i: usize| -> Option<Tuple> {
+            state.relation(i).iter().next().cloned()
+        };
+        for &i in &self.s_l {
+            let attrs = scheme.scheme(i).attrs();
+            let kh = attrs & self.key;
+            if kh.is_empty() || kh == attrs {
+                continue;
+            }
+            let Some(base) = t1_frag(&self.state, i) else {
+                continue;
+            };
+            for _ in 0..n {
+                let t = Tuple::from_pairs(attrs.iter().map(|a| {
+                    let v = if kh.contains(a) {
+                        base.value(a)
+                    } else {
+                        symbols.fresh(&format!("pad.{}", scheme.universe().name(a)))
+                    };
+                    (a, v)
+                }));
+                let _ = state.insert(i, t);
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::SchemeBuilder;
+
+    fn example4() -> DatabaseScheme {
+        SchemeBuilder::new("ABCDE")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "AC", &["A"])
+            .scheme("R3", "AE", &["A", "E"])
+            .scheme("R4", "EB", &["E"])
+            .scheme("R5", "EC", &["E"])
+            .scheme("R6", "BCD", &["BC", "D"])
+            .scheme("R7", "DA", &["D", "A"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn witness_exists_and_refutes_via_chase() {
+        let db = example4();
+        let kd = KeyDeps::of(&db);
+        let block: Vec<usize> = (0..db.len()).collect();
+        let mut sym = SymbolTable::new();
+        let w = non_ctm_witness(&db, &kd, &block, &mut sym).expect("Example 4 splits");
+        assert_eq!(w.key, db.universe().set_of("BC"));
+        // Lemma 3.7(a): the base state is consistent.
+        assert!(idr_chase::is_consistent(&db, &w.state, kd.full()));
+        // Lemma 3.7(c): adding the probe refutes it.
+        let mut bad = w.state.clone();
+        bad.insert(w.probe_scheme, w.probe.clone()).unwrap();
+        assert!(!idr_chase::is_consistent(&db, &bad, kd.full()));
+        // Lemma 3.7(b): the probe alone with the t2 fragments is fine.
+        let mut partial = DatabaseState::empty(&db);
+        for &i in &w.s_q_prefix {
+            for t in w.state.relation(i).iter() {
+                partial.insert(i, t.clone()).unwrap();
+            }
+        }
+        partial.insert(w.probe_scheme, w.probe.clone()).unwrap();
+        assert!(idr_chase::is_consistent(&db, &partial, kd.full()));
+    }
+
+    #[test]
+    fn inflation_preserves_the_verdicts() {
+        let db = example4();
+        let kd = KeyDeps::of(&db);
+        let block: Vec<usize> = (0..db.len()).collect();
+        let mut sym = SymbolTable::new();
+        let w = non_ctm_witness(&db, &kd, &block, &mut sym).unwrap();
+        for n in [1usize, 5, 20] {
+            let inflated = w.inflate(&db, &mut sym, n);
+            assert!(
+                inflated.total_tuples() > w.state.total_tuples(),
+                "inflation must add tuples"
+            );
+            assert!(idr_chase::is_consistent(&db, &inflated, kd.full()), "n={n}");
+            let mut bad = inflated.clone();
+            bad.insert(w.probe_scheme, w.probe.clone()).unwrap();
+            assert!(!idr_chase::is_consistent(&db, &bad, kd.full()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn split_free_schemes_have_no_witness() {
+        let db = SchemeBuilder::new("ABC")
+            .scheme("S1", "AB", &["A", "B"])
+            .scheme("S2", "BC", &["B", "C"])
+            .scheme("S3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let mut sym = SymbolTable::new();
+        assert!(non_ctm_witness(&db, &kd, &[0, 1, 2], &mut sym).is_none());
+    }
+
+    #[test]
+    fn algorithm2_still_decides_the_witness_correctly() {
+        // Algebraic maintainability saves the day: Algorithm 2 (with its
+        // representative instance) rejects the probe even on inflated
+        // states.
+        use crate::maintain::algorithm2;
+        use crate::rep::KeRep;
+        let db = example4();
+        let kd = KeyDeps::of(&db);
+        let block: Vec<usize> = (0..db.len()).collect();
+        let mut sym = SymbolTable::new();
+        let w = non_ctm_witness(&db, &kd, &block, &mut sym).unwrap();
+        let inflated = w.inflate(&db, &mut sym, 10);
+        let keys: Vec<AttrSet> = db
+            .schemes()
+            .iter()
+            .flat_map(|s| s.keys().iter().copied())
+            .collect();
+        let rep = KeRep::build(&keys, inflated.iter_all().map(|(_, t)| t.clone())).unwrap();
+        let (outcome, _) = algorithm2(&db, &rep, w.probe_scheme, &w.probe);
+        assert!(!outcome.is_consistent());
+    }
+}
+
+#[cfg(test)]
+mod algorithm5_unsoundness {
+    use super::*;
+    use crate::maintain::{algorithm5, StateIndex};
+    use idr_relation::SchemeBuilder;
+
+    /// Why Algorithm 5 *requires* split-freeness: on the split witness it
+    /// wrongly accepts the probe (its key-directed lookups never reach the
+    /// fragment assembly), while the chase — and Algorithm 2 — reject it.
+    /// This is the operational content of Theorem 3.4.
+    #[test]
+    fn algorithm5_is_unsound_on_split_schemes() {
+        let db = SchemeBuilder::new("ABCDE")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "AC", &["A"])
+            .scheme("R3", "AE", &["A", "E"])
+            .scheme("R4", "EB", &["E"])
+            .scheme("R5", "EC", &["E"])
+            .scheme("R6", "BCD", &["BC", "D"])
+            .scheme("R7", "DA", &["D", "A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let block: Vec<usize> = (0..db.len()).collect();
+        let mut sym = SymbolTable::new();
+        let w = non_ctm_witness(&db, &kd, &block, &mut sym).unwrap();
+        let idx = StateIndex::build(&db, &block, &w.state).unwrap();
+        let (outcome, _) = algorithm5(&db, &idx, w.probe_scheme, &w.probe);
+        // The chase says "inconsistent" (verified in the other tests);
+        // Algorithm 5 says "consistent" — unsound exactly because key BC
+        // is split: the assembled BC value is invisible to key-directed
+        // extension from the probe.
+        assert!(
+            outcome.is_consistent(),
+            "if this starts failing, the witness no longer demonstrates \
+             Algorithm 5's reliance on split-freeness"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! KEP — the key-equivalent partition (§5.1).
+//!
+//! `[Rᵢ] = {Rⱼ ∈ R | Rᵢ⁺ = Rⱼ⁺}` groups schemes with equal closures; KEP
+//! refines recursively, recomputing closures within each group against the
+//! group's own embedded key dependencies, until every group is
+//! key-equivalent. Lemmas 5.1/5.2 show the result is *the* (unique)
+//! key-equivalent partition: every key-equivalent subset of `R` lands
+//! inside a single block.
+
+use std::collections::HashMap;
+
+use idr_fd::KeyDeps;
+use idr_relation::{AttrSet, DatabaseScheme};
+
+/// A partition of the scheme indices `0..n`. Blocks and their members are
+/// sorted, so the output is canonical.
+pub type Partition = Vec<Vec<usize>>;
+
+/// Computes the key-equivalent partition of the database scheme via the
+/// recursive function KEP of §5.1.
+///
+/// # Examples
+///
+/// ```
+/// use idr_relation::SchemeBuilder;
+/// use idr_fd::KeyDeps;
+/// use idr_core::kep::key_equivalent_partition;
+///
+/// // Example 3: the all-keys triangle is one key-equivalent block.
+/// let db = SchemeBuilder::new("ABC")
+///     .scheme("R1", "AB", &["A", "B"])
+///     .scheme("R2", "BC", &["B", "C"])
+///     .scheme("R3", "AC", &["A", "C"])
+///     .build()
+///     .unwrap();
+/// let kd = KeyDeps::of(&db);
+/// assert_eq!(key_equivalent_partition(&db, &kd), vec![vec![0, 1, 2]]);
+/// ```
+pub fn key_equivalent_partition(scheme: &DatabaseScheme, kd: &KeyDeps) -> Partition {
+    let all: Vec<usize> = (0..scheme.len()).collect();
+    let mut out = Vec::new();
+    kep(scheme, kd, &all, &mut out);
+    out.sort();
+    out
+}
+
+fn kep(scheme: &DatabaseScheme, kd: &KeyDeps, subset: &[usize], out: &mut Partition) {
+    // Statement (2): group by closure, computed wrt the key dependencies
+    // embedded in the *current* subset.
+    let fds = kd.for_subset(subset);
+    let mut groups: HashMap<AttrSet, Vec<usize>> = HashMap::new();
+    for &i in subset {
+        let cl = fds.closure(scheme.scheme(i).attrs());
+        groups.entry(cl).or_default().push(i);
+    }
+    if groups.len() == 1 {
+        // part = {R}: the subset is key-equivalent (all closures equal ⇒
+        // every closure contains every member ⇒ equals the union).
+        let mut block = subset.to_vec();
+        block.sort_unstable();
+        out.push(block);
+        return;
+    }
+    let mut parts: Vec<Vec<usize>> = groups.into_values().collect();
+    parts.sort();
+    for p in parts {
+        kep(scheme, kd, &p, out);
+    }
+}
+
+/// Maps each scheme index to its block index in a partition.
+pub fn block_of(partition: &Partition) -> Vec<usize> {
+    let n: usize = partition.iter().map(Vec::len).sum();
+    let mut out = vec![usize::MAX; n];
+    for (b, block) in partition.iter().enumerate() {
+        for &i in block {
+            out[i] = b;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key_equiv::is_key_equivalent;
+    use idr_relation::SchemeBuilder;
+
+    /// Example 13: R = {R1(AB), R2(CD), R3(ABC), R4(ABD), R5(CDE), R6(EA),
+    /// R7(EF), R8(FB)} with F = {AB→C, AB→D, CD→E, E→CD, E→A, E→F, F→B}.
+    /// KEP returns {{R8}, {R1, R3, R4}, {R2, R5, R6, R7}}.
+    fn example13() -> DatabaseScheme {
+        SchemeBuilder::new("ABCDEF")
+            .scheme("R1", "AB", &["AB"])
+            .scheme("R2", "CD", &["CD"])
+            .scheme("R3", "ABC", &["AB"])
+            .scheme("R4", "ABD", &["AB"])
+            .scheme("R5", "CDE", &["CD", "E"])
+            .scheme("R6", "EA", &["E"])
+            .scheme("R7", "EF", &["E"])
+            .scheme("R8", "FB", &["F"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example13_partition() {
+        let db = example13();
+        let kd = KeyDeps::of(&db);
+        let part = key_equivalent_partition(&db, &kd);
+        // Blocks (0-based): {R1,R3,R4} = {0,2,3}; {R2,R5,R6,R7} = {1,4,5,6};
+        // {R8} = {7}.
+        assert_eq!(part, vec![vec![0, 2, 3], vec![1, 4, 5, 6], vec![7]]);
+    }
+
+    #[test]
+    fn blocks_are_key_equivalent() {
+        let db = example13();
+        let kd = KeyDeps::of(&db);
+        for block in key_equivalent_partition(&db, &kd) {
+            assert!(is_key_equivalent(&db, &kd, &block), "block {block:?}");
+        }
+    }
+
+    #[test]
+    fn key_equivalent_scheme_is_one_block() {
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert_eq!(
+            key_equivalent_partition(&db, &kd),
+            vec![vec![0, 1, 2]]
+        );
+    }
+
+    #[test]
+    fn independent_schemes_are_singleton_blocks() {
+        let db = SchemeBuilder::new("ABCD")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "CD", &["C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert_eq!(
+            key_equivalent_partition(&db, &kd),
+            vec![vec![0], vec![1]]
+        );
+    }
+
+    #[test]
+    fn example11_partition() {
+        // Example 11: F = {A→B, B→A, B→C, C→B, C→A, A→C, A→D, D→EFG};
+        // two blocks {R1..R4} and {R5, R6}.
+        let db = SchemeBuilder::new("ABCDEFG")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R4", "AD", &["A"])
+            .scheme("R5", "DEF", &["D"])
+            .scheme("R6", "DEG", &["D"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let part = key_equivalent_partition(&db, &kd);
+        assert_eq!(part, vec![vec![0, 1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn block_of_inverts_partition() {
+        let part: Partition = vec![vec![0, 2], vec![1]];
+        assert_eq!(block_of(&part), vec![0, 1, 0]);
+    }
+}

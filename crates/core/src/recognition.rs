@@ -1,0 +1,449 @@
+//! Algorithm 6 — recognition of independence-reducible database schemes
+//! (§5.2).
+//!
+//! Step 1 computes the key-equivalent partition via KEP; step 3 tests
+//! whether the induced database scheme `D = {∪KE₁, …, ∪KEₙ}` is
+//! independent with respect to the (merged) embedded key dependencies. By
+//! Corollary 4.1 `D` is cover-embedding BCNF, so independence is exactly
+//! the uniqueness condition of \[S1]\[S2] (§2.7). Corollary 5.1 and
+//! Theorem 5.1 prove the algorithm accepts *exactly* the
+//! independence-reducible schemes.
+
+use idr_fd::{Fd, FdSet, KeyDeps};
+use idr_relation::{AttrSet, DatabaseScheme};
+
+use crate::kep::{self, Partition};
+
+/// The structure witnessing that a scheme is independence-reducible: the
+/// key-equivalent partition and, per block, the union attribute set, the
+/// embedded keys, and the merged embedded key dependencies (the embedded
+/// cover of Algorithm 6's output).
+#[derive(Clone, Debug)]
+pub struct IrScheme {
+    /// The independence-reducible partition `T = {T₁, …, Tₖ}` (scheme
+    /// indices, canonical order).
+    pub partition: Partition,
+    /// For each block, `Dⱼ = ∪Tⱼ`.
+    pub block_attrs: Vec<AttrSet>,
+    /// For each block, the keys embedded in its member schemes
+    /// (deduplicated). Each is a candidate key of the block union
+    /// (key-equivalence preserves minimality).
+    pub block_keys: Vec<Vec<AttrSet>>,
+    /// For each block, its embedded key dependencies `Fⱼ`.
+    pub block_fds: Vec<FdSet>,
+    /// Scheme index → block index.
+    pub block_of: Vec<usize>,
+}
+
+impl IrScheme {
+    fn build(scheme: &DatabaseScheme, kd: &KeyDeps, partition: Partition) -> Self {
+        let block_attrs: Vec<AttrSet> = partition
+            .iter()
+            .map(|b| scheme.union_of(b))
+            .collect();
+        let block_keys: Vec<Vec<AttrSet>> = partition
+            .iter()
+            .map(|b| {
+                let mut ks: Vec<AttrSet> = b
+                    .iter()
+                    .flat_map(|&i| scheme.scheme(i).keys().iter().copied())
+                    .collect();
+                ks.sort();
+                ks.dedup();
+                ks
+            })
+            .collect();
+        let block_fds: Vec<FdSet> = partition.iter().map(|b| kd.for_subset(b)).collect();
+        let block_of = kep::block_of(&partition);
+        IrScheme {
+            partition,
+            block_attrs,
+            block_keys,
+            block_fds,
+            block_of,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Whether the partition is empty (empty database scheme).
+    pub fn is_empty(&self) -> bool {
+        self.partition.is_empty()
+    }
+
+    /// The merged key dependencies of every block — a cover of the
+    /// scheme's embedded key dependencies.
+    pub fn merged_fds(&self) -> FdSet {
+        self.block_fds
+            .iter()
+            .fold(FdSet::new(), |acc, f| acc.union(f))
+    }
+}
+
+/// Why Algorithm 6 rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The induced scheme `D` is not independent: the uniqueness condition
+    /// fails for blocks `(i, j)`.
+    NotIndependent {
+        /// Block whose closure contains the other's key dependency.
+        block_i: usize,
+        /// Block whose key dependency is violated.
+        block_j: usize,
+    },
+}
+
+/// Outcome of Algorithm 6.
+#[derive(Clone, Debug)]
+pub enum Recognition {
+    /// The scheme is independence-reducible; the witness carries the
+    /// partition and embedded cover.
+    Accepted(IrScheme),
+    /// The scheme is not independence-reducible.
+    Rejected(RejectReason),
+}
+
+impl Recognition {
+    /// The witness, when accepted.
+    pub fn accepted(self) -> Option<IrScheme> {
+        match self {
+            Recognition::Accepted(ir) => Some(ir),
+            Recognition::Rejected(_) => None,
+        }
+    }
+
+    /// Whether the scheme was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Recognition::Accepted(_))
+    }
+}
+
+/// Algorithm 6: recognises exactly the independence-reducible database
+/// schemes (Corollaries 5.1/5.4, Theorem 5.1).
+///
+/// # Examples
+///
+/// ```
+/// use idr_relation::SchemeBuilder;
+/// use idr_fd::KeyDeps;
+/// use idr_core::recognition::recognize;
+///
+/// // Example 11 of the paper: two key-equivalent blocks.
+/// let db = SchemeBuilder::new("ABCDEFG")
+///     .scheme("R1", "AB", &["A", "B"])
+///     .scheme("R2", "BC", &["B", "C"])
+///     .scheme("R3", "AC", &["A", "C"])
+///     .scheme("R4", "AD", &["A"])
+///     .scheme("R5", "DEF", &["D"])
+///     .scheme("R6", "DEG", &["D"])
+///     .build()
+///     .unwrap();
+/// let kd = KeyDeps::of(&db);
+/// let ir = recognize(&db, &kd).accepted().unwrap();
+/// assert_eq!(ir.partition, vec![vec![0, 1, 2, 3], vec![4, 5]]);
+/// ```
+pub fn recognize(scheme: &DatabaseScheme, kd: &KeyDeps) -> Recognition {
+    // Step (1): key-equivalent partition.
+    let partition = kep::key_equivalent_partition(scheme, kd);
+    let ir = IrScheme::build(scheme, kd, partition);
+
+    // Step (3): test D = {∪KE₁, …, ∪KEₙ} for independence via the
+    // uniqueness condition, with block keys standing in for scheme keys.
+    if let Some((i, j)) = block_uniqueness_violation(&ir) {
+        return Recognition::Rejected(RejectReason::NotIndependent {
+            block_i: i,
+            block_j: j,
+        });
+    }
+    Recognition::Accepted(ir)
+}
+
+/// The uniqueness condition on the induced scheme `D`: for blocks `i ≠ j`,
+/// `(Dᵢ)⁺` wrt `F − Fⱼ` must not contain a key dependency embedded in
+/// `Dⱼ` (a key `K` of block `j` together with some `A ∈ Dⱼ − K`).
+fn block_uniqueness_violation(ir: &IrScheme) -> Option<(usize, usize)> {
+    let n = ir.len();
+    let full = ir.merged_fds();
+    for j in 0..n {
+        let f_minus_j = full.minus(&ir.block_fds[j]);
+        for i in 0..n {
+            if i == j {
+                continue;
+            }
+            let cl = f_minus_j.closure(ir.block_attrs[i]);
+            for &k in &ir.block_keys[j] {
+                if k == ir.block_attrs[j] {
+                    continue;
+                }
+                if k.is_subset(cl) && (ir.block_attrs[j] - k).intersects(cl) {
+                    return Some((i, j));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: whether the scheme is independence-reducible.
+pub fn is_independence_reducible(scheme: &DatabaseScheme, kd: &KeyDeps) -> bool {
+    recognize(scheme, kd).is_accepted()
+}
+
+/// Sanity check used by tests and by [`mod@crate::classify`]: verifies that a
+/// claimed partition is an independence-reducible partition per the
+/// *definition* in §4 — every block key-equivalent, and the induced scheme
+/// independent (uniqueness condition over blocks).
+pub fn is_ir_partition(scheme: &DatabaseScheme, kd: &KeyDeps, partition: &Partition) -> bool {
+    let covered: usize = partition.iter().map(Vec::len).sum();
+    if covered != scheme.len() {
+        return false;
+    }
+    if !partition
+        .iter()
+        .all(|b| crate::key_equiv::is_key_equivalent(scheme, kd, b))
+    {
+        return false;
+    }
+    let ir = IrScheme::build(scheme, kd, partition.clone());
+    block_uniqueness_violation(&ir).is_none()
+}
+
+/// Brute-force definitional decision of independence-reducibility: tries
+/// *every* partition of the scheme set (Bell-number many; guarded to ≤ 8
+/// schemes) against [`is_ir_partition`]. Exists to test Theorem 5.1's
+/// "exactly": Algorithm 6 accepts iff *some* partition works — in
+/// particular, when Algorithm 6 rejects, no partition at all may satisfy
+/// the definition.
+pub fn is_independence_reducible_bruteforce(scheme: &DatabaseScheme, kd: &KeyDeps) -> bool {
+    let n = scheme.len();
+    assert!(n <= 8, "brute-force recogniser: too many schemes ({n})");
+    // Enumerate set partitions via restricted growth strings.
+    fn rec(
+        scheme: &DatabaseScheme,
+        kd: &KeyDeps,
+        assign: &mut Vec<usize>,
+        max_block: usize,
+        i: usize,
+        n: usize,
+    ) -> bool {
+        if i == n {
+            let blocks = max_block + 1;
+            let mut partition: Partition = vec![Vec::new(); blocks];
+            for (s, &b) in assign.iter().enumerate() {
+                partition[b].push(s);
+            }
+            return is_ir_partition(scheme, kd, &partition);
+        }
+        for b in 0..=(max_block + 1).min(i) {
+            assign.push(b);
+            if rec(scheme, kd, assign, max_block.max(b), i + 1, n) {
+                return true;
+            }
+            assign.pop();
+        }
+        false
+    }
+    if n == 0 {
+        return true;
+    }
+    let mut assign = vec![0usize];
+    rec(scheme, kd, &mut assign, 0, 1, n)
+}
+
+/// The induced database scheme `D` of an accepted recognition, as a real
+/// [`DatabaseScheme`] (block unions with block keys). Useful for feeding
+/// `D` back into scheme-level analyses (e.g. Lemma 4.2 experiments).
+pub fn induced_scheme(scheme: &DatabaseScheme, ir: &IrScheme) -> DatabaseScheme {
+    let schemes: Vec<idr_relation::RelationScheme> = ir
+        .partition
+        .iter()
+        .enumerate()
+        .map(|(b, _)| {
+            let keys = if ir.block_keys[b].is_empty() {
+                // A block whose members all have whole-scheme keys: the
+                // union itself is the only key dependency source.
+                vec![ir.block_attrs[b]]
+            } else {
+                ir.block_keys[b].clone()
+            };
+            idr_relation::RelationScheme::new(format!("D{b}"), ir.block_attrs[b], keys)
+                .expect("block keys are embedded by construction")
+        })
+        .collect();
+    DatabaseScheme::new(scheme.universe().clone(), schemes)
+        .expect("blocks cover the universe")
+}
+
+/// Key dependencies as explicit fds for one block — `Fⱼ` with every key
+/// mapped to the full block union (equivalent by key-equivalence).
+pub fn block_key_fds(ir: &IrScheme, b: usize) -> FdSet {
+    FdSet::from_fds(
+        ir.block_keys[b]
+            .iter()
+            .map(|&k| Fd::new(k, ir.block_attrs[b] - k))
+            .filter(|fd| !fd.rhs.is_empty()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_fd::normal;
+    use idr_relation::SchemeBuilder;
+
+    fn example1_r() -> DatabaseScheme {
+        SchemeBuilder::new("CTHRSG")
+            .scheme("R1", "HRC", &["HR"])
+            .scheme("R2", "HTR", &["HT", "HR"])
+            .scheme("R3", "HTC", &["HT"])
+            .scheme("R4", "CSG", &["CS"])
+            .scheme("R5", "HSR", &["HS"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example1_r_is_accepted() {
+        // Example 1's punchline: R is neither independent nor γ-acyclic,
+        // yet it is independence-reducible (in fact ctm).
+        let db = example1_r();
+        let kd = KeyDeps::of(&db);
+        let rec = recognize(&db, &kd);
+        let ir = rec.accepted().expect("Example 1 R must be accepted");
+        // {R1, R2, R3} merge into one block (their closures coincide);
+        // R4 and R5 are singleton blocks.
+        assert_eq!(ir.partition, vec![vec![0, 1, 2], vec![3], vec![4]]);
+        assert!(is_ir_partition(&db, &kd, &ir.partition));
+    }
+
+    #[test]
+    fn example11_is_accepted() {
+        let db = SchemeBuilder::new("ABCDEFG")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R4", "AD", &["A"])
+            .scheme("R5", "DEF", &["D"])
+            .scheme("R6", "DEG", &["D"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let ir = recognize(&db, &kd).accepted().unwrap();
+        assert_eq!(ir.partition, vec![vec![0, 1, 2, 3], vec![4, 5]]);
+        assert_eq!(ir.block_attrs[0], db.universe().set_of("ABCD"));
+        assert_eq!(ir.block_attrs[1], db.universe().set_of("DEFG"));
+    }
+
+    #[test]
+    fn example2_scheme_is_rejected() {
+        // Example 2: {AB, BC, AC} with F = {A→C, B→C} is not even
+        // algebraic-maintainable; Algorithm 6 must reject it.
+        // Keys: R1(AB): AB; R2(BC): B; R3(AC): A.
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["AB"])
+            .scheme("R2", "BC", &["B"])
+            .scheme("R3", "AC", &["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let rec = recognize(&db, &kd);
+        assert!(!rec.is_accepted());
+    }
+
+    #[test]
+    fn independent_scheme_is_accepted_with_singleton_blocks() {
+        // Theorem 5.3: independent schemes are accepted.
+        let db = SchemeBuilder::new("CTHRSG")
+            .scheme("S1", "HRCT", &["HR", "HT"])
+            .scheme("S2", "CSG", &["CS"])
+            .scheme("S3", "HSR", &["HS"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let ir = recognize(&db, &kd).accepted().unwrap();
+        assert_eq!(ir.partition.len(), 3);
+    }
+
+    #[test]
+    fn key_equivalent_scheme_is_accepted_as_single_block() {
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let ir = recognize(&db, &kd).accepted().unwrap();
+        assert_eq!(ir.len(), 1);
+    }
+
+    #[test]
+    fn induced_scheme_is_bcnf_and_independent() {
+        // Corollary 4.1 on Example 11's induced D.
+        let db = SchemeBuilder::new("ABCDEFG")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R4", "AD", &["A"])
+            .scheme("R5", "DEF", &["D"])
+            .scheme("R6", "DEG", &["D"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let ir = recognize(&db, &kd).accepted().unwrap();
+        let d = induced_scheme(&db, &ir);
+        let kd_d = KeyDeps::of(&d);
+        assert!(normal::is_bcnf(&d, kd_d.full()));
+        assert!(normal::satisfies_uniqueness(&d, &kd_d));
+    }
+
+    #[test]
+    fn theorem_5_1_no_partition_saves_rejected_schemes() {
+        // Example 2 and Example 13 are rejected; brute force confirms no
+        // partition whatsoever satisfies the definition.
+        let ex2 = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["AB"])
+            .scheme("R2", "BC", &["B"])
+            .scheme("R3", "AC", &["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&ex2);
+        assert!(!recognize(&ex2, &kd).is_accepted());
+        assert!(!is_independence_reducible_bruteforce(&ex2, &kd));
+
+        let ex13 = SchemeBuilder::new("ABCDEF")
+            .scheme("R1", "AB", &["AB"])
+            .scheme("R2", "CD", &["CD"])
+            .scheme("R3", "ABC", &["AB"])
+            .scheme("R4", "ABD", &["AB"])
+            .scheme("R5", "CDE", &["CD", "E"])
+            .scheme("R6", "EA", &["E"])
+            .scheme("R7", "EF", &["E"])
+            .scheme("R8", "FB", &["F"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&ex13);
+        assert!(!recognize(&ex13, &kd).is_accepted());
+        assert!(!is_independence_reducible_bruteforce(&ex13, &kd));
+    }
+
+    #[test]
+    fn rejection_reports_block_pair() {
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["AB"])
+            .scheme("R2", "BC", &["B"])
+            .scheme("R3", "AC", &["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        match recognize(&db, &kd) {
+            Recognition::Rejected(RejectReason::NotIndependent { block_i, block_j }) => {
+                assert_ne!(block_i, block_j);
+            }
+            Recognition::Accepted(_) => panic!("must reject"),
+        }
+    }
+}

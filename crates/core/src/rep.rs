@@ -1,0 +1,323 @@
+//! Algorithm 1 — the representative instance of a consistent state on a
+//! key-equivalent database scheme (§3.1).
+//!
+//! Lemma 3.1 (key-equivalent ⇒ BCNF) guarantees chasing such a state only
+//! ever equates symbols *in whole tuples*: two rows agreeing on a key are
+//! merged wholesale. [`KeRep`] materialises the chased tableau as a set of
+//! partial tuples (each total on its constant attributes `C`, with the
+//! padding ndvs left implicit), maintained under a key index so that
+//! Algorithm 2's single-tuple selections are O(1) lookups.
+//!
+//! Building the representation doubles as the consistency test: a merge
+//! that exposes two distinct constants under the same key is exactly a
+//! chase inconsistency (Lemma 3.2(c) fails only for inconsistent states).
+
+use std::collections::HashMap;
+
+use idr_relation::{AttrSet, Tuple, Value};
+
+/// An inconsistency found while merging (the key-equivalent analogue of a
+/// chase failure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeInconsistent {
+    /// The key on which two conflicting tuples agreed.
+    pub key: AttrSet,
+}
+
+impl std::fmt::Display for KeInconsistent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "two tuples agree on key {:?} but conflict elsewhere", self.key)
+    }
+}
+
+impl std::error::Error for KeInconsistent {}
+
+/// The representative instance of a state on a key-equivalent block,
+/// as produced by Algorithm 1: maximal merged tuples, any two of which
+/// disagree on every key (Corollary 3.1(a)), indexed by key values.
+#[derive(Clone, Debug)]
+pub struct KeRep {
+    /// The keys embedded in the block (deduplicated, sorted).
+    keys: Vec<AttrSet>,
+    /// Merged tuples; `None` marks a tuple absorbed into another.
+    tuples: Vec<Option<Tuple>>,
+    /// (key index, key values) → tuple slot.
+    index: HashMap<(usize, Box<[Value]>), usize>,
+    /// Absorbed slot → absorbing slot (path-compressed lazily by
+    /// [`KeRep::resolve`]).
+    redirect: HashMap<usize, usize>,
+    live: usize,
+}
+
+impl KeRep {
+    /// Runs Algorithm 1: builds the representative instance from the
+    /// block's tuples, or reports an inconsistency.
+    ///
+    /// `keys` must be the keys embedded in the block's member schemes; the
+    /// input tuples are each total on their member scheme (but any partial
+    /// tuple total on a superset of one of its embedded keys works, which
+    /// is how Algorithm 2 re-inserts its extended tuple).
+    pub fn build<I>(keys: &[AttrSet], tuples: I) -> Result<Self, KeInconsistent>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut keys: Vec<AttrSet> = keys.to_vec();
+        keys.sort();
+        keys.dedup();
+        let mut rep = KeRep {
+            keys,
+            tuples: Vec::new(),
+            index: HashMap::new(),
+            redirect: HashMap::new(),
+            live: 0,
+        };
+        for t in tuples {
+            rep.insert_merge(t)?;
+        }
+        Ok(rep)
+    }
+
+    /// The block's keys.
+    pub fn keys(&self) -> &[AttrSet] {
+        &self.keys
+    }
+
+    /// Number of (live, merged) tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the representative instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates the merged tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter().filter_map(Option::as_ref)
+    }
+
+    /// Looks up the unique tuple agreeing with `probe` on key `k` (which
+    /// must be one of the block's keys and a subset of `probe.attrs()`).
+    /// Uniqueness is Lemma 3.2(c).
+    pub fn lookup(&self, k: AttrSet, probe: &Tuple) -> Option<&Tuple> {
+        let ki = self.key_index(k)?;
+        let vals = Self::key_values(k, probe)?;
+        self.index
+            .get(&(ki, vals))
+            .and_then(|&slot| self.tuples[self.resolve(slot)].as_ref())
+    }
+
+    /// Inserts a tuple, merging with any tuples agreeing on a key — the
+    /// incremental form of Algorithm 1. Fails iff the merged state is
+    /// inconsistent.
+    pub fn insert_merge(&mut self, t: Tuple) -> Result<(), KeInconsistent> {
+        let slot = self.tuples.len();
+        self.tuples.push(Some(t));
+        self.live += 1;
+        let mut work = vec![slot];
+        while let Some(s) = work.pop() {
+            let s = self.resolve(s);
+            let Some(t) = self.tuples[s].clone() else {
+                continue;
+            };
+            for ki in 0..self.keys.len() {
+                let k = self.keys[ki];
+                if !k.is_subset(t.attrs()) {
+                    continue;
+                }
+                let Some(vals) = Self::key_values(k, &t) else {
+                    continue;
+                };
+                let entry = (ki, vals);
+                match self.index.get(&entry).copied() {
+                    None => {
+                        self.index.insert(entry, s);
+                    }
+                    Some(other_slot) => {
+                        let other = self.resolve(other_slot);
+                        if other == s {
+                            self.index.insert(entry, s);
+                            continue;
+                        }
+                        // Merge `other` into `s` (whole-tuple fd-rule: the
+                        // two rows agree on the key K, and K functionally
+                        // determines every attribute of the block).
+                        let u = self.tuples[other]
+                            .take()
+                            .expect("live slot by resolve invariant");
+                        self.live -= 1;
+                        let merged = self.tuples[s]
+                            .as_ref()
+                            .expect("live slot")
+                            .join(&u)
+                            .ok_or(KeInconsistent { key: k })?;
+                        self.tuples[s] = Some(merged);
+                        self.index.insert(entry, s);
+                        // Redirect future lookups of `other` and re-process
+                        // `s`, whose attribute set may now embed new keys.
+                        self.redirect.insert(other, s);
+                        work.push(s);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn key_index(&self, k: AttrSet) -> Option<usize> {
+        self.keys.iter().position(|&x| x == k)
+    }
+
+    fn key_values(k: AttrSet, t: &Tuple) -> Option<Box<[Value]>> {
+        let mut vals = Vec::with_capacity(k.len());
+        for a in k.iter() {
+            vals.push(t.get(a)?);
+        }
+        Some(vals.into_boxed_slice())
+    }
+
+    fn resolve(&self, mut slot: usize) -> usize {
+        while let Some(&next) = self.redirect.get(&slot) {
+            slot = next;
+        }
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::{SymbolTable, Universe};
+
+    fn tup(u: &Universe, s: &mut SymbolTable, pairs: &[(&str, &str)]) -> Tuple {
+        Tuple::from_pairs(pairs.iter().map(|&(a, v)| (u.attr_of(a), s.intern(v))))
+    }
+
+    /// Example 4/7's key set: A, E, BC, D all equivalent.
+    fn keys(u: &Universe) -> Vec<AttrSet> {
+        vec![u.set_of("A"), u.set_of("E"), u.set_of("BC"), u.set_of("D")]
+    }
+
+    #[test]
+    fn merges_tuples_sharing_a_key() {
+        let u = Universe::of_chars("ABCDE");
+        let mut s = SymbolTable::new();
+        let rep = KeRep::build(
+            &keys(&u),
+            [
+                tup(&u, &mut s, &[("A", "a"), ("B", "b")]),
+                tup(&u, &mut s, &[("A", "a"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rep.len(), 1);
+        let t = rep.iter().next().unwrap();
+        assert_eq!(t.attrs(), u.set_of("ABC"));
+    }
+
+    #[test]
+    fn cascading_merge_through_new_keys() {
+        // AB + AC merge on A into ABC, which now embeds key BC, pulling in
+        // the BCD tuple — the cascade behind Example 7's extension joins.
+        let u = Universe::of_chars("ABCDE");
+        let mut s = SymbolTable::new();
+        let rep = KeRep::build(
+            &keys(&u),
+            [
+                tup(&u, &mut s, &[("B", "b"), ("C", "c"), ("D", "d")]),
+                tup(&u, &mut s, &[("A", "a"), ("B", "b")]),
+                tup(&u, &mut s, &[("A", "a"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rep.len(), 1);
+        assert_eq!(rep.iter().next().unwrap().attrs(), u.set_of("ABCD"));
+    }
+
+    #[test]
+    fn distinct_key_values_stay_separate() {
+        let u = Universe::of_chars("ABCDE");
+        let mut s = SymbolTable::new();
+        let rep = KeRep::build(
+            &keys(&u),
+            [
+                tup(&u, &mut s, &[("A", "a1"), ("B", "b1")]),
+                tup(&u, &mut s, &[("A", "a2"), ("B", "b2")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rep.len(), 2);
+    }
+
+    #[test]
+    fn conflict_under_key_is_inconsistent() {
+        let u = Universe::of_chars("ABCDE");
+        let mut s = SymbolTable::new();
+        let err = KeRep::build(
+            &keys(&u),
+            [
+                tup(&u, &mut s, &[("A", "a"), ("B", "b1")]),
+                tup(&u, &mut s, &[("A", "a"), ("B", "b2")]),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err.key, u.set_of("A"));
+    }
+
+    #[test]
+    fn lookup_by_any_embedded_key() {
+        let u = Universe::of_chars("ABCDE");
+        let mut s = SymbolTable::new();
+        let rep = KeRep::build(
+            &keys(&u),
+            [
+                tup(&u, &mut s, &[("A", "a"), ("B", "b")]),
+                tup(&u, &mut s, &[("A", "a"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        let probe = tup(&u, &mut s, &[("B", "b"), ("C", "c")]);
+        let found = rep.lookup(u.set_of("BC"), &probe).unwrap();
+        assert_eq!(found.attrs(), u.set_of("ABC"));
+        let probe_a = tup(&u, &mut s, &[("A", "a")]);
+        assert!(rep.lookup(u.set_of("A"), &probe_a).is_some());
+        let probe_miss = tup(&u, &mut s, &[("A", "zz")]);
+        assert!(rep.lookup(u.set_of("A"), &probe_miss).is_none());
+    }
+
+    #[test]
+    fn no_two_tuples_agree_on_a_key() {
+        // Corollary 3.1(a)/Lemma 3.2(c) invariant, checked exhaustively.
+        let u = Universe::of_chars("ABCDE");
+        let mut s = SymbolTable::new();
+        let rep = KeRep::build(
+            &keys(&u),
+            [
+                tup(&u, &mut s, &[("A", "a1"), ("B", "b")]),
+                tup(&u, &mut s, &[("A", "a2"), ("C", "c")]),
+                tup(&u, &mut s, &[("E", "e"), ("B", "b2")]),
+                tup(&u, &mut s, &[("B", "b"), ("C", "c"), ("D", "d")]),
+            ],
+        )
+        .unwrap();
+        let tuples: Vec<&Tuple> = rep.iter().collect();
+        for (i, t1) in tuples.iter().enumerate() {
+            for t2 in tuples.iter().skip(i + 1) {
+                for &k in rep.keys() {
+                    if k.is_subset(t1.attrs()) && k.is_subset(t2.attrs()) {
+                        assert!(!t1.agrees_on(t2, k));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_build() {
+        let u = Universe::of_chars("AB");
+        let rep = KeRep::build(&[u.set_of("A")], []).unwrap();
+        assert!(rep.is_empty());
+    }
+}

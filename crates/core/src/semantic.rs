@@ -1,0 +1,177 @@
+//! Bounded semantic oracles for the definitional forms of the paper's
+//! scheme properties.
+//!
+//! *Independence* is defined semantically — `LSAT(R, F) = WSAT(R, F)`
+//! (§2.7) — and then characterised syntactically by the uniqueness
+//! condition. [`find_independence_counterexample`] searches the bounded
+//! fragment of `LSAT` (up to two tuples per relation over a two-value
+//! domain per attribute) for a locally consistent, globally inconsistent
+//! state. It can refute independence but not prove it; the property tests
+//! use it one-sidedly: whenever the uniqueness condition claims
+//! independence, no small counterexample may exist — and whenever it finds
+//! a violation pair, a counterexample usually materialises, confirming
+//! the syntactic verdict.
+
+use idr_chase::is_consistent;
+use idr_fd::{project::project_fds, KeyDeps};
+use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable, Tuple};
+
+/// Budget guard: number of candidate tuples per relation scheme in the
+/// bounded search.
+const VALUES_PER_ATTR: usize = 2;
+
+/// Searches for a locally consistent but globally inconsistent state with
+/// at most `max_tuples_per_relation` tuples per relation, all values drawn
+/// from a two-value domain per attribute. Returns the
+/// witness state, or `None` when the bounded fragment is clean.
+///
+/// Cost is exponential in `Σ (choices per relation)`; intended for schemes
+/// with ≤ 4 relations of width ≤ 3 (the property-test regime).
+pub fn find_independence_counterexample(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    symbols: &mut SymbolTable,
+    max_tuples_per_relation: usize,
+) -> Option<DatabaseState> {
+    // All candidate tuples per relation.
+    let mut candidates: Vec<Vec<Tuple>> = Vec::with_capacity(scheme.len());
+    for s in scheme.schemes() {
+        let attrs: Vec<_> = s.attrs().iter().collect();
+        let mut tuples = Vec::new();
+        let combos = VALUES_PER_ATTR.pow(attrs.len() as u32);
+        for c in 0..combos {
+            let mut rem = c;
+            let t = Tuple::from_pairs(attrs.iter().map(|&a| {
+                let v = rem % VALUES_PER_ATTR;
+                rem /= VALUES_PER_ATTR;
+                (
+                    a,
+                    symbols.intern(&format!("{}#{}", scheme.universe().name(a), v)),
+                )
+            }));
+            tuples.push(t);
+        }
+        candidates.push(tuples);
+    }
+
+    // Per relation: the locally consistent subsets of candidates of size
+    // ≤ max_tuples_per_relation (local consistency = satisfies F⁺|Rᵢ).
+    let mut local_choices: Vec<Vec<Vec<Tuple>>> = Vec::with_capacity(scheme.len());
+    for (i, s) in scheme.schemes().iter().enumerate() {
+        let projected = project_fds(kd.full(), s.attrs());
+        let n = candidates[i].len();
+        assert!(n <= 16, "semantic oracle: relation domain too large");
+        let mut subsets = Vec::new();
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize > max_tuples_per_relation {
+                continue;
+            }
+            let chosen: Vec<Tuple> = (0..n)
+                .filter(|b| mask & (1 << b) != 0)
+                .map(|b| candidates[i][b].clone())
+                .collect();
+            // Local satisfaction of the projected dependencies.
+            let ok = chosen.iter().enumerate().all(|(x, t1)| {
+                chosen.iter().skip(x + 1).all(|t2| {
+                    projected.fds().iter().all(|fd| {
+                        !t1.agrees_on(t2, fd.lhs) || t1.agrees_on(t2, fd.rhs)
+                    })
+                })
+            });
+            if ok {
+                subsets.push(chosen);
+            }
+        }
+        local_choices.push(subsets);
+    }
+
+    // Cartesian search over per-relation choices.
+    fn rec(
+        scheme: &DatabaseScheme,
+        kd: &KeyDeps,
+        local: &[Vec<Vec<Tuple>>],
+        i: usize,
+        acc: &mut DatabaseState,
+    ) -> Option<DatabaseState> {
+        if i == local.len() {
+            if !is_consistent(scheme, acc, kd.full()) {
+                return Some(acc.clone());
+            }
+            return None;
+        }
+        for choice in &local[i] {
+            let snapshot = acc.clone();
+            for t in choice {
+                let _ = acc.insert(i, t.clone());
+            }
+            if let Some(w) = rec(scheme, kd, local, i + 1, acc) {
+                return Some(w);
+            }
+            *acc = snapshot;
+        }
+        None
+    }
+
+    let mut acc = DatabaseState::empty(scheme);
+    rec(scheme, kd, &local_choices, 0, &mut acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_fd::normal::satisfies_uniqueness;
+    use idr_relation::SchemeBuilder;
+
+    #[test]
+    fn independent_scheme_has_no_counterexample() {
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "BC", &["B"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(satisfies_uniqueness(&db, &kd));
+        let mut sym = SymbolTable::new();
+        assert!(find_independence_counterexample(&db, &kd, &mut sym, 2).is_none());
+    }
+
+    #[test]
+    fn example3_counterexample_found() {
+        // Example 3's triangle is not independent: local key satisfaction
+        // does not imply global consistency.
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(!satisfies_uniqueness(&db, &kd));
+        let mut sym = SymbolTable::new();
+        let w = find_independence_counterexample(&db, &kd, &mut sym, 2)
+            .expect("a 2-value counterexample exists");
+        // The witness really is locally consistent (by construction) and
+        // globally inconsistent.
+        assert!(!is_consistent(&db, &w, kd.full()));
+        assert!(w.total_tuples() >= 2);
+    }
+
+    #[test]
+    fn example1_r_counterexample_found() {
+        // R of Example 1 is not independent either; restrict the search
+        // to the three interacting schemes to keep it cheap by dropping
+        // R4/R5 tuples (the search naturally finds small witnesses first).
+        let db = SchemeBuilder::new("CTHR")
+            .scheme("R1", "HRC", &["HR"])
+            .scheme("R2", "HTR", &["HT", "HR"])
+            .scheme("R3", "HTC", &["HT"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(!satisfies_uniqueness(&db, &kd));
+        let mut sym = SymbolTable::new();
+        let w = find_independence_counterexample(&db, &kd, &mut sym, 1)
+            .expect("a single-tuple-per-relation counterexample exists");
+        assert!(!is_consistent(&db, &w, kd.full()));
+    }
+}

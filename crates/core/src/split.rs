@@ -1,0 +1,224 @@
+//! Splitness (§3.3) and the efficient test of Lemma 3.8.
+//!
+//! A key `K` is *split in `Sᵢ⁺`* when some computation of the closure of
+//! `Sᵢ` covers `K` using only schemes that do not contain `K` (the key is
+//! assembled from fragments). Split-freeness characterises constant-time
+//! maintainability for key-equivalent schemes (Corollary 3.3).
+//!
+//! Lemma 3.8 reduces the test to a chase of the scheme tableau of
+//! `W = {Rp ∈ R | K ⊄ Rp}` with the key dependencies `G` embedded in `W`:
+//! `K` is split (in some `Rᵢ⁺`) iff some chased row is all-dv on `K` —
+//! equivalently, by the \[BMSU] dv/closure correspondence, iff
+//! `K ⊆ closure_G(Wᵢ)` for some `Wᵢ ∈ W`. Both forms are implemented and
+//! cross-validated.
+
+use idr_fd::KeyDeps;
+use idr_relation::{AttrSet, DatabaseScheme};
+
+/// A split witness: the key, and the member schemes in whose closure it is
+/// split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitKey {
+    /// The split key.
+    pub key: AttrSet,
+    /// Scheme indices `i` (within the analysed subset) such that `key` is
+    /// split in `Sᵢ⁺`.
+    pub split_in: Vec<usize>,
+}
+
+/// Finds every split key of the subset (typically a key-equivalent block),
+/// using the closure formulation of Lemma 3.8.
+///
+/// For each key `K` embedded in the subset: let `W` be the members not
+/// containing `K` and `G` their embedded key dependencies; `K` is split in
+/// `Wᵢ⁺` exactly when `K ⊆ closure_G(Wᵢ)`.
+pub fn split_keys(scheme: &DatabaseScheme, kd: &KeyDeps, subset: &[usize]) -> Vec<SplitKey> {
+    let mut out = Vec::new();
+    let mut seen_keys = std::collections::HashSet::new();
+    for &i in subset {
+        for &k in scheme.scheme(i).keys() {
+            if !seen_keys.insert(k) {
+                continue;
+            }
+            let w: Vec<usize> = subset
+                .iter()
+                .copied()
+                .filter(|&p| !k.is_subset(scheme.scheme(p).attrs()))
+                .collect();
+            if w.is_empty() {
+                continue;
+            }
+            let g = kd.for_subset(&w);
+            let split_in: Vec<usize> = w
+                .iter()
+                .copied()
+                .filter(|&p| k.is_subset(g.closure(scheme.scheme(p).attrs())))
+                .collect();
+            if !split_in.is_empty() {
+                out.push(SplitKey { key: k, split_in });
+            }
+        }
+    }
+    out
+}
+
+/// Whether the subset is split-free (§3.3): no key embedded in it is split.
+///
+/// # Examples
+///
+/// ```
+/// use idr_relation::SchemeBuilder;
+/// use idr_fd::KeyDeps;
+/// use idr_core::split::is_split_free;
+///
+/// // Example 9: single-attribute keys never split.
+/// let db = SchemeBuilder::new("ABC")
+///     .scheme("R1", "AB", &["A", "B"])
+///     .scheme("R2", "BC", &["B", "C"])
+///     .build()
+///     .unwrap();
+/// let kd = KeyDeps::of(&db);
+/// assert!(is_split_free(&db, &kd, &[0, 1]));
+/// ```
+pub fn is_split_free(scheme: &DatabaseScheme, kd: &KeyDeps, subset: &[usize]) -> bool {
+    split_keys(scheme, kd, subset).is_empty()
+}
+
+/// Lemma 3.8 in its literal chase form, kept as an oracle: chase the scheme
+/// tableau of `W` with `G` and look for a row all-dv on `K`.
+pub fn split_keys_via_chase(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    subset: &[usize],
+) -> Vec<SplitKey> {
+    let mut out = Vec::new();
+    let mut seen_keys = std::collections::HashSet::new();
+    for &i in subset {
+        for &k in scheme.scheme(i).keys() {
+            if !seen_keys.insert(k) {
+                continue;
+            }
+            let w: Vec<usize> = subset
+                .iter()
+                .copied()
+                .filter(|&p| !k.is_subset(scheme.scheme(p).attrs()))
+                .collect();
+            if w.is_empty() {
+                continue;
+            }
+            let w_attrs: Vec<AttrSet> = w.iter().map(|&p| scheme.scheme(p).attrs()).collect();
+            let g = kd.for_subset(&w);
+            let dv = idr_chase::lossless::dv_closures(&w_attrs, &g);
+            let split_in: Vec<usize> = w
+                .iter()
+                .copied()
+                .zip(dv.iter())
+                .filter(|&(_, &c)| k.is_subset(c))
+                .map(|(p, _)| p)
+                .collect();
+            if !split_in.is_empty() {
+                out.push(SplitKey { key: k, split_in });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::SchemeBuilder;
+
+    /// Example 8: R = {R1(AC), R2(AB), R3(ABC), R4(BCD), R5(AD)}; key BC is
+    /// split in R1⁺, R2⁺ and R5⁺; R3 and R4 are split-free.
+    fn example8() -> DatabaseScheme {
+        SchemeBuilder::new("ABCD")
+            .scheme("R1", "AC", &["A"])
+            .scheme("R2", "AB", &["A"])
+            .scheme("R3", "ABC", &["A", "BC"])
+            .scheme("R4", "BCD", &["BC", "D"])
+            .scheme("R5", "AD", &["A", "D"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example8_split_pattern() {
+        let db = example8();
+        let kd = KeyDeps::of(&db);
+        let subset: Vec<usize> = (0..5).collect();
+        let splits = split_keys(&db, &kd, &subset);
+        assert_eq!(splits.len(), 1);
+        let s = &splits[0];
+        assert_eq!(s.key, db.universe().set_of("BC"));
+        // Split in R1⁺, R2⁺, R5⁺ — indices 0, 1, 4.
+        assert_eq!(s.split_in, vec![0, 1, 4]);
+        assert!(!is_split_free(&db, &kd, &subset));
+    }
+
+    #[test]
+    fn example9_split_free() {
+        // Example 9: chain with single-attribute keys is split-free.
+        let db = SchemeBuilder::new("ABCDE")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "CD", &["C", "D"])
+            .scheme("R4", "DE", &["D", "E"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let subset: Vec<usize> = (0..4).collect();
+        assert!(is_split_free(&db, &kd, &subset));
+    }
+
+    #[test]
+    fn example5_scheme_is_split() {
+        // Examples 4/5: the 7-scheme key-equivalent R is not ctm because
+        // key BC splits.
+        let db = SchemeBuilder::new("ABCDE")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "AC", &["A"])
+            .scheme("R3", "AE", &["A", "E"])
+            .scheme("R4", "EB", &["E"])
+            .scheme("R5", "EC", &["E"])
+            .scheme("R6", "BCD", &["BC", "D"])
+            .scheme("R7", "DA", &["D", "A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let subset: Vec<usize> = (0..7).collect();
+        let splits = split_keys(&db, &kd, &subset);
+        assert!(splits.iter().any(|s| s.key == db.universe().set_of("BC")));
+        assert!(!is_split_free(&db, &kd, &subset));
+    }
+
+    #[test]
+    fn chase_oracle_agrees_on_paper_examples() {
+        let chain = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .build()
+            .unwrap();
+        for db in [example8(), chain] {
+            let kd = KeyDeps::of(&db);
+            let subset: Vec<usize> = (0..db.len()).collect();
+            assert_eq!(
+                split_keys(&db, &kd, &subset),
+                split_keys_via_chase(&db, &kd, &subset)
+            );
+        }
+    }
+
+    #[test]
+    fn example10_scheme_is_split_free() {
+        // Example 10: S = {AB, BC, AC} with all-singleton keys.
+        let db = SchemeBuilder::new("ABC")
+            .scheme("S1", "AB", &["A", "B"])
+            .scheme("S2", "BC", &["B", "C"])
+            .scheme("S3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(is_split_free(&db, &kd, &[0, 1, 2]));
+    }
+}

@@ -1,0 +1,265 @@
+//! Property tests over *random* schemes (not just the curated families):
+//!
+//! * KEP produces the key-equivalent partition: every block is
+//!   key-equivalent, and no union of two blocks is (maximality /
+//!   uniqueness, Lemmas 5.1–5.2).
+//! * The fast splitness test (closure form of Lemma 3.8) agrees with the
+//!   literal chase form.
+//! * On accepted schemes, Algorithm 2 agrees with the chase on random
+//!   insert workloads, and Algorithm 5 agrees wherever it applies.
+//! * Acceptance by Algorithm 6 coincides with the definitional check on
+//!   the KEP partition (one direction of Theorem 5.1; the other — no
+//!   *other* partition can work when KEP's fails — is spot-checked on
+//!   singleton partitions).
+
+use idr_core::kep::key_equivalent_partition;
+use idr_core::key_equiv::is_key_equivalent;
+use idr_core::maintain::{algorithm2, algorithm5, IrMaintainer, StateIndex};
+use idr_core::recognition::{is_ir_partition, recognize};
+use idr_core::split::{is_split_free, split_keys, split_keys_via_chase};
+use idr_fd::KeyDeps;
+use idr_relation::DatabaseScheme;
+use idr_workload::generators::random_scheme;
+use idr_workload::states::{generate, WorkloadConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_scheme() -> impl Strategy<Value = DatabaseScheme> {
+    (any::<u64>(), 3..=6usize, 2..=5usize).prop_filter_map(
+        "random_scheme converged",
+        |(seed, width, n)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_scheme(&mut rng, width, n)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kep_blocks_are_key_equivalent_and_maximal(db in arb_scheme()) {
+        let kd = KeyDeps::of(&db);
+        let part = key_equivalent_partition(&db, &kd);
+        // Partition covers all schemes exactly once.
+        let mut all: Vec<usize> = part.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..db.len()).collect::<Vec<_>>());
+        // Every block is key-equivalent.
+        for block in &part {
+            prop_assert!(is_key_equivalent(&db, &kd, block), "block {block:?}");
+        }
+        // Maximality: merging any two blocks breaks key-equivalence
+        // (Lemma 5.2: every key-equivalent subset is inside one block).
+        for i in 0..part.len() {
+            for j in (i + 1)..part.len() {
+                let merged: Vec<usize> =
+                    part[i].iter().chain(part[j].iter()).copied().collect();
+                prop_assert!(
+                    !is_key_equivalent(&db, &kd, &merged),
+                    "blocks {i} and {j} merge into a key-equivalent set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_test_forms_agree(db in arb_scheme()) {
+        let kd = KeyDeps::of(&db);
+        let part = key_equivalent_partition(&db, &kd);
+        for block in &part {
+            prop_assert_eq!(
+                split_keys(&db, &kd, block),
+                split_keys_via_chase(&db, &kd, block)
+            );
+        }
+    }
+
+    #[test]
+    fn recognition_matches_definition_on_kep_partition(db in arb_scheme()) {
+        let kd = KeyDeps::of(&db);
+        let part = key_equivalent_partition(&db, &kd);
+        match recognize(&db, &kd) {
+            idr_core::Recognition::Accepted(ir) => {
+                prop_assert!(is_ir_partition(&db, &kd, &ir.partition));
+            }
+            idr_core::Recognition::Rejected(_) => {
+                prop_assert!(!is_ir_partition(&db, &kd, &part));
+                // The all-singletons partition cannot work either unless
+                // it is the KEP partition.
+                let singles: Vec<Vec<usize>> = (0..db.len()).map(|i| vec![i]).collect();
+                if singles != part {
+                    prop_assert!(!is_ir_partition(&db, &kd, &singles)
+                        || !singles.iter().all(|b| is_key_equivalent(&db, &kd, b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kerep_is_confluent_under_input_order(
+        db in arb_scheme(),
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        // Algorithm 1's result is independent of the order tuples are
+        // merged in (the chase is Church–Rosser; the whole-tuple merge
+        // inherits it).
+        use rand::seq::SliceRandom;
+        let kd = KeyDeps::of(&db);
+        let Some(ir) = recognize(&db, &kd).accepted() else {
+            return Ok(());
+        };
+        prop_assume!(ir.len() == 1);
+        let mut sym = idr_relation::SymbolTable::new();
+        let w = generate(&db, &mut sym, WorkloadConfig {
+            entities: 10,
+            fragment_pct: 60,
+            inserts: 0,
+            corrupt_pct: 0,
+            seed,
+        });
+        let keys = ir.block_keys[0].clone();
+        let tuples: Vec<idr_relation::Tuple> =
+            w.state.iter_all().map(|(_, t)| t.clone()).collect();
+        let mut shuffled = tuples.clone();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        shuffled.shuffle(&mut rng);
+        let r1 = idr_core::KeRep::build(&keys, tuples).unwrap();
+        let r2 = idr_core::KeRep::build(&keys, shuffled).unwrap();
+        let collect = |r: &idr_core::KeRep| {
+            let mut v: Vec<idr_relation::Tuple> = r.iter().cloned().collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(collect(&r1), collect(&r2));
+    }
+
+    #[test]
+    fn algorithm2_matches_chase_on_random_schemes(
+        db in arb_scheme(),
+        seed in any::<u64>(),
+    ) {
+        let kd = KeyDeps::of(&db);
+        let Some(ir) = recognize(&db, &kd).accepted() else {
+            return Ok(());
+        };
+        let mut sym = idr_relation::SymbolTable::new();
+        let w = generate(&db, &mut sym, WorkloadConfig {
+            entities: 12,
+            fragment_pct: 50,
+            inserts: 8,
+            corrupt_pct: 50,
+            seed,
+        });
+        let Ok(m) = IrMaintainer::new(&db, &ir, &w.state) else {
+            // The generated state is consistent by construction; Algorithm
+            // 1 must accept it.
+            return Err(TestCaseError::fail("Algorithm 1 rejected a consistent state"));
+        };
+        for (i, t) in &w.inserts {
+            let b = ir.block_of[*i];
+            let (outcome, _) = algorithm2(&db, &m.reps()[b], *i, t);
+            let mut updated = w.state.clone();
+            updated.insert(*i, t.clone()).unwrap();
+            let oracle = idr_chase::is_consistent(&db, &updated, kd.full());
+            prop_assert_eq!(outcome.is_consistent(), oracle, "insert {:?} into {}", t, i);
+        }
+    }
+
+    #[test]
+    fn algorithm5_matches_chase_on_random_split_free_schemes(
+        db in arb_scheme(),
+        seed in any::<u64>(),
+    ) {
+        let kd = KeyDeps::of(&db);
+        let Some(ir) = recognize(&db, &kd).accepted() else {
+            return Ok(());
+        };
+        if !ir.partition.iter().all(|b| is_split_free(&db, &kd, b)) {
+            return Ok(());
+        }
+        let mut sym = idr_relation::SymbolTable::new();
+        let w = generate(&db, &mut sym, WorkloadConfig {
+            entities: 12,
+            fragment_pct: 50,
+            inserts: 8,
+            corrupt_pct: 50,
+            seed,
+        });
+        for (i, t) in &w.inserts {
+            let b = ir.block_of[*i];
+            let idx = StateIndex::build(&db, &ir.partition[b], &w.state)
+                .expect("generated states are locally consistent");
+            let (outcome, _) = algorithm5(&db, &idx, *i, t);
+            let mut updated = w.state.clone();
+            updated.insert(*i, t.clone()).unwrap();
+            let oracle = idr_chase::is_consistent(&db, &updated, kd.full());
+            prop_assert_eq!(outcome.is_consistent(), oracle, "insert {:?} into {}", t, i);
+        }
+    }
+
+    #[test]
+    fn total_projection_matches_chase_on_random_schemes(
+        db in arb_scheme(),
+        seed in any::<u64>(),
+    ) {
+        let kd = KeyDeps::of(&db);
+        let Some(ir) = recognize(&db, &kd).accepted() else {
+            return Ok(());
+        };
+        let mut sym = idr_relation::SymbolTable::new();
+        let w = generate(&db, &mut sym, WorkloadConfig {
+            entities: 10,
+            fragment_pct: 50,
+            inserts: 0,
+            corrupt_pct: 0,
+            seed,
+        });
+        for s in db.schemes().iter().take(3) {
+            let x = s.attrs();
+            let fast = idr_core::query::ir_total_projection(&db, &kd, &ir, &w.state, x)
+                .unwrap();
+            let oracle = idr_chase::total_projection(&db, &w.state, kd.full(), x).unwrap();
+            prop_assert_eq!(fast.sorted_tuples(), oracle, "X = {:?}", x);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn theorem_5_1_algorithm6_is_exact(db in arb_scheme()) {
+        // Theorem 5.1 both ways: Algorithm 6 accepts iff *some* partition
+        // satisfies the definition — checked by brute force over every
+        // partition of the scheme set.
+        prop_assume!(db.len() <= 6);
+        let kd = KeyDeps::of(&db);
+        let fast = recognize(&db, &kd).is_accepted();
+        let brute =
+            idr_core::recognition::is_independence_reducible_bruteforce(&db, &kd);
+        prop_assert_eq!(fast, brute, "Algorithm 6 is not exact on {:?}", db);
+    }
+
+    #[test]
+    fn uniqueness_condition_is_semantically_sound(db in arb_scheme()) {
+        // One-sided semantic check: wherever the uniqueness condition
+        // claims independence (on BCNF schemes, where it is exact), the
+        // bounded LSAT fragment contains no locally-consistent globally-
+        // inconsistent state.
+        let kd = KeyDeps::of(&db);
+        prop_assume!(db.schemes().iter().all(|s| s.attrs().len() <= 3));
+        prop_assume!(db.len() <= 4);
+        if idr_fd::normal::satisfies_uniqueness(&db, &kd)
+            && idr_fd::normal::is_bcnf(&db, kd.full())
+        {
+            let mut sym = idr_relation::SymbolTable::new();
+            let w = idr_core::semantic::find_independence_counterexample(
+                &db, &kd, &mut sym, 2,
+            );
+            prop_assert!(w.is_none(), "uniqueness claimed independence but {w:?}");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+use std::fmt;
+
+use idr_relation::{AttrSet, Universe};
+
+/// A functional dependency `X → Y` (§2.3).
+///
+/// Both sides are attribute sets; `Y` need not be disjoint from `X`.
+/// Trivial dependencies (`Y ⊆ X`) are permitted but normalised away by
+/// [`FdSet`] consumers that care.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Left-hand side `X`.
+    pub lhs: AttrSet,
+    /// Right-hand side `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Creates `X → Y`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        Fd { lhs, rhs }
+    }
+
+    /// Whether the dependency is trivial (`Y ⊆ X`).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+
+    /// The set of attributes mentioned by the dependency.
+    pub fn attrs(&self) -> AttrSet {
+        self.lhs | self.rhs
+    }
+
+    /// Whether `XY ⊆ R`, i.e. the fd is *embedded* in scheme `R` (§2.3).
+    pub fn embedded_in(&self, r: AttrSet) -> bool {
+        self.attrs().is_subset(r)
+    }
+
+    /// Renders the fd in the paper's notation, e.g. `AB→C`.
+    pub fn render(&self, universe: &Universe) -> String {
+        format!(
+            "{}→{}",
+            universe.render(self.lhs),
+            universe.render(self.rhs)
+        )
+    }
+}
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}→{:?}", self.lhs, self.rhs)
+    }
+}
+
+/// A finite set of functional dependencies with an indexed closure
+/// algorithm.
+///
+/// The closure of an attribute set ([`FdSet::closure`]) is the single most
+/// executed operation in the reproduction — KEP, Algorithm 6 and the
+/// splitness test are all closure fixpoints — so it uses the classic
+/// counter-based algorithm (Beeri–Bernstein): each fd keeps a count of
+/// unsatisfied left-hand-side attributes, and an attribute→fd index drives
+/// the worklist.
+///
+/// # Examples
+///
+/// ```
+/// use idr_relation::Universe;
+/// use idr_fd::{Fd, FdSet};
+///
+/// let u = Universe::of_chars("ABC");
+/// let f = FdSet::from_fds([
+///     Fd::new(u.set_of("A"), u.set_of("B")),
+///     Fd::new(u.set_of("B"), u.set_of("C")),
+/// ]);
+/// assert_eq!(f.closure(u.set_of("A")), u.set_of("ABC"));
+/// assert!(f.implies(Fd::new(u.set_of("A"), u.set_of("C"))));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// The empty dependency set.
+    pub fn new() -> Self {
+        FdSet::default()
+    }
+
+    /// Builds a set from an iterator of fds (deduplicating).
+    pub fn from_fds<I: IntoIterator<Item = Fd>>(fds: I) -> Self {
+        let mut v: Vec<Fd> = fds.into_iter().collect();
+        v.sort();
+        v.dedup();
+        FdSet { fds: v }
+    }
+
+    /// Parses fds in the paper's notation: `"A->BC, BC->D"` over a
+    /// single-character universe. Panics on malformed input (fixture use).
+    pub fn parse(universe: &Universe, spec: &str) -> Self {
+        let mut fds = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (l, r) = part
+                .split_once("->")
+                .unwrap_or_else(|| panic!("malformed fd {part:?}"));
+            fds.push(Fd::new(
+                universe.set_of(l.trim()),
+                universe.set_of(r.trim()),
+            ));
+        }
+        FdSet::from_fds(fds)
+    }
+
+    /// Adds a dependency (keeping the set deduplicated and sorted).
+    pub fn add(&mut self, fd: Fd) {
+        if let Err(pos) = self.fds.binary_search(&fd) {
+            self.fds.insert(pos, fd);
+        }
+    }
+
+    /// The dependencies, sorted.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Union of two dependency sets.
+    pub fn union(&self, other: &FdSet) -> FdSet {
+        FdSet::from_fds(self.fds.iter().chain(other.fds.iter()).copied())
+    }
+
+    /// The set difference `self − other` (syntactic, on normalised fds) —
+    /// the `F − Fj` operation of the uniqueness condition (§2.7).
+    pub fn minus(&self, other: &FdSet) -> FdSet {
+        FdSet::from_fds(
+            self.fds
+                .iter()
+                .copied()
+                .filter(|fd| other.fds.binary_search(fd).is_err()),
+        )
+    }
+
+    /// The attribute closure `X⁺` with respect to this set (§2.3).
+    pub fn closure(&self, x: AttrSet) -> AttrSet {
+        // Counter-based worklist. For the small fd-set sizes the paper's
+        // algorithms see, the setup cost dominates; keep allocations to two
+        // small vectors.
+        let n = self.fds.len();
+        let mut remaining: Vec<u32> = Vec::with_capacity(n);
+        let mut closure = x;
+        let mut queue: Vec<usize> = Vec::new();
+        for (i, fd) in self.fds.iter().enumerate() {
+            let missing = (fd.lhs - x).len() as u32;
+            remaining.push(missing);
+            if missing == 0 {
+                queue.push(i);
+            }
+        }
+        // Attribute → fds whose lhs mention it.
+        let mut by_attr: Vec<(u32, u32)> = Vec::new();
+        for (i, fd) in self.fds.iter().enumerate() {
+            for a in fd.lhs.iter() {
+                by_attr.push((a.index() as u32, i as u32));
+            }
+        }
+        by_attr.sort_unstable();
+        let fds_of = |a: usize| {
+            let lo = by_attr.partition_point(|&(b, _)| (b as usize) < a);
+            let hi = by_attr.partition_point(|&(b, _)| (b as usize) <= a);
+            by_attr[lo..hi].iter().map(|&(_, i)| i as usize)
+        };
+        while let Some(i) = queue.pop() {
+            let fd = self.fds[i];
+            let new = fd.rhs - closure;
+            if new.is_empty() {
+                continue;
+            }
+            closure |= new;
+            for a in new.iter() {
+                for j in fds_of(a.index()) {
+                    if remaining[j] > 0 {
+                        remaining[j] -= 1;
+                        if remaining[j] == 0 {
+                            queue.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        closure
+    }
+
+    /// Whether this set logically implies `fd` (`fd ∈ F⁺`).
+    pub fn implies(&self, fd: Fd) -> bool {
+        fd.rhs.is_subset(self.closure(fd.lhs))
+    }
+
+    /// Whether this set implies every fd in `other`.
+    pub fn implies_all(&self, other: &FdSet) -> bool {
+        other.fds.iter().all(|&fd| self.implies(fd))
+    }
+
+    /// Cover equivalence: `F⁺ = G⁺` (§2.3).
+    pub fn equivalent(&self, other: &FdSet) -> bool {
+        self.implies_all(other) && other.implies_all(self)
+    }
+
+    /// Whether `x` is a superkey of scheme `r` under this set
+    /// (`x → r ∈ F⁺`).
+    pub fn is_superkey(&self, x: AttrSet, r: AttrSet) -> bool {
+        r.is_subset(self.closure(x))
+    }
+
+    /// Whether `x` is a (candidate) key of `r`: a superkey no proper subset
+    /// of which is a superkey (§2.3).
+    pub fn is_key(&self, x: AttrSet, r: AttrSet) -> bool {
+        if !x.is_subset(r) || !self.is_superkey(x, r) {
+            return false;
+        }
+        x.iter().all(|a| {
+            let mut smaller = x;
+            smaller.remove(a);
+            !self.is_superkey(smaller, r)
+        })
+    }
+
+    /// Restricts to the dependencies *embedded* in `r` (syntactically —
+    /// this is `F|R`, not the semantic projection `F⁺|R`; see
+    /// [`crate::project::project_fds`] for the latter).
+    pub fn embedded_in(&self, r: AttrSet) -> FdSet {
+        FdSet::from_fds(self.fds.iter().copied().filter(|fd| fd.embedded_in(r)))
+    }
+
+    /// Renders the set in the paper's notation.
+    pub fn render(&self, universe: &Universe) -> String {
+        let parts: Vec<String> = self.fds.iter().map(|fd| fd.render(universe)).collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_basic_chain() {
+        let u = Universe::of_chars("ABCD");
+        let f = FdSet::parse(&u, "A->B, B->C, C->D");
+        assert_eq!(f.closure(u.set_of("A")), u.set_of("ABCD"));
+        assert_eq!(f.closure(u.set_of("B")), u.set_of("BCD"));
+        assert_eq!(f.closure(u.set_of("D")), u.set_of("D"));
+    }
+
+    #[test]
+    fn closure_requires_full_lhs() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "AB->C");
+        assert_eq!(f.closure(u.set_of("A")), u.set_of("A"));
+        assert_eq!(f.closure(u.set_of("AB")), u.set_of("ABC"));
+    }
+
+    #[test]
+    fn closure_cascades_through_composite_lhs() {
+        let u = Universe::of_chars("ABCDE");
+        let f = FdSet::parse(&u, "A->B, A->C, BC->D, D->E");
+        assert_eq!(f.closure(u.set_of("A")), u.set_of("ABCDE"));
+    }
+
+    #[test]
+    fn implies_and_equivalence() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->B, B->C");
+        let g = FdSet::parse(&u, "A->BC, B->C");
+        assert!(f.implies(Fd::new(u.set_of("A"), u.set_of("C"))));
+        assert!(!f.implies(Fd::new(u.set_of("B"), u.set_of("A"))));
+        assert!(f.equivalent(&g));
+        let h = FdSet::parse(&u, "A->B");
+        assert!(!f.equivalent(&h));
+    }
+
+    #[test]
+    fn key_tests() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "AB->C");
+        let r = u.set_of("ABC");
+        assert!(f.is_superkey(u.set_of("AB"), r));
+        assert!(f.is_key(u.set_of("AB"), r));
+        assert!(f.is_superkey(u.set_of("ABC"), r));
+        assert!(!f.is_key(u.set_of("ABC"), r));
+        assert!(!f.is_key(u.set_of("A"), r));
+    }
+
+    #[test]
+    fn minus_removes_exact_fds() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->B, B->C");
+        let g = FdSet::parse(&u, "B->C");
+        let d = f.minus(&g);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.fds()[0], Fd::new(u.set_of("A"), u.set_of("B")));
+    }
+
+    #[test]
+    fn embedded_filters_syntactically() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->B, B->C, A->C");
+        let e = f.embedded_in(u.set_of("AB"));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let u = Universe::of_chars("AB");
+        let result = std::panic::catch_unwind(|| FdSet::parse(&u, "A=B"));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn trivial_fd_detection() {
+        let u = Universe::of_chars("AB");
+        assert!(Fd::new(u.set_of("AB"), u.set_of("A")).is_trivial());
+        assert!(!Fd::new(u.set_of("A"), u.set_of("B")).is_trivial());
+    }
+}

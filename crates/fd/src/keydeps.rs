@@ -1,0 +1,142 @@
+//! Key dependencies of a database scheme (§2.3).
+//!
+//! The paper's standing assumption is that a cover of the fds is embedded
+//! in the database scheme as key dependencies: each relation scheme `Rᵢ`
+//! with candidate key `K` contributes `K → Rᵢ`. [`KeyDeps`] materialises
+//! the full set `F = F₁ ∪ … ∪ Fₙ` and the per-scheme sets `Fᵢ`, which the
+//! uniqueness condition (`F − Fⱼ`) and the block machinery of Sections 3–5
+//! slice in every direction.
+
+use idr_relation::{AttrSet, DatabaseScheme};
+
+use crate::fd::{Fd, FdSet};
+
+/// The key dependencies of a database scheme.
+#[derive(Clone, Debug)]
+pub struct KeyDeps {
+    full: FdSet,
+    per_scheme: Vec<FdSet>,
+}
+
+impl KeyDeps {
+    /// Extracts the key dependencies from a database scheme's declared
+    /// keys.
+    pub fn of(scheme: &DatabaseScheme) -> Self {
+        let per_scheme: Vec<FdSet> = scheme
+            .schemes()
+            .iter()
+            .map(|s| {
+                FdSet::from_fds(
+                    s.keys()
+                        .iter()
+                        .map(|&k| Fd::new(k, s.attrs() - k))
+                        .filter(|fd| !fd.rhs.is_empty()),
+                )
+            })
+            .collect();
+        let full = per_scheme
+            .iter()
+            .fold(FdSet::new(), |acc, f| acc.union(f));
+        KeyDeps { full, per_scheme }
+    }
+
+    /// The full set `F = F₁ ∪ … ∪ Fₙ`.
+    pub fn full(&self) -> &FdSet {
+        &self.full
+    }
+
+    /// The key dependencies `Fᵢ` embedded in scheme `i`.
+    pub fn of_scheme(&self, i: usize) -> &FdSet {
+        &self.per_scheme[i]
+    }
+
+    /// `F − Fⱼ`: the full set minus scheme `j`'s dependencies — the
+    /// quantity the uniqueness condition closes under.
+    pub fn without_scheme(&self, j: usize) -> FdSet {
+        self.full.minus(&self.per_scheme[j])
+    }
+
+    /// The key dependencies embedded in a *subset* of the schemes (by
+    /// index) — `G` in Lemma 3.8 and the per-block dependency sets of
+    /// Sections 4–5.
+    pub fn for_subset(&self, indices: &[usize]) -> FdSet {
+        indices
+            .iter()
+            .fold(FdSet::new(), |acc, &i| acc.union(&self.per_scheme[i]))
+    }
+
+    /// The closure `Rᵢ⁺` of scheme `i`'s attributes wrt the full set — the
+    /// quantity KEP partitions on.
+    pub fn scheme_closure(&self, scheme: &DatabaseScheme, i: usize) -> AttrSet {
+        self.full.closure(scheme.scheme(i).attrs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::SchemeBuilder;
+
+    fn example3() -> DatabaseScheme {
+        SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_set_matches_paper_example_3() {
+        let db = example3();
+        let kd = KeyDeps::of(&db);
+        let u = db.universe();
+        // F = {A→B, B→A, B→C, C→B, C→A, A→C}.
+        let expected = FdSet::parse(u, "A->B, B->A, B->C, C->B, C->A, A->C");
+        assert!(kd.full().equivalent(&expected));
+        assert_eq!(kd.full().len(), 6);
+    }
+
+    #[test]
+    fn per_scheme_sets() {
+        let db = example3();
+        let kd = KeyDeps::of(&db);
+        let u = db.universe();
+        assert!(kd.of_scheme(0).equivalent(&FdSet::parse(u, "A->B, B->A")));
+        assert_eq!(kd.of_scheme(0).len(), 2);
+    }
+
+    #[test]
+    fn without_scheme_removes_only_that_scheme() {
+        let db = example3();
+        let kd = KeyDeps::of(&db);
+        let u = db.universe();
+        let f = kd.without_scheme(0);
+        assert_eq!(f.len(), 4);
+        assert!(!f.implies(Fd::new(u.set_of("A"), u.set_of("B"))) || f.len() == 4);
+        // A→B is still *implied* (A→C→B) but not syntactically present.
+        assert!(f.implies(Fd::new(u.set_of("A"), u.set_of("B"))));
+    }
+
+    #[test]
+    fn subset_and_closures() {
+        let db = example3();
+        let kd = KeyDeps::of(&db);
+        let u = db.universe();
+        let g = kd.for_subset(&[0, 1]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(kd.scheme_closure(&db, 0), u.set_of("ABC"));
+    }
+
+    #[test]
+    fn whole_scheme_key_contributes_nothing() {
+        // A scheme whose only key is the whole scheme embeds only trivial
+        // key dependencies.
+        let db = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", &["AB"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(kd.full().is_empty());
+    }
+}

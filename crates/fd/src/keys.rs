@@ -1,0 +1,154 @@
+//! Candidate-key enumeration (Lucchesi–Osborn style).
+
+use std::collections::{HashSet, VecDeque};
+
+use idr_relation::AttrSet;
+
+use crate::fd::FdSet;
+
+/// Enumerates all candidate keys of scheme `r` with respect to `f`.
+///
+/// Uses the Lucchesi–Osborn strategy: start from one minimised superkey;
+/// for each found key `K` and each fd `X→Y`, `X ∪ (K − Y)` is a superkey
+/// whose minimisation may be a new key. Output is sorted for determinism.
+///
+/// The Lucchesi–Osborn successor rule is only complete when every fd is
+/// embedded in `r`. When `f` mentions attributes outside `r`, keys of `r`
+/// coincide with keys of `r` under the semantic projection `F⁺|r`, so we
+/// project first ([`crate::project::project_fds`], exponential in the width
+/// of `r` but exact) and then enumerate.
+pub fn candidate_keys(f: &FdSet, r: AttrSet) -> Vec<AttrSet> {
+    let all_embedded = f.fds().iter().all(|fd| fd.embedded_in(r));
+    if !all_embedded {
+        let g = crate::project::project_fds(f, r);
+        return candidate_keys_embedded(&g, r);
+    }
+    candidate_keys_embedded(f, r)
+}
+
+/// Lucchesi–Osborn enumeration assuming every fd of `f` is embedded in `r`.
+fn candidate_keys_embedded(f: &FdSet, r: AttrSet) -> Vec<AttrSet> {
+    let minimize = |sk: AttrSet| -> AttrSet {
+        let mut key = sk;
+        loop {
+            let mut shrunk = false;
+            for a in key.iter() {
+                let mut candidate = key;
+                candidate.remove(a);
+                if r.is_subset(f.closure(candidate)) {
+                    key = candidate;
+                    shrunk = true;
+                    break;
+                }
+            }
+            if !shrunk {
+                return key;
+            }
+        }
+    };
+
+    // `r` itself may fail to be a superkey when `f` mentions attributes
+    // outside `r` that `r` cannot reach; keys of `r` are defined by
+    // K → R ∈ F⁺, so seed from `r` and check.
+    if !r.is_subset(f.closure(r)) {
+        return Vec::new();
+    }
+    let first = minimize(r);
+    let mut keys: HashSet<AttrSet> = HashSet::new();
+    let mut queue: VecDeque<AttrSet> = VecDeque::new();
+    keys.insert(first);
+    queue.push_back(first);
+    while let Some(k) = queue.pop_front() {
+        for fd in f.fds() {
+            // Candidate superkey S = (X ∩ r) ∪ (K − Y); only meaningful
+            // when X's part inside r plus the rest still reaches r.
+            let s = (fd.lhs & r) | (k - fd.rhs);
+            if !r.is_subset(f.closure(s)) {
+                continue;
+            }
+            let k2 = minimize(s);
+            if keys.insert(k2) {
+                queue.push_back(k2);
+            }
+        }
+    }
+    let mut out: Vec<AttrSet> = keys.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Checks that the declared keys of a scheme are exactly its candidate keys
+/// with respect to `f` — used to validate fixtures against the paper.
+pub fn keys_are_exact(f: &FdSet, r: AttrSet, declared: &[AttrSet]) -> bool {
+    let mut declared: Vec<AttrSet> = declared.to_vec();
+    declared.sort();
+    declared.dedup();
+    candidate_keys(f, r) == declared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    #[test]
+    fn single_key() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->BC");
+        assert_eq!(candidate_keys(&f, u.set_of("ABC")), vec![u.set_of("A")]);
+    }
+
+    #[test]
+    fn multiple_keys_cyclic_fds() {
+        let u = Universe::of_chars("ABC");
+        // Example 3's fd set restricted to ABC: all singletons are keys.
+        let f = FdSet::parse(&u, "A->B, B->A, B->C, C->B, C->A, A->C");
+        let keys = candidate_keys(&f, u.set_of("ABC"));
+        assert_eq!(
+            keys,
+            vec![u.set_of("A"), u.set_of("B"), u.set_of("C")]
+        );
+    }
+
+    #[test]
+    fn composite_keys() {
+        let u = Universe::of_chars("ABCD");
+        // R(ABCD), F = {AB->CD, CD->AB}: keys AB and CD.
+        let f = FdSet::parse(&u, "AB->CD, CD->AB");
+        let keys = candidate_keys(&f, u.set_of("ABCD"));
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&u.set_of("AB")));
+        assert!(keys.contains(&u.set_of("CD")));
+    }
+
+    #[test]
+    fn no_fds_means_whole_scheme_is_key() {
+        let u = Universe::of_chars("AB");
+        let f = FdSet::new();
+        assert_eq!(candidate_keys(&f, u.set_of("AB")), vec![u.set_of("AB")]);
+    }
+
+    #[test]
+    fn keys_are_exact_validates() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->BC, BC->A");
+        assert!(keys_are_exact(
+            &f,
+            u.set_of("ABC"),
+            &[u.set_of("A"), u.set_of("BC")]
+        ));
+        assert!(!keys_are_exact(&f, u.set_of("ABC"), &[u.set_of("A")]));
+    }
+
+    #[test]
+    fn example6_scheme_r1_keys() {
+        // Example 6: R1(ABE) with F = {A→BE, B→AE, E→AB, …}: keys A, B, E.
+        let u = Universe::of_chars("ABCDE");
+        let f = FdSet::parse(&u, "A->BE, B->AE, E->AB, A->CD, B->CD, E->CD, CD->E");
+        let keys = candidate_keys(&f, u.set_of("ABE"));
+        assert_eq!(
+            keys,
+            vec![u.set_of("A"), u.set_of("B"), u.set_of("E")]
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Functional-dependency theory (§2.3 of Chan & Hernández, PODS 1988).
+//!
+//! This crate provides the constraint substrate of the reproduction:
+//!
+//! * [`Fd`] / [`FdSet`] — functional dependencies `X → Y` over a universe,
+//!   with an indexed attribute-closure algorithm ([`FdSet::closure`]) plus
+//!   a naive reference implementation ([`naive::closure_naive`]) kept for
+//!   differential testing and for the ablation benchmark in DESIGN.md §7.
+//! * Implication, cover equivalence and minimal covers ([`cover`]).
+//! * Projection `F⁺|R` of a dependency set onto a relation scheme
+//!   ([`project::project_fds`]).
+//! * Candidate-key enumeration within a scheme ([`keys::candidate_keys`]).
+//! * *Key dependencies* of a database scheme ([`keydeps::KeyDeps`]) — the
+//!   constraint language the whole paper works in: each scheme `Rᵢ` with
+//!   key `K` contributes `K → Rᵢ`.
+//! * BCNF and the *uniqueness condition* characterising Sagiv-independence
+//!   for cover-embedding BCNF schemes with key dependencies ([`normal`]).
+
+
+#![warn(missing_docs)]
+pub mod cover;
+mod fd;
+pub mod keydeps;
+pub mod keys;
+pub mod naive;
+pub mod normal;
+pub mod project;
+
+pub use fd::{Fd, FdSet};
+pub use keydeps::KeyDeps;

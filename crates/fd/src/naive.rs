@@ -1,0 +1,71 @@
+//! Naive reference implementations kept for differential testing and for
+//! the data-structure ablation benchmark (DESIGN.md §7.1).
+
+use std::collections::BTreeSet;
+
+use idr_relation::{AttrSet, Attribute};
+
+use crate::fd::FdSet;
+
+/// Textbook quadratic attribute closure: scan all fds until a full pass
+/// adds nothing. Semantically identical to [`FdSet::closure`].
+pub fn closure_naive(fds: &FdSet, x: AttrSet) -> AttrSet {
+    let mut closure = x;
+    loop {
+        let mut changed = false;
+        for fd in fds.fds() {
+            if fd.lhs.is_subset(closure) && !fd.rhs.is_subset(closure) {
+                closure |= fd.rhs;
+                changed = true;
+            }
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+/// The same quadratic closure over `BTreeSet<Attribute>` instead of the
+/// bitset — the "what if we had used ordinary collections" ablation arm.
+pub fn closure_btreeset(fds: &FdSet, x: &BTreeSet<Attribute>) -> BTreeSet<Attribute> {
+    let mut closure = x.clone();
+    loop {
+        let mut changed = false;
+        for fd in fds.fds() {
+            if fd.lhs.iter().all(|a| closure.contains(&a)) {
+                for a in fd.rhs.iter() {
+                    changed |= closure.insert(a);
+                }
+            }
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    #[test]
+    fn naive_matches_indexed() {
+        let u = Universe::of_chars("ABCDEF");
+        let f = FdSet::parse(&u, "A->B, BC->D, D->E, AE->F");
+        for start in ["A", "AC", "BC", "F", ""] {
+            let x = u.set_of(start);
+            assert_eq!(closure_naive(&f, x), f.closure(x), "start {start}");
+        }
+    }
+
+    #[test]
+    fn btreeset_matches_bitset() {
+        let u = Universe::of_chars("ABCD");
+        let f = FdSet::parse(&u, "A->B, B->C, C->D");
+        let x: BTreeSet<Attribute> = u.set_of("A").iter().collect();
+        let c = closure_btreeset(&f, &x);
+        let expected: BTreeSet<Attribute> = f.closure(u.set_of("A")).iter().collect();
+        assert_eq!(c, expected);
+    }
+}

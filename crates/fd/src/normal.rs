@@ -1,0 +1,178 @@
+//! BCNF and the uniqueness condition (§2.3, §2.7).
+
+use idr_relation::{AttrSet, DatabaseScheme};
+
+use crate::fd::FdSet;
+use crate::keydeps::KeyDeps;
+
+/// Width guard for the exact BCNF test (subset enumeration per scheme).
+pub const MAX_BCNF_WIDTH: usize = 20;
+
+/// Whether scheme `r` is in BCNF with respect to `f`: every nontrivial
+/// `X→Y ∈ F⁺` embedded in `r` has `X` a superkey of `r` (§2.3).
+///
+/// Exact test by subset enumeration: a violation exists iff some `X ⊂ r`
+/// determines a new attribute of `r` without determining all of `r`.
+pub fn is_bcnf_scheme(f: &FdSet, r: AttrSet) -> bool {
+    assert!(
+        r.len() <= MAX_BCNF_WIDTH,
+        "is_bcnf_scheme: scheme too wide ({} attrs)",
+        r.len()
+    );
+    for x in r.subsets() {
+        if x.is_empty() {
+            continue;
+        }
+        let cl = f.closure(x);
+        let determines_new = !((cl & r) - x).is_empty();
+        if determines_new && !r.is_subset(cl) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether every scheme of a database scheme is in BCNF wrt `f`.
+pub fn is_bcnf(scheme: &DatabaseScheme, f: &FdSet) -> bool {
+    scheme
+        .schemes()
+        .iter()
+        .all(|s| is_bcnf_scheme(f, s.attrs()))
+}
+
+/// The *uniqueness condition* (§2.7), which characterises independence for
+/// cover-embedding BCNF database schemes with embedded key dependencies
+/// \[S1]\[S2]: for all `Rᵢ ≠ Rⱼ`, the closure `(Rᵢ)⁺` computed with respect
+/// to `F − Fⱼ` does not contain a key dependency embedded in `Rⱼ` — i.e.
+/// there is no key `K` of `Rⱼ` and attribute `A ∈ Rⱼ − K` with
+/// `KA ⊆ (Rᵢ)⁺_{F−Fⱼ}`.
+///
+/// Returns the first violating pair `(i, j)` or `None` when the condition
+/// holds.
+pub fn uniqueness_violation(scheme: &DatabaseScheme, kd: &KeyDeps) -> Option<(usize, usize)> {
+    let n = scheme.len();
+    for j in 0..n {
+        let f_minus_j = kd.without_scheme(j);
+        let rj = scheme.scheme(j);
+        for i in 0..n {
+            if i == j {
+                continue;
+            }
+            let cl = f_minus_j.closure(scheme.scheme(i).attrs());
+            for &k in rj.keys() {
+                if k == rj.attrs() {
+                    // A whole-scheme key embeds no (nontrivial) key
+                    // dependency.
+                    continue;
+                }
+                if k.is_subset(cl) && (rj.attrs() - k).intersects(cl) {
+                    return Some((i, j));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether the database scheme satisfies the uniqueness condition, i.e. is
+/// independent with respect to its embedded key dependencies (for the
+/// cover-embedding BCNF schemes the paper works with).
+pub fn satisfies_uniqueness(scheme: &DatabaseScheme, kd: &KeyDeps) -> bool {
+    uniqueness_violation(scheme, kd).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::SchemeBuilder;
+
+    #[test]
+    fn bcnf_positive() {
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "BC", &["B"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(is_bcnf(&db, kd.full()));
+    }
+
+    #[test]
+    fn bcnf_negative() {
+        // R(ABC) with embedded fd B→C via declaring key... construct a
+        // violation directly: scheme ABC whose key is A but F also has B→C
+        // (from another scheme's key BC? no — craft with FdSet directly).
+        let u = idr_relation::Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->BC, B->C");
+        // In R(ABC), B→C is nontrivial and B is not a superkey.
+        assert!(!is_bcnf_scheme(&f, u.set_of("ABC")));
+        // In R(AB) no violation.
+        assert!(is_bcnf_scheme(&f, u.set_of("AB")));
+    }
+
+    #[test]
+    fn uniqueness_holds_for_example1_s() {
+        // Example 1's scheme S = {S1(HRCT), S2(CSG), S3(HSR)}: independent.
+        let db = SchemeBuilder::new("CTHRSG")
+            .scheme("S1", "HRCT", &["HR", "HT"])
+            .scheme("S2", "CSG", &["CS"])
+            .scheme("S3", "HSR", &["HS"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(satisfies_uniqueness(&db, &kd));
+    }
+
+    #[test]
+    fn uniqueness_fails_for_example1_r() {
+        // Example 1's scheme R is *not* independent.
+        let db = SchemeBuilder::new("CTHRSG")
+            .scheme("R1", "HRC", &["HR"])
+            .scheme("R2", "HTR", &["HT", "HR"])
+            .scheme("R3", "HTC", &["HT"])
+            .scheme("R4", "CSG", &["CS"])
+            .scheme("R5", "HSR", &["HS"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(!satisfies_uniqueness(&db, &kd));
+    }
+
+    #[test]
+    fn uniqueness_fails_for_example3() {
+        // Example 3: {AB, BC, AC} with all singletons keys — key-equivalent
+        // but not independent.
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(!satisfies_uniqueness(&db, &kd));
+    }
+
+    #[test]
+    fn trivially_independent_disjoint_schemes() {
+        let db = SchemeBuilder::new("ABCD")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "CD", &["C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        assert!(satisfies_uniqueness(&db, &kd));
+    }
+
+    #[test]
+    fn uniqueness_violation_reports_pair() {
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A", "B"])
+            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R3", "AC", &["A", "C"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let (i, j) = uniqueness_violation(&db, &kd).unwrap();
+        assert_ne!(i, j);
+    }
+}

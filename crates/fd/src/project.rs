@@ -1,0 +1,103 @@
+//! Semantic projection `F⁺|R` of a dependency set onto a scheme (§2.3).
+
+use idr_relation::AttrSet;
+
+use crate::fd::{Fd, FdSet};
+
+/// Width guard: projection enumerates subsets of the scheme, so refuse
+/// schemes wide enough to make that explode. Relation schemes in the
+/// dependency-theory literature (and all of the paper's examples) are far
+/// narrower.
+pub const MAX_PROJECT_WIDTH: usize = 20;
+
+/// Computes a cover of the projection `F⁺|R = {X→A ∈ F⁺ | XA ⊆ R}`.
+///
+/// For each subset `X ⊆ R` we emit `X → (X⁺ ∩ R)`; the result is a cover of
+/// the projection (standard construction). Non-minimal but exact; callers
+/// needing small output can post-process with
+/// [`crate::cover::minimal_cover`].
+///
+/// # Panics
+///
+/// Panics if `r` is wider than [`MAX_PROJECT_WIDTH`] — projection is
+/// inherently exponential in scheme width and the guard keeps misuse loud.
+pub fn project_fds(f: &FdSet, r: AttrSet) -> FdSet {
+    assert!(
+        r.len() <= MAX_PROJECT_WIDTH,
+        "project_fds: scheme too wide ({} attrs)",
+        r.len()
+    );
+    let mut out = Vec::new();
+    for x in r.subsets() {
+        if x.is_empty() {
+            continue;
+        }
+        let rhs = (f.closure(x) & r) - x;
+        if !rhs.is_empty() {
+            out.push(Fd::new(x, rhs));
+        }
+    }
+    FdSet::from_fds(out)
+}
+
+/// Whether `fi` is a cover of `F⁺|Rᵢ` — the hypothesis of Lemma 4.1: if
+/// some scheme's embedded dependencies fail to cover the projection, the
+/// database scheme cannot be independent.
+pub fn covers_projection(fi: &FdSet, f: &FdSet, r: AttrSet) -> bool {
+    fi.implies_all(&project_fds(f, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    #[test]
+    fn projection_captures_transitive_fds() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->B, B->C");
+        let p = project_fds(&f, u.set_of("AC"));
+        // A→C is in F⁺ and embedded in AC.
+        assert!(p.implies(Fd::new(u.set_of("A"), u.set_of("C"))));
+        // C→A is not.
+        assert!(!p.implies(Fd::new(u.set_of("C"), u.set_of("A"))));
+    }
+
+    #[test]
+    fn projection_onto_full_universe_is_cover() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->B, BC->A");
+        let p = project_fds(&f, u.set_of("ABC"));
+        assert!(p.equivalent(&f));
+    }
+
+    #[test]
+    fn projection_onto_disjoint_scheme_is_empty() {
+        let u = Universe::of_chars("ABCD");
+        let f = FdSet::parse(&u, "A->B");
+        let p = project_fds(&f, u.set_of("CD"));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn covers_projection_detects_lost_fds() {
+        let u = Universe::of_chars("ABC");
+        let f = FdSet::parse(&u, "A->B, B->C");
+        // R = AC embeds A→C, which {A→B} does not imply.
+        let fi = FdSet::parse(&u, "A->B");
+        assert!(!covers_projection(&fi, &f, u.set_of("AC")));
+        let fi2 = FdSet::parse(&u, "A->C");
+        assert!(covers_projection(&fi2, &f, u.set_of("AC")));
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn width_guard_fires() {
+        let mut u = Universe::new();
+        for i in 0..25 {
+            u.add(&format!("A{i}")).unwrap();
+        }
+        let f = FdSet::new();
+        let _ = project_fds(&f, u.all());
+    }
+}

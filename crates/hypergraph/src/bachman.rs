@@ -1,0 +1,237 @@
+//! Bachman closure and unique minimal connections (§2.4, Theorem 2.1).
+//!
+//! These procedures are inherently exponential and are used only as
+//! *oracles* on small instances: the property tests cross-validate the
+//! fast γ-acyclicity test against the u.m.c. characterisation of
+//! Theorem 2.1 (`R` γ-acyclic ⟺ `R` has a u.m.c. among every `X ⊆ U`).
+
+use std::collections::HashSet;
+
+use idr_relation::AttrSet;
+
+use crate::hypergraph::Hypergraph;
+
+/// Size guard for the exponential u.m.c. oracle.
+pub const MAX_BACHMAN: usize = 24;
+
+/// `Bachman(E)`: the closure of the family under pairwise intersection
+/// (§2.4). Empty intersections are dropped — an empty member can neither
+/// cover anything nor lie on a path, so it never participates in a
+/// connection.
+pub fn bachman_closure(edges: &[AttrSet]) -> Vec<AttrSet> {
+    let mut members: HashSet<AttrSet> = edges
+        .iter()
+        .copied()
+        .filter(|e| !e.is_empty())
+        .collect();
+    loop {
+        let snapshot: Vec<AttrSet> = members.iter().copied().collect();
+        let before = members.len();
+        for i in 0..snapshot.len() {
+            for j in (i + 1)..snapshot.len() {
+                let x = snapshot[i] & snapshot[j];
+                if !x.is_empty() {
+                    members.insert(x);
+                }
+            }
+        }
+        if members.len() == before {
+            break;
+        }
+    }
+    let mut out: Vec<AttrSet> = members.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Whether `v` elementwise-dominates into `w`: there is an injective
+/// assignment of each `Vj ∈ v` to some `W ∈ w` with `W ⊇ Vj` (the subset
+/// `{W_{i1},…,W_{im}}` of the u.m.c. definition). Small bipartite matching
+/// by augmenting paths.
+fn dominated_by(v: &[AttrSet], w: &[AttrSet]) -> bool {
+    let mut match_w: Vec<Option<usize>> = vec![None; w.len()];
+
+    fn try_assign(
+        vi: usize,
+        v: &[AttrSet],
+        w: &[AttrSet],
+        match_w: &mut Vec<Option<usize>>,
+        visited: &mut Vec<bool>,
+    ) -> bool {
+        for (wi, &we) in w.iter().enumerate() {
+            if visited[wi] || !v[vi].is_subset(we) {
+                continue;
+            }
+            visited[wi] = true;
+            let free = match match_w[wi] {
+                None => true,
+                Some(prev) => try_assign(prev, v, w, match_w, visited),
+            };
+            if free {
+                match_w[wi] = Some(vi);
+                return true;
+            }
+        }
+        false
+    }
+
+    for vi in 0..v.len() {
+        let mut visited = vec![false; w.len()];
+        if !try_assign(vi, v, w, &mut match_w, &mut visited) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates the inclusion-minimal connected subsets of `members` whose
+/// union covers `x`.
+fn minimal_connected_covers(members: &[AttrSet], x: AttrSet) -> Vec<Vec<AttrSet>> {
+    assert!(
+        members.len() <= MAX_BACHMAN,
+        "u.m.c. oracle: Bachman closure too large ({})",
+        members.len()
+    );
+    let n = members.len();
+    let mut covers: Vec<u32> = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let subset: Vec<AttrSet> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| members[i])
+            .collect();
+        let union = subset.iter().fold(AttrSet::empty(), |a, &b| a | b);
+        if !x.is_subset(union) {
+            continue;
+        }
+        if !Hypergraph::family_connected(&subset) {
+            continue;
+        }
+        covers.push(mask);
+    }
+    // Keep inclusion-minimal masks only.
+    let minimal: Vec<u32> = covers
+        .iter()
+        .copied()
+        .filter(|&m| {
+            !covers
+                .iter()
+                .any(|&m2| m2 != m && m2 & m == m2)
+        })
+        .collect();
+    minimal
+        .into_iter()
+        .map(|mask| {
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| members[i])
+                .collect()
+        })
+        .collect()
+}
+
+/// Finds a *unique minimal connection* (u.m.c.) among `X` for the
+/// hypergraph, if one exists (§2.4).
+///
+/// A connected `V ⊆ Bachman(R)` covering `X` is a u.m.c. when every
+/// connected covering subset `W` of `Bachman(R)` contains elements
+/// dominating `V` elementwise. Quantification over *all* connected covers
+/// reduces to inclusion-minimal ones (any cover contains a minimal
+/// connected covering subset, and domination into a subset lifts to the
+/// superset).
+pub fn unique_minimal_connection(h: &Hypergraph, x: AttrSet) -> Option<Vec<AttrSet>> {
+    if x.is_empty() {
+        return Some(Vec::new());
+    }
+    if !x.is_subset(h.nodes()) {
+        return None;
+    }
+    let members = bachman_closure(h.edges());
+    let covers = minimal_connected_covers(&members, x);
+    covers
+        .iter()
+        .find(|v| covers.iter().all(|w| dominated_by(v, w)))
+        .cloned()
+}
+
+/// Theorem 2.1 (stated in \[F3]\[Y2], proven in \[BBSK]): a connected database
+/// scheme is γ-acyclic iff it has a u.m.c. among `X` for *every* `X ⊆ U`.
+/// This oracle checks the right-hand side by brute force; tests compare it
+/// against [`crate::gamma`].
+pub fn has_umc_for_all_subsets(h: &Hypergraph) -> bool {
+    let nodes: Vec<_> = h.nodes().iter().collect();
+    assert!(nodes.len() <= 12, "u.m.c. oracle: universe too large");
+    h.nodes()
+        .subsets()
+        .filter(|x| !x.is_empty())
+        .all(|x| unique_minimal_connection(h, x).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    fn h(u: &Universe, edges: &[&str]) -> Hypergraph {
+        Hypergraph::new(edges.iter().map(|e| u.set_of(e)).collect())
+    }
+
+    #[test]
+    fn bachman_adds_intersections() {
+        let u = Universe::of_chars("ABC");
+        let m = bachman_closure(&[u.set_of("AB"), u.set_of("BC")]);
+        assert!(m.contains(&u.set_of("B")));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn bachman_drops_empty_intersections() {
+        let u = Universe::of_chars("ABCD");
+        let m = bachman_closure(&[u.set_of("AB"), u.set_of("CD")]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn umc_on_chain() {
+        let u = Universe::of_chars("ABCD");
+        let g = h(&u, &["AB", "BC", "CD"]);
+        // The u.m.c. among {A, D} is the whole chain.
+        let v = unique_minimal_connection(&g, u.set_of("AD")).unwrap();
+        assert_eq!(v.len(), 3);
+        // Among {B} it is just {B} (the intersection member).
+        let v = unique_minimal_connection(&g, u.set_of("B")).unwrap();
+        assert_eq!(v, vec![u.set_of("B")]);
+    }
+
+    #[test]
+    fn no_umc_on_triangle() {
+        // The triangle has two incomparable minimal connections among AB.
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["AB", "BC", "AC"]);
+        assert!(unique_minimal_connection(&g, u.set_of("ABC")).is_none() ||
+                unique_minimal_connection(&g, u.set_of("AB")).is_none());
+        assert!(!has_umc_for_all_subsets(&g));
+    }
+
+    #[test]
+    fn umc_for_all_subsets_on_acyclic_shapes() {
+        let u = Universe::of_chars("ABCD");
+        assert!(has_umc_for_all_subsets(&h(&u, &["AB", "BC", "CD"])));
+        assert!(has_umc_for_all_subsets(&h(&u, &["ABC", "ABD"])));
+        assert!(!has_umc_for_all_subsets(&h(&u, &["AB", "BC", "ABC"])));
+    }
+
+    #[test]
+    fn domination_matching_needs_injectivity() {
+        let u = Universe::of_chars("ABC");
+        // v = [A, B] cannot be dominated by w = [AB] (one element serving
+        // both).
+        assert!(!dominated_by(
+            &[u.set_of("A"), u.set_of("B")],
+            &[u.set_of("AB")]
+        ));
+        assert!(dominated_by(
+            &[u.set_of("A"), u.set_of("B")],
+            &[u.set_of("AB"), u.set_of("B")]
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! β-acyclicity — the degree between α and γ in Fagin's hierarchy.
+//!
+//! Not used by the paper directly, but implementing it completes the
+//! hierarchy (γ-acyclic ⇒ β-acyclic ⇒ α-acyclic) and gives the property
+//! tests a second sandwich to squeeze the γ implementation with.
+//!
+//! Two deciders, cross-validated:
+//!
+//! * [`is_beta_acyclic`] — every nonempty subset of the edges is
+//!   α-acyclic (Fagin's characterisation); exponential in the number of
+//!   edges, guarded, fine for scheme-sized hypergraphs.
+//! * [`find_beta_cycle`] — direct search for a β-cycle: like a γ-cycle but
+//!   with the purity condition imposed on *every* connecting node
+//!   (`xi ∉ Sj` for all cycle edges other than `Si`, `Si+1`, for all `i`).
+
+use idr_relation::{AttrSet, Attribute};
+
+use crate::gyo::is_alpha_acyclic;
+use crate::hypergraph::Hypergraph;
+
+/// Decides β-acyclicity by the every-subset-α-acyclic characterisation.
+///
+/// # Panics
+///
+/// Panics on hypergraphs with more than 16 edges (2^n subsets).
+pub fn is_beta_acyclic(h: &Hypergraph) -> bool {
+    let mut edges: Vec<AttrSet> = h.edges().to_vec();
+    edges.sort();
+    edges.dedup();
+    let n = edges.len();
+    assert!(n <= 16, "is_beta_acyclic: too many edges ({n})");
+    for mask in 1u32..(1 << n) {
+        let subset: Vec<AttrSet> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| edges[i])
+            .collect();
+        if !is_alpha_acyclic(&Hypergraph::new(subset)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Searches for a β-cycle: `(S1, x1, …, Sm, xm, S1)`, `m ≥ 3`, distinct
+/// edges and nodes, `xi ∈ Si ∩ Si+1`, and **every** `xi` in no other edge
+/// of the cycle. Returns the edge indices and nodes, or `None`.
+pub fn find_beta_cycle(h: &Hypergraph) -> Option<(Vec<usize>, Vec<Attribute>)> {
+    let edges = h.edges();
+    assert!(edges.len() <= 16, "β-cycle oracle: too many edges");
+
+    fn purity_ok(edges: &[AttrSet], cyc: &[usize], nodes: &[Attribute]) -> bool {
+        let m = cyc.len();
+        for (i, &x) in nodes.iter().enumerate() {
+            for (pos, &e) in cyc.iter().enumerate() {
+                let allowed = pos == i || pos == (i + 1) % m;
+                if !allowed && edges[e].contains(x) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn dfs(
+        edges: &[AttrSet],
+        start: usize,
+        path_edges: &mut Vec<usize>,
+        path_nodes: &mut Vec<Attribute>,
+        used_edges: u32,
+        used_nodes: &mut AttrSet,
+    ) -> Option<(Vec<usize>, Vec<Attribute>)> {
+        let last = *path_edges.last().unwrap();
+        if path_edges.len() >= 3 {
+            let closing = edges[last] & edges[start];
+            for x in closing.iter() {
+                if used_nodes.contains(x) {
+                    continue;
+                }
+                let mut nodes = path_nodes.clone();
+                nodes.push(x);
+                if purity_ok(edges, path_edges, &nodes) {
+                    return Some((path_edges.clone(), nodes));
+                }
+            }
+        }
+        for next in 0..edges.len() {
+            if used_edges & (1 << next) != 0 {
+                continue;
+            }
+            if (0..edges.len()).any(|k| used_edges & (1 << k) != 0 && edges[k] == edges[next]) {
+                continue;
+            }
+            let common = edges[last] & edges[next];
+            for x in common.iter() {
+                if used_nodes.contains(x) {
+                    continue;
+                }
+                path_edges.push(next);
+                path_nodes.push(x);
+                used_nodes.insert(x);
+                if let Some(c) = dfs(
+                    edges,
+                    start,
+                    path_edges,
+                    path_nodes,
+                    used_edges | (1 << next),
+                    used_nodes,
+                ) {
+                    return Some(c);
+                }
+                used_nodes.remove(x);
+                path_nodes.pop();
+                path_edges.pop();
+            }
+        }
+        None
+    }
+
+    for start in 0..edges.len() {
+        let mut pe = vec![start];
+        let mut pn = Vec::new();
+        let mut un = AttrSet::empty();
+        if let Some(c) = dfs(edges, start, &mut pe, &mut pn, 1 << start, &mut un) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Oracle variant: β-acyclic iff no β-cycle.
+pub fn is_beta_acyclic_oracle(h: &Hypergraph) -> bool {
+    find_beta_cycle(h).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    fn h(u: &Universe, edges: &[&str]) -> Hypergraph {
+        Hypergraph::new(edges.iter().map(|e| u.set_of(e)).collect())
+    }
+
+    #[test]
+    fn chain_is_beta_acyclic() {
+        let u = Universe::of_chars("ABCD");
+        let g = h(&u, &["AB", "BC", "CD"]);
+        assert!(is_beta_acyclic(&g));
+        assert!(is_beta_acyclic_oracle(&g));
+    }
+
+    #[test]
+    fn triangle_is_beta_cyclic() {
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["AB", "BC", "AC"]);
+        assert!(!is_beta_acyclic(&g));
+        assert!(!is_beta_acyclic_oracle(&g));
+    }
+
+    #[test]
+    fn the_classic_beta_but_not_gamma_example() {
+        // {ABC, AB, BC} is β-acyclic but not γ-acyclic.
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["ABC", "AB", "BC"]);
+        assert!(is_beta_acyclic(&g));
+        assert!(is_beta_acyclic_oracle(&g));
+        assert!(!crate::gamma::is_gamma_acyclic(&g));
+    }
+
+    #[test]
+    fn alpha_but_not_beta_example() {
+        // The triangle plus its closure edge is α-acyclic but not
+        // β-acyclic (the triangle subset is α-cyclic).
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["AB", "BC", "AC", "ABC"]);
+        assert!(crate::gyo::is_alpha_acyclic(&g));
+        assert!(!is_beta_acyclic(&g));
+        assert!(!is_beta_acyclic_oracle(&g));
+    }
+}

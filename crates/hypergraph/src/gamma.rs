@@ -1,0 +1,285 @@
+//! γ-acyclicity (§2.4).
+//!
+//! Two independent deciders are provided:
+//!
+//! * [`is_gamma_acyclic`] — the production test: a D'Atri–Moscarini-style
+//!   reduction that repeatedly deletes (a) nodes in exactly one edge,
+//!   (b) nodes equivalent to another node (same edge membership),
+//!   (c) single-node edges, (d) duplicate/empty edges. The hypergraph is
+//!   γ-acyclic iff it reduces to the empty hypergraph.
+//! * [`find_gamma_cycle`] — a direct exponential search for a Fagin
+//!   γ-cycle `(S1, x1, S2, x2, …, Sm, xm, S1)`, `m ≥ 3`, with distinct
+//!   edges and nodes, `xi ∈ Si ∩ Si+1`, and every `xi` (`i < m`) in no
+//!   other edge of the cycle. Used as the oracle in property tests.
+//!
+//! On tiny instances both are additionally validated against the u.m.c.
+//! characterisation of Theorem 2.1 (see `tests/prop_hypergraph.rs`).
+
+use idr_relation::{AttrSet, Attribute};
+
+use crate::hypergraph::Hypergraph;
+
+/// Decides γ-acyclicity by reduction.
+pub fn is_gamma_acyclic(h: &Hypergraph) -> bool {
+    let mut edges: Vec<AttrSet> = h.edges().to_vec();
+    loop {
+        // (d) drop empty and duplicate edges.
+        edges.retain(|e| !e.is_empty());
+        edges.sort();
+        edges.dedup();
+        if edges.is_empty() {
+            return true;
+        }
+        let mut changed = false;
+
+        // Node → membership signature over current edges.
+        let nodes = edges.iter().fold(AttrSet::empty(), |a, &e| a | e);
+        let signature = |x: Attribute| -> u64 {
+            let mut sig = 0u64;
+            for (i, e) in edges.iter().enumerate() {
+                if e.contains(x) {
+                    sig |= 1u64 << (i % 64);
+                }
+            }
+            sig
+        };
+        let count = |x: Attribute| edges.iter().filter(|e| e.contains(x)).count();
+
+        let mut to_remove = AttrSet::empty();
+        let node_list: Vec<Attribute> = nodes.iter().collect();
+        #[allow(clippy::needless_range_loop)]
+        for (i, &x) in node_list.iter().enumerate() {
+            // (a) node in exactly one edge.
+            if count(x) == 1 {
+                to_remove.insert(x);
+                continue;
+            }
+            // (b) node equivalent to an earlier surviving node. Using the
+            // 64-bit signature as a prefilter, then exact membership check
+            // (exact check needed when > 64 edges fold into one word).
+            for &y in &node_list[..i] {
+                if to_remove.contains(y) {
+                    continue;
+                }
+                if signature(x) == signature(y)
+                    && edges.iter().all(|e| e.contains(x) == e.contains(y))
+                {
+                    to_remove.insert(x);
+                    break;
+                }
+            }
+        }
+        if !to_remove.is_empty() {
+            for e in edges.iter_mut() {
+                *e -= to_remove;
+            }
+            changed = true;
+        }
+
+        // (c) single-node edges vanish.
+        let before = edges.len();
+        edges.retain(|e| e.len() > 1);
+        changed |= edges.len() != before;
+
+        if !changed {
+            // Irreducible and nonempty ⇒ cyclic.
+            return false;
+        }
+    }
+}
+
+/// A γ-cycle witness: alternating edges (by index into the input
+/// hypergraph) and connecting nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GammaCycle {
+    /// Edge indices `S1, …, Sm`.
+    pub edges: Vec<usize>,
+    /// Connecting nodes `x1, …, xm` with `xi ∈ Si ∩ Si+1` (cyclically).
+    pub nodes: Vec<Attribute>,
+}
+
+/// Searches for a Fagin γ-cycle. Exponential; guarded to small hypergraphs
+/// (≤ 16 edges) since it exists to validate [`is_gamma_acyclic`].
+pub fn find_gamma_cycle(h: &Hypergraph) -> Option<GammaCycle> {
+    let edges = h.edges();
+    assert!(edges.len() <= 16, "γ-cycle oracle: too many edges");
+    let n = edges.len();
+
+    // DFS over simple edge paths with chosen distinct connecting nodes;
+    // on closing a cycle of length ≥ 3, verify the purity constraint.
+    fn dfs(
+        edges: &[AttrSet],
+        start: usize,
+        path_edges: &mut Vec<usize>,
+        path_nodes: &mut Vec<Attribute>,
+        used_edges: u32,
+        used_nodes: &mut AttrSet,
+    ) -> Option<GammaCycle> {
+        let last = *path_edges.last().unwrap();
+        // Try to close the cycle.
+        if path_edges.len() >= 3 {
+            let closing = edges[last] & edges[start];
+            for x in closing.iter() {
+                if used_nodes.contains(x) {
+                    continue;
+                }
+                let mut nodes = path_nodes.clone();
+                nodes.push(x);
+                if purity_ok(edges, path_edges, &nodes) {
+                    return Some(GammaCycle {
+                        edges: path_edges.clone(),
+                        nodes,
+                    });
+                }
+            }
+        }
+        // Extend the path. Edges must be distinct *as sets*: a duplicate
+        // entry is the same hypergraph edge and cannot reappear.
+        for next in 0..edges.len() {
+            if used_edges & (1 << next) != 0 {
+                continue;
+            }
+            if (0..edges.len())
+                .any(|k| used_edges & (1 << k) != 0 && edges[k] == edges[next])
+            {
+                continue;
+            }
+            let common = edges[last] & edges[next];
+            for x in common.iter() {
+                if used_nodes.contains(x) {
+                    continue;
+                }
+                path_edges.push(next);
+                path_nodes.push(x);
+                used_nodes.insert(x);
+                if let Some(c) = dfs(
+                    edges,
+                    start,
+                    path_edges,
+                    path_nodes,
+                    used_edges | (1 << next),
+                    used_nodes,
+                ) {
+                    return Some(c);
+                }
+                used_nodes.remove(x);
+                path_nodes.pop();
+                path_edges.pop();
+            }
+        }
+        None
+    }
+
+    /// `xi` (for `i < m`) may belong to no cycle edge other than `Si` and
+    /// `Si+1`; the last node `xm` is exempt.
+    fn purity_ok(edges: &[AttrSet], cyc_edges: &[usize], nodes: &[Attribute]) -> bool {
+        let m = cyc_edges.len();
+        for (i, &x) in nodes.iter().enumerate().take(m - 1) {
+            for (pos, &e) in cyc_edges.iter().enumerate() {
+                let allowed = pos == i || pos == (i + 1) % m;
+                if !allowed && edges[e].contains(x) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    for start in 0..n {
+        let mut path_edges = vec![start];
+        let mut path_nodes = Vec::new();
+        let mut used_nodes = AttrSet::empty();
+        if let Some(c) = dfs(
+            edges,
+            start,
+            &mut path_edges,
+            &mut path_nodes,
+            1 << start,
+            &mut used_nodes,
+        ) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Oracle variant of the γ-acyclicity decision: no γ-cycle exists.
+pub fn is_gamma_acyclic_oracle(h: &Hypergraph) -> bool {
+    find_gamma_cycle(h).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    fn h(u: &Universe, edges: &[&str]) -> Hypergraph {
+        Hypergraph::new(edges.iter().map(|e| u.set_of(e)).collect())
+    }
+
+    #[test]
+    fn chain_is_gamma_acyclic() {
+        let u = Universe::of_chars("ABCDE");
+        let g = h(&u, &["AB", "BC", "CD", "DE"]);
+        assert!(is_gamma_acyclic(&g));
+        assert!(is_gamma_acyclic_oracle(&g));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["AB", "BC", "AC"]);
+        assert!(!is_gamma_acyclic(&g));
+        let cycle = find_gamma_cycle(&g).unwrap();
+        assert_eq!(cycle.edges.len(), 3);
+    }
+
+    #[test]
+    fn classic_beta_but_not_gamma() {
+        // {ABC, AB, BC} is β-acyclic but not γ-acyclic.
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["ABC", "AB", "BC"]);
+        assert!(!is_gamma_acyclic(&g));
+        assert!(!is_gamma_acyclic_oracle(&g));
+    }
+
+    #[test]
+    fn edge_plus_subedge_is_gamma_acyclic() {
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["ABC", "AB"]);
+        assert!(is_gamma_acyclic(&g));
+        assert!(is_gamma_acyclic_oracle(&g));
+    }
+
+    #[test]
+    fn star_is_gamma_acyclic() {
+        let u = Universe::of_chars("ABCD");
+        let g = h(&u, &["AB", "AC", "AD"]);
+        assert!(is_gamma_acyclic(&g));
+        assert!(is_gamma_acyclic_oracle(&g));
+    }
+
+    #[test]
+    fn example1_scheme_r_is_not_gamma_acyclic() {
+        // Example 1: R = {HRC, HTR, HTC, CSG, HSR} is stated not γ-acyclic.
+        let u = Universe::of_chars("CTHRSG");
+        let g = h(&u, &["HRC", "HTR", "HTC", "CSG", "HSR"]);
+        assert!(!is_gamma_acyclic(&g));
+        assert!(!is_gamma_acyclic_oracle(&g));
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        let u = Universe::of_chars("AB");
+        assert!(is_gamma_acyclic(&Hypergraph::new(vec![])));
+        assert!(is_gamma_acyclic(&h(&u, &["AB"])));
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_create_cycles() {
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["AB", "AB", "BC"]);
+        assert!(is_gamma_acyclic(&g));
+        assert!(is_gamma_acyclic_oracle(&g));
+    }
+}

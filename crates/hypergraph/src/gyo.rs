@@ -1,0 +1,99 @@
+//! GYO reduction: α-acyclicity. Kept as a baseline (γ-acyclic ⇒ α-acyclic,
+//! so this gives a cheap sanity cross-check) and because the acyclicity
+//! literature the paper builds on (\[BFMY]\[F3]) is formulated around it.
+
+use idr_relation::AttrSet;
+
+use crate::hypergraph::Hypergraph;
+
+/// Decides α-acyclicity by the Graham–Yu–Özsoyoğlu reduction: repeatedly
+/// (1) delete nodes that appear in exactly one edge ("ear tips"),
+/// (2) delete edges contained in other edges. The hypergraph is α-acyclic
+/// iff the reduction empties it.
+pub fn is_alpha_acyclic(h: &Hypergraph) -> bool {
+    let mut edges: Vec<AttrSet> = h.edges().to_vec();
+    loop {
+        edges.retain(|e| !e.is_empty());
+        if edges.is_empty() {
+            return true;
+        }
+        let mut changed = false;
+
+        // (2) remove edges contained in another edge (including
+        // duplicates, keeping one copy).
+        let snapshot = edges.clone();
+        let mut kept: Vec<AttrSet> = Vec::with_capacity(edges.len());
+        for (i, &e) in snapshot.iter().enumerate() {
+            let contained = snapshot.iter().enumerate().any(|(j, &f)| {
+                j != i && (e.is_proper_subset(f) || (e == f && j < i))
+            });
+            if contained {
+                changed = true;
+            } else {
+                kept.push(e);
+            }
+        }
+        edges = kept;
+
+        // (1) remove nodes appearing in exactly one edge.
+        let nodes = edges.iter().fold(AttrSet::empty(), |a, &e| a | e);
+        let mut lonely = AttrSet::empty();
+        for x in nodes.iter() {
+            if edges.iter().filter(|e| e.contains(x)).count() == 1 {
+                lonely.insert(x);
+            }
+        }
+        if !lonely.is_empty() {
+            for e in edges.iter_mut() {
+                *e -= lonely;
+            }
+            changed = true;
+        }
+
+        if !changed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    fn h(u: &Universe, edges: &[&str]) -> Hypergraph {
+        Hypergraph::new(edges.iter().map(|e| u.set_of(e)).collect())
+    }
+
+    #[test]
+    fn chain_is_alpha_acyclic() {
+        let u = Universe::of_chars("ABCD");
+        assert!(is_alpha_acyclic(&h(&u, &["AB", "BC", "CD"])));
+    }
+
+    #[test]
+    fn triangle_is_alpha_cyclic() {
+        let u = Universe::of_chars("ABC");
+        assert!(!is_alpha_acyclic(&h(&u, &["AB", "BC", "AC"])));
+    }
+
+    #[test]
+    fn triangle_with_big_edge_is_alpha_acyclic_but_not_gamma() {
+        let u = Universe::of_chars("ABC");
+        let g = h(&u, &["AB", "BC", "AC", "ABC"]);
+        assert!(is_alpha_acyclic(&g));
+        assert!(!crate::gamma::is_gamma_acyclic(&g));
+    }
+
+    #[test]
+    fn example3_not_even_alpha_acyclic() {
+        // Example 3's remark: R = {AB, BC, AC} "is not even α-acyclic".
+        let u = Universe::of_chars("ABC");
+        assert!(!is_alpha_acyclic(&h(&u, &["AB", "BC", "AC"])));
+    }
+
+    #[test]
+    fn empty_is_acyclic() {
+        assert!(is_alpha_acyclic(&Hypergraph::new(vec![])));
+    }
+}

@@ -1,0 +1,172 @@
+use idr_relation::{AttrSet, DatabaseScheme};
+
+/// A hypergraph `H = <V, E>` (§2.4): nodes are attributes, edges are
+/// attribute sets.
+///
+/// Edges are kept in insertion order; duplicate edges are allowed at the
+/// representation level (the acyclicity algorithms normalise as needed),
+/// matching the paper's definition where `E` is a *collection*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    nodes: AttrSet,
+    edges: Vec<AttrSet>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from explicit edges; the node set is the union
+    /// of the edges.
+    pub fn new(edges: Vec<AttrSet>) -> Self {
+        let nodes = edges.iter().fold(AttrSet::empty(), |acc, &e| acc | e);
+        Hypergraph { nodes, edges }
+    }
+
+    /// The hypergraph `H_R` of a database scheme (§2.4).
+    pub fn of_scheme(scheme: &DatabaseScheme) -> Self {
+        Hypergraph::new(scheme.schemes().iter().map(|s| s.attrs()).collect())
+    }
+
+    /// The node set `V`.
+    pub fn nodes(&self) -> AttrSet {
+        self.nodes
+    }
+
+    /// The edges `E`.
+    pub fn edges(&self) -> &[AttrSet] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the hypergraph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether two edges (by index) are connected by a path of pairwise
+    /// intersecting edges.
+    pub fn edges_connected(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.edges.len()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(i) = stack.pop() {
+            for (j, &e) in self.edges.iter().enumerate() {
+                if !seen[j] && self.edges[i].intersects(e) {
+                    if j == to {
+                        return true;
+                    }
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the hypergraph is connected (every pair of edges connected;
+    /// the empty hypergraph and single-edge hypergraphs count as
+    /// connected). Isolated nodes cannot occur since nodes are defined as
+    /// the union of edges.
+    pub fn is_connected(&self) -> bool {
+        if self.edges.len() <= 1 {
+            return true;
+        }
+        (1..self.edges.len()).all(|j| self.edges_connected(0, j))
+    }
+
+    /// The connected components as lists of edge indices (in ascending
+    /// order within each component, components ordered by smallest member).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.edges.len();
+        let mut comp: Vec<Option<usize>> = vec![None; n];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            if comp[start].is_some() {
+                continue;
+            }
+            let id = out.len();
+            let mut members = vec![start];
+            comp[start] = Some(id);
+            let mut stack = vec![start];
+            while let Some(i) = stack.pop() {
+                for (j, slot) in comp.iter_mut().enumerate() {
+                    if slot.is_none() && self.edges[i].intersects(self.edges[j]) {
+                        *slot = Some(id);
+                        members.push(j);
+                        stack.push(j);
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+
+    /// Whether a *family of sets* is connected in the paper's sense
+    /// (§2.4): the hypergraph formed by the family is connected. Exposed as
+    /// a free check on arbitrary families (Bachman members, blocks, …).
+    pub fn family_connected(family: &[AttrSet]) -> bool {
+        Hypergraph::new(family.to_vec()).is_connected()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::Universe;
+
+    fn h(u: &Universe, edges: &[&str]) -> Hypergraph {
+        Hypergraph::new(edges.iter().map(|e| u.set_of(e)).collect())
+    }
+
+    #[test]
+    fn chain_is_connected() {
+        let u = Universe::of_chars("ABCD");
+        let g = h(&u, &["AB", "BC", "CD"]);
+        assert!(g.is_connected());
+        assert!(g.edges_connected(0, 2));
+        assert_eq!(g.components().len(), 1);
+    }
+
+    #[test]
+    fn disjoint_edges_are_disconnected() {
+        let u = Universe::of_chars("ABCD");
+        let g = h(&u, &["AB", "CD"]);
+        assert!(!g.is_connected());
+        assert!(!g.edges_connected(0, 1));
+        assert_eq!(g.components(), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn single_edge_and_empty_are_connected() {
+        let u = Universe::of_chars("AB");
+        assert!(h(&u, &["AB"]).is_connected());
+        assert!(Hypergraph::new(vec![]).is_connected());
+    }
+
+    #[test]
+    fn nodes_are_union_of_edges() {
+        let u = Universe::of_chars("ABCD");
+        let g = h(&u, &["AB", "BC"]);
+        assert_eq!(g.nodes(), u.set_of("ABC"));
+    }
+
+    #[test]
+    fn family_connected_helper() {
+        let u = Universe::of_chars("ABCD");
+        assert!(Hypergraph::family_connected(&[
+            u.set_of("AB"),
+            u.set_of("BC")
+        ]));
+        assert!(!Hypergraph::family_connected(&[
+            u.set_of("AB"),
+            u.set_of("CD")
+        ]));
+    }
+}

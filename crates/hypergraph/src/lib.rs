@@ -1,0 +1,28 @@
+//! Hypergraph substrate (§2.4 of Chan & Hernández, PODS 1988).
+//!
+//! A database scheme `R` induces the hypergraph `H_R = <U, R>`; the paper
+//! compares its new scheme class against the γ-acyclic cover-embedding
+//! BCNF schemes of \[CH1], so the reproduction needs:
+//!
+//! * [`Hypergraph`] — nodes ([`idr_relation::AttrSet`] over the universe)
+//!   and edges, with paths and connectivity.
+//! * [`bachman`] — the Bachman closure of a family of sets and *unique
+//!   minimal connections* (u.m.c.), the objects of Theorem 2.1.
+//! * [`gamma`] — γ-acyclicity, via the D'Atri–Moscarini-style reduction
+//!   (fast path) and a direct search for Fagin γ-cycles (oracle); the two
+//!   are cross-validated by property tests, and on tiny instances both are
+//!   checked against the u.m.c. characterisation of Theorem 2.1.
+//! * [`beta`] — β-acyclicity (between α and γ), completing Fagin's
+//!   hierarchy for the cross-validation sandwich.
+//! * [`gyo`] — GYO α-acyclicity, kept as a baseline and sanity check
+//!   (γ-acyclic ⇒ β-acyclic ⇒ α-acyclic).
+
+
+#![warn(missing_docs)]
+pub mod bachman;
+pub mod beta;
+pub mod gamma;
+pub mod gyo;
+mod hypergraph;
+
+pub use hypergraph::Hypergraph;

@@ -1,0 +1,412 @@
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
+
+use crate::universe::Attribute;
+
+/// Maximum number of attributes a [`crate::Universe`] may hold.
+///
+/// Fixing the width keeps [`AttrSet`] a flat `Copy` value (four machine
+/// words) so that the closure and recognition hot loops never allocate.
+pub const MAX_ATTRS: usize = 256;
+
+const BLOCKS: usize = MAX_ATTRS / 64;
+
+/// A set of attributes, represented as a fixed-width bitset.
+///
+/// `AttrSet` is the workhorse of the whole reproduction: relation schemes,
+/// FD left/right sides, closures, keys and connection sets are all
+/// `AttrSet`s. All operations are branch-light word operations and the type
+/// is `Copy`, so the attribute-closure fixpoints (the inner loop of KEP and
+/// Algorithm 6) run without heap traffic.
+///
+/// # Examples
+///
+/// ```
+/// use idr_relation::{AttrSet, Attribute};
+///
+/// let a = Attribute::from_index(0);
+/// let b = Attribute::from_index(1);
+/// let mut s = AttrSet::empty();
+/// s.insert(a);
+/// let t = AttrSet::from_iter([a, b]);
+/// assert!(s.is_subset(t));
+/// assert_eq!((t - s).len(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet {
+    blocks: [u64; BLOCKS],
+}
+
+impl AttrSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        AttrSet {
+            blocks: [0; BLOCKS],
+        }
+    }
+
+    /// The singleton set `{a}`.
+    #[inline]
+    pub fn singleton(a: Attribute) -> Self {
+        let mut s = AttrSet::empty();
+        s.insert(a);
+        s
+    }
+
+    /// Inserts an attribute; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, a: Attribute) -> bool {
+        let (blk, bit) = Self::locate(a);
+        let fresh = self.blocks[blk] & bit == 0;
+        self.blocks[blk] |= bit;
+        fresh
+    }
+
+    /// Removes an attribute; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, a: Attribute) -> bool {
+        let (blk, bit) = Self::locate(a);
+        let present = self.blocks[blk] & bit != 0;
+        self.blocks[blk] &= !bit;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, a: Attribute) -> bool {
+        let (blk, bit) = Self::locate(a);
+        self.blocks[blk] & bit != 0
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: AttrSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// `self ⊂ other` (proper subset).
+    #[inline]
+    pub fn is_proper_subset(&self, other: AttrSet) -> bool {
+        self.is_subset(other) && *self != other
+    }
+
+    /// `self ⊇ other`.
+    #[inline]
+    pub fn is_superset(&self, other: AttrSet) -> bool {
+        other.is_subset(*self)
+    }
+
+    /// Whether the two sets share no attribute.
+    #[inline]
+    pub fn is_disjoint(&self, other: AttrSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Whether the two sets intersect.
+    #[inline]
+    pub fn intersects(&self, other: AttrSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Two sets are *incomparable* when neither is a subset of the other
+    /// (§2.1) — the distinction Algorithm 1 cases on.
+    #[inline]
+    pub fn is_incomparable(&self, other: AttrSet) -> bool {
+        !self.is_subset(other) && !other.is_subset(*self)
+    }
+
+    /// Union.
+    #[inline]
+    pub fn union(mut self, other: AttrSet) -> AttrSet {
+        self |= other;
+        self
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn intersect(mut self, other: AttrSet) -> AttrSet {
+        self &= other;
+        self
+    }
+
+    /// Set difference.
+    #[inline]
+    pub fn difference(mut self, other: AttrSet) -> AttrSet {
+        self -= other;
+        self
+    }
+
+    /// Iterates over the attributes in ascending order.
+    #[inline]
+    pub fn iter(&self) -> AttrSetIter {
+        AttrSetIter {
+            set: *self,
+            block: 0,
+        }
+    }
+
+    /// The smallest attribute of the set, if any.
+    pub fn first(&self) -> Option<Attribute> {
+        self.iter().next()
+    }
+
+    /// Builds a set from any iterator of attributes (also available via
+    /// the `FromIterator` impl).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = Attribute>>(iter: I) -> Self {
+        let mut s = AttrSet::empty();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Enumerates all subsets of `self`, including the empty set and `self`
+    /// itself. Used by the small-scheme exact procedures (BCNF check,
+    /// lossless-subset enumeration); callers guard against large sets.
+    pub fn subsets(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        let elems: Vec<Attribute> = self.iter().collect();
+        let n = elems.len();
+        assert!(
+            n <= 24,
+            "refusing to enumerate 2^{n} subsets; guard the call site"
+        );
+        (0u32..(1u32 << n)).map(move |mask| {
+            let mut s = AttrSet::empty();
+            for (i, &a) in elems.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s.insert(a);
+                }
+            }
+            s
+        })
+    }
+
+    #[inline]
+    fn locate(a: Attribute) -> (usize, u64) {
+        let i = a.index();
+        debug_assert!(i < MAX_ATTRS, "attribute index out of range");
+        (i / 64, 1u64 << (i % 64))
+    }
+}
+
+impl FromIterator<Attribute> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = Attribute>>(iter: I) -> Self {
+        AttrSet::from_iter(iter)
+    }
+}
+
+/// Iterator over the attributes of an [`AttrSet`] in ascending order.
+pub struct AttrSetIter {
+    set: AttrSet,
+    block: usize,
+}
+
+impl Iterator for AttrSetIter {
+    type Item = Attribute;
+
+    #[inline]
+    fn next(&mut self) -> Option<Attribute> {
+        while self.block < BLOCKS {
+            let bits = self.set.blocks[self.block];
+            if bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                self.set.blocks[self.block] &= bits - 1;
+                return Some(Attribute::from_index(self.block * 64 + tz));
+            }
+            self.block += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.set.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl BitOr for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitor(self, rhs: AttrSet) -> AttrSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for AttrSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: AttrSet) {
+        for (a, b) in self.blocks.iter_mut().zip(rhs.blocks.iter()) {
+            *a |= b;
+        }
+    }
+}
+
+impl BitAnd for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitand(self, rhs: AttrSet) -> AttrSet {
+        self.intersect(rhs)
+    }
+}
+
+impl BitAndAssign for AttrSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: AttrSet) {
+        for (a, b) in self.blocks.iter_mut().zip(rhs.blocks.iter()) {
+            *a &= b;
+        }
+    }
+}
+
+impl Sub for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn sub(self, rhs: AttrSet) -> AttrSet {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for AttrSet {
+    #[inline]
+    fn sub_assign(&mut self, rhs: AttrSet) {
+        for (a, b) in self.blocks.iter_mut().zip(rhs.blocks.iter()) {
+            *a &= !b;
+        }
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for a in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.index())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(idx: &[usize]) -> AttrSet {
+        AttrSet::from_iter(idx.iter().map(|&i| Attribute::from_index(i)))
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AttrSet::empty();
+        let a = Attribute::from_index(3);
+        assert!(s.insert(a));
+        assert!(!s.insert(a));
+        assert!(s.contains(a));
+        assert!(s.remove(a));
+        assert!(!s.remove(a));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let s = attrs(&[0, 1, 2]);
+        let t = attrs(&[1, 2, 3]);
+        assert_eq!(s.union(t), attrs(&[0, 1, 2, 3]));
+        assert_eq!(s.intersect(t), attrs(&[1, 2]));
+        assert_eq!(s.difference(t), attrs(&[0]));
+        assert_eq!(s | t, s.union(t));
+        assert_eq!(s & t, s.intersect(t));
+        assert_eq!(s - t, s.difference(t));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let s = attrs(&[1, 2]);
+        let t = attrs(&[0, 1, 2]);
+        assert!(s.is_subset(t));
+        assert!(s.is_proper_subset(t));
+        assert!(t.is_superset(s));
+        assert!(!t.is_subset(s));
+        assert!(s.is_subset(s));
+        assert!(!s.is_proper_subset(s));
+    }
+
+    #[test]
+    fn incomparable() {
+        let s = attrs(&[0, 1]);
+        let t = attrs(&[1, 2]);
+        assert!(s.is_incomparable(t));
+        assert!(!s.is_incomparable(s));
+        assert!(!attrs(&[0]).is_incomparable(s));
+    }
+
+    #[test]
+    fn disjointness() {
+        assert!(attrs(&[0, 1]).is_disjoint(attrs(&[2, 3])));
+        assert!(attrs(&[0, 1]).intersects(attrs(&[1, 2])));
+        assert!(AttrSet::empty().is_disjoint(AttrSet::empty()));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = attrs(&[5, 1, 200, 64, 63]);
+        let got: Vec<usize> = s.iter().map(|a| a.index()).collect();
+        assert_eq!(got, vec![1, 5, 63, 64, 200]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.first(), Some(Attribute::from_index(1)));
+    }
+
+    #[test]
+    fn cross_block_operations() {
+        let s = attrs(&[0, 63, 64, 127, 128, 255]);
+        let t = attrs(&[63, 128]);
+        assert!(t.is_subset(s));
+        assert_eq!((s - t).len(), 4);
+        assert_eq!(s.intersect(t), t);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = attrs(&[0, 1, 2]);
+        let subs: Vec<AttrSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&AttrSet::empty()));
+        assert!(subs.contains(&s));
+        for sub in subs {
+            assert!(sub.is_subset(s));
+        }
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_eq() {
+        let s = attrs(&[0]);
+        let t = attrs(&[1]);
+        assert_ne!(s.cmp(&t), std::cmp::Ordering::Equal);
+        assert_eq!(s.cmp(&s), std::cmp::Ordering::Equal);
+    }
+}

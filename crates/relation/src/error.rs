@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors raised by the relational substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelationError {
+    /// An attribute name was interned twice into one universe.
+    DuplicateAttribute(String),
+    /// The universe exceeded [`crate::MAX_ATTRS`] attributes.
+    UniverseFull,
+    /// A tuple's value count does not match its attribute set.
+    TupleArity {
+        /// Arity implied by the attribute set.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A tuple was inserted into a relation over a different scheme.
+    SchemeMismatch,
+    /// A relation scheme declared a key that is not a subset of the scheme.
+    KeyNotEmbedded {
+        /// Name of the offending relation scheme.
+        scheme: String,
+    },
+    /// A relation scheme declared no key.
+    NoKey {
+        /// Name of the offending relation scheme.
+        scheme: String,
+    },
+    /// A database scheme declared two relation schemes with the same name.
+    DuplicateScheme(String),
+    /// The union of the relation schemes does not cover the universe.
+    IncompleteCover,
+    /// Union of expressions over different output schemes.
+    UnionSchemeMismatch,
+    /// A projection requested attributes outside its input scheme.
+    ProjectionNotContained,
+    /// A selection constrained an attribute outside its input scheme.
+    SelectionNotContained,
+    /// An expression referenced a relation index outside the state.
+    UnknownRelation(usize),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateAttribute(n) => {
+                write!(f, "attribute {n:?} already in universe")
+            }
+            RelationError::UniverseFull => {
+                write!(f, "universe exceeds the supported attribute count")
+            }
+            RelationError::TupleArity { expected, got } => {
+                write!(f, "tuple arity mismatch: expected {expected}, got {got}")
+            }
+            RelationError::SchemeMismatch => {
+                write!(f, "tuple scheme does not match relation scheme")
+            }
+            RelationError::KeyNotEmbedded { scheme } => {
+                write!(f, "key not embedded in relation scheme {scheme}")
+            }
+            RelationError::NoKey { scheme } => {
+                write!(f, "relation scheme {scheme} declares no key")
+            }
+            RelationError::DuplicateScheme(n) => {
+                write!(f, "duplicate relation scheme name {n:?}")
+            }
+            RelationError::IncompleteCover => {
+                write!(f, "relation schemes do not cover the universe")
+            }
+            RelationError::UnionSchemeMismatch => {
+                write!(f, "union of expressions with different schemes")
+            }
+            RelationError::ProjectionNotContained => {
+                write!(f, "projection attributes not contained in input scheme")
+            }
+            RelationError::SelectionNotContained => {
+                write!(f, "selection attribute not contained in input scheme")
+            }
+            RelationError::UnknownRelation(i) => {
+                write!(f, "expression references unknown relation index {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}

@@ -1,0 +1,280 @@
+use crate::attrset::AttrSet;
+use crate::error::RelationError;
+use crate::universe::Universe;
+
+/// A relation scheme `R(X)` together with its declared candidate keys.
+///
+/// The paper's standing assumption (end of §1) is that a cover of the
+/// functional dependencies is embedded in the database scheme *in the form
+/// of key dependencies*, so keys are part of the scheme declaration, exactly
+/// as in the examples ("the sets of keys for R1 to R5 are {HR}, {HT, HR},
+/// …").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationScheme {
+    name: String,
+    attrs: AttrSet,
+    keys: Vec<AttrSet>,
+}
+
+impl RelationScheme {
+    /// Creates a scheme, validating that every key is a nonempty subset of
+    /// the scheme and that at least one key is declared.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: AttrSet,
+        keys: Vec<AttrSet>,
+    ) -> Result<Self, RelationError> {
+        let name = name.into();
+        if keys.is_empty() {
+            return Err(RelationError::NoKey { scheme: name });
+        }
+        for k in &keys {
+            if k.is_empty() || !k.is_subset(attrs) {
+                return Err(RelationError::KeyNotEmbedded { scheme: name });
+            }
+        }
+        let mut keys = keys;
+        keys.sort();
+        keys.dedup();
+        Ok(RelationScheme { name, attrs, keys })
+    }
+
+    /// The scheme's name (e.g. `"R1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scheme's attribute set.
+    #[inline]
+    pub fn attrs(&self) -> AttrSet {
+        self.attrs
+    }
+
+    /// The declared candidate keys (sorted, deduplicated).
+    pub fn keys(&self) -> &[AttrSet] {
+        &self.keys
+    }
+
+    /// Whether `x` contains some key of this scheme (i.e. is a superkey).
+    pub fn has_superkey_in(&self, x: AttrSet) -> bool {
+        self.keys.iter().any(|k| k.is_subset(x))
+    }
+}
+
+/// A database scheme `R = {R1, …, Rk}` over a [`Universe`] (§2.1), with the
+/// embedded keys that induce its set of key dependencies.
+#[derive(Clone, Debug)]
+pub struct DatabaseScheme {
+    universe: Universe,
+    schemes: Vec<RelationScheme>,
+}
+
+impl DatabaseScheme {
+    /// Creates a database scheme, validating that scheme names are unique
+    /// and the schemes cover the universe (the paper requires `∪Ri = U`).
+    pub fn new(
+        universe: Universe,
+        schemes: Vec<RelationScheme>,
+    ) -> Result<Self, RelationError> {
+        let mut cover = AttrSet::empty();
+        let mut names = std::collections::HashSet::new();
+        for s in &schemes {
+            if !names.insert(s.name().to_string()) {
+                return Err(RelationError::DuplicateScheme(s.name().to_string()));
+            }
+            cover |= s.attrs();
+        }
+        if cover != universe.all() {
+            return Err(RelationError::IncompleteCover);
+        }
+        Ok(DatabaseScheme { universe, schemes })
+    }
+
+    /// The attribute universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The relation schemes, in declaration order.
+    pub fn schemes(&self) -> &[RelationScheme] {
+        &self.schemes
+    }
+
+    /// Number of relation schemes.
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Whether the database scheme has no relation scheme.
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// The scheme at position `i`.
+    pub fn scheme(&self, i: usize) -> &RelationScheme {
+        &self.schemes[i]
+    }
+
+    /// Finds a scheme index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.schemes.iter().position(|s| s.name() == name)
+    }
+
+    /// All keys embedded anywhere in the database scheme, deduplicated, as
+    /// `(key, owning scheme index)` witnesses (first owner wins). The
+    /// splitness machinery of §3.3 quantifies over this set.
+    pub fn all_keys(&self) -> Vec<(AttrSet, usize)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (i, s) in self.schemes.iter().enumerate() {
+            for &k in s.keys() {
+                if seen.insert(k) {
+                    out.push((k, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// The union `∪S` of a subset of schemes given by indices.
+    pub fn union_of(&self, indices: &[usize]) -> AttrSet {
+        indices
+            .iter()
+            .fold(AttrSet::empty(), |acc, &i| acc | self.schemes[i].attrs())
+    }
+
+    /// Restriction of the database scheme to a subset of its relation
+    /// schemes (used when working block-by-block in Sections 3–5). The
+    /// result is *not* validated to cover the universe; it is a subscheme
+    /// wrapper sharing this scheme's universe.
+    pub fn subscheme(&self, indices: &[usize]) -> Vec<RelationScheme> {
+        indices.iter().map(|&i| self.schemes[i].clone()).collect()
+    }
+}
+
+/// Ergonomic builder for database schemes in the paper's single-letter
+/// notation.
+///
+/// # Examples
+///
+/// ```
+/// use idr_relation::SchemeBuilder;
+///
+/// // Example 3 of the paper.
+/// let db = SchemeBuilder::new("ABC")
+///     .scheme("R1", "AB", &["A", "B"])
+///     .scheme("R2", "BC", &["B", "C"])
+///     .scheme("R3", "AC", &["A", "C"])
+///     .build()
+///     .unwrap();
+/// assert_eq!(db.len(), 3);
+/// ```
+pub struct SchemeBuilder {
+    universe: Universe,
+    schemes: Vec<(String, String, Vec<String>)>,
+}
+
+impl SchemeBuilder {
+    /// Starts a builder with a universe of single-character attributes.
+    pub fn new(universe_chars: &str) -> Self {
+        SchemeBuilder {
+            universe: Universe::of_chars(universe_chars),
+            schemes: Vec::new(),
+        }
+    }
+
+    /// Adds a relation scheme: attributes and each key given as character
+    /// strings (`"HRC"`, keys `["HR"]`).
+    pub fn scheme(mut self, name: &str, attrs: &str, keys: &[&str]) -> Self {
+        self.schemes.push((
+            name.to_string(),
+            attrs.to_string(),
+            keys.iter().map(|k| k.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Finalises the database scheme.
+    pub fn build(self) -> Result<DatabaseScheme, RelationError> {
+        let mut schemes = Vec::new();
+        for (name, attrs, keys) in &self.schemes {
+            let a = self.universe.set_of(attrs);
+            let ks = keys.iter().map(|k| self.universe.set_of(k)).collect();
+            schemes.push(RelationScheme::new(name.clone(), a, ks)?);
+        }
+        DatabaseScheme::new(self.universe, schemes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_example_1() {
+        // Example 1: university database.
+        let db = SchemeBuilder::new("CTHRSG")
+            .scheme("R1", "HRC", &["HR"])
+            .scheme("R2", "HTR", &["HT", "HR"])
+            .scheme("R3", "HTC", &["HT"])
+            .scheme("R4", "CSG", &["CS"])
+            .scheme("R5", "HSR", &["HS"])
+            .build()
+            .unwrap();
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.scheme(1).keys().len(), 2);
+        assert_eq!(db.index_of("R4"), Some(3));
+        assert_eq!(db.universe().len(), 6);
+    }
+
+    #[test]
+    fn keys_must_be_embedded() {
+        let u = Universe::of_chars("AB");
+        let err = RelationScheme::new("R", u.set_of("A"), vec![u.set_of("AB")]);
+        assert!(matches!(err, Err(RelationError::KeyNotEmbedded { .. })));
+    }
+
+    #[test]
+    fn scheme_requires_a_key() {
+        let u = Universe::of_chars("AB");
+        let err = RelationScheme::new("R", u.set_of("A"), vec![]);
+        assert!(matches!(err, Err(RelationError::NoKey { .. })));
+    }
+
+    #[test]
+    fn cover_must_be_complete() {
+        let err = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .build();
+        assert!(matches!(err, Err(RelationError::IncompleteCover)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", &["B"])
+            .build();
+        assert!(matches!(err, Err(RelationError::DuplicateScheme(_))));
+    }
+
+    #[test]
+    fn all_keys_deduplicates() {
+        let db = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "AB", &["A", "B"])
+            .build()
+            .unwrap();
+        let keys = db.all_keys();
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn superkey_test() {
+        let u = Universe::of_chars("ABC");
+        let r = RelationScheme::new("R", u.set_of("ABC"), vec![u.set_of("AB")]).unwrap();
+        assert!(r.has_superkey_in(u.set_of("ABC")));
+        assert!(r.has_superkey_in(u.set_of("AB")));
+        assert!(!r.has_superkey_in(u.set_of("A")));
+    }
+}

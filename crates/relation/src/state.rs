@@ -1,0 +1,187 @@
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::DatabaseScheme;
+use crate::symbol::SymbolTable;
+use crate::tuple::Tuple;
+
+/// A database state `r = <r1, …, rk>` (§2.1): one relation per relation
+/// scheme, in scheme order.
+#[derive(Clone, Debug)]
+pub struct DatabaseState {
+    relations: Vec<Relation>,
+}
+
+impl DatabaseState {
+    /// Creates the empty state for a database scheme.
+    pub fn empty(scheme: &DatabaseScheme) -> Self {
+        DatabaseState {
+            relations: scheme
+                .schemes()
+                .iter()
+                .map(|s| Relation::new(s.attrs()))
+                .collect(),
+        }
+    }
+
+    /// The relation for scheme index `i`.
+    pub fn relation(&self, i: usize) -> &Relation {
+        &self.relations[i]
+    }
+
+    /// All relations, in scheme order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Inserts a tuple into relation `i`; returns `true` if it was new.
+    pub fn insert(&mut self, i: usize, t: Tuple) -> Result<bool, RelationError> {
+        self.relations
+            .get_mut(i)
+            .ok_or(RelationError::UnknownRelation(i))?
+            .insert(t)
+    }
+
+    /// Total number of tuples in the state.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Whether every relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.iter().all(Relation::is_empty)
+    }
+
+    /// Iterates `(scheme index, tuple)` over all tuples.
+    pub fn iter_all(&self) -> impl Iterator<Item = (usize, &Tuple)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.iter().map(move |t| (i, t)))
+    }
+
+    /// Restricts the state to the relations of a subset of schemes,
+    /// preserving the given index order. Used to form block substates in
+    /// Sections 4–5.
+    pub fn substate(&self, indices: &[usize]) -> DatabaseState {
+        DatabaseState {
+            relations: indices.iter().map(|&i| self.relations[i].clone()).collect(),
+        }
+    }
+
+    /// State union `s ∪ r` (componentwise, §2.1).
+    pub fn union(&self, other: &DatabaseState) -> Result<DatabaseState, RelationError> {
+        let relations = self
+            .relations
+            .iter()
+            .zip(other.relations.iter())
+            .map(|(a, b)| a.union(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DatabaseState { relations })
+    }
+
+    /// Pretty-prints the state for examples and debugging.
+    pub fn render(&self, scheme: &DatabaseScheme, symbols: &SymbolTable) -> String {
+        let mut out = String::new();
+        for (i, r) in self.relations.iter().enumerate() {
+            out.push_str(scheme.scheme(i).name());
+            out.push('(');
+            out.push_str(&scheme.universe().render(r.attrs()));
+            out.push_str("):");
+            if r.is_empty() {
+                out.push_str(" ∅\n");
+                continue;
+            }
+            out.push('\n');
+            for t in r.iter() {
+                out.push_str("  ");
+                out.push_str(&t.render(scheme.universe(), symbols));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Convenience for building states in fixtures: tuples given as
+/// `(scheme name, [(attr, value)])` in single-character attribute notation.
+pub fn state_of(
+    scheme: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+    rows: &[(&str, &[(&str, &str)])],
+) -> Result<DatabaseState, RelationError> {
+    let mut state = DatabaseState::empty(scheme);
+    for (name, pairs) in rows {
+        let i = scheme
+            .index_of(name)
+            .ok_or(RelationError::UnknownRelation(usize::MAX))?;
+        let t = Tuple::from_pairs(
+            pairs
+                .iter()
+                .map(|&(a, v)| (scheme.universe().attr_of(a), symbols.intern(v))),
+        );
+        state.insert(i, t)?;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemeBuilder;
+
+    fn db() -> DatabaseScheme {
+        SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["A"])
+            .scheme("R2", "BC", &["B"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_state_has_right_shape() {
+        let scheme = db();
+        let s = DatabaseState::empty(&scheme);
+        assert_eq!(s.relations().len(), 2);
+        assert!(s.is_empty());
+        assert_eq!(s.total_tuples(), 0);
+    }
+
+    #[test]
+    fn state_of_builds_and_inserts() {
+        let scheme = db();
+        let mut sym = SymbolTable::new();
+        let s = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("B", "b"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.total_tuples(), 2);
+        assert_eq!(s.relation(0).len(), 1);
+        let all: Vec<_> = s.iter_all().collect();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn substate_selects_relations() {
+        let scheme = db();
+        let mut sym = SymbolTable::new();
+        let s = state_of(&scheme, &mut sym, &[("R2", &[("B", "b"), ("C", "c")])]).unwrap();
+        let sub = s.substate(&[1]);
+        assert_eq!(sub.relations().len(), 1);
+        assert_eq!(sub.relation(0).len(), 1);
+    }
+
+    #[test]
+    fn union_is_componentwise() {
+        let scheme = db();
+        let mut sym = SymbolTable::new();
+        let s1 = state_of(&scheme, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
+        let s2 = state_of(&scheme, &mut sym, &[("R1", &[("A", "a2"), ("B", "b")])]).unwrap();
+        let u = s1.union(&s2).unwrap();
+        assert_eq!(u.relation(0).len(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned constant value appearing in tuples.
+///
+/// The paper assumes pairwise-disjoint attribute domains (§2.1); we do not
+/// enforce disjointness mechanically — fixtures follow the convention of
+/// distinct names per column — but interning gives O(1) equality, which the
+/// chase and the maintenance algorithms rely on heavily.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(pub(crate) u32);
+
+impl Value {
+    /// The raw interning index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a value from a raw index (must come from the owning table).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Value(index as u32)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Val({})", self.0)
+    }
+}
+
+/// Interning table for constants.
+///
+/// # Examples
+///
+/// ```
+/// use idr_relation::SymbolTable;
+///
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("alice");
+/// assert_eq!(t.intern("alice"), a);
+/// assert_eq!(t.resolve(a), "alice");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    strings: Vec<String>,
+    index: HashMap<String, Value>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns a string, returning the same [`Value`] for equal strings.
+    pub fn intern(&mut self, s: &str) -> Value {
+        if let Some(&v) = self.index.get(s) {
+            return v;
+        }
+        let v = Value(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), v);
+        v
+    }
+
+    /// Returns a fresh value guaranteed distinct from all interned ones —
+    /// handy for generating the "unique constant" tuples of Theorem 3.4's
+    /// adversarial construction.
+    pub fn fresh(&mut self, prefix: &str) -> Value {
+        let name = format!("{prefix}#{}", self.strings.len());
+        self.intern(&name)
+    }
+
+    /// Resolves an interned value back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not belong to this table.
+    pub fn resolve(&self, v: Value) -> &str {
+        &self.strings[v.index()]
+    }
+
+    /// Looks up a previously interned string.
+    pub fn get(&self, s: &str) -> Option<Value> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x");
+        let b = t.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("x"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let v = t.intern("hello");
+        assert_eq!(t.resolve(v), "hello");
+        assert_eq!(t.get("hello"), Some(v));
+        assert_eq!(t.get("absent"), None);
+    }
+
+    #[test]
+    fn fresh_values_are_distinct() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let f1 = t.fresh("n");
+        let f2 = t.fresh("n");
+        assert_ne!(f1, f2);
+        assert_ne!(f1, a);
+    }
+}

@@ -1,0 +1,227 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::attrset::{AttrSet, MAX_ATTRS};
+use crate::error::RelationError;
+
+/// An interned attribute of the universe `U`.
+///
+/// Attributes are cheap `Copy` ids; their names live in the [`Universe`].
+/// Ordering follows insertion order into the universe, which gives every
+/// algorithm in the workspace a deterministic iteration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attribute(pub(crate) u32);
+
+impl Attribute {
+    /// The position of this attribute in its universe.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an attribute from a raw universe index.
+    ///
+    /// Callers must guarantee `index` is a valid index of the intended
+    /// universe; the type itself carries no back-pointer.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index < MAX_ATTRS);
+        Attribute(index as u32)
+    }
+}
+
+impl fmt::Debug for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Attr({})", self.0)
+    }
+}
+
+/// The universe of attributes `U = {A1, …, An}` (§2.1 of the paper).
+///
+/// A universe interns attribute names and hands out [`Attribute`] ids. At
+/// most [`MAX_ATTRS`] attributes are supported, which keeps [`AttrSet`] a
+/// small `Copy` bitset — far beyond anything dependency-theoretic schemes
+/// need in practice.
+///
+/// # Examples
+///
+/// ```
+/// use idr_relation::Universe;
+///
+/// let mut u = Universe::new();
+/// let a = u.add("A").unwrap();
+/// let b = u.add("B").unwrap();
+/// assert_eq!(u.name(a), "A");
+/// assert_eq!(u.attr("B"), Some(b));
+/// assert_eq!(u.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Universe {
+    names: Vec<String>,
+    index: HashMap<String, Attribute>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Universe::default()
+    }
+
+    /// Creates a universe from single-character attribute names, the
+    /// convention every example in the paper uses (`"ABCDE"` ↦ attributes
+    /// `A`, `B`, `C`, `D`, `E`).
+    pub fn of_chars(chars: &str) -> Self {
+        let mut u = Universe::new();
+        for c in chars.chars() {
+            u.add(&c.to_string())
+                .expect("of_chars: duplicate or overflowing attribute");
+        }
+        u
+    }
+
+    /// Interns a new attribute name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is already present or the universe is
+    /// full ([`MAX_ATTRS`]).
+    pub fn add(&mut self, name: &str) -> Result<Attribute, RelationError> {
+        if self.index.contains_key(name) {
+            return Err(RelationError::DuplicateAttribute(name.to_string()));
+        }
+        if self.names.len() >= MAX_ATTRS {
+            return Err(RelationError::UniverseFull);
+        }
+        let attr = Attribute(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), attr);
+        Ok(attr)
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<Attribute> {
+        self.index.get(name).copied()
+    }
+
+    /// Looks up an attribute by name, panicking with a clear message when
+    /// absent. Convenient in tests and fixtures.
+    pub fn attr_of(&self, name: &str) -> Attribute {
+        self.attr(name)
+            .unwrap_or_else(|| panic!("attribute {name:?} not in universe"))
+    }
+
+    /// The name of an attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute does not belong to this universe.
+    pub fn name(&self, attr: Attribute) -> &str {
+        &self.names[attr.index()]
+    }
+
+    /// Number of attributes in the universe.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all attributes in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Attribute> + '_ {
+        (0..self.names.len() as u32).map(Attribute)
+    }
+
+    /// The set of all attributes, i.e. `U` itself.
+    pub fn all(&self) -> AttrSet {
+        let mut s = AttrSet::empty();
+        for a in self.iter() {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Parses an attribute set from single-character names (`"ABC"`), the
+    /// notation used throughout the paper's examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any character does not name an attribute; fixtures want
+    /// loud failures.
+    pub fn set_of(&self, chars: &str) -> AttrSet {
+        let mut s = AttrSet::empty();
+        for c in chars.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            s.insert(self.attr_of(&c.to_string()));
+        }
+        s
+    }
+
+    /// Renders an attribute set using this universe's names, sorted by
+    /// attribute order — e.g. `"ABC"` — matching the paper's notation.
+    pub fn render(&self, set: AttrSet) -> String {
+        let mut out = String::new();
+        for a in set.iter() {
+            out.push_str(self.name(a));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut u = Universe::new();
+        let a = u.add("A").unwrap();
+        assert_eq!(u.attr("A"), Some(a));
+        assert_eq!(u.attr("B"), None);
+        assert_eq!(u.name(a), "A");
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut u = Universe::new();
+        u.add("A").unwrap();
+        assert!(matches!(
+            u.add("A"),
+            Err(RelationError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn of_chars_and_set_of() {
+        let u = Universe::of_chars("ABCDE");
+        assert_eq!(u.len(), 5);
+        let s = u.set_of("ACE");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(u.attr_of("A")));
+        assert!(!s.contains(u.attr_of("B")));
+        assert_eq!(u.render(s), "ACE");
+    }
+
+    #[test]
+    fn universe_full() {
+        let mut u = Universe::new();
+        for i in 0..MAX_ATTRS {
+            u.add(&format!("A{i}")).unwrap();
+        }
+        assert!(matches!(u.add("overflow"), Err(RelationError::UniverseFull)));
+    }
+
+    #[test]
+    fn all_covers_every_attribute() {
+        let u = Universe::of_chars("ABC");
+        let all = u.all();
+        for a in u.iter() {
+            assert!(all.contains(a));
+        }
+        assert_eq!(all.len(), 3);
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests for the relational substrate: AttrSet is a Boolean
+//! algebra, Tuple::join is a partial commutative/associative operation, and
+//! relational operators satisfy their algebraic laws.
+
+use idr_relation::{AttrSet, Attribute, Relation, SymbolTable, Tuple, Universe};
+use proptest::prelude::*;
+
+fn arb_attrset(max: usize) -> impl Strategy<Value = AttrSet> {
+    prop::collection::vec(0..max, 0..max)
+        .prop_map(|ixs| AttrSet::from_iter(ixs.into_iter().map(Attribute::from_index)))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(a in arb_attrset(40), b in arb_attrset(40)) {
+        prop_assert_eq!(a | b, b | a);
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(
+        a in arb_attrset(40), b in arb_attrset(40), c in arb_attrset(40)
+    ) {
+        prop_assert_eq!(a & (b | c), (a & b) | (a & c));
+    }
+
+    #[test]
+    fn difference_then_union_restores_subset(a in arb_attrset(40), b in arb_attrset(40)) {
+        let d = a - b;
+        prop_assert!(d.is_subset(a));
+        prop_assert!(d.is_disjoint(b));
+        prop_assert_eq!(d | (a & b), a);
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in arb_attrset(40), b in arb_attrset(40)) {
+        prop_assert_eq!(a.is_subset(b), (a | b) == b);
+    }
+
+    #[test]
+    fn iteration_matches_membership(a in arb_attrset(200)) {
+        let collected: Vec<Attribute> = a.iter().collect();
+        prop_assert_eq!(collected.len(), a.len());
+        for attr in &collected {
+            prop_assert!(a.contains(*attr));
+        }
+        let mut sorted = collected.clone();
+        sorted.sort();
+        prop_assert_eq!(collected, sorted);
+    }
+}
+
+/// Random tuples over a tiny universe and a tiny value pool, so joins hit
+/// both agreeing and conflicting cases.
+fn arb_tuple() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    prop::collection::vec((0..6usize, 0..3u8), 0..6)
+}
+
+fn mk_tuple(spec: &[(usize, u8)], sym: &mut SymbolTable) -> Tuple {
+    Tuple::from_pairs(
+        spec.iter()
+            .map(|&(a, v)| (Attribute::from_index(a), sym.intern(&format!("{a}:{v}")))),
+    )
+}
+
+proptest! {
+    #[test]
+    fn tuple_join_is_commutative(a in arb_tuple(), b in arb_tuple()) {
+        let mut sym = SymbolTable::new();
+        let ta = mk_tuple(&a, &mut sym);
+        let tb = mk_tuple(&b, &mut sym);
+        prop_assert_eq!(ta.join(&tb), tb.join(&ta));
+    }
+
+    #[test]
+    fn tuple_join_is_associative(a in arb_tuple(), b in arb_tuple(), c in arb_tuple()) {
+        let mut sym = SymbolTable::new();
+        let (ta, tb, tc) = (
+            mk_tuple(&a, &mut sym),
+            mk_tuple(&b, &mut sym),
+            mk_tuple(&c, &mut sym),
+        );
+        let left = ta.join(&tb).and_then(|j| j.join(&tc));
+        let right = tb.join(&tc).and_then(|j| ta.join(&j));
+        // Associativity can differ when an intermediate join fails but the
+        // other grouping sidesteps the conflict — in that case both sides
+        // must still agree whenever both are defined.
+        if let (Some(l), Some(r)) = (&left, &right) {
+            prop_assert_eq!(l, r);
+        }
+    }
+
+    #[test]
+    fn join_projections_recover_inputs(a in arb_tuple(), b in arb_tuple()) {
+        let mut sym = SymbolTable::new();
+        let ta = mk_tuple(&a, &mut sym);
+        let tb = mk_tuple(&b, &mut sym);
+        if let Some(j) = ta.join(&tb) {
+            prop_assert_eq!(j.project(ta.attrs()), ta);
+            prop_assert_eq!(j.project(tb.attrs()), tb);
+        }
+    }
+
+    #[test]
+    fn relation_join_is_subset_of_cartesian_semantics(
+        rows_a in prop::collection::vec(prop::collection::vec(0..3u8, 2), 0..6),
+        rows_b in prop::collection::vec(prop::collection::vec(0..3u8, 2), 0..6),
+    ) {
+        // R1(AB) ⋈ R2(BC): every output tuple restricted to AB / BC must be
+        // an input tuple, and every agreeing pair must appear.
+        let u = Universe::of_chars("ABC");
+        let mut sym = SymbolTable::new();
+        let mut r1 = Relation::new(u.set_of("AB"));
+        for row in &rows_a {
+            let t = Tuple::from_pairs([
+                (u.attr_of("A"), sym.intern(&format!("a{}", row[0]))),
+                (u.attr_of("B"), sym.intern(&format!("b{}", row[1]))),
+            ]);
+            let _ = r1.insert(t);
+        }
+        let mut r2 = Relation::new(u.set_of("BC"));
+        for row in &rows_b {
+            let t = Tuple::from_pairs([
+                (u.attr_of("B"), sym.intern(&format!("b{}", row[0]))),
+                (u.attr_of("C"), sym.intern(&format!("c{}", row[1]))),
+            ]);
+            let _ = r2.insert(t);
+        }
+        let j = r1.join(&r2);
+        for t in j.iter() {
+            prop_assert!(r1.contains(&t.project(u.set_of("AB"))));
+            prop_assert!(r2.contains(&t.project(u.set_of("BC"))));
+        }
+        let mut expected = 0usize;
+        for t1 in r1.iter() {
+            for t2 in r2.iter() {
+                if t1.join(t2).is_some() {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(j.len(), expected);
+    }
+}
+
+/// Algebraic laws of the expression evaluator on random tiny states.
+mod algebra_laws {
+    use idr_relation::algebra::Expr;
+    use idr_relation::{state_of, DatabaseState, SchemeBuilder, SymbolTable};
+    use proptest::prelude::*;
+
+    fn setup(
+        rows: &[(u8, u8)],
+        rows2: &[(u8, u8)],
+    ) -> (idr_relation::DatabaseScheme, SymbolTable, DatabaseState) {
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", &["AB"])
+            .scheme("R2", "BC", &["BC"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        let mut spec: Vec<(&str, Vec<(&str, String)>)> = Vec::new();
+        for &(a, b) in rows {
+            spec.push(("R1", vec![("A", format!("a{a}")), ("B", format!("b{b}"))]));
+        }
+        for &(b, c) in rows2 {
+            spec.push(("R2", vec![("B", format!("b{b}")), ("C", format!("c{c}"))]));
+        }
+        let borrowed: Vec<(&str, Vec<(&str, &str)>)> = spec
+            .iter()
+            .map(|(n, ps)| (*n, ps.iter().map(|(a, v)| (*a, v.as_str())).collect()))
+            .collect();
+        let as_slices: Vec<(&str, &[(&str, &str)])> =
+            borrowed.iter().map(|(n, ps)| (*n, ps.as_slice())).collect();
+        let state = state_of(&scheme, &mut sym, &as_slices).unwrap();
+        (scheme, sym, state)
+    }
+
+    proptest! {
+        #[test]
+        fn projection_composes(
+            rows in prop::collection::vec((0..3u8, 0..3u8), 0..5),
+            rows2 in prop::collection::vec((0..3u8, 0..3u8), 0..5),
+        ) {
+            let (scheme, _sym, state) = setup(&rows, &rows2);
+            let u = scheme.universe();
+            let e = Expr::rel(0).join(Expr::rel(1));
+            // π_A(π_AB(e)) = π_A(e).
+            let lhs = e.clone().project(u.set_of("AB")).project(u.set_of("A"))
+                .eval(&scheme, &state).unwrap();
+            let rhs = e.project(u.set_of("A")).eval(&scheme, &state).unwrap();
+            prop_assert!(lhs.set_eq(&rhs));
+        }
+
+        #[test]
+        fn join_is_commutative_as_sets(
+            rows in prop::collection::vec((0..3u8, 0..3u8), 0..5),
+            rows2 in prop::collection::vec((0..3u8, 0..3u8), 0..5),
+        ) {
+            let (scheme, _sym, state) = setup(&rows, &rows2);
+            let l = Expr::rel(0).join(Expr::rel(1)).eval(&scheme, &state).unwrap();
+            let r = Expr::rel(1).join(Expr::rel(0)).eval(&scheme, &state).unwrap();
+            prop_assert!(l.set_eq(&r));
+        }
+
+        #[test]
+        fn selection_commutes_with_join_on_own_side(
+            rows in prop::collection::vec((0..3u8, 0..3u8), 0..5),
+            rows2 in prop::collection::vec((0..3u8, 0..3u8), 0..5),
+        ) {
+            let (scheme, mut sym, state) = setup(&rows, &rows2);
+            let u = scheme.universe();
+            let v = sym.intern("a0");
+            let formula = vec![(u.attr_of("A"), v)];
+            // σ_A=a0(R1 ⋈ R2) = σ_A=a0(R1) ⋈ R2.
+            let l = Expr::rel(0).join(Expr::rel(1)).select(formula.clone())
+                .eval(&scheme, &state).unwrap();
+            let r = Expr::rel(0).select(formula).join(Expr::rel(1))
+                .eval(&scheme, &state).unwrap();
+            prop_assert!(l.set_eq(&r));
+        }
+
+        #[test]
+        fn union_is_idempotent_and_commutative(
+            rows in prop::collection::vec((0..3u8, 0..3u8), 0..5),
+            rows2 in prop::collection::vec((0..3u8, 0..3u8), 0..5),
+        ) {
+            let (scheme, _sym, state) = setup(&rows, &rows2);
+            let u = scheme.universe();
+            let a = Expr::rel(0).project(u.set_of("B"));
+            let b = Expr::rel(1).project(u.set_of("B"));
+            let ab = a.clone().union(b.clone()).eval(&scheme, &state).unwrap();
+            let ba = b.clone().union(a.clone()).eval(&scheme, &state).unwrap();
+            prop_assert!(ab.set_eq(&ba));
+            let aa = a.clone().union(a.clone()).eval(&scheme, &state).unwrap();
+            let just_a = a.eval(&scheme, &state).unwrap();
+            prop_assert!(aa.set_eq(&just_a));
+        }
+    }
+}

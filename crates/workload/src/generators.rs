@@ -1,0 +1,382 @@
+//! Parameterised scheme families for the scaling experiments (DESIGN.md
+//! §5). Each family scales one paper claim:
+//!
+//! * [`chain_scheme`] — Example 9 generalised: split-free key-equivalent,
+//!   ctm (TH-CTM flat curve).
+//! * [`cycle_scheme`] — Example 3/10 generalised: key-equivalent,
+//!   not independent, not α-acyclic, split-free.
+//! * [`split_scheme`] — Example 4 generalised: key-equivalent but split
+//!   (TH-CTM growing curve).
+//! * [`star_scheme`] — an independent (and key-equivalent) star.
+//! * [`block_chain_scheme`] — Example 11 generalised: `b` key-equivalent
+//!   cycle blocks bridged so the induced scheme is independent
+//!   (TH-RECOG scaling input).
+//! * [`example2_scheme`]/[`example2_adversarial_state`] — the
+//!   non-algebraic-maintainable triangle with the proof's chain state
+//!   (EX2: maintenance work grows with state size).
+
+use idr_relation::{
+    AttrSet, DatabaseScheme, DatabaseState, RelationScheme, SymbolTable, Tuple, Universe,
+};
+
+fn attr_name(prefix: &str, i: usize) -> String {
+    format!("{prefix}{i}")
+}
+
+/// A chain `R1(X0 X1), …, Rn(Xn−1 Xn)` where both attributes of each
+/// scheme are keys — key-equivalent and split-free (Example 9 for n = 4).
+pub fn chain_scheme(n: usize) -> DatabaseScheme {
+    assert!(n >= 1);
+    let mut universe = Universe::new();
+    for i in 0..=n {
+        universe.add(&attr_name("X", i)).unwrap();
+    }
+    let schemes = (0..n)
+        .map(|i| {
+            let a = AttrSet::from_iter([
+                universe.attr_of(&attr_name("X", i)),
+                universe.attr_of(&attr_name("X", i + 1)),
+            ]);
+            let keys = vec![
+                AttrSet::singleton(universe.attr_of(&attr_name("X", i))),
+                AttrSet::singleton(universe.attr_of(&attr_name("X", i + 1))),
+            ];
+            RelationScheme::new(format!("R{i}"), a, keys).unwrap()
+        })
+        .collect();
+    DatabaseScheme::new(universe, schemes).unwrap()
+}
+
+/// A cycle `R1(X0 X1), …, Rn(Xn−1 X0)` with all single attributes keys —
+/// key-equivalent, split-free, not independent, not α-acyclic for n ≥ 3
+/// (Example 3 is n = 3).
+pub fn cycle_scheme(n: usize) -> DatabaseScheme {
+    assert!(n >= 3);
+    let mut universe = Universe::new();
+    for i in 0..n {
+        universe.add(&attr_name("X", i)).unwrap();
+    }
+    let schemes = (0..n)
+        .map(|i| {
+            let x = universe.attr_of(&attr_name("X", i));
+            let y = universe.attr_of(&attr_name("X", (i + 1) % n));
+            RelationScheme::new(
+                format!("R{i}"),
+                AttrSet::from_iter([x, y]),
+                vec![AttrSet::singleton(x), AttrSet::singleton(y)],
+            )
+            .unwrap()
+        })
+        .collect();
+    DatabaseScheme::new(universe, schemes).unwrap()
+}
+
+/// Example 4 generalised to `m ≥ 2` fragment attributes: universe
+/// `{A, E, B1..Bm, D}` with schemes `A Bi` (key A), `E Bi` (key E),
+/// `AE` (keys A, E), `B1..Bm D` (keys B1..Bm and D) and `DA` (keys D, A).
+/// Key-equivalent; the composite key `B1..Bm` is split in the closures of
+/// the fragment schemes, so the scheme is not ctm.
+pub fn split_scheme(m: usize) -> DatabaseScheme {
+    assert!(m >= 2);
+    let mut universe = Universe::new();
+    let a = universe.add("A").unwrap();
+    let e = universe.add("E").unwrap();
+    let bs: Vec<_> = (0..m)
+        .map(|i| universe.add(&attr_name("B", i)).unwrap())
+        .collect();
+    let d = universe.add("D").unwrap();
+    let mut schemes = Vec::new();
+    for (i, &b) in bs.iter().enumerate() {
+        schemes.push(
+            RelationScheme::new(
+                format!("RA{i}"),
+                AttrSet::from_iter([a, b]),
+                vec![AttrSet::singleton(a)],
+            )
+            .unwrap(),
+        );
+        schemes.push(
+            RelationScheme::new(
+                format!("RE{i}"),
+                AttrSet::from_iter([e, b]),
+                vec![AttrSet::singleton(e)],
+            )
+            .unwrap(),
+        );
+    }
+    schemes.push(
+        RelationScheme::new(
+            "RAE",
+            AttrSet::from_iter([a, e]),
+            vec![AttrSet::singleton(a), AttrSet::singleton(e)],
+        )
+        .unwrap(),
+    );
+    let b_all = AttrSet::from_iter(bs.iter().copied());
+    schemes.push(
+        RelationScheme::new(
+            "RBD",
+            b_all | AttrSet::singleton(d),
+            vec![b_all, AttrSet::singleton(d)],
+        )
+        .unwrap(),
+    );
+    schemes.push(
+        RelationScheme::new(
+            "RDA",
+            AttrSet::from_iter([d, a]),
+            vec![AttrSet::singleton(d), AttrSet::singleton(a)],
+        )
+        .unwrap(),
+    );
+    DatabaseScheme::new(universe, schemes).unwrap()
+}
+
+/// An independent star: `Ri(K Ai)` for `i < k`, all sharing the hub key
+/// `K`. Independent *and* key-equivalent (one block).
+pub fn star_scheme(k: usize) -> DatabaseScheme {
+    assert!(k >= 1);
+    let mut universe = Universe::new();
+    let hub = universe.add("K").unwrap();
+    let schemes = (0..k)
+        .map(|i| {
+            let a = universe.add(&attr_name("A", i)).unwrap();
+            RelationScheme::new(
+                format!("R{i}"),
+                AttrSet::from_iter([hub, a]),
+                vec![AttrSet::singleton(hub)],
+            )
+            .unwrap()
+        })
+        .collect();
+    DatabaseScheme::new(universe, schemes).unwrap()
+}
+
+/// Example 11 generalised: `b` key-equivalent cycle blocks of `m` schemes
+/// each, where block `j` additionally carries a bridge scheme
+/// `(Xj0, X(j+1)0)` keyed on `Xj0` — so block `j` determines block
+/// `j+1`'s key attribute but not vice versa. The induced block scheme is
+/// independent; the whole scheme is independence-reducible with `b`
+/// blocks, none of them merged.
+pub fn block_chain_scheme(b: usize, m: usize) -> DatabaseScheme {
+    assert!(b >= 1 && m >= 3);
+    let mut universe = Universe::new();
+    let mut attrs = vec![vec![]; b];
+    for (j, row) in attrs.iter_mut().enumerate() {
+        for i in 0..m {
+            row.push(universe.add(&format!("X{j}_{i}")).unwrap());
+        }
+    }
+    let mut schemes = Vec::new();
+    for j in 0..b {
+        for i in 0..m {
+            let x = attrs[j][i];
+            let y = attrs[j][(i + 1) % m];
+            schemes.push(
+                RelationScheme::new(
+                    format!("R{j}_{i}"),
+                    AttrSet::from_iter([x, y]),
+                    vec![AttrSet::singleton(x), AttrSet::singleton(y)],
+                )
+                .unwrap(),
+            );
+        }
+        if j + 1 < b {
+            // Bridge: block j determines the anchor of block j + 1.
+            schemes.push(
+                RelationScheme::new(
+                    format!("B{j}"),
+                    AttrSet::from_iter([attrs[j][0], attrs[j + 1][0]]),
+                    vec![AttrSet::singleton(attrs[j][0])],
+                )
+                .unwrap(),
+            );
+        }
+    }
+    DatabaseScheme::new(universe, schemes).unwrap()
+}
+
+/// Example 2's scheme: `{R1(AB), R2(BC), R3(AC)}`, `F = {A→C, B→C}` —
+/// rejected by Algorithm 6 and provably not algebraic-maintainable.
+pub fn example2_scheme() -> DatabaseScheme {
+    idr_relation::SchemeBuilder::new("ABC")
+        .scheme("R1", "AB", &["AB"])
+        .scheme("R2", "BC", &["B"])
+        .scheme("R3", "AC", &["A"])
+        .build()
+        .unwrap()
+}
+
+/// The adversarial chain state of Example 2 / Theorem 3.4's flavour: `r3 =
+/// {<a0, c0>}` and `r1` a chain `(a0,b0), (a1,b0), (a1,b1), …` of length
+/// `2n`, so that the inconsistency of inserting `<an, c1>` into `r3` can
+/// only be established by traversing the whole chain. Returns the state
+/// and the inconsistent insert (scheme index 2).
+pub fn example2_adversarial_state(
+    scheme: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+    n: usize,
+) -> (DatabaseState, Tuple) {
+    let u = scheme.universe();
+    let a = |s: &mut SymbolTable, i: usize| s.intern(&format!("a{i}"));
+    let bv = |s: &mut SymbolTable, i: usize| s.intern(&format!("b{i}"));
+    let mut state = DatabaseState::empty(scheme);
+    // r3 = {<a0, c0>}.
+    let c0 = symbols.intern("c0");
+    let t = Tuple::from_pairs([(u.attr_of("A"), a(symbols, 0)), (u.attr_of("C"), c0)]);
+    state.insert(2, t).unwrap();
+    // r1 chain: (a_i, b_i) and (a_{i+1}, b_i).
+    for i in 0..n {
+        let t1 = Tuple::from_pairs([
+            (u.attr_of("A"), a(symbols, i)),
+            (u.attr_of("B"), bv(symbols, i)),
+        ]);
+        let t2 = Tuple::from_pairs([
+            (u.attr_of("A"), a(symbols, i + 1)),
+            (u.attr_of("B"), bv(symbols, i)),
+        ]);
+        state.insert(0, t1).unwrap();
+        state.insert(0, t2).unwrap();
+    }
+    // The inconsistent insert: <a_n, c1> into r3 (A→C forces c0 through
+    // the chain).
+    let c1 = symbols.intern("c1");
+    let bad = Tuple::from_pairs([(u.attr_of("A"), a(symbols, n)), (u.attr_of("C"), c1)]);
+    (state, bad)
+}
+
+/// A random database scheme over `width` attributes with `n` relation
+/// schemes, for randomized class-inclusion testing.
+///
+/// Keys must be *candidate* keys with respect to the key dependencies they
+/// themselves induce (the paper's standing assumption); random declarations
+/// rarely satisfy this, so the generator iterates to a fixpoint: declare
+/// keys, derive `F`, recompute each scheme's candidate keys under `F`,
+/// redeclare, repeat. Returns `None` when the iteration fails to converge
+/// (rare; callers resample).
+pub fn random_scheme(
+    rng: &mut impl rand::Rng,
+    width: usize,
+    n: usize,
+) -> Option<DatabaseScheme> {
+    use idr_fd::{keys::candidate_keys, KeyDeps};
+    assert!((2..=10).contains(&width) && n >= 1);
+    let mut universe = Universe::new();
+    for i in 0..width {
+        universe.add(&attr_name("X", i)).unwrap();
+    }
+    let all: Vec<idr_relation::Attribute> = universe.iter().collect();
+    // Random scheme attribute sets (2–4 attrs), patched to cover U.
+    let mut attr_sets: Vec<AttrSet> = (0..n)
+        .map(|_| {
+            let k = rng.gen_range(2..=3.min(width));
+            let mut s = AttrSet::empty();
+            while s.len() < k {
+                s.insert(all[rng.gen_range(0..width)]);
+            }
+            s
+        })
+        .collect();
+    let covered = attr_sets.iter().fold(AttrSet::empty(), |a, &b| a | b);
+    let missing = universe.all() - covered;
+    if !missing.is_empty() {
+        attr_sets.push(missing | AttrSet::singleton(all[rng.gen_range(0..width)]));
+    }
+    // Initial random keys: one random nonempty proper-or-full subset each.
+    let mut keys: Vec<Vec<AttrSet>> = attr_sets
+        .iter()
+        .map(|&s| {
+            let members: Vec<_> = s.iter().collect();
+            let ksize = rng.gen_range(1..=members.len());
+            let mut k = AttrSet::empty();
+            while k.len() < ksize {
+                k.insert(members[rng.gen_range(0..members.len())]);
+            }
+            vec![k]
+        })
+        .collect();
+    // Fixpoint repair: keys must be exactly the candidate keys under the
+    // fd set they induce.
+    for _ in 0..12 {
+        let schemes: Vec<RelationScheme> = attr_sets
+            .iter()
+            .zip(keys.iter())
+            .enumerate()
+            .map(|(i, (&a, k))| RelationScheme::new(format!("R{i}"), a, k.clone()).unwrap())
+            .collect();
+        let db = DatabaseScheme::new(universe.clone(), schemes).ok()?;
+        let kd = KeyDeps::of(&db);
+        let mut changed = false;
+        let mut next = Vec::with_capacity(keys.len());
+        for (i, &a) in attr_sets.iter().enumerate() {
+            let cand = candidate_keys(kd.full(), a);
+            let cand = if cand.is_empty() { vec![a] } else { cand };
+            if cand != keys[i] {
+                changed = true;
+            }
+            next.push(cand);
+        }
+        keys = next;
+        if !changed {
+            return Some(db);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_fd::KeyDeps;
+
+    #[test]
+    fn chain_scheme_shape() {
+        let db = chain_scheme(5);
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.universe().len(), 6);
+        let kd = KeyDeps::of(&db);
+        // Every closure is the full universe.
+        for i in 0..db.len() {
+            assert_eq!(kd.scheme_closure(&db, i), db.universe().all());
+        }
+    }
+
+    #[test]
+    fn cycle_scheme_shape() {
+        let db = cycle_scheme(4);
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.universe().len(), 4);
+    }
+
+    #[test]
+    fn split_scheme_recovers_example4_shape() {
+        let db = split_scheme(2);
+        // 2 fragments × 2 + AE + BD + DA = 7 schemes, like Example 4.
+        assert_eq!(db.len(), 7);
+        assert_eq!(db.universe().len(), 5);
+    }
+
+    #[test]
+    fn star_scheme_shape() {
+        let db = star_scheme(4);
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.universe().len(), 5);
+    }
+
+    #[test]
+    fn block_chain_scheme_shape() {
+        let db = block_chain_scheme(3, 3);
+        // 3 blocks × 3 cycle schemes + 2 bridges.
+        assert_eq!(db.len(), 11);
+        assert_eq!(db.universe().len(), 9);
+    }
+
+    #[test]
+    fn example2_state_is_consistent_without_insert() {
+        let db = example2_scheme();
+        let mut sym = SymbolTable::new();
+        let (state, bad) = example2_adversarial_state(&db, &mut sym, 4);
+        assert_eq!(state.total_tuples(), 1 + 8);
+        assert_eq!(bad.attrs(), db.universe().set_of("AC"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Workloads for the PODS'88 reproduction: the paper's thirteen worked
+//! examples as executable fixtures, and parameterised synthetic families
+//! for the scaling experiments.
+//!
+//! The paper has no datasets; its evaluation is by worked example and by
+//! asymptotic claim. [`fixtures`] encodes each example together with the
+//! paper's stated expectations (EXPERIMENTS.md EX1–EX13); [`generators`]
+//! builds scheme families that exercise each claim at scale (DESIGN.md §5
+//! documents the substitution); [`states`] produces consistent states and
+//! insert workloads by projecting distinct universal tuples — consistent
+//! by construction, with chase work arising from fragment reassembly.
+
+
+#![warn(missing_docs)]
+pub mod fixtures;
+pub mod generators;
+pub mod states;
+
+pub use fixtures::{paper_examples, Expectations, Fixture};

@@ -1,0 +1,9 @@
+# Examples 4/5/7: key-equivalent but split (key B C) — not ctm.
+universe: A B C D E
+scheme R1: A B    keys A
+scheme R2: A C    keys A
+scheme R3: A E    keys A | E
+scheme R4: E B    keys E
+scheme R5: E C    keys E
+scheme R6: B C D  keys B C | D
+scheme R7: D A    keys D | A

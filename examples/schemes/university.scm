@@ -1,0 +1,8 @@
+# Example 1 of Chan & Hernández (PODS 1988): the university database.
+# C = course, T = teacher, H = hour, R = room, S = student, G = grade.
+universe: C T H R S G
+scheme R1: H R C  keys H R
+scheme R2: H T R  keys H T | H R
+scheme R3: H T C  keys H T
+scheme R4: C S G  keys C S
+scheme R5: H S R  keys H S

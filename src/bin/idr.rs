@@ -1,0 +1,268 @@
+//! `idr` — command-line scheme analyser for the PODS'88 reproduction.
+//!
+//! Reads a database-scheme description and reports the full
+//! classification, the independence-reducible partition (when accepted),
+//! split keys, and — on request — the bounded expression for a total
+//! projection.
+//!
+//! ## Scheme file format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! universe: H R C T S G
+//! scheme R1: H R C  keys H R
+//! scheme R2: H T R  keys H T | H R
+//! scheme R3: H T C  keys H T
+//! scheme R4: C S G  keys C S
+//! scheme R5: H S R  keys H S
+//! ```
+//!
+//! Attribute names are whitespace-separated tokens; alternative keys are
+//! separated by `|`.
+//!
+//! ## Usage
+//!
+//! ```text
+//! idr classify <scheme-file>
+//! idr project  <scheme-file> <ATTR> [<ATTR> ...]
+//! idr demo                     # runs on the paper's Example 1
+//! ```
+
+use std::process::ExitCode;
+
+use independence_reducible::core::query::ir_total_projection_expr;
+use independence_reducible::core::split::split_keys;
+use independence_reducible::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("classify") if args.len() == 2 => match load(&args[1]) {
+            Ok(db) => {
+                report(&db);
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        },
+        Some("project") if args.len() >= 3 => match load(&args[1]) {
+            Ok(db) => project(&db, &args[2..]),
+            Err(e) => fail(&e),
+        },
+        Some("demo") => {
+            let db = SchemeBuilder::new("CTHRSG")
+                .scheme("R1", "HRC", &["HR"])
+                .scheme("R2", "HTR", &["HT", "HR"])
+                .scheme("R3", "HTC", &["HT"])
+                .scheme("R4", "CSG", &["CS"])
+                .scheme("R5", "HSR", &["HS"])
+                .build()
+                .expect("demo scheme");
+            report(&db);
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr demo"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Parses the scheme file format described in the module docs.
+fn parse_scheme(text: &str) -> Result<DatabaseScheme, String> {
+    let mut universe = Universe::new();
+    let mut universe_seen = false;
+    let mut schemes: Vec<RelationScheme> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("universe:") {
+            for tok in rest.split_whitespace() {
+                universe
+                    .add(tok)
+                    .map_err(|e| at(&format!("{e}")))?;
+            }
+            universe_seen = true;
+        } else if let Some(rest) = line.strip_prefix("scheme ") {
+            if !universe_seen {
+                return Err(at("'universe:' must come before schemes"));
+            }
+            let (name, body) = rest
+                .split_once(':')
+                .ok_or_else(|| at("expected 'scheme NAME: ATTRS keys K1 | K2'"))?;
+            let (attrs_part, keys_part) = body
+                .split_once("keys")
+                .ok_or_else(|| at("missing 'keys' clause"))?;
+            let mut attrs = AttrSet::empty();
+            for tok in attrs_part.split_whitespace() {
+                let a = universe
+                    .attr(tok)
+                    .ok_or_else(|| at(&format!("unknown attribute {tok:?}")))?;
+                attrs.insert(a);
+            }
+            let mut keys = Vec::new();
+            for alt in keys_part.split('|') {
+                let mut k = AttrSet::empty();
+                for tok in alt.split_whitespace() {
+                    let a = universe
+                        .attr(tok)
+                        .ok_or_else(|| at(&format!("unknown attribute {tok:?}")))?;
+                    k.insert(a);
+                }
+                if !k.is_empty() {
+                    keys.push(k);
+                }
+            }
+            schemes.push(
+                RelationScheme::new(name.trim(), attrs, keys)
+                    .map_err(|e| at(&format!("{e}")))?,
+            );
+        } else {
+            return Err(at("expected 'universe:' or 'scheme ...'"));
+        }
+    }
+    DatabaseScheme::new(universe, schemes).map_err(|e| format!("{e}"))
+}
+
+fn load(path: &str) -> Result<DatabaseScheme, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_scheme(&text)
+}
+
+fn report(db: &DatabaseScheme) {
+    let kd = KeyDeps::of(db);
+    let u = db.universe();
+    println!("schemes:");
+    for s in db.schemes() {
+        let keys: Vec<String> = s.keys().iter().map(|&k| u.render(k)).collect();
+        println!(
+            "  {}({})  keys {{{}}}",
+            s.name(),
+            u.render(s.attrs()),
+            keys.join(", ")
+        );
+    }
+    println!("embedded key dependencies: {}", kd.full().render(u));
+    let c = classify(db);
+    println!("classification: {}", c.summary());
+    match &c.independence_reducible {
+        Some(ir) => {
+            println!("independence-reducible partition:");
+            for (b, block) in ir.partition.iter().enumerate() {
+                let names: Vec<&str> =
+                    block.iter().map(|&i| db.scheme(i).name()).collect();
+                println!(
+                    "  T{} = {{{}}}   ∪T{} = {}",
+                    b + 1,
+                    names.join(", "),
+                    b + 1,
+                    u.render(ir.block_attrs[b])
+                );
+                let splits = split_keys(db, &kd, block);
+                for s in splits {
+                    let places: Vec<&str> =
+                        s.split_in.iter().map(|&i| db.scheme(i).name()).collect();
+                    println!(
+                        "    split key {} (in the closures of {})",
+                        u.render(s.key),
+                        places.join(", ")
+                    );
+                }
+            }
+            if c.ctm == Some(true) {
+                println!("maintenance: constant-time (Algorithm 5 applies)");
+            } else {
+                println!("maintenance: algebraic (Algorithm 2 applies; not ctm — split keys above)");
+            }
+        }
+        None => {
+            println!("rejected by Algorithm 6: not independence-reducible.");
+            println!("(boundedness/maintainability are not established for this scheme)");
+        }
+    }
+}
+
+fn project(db: &DatabaseScheme, attrs: &[String]) -> ExitCode {
+    let kd = KeyDeps::of(db);
+    let mut x = AttrSet::empty();
+    for tok in attrs {
+        match db.universe().attr(tok) {
+            Some(a) => {
+                x.insert(a);
+            }
+            None => return fail(&format!("unknown attribute {tok:?}")),
+        }
+    }
+    let Some(ir) = recognize(db, &kd).accepted() else {
+        return fail("scheme is not independence-reducible; no bounded expression exists");
+    };
+    match ir_total_projection_expr(db, &kd, &ir, x) {
+        Some(expr) => {
+            println!(
+                "[{}] = {}",
+                db.universe().render(x),
+                expr.render(db)
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!(
+                "[{}] is empty on every consistent state (no lossless cover)",
+                db.universe().render(x)
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE1: &str = "
+# Example 1 of the paper
+universe: C T H R S G
+scheme R1: H R C  keys H R
+scheme R2: H T R  keys H T | H R
+scheme R3: H T C  keys H T
+scheme R4: C S G  keys C S
+scheme R5: H S R  keys H S
+";
+
+    #[test]
+    fn parses_example1() {
+        let db = parse_scheme(EXAMPLE1).unwrap();
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.scheme(1).keys().len(), 2);
+        let c = classify(&db);
+        assert!(c.independence_reducible.is_some());
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let err = parse_scheme("universe: A B\nscheme R1: A Z keys A").unwrap_err();
+        assert!(err.contains("unknown attribute"));
+    }
+
+    #[test]
+    fn rejects_scheme_before_universe() {
+        let err = parse_scheme("scheme R1: A keys A").unwrap_err();
+        assert!(err.contains("universe"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let db = parse_scheme("# hi\n\nuniverse: A B\n# mid\nscheme R1: A B keys A\n").unwrap();
+        assert_eq!(db.len(), 1);
+    }
+}

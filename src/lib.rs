@@ -1,0 +1,80 @@
+//! # independence-reducible
+//!
+//! A from-scratch Rust reproduction of
+//!
+//! > E.P.F. Chan and H.J. Hernández, *Independence-reducible Database
+//! > Schemes*, Proc. 7th ACM Symposium on Principles of Database Systems
+//! > (PODS), Austin, 1988, pp. 163–173.
+//!
+//! The paper identifies a class of database schemes — the
+//! **independence-reducible** schemes — that behave well for the two
+//! problems classical dependency theory cares about:
+//!
+//! * **Query answering**: the schemes are *bounded*, so the X-total
+//!   projection of the representative instance is computable by a
+//!   predetermined relational expression instead of a chase
+//!   ([`core::query`]).
+//! * **Constraint enforcement**: the schemes are *algebraic-maintainable*
+//!   (Algorithm 2), and exactly the *split-free* ones are
+//!   *constant-time-maintainable* (Algorithm 5) —
+//!   see [`core::maintain`] and [`core::split`].
+//!
+//! The recogniser ([`core::recognition::recognize`], the paper's
+//! Algorithm 6) accepts exactly this class in polynomial time, and the
+//! class strictly contains both previously known well-behaved classes:
+//! Sagiv's independent schemes and the γ-acyclic cover-embedding BCNF
+//! schemes ([`core::baselines`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use independence_reducible::prelude::*;
+//!
+//! // Example 1 of the paper: the university database.
+//! let db = SchemeBuilder::new("CTHRSG")
+//!     .scheme("R1", "HRC", &["HR"])
+//!     .scheme("R2", "HTR", &["HT", "HR"])
+//!     .scheme("R3", "HTC", &["HT"])
+//!     .scheme("R4", "CSG", &["CS"])
+//!     .scheme("R5", "HSR", &["HS"])
+//!     .build()
+//!     .unwrap();
+//!
+//! let c = classify(&db);
+//! assert!(!c.independent);           // not Sagiv-independent
+//! assert!(!c.gamma_acyclic);         // not γ-acyclic
+//! assert!(c.independence_reducible.is_some()); // but accepted!
+//! assert_eq!(c.ctm, Some(true));     // and constant-time-maintainable
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`relation`] | universe, attribute bitsets, tuples, relations, states, relational algebra |
+//! | [`fd`] | functional dependencies, closures, covers, keys, BCNF, uniqueness condition |
+//! | [`chase`] | tableaux, the chase, weak instances, total projections, losslessness |
+//! | [`hypergraph`] | connectivity, Bachman closure, u.m.c., α/γ-acyclicity |
+//! | [`core`] | the paper: key-equivalence, Algorithms 1–6, KEP, splitness, recognition, maintenance, boundedness |
+//! | [`workload`] | the paper's 13 worked examples as fixtures; synthetic scaling families |
+
+pub use idr_chase as chase;
+pub use idr_core as core;
+pub use idr_fd as fd;
+pub use idr_hypergraph as hypergraph;
+pub use idr_relation as relation;
+pub use idr_workload as workload;
+
+/// The most common imports for working with the library.
+pub mod prelude {
+    pub use idr_chase::{is_consistent, representative_instance, total_projection};
+    pub use idr_core::classify::{classify, Classification};
+    pub use idr_core::maintain::{CtmMaintainer, IrMaintainer, MaintenanceOutcome};
+    pub use idr_core::query::{ir_total_projection, ir_total_projection_expr};
+    pub use idr_core::recognition::{recognize, IrScheme, Recognition};
+    pub use idr_fd::{Fd, FdSet, KeyDeps};
+    pub use idr_relation::{
+        state_of, AttrSet, Attribute, DatabaseScheme, DatabaseState, Relation, RelationScheme,
+        SchemeBuilder, SymbolTable, Tuple, Universe, Value,
+    };
+}
