@@ -1,4 +1,5 @@
 use idr_fd::{Fd, FdSet};
+use idr_relation::exec::{ExecError, Guard};
 use idr_relation::Attribute;
 
 use crate::tableau::{ChaseSym, Tableau};
@@ -26,6 +27,33 @@ impl std::fmt::Display for Inconsistent {
 
 impl std::error::Error for Inconsistent {}
 
+impl From<Inconsistent> for ExecError {
+    fn from(e: Inconsistent) -> Self {
+        ExecError::Inconsistent {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Why a chase loop stopped early: a genuine inconsistency, or the guard
+/// tripping. Internal — the public wrappers each flatten this to their own
+/// error type.
+pub(crate) enum Halt {
+    /// The chase found distinct constants being equated.
+    Inconsistent(Inconsistent),
+    /// The guard stopped the run (budget, deadline, cancellation).
+    Exec(ExecError),
+}
+
+impl From<Halt> for ExecError {
+    fn from(h: Halt) -> Self {
+        match h {
+            Halt::Inconsistent(e) => e.into(),
+            Halt::Exec(e) => e,
+        }
+    }
+}
+
 /// Statistics from a chase run — the paper's boundedness notion counts
 /// fd-rule applications, so we do too.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,9 +80,43 @@ pub type ChaseOutcome = Result<ChaseStats, Inconsistent>;
 /// renaming rules of §2.3. Variables are column-local, so a renaming only
 /// scans one column.
 pub fn chase(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
+    match chase_impl(t, fds, None) {
+        Ok(stats) => Ok(stats),
+        Err(Halt::Inconsistent(e)) => Err(e),
+        // No guard was supplied, so the guard can never trip.
+        Err(Halt::Exec(_)) => unreachable!("unguarded chase cannot be stopped"),
+    }
+}
+
+/// Budgeted `CHASE_F(T)`: identical to [`chase`], but charges one
+/// [`Resource::ChaseSteps`](idr_relation::exec::Resource) unit per
+/// symbol-equating rule application against `guard` and honours its
+/// deadline/cancellation at every pass. With [`Guard::unlimited`] the
+/// result is exactly that of [`chase`].
+///
+/// Inconsistencies are reported as
+/// [`ExecError::Inconsistent`]; budget exhaustion as
+/// [`ExecError::BudgetExceeded`] (the tableau contents are then
+/// unspecified, as after an inconsistency).
+pub fn chase_bounded(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<ChaseStats, ExecError> {
+    chase_impl(t, fds, Some(guard)).map_err(ExecError::from)
+}
+
+pub(crate) fn chase_impl(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: Option<&Guard>,
+) -> Result<ChaseStats, Halt> {
     let mut stats = ChaseStats::default();
     loop {
         stats.passes += 1;
+        if let Some(g) = guard {
+            g.checkpoint().map_err(Halt::Exec)?;
+        }
         let mut changed = false;
         for fd in fds.fds() {
             // Restart the per-fd scan after each application: equating can
@@ -71,7 +133,7 @@ pub fn chase(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
                         }
                         std::collections::hash_map::Entry::Occupied(e) => {
                             let j = *e.get();
-                            if apply_rule(t, *fd, j, i, &mut stats)? {
+                            if apply_rule(t, *fd, j, i, &mut stats, guard)? {
                                 changed = true;
                                 continue 'rescan;
                             }
@@ -95,7 +157,8 @@ fn apply_rule(
     i: usize,
     j: usize,
     stats: &mut ChaseStats,
-) -> Result<bool, Inconsistent> {
+    guard: Option<&Guard>,
+) -> Result<bool, Halt> {
     let mut any = false;
     for a in fd.rhs.iter() {
         let s1 = t.rows()[i].sym(a);
@@ -105,7 +168,7 @@ fn apply_rule(
         }
         let (winner, loser) = match (s1, s2) {
             (ChaseSym::Const(_), ChaseSym::Const(_)) => {
-                return Err(Inconsistent { fd, column: a });
+                return Err(Halt::Inconsistent(Inconsistent { fd, column: a }));
             }
             (ChaseSym::Const(_), _) => (s1, s2),
             (_, ChaseSym::Const(_)) => (s2, s1),
@@ -119,6 +182,9 @@ fn apply_rule(
                 }
             }
         };
+        if let Some(g) = guard {
+            g.chase_step().map_err(Halt::Exec)?;
+        }
         rename_in_column(t, a, loser, winner);
         stats.rule_applications += 1;
         any = true;

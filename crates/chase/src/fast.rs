@@ -18,13 +18,38 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use idr_fd::FdSet;
+use idr_relation::exec::{ExecError, Guard};
 use idr_relation::Attribute;
 
-use crate::chase_engine::{ChaseOutcome, ChaseStats, Inconsistent};
+use crate::chase_engine::{ChaseOutcome, ChaseStats, Halt, Inconsistent};
 use crate::tableau::{ChaseSym, Tableau};
 
 /// `CHASE_F(T)` with worklist indexing. Same contract as [`crate::chase`].
 pub fn chase_fast(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
+    match chase_fast_impl(t, fds, None) {
+        Ok(stats) => Ok(stats),
+        Err(Halt::Inconsistent(e)) => Err(e),
+        Err(Halt::Exec(_)) => unreachable!("unguarded chase cannot be stopped"),
+    }
+}
+
+/// Budgeted [`chase_fast`]: same contract as
+/// [`chase_bounded`](crate::chase_bounded) — one chase-step unit charged
+/// per rule application, deadline/cancellation checked on every worklist
+/// pop.
+pub fn chase_fast_bounded(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<ChaseStats, ExecError> {
+    chase_fast_impl(t, fds, Some(guard)).map_err(ExecError::from)
+}
+
+fn chase_fast_impl(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: Option<&Guard>,
+) -> Result<ChaseStats, Halt> {
     let mut stats = ChaseStats::default();
     let width = t.width();
     let n_fds = fds.fds().len();
@@ -63,6 +88,9 @@ pub fn chase_fast(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
         let r = r as usize;
         queued[r] = false;
         stats.passes += 1;
+        if let Some(g) = guard {
+            g.checkpoint().map_err(Halt::Exec)?;
+        }
         #[allow(clippy::needless_range_loop)] // borrow of keyidx[fi] vs key_of(t, fi, ·)
         for fi in 0..n_fds {
             let key = key_of(t, fi, r);
@@ -97,7 +125,7 @@ pub fn chase_fast(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
                         }
                         let (winner, loser) = match (s1, s2) {
                             (ChaseSym::Const(_), ChaseSym::Const(_)) => {
-                                return Err(Inconsistent { fd, column: a });
+                                return Err(Halt::Inconsistent(Inconsistent { fd, column: a }));
                             }
                             (ChaseSym::Const(_), _) => (s1, s2),
                             (_, ChaseSym::Const(_)) => (s2, s1),
@@ -111,6 +139,9 @@ pub fn chase_fast(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
                                 }
                             }
                         };
+                        if let Some(g) = guard {
+                            g.chase_step().map_err(Halt::Exec)?;
+                        }
                         stats.rule_applications += 1;
                         any = true;
                         let col = a.index() as u32;

@@ -29,6 +29,10 @@ pub mod lossless;
 mod tableau;
 mod weak;
 
-pub use chase_engine::{chase, ChaseOutcome, ChaseStats, Inconsistent};
+pub use chase_engine::{chase, chase_bounded, ChaseOutcome, ChaseStats, Inconsistent};
+pub use fast::{chase_fast, chase_fast_bounded};
 pub use tableau::{ChaseSym, Row, Tableau};
-pub use weak::{is_consistent, representative_instance, total_projection, RepInstance};
+pub use weak::{
+    is_consistent, is_consistent_bounded, representative_instance,
+    representative_instance_bounded, total_projection, total_projection_bounded, RepInstance,
+};

@@ -2,9 +2,10 @@
 //! and X-total projections.
 
 use idr_fd::FdSet;
+use idr_relation::exec::{ExecError, Guard};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple};
 
-use crate::chase_engine::{chase, ChaseStats};
+use crate::chase_engine::{chase, chase_bounded, ChaseStats};
 use crate::tableau::Tableau;
 
 /// A representative instance: the chased state tableau `CHASE_F(T_r)`
@@ -54,6 +55,53 @@ pub fn total_projection(
     x: AttrSet,
 ) -> Option<Vec<Tuple>> {
     representative_instance(scheme, state, fds).map(|ri| ri.total_projection(x))
+}
+
+/// Budgeted [`is_consistent`]: `Ok(true)`/`Ok(false)` is the consistency
+/// verdict; `Err` means the guard stopped the chase before a verdict was
+/// reached (budget, deadline or cancellation — never inconsistency, which
+/// is the `Ok(false)` case here).
+pub fn is_consistent_bounded(
+    scheme: &DatabaseScheme,
+    state: &DatabaseState,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<bool, ExecError> {
+    let mut t = Tableau::of_state(scheme, state);
+    match chase_bounded(&mut t, fds, guard) {
+        Ok(_) => Ok(true),
+        Err(ExecError::Inconsistent { .. }) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Budgeted [`representative_instance`]: `Ok(None)` when the state is
+/// inconsistent, `Err` when the guard stopped the chase.
+pub fn representative_instance_bounded(
+    scheme: &DatabaseScheme,
+    state: &DatabaseState,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<Option<RepInstance>, ExecError> {
+    let mut t = Tableau::of_state(scheme, state);
+    match chase_bounded(&mut t, fds, guard) {
+        Ok(stats) => Ok(Some(RepInstance { tableau: t, stats })),
+        Err(ExecError::Inconsistent { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Budgeted [`total_projection`]: `Ok(None)` when the state is
+/// inconsistent, `Err` when the guard stopped the chase.
+pub fn total_projection_bounded(
+    scheme: &DatabaseScheme,
+    state: &DatabaseState,
+    fds: &FdSet,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Option<Vec<Tuple>>, ExecError> {
+    Ok(representative_instance_bounded(scheme, state, fds, guard)?
+        .map(|ri| ri.total_projection(x)))
 }
 
 #[cfg(test)]

@@ -1,16 +1,18 @@
-//! Property tests for the chase: it is confluent-in-effect for our
-//! purposes (consistency and total projections don't depend on fd order),
-//! sound as a consistency test against a brute-force weak-instance search,
-//! and the [BMSU] dv/closure correspondence holds on random inputs.
+//! Randomized property tests for the chase: it is confluent-in-effect for
+//! our purposes (consistency and total projections don't depend on fd
+//! order), sound as a consistency test against a brute-force
+//! weak-instance search, and the [BMSU] dv/closure correspondence holds
+//! on random inputs. Seeded [`SplitMix64`] loops — deterministic, offline.
 
 use idr_chase::{chase, is_consistent, lossless, Tableau};
 use idr_fd::{Fd, FdSet};
+use idr_relation::rng::SplitMix64;
 use idr_relation::{
     AttrSet, Attribute, DatabaseScheme, DatabaseState, RelationScheme, Tuple, Universe,
 };
-use proptest::prelude::*;
 
 const WIDTH: usize = 4;
+const CASES: usize = 256;
 
 fn universe() -> Universe {
     Universe::of_chars("ABCD")
@@ -18,56 +20,51 @@ fn universe() -> Universe {
 
 /// Random database scheme over ABCD: 2–3 schemes, each 1–3 attributes with
 /// a nonempty key; patched so the union covers the universe.
-fn arb_scheme() -> impl Strategy<Value = DatabaseScheme> {
-    prop::collection::vec(
-        (prop::collection::vec(0..WIDTH, 1..WIDTH), any::<u8>()),
-        2..4,
-    )
-    .prop_map(|specs| {
-        let u = universe();
-        let mut schemes = Vec::new();
-        let mut cover = AttrSet::empty();
-        for (i, (attrs, key_seed)) in specs.iter().enumerate() {
-            let a = AttrSet::from_iter(attrs.iter().map(|&x| Attribute::from_index(x)));
-            cover |= a;
-            let members: Vec<Attribute> = a.iter().collect();
-            let key = AttrSet::singleton(members[(*key_seed as usize) % members.len()]);
-            schemes.push(RelationScheme::new(format!("R{i}"), a, vec![key]).unwrap());
-        }
-        let missing = u.all() - cover;
-        if !missing.is_empty() {
-            // Pad with one extra scheme to cover the universe.
-            let attrs = missing;
-            let key = AttrSet::singleton(attrs.first().unwrap());
-            schemes.push(
-                RelationScheme::new(format!("R{}", schemes.len()), attrs, vec![key]).unwrap(),
-            );
-        }
-        DatabaseScheme::new(u, schemes).unwrap()
-    })
+fn rand_scheme(rng: &mut SplitMix64) -> DatabaseScheme {
+    let u = universe();
+    let mut schemes = Vec::new();
+    let mut cover = AttrSet::empty();
+    for i in 0..rng.gen_range_inclusive(2, 3) {
+        let n = rng.gen_range(1, WIDTH);
+        let a = AttrSet::from_iter(
+            (0..n).map(|_| Attribute::from_index(rng.gen_range(0, WIDTH))),
+        );
+        cover |= a;
+        let members: Vec<Attribute> = a.iter().collect();
+        let key = AttrSet::singleton(members[rng.gen_range(0, members.len())]);
+        schemes.push(RelationScheme::new(format!("R{i}"), a, vec![key]).unwrap());
+    }
+    let missing = u.all() - cover;
+    if !missing.is_empty() {
+        // Pad with one extra scheme to cover the universe.
+        let key = AttrSet::singleton(missing.first().unwrap());
+        schemes.push(
+            RelationScheme::new(format!("R{}", schemes.len()), missing, vec![key]).unwrap(),
+        );
+    }
+    DatabaseScheme::new(u, schemes).unwrap()
 }
 
 /// A random state for a given scheme: tuples drawn from a 2-value-per-
 /// column pool (small pools force key collisions, exercising both the
 /// equating and the inconsistency paths of the chase).
-fn arb_state(scheme: &DatabaseScheme) -> BoxedStrategy<DatabaseState> {
-    let scheme = scheme.clone();
-    let n = scheme.len();
-    let width = scheme.universe().len();
-    prop::collection::vec((0..n, prop::collection::vec(0..2u8, width)), 0..6)
-        .prop_map(move |rows| {
-            let mut sym = idr_relation::SymbolTable::new();
-            let mut state = DatabaseState::empty(&scheme);
-            for (which, vals) in rows {
-                let attrs = scheme.scheme(which).attrs();
-                let t = Tuple::from_pairs(attrs.iter().map(|a| {
-                    (a, sym.intern(&format!("{}={}", a.index(), vals[a.index()])))
-                }));
-                let _ = state.insert(which, t);
-            }
-            state
-        })
-        .boxed()
+fn rand_state(rng: &mut SplitMix64, scheme: &DatabaseScheme) -> DatabaseState {
+    let mut sym = idr_relation::SymbolTable::new();
+    let mut state = DatabaseState::empty(scheme);
+    for _ in 0..rng.gen_range(0, 6) {
+        let which = rng.gen_range(0, scheme.len());
+        let vals: Vec<usize> = (0..scheme.universe().len())
+            .map(|_| rng.gen_range(0, 2))
+            .collect();
+        let attrs = scheme.scheme(which).attrs();
+        let t = Tuple::from_pairs(
+            attrs
+                .iter()
+                .map(|a| (a, sym.intern(&format!("{}={}", a.index(), vals[a.index()])))),
+        );
+        let _ = state.insert(which, t);
+    }
+    state
 }
 
 /// Brute-force weak-instance existence for tiny states: try to build a
@@ -113,29 +110,27 @@ fn weak_instance_exists_brute(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn chased_tableau_satisfies_fds(
-        (scheme, state) in arb_scheme().prop_flat_map(|s| {
-            let st = arb_state(&s);
-            (Just(s), st)
-        })
-    ) {
+#[test]
+fn chased_tableau_satisfies_fds() {
+    let mut master = SplitMix64::new(0xD001);
+    for _case in 0..CASES {
+        let mut rng = master.split();
+        let scheme = rand_scheme(&mut rng);
+        let state = rand_state(&mut rng, &scheme);
         let kd = idr_fd::KeyDeps::of(&scheme);
         // weak_instance_exists_brute internally asserts fd satisfaction of
         // the chased tableau.
         let _ = weak_instance_exists_brute(&scheme, &state, kd.full());
     }
+}
 
-    #[test]
-    fn consistency_is_monotone_under_tuple_removal(
-        (scheme, state) in arb_scheme().prop_flat_map(|s| {
-            let st = arb_state(&s);
-            (Just(s), st)
-        })
-    ) {
+#[test]
+fn consistency_is_monotone_under_tuple_removal() {
+    let mut master = SplitMix64::new(0xD002);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let scheme = rand_scheme(&mut rng);
+        let state = rand_state(&mut rng, &scheme);
         let kd = idr_fd::KeyDeps::of(&scheme);
         if is_consistent(&scheme, &state, kd.full()) {
             // Removing any single relation's tuples keeps consistency.
@@ -146,75 +141,90 @@ proptest! {
                         reduced.insert(i, t.clone()).unwrap();
                     }
                 }
-                prop_assert!(is_consistent(&scheme, &reduced, kd.full()));
+                assert!(
+                    is_consistent(&scheme, &reduced, kd.full()),
+                    "case {case}, skip {skip}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn chase_result_independent_of_fd_order(
-        (scheme, state) in arb_scheme().prop_flat_map(|s| {
-            let st = arb_state(&s);
-            (Just(s), st)
-        })
-    ) {
+#[test]
+fn chase_result_independent_of_fd_order() {
+    let mut master = SplitMix64::new(0xD003);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let scheme = rand_scheme(&mut rng);
+        let state = rand_state(&mut rng, &scheme);
         let kd = idr_fd::KeyDeps::of(&scheme);
         let fds = kd.full();
         let reversed = FdSet::from_fds(fds.fds().iter().rev().copied());
-        let p1 = idr_chase::total_projection(
-            &scheme, &state, fds, scheme.universe().all());
-        let p2 = idr_chase::total_projection(
-            &scheme, &state, &reversed, scheme.universe().all());
-        prop_assert_eq!(p1, p2);
+        let p1 = idr_chase::total_projection(&scheme, &state, fds, scheme.universe().all());
+        let p2 =
+            idr_chase::total_projection(&scheme, &state, &reversed, scheme.universe().all());
+        assert_eq!(p1, p2, "case {case}");
     }
+}
 
-    #[test]
-    fn fast_chase_agrees_with_reference(
-        (scheme, state) in arb_scheme().prop_flat_map(|s| {
-            let st = arb_state(&s);
-            (Just(s), st)
-        })
-    ) {
+#[test]
+fn fast_chase_agrees_with_reference() {
+    let mut master = SplitMix64::new(0xD004);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let scheme = rand_scheme(&mut rng);
+        let state = rand_state(&mut rng, &scheme);
         let kd = idr_fd::KeyDeps::of(&scheme);
         let mut t1 = Tableau::of_state(&scheme, &state);
         let mut t2 = t1.clone();
         let r1 = chase(&mut t1, kd.full());
         let r2 = idr_chase::fast::chase_fast(&mut t2, kd.full());
-        prop_assert_eq!(r1.is_ok(), r2.is_ok());
+        assert_eq!(r1.is_ok(), r2.is_ok(), "case {case}");
         if r1.is_ok() {
             let all = scheme.universe().all();
-            prop_assert_eq!(t1.total_projection(all), t2.total_projection(all));
+            assert_eq!(t1.total_projection(all), t2.total_projection(all), "case {case}");
             // Also compare every single-attribute projection (partial
             // derivations must match too).
             for a in scheme.universe().iter() {
                 let x = idr_relation::AttrSet::singleton(a);
-                prop_assert_eq!(t1.total_projection(x), t2.total_projection(x));
+                assert_eq!(t1.total_projection(x), t2.total_projection(x), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn dv_closures_match_closures_on_random_fds(
-        lhss in prop::collection::vec(prop::collection::vec(0..WIDTH, 1..3), 0..5),
-        rhss in prop::collection::vec(prop::collection::vec(0..WIDTH, 1..3), 0..5),
-        schemes in prop::collection::vec(prop::collection::vec(0..WIDTH, 1..4), 1..4),
-    ) {
-        let schemes: Vec<AttrSet> = schemes
-            .into_iter()
-            .map(|s| AttrSet::from_iter(s.into_iter().map(Attribute::from_index)))
-            .collect();
+#[test]
+fn dv_closures_match_closures_on_random_fds() {
+    let mut master = SplitMix64::new(0xD005);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let rand_small_set = |rng: &mut SplitMix64| {
+            let n = rng.gen_range(1, 3);
+            AttrSet::from_iter((0..n).map(|_| Attribute::from_index(rng.gen_range(0, WIDTH))))
+        };
+        let schemes: Vec<AttrSet> = {
+            let n = rng.gen_range(1, 4);
+            (0..n)
+                .map(|_| {
+                    let w = rng.gen_range(1, 4);
+                    AttrSet::from_iter(
+                        (0..w).map(|_| Attribute::from_index(rng.gen_range(0, WIDTH))),
+                    )
+                })
+                .collect()
+        };
         // The [BMSU] correspondence assumes each fd is embedded in some
         // scheme of the family (the cover-embedding setting of the paper).
+        let n_fds = rng.gen_range(0, 5);
         let fds = FdSet::from_fds(
-            lhss.iter().zip(rhss.iter()).map(|(l, r)| Fd::new(
-                AttrSet::from_iter(l.iter().map(|&i| Attribute::from_index(i))),
-                AttrSet::from_iter(r.iter().map(|&i| Attribute::from_index(i))),
-            )).filter(|fd| schemes.iter().any(|&s| fd.embedded_in(s))),
+            (0..n_fds)
+                .map(|_| Fd::new(rand_small_set(&mut rng), rand_small_set(&mut rng)))
+                .filter(|fd| schemes.iter().any(|&s| fd.embedded_in(s))),
         );
         let dv = lossless::dv_closures(&schemes, &fds);
-        prop_assert_eq!(dv.len(), schemes.len());
+        assert_eq!(dv.len(), schemes.len(), "case {case}");
         for (i, &s) in schemes.iter().enumerate() {
-            prop_assert_eq!(dv[i], fds.closure(s));
+            assert_eq!(dv[i], fds.closure(s), "case {case}, scheme {i}");
         }
     }
 }

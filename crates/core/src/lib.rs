@@ -24,6 +24,11 @@
 //!
 //! The generic chase (`idr-chase`) is used as the semantic oracle in the
 //! test suites; the algorithms here never call it on the fast path.
+//!
+//! Every hot entry point additionally has a `*_bounded` variant that
+//! meters its work against an [`exec::Budget`] and returns a typed
+//! [`exec::ExecError`] instead of panicking or looping past its limits;
+//! see [`exec`] for the failure model.
 
 
 #![warn(missing_docs)]
@@ -32,6 +37,7 @@ pub mod augment;
 pub mod baselines;
 pub mod classify;
 pub mod ctm_witness;
+pub mod exec;
 pub mod kep;
 pub mod key_equiv;
 pub mod maintain;
@@ -42,6 +48,10 @@ pub mod rep;
 pub mod split;
 
 pub use classify::{classify, Classification};
+pub use exec::{
+    Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,
+    RepAccess, Resource, RetryPolicy, StateAccess,
+};
 pub use kep::key_equivalent_partition;
 pub use maintain::{MaintenanceOutcome, StateIndex};
 pub use recognition::{recognize, IrScheme, Recognition, RejectReason};

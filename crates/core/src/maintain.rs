@@ -10,8 +10,10 @@
 
 use std::collections::HashMap;
 
+use idr_relation::exec::{ExecError, Guard, RetryPolicy};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple, Value};
 
+use crate::exec::{RepAccess, StateAccess};
 use crate::recognition::IrScheme;
 use crate::rep::{KeInconsistent, KeRep};
 
@@ -55,6 +57,27 @@ pub fn algorithm2(
     si: usize,
     t: &Tuple,
 ) -> (MaintenanceOutcome, MaintenanceStats) {
+    algorithm2_bounded(scheme, rep, si, t, &Guard::unlimited(), &RetryPolicy::none())
+        .expect("in-memory rep never faults and the unlimited guard never trips")
+}
+
+/// Budgeted, fault-tolerant Algorithm 2, generic over the representative-
+/// instance access path.
+///
+/// Every single-tuple selection is charged against `guard` (the unit of
+/// the paper's constant-time-maintainability cost model) and run through
+/// `retry`: transient [`Fault`](crate::exec::Fault)s are retried with
+/// backoff, permanent or persistent ones surface as
+/// [`ExecError::Faulted`]. With [`Guard::unlimited`], an infallible `rep`
+/// and any retry policy this computes exactly [`algorithm2`].
+pub fn algorithm2_bounded(
+    scheme: &DatabaseScheme,
+    rep: &impl RepAccess,
+    si: usize,
+    t: &Tuple,
+    guard: &Guard,
+    retry: &RetryPolicy,
+) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
     let mut stats = MaintenanceStats::default();
     let si_attrs = scheme.scheme(si).attrs();
     debug_assert_eq!(t.attrs(), si_attrs, "inserted tuple must be total on Sᵢ");
@@ -67,14 +90,15 @@ pub fn algorithm2(
     while let Some(k) = unprocessed.pop() {
         stats.keys_processed += 1;
         stats.lookups += 1;
-        let v: Tuple = match rep.lookup(k, &q) {
-            Some(p) => p.clone(),
+        guard.lookup()?;
+        let v: Tuple = match retry.run(guard, || rep.select(k, &q))? {
+            Some(p) => p,
             None => q.project(k),
         };
         let c = v.attrs();
         match q.join(&v) {
             Some(joined) => q = joined,
-            None => return (MaintenanceOutcome::Inconsistent, stats),
+            None => return Ok((MaintenanceOutcome::Inconsistent, stats)),
         }
         closure |= c;
         processed.push(k);
@@ -86,7 +110,7 @@ pub fn algorithm2(
             }
         }
     }
-    (MaintenanceOutcome::Consistent(q), stats)
+    Ok((MaintenanceOutcome::Consistent(q), stats))
 }
 
 /// A hash index over the raw tuples of a block substate: for each member
@@ -189,6 +213,21 @@ impl StateIndex {
         self.index
             .get(&(pos as u32, kpos as u32, vals))
             .map(|&id| &self.tuples[id as usize])
+    }
+}
+
+impl StateAccess for StateIndex {
+    fn members(&self) -> &[(usize, AttrSet, Vec<AttrSet>)] {
+        &self.members
+    }
+
+    fn select(
+        &self,
+        pos: usize,
+        kpos: usize,
+        probe: &Tuple,
+    ) -> Result<Option<Tuple>, crate::exec::Fault> {
+        Ok(self.lookup(pos, kpos, probe).cloned())
     }
 }
 
@@ -295,12 +334,27 @@ pub fn algorithm5_traced(
 /// representative instance containing the key value), or `None` if the
 /// supposedly consistent state produced a conflict.
 pub fn algorithm4(idx: &StateIndex, t_on_k: &Tuple, stats: &mut MaintenanceStats) -> Option<Tuple> {
+    algorithm4_bounded(idx, t_on_k, stats, &Guard::unlimited(), &RetryPolicy::none())
+        .expect("in-memory index never faults and the unlimited guard never trips")
+}
+
+/// Budgeted, fault-tolerant Algorithm 4, generic over the state access
+/// path. `Ok(None)` is Algorithm 4's conflict verdict (the supposedly
+/// consistent state produced an empty join); `Err` means the guard or a
+/// fault stopped the extension before a verdict.
+pub fn algorithm4_bounded(
+    idx: &impl StateAccess,
+    t_on_k: &Tuple,
+    stats: &mut MaintenanceStats,
+    guard: &Guard,
+    retry: &RetryPolicy,
+) -> Result<Option<Tuple>, ExecError> {
     let mut t = t_on_k.clone();
     let mut c = t.attrs();
     loop {
         let mut extended = false;
-        for pos in 0..idx.members.len() {
-            let (_, attrs, ref keys) = idx.members[pos];
+        let members = idx.members();
+        for (pos, &(_, attrs, ref keys)) in members.iter().enumerate() {
             if attrs.is_subset(c) {
                 continue;
             }
@@ -309,8 +363,12 @@ pub fn algorithm4(idx: &StateIndex, t_on_k: &Tuple, stats: &mut MaintenanceStats
                     continue;
                 }
                 stats.lookups += 1;
-                if let Some(p) = idx.lookup(pos, kpos, &t) {
-                    t = t.join(p)?;
+                guard.lookup()?;
+                if let Some(p) = retry.run(guard, || idx.select(pos, kpos, &t))? {
+                    match t.join(&p) {
+                        Some(joined) => t = joined,
+                        None => return Ok(None),
+                    }
                     c = t.attrs();
                     extended = true;
                     break;
@@ -321,7 +379,7 @@ pub fn algorithm4(idx: &StateIndex, t_on_k: &Tuple, stats: &mut MaintenanceStats
             }
         }
         if !extended {
-            return Some(t);
+            return Ok(Some(t));
         }
     }
 }
@@ -336,20 +394,34 @@ pub fn algorithm5(
     si: usize,
     t: &Tuple,
 ) -> (MaintenanceOutcome, MaintenanceStats) {
+    algorithm5_bounded(scheme, idx, si, t, &Guard::unlimited(), &RetryPolicy::none())
+        .expect("in-memory index never faults and the unlimited guard never trips")
+}
+
+/// Budgeted, fault-tolerant Algorithm 5, generic over the state access
+/// path (see [`algorithm2_bounded`] for the budget/retry contract).
+pub fn algorithm5_bounded(
+    scheme: &DatabaseScheme,
+    idx: &impl StateAccess,
+    si: usize,
+    t: &Tuple,
+    guard: &Guard,
+    retry: &RetryPolicy,
+) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
     let mut stats = MaintenanceStats::default();
     let mut q = t.clone();
     for &k in scheme.scheme(si).keys() {
         stats.keys_processed += 1;
         let probe = t.project(k);
-        let Some(extended) = algorithm4(idx, &probe, &mut stats) else {
-            return (MaintenanceOutcome::Inconsistent, stats);
+        let Some(extended) = algorithm4_bounded(idx, &probe, &mut stats, guard, retry)? else {
+            return Ok((MaintenanceOutcome::Inconsistent, stats));
         };
         match q.join(&extended) {
             Some(joined) => q = joined,
-            None => return (MaintenanceOutcome::Inconsistent, stats),
+            None => return Ok((MaintenanceOutcome::Inconsistent, stats)),
         }
     }
-    (MaintenanceOutcome::Consistent(q), stats)
+    Ok((MaintenanceOutcome::Consistent(q), stats))
 }
 
 /// Incremental maintainer for an independence-reducible scheme (§4.2):
@@ -395,6 +467,39 @@ impl IrMaintainer {
         })
     }
 
+    /// Budgeted [`IrMaintainer::new`]: block construction charges the
+    /// guard (one lookup per key-index probe of Algorithm 1's merge loop).
+    /// An inconsistent block surfaces as [`ExecError::Inconsistent`]
+    /// naming the block; guard trips surface as their own variants.
+    pub fn new_bounded(
+        scheme: &DatabaseScheme,
+        ir: &IrScheme,
+        state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<Self, ExecError> {
+        let mut reps = Vec::with_capacity(ir.len());
+        for (b, block) in ir.partition.iter().enumerate() {
+            let keys = &ir.block_keys[b];
+            let tuples = block
+                .iter()
+                .flat_map(|&i| state.relation(i).iter().cloned());
+            match KeRep::build_bounded(keys, tuples, guard) {
+                Ok(rep) => reps.push(rep),
+                Err(ExecError::Inconsistent { detail }) => {
+                    return Err(ExecError::Inconsistent {
+                        detail: format!("block {b}: {detail}"),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(IrMaintainer {
+            scheme: scheme.clone(),
+            ir: ir.clone(),
+            reps,
+        })
+    }
+
     /// The per-block representative instances.
     pub fn reps(&self) -> &[KeRep] {
         &self.reps
@@ -417,6 +522,32 @@ impl IrMaintainer {
         (outcome, stats)
     }
 
+    /// Budgeted [`IrMaintainer::insert`]: Algorithm 2's selections are
+    /// metered against `guard` and its faults run through `retry`. When
+    /// the guard trips or a fault persists, the maintainer state is left
+    /// unchanged — the decision phase failed, nothing was applied. The
+    /// apply phase (merging the accepted tuple into the block rep) runs
+    /// unmetered on purpose: interrupting it mid-merge would leave the rep
+    /// half-updated, and its cost is bounded by the work Algorithm 2
+    /// already paid for.
+    pub fn insert_bounded(
+        &mut self,
+        scheme_idx: usize,
+        t: Tuple,
+        guard: &Guard,
+        retry: &RetryPolicy,
+    ) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
+        let b = self.ir.block_of[scheme_idx];
+        let (outcome, stats) =
+            algorithm2_bounded(&self.scheme, &self.reps[b], scheme_idx, &t, guard, retry)?;
+        if let MaintenanceOutcome::Consistent(ref q) = outcome {
+            self.reps[b]
+                .insert_merge(q.clone())
+                .expect("Algorithm 2 accepted; merge cannot conflict");
+        }
+        Ok((outcome, stats))
+    }
+
     /// Answers an X-total projection directly from the maintained
     /// representative instances — the query path of a *live* system, where
     /// Theorem 4.1's `[Yⱼ]` relations are already materialised as the
@@ -435,68 +566,105 @@ impl IrMaintainer {
             crate::query::minimal_lossless_covers(&self.ir.block_attrs, &block_fds, x);
         let mut out: Vec<Tuple> = Vec::new();
         for v in &covers {
-            // Yⱼ per Theorem 4.1.
-            let ys: Vec<idr_relation::AttrSet> = v
-                .iter()
-                .enumerate()
-                .map(|(pos, &b)| {
-                    let mut others = x;
-                    for (pos2, &b2) in v.iter().enumerate() {
-                        if pos2 != pos {
-                            others |= self.ir.block_attrs[b2];
-                        }
-                    }
-                    self.ir.block_attrs[b] & others
-                })
-                .collect();
-            if ys.iter().any(|y| y.is_empty()) {
-                continue;
-            }
-            // [Yⱼ]-total tuples straight from the reps.
-            let mut partials: Vec<Vec<Tuple>> = Vec::with_capacity(v.len());
-            for (pos, &b) in v.iter().enumerate() {
-                let y = ys[pos];
-                let mut tuples: Vec<Tuple> = self.reps[b]
-                    .iter()
-                    .filter(|t| y.is_subset(t.attrs()))
-                    .map(|t| t.project(y))
-                    .collect();
-                tuples.sort();
-                tuples.dedup();
-                partials.push(tuples);
-            }
-            // Hash-join the per-block partials on their common attributes
-            // (all tuples within one side share an attribute set).
-            let mut acc: Vec<Tuple> = vec![Tuple::unit()];
-            let mut acc_attrs = idr_relation::AttrSet::empty();
-            for (pos, side) in partials.iter().enumerate() {
-                let side_attrs = ys[pos];
-                let common = acc_attrs & side_attrs;
-                let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-                for bt in side {
-                    index.entry(bt.project(common)).or_default().push(bt);
-                }
-                let mut next = Vec::new();
-                for a in &acc {
-                    if let Some(matches) = index.get(&a.project(common)) {
-                        for bt in matches {
-                            if let Some(j) = a.join(bt) {
-                                next.push(j);
-                            }
-                        }
-                    }
-                }
-                acc = next;
-                acc_attrs |= side_attrs;
-                if acc.is_empty() {
-                    break;
-                }
-            }
-            out.extend(acc.into_iter().map(|t| t.project(x)));
+            out.extend(self.join_cover(v, x));
         }
         out.sort();
         out.dedup();
         out
+    }
+
+    /// Budgeted [`IrMaintainer::total_projection`]: the lossless-cover
+    /// enumeration is charged against the guard's enumeration budget and
+    /// the join loops honour its deadline/cancellation, so a query over an
+    /// adversarial block structure fails typed instead of running away.
+    pub fn total_projection_bounded(
+        &self,
+        kd: &idr_fd::KeyDeps,
+        x: idr_relation::AttrSet,
+        guard: &Guard,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let _ = kd; // block structure suffices; kept for API symmetry
+        let block_fds = (0..self.ir.len())
+            .map(|b| crate::recognition::block_key_fds(&self.ir, b))
+            .fold(idr_fd::FdSet::new(), |acc, f| acc.union(&f));
+        let covers = crate::query::minimal_lossless_covers_bounded(
+            &self.ir.block_attrs,
+            &block_fds,
+            x,
+            guard,
+        )?;
+        let mut out: Vec<Tuple> = Vec::new();
+        for v in &covers {
+            guard.checkpoint()?;
+            out.extend(self.join_cover(v, x));
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Joins the `[Yⱼ]`-total rep tuples of one lossless block cover `v`
+    /// (Theorem 4.1) and projects onto `x`. Shared by the metered and
+    /// unmetered query paths.
+    fn join_cover(&self, v: &[usize], x: idr_relation::AttrSet) -> Vec<Tuple> {
+        // Yⱼ per Theorem 4.1.
+        let ys: Vec<idr_relation::AttrSet> = v
+            .iter()
+            .enumerate()
+            .map(|(pos, &b)| {
+                let mut others = x;
+                for (pos2, &b2) in v.iter().enumerate() {
+                    if pos2 != pos {
+                        others |= self.ir.block_attrs[b2];
+                    }
+                }
+                self.ir.block_attrs[b] & others
+            })
+            .collect();
+        if ys.iter().any(|y| y.is_empty()) {
+            return Vec::new();
+        }
+        // [Yⱼ]-total tuples straight from the reps.
+        let mut partials: Vec<Vec<Tuple>> = Vec::with_capacity(v.len());
+        for (pos, &b) in v.iter().enumerate() {
+            let y = ys[pos];
+            let mut tuples: Vec<Tuple> = self.reps[b]
+                .iter()
+                .filter(|t| y.is_subset(t.attrs()))
+                .map(|t| t.project(y))
+                .collect();
+            tuples.sort();
+            tuples.dedup();
+            partials.push(tuples);
+        }
+        // Hash-join the per-block partials on their common attributes
+        // (all tuples within one side share an attribute set).
+        let mut acc: Vec<Tuple> = vec![Tuple::unit()];
+        let mut acc_attrs = idr_relation::AttrSet::empty();
+        for (pos, side) in partials.iter().enumerate() {
+            let side_attrs = ys[pos];
+            let common = acc_attrs & side_attrs;
+            let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+            for bt in side {
+                index.entry(bt.project(common)).or_default().push(bt);
+            }
+            let mut next = Vec::new();
+            for a in &acc {
+                if let Some(matches) = index.get(&a.project(common)) {
+                    for bt in matches {
+                        if let Some(j) = a.join(bt) {
+                            next.push(j);
+                        }
+                    }
+                }
+            }
+            acc = next;
+            acc_attrs |= side_attrs;
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc.into_iter().map(|t| t.project(x)).collect()
     }
 
     /// Deletes a tuple from relation `scheme_idx`, rebuilding the touched
@@ -566,6 +734,36 @@ impl CtmMaintainer {
         })
     }
 
+    /// Budgeted [`CtmMaintainer::new`]: a locally inconsistent relation
+    /// surfaces as [`ExecError::Inconsistent`] naming it; the guard's
+    /// deadline/cancellation is honoured between blocks.
+    pub fn new_bounded(
+        scheme: &DatabaseScheme,
+        ir: &IrScheme,
+        state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<Self, ExecError> {
+        let mut indexes = Vec::with_capacity(ir.len());
+        for block in ir.partition.iter() {
+            guard.checkpoint()?;
+            match StateIndex::build(scheme, block, state) {
+                Ok(idx) => indexes.push(idx),
+                Err(i) => {
+                    return Err(ExecError::Inconsistent {
+                        detail: format!(
+                            "relation {i} violates one of its own key dependencies"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(CtmMaintainer {
+            scheme: scheme.clone(),
+            ir: ir.clone(),
+            indexes,
+        })
+    }
+
     /// Checks an insertion and, when consistent, applies it.
     pub fn insert(
         &mut self,
@@ -583,6 +781,31 @@ impl CtmMaintainer {
                 .expect("Algorithm 5 accepted; local keys cannot collide");
         }
         (outcome, stats)
+    }
+
+    /// Budgeted [`CtmMaintainer::insert`]: Algorithm 5's selections are
+    /// metered against `guard` and its faults run through `retry`; same
+    /// decide-metered/apply-atomic contract as
+    /// [`IrMaintainer::insert_bounded`].
+    pub fn insert_bounded(
+        &mut self,
+        scheme_idx: usize,
+        t: Tuple,
+        guard: &Guard,
+        retry: &RetryPolicy,
+    ) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
+        let b = self.ir.block_of[scheme_idx];
+        let (outcome, stats) =
+            algorithm5_bounded(&self.scheme, &self.indexes[b], scheme_idx, &t, guard, retry)?;
+        if outcome.is_consistent() {
+            let pos = self.indexes[b]
+                .member_pos(scheme_idx)
+                .expect("scheme belongs to its block");
+            self.indexes[b]
+                .insert(pos, t)
+                .expect("Algorithm 5 accepted; local keys cannot collide");
+        }
+        Ok((outcome, stats))
     }
 }
 

@@ -20,6 +20,7 @@
 use idr_chase::lossless::dv_closures;
 use idr_fd::{FdSet, KeyDeps};
 use idr_relation::algebra::Expr;
+use idr_relation::exec::{ExecError, FaultKind, Guard, Resource, DEFAULT_MAX_ENUMERATION};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Relation, RelationError};
 
 use crate::recognition::IrScheme;
@@ -37,11 +38,94 @@ pub fn minimal_lossless_covers(family: &[AttrSet], fds: &FdSet, x: AttrSet) -> V
         n <= MAX_COVER_FAMILY,
         "minimal_lossless_covers: family too large ({n})"
     );
+    match covers_impl(family, fds, x, true, None) {
+        Ok(out) => out,
+        Err(_) => unreachable!("unguarded cover enumeration cannot be stopped"),
+    }
+}
+
+/// Fallible [`minimal_lossless_covers`]: instead of a size assertion, the
+/// `2ⁿ` subset enumeration is charged against `guard`'s enumeration budget
+/// up front (with [`DEFAULT_MAX_ENUMERATION`] as the backstop when the
+/// budget is unlimited), and the deadline/cancellation is checked per
+/// candidate subset.
+pub fn minimal_lossless_covers_bounded(
+    family: &[AttrSet],
+    fds: &FdSet,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Vec<Vec<usize>>, ExecError> {
+    charge_family(family.len(), guard)?;
+    covers_impl(family, fds, x, true, Some(guard))
+}
+
+/// Enumerates *all* subsets of `family` that cover `x` and are lossless —
+/// no minimality filter. Theorem 3.2's maintenance construction selects
+/// over every such join and keeps the greatest nonempty one, so the full
+/// family is needed (for query answering, [`minimal_lossless_covers`]
+/// suffices since larger joins produce subsets of smaller joins' tuples).
+pub fn all_lossless_covers(family: &[AttrSet], fds: &FdSet, x: AttrSet) -> Vec<Vec<usize>> {
+    let n = family.len();
+    assert!(
+        n <= MAX_COVER_FAMILY,
+        "all_lossless_covers: family too large ({n})"
+    );
+    match covers_impl(family, fds, x, false, None) {
+        Ok(out) => out,
+        Err(_) => unreachable!("unguarded cover enumeration cannot be stopped"),
+    }
+}
+
+/// Fallible [`all_lossless_covers`]; see
+/// [`minimal_lossless_covers_bounded`] for the metering contract.
+pub fn all_lossless_covers_bounded(
+    family: &[AttrSet],
+    fds: &FdSet,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Vec<Vec<usize>>, ExecError> {
+    charge_family(family.len(), guard)?;
+    covers_impl(family, fds, x, false, Some(guard))
+}
+
+/// Charges the `2ⁿ` cover enumeration to the guard, rejecting families too
+/// large for the `u32` mask representation outright.
+fn charge_family(n: usize, guard: &Guard) -> Result<(), ExecError> {
+    if n > 31 {
+        return Err(ExecError::BudgetExceeded {
+            resource: Resource::Enumeration,
+            limit: guard
+                .budget()
+                .max_enumeration
+                .unwrap_or(DEFAULT_MAX_ENUMERATION),
+            spent: u64::MAX,
+        });
+    }
+    guard.enumeration(1u64 << n)
+}
+
+/// Shared enumeration body. `minimal` selects the inclusion-minimal search
+/// (size-ordered masks, superset skip); `guard`, when present, is checked
+/// per candidate subset for deadline/cancellation. With `guard == None`
+/// the result is always `Ok`.
+fn covers_impl(
+    family: &[AttrSet],
+    fds: &FdSet,
+    x: AttrSet,
+    minimal: bool,
+    guard: Option<&Guard>,
+) -> Result<Vec<Vec<usize>>, ExecError> {
+    let n = family.len();
     let mut masks: Vec<u32> = (1u32..(1 << n)).collect();
-    masks.sort_by_key(|m| (m.count_ones(), *m));
+    if minimal {
+        masks.sort_by_key(|m| (m.count_ones(), *m));
+    }
     let mut accepted: Vec<u32> = Vec::new();
     let mut out: Vec<Vec<usize>> = Vec::new();
     'next: for mask in masks {
+        if let Some(g) = guard {
+            g.checkpoint()?;
+        }
         // Skip supersets of already-accepted (minimal) covers.
         for &a in &accepted {
             if a & mask == a {
@@ -58,40 +142,13 @@ pub fn minimal_lossless_covers(family: &[AttrSet], fds: &FdSet, x: AttrSet) -> V
         let subset: Vec<AttrSet> = members.iter().map(|&i| family[i]).collect();
         let dv = dv_closures(&subset, fds);
         if dv.iter().any(|&c| union.is_subset(c)) {
-            accepted.push(mask);
+            if minimal {
+                accepted.push(mask);
+            }
             out.push(members);
         }
     }
-    out
-}
-
-/// Enumerates *all* subsets of `family` that cover `x` and are lossless —
-/// no minimality filter. Theorem 3.2's maintenance construction selects
-/// over every such join and keeps the greatest nonempty one, so the full
-/// family is needed (for query answering, [`minimal_lossless_covers`]
-/// suffices since larger joins produce subsets of smaller joins' tuples).
-pub fn all_lossless_covers(family: &[AttrSet], fds: &FdSet, x: AttrSet) -> Vec<Vec<usize>> {
-    let n = family.len();
-    assert!(
-        n <= MAX_COVER_FAMILY,
-        "all_lossless_covers: family too large ({n})"
-    );
-    let mut out: Vec<Vec<usize>> = Vec::new();
-    for mask in 1u32..(1 << n) {
-        let members: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
-        let union = members
-            .iter()
-            .fold(AttrSet::empty(), |acc, &i| acc | family[i]);
-        if !x.is_subset(union) {
-            continue;
-        }
-        let subset: Vec<AttrSet> = members.iter().map(|&i| family[i]).collect();
-        let dv = dv_closures(&subset, fds);
-        if dv.iter().any(|&c| union.is_subset(c)) {
-            out.push(members);
-        }
-    }
-    out
+    Ok(out)
 }
 
 /// Corollary 3.1(b): the relational expression computing the X-total
@@ -104,14 +161,42 @@ pub fn ke_total_projection_expr(
     block: &[usize],
     x: AttrSet,
 ) -> Option<Expr> {
+    match ke_total_projection_expr_impl(scheme, kd, block, x, None) {
+        Ok(expr) => expr,
+        Err(_) => unreachable!("unguarded expression construction cannot be stopped"),
+    }
+}
+
+/// Fallible [`ke_total_projection_expr`]: the cover enumeration is metered
+/// against `guard` instead of guarded by an assertion.
+pub fn ke_total_projection_expr_bounded(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    block: &[usize],
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Option<Expr>, ExecError> {
+    ke_total_projection_expr_impl(scheme, kd, block, x, Some(guard))
+}
+
+fn ke_total_projection_expr_impl(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    block: &[usize],
+    x: AttrSet,
+    guard: Option<&Guard>,
+) -> Result<Option<Expr>, ExecError> {
     if x.is_empty() {
-        return None;
+        return Ok(None);
     }
     let family: Vec<AttrSet> = block.iter().map(|&i| scheme.scheme(i).attrs()).collect();
     let fds = kd.for_subset(block);
-    let covers = minimal_lossless_covers(&family, &fds, x);
+    let covers = match guard {
+        Some(g) => minimal_lossless_covers_bounded(&family, &fds, x, g)?,
+        None => minimal_lossless_covers(&family, &fds, x),
+    };
     if covers.is_empty() {
-        return None;
+        return Ok(None);
     }
     let exprs: Vec<Expr> = covers
         .iter()
@@ -120,7 +205,7 @@ pub fn ke_total_projection_expr(
             Expr::sequential(&indices).project(x)
         })
         .collect();
-    Some(Expr::union_all(exprs))
+    Ok(Some(Expr::union_all(exprs)))
 }
 
 /// Theorem 4.1: the relational expression computing `[X]` over an
@@ -136,16 +221,45 @@ pub fn ir_total_projection_expr(
     ir: &IrScheme,
     x: AttrSet,
 ) -> Option<Expr> {
+    match ir_total_projection_expr_impl(scheme, kd, ir, x, None) {
+        Ok(expr) => expr,
+        Err(_) => unreachable!("unguarded expression construction cannot be stopped"),
+    }
+}
+
+/// Fallible [`ir_total_projection_expr`]: both the block-level and the
+/// per-block cover enumerations are metered against `guard` instead of
+/// guarded by assertions.
+pub fn ir_total_projection_expr_bounded(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    ir: &IrScheme,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Option<Expr>, ExecError> {
+    ir_total_projection_expr_impl(scheme, kd, ir, x, Some(guard))
+}
+
+fn ir_total_projection_expr_impl(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    ir: &IrScheme,
+    x: AttrSet,
+    guard: Option<&Guard>,
+) -> Result<Option<Expr>, ExecError> {
     if x.is_empty() {
-        return None;
+        return Ok(None);
     }
     // Block-level embedded cover: every block key maps to its block union.
     let block_fds = (0..ir.len())
         .map(|b| crate::recognition::block_key_fds(ir, b))
         .fold(FdSet::new(), |acc, f| acc.union(&f));
-    let covers = minimal_lossless_covers(&ir.block_attrs, &block_fds, x);
+    let covers = match guard {
+        Some(g) => minimal_lossless_covers_bounded(&ir.block_attrs, &block_fds, x, g)?,
+        None => minimal_lossless_covers(&ir.block_attrs, &block_fds, x),
+    };
     if covers.is_empty() {
-        return None;
+        return Ok(None);
     }
     let mut alternatives: Vec<Expr> = Vec::new();
     'covers: for v in &covers {
@@ -164,7 +278,7 @@ pub fn ir_total_projection_expr(
                 // have been minimal-and-connected, skip it defensively.
                 continue 'covers;
             }
-            let sub = ke_total_projection_expr(scheme, kd, &ir.partition[b], y_j)
+            let sub = ke_total_projection_expr_impl(scheme, kd, &ir.partition[b], y_j, guard)?
                 .expect("a key-equivalent block always covers subsets of its union");
             sub_exprs.push(sub);
         }
@@ -175,9 +289,9 @@ pub fn ir_total_projection_expr(
         alternatives.push(joined.project(x));
     }
     if alternatives.is_empty() {
-        return None;
+        return Ok(None);
     }
-    Some(Expr::union_all(alternatives))
+    Ok(Some(Expr::union_all(alternatives)))
 }
 
 /// Evaluates the Theorem 4.1 expression over a state: the bounded,
@@ -192,6 +306,28 @@ pub fn ir_total_projection(
 ) -> Result<Relation, RelationError> {
     match ir_total_projection_expr(scheme, kd, ir, x) {
         Some(expr) => expr.eval(scheme, state),
+        None => Ok(Relation::new(x)),
+    }
+}
+
+/// Fallible [`ir_total_projection`]: expression construction is metered
+/// against `guard`. An evaluation error (an internally malformed
+/// expression — never expected from this module's own construction)
+/// surfaces as a permanent [`ExecError::Faulted`].
+pub fn ir_total_projection_bounded(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    ir: &IrScheme,
+    state: &DatabaseState,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Relation, ExecError> {
+    match ir_total_projection_expr_bounded(scheme, kd, ir, x, guard)? {
+        Some(expr) => expr.eval(scheme, state).map_err(|e| ExecError::Faulted {
+            kind: FaultKind::Permanent,
+            operation: format!("relational expression evaluation: {e}"),
+            attempts: 1,
+        }),
         None => Ok(Relation::new(x)),
     }
 }

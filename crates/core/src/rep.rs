@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use idr_relation::exec::{ExecError, Guard};
 use idr_relation::{AttrSet, Tuple, Value};
 
 /// An inconsistency found while merging (the key-equivalent analogue of a
@@ -31,6 +32,30 @@ impl std::fmt::Display for KeInconsistent {
 }
 
 impl std::error::Error for KeInconsistent {}
+
+impl From<KeInconsistent> for ExecError {
+    fn from(e: KeInconsistent) -> Self {
+        ExecError::Inconsistent {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Internal halt reason for the merge loop; the public entry points each
+/// flatten it to their own error type.
+enum MergeHalt {
+    Inconsistent(KeInconsistent),
+    Exec(ExecError),
+}
+
+impl From<MergeHalt> for ExecError {
+    fn from(h: MergeHalt) -> Self {
+        match h {
+            MergeHalt::Inconsistent(e) => e.into(),
+            MergeHalt::Exec(e) => e,
+        }
+    }
+}
 
 /// The representative instance of a state on a key-equivalent block,
 /// as produced by Algorithm 1: maximal merged tuples, any two of which
@@ -77,6 +102,36 @@ impl KeRep {
         Ok(rep)
     }
 
+    /// Budgeted [`KeRep::build`]: every key-index probe of the merge loop
+    /// is charged as one lookup against `guard`, so building a
+    /// representative instance from an adversarially merge-heavy state can
+    /// be cut off with a typed [`ExecError::BudgetExceeded`] instead of
+    /// running arbitrarily long. Inconsistencies surface as
+    /// [`ExecError::Inconsistent`].
+    pub fn build_bounded<I>(
+        keys: &[AttrSet],
+        tuples: I,
+        guard: &Guard,
+    ) -> Result<Self, ExecError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut keys: Vec<AttrSet> = keys.to_vec();
+        keys.sort();
+        keys.dedup();
+        let mut rep = KeRep {
+            keys,
+            tuples: Vec::new(),
+            index: HashMap::new(),
+            redirect: HashMap::new(),
+            live: 0,
+        };
+        for t in tuples {
+            rep.insert_merge_bounded(t, guard)?;
+        }
+        Ok(rep)
+    }
+
     /// The block's keys.
     pub fn keys(&self) -> &[AttrSet] {
         &self.keys
@@ -112,6 +167,20 @@ impl KeRep {
     /// incremental form of Algorithm 1. Fails iff the merged state is
     /// inconsistent.
     pub fn insert_merge(&mut self, t: Tuple) -> Result<(), KeInconsistent> {
+        match self.insert_merge_impl(t, None) {
+            Ok(()) => Ok(()),
+            Err(MergeHalt::Inconsistent(e)) => Err(e),
+            Err(MergeHalt::Exec(_)) => unreachable!("unguarded merge cannot be stopped"),
+        }
+    }
+
+    /// Budgeted [`KeRep::insert_merge`]: charges one lookup per key-index
+    /// probe against `guard`.
+    pub fn insert_merge_bounded(&mut self, t: Tuple, guard: &Guard) -> Result<(), ExecError> {
+        self.insert_merge_impl(t, Some(guard)).map_err(ExecError::from)
+    }
+
+    fn insert_merge_impl(&mut self, t: Tuple, guard: Option<&Guard>) -> Result<(), MergeHalt> {
         let slot = self.tuples.len();
         self.tuples.push(Some(t));
         self.live += 1;
@@ -129,6 +198,9 @@ impl KeRep {
                 let Some(vals) = Self::key_values(k, &t) else {
                     continue;
                 };
+                if let Some(g) = guard {
+                    g.lookup().map_err(MergeHalt::Exec)?;
+                }
                 let entry = (ki, vals);
                 match self.index.get(&entry).copied() {
                     None => {
@@ -151,7 +223,7 @@ impl KeRep {
                             .as_ref()
                             .expect("live slot")
                             .join(&u)
-                            .ok_or(KeInconsistent { key: k })?;
+                            .ok_or(MergeHalt::Inconsistent(KeInconsistent { key: k }))?;
                         self.tuples[s] = Some(merged);
                         self.index.insert(entry, s);
                         // Redirect future lookups of `other` and re-process

@@ -1,4 +1,5 @@
-//! Property tests over *random* schemes (not just the curated families):
+//! Randomized property tests over *random* schemes (not just the curated
+//! families):
 //!
 //! * KEP produces the key-equivalent partition: every block is
 //!   key-equivalent, and no union of two blocks is (maximality /
@@ -11,6 +12,8 @@
 //!   the KEP partition (one direction of Theorem 5.1; the other — no
 //!   *other* partition can work when KEP's fails — is spot-checked on
 //!   singleton partitions).
+//!
+//! Seeded [`SplitMix64`] loops — deterministic, offline.
 
 use idr_core::kep::key_equivalent_partition;
 use idr_core::key_equiv::is_key_equivalent;
@@ -18,37 +21,43 @@ use idr_core::maintain::{algorithm2, algorithm5, IrMaintainer, StateIndex};
 use idr_core::recognition::{is_ir_partition, recognize};
 use idr_core::split::{is_split_free, split_keys, split_keys_via_chase};
 use idr_fd::KeyDeps;
+use idr_relation::rng::SplitMix64;
 use idr_relation::DatabaseScheme;
 use idr_workload::generators::random_scheme;
 use idr_workload::states::{generate, WorkloadConfig};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn arb_scheme() -> impl Strategy<Value = DatabaseScheme> {
-    (any::<u64>(), 3..=6usize, 2..=5usize).prop_filter_map(
-        "random_scheme converged",
-        |(seed, width, n)| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            random_scheme(&mut rng, width, n)
-        },
-    )
+const CASES: usize = 128;
+
+/// Draws random schemes until the generator converges (it bails on
+/// degenerate draws), so every case gets a scheme.
+fn rand_scheme(rng: &mut SplitMix64) -> DatabaseScheme {
+    loop {
+        let width = rng.gen_range_inclusive(3, 6);
+        let n = rng.gen_range_inclusive(2, 5);
+        if let Some(db) = random_scheme(rng, width, n) {
+            return db;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn kep_blocks_are_key_equivalent_and_maximal(db in arb_scheme()) {
+#[test]
+fn kep_blocks_are_key_equivalent_and_maximal() {
+    let mut master = SplitMix64::new(0xE001);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
         let kd = KeyDeps::of(&db);
         let part = key_equivalent_partition(&db, &kd);
         // Partition covers all schemes exactly once.
         let mut all: Vec<usize> = part.iter().flatten().copied().collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..db.len()).collect::<Vec<_>>());
+        assert_eq!(all, (0..db.len()).collect::<Vec<_>>(), "case {case}");
         // Every block is key-equivalent.
         for block in &part {
-            prop_assert!(is_key_equivalent(&db, &kd, block), "block {block:?}");
+            assert!(
+                is_key_equivalent(&db, &kd, block),
+                "case {case}: block {block:?}"
+            );
         }
         // Maximality: merging any two blocks breaks key-equivalence
         // (Lemma 5.2: every key-equivalent subset is inside one block).
@@ -56,76 +65,95 @@ proptest! {
             for j in (i + 1)..part.len() {
                 let merged: Vec<usize> =
                     part[i].iter().chain(part[j].iter()).copied().collect();
-                prop_assert!(
+                assert!(
                     !is_key_equivalent(&db, &kd, &merged),
-                    "blocks {i} and {j} merge into a key-equivalent set"
+                    "case {case}: blocks {i} and {j} merge into a key-equivalent set"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn split_test_forms_agree(db in arb_scheme()) {
+#[test]
+fn split_test_forms_agree() {
+    let mut master = SplitMix64::new(0xE002);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
         let kd = KeyDeps::of(&db);
         let part = key_equivalent_partition(&db, &kd);
         for block in &part {
-            prop_assert_eq!(
+            assert_eq!(
                 split_keys(&db, &kd, block),
-                split_keys_via_chase(&db, &kd, block)
+                split_keys_via_chase(&db, &kd, block),
+                "case {case}"
             );
         }
     }
+}
 
-    #[test]
-    fn recognition_matches_definition_on_kep_partition(db in arb_scheme()) {
+#[test]
+fn recognition_matches_definition_on_kep_partition() {
+    let mut master = SplitMix64::new(0xE003);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
         let kd = KeyDeps::of(&db);
         let part = key_equivalent_partition(&db, &kd);
         match recognize(&db, &kd) {
             idr_core::Recognition::Accepted(ir) => {
-                prop_assert!(is_ir_partition(&db, &kd, &ir.partition));
+                assert!(is_ir_partition(&db, &kd, &ir.partition), "case {case}");
             }
             idr_core::Recognition::Rejected(_) => {
-                prop_assert!(!is_ir_partition(&db, &kd, &part));
+                assert!(!is_ir_partition(&db, &kd, &part), "case {case}");
                 // The all-singletons partition cannot work either unless
                 // it is the KEP partition.
                 let singles: Vec<Vec<usize>> = (0..db.len()).map(|i| vec![i]).collect();
                 if singles != part {
-                    prop_assert!(!is_ir_partition(&db, &kd, &singles)
-                        || !singles.iter().all(|b| is_key_equivalent(&db, &kd, b)));
+                    assert!(
+                        !is_ir_partition(&db, &kd, &singles)
+                            || !singles.iter().all(|b| is_key_equivalent(&db, &kd, b)),
+                        "case {case}"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn kerep_is_confluent_under_input_order(
-        db in arb_scheme(),
-        seed in any::<u64>(),
-        perm_seed in any::<u64>(),
-    ) {
-        // Algorithm 1's result is independent of the order tuples are
-        // merged in (the chase is Church–Rosser; the whole-tuple merge
-        // inherits it).
-        use rand::seq::SliceRandom;
+#[test]
+fn kerep_is_confluent_under_input_order() {
+    // Algorithm 1's result is independent of the order tuples are
+    // merged in (the chase is Church–Rosser; the whole-tuple merge
+    // inherits it).
+    let mut master = SplitMix64::new(0xE004);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
         let kd = KeyDeps::of(&db);
         let Some(ir) = recognize(&db, &kd).accepted() else {
-            return Ok(());
+            continue;
         };
-        prop_assume!(ir.len() == 1);
+        if ir.len() != 1 {
+            continue;
+        }
         let mut sym = idr_relation::SymbolTable::new();
-        let w = generate(&db, &mut sym, WorkloadConfig {
-            entities: 10,
-            fragment_pct: 60,
-            inserts: 0,
-            corrupt_pct: 0,
-            seed,
-        });
+        let w = generate(
+            &db,
+            &mut sym,
+            WorkloadConfig {
+                entities: 10,
+                fragment_pct: 60,
+                inserts: 0,
+                corrupt_pct: 0,
+                seed: rng.next_u64(),
+            },
+        );
         let keys = ir.block_keys[0].clone();
         let tuples: Vec<idr_relation::Tuple> =
             w.state.iter_all().map(|(_, t)| t.clone()).collect();
         let mut shuffled = tuples.clone();
-        let mut rng = StdRng::seed_from_u64(perm_seed);
-        shuffled.shuffle(&mut rng);
+        rng.shuffle(&mut shuffled);
         let r1 = idr_core::KeRep::build(&keys, tuples).unwrap();
         let r2 = idr_core::KeRep::build(&keys, shuffled).unwrap();
         let collect = |r: &idr_core::KeRep| {
@@ -133,61 +161,76 @@ proptest! {
             v.sort();
             v
         };
-        prop_assert_eq!(collect(&r1), collect(&r2));
+        assert_eq!(collect(&r1), collect(&r2), "case {case}");
     }
+}
 
-    #[test]
-    fn algorithm2_matches_chase_on_random_schemes(
-        db in arb_scheme(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn algorithm2_matches_chase_on_random_schemes() {
+    let mut master = SplitMix64::new(0xE005);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
         let kd = KeyDeps::of(&db);
         let Some(ir) = recognize(&db, &kd).accepted() else {
-            return Ok(());
+            continue;
         };
         let mut sym = idr_relation::SymbolTable::new();
-        let w = generate(&db, &mut sym, WorkloadConfig {
-            entities: 12,
-            fragment_pct: 50,
-            inserts: 8,
-            corrupt_pct: 50,
-            seed,
-        });
-        let Ok(m) = IrMaintainer::new(&db, &ir, &w.state) else {
-            // The generated state is consistent by construction; Algorithm
-            // 1 must accept it.
-            return Err(TestCaseError::fail("Algorithm 1 rejected a consistent state"));
-        };
+        let w = generate(
+            &db,
+            &mut sym,
+            WorkloadConfig {
+                entities: 12,
+                fragment_pct: 50,
+                inserts: 8,
+                corrupt_pct: 50,
+                seed: rng.next_u64(),
+            },
+        );
+        // The generated state is consistent by construction; Algorithm 1
+        // must accept it.
+        let m = IrMaintainer::new(&db, &ir, &w.state)
+            .unwrap_or_else(|_| panic!("case {case}: Algorithm 1 rejected a consistent state"));
         for (i, t) in &w.inserts {
             let b = ir.block_of[*i];
             let (outcome, _) = algorithm2(&db, &m.reps()[b], *i, t);
             let mut updated = w.state.clone();
             updated.insert(*i, t.clone()).unwrap();
             let oracle = idr_chase::is_consistent(&db, &updated, kd.full());
-            prop_assert_eq!(outcome.is_consistent(), oracle, "insert {:?} into {}", t, i);
+            assert_eq!(
+                outcome.is_consistent(),
+                oracle,
+                "case {case}: insert {t:?} into {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn algorithm5_matches_chase_on_random_split_free_schemes(
-        db in arb_scheme(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn algorithm5_matches_chase_on_random_split_free_schemes() {
+    let mut master = SplitMix64::new(0xE006);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
         let kd = KeyDeps::of(&db);
         let Some(ir) = recognize(&db, &kd).accepted() else {
-            return Ok(());
+            continue;
         };
         if !ir.partition.iter().all(|b| is_split_free(&db, &kd, b)) {
-            return Ok(());
+            continue;
         }
         let mut sym = idr_relation::SymbolTable::new();
-        let w = generate(&db, &mut sym, WorkloadConfig {
-            entities: 12,
-            fragment_pct: 50,
-            inserts: 8,
-            corrupt_pct: 50,
-            seed,
-        });
+        let w = generate(
+            &db,
+            &mut sym,
+            WorkloadConfig {
+                entities: 12,
+                fragment_pct: 50,
+                inserts: 8,
+                corrupt_pct: 50,
+                seed: rng.next_u64(),
+            },
+        );
         for (i, t) in &w.inserts {
             let b = ir.block_of[*i];
             let idx = StateIndex::build(&db, &ir.partition[b], &w.state)
@@ -196,70 +239,93 @@ proptest! {
             let mut updated = w.state.clone();
             updated.insert(*i, t.clone()).unwrap();
             let oracle = idr_chase::is_consistent(&db, &updated, kd.full());
-            prop_assert_eq!(outcome.is_consistent(), oracle, "insert {:?} into {}", t, i);
-        }
-    }
-
-    #[test]
-    fn total_projection_matches_chase_on_random_schemes(
-        db in arb_scheme(),
-        seed in any::<u64>(),
-    ) {
-        let kd = KeyDeps::of(&db);
-        let Some(ir) = recognize(&db, &kd).accepted() else {
-            return Ok(());
-        };
-        let mut sym = idr_relation::SymbolTable::new();
-        let w = generate(&db, &mut sym, WorkloadConfig {
-            entities: 10,
-            fragment_pct: 50,
-            inserts: 0,
-            corrupt_pct: 0,
-            seed,
-        });
-        for s in db.schemes().iter().take(3) {
-            let x = s.attrs();
-            let fast = idr_core::query::ir_total_projection(&db, &kd, &ir, &w.state, x)
-                .unwrap();
-            let oracle = idr_chase::total_projection(&db, &w.state, kd.full(), x).unwrap();
-            prop_assert_eq!(fast.sorted_tuples(), oracle, "X = {:?}", x);
+            assert_eq!(
+                outcome.is_consistent(),
+                oracle,
+                "case {case}: insert {t:?} into {i}"
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn total_projection_matches_chase_on_random_schemes() {
+    let mut master = SplitMix64::new(0xE007);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
+        let kd = KeyDeps::of(&db);
+        let Some(ir) = recognize(&db, &kd).accepted() else {
+            continue;
+        };
+        let mut sym = idr_relation::SymbolTable::new();
+        let w = generate(
+            &db,
+            &mut sym,
+            WorkloadConfig {
+                entities: 10,
+                fragment_pct: 50,
+                inserts: 0,
+                corrupt_pct: 0,
+                seed: rng.next_u64(),
+            },
+        );
+        for s in db.schemes().iter().take(3) {
+            let x = s.attrs();
+            let fast =
+                idr_core::query::ir_total_projection(&db, &kd, &ir, &w.state, x).unwrap();
+            let oracle = idr_chase::total_projection(&db, &w.state, kd.full(), x).unwrap();
+            assert_eq!(fast.sorted_tuples(), oracle, "case {case}: X = {x:?}");
+        }
+    }
+}
 
-    #[test]
-    fn theorem_5_1_algorithm6_is_exact(db in arb_scheme()) {
-        // Theorem 5.1 both ways: Algorithm 6 accepts iff *some* partition
-        // satisfies the definition — checked by brute force over every
-        // partition of the scheme set.
-        prop_assume!(db.len() <= 6);
+#[test]
+fn theorem_5_1_algorithm6_is_exact() {
+    // Theorem 5.1 both ways: Algorithm 6 accepts iff *some* partition
+    // satisfies the definition — checked by brute force over every
+    // partition of the scheme set.
+    let mut master = SplitMix64::new(0xE008);
+    for case in 0..24 {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
+        if db.len() > 6 {
+            continue;
+        }
         let kd = KeyDeps::of(&db);
         let fast = recognize(&db, &kd).is_accepted();
-        let brute =
-            idr_core::recognition::is_independence_reducible_bruteforce(&db, &kd);
-        prop_assert_eq!(fast, brute, "Algorithm 6 is not exact on {:?}", db);
+        let brute = idr_core::recognition::is_independence_reducible_bruteforce(&db, &kd);
+        assert_eq!(
+            fast, brute,
+            "case {case}: Algorithm 6 is not exact on {db:?}"
+        );
     }
+}
 
-    #[test]
-    fn uniqueness_condition_is_semantically_sound(db in arb_scheme()) {
-        // One-sided semantic check: wherever the uniqueness condition
-        // claims independence (on BCNF schemes, where it is exact), the
-        // bounded LSAT fragment contains no locally-consistent globally-
-        // inconsistent state.
+#[test]
+fn uniqueness_condition_is_semantically_sound() {
+    // One-sided semantic check: wherever the uniqueness condition
+    // claims independence (on BCNF schemes, where it is exact), the
+    // bounded LSAT fragment contains no locally-consistent globally-
+    // inconsistent state.
+    let mut master = SplitMix64::new(0xE009);
+    for case in 0..24 {
+        let mut rng = master.split();
+        let db = rand_scheme(&mut rng);
         let kd = KeyDeps::of(&db);
-        prop_assume!(db.schemes().iter().all(|s| s.attrs().len() <= 3));
-        prop_assume!(db.len() <= 4);
+        if !db.schemes().iter().all(|s| s.attrs().len() <= 3) || db.len() > 4 {
+            continue;
+        }
         if idr_fd::normal::satisfies_uniqueness(&db, &kd)
             && idr_fd::normal::is_bcnf(&db, kd.full())
         {
             let mut sym = idr_relation::SymbolTable::new();
-            let w = idr_core::semantic::find_independence_counterexample(
-                &db, &kd, &mut sym, 2,
+            let w =
+                idr_core::semantic::find_independence_counterexample(&db, &kd, &mut sym, 2);
+            assert!(
+                w.is_none(),
+                "case {case}: uniqueness claimed independence but {w:?}"
             );
-            prop_assert!(w.is_none(), "uniqueness claimed independence but {w:?}");
         }
     }
 }

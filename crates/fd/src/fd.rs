@@ -52,6 +52,24 @@ impl fmt::Debug for Fd {
     }
 }
 
+/// A malformed functional-dependency specification (see
+/// [`FdSet::try_parse`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdParseError {
+    /// The offending fragment of the input, trimmed.
+    pub fragment: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for FdParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed fd {:?}: {}", self.fragment, self.reason)
+    }
+}
+
+impl std::error::Error for FdParseError {}
+
 /// A finite set of functional dependencies with an indexed closure
 /// algorithm.
 ///
@@ -96,23 +114,54 @@ impl FdSet {
     }
 
     /// Parses fds in the paper's notation: `"A->BC, BC->D"` over a
-    /// single-character universe. Panics on malformed input (fixture use).
+    /// single-character universe. Panics on malformed input (fixture use);
+    /// external input goes through [`FdSet::try_parse`].
     pub fn parse(universe: &Universe, spec: &str) -> Self {
+        Self::try_parse(universe, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FdSet::parse`] for external input: returns a typed
+    /// [`FdParseError`] naming the offending fragment instead of
+    /// panicking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use idr_relation::Universe;
+    /// use idr_fd::FdSet;
+    ///
+    /// let u = Universe::of_chars("ABC");
+    /// assert!(FdSet::try_parse(&u, "A->B, B->C").is_ok());
+    /// assert!(FdSet::try_parse(&u, "A=>B").is_err());
+    /// assert!(FdSet::try_parse(&u, "A->Z").is_err());
+    /// ```
+    pub fn try_parse(universe: &Universe, spec: &str) -> Result<Self, FdParseError> {
         let mut fds = Vec::new();
         for part in spec.split(',') {
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
-            let (l, r) = part
-                .split_once("->")
-                .unwrap_or_else(|| panic!("malformed fd {part:?}"));
-            fds.push(Fd::new(
-                universe.set_of(l.trim()),
-                universe.set_of(r.trim()),
-            ));
+            let (l, r) = part.split_once("->").ok_or_else(|| FdParseError {
+                fragment: part.to_string(),
+                reason: "expected `LHS->RHS`".to_string(),
+            })?;
+            let side = |s: &str| -> Result<AttrSet, FdParseError> {
+                let s = s.trim();
+                if s.is_empty() {
+                    return Err(FdParseError {
+                        fragment: part.to_string(),
+                        reason: "empty attribute set".to_string(),
+                    });
+                }
+                universe.try_set_of(s).map_err(|unknown| FdParseError {
+                    fragment: part.to_string(),
+                    reason: format!("unknown attribute {unknown:?}"),
+                })
+            };
+            fds.push(Fd::new(side(l)?, side(r)?));
         }
-        FdSet::from_fds(fds)
+        Ok(FdSet::from_fds(fds))
     }
 
     /// Adds a dependency (keeping the set deduplicated and sorted).

@@ -26,5 +26,6 @@ pub mod naive;
 pub mod normal;
 pub mod project;
 
-pub use fd::{Fd, FdSet};
+pub use fd::{Fd, FdParseError, FdSet};
 pub use keydeps::KeyDeps;
+pub use project::project_fds_bounded;

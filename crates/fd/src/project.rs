@@ -1,5 +1,6 @@
 //! Semantic projection `F⁺|R` of a dependency set onto a scheme (§2.3).
 
+use idr_relation::exec::{ExecError, Guard};
 use idr_relation::AttrSet;
 
 use crate::fd::{Fd, FdSet};
@@ -38,6 +39,33 @@ pub fn project_fds(f: &FdSet, r: AttrSet) -> FdSet {
         }
     }
     FdSet::from_fds(out)
+}
+
+/// Budgeted [`project_fds`]: enumerating the `2^|R|` subsets of `R` is
+/// charged against the guard's enumeration budget, so an over-wide scheme
+/// returns [`ExecError::BudgetExceeded`] instead of panicking. The
+/// [`MAX_PROJECT_WIDTH`] assert does not apply here — the enumeration
+/// budget (or its default backstop) is the guard.
+pub fn project_fds_bounded(
+    f: &FdSet,
+    r: AttrSet,
+    guard: &Guard,
+) -> Result<FdSet, ExecError> {
+    let mut out = Vec::new();
+    // `try_subsets` charges the full 2^|R| enumeration up front: the cost
+    // is known before any work happens, and failing early beats failing
+    // after minutes of closure computation.
+    for x in r.try_subsets(guard)? {
+        guard.checkpoint()?;
+        if x.is_empty() {
+            continue;
+        }
+        let rhs = (f.closure(x) & r) - x;
+        if !rhs.is_empty() {
+            out.push(Fd::new(x, rhs));
+        }
+    }
+    Ok(FdSet::from_fds(out))
 }
 
 /// Whether `fi` is a cover of `F⁺|Rᵢ` — the hypothesis of Lemma 4.1: if

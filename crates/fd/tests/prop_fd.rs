@@ -1,94 +1,141 @@
-//! Property-based tests for FD theory: closure is a closure operator, the
-//! indexed and naive implementations agree, minimal covers are equivalent
-//! covers, and candidate keys are exactly the minimal superkeys.
+//! Randomized property tests for FD theory: closure is a closure operator,
+//! the indexed and naive implementations agree, minimal covers are
+//! equivalent covers, and candidate keys are exactly the minimal
+//! superkeys. Seeded [`SplitMix64`] loops — deterministic, offline.
 
 use idr_fd::{cover::minimal_cover, keys::candidate_keys, naive::closure_naive, Fd, FdSet};
+use idr_relation::rng::SplitMix64;
 use idr_relation::{AttrSet, Attribute};
-use proptest::prelude::*;
 
 const N: usize = 8;
+const CASES: usize = 256;
 
-fn arb_attrset() -> impl Strategy<Value = AttrSet> {
-    prop::collection::vec(0..N, 0..N)
-        .prop_map(|ixs| AttrSet::from_iter(ixs.into_iter().map(Attribute::from_index)))
+fn rand_attrset(rng: &mut SplitMix64) -> AttrSet {
+    let n = rng.gen_range(0, N);
+    AttrSet::from_iter((0..n).map(|_| Attribute::from_index(rng.gen_range(0, N))))
 }
 
-fn arb_fdset() -> impl Strategy<Value = FdSet> {
-    prop::collection::vec((arb_attrset(), arb_attrset()), 0..10).prop_map(|pairs| {
-        FdSet::from_fds(
-            pairs
-                .into_iter()
-                .filter(|(l, _)| !l.is_empty())
-                .map(|(l, r)| Fd::new(l, r)),
-        )
-    })
+fn rand_fdset(rng: &mut SplitMix64) -> FdSet {
+    let n = rng.gen_range(0, 10);
+    FdSet::from_fds(
+        (0..n)
+            .map(|_| (rand_attrset(rng), rand_attrset(rng)))
+            .filter(|(l, _)| !l.is_empty())
+            .map(|(l, r)| Fd::new(l, r)),
+    )
 }
 
-proptest! {
-    #[test]
-    fn closure_is_extensive(f in arb_fdset(), x in arb_attrset()) {
-        prop_assert!(x.is_subset(f.closure(x)));
+#[test]
+fn closure_is_extensive() {
+    let mut master = SplitMix64::new(0xF001);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
+        let x = rand_attrset(&mut rng);
+        assert!(x.is_subset(f.closure(x)), "case {case}");
     }
+}
 
-    #[test]
-    fn closure_is_idempotent(f in arb_fdset(), x in arb_attrset()) {
-        let c = f.closure(x);
-        prop_assert_eq!(f.closure(c), c);
+#[test]
+fn closure_is_idempotent() {
+    let mut master = SplitMix64::new(0xF002);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
+        let c = f.closure(rand_attrset(&mut rng));
+        assert_eq!(f.closure(c), c, "case {case}");
     }
+}
 
-    #[test]
-    fn closure_is_monotone(f in arb_fdset(), x in arb_attrset(), y in arb_attrset()) {
+#[test]
+fn closure_is_monotone() {
+    let mut master = SplitMix64::new(0xF003);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
+        let x = rand_attrset(&mut rng);
+        let y = rand_attrset(&mut rng);
         let small = x & y;
-        prop_assert!(f.closure(small).is_subset(f.closure(x)));
+        assert!(f.closure(small).is_subset(f.closure(x)), "case {case}");
     }
+}
 
-    #[test]
-    fn indexed_closure_matches_naive(f in arb_fdset(), x in arb_attrset()) {
-        prop_assert_eq!(f.closure(x), closure_naive(&f, x));
+#[test]
+fn indexed_closure_matches_naive() {
+    let mut master = SplitMix64::new(0xF004);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
+        let x = rand_attrset(&mut rng);
+        assert_eq!(f.closure(x), closure_naive(&f, x), "case {case}");
     }
+}
 
-    #[test]
-    fn closure_satisfies_every_fd(f in arb_fdset(), x in arb_attrset()) {
-        let c = f.closure(x);
+#[test]
+fn closure_satisfies_every_fd() {
+    let mut master = SplitMix64::new(0xF005);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
+        let c = f.closure(rand_attrset(&mut rng));
         for fd in f.fds() {
             if fd.lhs.is_subset(c) {
-                prop_assert!(fd.rhs.is_subset(c));
+                assert!(fd.rhs.is_subset(c), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn minimal_cover_is_equivalent(f in arb_fdset()) {
+#[test]
+fn minimal_cover_is_equivalent() {
+    let mut master = SplitMix64::new(0xF006);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
         let m = minimal_cover(&f);
-        prop_assert!(m.equivalent(&f));
+        assert!(m.equivalent(&f), "case {case}");
         for fd in m.fds() {
-            prop_assert_eq!(fd.rhs.len(), 1);
-            prop_assert!(!fd.is_trivial());
+            assert_eq!(fd.rhs.len(), 1, "case {case}");
+            assert!(!fd.is_trivial(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn minimal_cover_has_no_redundant_fd(f in arb_fdset()) {
+#[test]
+fn minimal_cover_has_no_redundant_fd() {
+    let mut master = SplitMix64::new(0xF007);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
         let m = minimal_cover(&f);
         for (i, &fd) in m.fds().iter().enumerate() {
             let rest = FdSet::from_fds(
-                m.fds().iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &g)| g),
+                m.fds()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &g)| g),
             );
-            prop_assert!(!rest.implies(fd), "fd {i} is redundant");
+            assert!(!rest.implies(fd), "case {case}: fd {i} is redundant");
         }
     }
+}
 
-    #[test]
-    fn candidate_keys_are_exactly_minimal_superkeys(f in arb_fdset()) {
+#[test]
+fn candidate_keys_are_exactly_minimal_superkeys() {
+    let mut master = SplitMix64::new(0xF008);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
         // Work inside a fixed 6-attribute scheme so brute force stays small.
         let r = AttrSet::from_iter((0..6).map(Attribute::from_index));
         let keys = candidate_keys(&f, r);
         // Brute-force: enumerate all subsets, find minimal superkeys.
-        let mut brute: Vec<AttrSet> = r
+        let brute: Vec<AttrSet> = r
             .subsets()
             .filter(|&x| r.is_subset(f.closure(x)))
             .collect();
-        let minimal: Vec<AttrSet> = brute
+        let mut brute_sorted: Vec<AttrSet> = brute
             .iter()
             .copied()
             .filter(|&x| {
@@ -97,16 +144,20 @@ proptest! {
                     .any(|&y| y.is_proper_subset(x) && r.is_subset(f.closure(y)))
             })
             .collect();
-        brute = minimal;
-        let mut brute_sorted = brute;
         brute_sorted.sort();
-        prop_assert_eq!(keys, brute_sorted);
+        assert_eq!(keys, brute_sorted, "case {case}");
     }
+}
 
-    #[test]
-    fn union_implies_both_parts(f in arb_fdset(), g in arb_fdset()) {
+#[test]
+fn union_implies_both_parts() {
+    let mut master = SplitMix64::new(0xF009);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let f = rand_fdset(&mut rng);
+        let g = rand_fdset(&mut rng);
         let u = f.union(&g);
-        prop_assert!(u.implies_all(&f));
-        prop_assert!(u.implies_all(&g));
+        assert!(u.implies_all(&f), "case {case}");
+        assert!(u.implies_all(&g), "case {case}");
     }
 }

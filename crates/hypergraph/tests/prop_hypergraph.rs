@@ -5,121 +5,155 @@
 //! * Theorem 2.1: for connected hypergraphs, γ-acyclicity coincides with
 //!   the existence of a u.m.c. among every subset of nodes;
 //! * γ-acyclic ⇒ α-acyclic.
+//!
+//! Seeded [`SplitMix64`] loops — deterministic, offline.
 
 use idr_hypergraph::{bachman, beta, gamma, gyo, Hypergraph};
+use idr_relation::rng::SplitMix64;
 use idr_relation::{AttrSet, Attribute};
-use proptest::prelude::*;
+
+const CASES: usize = 512;
 
 /// Random hypergraphs over ≤ 6 nodes with ≤ 5 edges of size ≥ 1,
 /// deduplicated.
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    prop::collection::vec(prop::collection::vec(0..6usize, 1..5), 1..6).prop_map(|edges| {
-        let mut sets: Vec<AttrSet> = edges
-            .into_iter()
-            .map(|e| AttrSet::from_iter(e.into_iter().map(Attribute::from_index)))
-            .collect();
-        sets.sort();
-        sets.dedup();
-        Hypergraph::new(sets)
-    })
+fn rand_hypergraph(rng: &mut SplitMix64) -> Hypergraph {
+    let n_edges = rng.gen_range(1, 6);
+    let mut sets: Vec<AttrSet> = (0..n_edges)
+        .map(|_| {
+            let sz = rng.gen_range(1, 5);
+            AttrSet::from_iter((0..sz).map(|_| Attribute::from_index(rng.gen_range(0, 6))))
+        })
+        .collect();
+    sets.sort();
+    sets.dedup();
+    Hypergraph::new(sets)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn reduction_agrees_with_gamma_cycle_oracle(h in arb_hypergraph()) {
+#[test]
+fn reduction_agrees_with_gamma_cycle_oracle() {
+    let mut master = SplitMix64::new(0x4001);
+    for _ in 0..CASES {
+        let h = rand_hypergraph(&mut master.split());
         let fast = gamma::is_gamma_acyclic(&h);
         let oracle = gamma::is_gamma_acyclic_oracle(&h);
-        prop_assert_eq!(fast, oracle, "edges: {:?}", h.edges());
+        assert_eq!(fast, oracle, "edges: {:?}", h.edges());
     }
+}
 
-    #[test]
-    fn gamma_acyclic_implies_alpha_acyclic(h in arb_hypergraph()) {
+#[test]
+fn gamma_acyclic_implies_alpha_acyclic() {
+    let mut master = SplitMix64::new(0x4002);
+    for _ in 0..CASES {
+        let h = rand_hypergraph(&mut master.split());
         if gamma::is_gamma_acyclic(&h) {
-            prop_assert!(gyo::is_alpha_acyclic(&h), "edges: {:?}", h.edges());
+            assert!(gyo::is_alpha_acyclic(&h), "edges: {:?}", h.edges());
         }
     }
+}
 
-    #[test]
-    fn acyclicity_hierarchy_is_a_chain(h in arb_hypergraph()) {
+#[test]
+fn acyclicity_hierarchy_is_a_chain() {
+    let mut master = SplitMix64::new(0x4003);
+    for _ in 0..CASES {
+        let h = rand_hypergraph(&mut master.split());
         // γ ⇒ β ⇒ α on random hypergraphs.
         if gamma::is_gamma_acyclic(&h) {
-            prop_assert!(beta::is_beta_acyclic(&h), "γ⇒β failed: {:?}", h.edges());
+            assert!(beta::is_beta_acyclic(&h), "γ⇒β failed: {:?}", h.edges());
         }
         if beta::is_beta_acyclic(&h) {
-            prop_assert!(gyo::is_alpha_acyclic(&h), "β⇒α failed: {:?}", h.edges());
+            assert!(gyo::is_alpha_acyclic(&h), "β⇒α failed: {:?}", h.edges());
         }
     }
+}
 
-    #[test]
-    fn beta_deciders_agree(h in arb_hypergraph()) {
-        prop_assert_eq!(
+#[test]
+fn beta_deciders_agree() {
+    let mut master = SplitMix64::new(0x4004);
+    for _ in 0..CASES {
+        let h = rand_hypergraph(&mut master.split());
+        assert_eq!(
             beta::is_beta_acyclic(&h),
             beta::is_beta_acyclic_oracle(&h),
-            "edges: {:?}", h.edges()
+            "edges: {:?}",
+            h.edges()
         );
     }
+}
 
-    #[test]
-    fn theorem_2_1_umc_characterisation(h in arb_hypergraph()) {
+#[test]
+fn theorem_2_1_umc_characterisation() {
+    let mut master = SplitMix64::new(0x4005);
+    for _ in 0..CASES {
+        let h = rand_hypergraph(&mut master.split());
         // Theorem 2.1 assumes a connected scheme.
-        prop_assume!(h.is_connected());
+        if !h.is_connected() {
+            continue;
+        }
         // The oracle is exponential in the Bachman closure; skip the rare
         // blow-ups.
-        prop_assume!(bachman::bachman_closure(h.edges()).len() <= bachman::MAX_BACHMAN);
+        if bachman::bachman_closure(h.edges()).len() > bachman::MAX_BACHMAN {
+            continue;
+        }
         let gamma_acyclic = gamma::is_gamma_acyclic(&h);
         let umc = bachman::has_umc_for_all_subsets(&h);
-        prop_assert_eq!(gamma_acyclic, umc, "edges: {:?}", h.edges());
+        assert_eq!(gamma_acyclic, umc, "edges: {:?}", h.edges());
     }
+}
 
-    #[test]
-    fn components_partition_edges(h in arb_hypergraph()) {
+#[test]
+fn components_partition_edges() {
+    let mut master = SplitMix64::new(0x4006);
+    for _ in 0..CASES {
+        let h = rand_hypergraph(&mut master.split());
         let comps = h.components();
         let mut all: Vec<usize> = comps.iter().flatten().copied().collect();
         all.sort_unstable();
         let expected: Vec<usize> = (0..h.len()).collect();
-        prop_assert_eq!(all, expected);
+        assert_eq!(all, expected);
         // Edges in different components never intersect.
         for (i, c1) in comps.iter().enumerate() {
             for c2 in comps.iter().skip(i + 1) {
                 for &e1 in c1 {
                     for &e2 in c2 {
-                        prop_assert!(h.edges()[e1].is_disjoint(h.edges()[e2]));
+                        assert!(h.edges()[e1].is_disjoint(h.edges()[e2]));
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn gamma_cycle_witness_is_valid(h in arb_hypergraph()) {
+#[test]
+fn gamma_cycle_witness_is_valid() {
+    let mut master = SplitMix64::new(0x4007);
+    for _ in 0..CASES {
+        let h = rand_hypergraph(&mut master.split());
         if let Some(c) = gamma::find_gamma_cycle(&h) {
             let m = c.edges.len();
-            prop_assert!(m >= 3);
+            assert!(m >= 3);
             // Distinct edges and nodes.
             let mut es: Vec<AttrSet> = c.edges.iter().map(|&i| h.edges()[i]).collect();
             es.sort();
             let before = es.len();
             es.dedup();
-            prop_assert_eq!(es.len(), before);
+            assert_eq!(es.len(), before);
             let mut ns = c.nodes.clone();
             ns.sort();
             let before = ns.len();
             ns.dedup();
-            prop_assert_eq!(ns.len(), before);
+            assert_eq!(ns.len(), before);
             // Connectivity: xi ∈ Si ∩ Si+1.
             for i in 0..m {
                 let s_i = h.edges()[c.edges[i]];
                 let s_next = h.edges()[c.edges[(i + 1) % m]];
-                prop_assert!(s_i.contains(c.nodes[i]));
-                prop_assert!(s_next.contains(c.nodes[i]));
+                assert!(s_i.contains(c.nodes[i]));
+                assert!(s_next.contains(c.nodes[i]));
             }
             // Purity for x1..x_{m-1}.
             for i in 0..m - 1 {
                 for (pos, &e) in c.edges.iter().enumerate() {
                     if pos != i && pos != (i + 1) % m {
-                        prop_assert!(!h.edges()[e].contains(c.nodes[i]));
+                        assert!(!h.edges()[e].contains(c.nodes[i]));
                     }
                 }
             }

@@ -201,6 +201,40 @@ impl AttrSet {
         })
     }
 
+    /// Budgeted [`subsets`](Self::subsets): charges `2^|self|` enumeration
+    /// units against `guard` before yielding anything, so an over-wide set
+    /// produces a typed [`crate::exec::ExecError::BudgetExceeded`] instead
+    /// of the panic in the unguarded version. Sets wider than 62 attributes
+    /// always exceed (their subset count does not fit a `u64`).
+    pub fn try_subsets(
+        &self,
+        guard: &crate::exec::Guard,
+    ) -> Result<impl Iterator<Item = AttrSet>, crate::exec::ExecError> {
+        let elems: Vec<Attribute> = self.iter().collect();
+        let n = elems.len();
+        if n > 62 {
+            return Err(crate::exec::ExecError::BudgetExceeded {
+                resource: crate::exec::Resource::Enumeration,
+                limit: guard
+                    .budget()
+                    .max_enumeration
+                    .unwrap_or(crate::exec::DEFAULT_MAX_ENUMERATION),
+                spent: u64::MAX,
+            });
+        }
+        let count = 1u64 << n;
+        guard.enumeration(count)?;
+        Ok((0..count).map(move |mask| {
+            let mut s = AttrSet::empty();
+            for (i, &a) in elems.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s.insert(a);
+                }
+            }
+            s
+        }))
+    }
+
     #[inline]
     fn locate(a: Attribute) -> (usize, u64) {
         let i = a.index();

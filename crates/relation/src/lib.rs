@@ -28,7 +28,9 @@
 pub mod algebra;
 mod attrset;
 mod error;
+pub mod exec;
 mod relation;
+pub mod rng;
 mod schema;
 mod state;
 mod symbol;

@@ -151,14 +151,27 @@ impl Universe {
     /// Panics if any character does not name an attribute; fixtures want
     /// loud failures.
     pub fn set_of(&self, chars: &str) -> AttrSet {
+        self.try_set_of(chars)
+            .unwrap_or_else(|c| panic!("attribute {c:?} not in universe"))
+    }
+
+    /// Fallible [`set_of`](Self::set_of) for external input: returns the
+    /// first character that does not name an attribute instead of
+    /// panicking.
+    pub fn try_set_of(&self, chars: &str) -> Result<AttrSet, char> {
         let mut s = AttrSet::empty();
         for c in chars.chars() {
             if c.is_whitespace() {
                 continue;
             }
-            s.insert(self.attr_of(&c.to_string()));
+            match self.attr(&c.to_string()) {
+                Some(a) => {
+                    s.insert(a);
+                }
+                None => return Err(c),
+            }
         }
-        s
+        Ok(s)
     }
 
     /// Renders an attribute set using this universe's names, sorted by

@@ -1,134 +1,171 @@
-//! Property-based tests for the relational substrate: AttrSet is a Boolean
-//! algebra, Tuple::join is a partial commutative/associative operation, and
-//! relational operators satisfy their algebraic laws.
+//! Randomized property tests for the relational substrate: AttrSet is a
+//! Boolean algebra, Tuple::join is a partial commutative/associative
+//! operation, and relational operators satisfy their algebraic laws.
+//!
+//! The workspace builds offline, so instead of a property-testing
+//! framework these run seeded [`SplitMix64`] loops — every case is
+//! deterministic and a failure message pinpoints the case index.
 
+use idr_relation::rng::SplitMix64;
 use idr_relation::{AttrSet, Attribute, Relation, SymbolTable, Tuple, Universe};
-use proptest::prelude::*;
 
-fn arb_attrset(max: usize) -> impl Strategy<Value = AttrSet> {
-    prop::collection::vec(0..max, 0..max)
-        .prop_map(|ixs| AttrSet::from_iter(ixs.into_iter().map(Attribute::from_index)))
+const CASES: usize = 256;
+
+/// A random attribute set over attributes `0..max`.
+fn rand_attrset(rng: &mut SplitMix64, max: usize) -> AttrSet {
+    let n = rng.gen_range(0, max);
+    AttrSet::from_iter((0..n).map(|_| Attribute::from_index(rng.gen_range(0, max))))
 }
 
-proptest! {
-    #[test]
-    fn union_is_commutative(a in arb_attrset(40), b in arb_attrset(40)) {
-        prop_assert_eq!(a | b, b | a);
+#[test]
+fn union_is_commutative() {
+    let mut master = SplitMix64::new(0xA001);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let (a, b) = (rand_attrset(&mut rng, 40), rand_attrset(&mut rng, 40));
+        assert_eq!(a | b, b | a, "case {case}");
     }
+}
 
-    #[test]
-    fn intersection_distributes_over_union(
-        a in arb_attrset(40), b in arb_attrset(40), c in arb_attrset(40)
-    ) {
-        prop_assert_eq!(a & (b | c), (a & b) | (a & c));
+#[test]
+fn intersection_distributes_over_union() {
+    let mut master = SplitMix64::new(0xA002);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let a = rand_attrset(&mut rng, 40);
+        let b = rand_attrset(&mut rng, 40);
+        let c = rand_attrset(&mut rng, 40);
+        assert_eq!(a & (b | c), (a & b) | (a & c), "case {case}");
     }
+}
 
-    #[test]
-    fn difference_then_union_restores_subset(a in arb_attrset(40), b in arb_attrset(40)) {
+#[test]
+fn difference_then_union_restores_subset() {
+    let mut master = SplitMix64::new(0xA003);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let (a, b) = (rand_attrset(&mut rng, 40), rand_attrset(&mut rng, 40));
         let d = a - b;
-        prop_assert!(d.is_subset(a));
-        prop_assert!(d.is_disjoint(b));
-        prop_assert_eq!(d | (a & b), a);
+        assert!(d.is_subset(a), "case {case}");
+        assert!(d.is_disjoint(b), "case {case}");
+        assert_eq!(d | (a & b), a, "case {case}");
     }
+}
 
-    #[test]
-    fn subset_iff_union_absorbs(a in arb_attrset(40), b in arb_attrset(40)) {
-        prop_assert_eq!(a.is_subset(b), (a | b) == b);
+#[test]
+fn subset_iff_union_absorbs() {
+    let mut master = SplitMix64::new(0xA004);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let (a, b) = (rand_attrset(&mut rng, 40), rand_attrset(&mut rng, 40));
+        assert_eq!(a.is_subset(b), (a | b) == b, "case {case}");
     }
+}
 
-    #[test]
-    fn iteration_matches_membership(a in arb_attrset(200)) {
+#[test]
+fn iteration_matches_membership() {
+    let mut master = SplitMix64::new(0xA005);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let a = rand_attrset(&mut rng, 200);
         let collected: Vec<Attribute> = a.iter().collect();
-        prop_assert_eq!(collected.len(), a.len());
+        assert_eq!(collected.len(), a.len(), "case {case}");
         for attr in &collected {
-            prop_assert!(a.contains(*attr));
+            assert!(a.contains(*attr), "case {case}");
         }
         let mut sorted = collected.clone();
         sorted.sort();
-        prop_assert_eq!(collected, sorted);
+        assert_eq!(collected, sorted, "case {case}");
     }
 }
 
 /// Random tuples over a tiny universe and a tiny value pool, so joins hit
 /// both agreeing and conflicting cases.
-fn arb_tuple() -> impl Strategy<Value = Vec<(usize, u8)>> {
-    prop::collection::vec((0..6usize, 0..3u8), 0..6)
+fn rand_tuple(rng: &mut SplitMix64, sym: &mut SymbolTable) -> Tuple {
+    let n = rng.gen_range(0, 6);
+    Tuple::from_pairs((0..n).map(|_| {
+        let a = rng.gen_range(0, 6);
+        let v = rng.gen_range(0, 3);
+        (Attribute::from_index(a), sym.intern(&format!("{a}:{v}")))
+    }))
 }
 
-fn mk_tuple(spec: &[(usize, u8)], sym: &mut SymbolTable) -> Tuple {
-    Tuple::from_pairs(
-        spec.iter()
-            .map(|&(a, v)| (Attribute::from_index(a), sym.intern(&format!("{a}:{v}")))),
-    )
-}
-
-proptest! {
-    #[test]
-    fn tuple_join_is_commutative(a in arb_tuple(), b in arb_tuple()) {
+#[test]
+fn tuple_join_is_commutative() {
+    let mut master = SplitMix64::new(0xB001);
+    for case in 0..CASES {
+        let mut rng = master.split();
         let mut sym = SymbolTable::new();
-        let ta = mk_tuple(&a, &mut sym);
-        let tb = mk_tuple(&b, &mut sym);
-        prop_assert_eq!(ta.join(&tb), tb.join(&ta));
+        let ta = rand_tuple(&mut rng, &mut sym);
+        let tb = rand_tuple(&mut rng, &mut sym);
+        assert_eq!(ta.join(&tb), tb.join(&ta), "case {case}");
     }
+}
 
-    #[test]
-    fn tuple_join_is_associative(a in arb_tuple(), b in arb_tuple(), c in arb_tuple()) {
+#[test]
+fn tuple_join_is_associative() {
+    let mut master = SplitMix64::new(0xB002);
+    for case in 0..CASES {
+        let mut rng = master.split();
         let mut sym = SymbolTable::new();
-        let (ta, tb, tc) = (
-            mk_tuple(&a, &mut sym),
-            mk_tuple(&b, &mut sym),
-            mk_tuple(&c, &mut sym),
-        );
+        let ta = rand_tuple(&mut rng, &mut sym);
+        let tb = rand_tuple(&mut rng, &mut sym);
+        let tc = rand_tuple(&mut rng, &mut sym);
         let left = ta.join(&tb).and_then(|j| j.join(&tc));
         let right = tb.join(&tc).and_then(|j| ta.join(&j));
         // Associativity can differ when an intermediate join fails but the
         // other grouping sidesteps the conflict — in that case both sides
         // must still agree whenever both are defined.
         if let (Some(l), Some(r)) = (&left, &right) {
-            prop_assert_eq!(l, r);
+            assert_eq!(l, r, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn join_projections_recover_inputs(a in arb_tuple(), b in arb_tuple()) {
+#[test]
+fn join_projections_recover_inputs() {
+    let mut master = SplitMix64::new(0xB003);
+    for case in 0..CASES {
+        let mut rng = master.split();
         let mut sym = SymbolTable::new();
-        let ta = mk_tuple(&a, &mut sym);
-        let tb = mk_tuple(&b, &mut sym);
+        let ta = rand_tuple(&mut rng, &mut sym);
+        let tb = rand_tuple(&mut rng, &mut sym);
         if let Some(j) = ta.join(&tb) {
-            prop_assert_eq!(j.project(ta.attrs()), ta);
-            prop_assert_eq!(j.project(tb.attrs()), tb);
+            assert_eq!(j.project(ta.attrs()), ta, "case {case}");
+            assert_eq!(j.project(tb.attrs()), tb, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn relation_join_is_subset_of_cartesian_semantics(
-        rows_a in prop::collection::vec(prop::collection::vec(0..3u8, 2), 0..6),
-        rows_b in prop::collection::vec(prop::collection::vec(0..3u8, 2), 0..6),
-    ) {
-        // R1(AB) ⋈ R2(BC): every output tuple restricted to AB / BC must be
-        // an input tuple, and every agreeing pair must appear.
+#[test]
+fn relation_join_is_subset_of_cartesian_semantics() {
+    // R1(AB) ⋈ R2(BC): every output tuple restricted to AB / BC must be
+    // an input tuple, and every agreeing pair must appear.
+    let mut master = SplitMix64::new(0xB004);
+    for case in 0..CASES {
+        let mut rng = master.split();
         let u = Universe::of_chars("ABC");
         let mut sym = SymbolTable::new();
         let mut r1 = Relation::new(u.set_of("AB"));
-        for row in &rows_a {
+        for _ in 0..rng.gen_range(0, 6) {
             let t = Tuple::from_pairs([
-                (u.attr_of("A"), sym.intern(&format!("a{}", row[0]))),
-                (u.attr_of("B"), sym.intern(&format!("b{}", row[1]))),
+                (u.attr_of("A"), sym.intern(&format!("a{}", rng.gen_range(0, 3)))),
+                (u.attr_of("B"), sym.intern(&format!("b{}", rng.gen_range(0, 3)))),
             ]);
             let _ = r1.insert(t);
         }
         let mut r2 = Relation::new(u.set_of("BC"));
-        for row in &rows_b {
+        for _ in 0..rng.gen_range(0, 6) {
             let t = Tuple::from_pairs([
-                (u.attr_of("B"), sym.intern(&format!("b{}", row[0]))),
-                (u.attr_of("C"), sym.intern(&format!("c{}", row[1]))),
+                (u.attr_of("B"), sym.intern(&format!("b{}", rng.gen_range(0, 3)))),
+                (u.attr_of("C"), sym.intern(&format!("c{}", rng.gen_range(0, 3)))),
             ]);
             let _ = r2.insert(t);
         }
         let j = r1.join(&r2);
         for t in j.iter() {
-            prop_assert!(r1.contains(&t.project(u.set_of("AB"))));
-            prop_assert!(r2.contains(&t.project(u.set_of("BC"))));
+            assert!(r1.contains(&t.project(u.set_of("AB"))), "case {case}");
+            assert!(r2.contains(&t.project(u.set_of("BC"))), "case {case}");
         }
         let mut expected = 0usize;
         for t1 in r1.iter() {
@@ -138,19 +175,27 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(j.len(), expected);
+        assert_eq!(j.len(), expected, "case {case}");
     }
 }
 
 /// Algebraic laws of the expression evaluator on random tiny states.
 mod algebra_laws {
     use idr_relation::algebra::Expr;
+    use idr_relation::rng::SplitMix64;
     use idr_relation::{state_of, DatabaseState, SchemeBuilder, SymbolTable};
-    use proptest::prelude::*;
+
+    const CASES: usize = 128;
+
+    fn rand_rows(rng: &mut SplitMix64) -> Vec<(usize, usize)> {
+        (0..rng.gen_range(0, 5))
+            .map(|_| (rng.gen_range(0, 3), rng.gen_range(0, 3)))
+            .collect()
+    }
 
     fn setup(
-        rows: &[(u8, u8)],
-        rows2: &[(u8, u8)],
+        rows: &[(usize, usize)],
+        rows2: &[(usize, usize)],
     ) -> (idr_relation::DatabaseScheme, SymbolTable, DatabaseState) {
         let scheme = SchemeBuilder::new("ABC")
             .scheme("R1", "AB", &["AB"])
@@ -175,65 +220,81 @@ mod algebra_laws {
         (scheme, sym, state)
     }
 
-    proptest! {
-        #[test]
-        fn projection_composes(
-            rows in prop::collection::vec((0..3u8, 0..3u8), 0..5),
-            rows2 in prop::collection::vec((0..3u8, 0..3u8), 0..5),
-        ) {
+    #[test]
+    fn projection_composes() {
+        let mut master = SplitMix64::new(0xC001);
+        for case in 0..CASES {
+            let mut rng = master.split();
+            let (rows, rows2) = (rand_rows(&mut rng), rand_rows(&mut rng));
             let (scheme, _sym, state) = setup(&rows, &rows2);
             let u = scheme.universe();
             let e = Expr::rel(0).join(Expr::rel(1));
             // π_A(π_AB(e)) = π_A(e).
-            let lhs = e.clone().project(u.set_of("AB")).project(u.set_of("A"))
-                .eval(&scheme, &state).unwrap();
+            let lhs = e
+                .clone()
+                .project(u.set_of("AB"))
+                .project(u.set_of("A"))
+                .eval(&scheme, &state)
+                .unwrap();
             let rhs = e.project(u.set_of("A")).eval(&scheme, &state).unwrap();
-            prop_assert!(lhs.set_eq(&rhs));
+            assert!(lhs.set_eq(&rhs), "case {case}");
         }
+    }
 
-        #[test]
-        fn join_is_commutative_as_sets(
-            rows in prop::collection::vec((0..3u8, 0..3u8), 0..5),
-            rows2 in prop::collection::vec((0..3u8, 0..3u8), 0..5),
-        ) {
+    #[test]
+    fn join_is_commutative_as_sets() {
+        let mut master = SplitMix64::new(0xC002);
+        for case in 0..CASES {
+            let mut rng = master.split();
+            let (rows, rows2) = (rand_rows(&mut rng), rand_rows(&mut rng));
             let (scheme, _sym, state) = setup(&rows, &rows2);
             let l = Expr::rel(0).join(Expr::rel(1)).eval(&scheme, &state).unwrap();
             let r = Expr::rel(1).join(Expr::rel(0)).eval(&scheme, &state).unwrap();
-            prop_assert!(l.set_eq(&r));
+            assert!(l.set_eq(&r), "case {case}");
         }
+    }
 
-        #[test]
-        fn selection_commutes_with_join_on_own_side(
-            rows in prop::collection::vec((0..3u8, 0..3u8), 0..5),
-            rows2 in prop::collection::vec((0..3u8, 0..3u8), 0..5),
-        ) {
+    #[test]
+    fn selection_commutes_with_join_on_own_side() {
+        let mut master = SplitMix64::new(0xC003);
+        for case in 0..CASES {
+            let mut rng = master.split();
+            let (rows, rows2) = (rand_rows(&mut rng), rand_rows(&mut rng));
             let (scheme, mut sym, state) = setup(&rows, &rows2);
             let u = scheme.universe();
             let v = sym.intern("a0");
             let formula = vec![(u.attr_of("A"), v)];
             // σ_A=a0(R1 ⋈ R2) = σ_A=a0(R1) ⋈ R2.
-            let l = Expr::rel(0).join(Expr::rel(1)).select(formula.clone())
-                .eval(&scheme, &state).unwrap();
-            let r = Expr::rel(0).select(formula).join(Expr::rel(1))
-                .eval(&scheme, &state).unwrap();
-            prop_assert!(l.set_eq(&r));
+            let l = Expr::rel(0)
+                .join(Expr::rel(1))
+                .select(formula.clone())
+                .eval(&scheme, &state)
+                .unwrap();
+            let r = Expr::rel(0)
+                .select(formula)
+                .join(Expr::rel(1))
+                .eval(&scheme, &state)
+                .unwrap();
+            assert!(l.set_eq(&r), "case {case}");
         }
+    }
 
-        #[test]
-        fn union_is_idempotent_and_commutative(
-            rows in prop::collection::vec((0..3u8, 0..3u8), 0..5),
-            rows2 in prop::collection::vec((0..3u8, 0..3u8), 0..5),
-        ) {
+    #[test]
+    fn union_is_idempotent_and_commutative() {
+        let mut master = SplitMix64::new(0xC004);
+        for case in 0..CASES {
+            let mut rng = master.split();
+            let (rows, rows2) = (rand_rows(&mut rng), rand_rows(&mut rng));
             let (scheme, _sym, state) = setup(&rows, &rows2);
             let u = scheme.universe();
             let a = Expr::rel(0).project(u.set_of("B"));
             let b = Expr::rel(1).project(u.set_of("B"));
             let ab = a.clone().union(b.clone()).eval(&scheme, &state).unwrap();
             let ba = b.clone().union(a.clone()).eval(&scheme, &state).unwrap();
-            prop_assert!(ab.set_eq(&ba));
+            assert!(ab.set_eq(&ba), "case {case}");
             let aa = a.clone().union(a.clone()).eval(&scheme, &state).unwrap();
             let just_a = a.eval(&scheme, &state).unwrap();
-            prop_assert!(aa.set_eq(&just_a));
+            assert!(aa.set_eq(&just_a), "case {case}");
         }
     }
 }

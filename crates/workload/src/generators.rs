@@ -255,7 +255,7 @@ pub fn example2_adversarial_state(
 /// redeclare, repeat. Returns `None` when the iteration fails to converge
 /// (rare; callers resample).
 pub fn random_scheme(
-    rng: &mut impl rand::Rng,
+    rng: &mut idr_relation::rng::SplitMix64,
     width: usize,
     n: usize,
 ) -> Option<DatabaseScheme> {
@@ -269,10 +269,10 @@ pub fn random_scheme(
     // Random scheme attribute sets (2–4 attrs), patched to cover U.
     let mut attr_sets: Vec<AttrSet> = (0..n)
         .map(|_| {
-            let k = rng.gen_range(2..=3.min(width));
+            let k = rng.gen_range_inclusive(2, 3.min(width));
             let mut s = AttrSet::empty();
             while s.len() < k {
-                s.insert(all[rng.gen_range(0..width)]);
+                s.insert(all[rng.gen_range(0, width)]);
             }
             s
         })
@@ -280,17 +280,17 @@ pub fn random_scheme(
     let covered = attr_sets.iter().fold(AttrSet::empty(), |a, &b| a | b);
     let missing = universe.all() - covered;
     if !missing.is_empty() {
-        attr_sets.push(missing | AttrSet::singleton(all[rng.gen_range(0..width)]));
+        attr_sets.push(missing | AttrSet::singleton(all[rng.gen_range(0, width)]));
     }
     // Initial random keys: one random nonempty proper-or-full subset each.
     let mut keys: Vec<Vec<AttrSet>> = attr_sets
         .iter()
         .map(|&s| {
             let members: Vec<_> = s.iter().collect();
-            let ksize = rng.gen_range(1..=members.len());
+            let ksize = rng.gen_range_inclusive(1, members.len());
             let mut k = AttrSet::empty();
             while k.len() < ksize {
-                k.insert(members[rng.gen_range(0..members.len())]);
+                k.insert(members[rng.gen_range(0, members.len())]);
             }
             vec![k]
         })

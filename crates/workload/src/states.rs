@@ -7,9 +7,7 @@
 //! the same entity, which is exactly the workload the paper's algorithms
 //! optimise.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use idr_relation::rng::SplitMix64;
 use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable, Tuple};
 
 /// A generated workload: a consistent initial state plus a stream of
@@ -74,13 +72,13 @@ pub fn generate(
     symbols: &mut SymbolTable,
     cfg: WorkloadConfig,
 ) -> Workload {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let mut state = DatabaseState::empty(scheme);
     for id in 0..cfg.entities {
         let universal = entity_tuple(scheme, symbols, id);
         let mut placed = false;
         for i in 0..scheme.len() {
-            if rng.gen_range(0..100) < cfg.fragment_pct {
+            if rng.gen_pct(cfg.fragment_pct) {
                 let frag = universal.project(scheme.scheme(i).attrs());
                 let _ = state.insert(i, frag);
                 placed = true;
@@ -95,14 +93,14 @@ pub fn generate(
     }
     let mut inserts = Vec::with_capacity(cfg.inserts);
     for k in 0..cfg.inserts {
-        let i = rng.gen_range(0..scheme.len());
+        let i = rng.gen_range(0, scheme.len());
         let attrs = scheme.scheme(i).attrs();
-        if cfg.corrupt_pct > 0 && rng.gen_range(0..100) < cfg.corrupt_pct && cfg.entities >= 2 {
+        if cfg.corrupt_pct > 0 && rng.gen_pct(cfg.corrupt_pct) && cfg.entities >= 2 {
             // Mix two entities: key values from one, the rest from
             // another — inconsistent whenever the first entity's fragment
             // elsewhere pins the corrupted attributes.
-            let id_a = rng.gen_range(0..cfg.entities);
-            let id_b = (id_a + 1 + rng.gen_range(0..cfg.entities - 1)) % cfg.entities;
+            let id_a = rng.gen_range(0, cfg.entities);
+            let id_b = (id_a + 1 + rng.gen_range(0, cfg.entities - 1)) % cfg.entities;
             let ta = entity_tuple(scheme, symbols, id_a);
             let tb = entity_tuple(scheme, symbols, id_b);
             let key = scheme.scheme(i).keys()[0];

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, lint. The default workspace has
+# zero registry dependencies, so this runs without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings

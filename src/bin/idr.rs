@@ -25,29 +25,62 @@
 //! ```text
 //! idr classify <scheme-file>
 //! idr project  <scheme-file> <ATTR> [<ATTR> ...]
-//! idr demo                     # runs on the paper's Example 1
+//! idr closure  <UNIVERSE> <FDS> <X>   # e.g. idr closure ABCD "AB->C, C->D" AB
+//! idr demo                            # runs on the paper's Example 1
 //! ```
+//!
+//! Budget flags (accepted anywhere on the command line; they meter the
+//! `project` computation through the exec layer):
+//!
+//! * `--max-steps N` — cap on metered work units (chase steps, selections
+//!   and enumerated subsets all count against it).
+//! * `--timeout-ms N` — wall-clock deadline.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 2 | usage error |
+//! | 3 | parse error (scheme file or FD spec) |
+//! | 4 | scheme is not independence-reducible |
+//! | 5 | budget exceeded (`--max-steps`) |
+//! | 6 | timed out (`--timeout-ms`) |
+//! | 7 | fault or cancellation |
 
 use std::process::ExitCode;
 
-use independence_reducible::core::query::ir_total_projection_expr;
+use independence_reducible::core::query::ir_total_projection_expr_bounded;
 use independence_reducible::core::split::split_keys;
+use independence_reducible::exec::{Budget, ExecError, Guard};
 use independence_reducible::prelude::*;
 
+const EXIT_USAGE: u8 = 2;
+const EXIT_PARSE: u8 = 3;
+const EXIT_NOT_IR: u8 = 4;
+const EXIT_BUDGET: u8 = 5;
+const EXIT_TIMEOUT: u8 = 6;
+const EXIT_FAULT: u8 = 7;
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, budget) = match parse_budget_flags(&raw) {
+        Ok(split) => split,
+        Err(e) => return usage(&e),
+    };
     match args.first().map(String::as_str) {
         Some("classify") if args.len() == 2 => match load(&args[1]) {
             Ok(db) => {
                 report(&db);
                 ExitCode::SUCCESS
             }
-            Err(e) => fail(&e),
+            Err(e) => fail(EXIT_PARSE, &e),
         },
         Some("project") if args.len() >= 3 => match load(&args[1]) {
-            Ok(db) => project(&db, &args[2..]),
-            Err(e) => fail(&e),
+            Ok(db) => project(&db, &args[2..], budget),
+            Err(e) => fail(EXIT_PARSE, &e),
         },
+        Some("closure") if args.len() == 4 => closure(&args[1], &args[2], &args[3]),
         Some("demo") => {
             let db = SchemeBuilder::new("CTHRSG")
                 .scheme("R1", "HRC", &["HR"])
@@ -60,18 +93,66 @@ fn main() -> ExitCode {
             report(&db);
             ExitCode::SUCCESS
         }
-        _ => {
-            eprintln!(
-                "usage:\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr demo"
-            );
-            ExitCode::FAILURE
-        }
+        _ => usage("see the subcommand list"),
     }
 }
 
-fn fail(msg: &str) -> ExitCode {
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr closure <UNIVERSE> <FDS> <X>\n  idr demo\noptions: --max-steps N, --timeout-ms N"
+    );
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    ExitCode::FAILURE
+    ExitCode::from(code)
+}
+
+/// Strips `--max-steps N` / `--timeout-ms N` out of the argument list and
+/// folds them into a [`Budget`]. `--max-steps` caps every metered resource
+/// — chase steps, single-tuple selections and enumerated subsets — since
+/// from the command line they are all just "work".
+fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget), String> {
+    let mut args = Vec::new();
+    let mut budget = Budget::unlimited();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let numeric = |flag: &str| -> Result<u64, String> {
+            it.clone()
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} needs an unsigned integer"))
+        };
+        match a.as_str() {
+            "--max-steps" => {
+                let n = numeric("--max-steps")?;
+                it.next();
+                budget = budget
+                    .with_max_chase_steps(n)
+                    .with_max_lookups(n)
+                    .with_max_enumeration(n);
+            }
+            "--timeout-ms" => {
+                let ms = numeric("--timeout-ms")?;
+                it.next();
+                budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+            }
+            _ => args.push(a.clone()),
+        }
+    }
+    Ok((args, budget))
+}
+
+/// Maps a typed execution error to its documented exit code.
+fn exec_exit(e: &ExecError) -> u8 {
+    match e {
+        ExecError::BudgetExceeded { .. } => EXIT_BUDGET,
+        ExecError::TimedOut { .. } => EXIT_TIMEOUT,
+        ExecError::Cancelled | ExecError::Faulted { .. } => EXIT_FAULT,
+        ExecError::Inconsistent { .. } => 1,
+    }
 }
 
 /// Parses the scheme file format described in the module docs.
@@ -192,7 +273,7 @@ fn report(db: &DatabaseScheme) {
     }
 }
 
-fn project(db: &DatabaseScheme, attrs: &[String]) -> ExitCode {
+fn project(db: &DatabaseScheme, attrs: &[String], budget: Budget) -> ExitCode {
     let kd = KeyDeps::of(db);
     let mut x = AttrSet::empty();
     for tok in attrs {
@@ -200,14 +281,18 @@ fn project(db: &DatabaseScheme, attrs: &[String]) -> ExitCode {
             Some(a) => {
                 x.insert(a);
             }
-            None => return fail(&format!("unknown attribute {tok:?}")),
+            None => return fail(EXIT_PARSE, &format!("unknown attribute {tok:?}")),
         }
     }
     let Some(ir) = recognize(db, &kd).accepted() else {
-        return fail("scheme is not independence-reducible; no bounded expression exists");
+        return fail(
+            EXIT_NOT_IR,
+            "scheme is not independence-reducible; no bounded expression exists",
+        );
     };
-    match ir_total_projection_expr(db, &kd, &ir, x) {
-        Some(expr) => {
+    let guard = Guard::new(budget);
+    match ir_total_projection_expr_bounded(db, &kd, &ir, x, &guard) {
+        Ok(Some(expr)) => {
             println!(
                 "[{}] = {}",
                 db.universe().render(x),
@@ -215,14 +300,36 @@ fn project(db: &DatabaseScheme, attrs: &[String]) -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        None => {
+        Ok(None) => {
             println!(
                 "[{}] is empty on every consistent state (no lossless cover)",
                 db.universe().render(x)
             );
             ExitCode::SUCCESS
         }
+        Err(e) => fail(exec_exit(&e), &format!("{e}")),
     }
+}
+
+/// `idr closure <UNIVERSE> <FDS> <X>`: parses the FD list with the typed
+/// parser and prints the attribute closure `X⁺`.
+fn closure(universe_chars: &str, fd_spec: &str, x_chars: &str) -> ExitCode {
+    let universe = Universe::of_chars(universe_chars);
+    let fds = match FdSet::try_parse(&universe, fd_spec) {
+        Ok(f) => f,
+        Err(e) => return fail(EXIT_PARSE, &format!("{e}")),
+    };
+    let x = match universe.try_set_of(x_chars) {
+        Ok(x) => x,
+        Err(c) => return fail(EXIT_PARSE, &format!("unknown attribute {c:?} in {x_chars:?}")),
+    };
+    println!(
+        "{}+ = {}   (under {})",
+        universe.render(x),
+        universe.render(fds.closure(x)),
+        fds.render(&universe)
+    );
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -264,5 +371,45 @@ scheme R5: H S R  keys H S
     fn comments_and_blanks_ignored() {
         let db = parse_scheme("# hi\n\nuniverse: A B\n# mid\nscheme R1: A B keys A\n").unwrap();
         assert_eq!(db.len(), 1);
+    }
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn budget_flags_are_stripped_anywhere() {
+        let (args, budget) =
+            parse_budget_flags(&strs(&["project", "--max-steps", "7", "f", "A", "--timeout-ms", "50"]))
+                .unwrap();
+        assert_eq!(args, strs(&["project", "f", "A"]));
+        assert_eq!(budget.max_chase_steps, Some(7));
+        assert_eq!(budget.max_lookups, Some(7));
+        assert_eq!(budget.max_enumeration, Some(7));
+        assert_eq!(budget.timeout, Some(std::time::Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn budget_flags_reject_garbage() {
+        assert!(parse_budget_flags(&strs(&["--max-steps"])).is_err());
+        assert!(parse_budget_flags(&strs(&["--timeout-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn exec_errors_map_to_distinct_exit_codes() {
+        use independence_reducible::exec::Resource;
+        let codes = [
+            exec_exit(&ExecError::BudgetExceeded {
+                resource: Resource::ChaseSteps,
+                limit: 1,
+                spent: 2,
+            }),
+            exec_exit(&ExecError::TimedOut {
+                elapsed_ms: 2,
+                limit_ms: 1,
+            }),
+            exec_exit(&ExecError::Cancelled),
+        ];
+        assert_eq!(codes, [EXIT_BUDGET, EXIT_TIMEOUT, EXIT_FAULT]);
     }
 }

@@ -65,14 +65,31 @@ pub use idr_hypergraph as hypergraph;
 pub use idr_relation as relation;
 pub use idr_workload as workload;
 
+/// Budgeted, fault-tolerant execution: budgets, guards, the typed
+/// [`ExecError`](exec::ExecError) taxonomy, retry policies and fault
+/// injection. See DESIGN.md §"Failure model".
+pub mod exec {
+    pub use idr_core::exec::{
+        Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,
+        RepAccess, Resource, RetryPolicy, StateAccess, DEFAULT_MAX_ENUMERATION,
+    };
+}
+
 /// The most common imports for working with the library.
 pub mod prelude {
-    pub use idr_chase::{is_consistent, representative_instance, total_projection};
+    pub use idr_chase::{
+        chase_bounded, chase_fast_bounded, is_consistent, is_consistent_bounded,
+        representative_instance, representative_instance_bounded, total_projection,
+        total_projection_bounded,
+    };
     pub use idr_core::classify::{classify, Classification};
+    pub use idr_core::exec::{Budget, ExecError, Guard, RetryPolicy};
     pub use idr_core::maintain::{CtmMaintainer, IrMaintainer, MaintenanceOutcome};
-    pub use idr_core::query::{ir_total_projection, ir_total_projection_expr};
+    pub use idr_core::query::{
+        ir_total_projection, ir_total_projection_bounded, ir_total_projection_expr,
+    };
     pub use idr_core::recognition::{recognize, IrScheme, Recognition};
-    pub use idr_fd::{Fd, FdSet, KeyDeps};
+    pub use idr_fd::{Fd, FdParseError, FdSet, KeyDeps};
     pub use idr_relation::{
         state_of, AttrSet, Attribute, DatabaseScheme, DatabaseState, Relation, RelationScheme,
         SchemeBuilder, SymbolTable, Tuple, Universe, Value,

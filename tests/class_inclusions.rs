@@ -13,16 +13,15 @@ use independence_reducible::core::baselines;
 use independence_reducible::core::recognition::recognize;
 use independence_reducible::core::split::is_split_free;
 use independence_reducible::prelude::*;
+use independence_reducible::relation::rng::SplitMix64;
 use independence_reducible::workload::generators;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn random_schemes(count: usize, seed: u64) -> Vec<DatabaseScheme> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut out = Vec::new();
     while out.len() < count {
-        let width = rng.gen_range(3..=6);
-        let n = rng.gen_range(2..=5);
+        let width = rng.gen_range_inclusive(3, 6);
+        let n = rng.gen_range_inclusive(2, 5);
         if let Some(db) = generators::random_scheme(&mut rng, width, n) {
             out.push(db);
         }
@@ -66,7 +65,7 @@ fn theorem_5_2_gamma_acyclic_bcnf_schemes_are_accepted() {
 fn theorem_4_3_augmentation_closure() {
     // For every accepted random scheme, augmenting by any subset of any
     // relation scheme stays accepted.
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = SplitMix64::new(3);
     let mut augmented = 0;
     for db in random_schemes(120, 3) {
         let kd = KeyDeps::of(&db);
@@ -74,9 +73,9 @@ fn theorem_4_3_augmentation_closure() {
             continue;
         }
         // One random nonempty subset of a random scheme.
-        let i = rng.gen_range(0..db.len());
+        let i = rng.gen_range(0, db.len());
         let members: Vec<Attribute> = db.scheme(i).attrs().iter().collect();
-        let size = rng.gen_range(1..=members.len());
+        let size = rng.gen_range_inclusive(1, members.len());
         let subset = AttrSet::from_iter(members.into_iter().take(size));
         let aug = augment(&db, &kd, "AUGS", subset);
         let kd_aug = KeyDeps::of(&aug);
@@ -91,15 +90,15 @@ fn theorem_4_3_augmentation_closure() {
 
 #[test]
 fn corollary_4_2_reduction_preserves_the_verdict() {
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = SplitMix64::new(4);
     let mut compared = 0;
     for db in random_schemes(120, 4) {
         let kd = KeyDeps::of(&db);
         // Augment (possibly making it unreduced), then compare verdicts of
         // the augmented scheme and its reduction.
-        let i = rng.gen_range(0..db.len());
+        let i = rng.gen_range(0, db.len());
         let members: Vec<Attribute> = db.scheme(i).attrs().iter().collect();
-        let size = rng.gen_range(1..=members.len());
+        let size = rng.gen_range_inclusive(1, members.len());
         let subset = AttrSet::from_iter(members.into_iter().take(size));
         let aug = augment(&db, &kd, "AUGS", subset);
         let red = reduce(&aug);
