@@ -1,0 +1,158 @@
+//! Seeded, offline smoke benchmark for the chase engines.
+//!
+//! Emits one JSON document on stdout comparing, per synthetic family:
+//!
+//! * **full-state chase** — naive fixpoint [`idr_chase::chase`] vs the
+//!   partition-indexed [`idr_chase::chase_fast`] vs the PR 2 indexed
+//!   worklist engine [`IncrementalChase`];
+//! * **insert stream** — re-chasing the whole state after every insert
+//!   (the pre-engine discipline) vs [`Engine::session`] inserts, which
+//!   chase only the dirty rows of the affected block.
+//!
+//! Everything is seeded and dependency-free, so the numbers are noisy but
+//! reproducible in shape: the incremental engine must beat the naive chase
+//! on the largest family (asserted by `scripts/bench.sh`).
+
+use std::time::Instant;
+
+use idr_chase::{chase, chase_fast, IncrementalChase, Tableau};
+use idr_core::engine::Engine;
+use idr_core::exec::Guard;
+use idr_fd::KeyDeps;
+use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable};
+use idr_workload::generators::block_chain_scheme;
+use idr_workload::states::{generate, WorkloadConfig};
+
+const SEED: u64 = 0x1DB5_CE11;
+const ITERS: u32 = 5;
+
+/// Median wall-time in milliseconds of `ITERS` runs of `f`.
+fn time_ms<F: FnMut()>(mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct FamilyReport {
+    name: String,
+    tuples: usize,
+    inserts: usize,
+    naive_chase_ms: f64,
+    fast_chase_ms: f64,
+    incremental_chase_ms: f64,
+    naive_rechase_stream_ms: f64,
+    engine_stream_ms: f64,
+}
+
+fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize) -> FamilyReport {
+    let kd = KeyDeps::of(db);
+    let mut sym = SymbolTable::new();
+    let w = generate(
+        db,
+        &mut sym,
+        WorkloadConfig {
+            entities,
+            fragment_pct: 60,
+            inserts,
+            corrupt_pct: 0,
+            seed: SEED,
+        },
+    );
+    let g = Guard::unlimited();
+
+    // Full-state chase: the same state through all three engines.
+    let naive_chase_ms = time_ms(|| {
+        let mut t = Tableau::of_state(db, &w.state);
+        chase(&mut t, kd.full(), &g).expect("consistent");
+    });
+    let fast_chase_ms = time_ms(|| {
+        let mut t = Tableau::of_state(db, &w.state);
+        chase_fast(&mut t, kd.full(), &g).expect("consistent");
+    });
+    let incremental_chase_ms = time_ms(|| {
+        let mut ic = IncrementalChase::of_state(db, &w.state, kd.full());
+        ic.run(&g).expect("consistent");
+    });
+
+    // Insert stream: the pre-engine discipline re-chases the whole state
+    // after every accepted insert; the engine session chases dirty rows.
+    let naive_rechase_stream_ms = time_ms(|| {
+        let mut state: DatabaseState = w.state.clone();
+        for (i, t) in &w.inserts {
+            let mut candidate = state.clone();
+            candidate.insert(*i, t.clone()).expect("tuple fits scheme");
+            if idr_chase::is_consistent(db, &candidate, kd.full(), &g).expect("within budget") {
+                state = candidate;
+            }
+        }
+    });
+    let engine = Engine::new(db.clone());
+    let engine_stream_ms = time_ms(|| {
+        let mut session = engine.session(&w.state, &g).expect("within budget");
+        for (i, t) in &w.inserts {
+            session.insert(*i, t.clone(), &g).expect("within budget");
+        }
+    });
+
+    FamilyReport {
+        name: name.to_string(),
+        tuples: w.state.total_tuples(),
+        inserts: w.inserts.len(),
+        naive_chase_ms,
+        fast_chase_ms,
+        incremental_chase_ms,
+        naive_rechase_stream_ms,
+        engine_stream_ms,
+    }
+}
+
+fn main() {
+    let families = [
+        ("block_chain(2,3)", block_chain_scheme(2, 3), 12, 24),
+        ("block_chain(4,3)", block_chain_scheme(4, 3), 18, 36),
+        ("block_chain(6,4)", block_chain_scheme(6, 4), 24, 48),
+    ];
+    let reports: Vec<FamilyReport> = families
+        .iter()
+        .map(|(name, db, entities, inserts)| {
+            eprintln!("benchmarking {name} ...");
+            bench_family(name, db, *entities, *inserts)
+        })
+        .collect();
+
+    // Hand-rolled JSON: the workspace is hermetic (no serde).
+    println!("{{");
+    println!("  \"bench\": \"pr2-chase-smoke\",");
+    println!("  \"seed\": {SEED},");
+    println!("  \"iters\": {ITERS},");
+    println!("  \"families\": [");
+    for (k, r) in reports.iter().enumerate() {
+        let comma = if k + 1 < reports.len() { "," } else { "" };
+        println!("    {{");
+        println!("      \"name\": \"{}\",", r.name);
+        println!("      \"tuples\": {},", r.tuples);
+        println!("      \"full_chase_ms\": {{");
+        println!("        \"naive\": {:.3},", r.naive_chase_ms);
+        println!("        \"fast\": {:.3},", r.fast_chase_ms);
+        println!("        \"incremental\": {:.3}", r.incremental_chase_ms);
+        println!("      }},");
+        println!("      \"insert_stream_ms\": {{");
+        println!("        \"inserts\": {},", r.inserts);
+        println!("        \"naive_rechase\": {:.3},", r.naive_rechase_stream_ms);
+        println!("        \"engine_session\": {:.3},", r.engine_stream_ms);
+        println!(
+            "        \"speedup\": {:.2}",
+            r.naive_rechase_stream_ms / r.engine_stream_ms.max(1e-9)
+        );
+        println!("      }}");
+        println!("    }}{comma}");
+    }
+    println!("  ]");
+    println!("}}");
+}

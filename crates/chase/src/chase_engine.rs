@@ -35,25 +35,6 @@ impl From<Inconsistent> for ExecError {
     }
 }
 
-/// Why a chase loop stopped early: a genuine inconsistency, or the guard
-/// tripping. Internal — the public wrappers each flatten this to their own
-/// error type.
-pub(crate) enum Halt {
-    /// The chase found distinct constants being equated.
-    Inconsistent(Inconsistent),
-    /// The guard stopped the run (budget, deadline, cancellation).
-    Exec(ExecError),
-}
-
-impl From<Halt> for ExecError {
-    fn from(h: Halt) -> Self {
-        match h {
-            Halt::Inconsistent(e) => e.into(),
-            Halt::Exec(e) => e,
-        }
-    }
-}
-
 /// Statistics from a chase run — the paper's boundedness notion counts
 /// fd-rule applications, so we do too.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -64,10 +45,11 @@ pub struct ChaseStats {
     pub passes: usize,
 }
 
-/// Outcome of a chase: the tableau was chased to a fixpoint, or an
-/// inconsistency was found (in which case the paper defines the result to
-/// be the empty tableau).
-pub type ChaseOutcome = Result<ChaseStats, Inconsistent>;
+/// Outcome of a chase: the tableau was chased to a fixpoint, or the run
+/// stopped — [`ExecError::Inconsistent`] for a genuine inconsistency (the
+/// paper then defines the result to be the empty tableau), any other
+/// [`ExecError`] for a guard trip.
+pub type ChaseOutcome = Result<ChaseStats, ExecError>;
 
 /// `CHASE_F(T)`: applies fd-rules exhaustively to the tableau (§2.3,
 /// \[MMS]). On success the tableau satisfies every dependency; on
@@ -79,44 +61,19 @@ pub type ChaseOutcome = Result<ChaseStats, Inconsistent>;
 /// beats a nondistinguished one; between ndvs the lower index wins — the
 /// renaming rules of §2.3. Variables are column-local, so a renaming only
 /// scans one column.
-pub fn chase(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
-    match chase_impl(t, fds, None) {
-        Ok(stats) => Ok(stats),
-        Err(Halt::Inconsistent(e)) => Err(e),
-        // No guard was supplied, so the guard can never trip.
-        Err(Halt::Exec(_)) => unreachable!("unguarded chase cannot be stopped"),
-    }
-}
-
-/// Budgeted `CHASE_F(T)`: identical to [`chase`], but charges one
-/// [`Resource::ChaseSteps`](idr_relation::exec::Resource) unit per
-/// symbol-equating rule application against `guard` and honours its
-/// deadline/cancellation at every pass. With [`Guard::unlimited`] the
-/// result is exactly that of [`chase`].
 ///
-/// Inconsistencies are reported as
-/// [`ExecError::Inconsistent`]; budget exhaustion as
+/// One [`Resource::ChaseSteps`](idr_relation::exec::Resource) unit is
+/// charged per rule application against `guard`, whose deadline and
+/// cancellation are honoured at every pass; pass [`Guard::unlimited`] for
+/// an unbounded run. Inconsistencies surface as
+/// [`ExecError::Inconsistent`], budget exhaustion as
 /// [`ExecError::BudgetExceeded`] (the tableau contents are then
 /// unspecified, as after an inconsistency).
-pub fn chase_bounded(
-    t: &mut Tableau,
-    fds: &FdSet,
-    guard: &Guard,
-) -> Result<ChaseStats, ExecError> {
-    chase_impl(t, fds, Some(guard)).map_err(ExecError::from)
-}
-
-pub(crate) fn chase_impl(
-    t: &mut Tableau,
-    fds: &FdSet,
-    guard: Option<&Guard>,
-) -> Result<ChaseStats, Halt> {
+pub fn chase(t: &mut Tableau, fds: &FdSet, guard: &Guard) -> ChaseOutcome {
     let mut stats = ChaseStats::default();
     loop {
         stats.passes += 1;
-        if let Some(g) = guard {
-            g.checkpoint().map_err(Halt::Exec)?;
-        }
+        guard.checkpoint()?;
         let mut changed = false;
         for fd in fds.fds() {
             // Restart the per-fd scan after each application: equating can
@@ -149,6 +106,16 @@ pub(crate) fn chase_impl(
     }
 }
 
+/// Deprecated spelling of [`chase`] from before the twin-surface collapse.
+#[deprecated(since = "0.2.0", note = "use `chase` — it now takes a `&Guard`")]
+pub fn chase_bounded(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<ChaseStats, ExecError> {
+    chase(t, fds, guard)
+}
+
 /// Applies the fd-rule for `fd` to rows `i`, `j` (which agree on `fd.lhs`);
 /// returns whether anything was renamed.
 fn apply_rule(
@@ -157,8 +124,8 @@ fn apply_rule(
     i: usize,
     j: usize,
     stats: &mut ChaseStats,
-    guard: Option<&Guard>,
-) -> Result<bool, Halt> {
+    guard: &Guard,
+) -> Result<bool, ExecError> {
     let mut any = false;
     for a in fd.rhs.iter() {
         let s1 = t.rows()[i].sym(a);
@@ -168,7 +135,7 @@ fn apply_rule(
         }
         let (winner, loser) = match (s1, s2) {
             (ChaseSym::Const(_), ChaseSym::Const(_)) => {
-                return Err(Halt::Inconsistent(Inconsistent { fd, column: a }));
+                return Err(Inconsistent { fd, column: a }.into());
             }
             (ChaseSym::Const(_), _) => (s1, s2),
             (_, ChaseSym::Const(_)) => (s2, s1),
@@ -182,9 +149,7 @@ fn apply_rule(
                 }
             }
         };
-        if let Some(g) = guard {
-            g.chase_step().map_err(Halt::Exec)?;
-        }
+        guard.chase_step()?;
         rename_in_column(t, a, loser, winner);
         stats.rule_applications += 1;
         any = true;
@@ -213,8 +178,8 @@ mod tests {
         // R1(AB), R2(AC); A→B, A→C; rows share A value → rep instance has a
         // total ABC tuple after chasing.
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
             .build()
             .unwrap();
         let kd = idr_fd::KeyDeps::of(&scheme);
@@ -229,7 +194,7 @@ mod tests {
         )
         .unwrap();
         let mut t = Tableau::of_state(&scheme, &state);
-        let stats = chase(&mut t, kd.full()).unwrap();
+        let stats = chase(&mut t, kd.full(), &Guard::unlimited()).unwrap();
         assert!(stats.rule_applications >= 2);
         let abc = scheme.universe().set_of("ABC");
         assert_eq!(t.total_projection(abc).len(), 1);
@@ -238,7 +203,7 @@ mod tests {
     #[test]
     fn chase_detects_key_violation() {
         let scheme = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", ["A"])
             .build()
             .unwrap();
         let kd = idr_fd::KeyDeps::of(&scheme);
@@ -253,8 +218,14 @@ mod tests {
         )
         .unwrap();
         let mut t = Tableau::of_state(&scheme, &state);
-        let err = chase(&mut t, kd.full()).unwrap_err();
-        assert_eq!(err.column, scheme.universe().attr_of("B"));
+        let err = chase(&mut t, kd.full(), &Guard::unlimited()).unwrap_err();
+        match err {
+            ExecError::Inconsistent { detail } => {
+                // Column B is index 1 in the AB universe.
+                assert!(detail.contains("column 1"), "{detail}");
+            }
+            other => panic!("expected an inconsistency, got {other:?}"),
+        }
     }
 
     #[test]
@@ -264,7 +235,7 @@ mod tests {
         let f = FdSet::parse(&u, "A->B, B->C");
         let schemes = [u.set_of("AB"), u.set_of("BC"), u.set_of("CD")];
         let mut t = Tableau::of_scheme(&schemes, 4);
-        chase(&mut t, &f).unwrap();
+        chase(&mut t, &f, &Guard::unlimited()).unwrap();
         assert_eq!(t.rows()[0].dv_attrs(), u.set_of("ABC"));
         assert_eq!(t.rows()[1].dv_attrs(), u.set_of("BC"));
         assert_eq!(t.rows()[2].dv_attrs(), u.set_of("CD"));
@@ -273,8 +244,8 @@ mod tests {
     #[test]
     fn chase_is_idempotent() {
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
             .build()
             .unwrap();
         let kd = idr_fd::KeyDeps::of(&scheme);
@@ -289,9 +260,9 @@ mod tests {
         )
         .unwrap();
         let mut t = Tableau::of_state(&scheme, &state);
-        chase(&mut t, kd.full()).unwrap();
+        chase(&mut t, kd.full(), &Guard::unlimited()).unwrap();
         let snapshot = t.clone();
-        let stats = chase(&mut t, kd.full()).unwrap();
+        let stats = chase(&mut t, kd.full(), &Guard::unlimited()).unwrap();
         assert_eq!(stats.rule_applications, 0);
         assert_eq!(t, snapshot);
     }
@@ -301,7 +272,16 @@ mod tests {
         let u = Universe::of_chars("AB");
         let f = FdSet::parse(&u, "A->B");
         let mut t = Tableau::new(2);
-        let stats = chase(&mut t, &f).unwrap();
+        let stats = chase(&mut t, &f, &Guard::unlimited()).unwrap();
         assert_eq!(stats.rule_applications, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_forwards() {
+        let u = Universe::of_chars("AB");
+        let f = FdSet::parse(&u, "A->B");
+        let mut t = Tableau::new(2);
+        assert!(chase_bounded(&mut t, &f, &Guard::unlimited()).is_ok());
     }
 }

@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn identical_tableaux_are_equivalent() {
         let scheme = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", ["A"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();
@@ -116,8 +116,8 @@ mod tests {
     #[test]
     fn ndv_numbering_is_irrelevant() {
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();
@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn different_constants_are_inequivalent() {
         let scheme = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", ["A"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();
@@ -165,8 +165,8 @@ mod tests {
         // A tableau where two rows share an ndv is not equivalent to one
         // where they don't (the bijection cannot split a variable).
         let scheme = SchemeBuilder::new("AB")
-            .scheme("R1", "A", &["A"])
-            .scheme("R2", "AB", &["A"])
+            .scheme("R1", "A", ["A"])
+            .scheme("R2", "AB", ["A"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();

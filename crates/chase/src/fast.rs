@@ -12,7 +12,9 @@
 //! Semantics are identical (same renaming precedence); the property tests
 //! chase random tableaux with both engines and compare consistency
 //! verdicts and final total projections. The benchmark harness uses it as
-//! the third arm of the representative-instance ablation.
+//! the third arm of the representative-instance ablation. For the engine
+//! that also drops eager symbol rewriting in favour of union-find, see
+//! [`crate::incremental`].
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -21,35 +23,13 @@ use idr_fd::FdSet;
 use idr_relation::exec::{ExecError, Guard};
 use idr_relation::Attribute;
 
-use crate::chase_engine::{ChaseOutcome, ChaseStats, Halt, Inconsistent};
+use crate::chase_engine::{ChaseOutcome, ChaseStats, Inconsistent};
 use crate::tableau::{ChaseSym, Tableau};
 
-/// `CHASE_F(T)` with worklist indexing. Same contract as [`crate::chase`].
-pub fn chase_fast(t: &mut Tableau, fds: &FdSet) -> ChaseOutcome {
-    match chase_fast_impl(t, fds, None) {
-        Ok(stats) => Ok(stats),
-        Err(Halt::Inconsistent(e)) => Err(e),
-        Err(Halt::Exec(_)) => unreachable!("unguarded chase cannot be stopped"),
-    }
-}
-
-/// Budgeted [`chase_fast`]: same contract as
-/// [`chase_bounded`](crate::chase_bounded) — one chase-step unit charged
-/// per rule application, deadline/cancellation checked on every worklist
-/// pop.
-pub fn chase_fast_bounded(
-    t: &mut Tableau,
-    fds: &FdSet,
-    guard: &Guard,
-) -> Result<ChaseStats, ExecError> {
-    chase_fast_impl(t, fds, Some(guard)).map_err(ExecError::from)
-}
-
-fn chase_fast_impl(
-    t: &mut Tableau,
-    fds: &FdSet,
-    guard: Option<&Guard>,
-) -> Result<ChaseStats, Halt> {
+/// `CHASE_F(T)` with worklist indexing. Same contract as [`crate::chase`]:
+/// one chase-step unit charged per rule application against `guard`,
+/// deadline/cancellation checked on every worklist pop.
+pub fn chase_fast(t: &mut Tableau, fds: &FdSet, guard: &Guard) -> ChaseOutcome {
     let mut stats = ChaseStats::default();
     let width = t.width();
     let n_fds = fds.fds().len();
@@ -88,9 +68,7 @@ fn chase_fast_impl(
         let r = r as usize;
         queued[r] = false;
         stats.passes += 1;
-        if let Some(g) = guard {
-            g.checkpoint().map_err(Halt::Exec)?;
-        }
+        guard.checkpoint()?;
         #[allow(clippy::needless_range_loop)] // borrow of keyidx[fi] vs key_of(t, fi, ·)
         for fi in 0..n_fds {
             let key = key_of(t, fi, r);
@@ -125,7 +103,7 @@ fn chase_fast_impl(
                         }
                         let (winner, loser) = match (s1, s2) {
                             (ChaseSym::Const(_), ChaseSym::Const(_)) => {
-                                return Err(Halt::Inconsistent(Inconsistent { fd, column: a }));
+                                return Err(Inconsistent { fd, column: a }.into());
                             }
                             (ChaseSym::Const(_), _) => (s1, s2),
                             (_, ChaseSym::Const(_)) => (s2, s1),
@@ -139,9 +117,7 @@ fn chase_fast_impl(
                                 }
                             }
                         };
-                        if let Some(g) = guard {
-                            g.chase_step().map_err(Halt::Exec)?;
-                        }
+                        guard.chase_step()?;
                         stats.rule_applications += 1;
                         any = true;
                         let col = a.index() as u32;
@@ -172,6 +148,17 @@ fn chase_fast_impl(
     Ok(stats)
 }
 
+/// Deprecated spelling of [`chase_fast`] from before the twin-surface
+/// collapse.
+#[deprecated(since = "0.2.0", note = "use `chase_fast` — it now takes a `&Guard`")]
+pub fn chase_fast_bounded(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<ChaseStats, ExecError> {
+    chase_fast(t, fds, guard)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,8 +169,8 @@ mod tests {
     #[test]
     fn agrees_with_reference_on_merging_state() {
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&scheme);
@@ -199,8 +186,8 @@ mod tests {
         .unwrap();
         let mut t1 = Tableau::of_state(&scheme, &state);
         let mut t2 = t1.clone();
-        chase(&mut t1, kd.full()).unwrap();
-        chase_fast(&mut t2, kd.full()).unwrap();
+        chase(&mut t1, kd.full(), &Guard::unlimited()).unwrap();
+        chase_fast(&mut t2, kd.full(), &Guard::unlimited()).unwrap();
         let all = scheme.universe().all();
         assert_eq!(t1.total_projection(all), t2.total_projection(all));
     }
@@ -208,7 +195,7 @@ mod tests {
     #[test]
     fn detects_inconsistency() {
         let scheme = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", ["A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&scheme);
@@ -223,7 +210,7 @@ mod tests {
         )
         .unwrap();
         let mut t = Tableau::of_state(&scheme, &state);
-        assert!(chase_fast(&mut t, kd.full()).is_err());
+        assert!(chase_fast(&mut t, kd.full(), &Guard::unlimited()).is_err());
     }
 
     #[test]
@@ -231,9 +218,9 @@ mod tests {
         // a-chain: (a0,b0) (a1,b0) (a1,b1) ... requires repeated
         // re-probing as symbols collapse.
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "BC", &["B"])
-            .scheme("R3", "AC", &["A"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&scheme);
@@ -252,8 +239,8 @@ mod tests {
         .unwrap();
         let mut t1 = Tableau::of_state(&scheme, &state);
         let mut t2 = t1.clone();
-        chase(&mut t1, kd.full()).unwrap();
-        chase_fast(&mut t2, kd.full()).unwrap();
+        chase(&mut t1, kd.full(), &Guard::unlimited()).unwrap();
+        chase_fast(&mut t2, kd.full(), &Guard::unlimited()).unwrap();
         let ac = scheme.universe().set_of("AC");
         // c0 propagates down the whole chain: a0, a1, a2 all map to c0.
         assert_eq!(t1.total_projection(ac).len(), 3);
@@ -263,6 +250,6 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let mut t = Tableau::new(3);
-        assert!(chase_fast(&mut t, &FdSet::new()).is_ok());
+        assert!(chase_fast(&mut t, &FdSet::new(), &Guard::unlimited()).is_ok());
     }
 }

@@ -1,0 +1,639 @@
+//! The incremental chase engine: union-find over symbols, per-fd LHS
+//! hash indexes, and a dirty-row worklist.
+//!
+//! [`crate::chase`] re-scans the whole tableau after every fd-rule
+//! application and renames symbols by scanning columns; [`crate::fast`]
+//! indexes the scan but still rewrites symbol occurrences eagerly. This
+//! module replaces symbol rewriting altogether: every tableau cell holds a
+//! *node* of a union-find structure, and an fd-rule application is a
+//! single `union` of two equivalence classes. The canonical symbol of a
+//! class is maintained under the chase's renaming precedence (a constant
+//! beats any variable, the distinguished variable beats a
+//! nondistinguished one, and the lower-indexed ndv wins), so the
+//! materialised tableau is *identical* — not merely equivalent — to the
+//! reference chase's output (the chase is Church–Rosser, and both engines
+//! pick the same class representative).
+//!
+//! Three structures drive the evaluation:
+//!
+//! * **Union-find nodes** ([`IncrementalChase::union`]): merging two
+//!   classes costs near-constant time plus one worklist push per row
+//!   whose visible symbol actually changed — exactly the semantic cost of
+//!   a rename, without scanning anything.
+//! * **Per-fd LHS indexes**: a hash map from the *canonical node vector*
+//!   of an fd's left-hand side to a representative row, so rule partners
+//!   are found by lookup. Entries go stale as classes merge and are
+//!   validated lazily, as in [`crate::fast`]; the rows whose keys changed
+//!   were enqueued by the very union that changed them.
+//! * **Dirty-row worklist** (semi-naive evaluation): only rows whose
+//!   symbols changed since they were last examined are re-probed, so a
+//!   [`push_tuple`](IncrementalChase::push_tuple) after a completed run
+//!   re-examines just the new row and whatever it transitively touches —
+//!   the incremental maintenance path of the `Engine` facade.
+//!
+//! The engine is *resumable*: a budget or deadline trip leaves the
+//! worklist intact, and a later [`run`](IncrementalChase::run) with a
+//! fresh guard picks up where it stopped. An inconsistency, by contrast,
+//! poisons the engine permanently (the chase result is the empty tableau;
+//! callers rebuild from the state).
+
+use std::collections::HashMap;
+
+use idr_fd::{Fd, FdSet};
+use idr_relation::exec::{ExecError, Guard};
+use idr_relation::{AttrSet, Attribute, DatabaseScheme, DatabaseState, Tuple, Value};
+
+use crate::chase_engine::{ChaseStats, Inconsistent};
+use crate::tableau::{ChaseSym, Row, Tableau};
+
+/// The incremental chase engine. See the module docs for the design.
+#[derive(Clone, Debug)]
+pub struct IncrementalChase {
+    width: usize,
+    fds: FdSet,
+    /// Union-find parent links; `parent[n] == n` marks a root.
+    parent: Vec<u32>,
+    /// Canonical symbol per class (valid at roots).
+    sym: Vec<ChaseSym>,
+    /// Rows whose cell canonicalises into this class (valid at roots).
+    /// Classes never span columns, so a row appears at most once.
+    members: Vec<Vec<u32>>,
+    /// Per row, per column: the node held by that cell.
+    cells: Vec<Vec<u32>>,
+    /// Origin tags, parallel to `cells`.
+    tags: Vec<Option<usize>>,
+    /// Per-column interner for constant nodes: a constant's node is
+    /// allocated once, so a later insert of a matching constant lands in
+    /// the same class automatically.
+    const_nodes: Vec<HashMap<Value, u32>>,
+    /// Per-column node for the distinguished variable, allocated lazily.
+    dv_nodes: Vec<Option<u32>>,
+    next_ndv: u32,
+    /// Per-fd index: canonical LHS node vector → representative row.
+    keyidx: Vec<HashMap<Box<[u32]>, u32>>,
+    work: Vec<u32>,
+    queued: Vec<bool>,
+    stats: ChaseStats,
+    failure: Option<Inconsistent>,
+}
+
+impl IncrementalChase {
+    /// An empty engine over a universe of `width` attributes, chasing with
+    /// `fds`. The fd set is fixed for the engine's lifetime — the per-fd
+    /// indexes are built against it.
+    pub fn new(width: usize, fds: &FdSet) -> Self {
+        IncrementalChase {
+            width,
+            keyidx: vec![HashMap::new(); fds.fds().len()],
+            fds: fds.clone(),
+            parent: Vec::new(),
+            sym: Vec::new(),
+            members: Vec::new(),
+            cells: Vec::new(),
+            tags: Vec::new(),
+            const_nodes: vec![HashMap::new(); width],
+            dv_nodes: vec![None; width],
+            next_ndv: 0,
+            work: Vec::new(),
+            queued: Vec::new(),
+            stats: ChaseStats::default(),
+            failure: None,
+        }
+    }
+
+    /// The engine over the state tableau `T_r` (§2.2): one row per tuple,
+    /// constants on the origin scheme, fresh ndvs elsewhere. Call
+    /// [`run`](IncrementalChase::run) to chase.
+    pub fn of_state(scheme: &DatabaseScheme, state: &DatabaseState, fds: &FdSet) -> Self {
+        let mut e = IncrementalChase::new(scheme.universe().len(), fds);
+        for (i, t) in state.iter_all() {
+            e.push_tuple(t, Some(i));
+        }
+        e
+    }
+
+    /// The engine over an existing tableau (any mix of constants, dvs and
+    /// ndvs); symbols equal within a column start in the same class.
+    pub fn of_tableau(t: &Tableau, fds: &FdSet) -> Self {
+        let mut e = IncrementalChase::new(t.width(), fds);
+        // Per-column interner for the initial build: rows of a tableau may
+        // legitimately share ndvs within a column.
+        let mut interned: Vec<HashMap<ChaseSym, u32>> = vec![HashMap::new(); t.width()];
+        for row in t.rows() {
+            let r = e.cells.len() as u32;
+            let mut cells = Vec::with_capacity(e.width);
+            for (col, intern) in interned.iter_mut().enumerate() {
+                let s = row.sym(Attribute::from_index(col));
+                if let ChaseSym::Ndv(i) = s {
+                    e.next_ndv = e.next_ndv.max(i + 1);
+                }
+                let node = *intern.entry(s).or_insert_with(|| {
+                    let id = e.parent.len() as u32;
+                    e.parent.push(id);
+                    e.sym.push(s);
+                    e.members.push(Vec::new());
+                    id
+                });
+                e.members[node as usize].push(r);
+                cells.push(node);
+            }
+            e.cells.push(cells);
+            e.tags.push(row.tag);
+            e.queued.push(true);
+            e.work.push(r);
+        }
+        // Keep the persistent interners consistent for later inserts.
+        for (col, m) in interned.into_iter().enumerate() {
+            for (s, node) in m {
+                match s {
+                    ChaseSym::Const(v) => {
+                        e.const_nodes[col].insert(v, node);
+                    }
+                    ChaseSym::Dv => e.dv_nodes[col] = Some(node),
+                    ChaseSym::Ndv(_) => {}
+                }
+            }
+        }
+        e
+    }
+
+    /// Appends a row for a (possibly partial) tuple — constants where the
+    /// tuple is defined, fresh ndvs elsewhere — and marks it dirty.
+    /// Returns the row index.
+    ///
+    /// After a completed [`run`](IncrementalChase::run), pushing a tuple
+    /// and running again is the *incremental insert* path: only the new
+    /// row and the rows it transitively merges with are re-examined.
+    pub fn push_tuple(&mut self, tuple: &Tuple, tag: Option<usize>) -> usize {
+        let r = self.cells.len() as u32;
+        let mut cells = Vec::with_capacity(self.width);
+        for col in 0..self.width {
+            let node = match tuple.get(Attribute::from_index(col)) {
+                Some(v) => self.const_node(col, v),
+                None => {
+                    let s = ChaseSym::Ndv(self.next_ndv);
+                    self.next_ndv += 1;
+                    self.fresh_node(s)
+                }
+            };
+            let root = self.find(node);
+            self.members[root as usize].push(r);
+            cells.push(node);
+        }
+        self.cells.push(cells);
+        self.tags.push(tag);
+        self.queued.push(true);
+        self.work.push(r);
+        r as usize
+    }
+
+    /// Chases to fixpoint (or resumes a budget-interrupted chase),
+    /// charging one chase step per class merge against `guard` and
+    /// honouring its deadline/cancellation on every worklist pop.
+    ///
+    /// On an inconsistency the engine is poisoned: every later call
+    /// returns the same [`ExecError::Inconsistent`]. On a resource trip
+    /// the worklist is preserved, so a later call with a fresh guard
+    /// resumes the chase.
+    pub fn run(&mut self, guard: &Guard) -> Result<ChaseStats, ExecError> {
+        if let Some(f) = &self.failure {
+            return Err(f.clone().into());
+        }
+        while let Some(r) = self.work.pop() {
+            self.queued[r as usize] = false;
+            self.stats.passes += 1;
+            if let Err(e) = self.step_row(r, guard) {
+                // Keep the row pending so a fresh guard can resume.
+                self.enqueue(r);
+                return Err(e);
+            }
+        }
+        Ok(self.stats)
+    }
+
+    /// Probes one dirty row against every fd.
+    fn step_row(&mut self, r: u32, guard: &Guard) -> Result<(), ExecError> {
+        guard.checkpoint()?;
+        for fi in 0..self.fds.fds().len() {
+            let key = self.key_of(fi, r);
+            match self.keyidx[fi].get(&key).copied() {
+                None => {
+                    self.keyidx[fi].insert(key, r);
+                }
+                Some(rep) if rep == r => {}
+                Some(rep) => {
+                    // Validate lazily: the stored representative's key may
+                    // have changed since it was indexed. If so, this slot
+                    // now belongs to `r`; the old representative was
+                    // enqueued by the union that changed its key.
+                    let rep_key = self.key_of(fi, rep);
+                    if rep_key != key {
+                        self.keyidx[fi].insert(key, r);
+                        continue;
+                    }
+                    let fd = self.fds.fds()[fi];
+                    let mut any = false;
+                    for a in fd.rhs.iter() {
+                        let na = self.cells[rep as usize][a.index()];
+                        let nb = self.cells[r as usize][a.index()];
+                        if self.union(na, nb, fd, a, guard)? {
+                            any = true;
+                        }
+                    }
+                    if any {
+                        // `r`'s keys may have changed; restart its sweep.
+                        self.enqueue(r);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges the classes of nodes `a` and `b` under the renaming
+    /// precedence of §2.3. Returns whether the classes were distinct.
+    /// Every row of the losing class is enqueued — those are exactly the
+    /// rows whose visible symbol changed.
+    fn union(
+        &mut self,
+        a: u32,
+        b: u32,
+        fd: Fd,
+        column: Attribute,
+        guard: &Guard,
+    ) -> Result<bool, ExecError> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(false);
+        }
+        let (win, lose) = match (self.sym[ra as usize], self.sym[rb as usize]) {
+            (ChaseSym::Const(_), ChaseSym::Const(_)) => {
+                let e = Inconsistent { fd, column };
+                self.failure = Some(e.clone());
+                return Err(e.into());
+            }
+            (ChaseSym::Const(_), _) => (ra, rb),
+            (_, ChaseSym::Const(_)) => (rb, ra),
+            (ChaseSym::Dv, _) => (ra, rb),
+            (_, ChaseSym::Dv) => (rb, ra),
+            (ChaseSym::Ndv(x), ChaseSym::Ndv(y)) => {
+                if x < y {
+                    (ra, rb)
+                } else {
+                    (rb, ra)
+                }
+            }
+        };
+        guard.chase_step()?;
+        self.stats.rule_applications += 1;
+        self.parent[lose as usize] = win;
+        let moved = std::mem::take(&mut self.members[lose as usize]);
+        for &row in &moved {
+            self.enqueue(row);
+        }
+        self.members[win as usize].extend(moved);
+        Ok(true)
+    }
+
+    fn enqueue(&mut self, r: u32) {
+        if !self.queued[r as usize] {
+            self.queued[r as usize] = true;
+            self.work.push(r);
+        }
+    }
+
+    /// The canonical LHS node vector of row `r` for fd `fi`.
+    fn key_of(&mut self, fi: usize, r: u32) -> Box<[u32]> {
+        let lhs = self.fds.fds()[fi].lhs;
+        let mut key = Vec::with_capacity(lhs.len());
+        for a in lhs.iter() {
+            let n = self.cells[r as usize][a.index()];
+            key.push(self.find(n));
+        }
+        key.into_boxed_slice()
+    }
+
+    /// Root of `x` with path compression.
+    fn find(&mut self, mut x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        while self.parent[x as usize] != root {
+            let next = self.parent[x as usize];
+            self.parent[x as usize] = root;
+            x = next;
+        }
+        root
+    }
+
+    /// Root of `x` without compression, for read-only accessors.
+    fn find_ro(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn const_node(&mut self, col: usize, v: Value) -> u32 {
+        if let Some(&n) = self.const_nodes[col].get(&v) {
+            return n;
+        }
+        let n = self.fresh_node(ChaseSym::Const(v));
+        self.const_nodes[col].insert(v, n);
+        n
+    }
+
+    fn fresh_node(&mut self, s: ChaseSym) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.sym.push(s);
+        self.members.push(Vec::new());
+        id
+    }
+
+    /// The inconsistency that poisoned the engine, if any.
+    pub fn failure(&self) -> Option<&Inconsistent> {
+        self.failure.as_ref()
+    }
+
+    /// Accumulated work counters across all runs.
+    pub fn stats(&self) -> ChaseStats {
+        self.stats
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the engine holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of columns (universe size).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The restricted projection `πt_X` over the current (chased) rows:
+    /// rows all-constant on `x`, projected and deduplicated.
+    pub fn total_projection(&self, x: AttrSet) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        'rows: for cells in &self.cells {
+            let mut pairs = Vec::with_capacity(x.len());
+            for a in x.iter() {
+                match self.sym[self.find_ro(cells[a.index()]) as usize] {
+                    ChaseSym::Const(v) => pairs.push((a, v)),
+                    _ => continue 'rows,
+                }
+            }
+            out.push(Tuple::from_pairs(pairs));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Materialises the current rows with their canonical symbols.
+    pub fn to_tableau(&self) -> Tableau {
+        Tableau::from_raw(self.width, self.materialize_rows(), self.next_ndv)
+    }
+
+    fn materialize_rows(&self) -> Vec<Row> {
+        self.cells
+            .iter()
+            .zip(&self.tags)
+            .map(|(cells, &tag)| Row {
+                syms: cells
+                    .iter()
+                    .map(|&n| self.sym[self.find_ro(n) as usize])
+                    .collect(),
+                tag,
+            })
+            .collect()
+    }
+}
+
+/// `CHASE_F(T)` through the incremental engine — a drop-in replacement
+/// for [`chase`](crate::chase)/[`chase_fast`](crate::chase_fast) with the
+/// same contract: the tableau is chased in place, one chase step is
+/// charged per rule application, and on success the result is identical
+/// to the reference engine's.
+pub fn chase_incremental(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<ChaseStats, ExecError> {
+    let mut engine = IncrementalChase::of_tableau(t, fds);
+    let stats = engine.run(guard)?;
+    *t.rows_mut() = engine.materialize_rows();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase_engine::chase;
+    use idr_fd::KeyDeps;
+    use idr_relation::exec::Budget;
+    use idr_relation::{state_of, SchemeBuilder, SymbolTable};
+
+    fn merging_fixture() -> (idr_relation::DatabaseScheme, DatabaseState) {
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .build()
+            .unwrap();
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("A", "a"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        (scheme, state)
+    }
+
+    #[test]
+    fn identical_to_reference_on_merging_state() {
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let mut t1 = Tableau::of_state(&scheme, &state);
+        let mut t2 = t1.clone();
+        chase(&mut t1, kd.full(), &Guard::unlimited()).unwrap();
+        chase_incremental(&mut t2, kd.full(), &Guard::unlimited()).unwrap();
+        // Not just equivalent: identical rows, symbols and tags.
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn detects_inconsistency_and_poisons() {
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", ["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b1")]),
+                ("R1", &[("A", "a"), ("B", "b2")]),
+            ],
+        )
+        .unwrap();
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        let err = e.run(&Guard::unlimited()).unwrap_err();
+        assert!(matches!(err, ExecError::Inconsistent { .. }));
+        assert!(e.failure().is_some());
+        // Poisoned: later runs keep failing.
+        assert!(e.run(&Guard::unlimited()).is_err());
+    }
+
+    #[test]
+    fn transitive_merges_propagate() {
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R3", &[("A", "a0"), ("C", "c0")]),
+                ("R1", &[("A", "a0"), ("B", "b0")]),
+                ("R1", &[("A", "a1"), ("B", "b0")]),
+                ("R1", &[("A", "a1"), ("B", "b1")]),
+                ("R1", &[("A", "a2"), ("B", "b1")]),
+            ],
+        )
+        .unwrap();
+        let mut t1 = Tableau::of_state(&scheme, &state);
+        let mut t2 = t1.clone();
+        chase(&mut t1, kd.full(), &Guard::unlimited()).unwrap();
+        chase_incremental(&mut t2, kd.full(), &Guard::unlimited()).unwrap();
+        let ac = scheme.universe().set_of("AC");
+        assert_eq!(t1.total_projection(ac).len(), 3);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut t = Tableau::new(3);
+        assert!(chase_incremental(&mut t, &FdSet::new(), &Guard::unlimited()).is_ok());
+        let mut e = IncrementalChase::new(3, &FdSet::new());
+        assert!(e.is_empty());
+        assert!(e.run(&Guard::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_chase() {
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let u = scheme.universe();
+        let mut sym = SymbolTable::new();
+
+        // Batch: chase the state plus the extra tuple from scratch.
+        let extra = Tuple::from_pairs([
+            (u.attr_of("A"), sym.intern("a2")),
+            (u.attr_of("B"), sym.intern("b2")),
+        ]);
+        let mut batched = state.clone();
+        batched.insert(0, extra.clone()).unwrap();
+        let mut t_batch = Tableau::of_state(&scheme, &batched);
+        chase(&mut t_batch, kd.full(), &Guard::unlimited()).unwrap();
+
+        // Incremental: run, then push the tuple, then run again.
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        e.run(&Guard::unlimited()).unwrap();
+        e.push_tuple(&extra, Some(0));
+        e.run(&Guard::unlimited()).unwrap();
+
+        let all = u.all();
+        assert_eq!(e.total_projection(all), t_batch.total_projection(all));
+        let ab = u.set_of("AB");
+        assert_eq!(e.total_projection(ab), t_batch.total_projection(ab));
+    }
+
+    #[test]
+    fn incremental_insert_reuses_constant_classes() {
+        // Inserting a tuple that shares constants with merged rows must
+        // pick up the merged class, not a fresh node.
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let u = scheme.universe();
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        e.run(&Guard::unlimited()).unwrap();
+        // Insert R2(a, c2): conflicts with the existing R2(a, c) under
+        // key A → inconsistency must be detected incrementally.
+        // Replicate the fixture's interning order so "a" maps to the same
+        // value and "c2" to a fresh one.
+        let mut sym = SymbolTable::new();
+        let (av, _, _) = (sym.intern("a"), sym.intern("b"), sym.intern("c"));
+        let c2 = sym.intern("c2");
+        let bad = Tuple::from_pairs([(u.attr_of("A"), av), (u.attr_of("C"), c2)]);
+        e.push_tuple(&bad, Some(1));
+        let err = e.run(&Guard::unlimited()).unwrap_err();
+        assert!(matches!(err, ExecError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn budget_trip_is_resumable() {
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R3", &[("A", "a0"), ("C", "c0")]),
+                ("R1", &[("A", "a0"), ("B", "b0")]),
+                ("R1", &[("A", "a1"), ("B", "b0")]),
+                ("R1", &[("A", "a1"), ("B", "b1")]),
+                ("R1", &[("A", "a2"), ("B", "b1")]),
+            ],
+        )
+        .unwrap();
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        let tight = Guard::new(Budget::unlimited().with_max_chase_steps(1));
+        assert!(matches!(
+            e.run(&tight),
+            Err(ExecError::BudgetExceeded { .. })
+        ));
+        // Resume with a fresh guard: reaches the same fixpoint.
+        e.run(&Guard::unlimited()).unwrap();
+        let mut oracle = Tableau::of_state(&scheme, &state);
+        chase(&mut oracle, kd.full(), &Guard::unlimited()).unwrap();
+        let all = scheme.universe().all();
+        assert_eq!(e.total_projection(all), oracle.total_projection(all));
+    }
+
+    #[test]
+    fn scheme_tableau_with_dvs_chases_identically() {
+        let u = idr_relation::Universe::of_chars("ABCD");
+        let f = FdSet::parse(&u, "A->B, B->C");
+        let schemes = [u.set_of("AB"), u.set_of("BC"), u.set_of("CD")];
+        let mut t1 = Tableau::of_scheme(&schemes, 4);
+        let mut t2 = t1.clone();
+        chase(&mut t1, &f, &Guard::unlimited()).unwrap();
+        chase_incremental(&mut t2, &f, &Guard::unlimited()).unwrap();
+        assert_eq!(t1, t2);
+    }
+}

@@ -10,6 +10,9 @@
 //!   with origin tags (the `TAG` column of the paper's figures).
 //! * [`chase`] — exhaustive fd-rule application (`CHASE_F(T)`, \[MMS]),
 //!   returning the chased tableau or detecting an inconsistency.
+//! * [`chase_fast`] — the indexed worklist engine; [`IncrementalChase`] —
+//!   the union-find engine with incremental insert support that backs the
+//!   `Engine` facade.
 //! * State tableaux `T_r` ([`Tableau::of_state`]) and scheme tableaux
 //!   `T_R` ([`Tableau::of_scheme`]).
 //! * The weak instance model (§2.5): [`is_consistent`],
@@ -19,20 +22,29 @@
 //!   ([`lossless::is_lossless`]).
 //! * Tableau equivalence up to ndv renaming ([`equivalence`]), the notion
 //!   Lemma 4.2 is stated in.
-
+//!
+//! Every chase entry point takes an execution context (`&Guard`);
+//! [`Guard::unlimited`](idr_relation::exec::Guard::unlimited) is the easy
+//! default. The pre-collapse `*_bounded` twins survive as `#[deprecated]`
+//! shims.
 
 #![warn(missing_docs)]
 mod chase_engine;
-pub mod fast;
 pub mod equivalence;
+pub mod fast;
+pub mod incremental;
 pub mod lossless;
 mod tableau;
 mod weak;
 
-pub use chase_engine::{chase, chase_bounded, ChaseOutcome, ChaseStats, Inconsistent};
-pub use fast::{chase_fast, chase_fast_bounded};
+#[allow(deprecated)]
+pub use chase_engine::chase_bounded;
+pub use chase_engine::{chase, ChaseOutcome, ChaseStats, Inconsistent};
+#[allow(deprecated)]
+pub use fast::chase_fast_bounded;
+pub use fast::chase_fast;
+pub use incremental::{chase_incremental, IncrementalChase};
 pub use tableau::{ChaseSym, Row, Tableau};
-pub use weak::{
-    is_consistent, is_consistent_bounded, representative_instance,
-    representative_instance_bounded, total_projection, total_projection_bounded, RepInstance,
-};
+#[allow(deprecated)]
+pub use weak::{is_consistent_bounded, representative_instance_bounded, total_projection_bounded};
+pub use weak::{is_consistent, representative_instance, total_projection, RepInstance};

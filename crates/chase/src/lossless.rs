@@ -3,6 +3,7 @@
 //! covering X* additionally has `∪S ⊇ X`.
 
 use idr_fd::FdSet;
+use idr_relation::exec::Guard;
 use idr_relation::AttrSet;
 
 use crate::chase_engine::chase;
@@ -21,7 +22,9 @@ pub fn is_lossless(schemes: &[AttrSet], fds: &FdSet) -> bool {
     let union = schemes.iter().fold(AttrSet::empty(), |a, &b| a | b);
     let width = tableau_width(&union, fds);
     let mut t = Tableau::of_scheme(schemes, width);
-    if chase(&mut t, fds).is_err() {
+    // Scheme tableaux are tiny (one row per scheme), so the test is
+    // intrinsically bounded: no budget needed.
+    if chase(&mut t, fds, &Guard::unlimited()).is_err() {
         return false;
     }
     t.rows()
@@ -39,7 +42,7 @@ pub fn dv_closures(schemes: &[AttrSet], fds: &FdSet) -> Vec<AttrSet> {
     let union = schemes.iter().fold(AttrSet::empty(), |a, &b| a | b);
     let width = tableau_width(&union, fds);
     let mut t = Tableau::of_scheme(schemes, width);
-    if chase(&mut t, fds).is_err() {
+    if chase(&mut t, fds, &Guard::unlimited()).is_err() {
         return Vec::new();
     }
     t.rows().iter().map(|r| r.dv_attrs()).collect()

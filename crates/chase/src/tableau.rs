@@ -140,6 +140,17 @@ impl Tableau {
         }
     }
 
+    /// Crate-internal: reassembles a tableau from raw rows. The incremental
+    /// engine materialises through this; `next_ndv` must exceed every ndv
+    /// index occurring in `rows`.
+    pub(crate) fn from_raw(width: usize, rows: Vec<Row>, next_ndv: u32) -> Self {
+        Tableau {
+            width,
+            rows,
+            next_ndv,
+        }
+    }
+
     /// The tableau `T_r` for a database state (§2.2): one row per tuple,
     /// constants on the origin scheme, fresh ndvs elsewhere.
     pub fn of_state(scheme: &DatabaseScheme, state: &DatabaseState) -> Self {
@@ -278,8 +289,8 @@ mod tests {
     #[test]
     fn state_tableau_shape() {
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();
@@ -320,8 +331,8 @@ mod tests {
     #[test]
     fn total_projection_filters_partial_rows() {
         let scheme = SchemeBuilder::new("AB")
-            .scheme("R1", "A", &["A"])
-            .scheme("R2", "AB", &["A"])
+            .scheme("R1", "A", ["A"])
+            .scheme("R2", "AB", ["A"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();

@@ -5,7 +5,7 @@ use idr_fd::FdSet;
 use idr_relation::exec::{ExecError, Guard};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple};
 
-use crate::chase_engine::{chase, chase_bounded, ChaseStats};
+use crate::chase_engine::{chase, ChaseStats};
 use crate::tableau::Tableau;
 
 /// A representative instance: the chased state tableau `CHASE_F(T_r)`
@@ -27,72 +27,87 @@ impl RepInstance {
 
 /// Whether the state is consistent with respect to `fds`: a weak instance
 /// exists iff the chase of the state tableau does not fail (\[H2]\[GMV]).
-pub fn is_consistent(scheme: &DatabaseScheme, state: &DatabaseState, fds: &FdSet) -> bool {
-    let mut t = Tableau::of_state(scheme, state);
-    chase(&mut t, fds).is_ok()
-}
-
-/// Computes the representative instance for a state, or `None` when the
-/// state is inconsistent.
-pub fn representative_instance(
-    scheme: &DatabaseScheme,
-    state: &DatabaseState,
-    fds: &FdSet,
-) -> Option<RepInstance> {
-    let mut t = Tableau::of_state(scheme, state);
-    match chase(&mut t, fds) {
-        Ok(stats) => Some(RepInstance { tableau: t, stats }),
-        Err(_) => None,
-    }
-}
-
-/// The X-total projection `[X]` for a state (§2.5): `πt_X(CHASE_F(T_r))`,
-/// or `None` when the state is inconsistent.
-pub fn total_projection(
-    scheme: &DatabaseScheme,
-    state: &DatabaseState,
-    fds: &FdSet,
-    x: AttrSet,
-) -> Option<Vec<Tuple>> {
-    representative_instance(scheme, state, fds).map(|ri| ri.total_projection(x))
-}
-
-/// Budgeted [`is_consistent`]: `Ok(true)`/`Ok(false)` is the consistency
-/// verdict; `Err` means the guard stopped the chase before a verdict was
-/// reached (budget, deadline or cancellation — never inconsistency, which
-/// is the `Ok(false)` case here).
-pub fn is_consistent_bounded(
+///
+/// `Ok(true)`/`Ok(false)` is the consistency verdict; `Err` means the
+/// guard stopped the chase before a verdict was reached (budget, deadline
+/// or cancellation — never inconsistency, which is the `Ok(false)` case
+/// here). Pass [`Guard::unlimited`] for an unbounded run.
+pub fn is_consistent(
     scheme: &DatabaseScheme,
     state: &DatabaseState,
     fds: &FdSet,
     guard: &Guard,
 ) -> Result<bool, ExecError> {
     let mut t = Tableau::of_state(scheme, state);
-    match chase_bounded(&mut t, fds, guard) {
+    match chase(&mut t, fds, guard) {
         Ok(_) => Ok(true),
         Err(ExecError::Inconsistent { .. }) => Ok(false),
         Err(e) => Err(e),
     }
 }
 
-/// Budgeted [`representative_instance`]: `Ok(None)` when the state is
-/// inconsistent, `Err` when the guard stopped the chase.
-pub fn representative_instance_bounded(
+/// Computes the representative instance for a state. `Ok(None)` when the
+/// state is inconsistent, `Err` when the guard stopped the chase.
+pub fn representative_instance(
     scheme: &DatabaseScheme,
     state: &DatabaseState,
     fds: &FdSet,
     guard: &Guard,
 ) -> Result<Option<RepInstance>, ExecError> {
     let mut t = Tableau::of_state(scheme, state);
-    match chase_bounded(&mut t, fds, guard) {
+    match chase(&mut t, fds, guard) {
         Ok(stats) => Ok(Some(RepInstance { tableau: t, stats })),
         Err(ExecError::Inconsistent { .. }) => Ok(None),
         Err(e) => Err(e),
     }
 }
 
-/// Budgeted [`total_projection`]: `Ok(None)` when the state is
-/// inconsistent, `Err` when the guard stopped the chase.
+/// The X-total projection `[X]` for a state (§2.5): `πt_X(CHASE_F(T_r))`.
+/// `Ok(None)` when the state is inconsistent, `Err` when the guard stopped
+/// the chase.
+pub fn total_projection(
+    scheme: &DatabaseScheme,
+    state: &DatabaseState,
+    fds: &FdSet,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Option<Vec<Tuple>>, ExecError> {
+    Ok(representative_instance(scheme, state, fds, guard)?.map(|ri| ri.total_projection(x)))
+}
+
+/// Deprecated spelling of [`is_consistent`] from before the twin-surface
+/// collapse.
+#[deprecated(since = "0.2.0", note = "use `is_consistent` — it now takes a `&Guard`")]
+pub fn is_consistent_bounded(
+    scheme: &DatabaseScheme,
+    state: &DatabaseState,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<bool, ExecError> {
+    is_consistent(scheme, state, fds, guard)
+}
+
+/// Deprecated spelling of [`representative_instance`] from before the
+/// twin-surface collapse.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `representative_instance` — it now takes a `&Guard`"
+)]
+pub fn representative_instance_bounded(
+    scheme: &DatabaseScheme,
+    state: &DatabaseState,
+    fds: &FdSet,
+    guard: &Guard,
+) -> Result<Option<RepInstance>, ExecError> {
+    representative_instance(scheme, state, fds, guard)
+}
+
+/// Deprecated spelling of [`total_projection`] from before the
+/// twin-surface collapse.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `total_projection` — it now takes a `&Guard`"
+)]
 pub fn total_projection_bounded(
     scheme: &DatabaseScheme,
     state: &DatabaseState,
@@ -100,8 +115,7 @@ pub fn total_projection_bounded(
     x: AttrSet,
     guard: &Guard,
 ) -> Result<Option<Vec<Tuple>>, ExecError> {
-    Ok(representative_instance_bounded(scheme, state, fds, guard)?
-        .map(|ri| ri.total_projection(x)))
+    total_projection(scheme, state, fds, x, guard)
 }
 
 #[cfg(test)]
@@ -112,8 +126,8 @@ mod tests {
 
     fn fixture() -> (DatabaseScheme, SymbolTable, DatabaseState) {
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();
@@ -133,8 +147,11 @@ mod tests {
     fn consistent_state_has_rep_instance() {
         let (scheme, _sym, state) = fixture();
         let kd = KeyDeps::of(&scheme);
-        assert!(is_consistent(&scheme, &state, kd.full()));
-        let ri = representative_instance(&scheme, &state, kd.full()).unwrap();
+        let g = Guard::unlimited();
+        assert!(is_consistent(&scheme, &state, kd.full(), &g).unwrap());
+        let ri = representative_instance(&scheme, &state, kd.full(), &g)
+            .unwrap()
+            .unwrap();
         // B→C extends the R1 row to ABC.
         let abc = scheme.universe().set_of("ABC");
         assert_eq!(ri.total_projection(abc).len(), 1);
@@ -146,7 +163,9 @@ mod tests {
         let kd = KeyDeps::of(&scheme);
         // [AC] contains <a, c> even though no relation holds AC.
         let ac = scheme.universe().set_of("AC");
-        let proj = total_projection(&scheme, &state, kd.full(), ac).unwrap();
+        let proj = total_projection(&scheme, &state, kd.full(), ac, &Guard::unlimited())
+            .unwrap()
+            .unwrap();
         assert_eq!(proj.len(), 1);
         assert_eq!(proj[0].attrs(), ac);
     }
@@ -154,7 +173,7 @@ mod tests {
     #[test]
     fn inconsistent_state_detected() {
         let scheme = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", ["A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&scheme);
@@ -168,10 +187,16 @@ mod tests {
             ],
         )
         .unwrap();
-        assert!(!is_consistent(&scheme, &state, kd.full()));
-        assert!(representative_instance(&scheme, &state, kd.full()).is_none());
-        assert!(total_projection(&scheme, &state, kd.full(), scheme.universe().set_of("A"))
+        let g = Guard::unlimited();
+        assert!(!is_consistent(&scheme, &state, kd.full(), &g).unwrap());
+        assert!(representative_instance(&scheme, &state, kd.full(), &g)
+            .unwrap()
             .is_none());
+        assert!(
+            total_projection(&scheme, &state, kd.full(), scheme.universe().set_of("A"), &g)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -179,6 +204,6 @@ mod tests {
         let (scheme, _sym, _state) = fixture();
         let kd = KeyDeps::of(&scheme);
         let empty = DatabaseState::empty(&scheme);
-        assert!(is_consistent(&scheme, &empty, kd.full()));
+        assert!(is_consistent(&scheme, &empty, kd.full(), &Guard::unlimited()).unwrap());
     }
 }

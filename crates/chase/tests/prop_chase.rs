@@ -6,6 +6,7 @@
 
 use idr_chase::{chase, is_consistent, lossless, Tableau};
 use idr_fd::{Fd, FdSet};
+use idr_relation::exec::Guard;
 use idr_relation::rng::SplitMix64;
 use idr_relation::{
     AttrSet, Attribute, DatabaseScheme, DatabaseState, RelationScheme, Tuple, Universe,
@@ -83,7 +84,7 @@ fn weak_instance_exists_brute(
     // original tuples, this certifies a weak instance (pad each row's
     // variables with fresh distinct values).
     let mut t = Tableau::of_state(scheme, state);
-    match chase(&mut t, fds) {
+    match chase(&mut t, fds, &Guard::unlimited()) {
         Err(_) => false,
         Ok(_) => {
             for r1 in t.rows() {
@@ -132,7 +133,7 @@ fn consistency_is_monotone_under_tuple_removal() {
         let scheme = rand_scheme(&mut rng);
         let state = rand_state(&mut rng, &scheme);
         let kd = idr_fd::KeyDeps::of(&scheme);
-        if is_consistent(&scheme, &state, kd.full()) {
+        if is_consistent(&scheme, &state, kd.full(), &Guard::unlimited()).unwrap() {
             // Removing any single relation's tuples keeps consistency.
             for skip in 0..scheme.len() {
                 let mut reduced = DatabaseState::empty(&scheme);
@@ -142,7 +143,7 @@ fn consistency_is_monotone_under_tuple_removal() {
                     }
                 }
                 assert!(
-                    is_consistent(&scheme, &reduced, kd.full()),
+                    is_consistent(&scheme, &reduced, kd.full(), &Guard::unlimited()).unwrap(),
                     "case {case}, skip {skip}"
                 );
             }
@@ -160,9 +161,13 @@ fn chase_result_independent_of_fd_order() {
         let kd = idr_fd::KeyDeps::of(&scheme);
         let fds = kd.full();
         let reversed = FdSet::from_fds(fds.fds().iter().rev().copied());
-        let p1 = idr_chase::total_projection(&scheme, &state, fds, scheme.universe().all());
+        let g = Guard::unlimited();
+        let p1 =
+            idr_chase::total_projection(&scheme, &state, fds, scheme.universe().all(), &g)
+                .unwrap();
         let p2 =
-            idr_chase::total_projection(&scheme, &state, &reversed, scheme.universe().all());
+            idr_chase::total_projection(&scheme, &state, &reversed, scheme.universe().all(), &g)
+                .unwrap();
         assert_eq!(p1, p2, "case {case}");
     }
 }
@@ -175,12 +180,18 @@ fn fast_chase_agrees_with_reference() {
         let scheme = rand_scheme(&mut rng);
         let state = rand_state(&mut rng, &scheme);
         let kd = idr_fd::KeyDeps::of(&scheme);
+        let g = Guard::unlimited();
         let mut t1 = Tableau::of_state(&scheme, &state);
         let mut t2 = t1.clone();
-        let r1 = chase(&mut t1, kd.full());
-        let r2 = idr_chase::fast::chase_fast(&mut t2, kd.full());
+        let mut t3 = t1.clone();
+        let r1 = chase(&mut t1, kd.full(), &g);
+        let r2 = idr_chase::fast::chase_fast(&mut t2, kd.full(), &g);
+        let r3 = idr_chase::chase_incremental(&mut t3, kd.full(), &g);
         assert_eq!(r1.is_ok(), r2.is_ok(), "case {case}");
+        assert_eq!(r1.is_ok(), r3.is_ok(), "case {case}");
         if r1.is_ok() {
+            // The incremental engine is identical, not merely equivalent.
+            assert_eq!(t1, t3, "case {case}");
             let all = scheme.universe().all();
             assert_eq!(t1.total_projection(all), t2.total_projection(all), "case {case}");
             // Also compare every single-attribute projection (partial

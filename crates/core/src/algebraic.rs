@@ -20,6 +20,7 @@
 
 use idr_fd::KeyDeps;
 use idr_relation::algebra::Expr;
+use idr_relation::exec::{ExecError, Guard};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple};
 
 use crate::maintain::{MaintenanceOutcome, MaintenanceStats};
@@ -46,8 +47,14 @@ pub struct AlgebraicPlan {
 }
 
 impl AlgebraicPlan {
-    /// Compiles the plan for a key-equivalent block.
-    pub fn compile(scheme: &DatabaseScheme, kd: &KeyDeps, block: &[usize]) -> Self {
+    /// Compiles the plan for a key-equivalent block. The lossless-cover
+    /// enumerations are charged against `guard`'s enumeration budget.
+    pub fn compile(
+        scheme: &DatabaseScheme,
+        kd: &KeyDeps,
+        block: &[usize],
+        guard: &Guard,
+    ) -> Result<Self, ExecError> {
         let family: Vec<AttrSet> = block.iter().map(|&i| scheme.scheme(i).attrs()).collect();
         let fds = kd.for_subset(block);
         let mut keys: Vec<AttrSet> = block
@@ -56,27 +63,24 @@ impl AlgebraicPlan {
             .collect();
         keys.sort();
         keys.dedup();
-        let plans = keys
-            .iter()
-            .map(|&k| {
-                let covers = all_lossless_covers(&family, &fds, k)
-                    .into_iter()
-                    .map(|members| {
-                        let indices: Vec<usize> =
-                            members.iter().map(|&m| block[m]).collect();
-                        let union = members
-                            .iter()
-                            .fold(AttrSet::empty(), |acc, &m| acc | family[m]);
-                        (Expr::sequential(&indices), union)
-                    })
-                    .collect();
-                KeyPlan { key: k, covers }
-            })
-            .collect();
-        AlgebraicPlan {
+        let mut plans = Vec::with_capacity(keys.len());
+        for &k in &keys {
+            let covers = all_lossless_covers(&family, &fds, k, guard)?
+                .into_iter()
+                .map(|members| {
+                    let indices: Vec<usize> = members.iter().map(|&m| block[m]).collect();
+                    let union = members
+                        .iter()
+                        .fold(AttrSet::empty(), |acc, &m| acc | family[m]);
+                    (Expr::sequential(&indices), union)
+                })
+                .collect();
+            plans.push(KeyPlan { key: k, covers });
+        }
+        Ok(AlgebraicPlan {
             block: block.to_vec(),
             plans,
-        }
+        })
     }
 
     /// The plans, for inspection.
@@ -99,12 +103,16 @@ impl AlgebraicPlan {
         k: AttrSet,
         probe: &Tuple,
         stats: &mut MaintenanceStats,
-    ) -> Option<Tuple> {
-        let plan = self.plan_for(k)?;
+        guard: &Guard,
+    ) -> Result<Option<Tuple>, ExecError> {
+        let Some(plan) = self.plan_for(k) else {
+            return Ok(None);
+        };
         let formula: Vec<_> = k.iter().map(|a| (a, probe.value(a))).collect();
         let mut best: Option<(Tuple, AttrSet)> = None;
         for (expr, union) in &plan.covers {
             stats.lookups += 1;
+            guard.lookup()?;
             let selected = expr
                 .clone()
                 .select(formula.clone())
@@ -125,19 +133,21 @@ impl AlgebraicPlan {
                 }
             }
         }
-        best.map(|(t, _)| t)
+        Ok(best.map(|(t, _)| t))
     }
 }
 
 /// Algorithm 2 driven by the Theorem 3.2 expression plan instead of a
-/// materialised representative instance.
+/// materialised representative instance. Every selection is charged
+/// against `guard`.
 pub fn algorithm2_algebraic(
     scheme: &DatabaseScheme,
     plan: &AlgebraicPlan,
     state: &DatabaseState,
     si: usize,
     t: &Tuple,
-) -> (MaintenanceOutcome, MaintenanceStats) {
+    guard: &Guard,
+) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
     let mut stats = MaintenanceStats::default();
     let mut closure = scheme.scheme(si).attrs();
     let mut q = t.clone();
@@ -147,14 +157,14 @@ pub fn algorithm2_algebraic(
 
     while let Some(k) = unprocessed.pop() {
         stats.keys_processed += 1;
-        let v: Tuple = match plan.lookup(scheme, state, k, &q, &mut stats) {
+        let v: Tuple = match plan.lookup(scheme, state, k, &q, &mut stats, guard)? {
             Some(p) => p,
             None => q.project(k),
         };
         let c = v.attrs();
         match q.join(&v) {
             Some(joined) => q = joined,
-            None => return (MaintenanceOutcome::Inconsistent, stats),
+            None => return Ok((MaintenanceOutcome::Inconsistent, stats)),
         }
         closure |= c;
         processed.push(k);
@@ -169,7 +179,7 @@ pub fn algorithm2_algebraic(
     // only when a key value is entirely absent from the state, in which
     // case nothing constrains it anyway.
     let _ = plan.block.len();
-    (MaintenanceOutcome::Consistent(q), stats)
+    Ok((MaintenanceOutcome::Consistent(q), stats))
 }
 
 #[cfg(test)]
@@ -183,13 +193,13 @@ mod tests {
 
     fn example4() -> DatabaseScheme {
         SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AE", &["A", "E"])
-            .scheme("R4", "EB", &["E"])
-            .scheme("R5", "EC", &["E"])
-            .scheme("R6", "BCD", &["BC", "D"])
-            .scheme("R7", "DA", &["D", "A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AE", ["A", "E"])
+            .scheme("R4", "EB", ["E"])
+            .scheme("R5", "EC", ["E"])
+            .scheme("R6", "BCD", ["BC", "D"])
+            .scheme("R7", "DA", ["D", "A"])
             .build()
             .unwrap()
     }
@@ -199,7 +209,7 @@ mod tests {
         let db = example4();
         let kd = KeyDeps::of(&db);
         let block: Vec<usize> = (0..db.len()).collect();
-        let plan = AlgebraicPlan::compile(&db, &kd, &block);
+        let plan = AlgebraicPlan::compile(&db, &kd, &block, &Guard::unlimited()).unwrap();
         // Keys A, E, BC, D: four plans, each with at least one cover.
         assert_eq!(plan.plans().len(), 4);
         for p in plan.plans() {
@@ -213,9 +223,9 @@ mod tests {
             (example4(), 0..6u64),
             (
                 SchemeBuilder::new("ABC")
-                    .scheme("S1", "AB", &["A", "B"])
-                    .scheme("S2", "BC", &["B", "C"])
-                    .scheme("S3", "AC", &["A", "C"])
+                    .scheme("S1", "AB", ["A", "B"])
+                    .scheme("S2", "BC", ["B", "C"])
+                    .scheme("S3", "AC", ["A", "C"])
                     .build()
                     .unwrap(),
                 0..6u64,
@@ -225,7 +235,9 @@ mod tests {
             let ir = recognize(&db, &kd).accepted().unwrap();
             assert_eq!(ir.len(), 1);
             let block = ir.partition[0].clone();
-            let plan = AlgebraicPlan::compile(&db, &kd, &block);
+            let g = Guard::unlimited();
+            let rp = idr_relation::exec::RetryPolicy::none();
+            let plan = AlgebraicPlan::compile(&db, &kd, &block, &g).unwrap();
             for seed in seeds {
                 let mut sym = idr_relation::SymbolTable::new();
                 let w = generate(
@@ -240,11 +252,16 @@ mod tests {
                     },
                 );
                 let keys: Vec<AttrSet> = ir.block_keys[0].clone();
-                let rep =
-                    KeRep::build(&keys, w.state.iter_all().map(|(_, t)| t.clone())).unwrap();
+                let rep = KeRep::build(
+                    &keys,
+                    w.state.iter_all().map(|(_, t)| t.clone()),
+                    &g,
+                )
+                .unwrap();
                 for (i, t) in &w.inserts {
-                    let (via_rep, _) = algorithm2(&db, &rep, *i, t);
-                    let (via_alg, _) = algorithm2_algebraic(&db, &plan, &w.state, *i, t);
+                    let (via_rep, _) = algorithm2(&db, &rep, *i, t, &g, &rp).unwrap();
+                    let (via_alg, _) =
+                        algorithm2_algebraic(&db, &plan, &w.state, *i, t, &g).unwrap();
                     assert_eq!(
                         via_rep.is_consistent(),
                         via_alg.is_consistent(),
@@ -261,7 +278,7 @@ mod tests {
         let db = example4();
         let kd = KeyDeps::of(&db);
         let block: Vec<usize> = (0..db.len()).collect();
-        let plan = AlgebraicPlan::compile(&db, &kd, &block);
+        let plan = AlgebraicPlan::compile(&db, &kd, &block, &Guard::unlimited()).unwrap();
         let mut sym = idr_relation::SymbolTable::new();
         let state = idr_relation::state_of(
             &db,
@@ -278,7 +295,8 @@ mod tests {
         let probe = Tuple::from_pairs([(u.attr_of("A"), sym.intern("a"))]);
         let mut stats = MaintenanceStats::default();
         let got = plan
-            .lookup(&db, &state, u.set_of("A"), &probe, &mut stats)
+            .lookup(&db, &state, u.set_of("A"), &probe, &mut stats, &Guard::unlimited())
+            .unwrap()
             .expect("the greatest nonempty selection");
         assert_eq!(got.attrs(), u.set_of("ABCE"));
         assert_eq!(got.value(u.attr_of("E")), sym.intern("e1"));

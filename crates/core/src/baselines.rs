@@ -40,9 +40,9 @@ mod tests {
     #[test]
     fn theorem_5_3_independent_implies_accepted() {
         let db = SchemeBuilder::new("CTHRSG")
-            .scheme("S1", "HRCT", &["HR", "HT"])
-            .scheme("S2", "CSG", &["CS"])
-            .scheme("S3", "HSR", &["HS"])
+            .scheme("S1", "HRCT", ["HR", "HT"])
+            .scheme("S2", "CSG", ["CS"])
+            .scheme("S3", "HSR", ["HS"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -54,9 +54,9 @@ mod tests {
     fn theorem_5_2_gamma_acyclic_bcnf_implies_accepted() {
         // A γ-acyclic BCNF chain.
         let db = SchemeBuilder::new("ABCD")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
-            .scheme("R3", "CD", &["C"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "CD", ["C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -69,11 +69,11 @@ mod tests {
         // The paper's motivating point: R is neither independent nor
         // γ-acyclic, yet independence-reducible.
         let db = SchemeBuilder::new("CTHRSG")
-            .scheme("R1", "HRC", &["HR"])
-            .scheme("R2", "HTR", &["HT", "HR"])
-            .scheme("R3", "HTC", &["HT"])
-            .scheme("R4", "CSG", &["CS"])
-            .scheme("R5", "HSR", &["HS"])
+            .scheme("R1", "HRC", ["HR"])
+            .scheme("R2", "HTR", ["HT", "HR"])
+            .scheme("R3", "HTC", ["HT"])
+            .scheme("R4", "CSG", ["CS"])
+            .scheme("R5", "HSR", ["HS"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -86,9 +86,9 @@ mod tests {
     fn example3_in_neither_baseline_but_accepted() {
         // Example 3: key-equivalent, not independent, not even α-acyclic.
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -104,9 +104,9 @@ mod tests {
     fn key_equivalent_schemes_are_bcnf() {
         // Lemma 3.1 on Example 3.
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);

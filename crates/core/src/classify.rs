@@ -110,11 +110,11 @@ mod tests {
         // The headline claims of Example 1: not independent, not
         // γ-acyclic, but independence-reducible, bounded and ctm.
         let db = SchemeBuilder::new("CTHRSG")
-            .scheme("R1", "HRC", &["HR"])
-            .scheme("R2", "HTR", &["HT", "HR"])
-            .scheme("R3", "HTC", &["HT"])
-            .scheme("R4", "CSG", &["CS"])
-            .scheme("R5", "HSR", &["HS"])
+            .scheme("R1", "HRC", ["HR"])
+            .scheme("R2", "HTR", ["HT", "HR"])
+            .scheme("R3", "HTC", ["HT"])
+            .scheme("R4", "CSG", ["CS"])
+            .scheme("R5", "HSR", ["HS"])
             .build()
             .unwrap();
         let c = classify(&db);
@@ -131,13 +131,13 @@ mod tests {
         // Key-equivalent but split (key BC) ⇒ algebraic-maintainable, not
         // ctm (Corollary 3.3).
         let db = SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AE", &["A", "E"])
-            .scheme("R4", "EB", &["E"])
-            .scheme("R5", "EC", &["E"])
-            .scheme("R6", "BCD", &["BC", "D"])
-            .scheme("R7", "DA", &["D", "A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AE", ["A", "E"])
+            .scheme("R4", "EB", ["E"])
+            .scheme("R5", "EC", ["E"])
+            .scheme("R6", "BCD", ["BC", "D"])
+            .scheme("R7", "DA", ["D", "A"])
             .build()
             .unwrap();
         let c = classify(&db);
@@ -150,9 +150,9 @@ mod tests {
     #[test]
     fn example2_scheme_is_outside_the_class() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "BC", &["B"])
-            .scheme("R3", "AC", &["A"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
             .build()
             .unwrap();
         let c = classify(&db);
@@ -165,9 +165,9 @@ mod tests {
     #[test]
     fn independent_scheme_classification() {
         let db = SchemeBuilder::new("CTHRSG")
-            .scheme("S1", "HRCT", &["HR", "HT"])
-            .scheme("S2", "CSG", &["CS"])
-            .scheme("S3", "HSR", &["HS"])
+            .scheme("S1", "HRCT", ["HR", "HT"])
+            .scheme("S2", "CSG", ["CS"])
+            .scheme("S3", "HSR", ["HS"])
             .build()
             .unwrap();
         let c = classify(&db);
@@ -181,10 +181,10 @@ mod tests {
     #[test]
     fn example9_chain_is_ctm() {
         let db = SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "CD", &["C", "D"])
-            .scheme("R4", "DE", &["D", "E"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "CD", ["C", "D"])
+            .scheme("R4", "DE", ["D", "E"])
             .build()
             .unwrap();
         let c = classify(&db);

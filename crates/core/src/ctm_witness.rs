@@ -184,17 +184,18 @@ impl NonCtmWitness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use idr_relation::exec::Guard;
     use idr_relation::SchemeBuilder;
 
     fn example4() -> DatabaseScheme {
         SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AE", &["A", "E"])
-            .scheme("R4", "EB", &["E"])
-            .scheme("R5", "EC", &["E"])
-            .scheme("R6", "BCD", &["BC", "D"])
-            .scheme("R7", "DA", &["D", "A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AE", ["A", "E"])
+            .scheme("R4", "EB", ["E"])
+            .scheme("R5", "EC", ["E"])
+            .scheme("R6", "BCD", ["BC", "D"])
+            .scheme("R7", "DA", ["D", "A"])
             .build()
             .unwrap()
     }
@@ -208,11 +209,11 @@ mod tests {
         let w = non_ctm_witness(&db, &kd, &block, &mut sym).expect("Example 4 splits");
         assert_eq!(w.key, db.universe().set_of("BC"));
         // Lemma 3.7(a): the base state is consistent.
-        assert!(idr_chase::is_consistent(&db, &w.state, kd.full()));
+        assert!(idr_chase::is_consistent(&db, &w.state, kd.full(), &Guard::unlimited()).unwrap());
         // Lemma 3.7(c): adding the probe refutes it.
         let mut bad = w.state.clone();
         bad.insert(w.probe_scheme, w.probe.clone()).unwrap();
-        assert!(!idr_chase::is_consistent(&db, &bad, kd.full()));
+        assert!(!idr_chase::is_consistent(&db, &bad, kd.full(), &Guard::unlimited()).unwrap());
         // Lemma 3.7(b): the probe alone with the t2 fragments is fine.
         let mut partial = DatabaseState::empty(&db);
         for &i in &w.s_q_prefix {
@@ -221,7 +222,7 @@ mod tests {
             }
         }
         partial.insert(w.probe_scheme, w.probe.clone()).unwrap();
-        assert!(idr_chase::is_consistent(&db, &partial, kd.full()));
+        assert!(idr_chase::is_consistent(&db, &partial, kd.full(), &Guard::unlimited()).unwrap());
     }
 
     #[test]
@@ -237,19 +238,25 @@ mod tests {
                 inflated.total_tuples() > w.state.total_tuples(),
                 "inflation must add tuples"
             );
-            assert!(idr_chase::is_consistent(&db, &inflated, kd.full()), "n={n}");
+            assert!(
+                idr_chase::is_consistent(&db, &inflated, kd.full(), &Guard::unlimited()).unwrap(),
+                "n={n}"
+            );
             let mut bad = inflated.clone();
             bad.insert(w.probe_scheme, w.probe.clone()).unwrap();
-            assert!(!idr_chase::is_consistent(&db, &bad, kd.full()), "n={n}");
+            assert!(
+                !idr_chase::is_consistent(&db, &bad, kd.full(), &Guard::unlimited()).unwrap(),
+                "n={n}"
+            );
         }
     }
 
     #[test]
     fn split_free_schemes_have_no_witness() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("S1", "AB", &["A", "B"])
-            .scheme("S2", "BC", &["B", "C"])
-            .scheme("S3", "AC", &["A", "C"])
+            .scheme("S1", "AB", ["A", "B"])
+            .scheme("S2", "BC", ["B", "C"])
+            .scheme("S3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -275,8 +282,17 @@ mod tests {
             .iter()
             .flat_map(|s| s.keys().iter().copied())
             .collect();
-        let rep = KeRep::build(&keys, inflated.iter_all().map(|(_, t)| t.clone())).unwrap();
-        let (outcome, _) = algorithm2(&db, &rep, w.probe_scheme, &w.probe);
+        let g = idr_relation::exec::Guard::unlimited();
+        let rep = KeRep::build(&keys, inflated.iter_all().map(|(_, t)| t.clone()), &g).unwrap();
+        let (outcome, _) = algorithm2(
+            &db,
+            &rep,
+            w.probe_scheme,
+            &w.probe,
+            &g,
+            &idr_relation::exec::RetryPolicy::none(),
+        )
+        .unwrap();
         assert!(!outcome.is_consistent());
     }
 }
@@ -294,13 +310,13 @@ mod algorithm5_unsoundness {
     #[test]
     fn algorithm5_is_unsound_on_split_schemes() {
         let db = SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AE", &["A", "E"])
-            .scheme("R4", "EB", &["E"])
-            .scheme("R5", "EC", &["E"])
-            .scheme("R6", "BCD", &["BC", "D"])
-            .scheme("R7", "DA", &["D", "A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AE", ["A", "E"])
+            .scheme("R4", "EB", ["E"])
+            .scheme("R5", "EC", ["E"])
+            .scheme("R6", "BCD", ["BC", "D"])
+            .scheme("R7", "DA", ["D", "A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -308,7 +324,15 @@ mod algorithm5_unsoundness {
         let mut sym = SymbolTable::new();
         let w = non_ctm_witness(&db, &kd, &block, &mut sym).unwrap();
         let idx = StateIndex::build(&db, &block, &w.state).unwrap();
-        let (outcome, _) = algorithm5(&db, &idx, w.probe_scheme, &w.probe);
+        let (outcome, _) = algorithm5(
+            &db,
+            &idx,
+            w.probe_scheme,
+            &w.probe,
+            &idr_relation::exec::Guard::unlimited(),
+            &idr_relation::exec::RetryPolicy::none(),
+        )
+        .unwrap();
         // The chase says "inconsistent" (verified in the other tests);
         // Algorithm 5 says "consistent" — unsound exactly because key BC
         // is split: the assembled BC value is invisible to key-directed

@@ -1,0 +1,675 @@
+//! The unified engine facade: build once from a scheme, query cheaply.
+//!
+//! [`Engine`] front-loads everything that depends only on the *scheme* —
+//! key dependencies, Algorithm 6 recognition, the full classification,
+//! and (lazily, cached) the Theorem 4.1 chase-free projection
+//! expressions. A [`Session`] then binds the engine to one database
+//! *state*: it chases the state once at construction and afterwards
+//! answers [`is_consistent`](Session::is_consistent) in O(1) and serves
+//! inserts through the [`IncrementalChase`] worklist path, so a stream of
+//! updates never re-chases from scratch.
+//!
+//! For independence-reducible schemes the session exploits Theorems 4.1
+//! and 4.2: each block of the IR partition is chased *separately* (the
+//! blocks are independent, so per-block consistency is global
+//! consistency), and when the engine is built with
+//! [`parallel`](Engine::with_parallel) enabled the per-block chases run
+//! on scoped threads. Budgets stay global: every worker charges the same
+//! shared [`Guard`], whose counters are atomic. Results are written into
+//! per-block slots, so parallel evaluation is *deterministic* — the same
+//! inputs produce the same verdicts, stats and (block-ordered) first
+//! error as a serial run.
+//!
+//! Total projections on IR schemes are answered chase-free through the
+//! cached Theorem 4.1 expressions evaluated over the base state; non-IR
+//! schemes fall back to a single whole-state chase.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use idr_chase::IncrementalChase;
+use idr_fd::KeyDeps;
+use idr_relation::algebra::Expr;
+use idr_relation::exec::{ExecError, Guard};
+use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple};
+
+use crate::classify::{classify, Classification};
+use crate::query::ir_total_projection_expr;
+use crate::recognition::{recognize, IrScheme, Recognition};
+
+/// Scheme-level front end: owns everything derivable from the scheme
+/// alone. Construction runs Algorithm 6 once; classification and the
+/// Theorem 4.1 projection expressions are computed lazily and cached.
+///
+/// The engine is `Sync`: one engine can serve many sessions (and many
+/// threads) concurrently.
+#[derive(Debug)]
+pub struct Engine {
+    scheme: DatabaseScheme,
+    kd: KeyDeps,
+    recognition: Recognition,
+    classification: OnceLock<Classification>,
+    expr_cache: Mutex<HashMap<AttrSet, Option<Expr>>>,
+    parallel: bool,
+}
+
+impl Engine {
+    /// Builds the engine: derives the key dependencies and runs
+    /// Algorithm 6. Block-parallel evaluation is enabled by default;
+    /// see [`with_parallel`](Engine::with_parallel).
+    pub fn new(scheme: DatabaseScheme) -> Self {
+        let kd = KeyDeps::of(&scheme);
+        let recognition = recognize(&scheme, &kd);
+        Engine {
+            scheme,
+            kd,
+            recognition,
+            classification: OnceLock::new(),
+            expr_cache: Mutex::new(HashMap::new()),
+            parallel: true,
+        }
+    }
+
+    /// Enables or disables block-parallel evaluation. Serial and parallel
+    /// runs produce identical results; parallel only changes wall-clock.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The scheme the engine was built from.
+    pub fn scheme(&self) -> &DatabaseScheme {
+        &self.scheme
+    }
+
+    /// The embedded key dependencies.
+    pub fn key_deps(&self) -> &KeyDeps {
+        &self.kd
+    }
+
+    /// Algorithm 6's verdict.
+    pub fn recognition(&self) -> &Recognition {
+        &self.recognition
+    }
+
+    /// The IR partition, when Algorithm 6 accepted.
+    pub fn ir(&self) -> Option<&IrScheme> {
+        match &self.recognition {
+            Recognition::Accepted(ir) => Some(ir),
+            Recognition::Rejected(_) => None,
+        }
+    }
+
+    /// Whether the scheme is independence-reducible.
+    pub fn is_independence_reducible(&self) -> bool {
+        self.recognition.is_accepted()
+    }
+
+    /// The full classification (BCNF, γ-acyclicity, ctm, …), computed on
+    /// first use and cached.
+    pub fn classification(&self) -> &Classification {
+        self.classification.get_or_init(|| classify(&self.scheme))
+    }
+
+    /// The Theorem 4.1 chase-free expression for the X-total projection
+    /// `[x]`, cached per `x`. `Ok(None)` when the scheme is not
+    /// independence-reducible (no such expression exists in general) or
+    /// when no bounded expression covers `x`.
+    pub fn total_projection_expr(&self, x: AttrSet, guard: &Guard) -> Result<Option<Expr>, ExecError> {
+        let Some(ir) = self.ir() else {
+            return Ok(None);
+        };
+        if let Some(e) = self.expr_cache.lock().expect("expr cache poisoned").get(&x) {
+            return Ok(e.clone());
+        }
+        let expr = ir_total_projection_expr(&self.scheme, &self.kd, ir, x, guard)?;
+        self.expr_cache
+            .lock()
+            .expect("expr cache poisoned")
+            .insert(x, expr.clone());
+        Ok(expr)
+    }
+
+    /// One-shot consistency check: builds a throwaway [`Session`] (block
+    /// chases, parallel when enabled) and reports its verdict. For a
+    /// stream of checks against an evolving state, keep the session.
+    pub fn is_consistent(&self, state: &DatabaseState, guard: &Guard) -> Result<bool, ExecError> {
+        Ok(self.session(state, guard)?.is_consistent())
+    }
+
+    /// One-shot X-total projection `[x]`. `Ok(None)` when the state is
+    /// inconsistent.
+    pub fn total_projection(
+        &self,
+        state: &DatabaseState,
+        x: AttrSet,
+        guard: &Guard,
+    ) -> Result<Option<Vec<Tuple>>, ExecError> {
+        self.session(state, guard)?.total_projection(x, guard)
+    }
+
+    /// Binds the engine to a state: chases every block (in parallel when
+    /// enabled), leaving the session ready for O(1) consistency reads and
+    /// incremental updates. An inconsistent state is *not* an error — the
+    /// session reports it through [`is_consistent`](Session::is_consistent).
+    /// `Err` means the guard stopped a chase before a verdict.
+    pub fn session(&self, state: &DatabaseState, guard: &Guard) -> Result<Session<'_>, ExecError> {
+        let backend = match self.ir() {
+            Some(ir) if !ir.is_empty() => {
+                let built = evaluate_blocks(ir.len(), self.parallel, |b| {
+                    self.chase_block(ir, b, state, guard)
+                });
+                let mut blocks = Vec::with_capacity(built.len());
+                for r in built {
+                    blocks.push(r?);
+                }
+                Backend::Blocks(blocks)
+            }
+            _ => Backend::Whole(Box::new(self.chase_whole(state, guard)?)),
+        };
+        Ok(Session {
+            engine: self,
+            state: state.clone(),
+            backend,
+        })
+    }
+
+    /// Chases block `b`'s substate under the block's fds. Inconsistency
+    /// poisons the returned engine rather than erroring — the session
+    /// reports it as a verdict.
+    fn chase_block(
+        &self,
+        ir: &IrScheme,
+        b: usize,
+        state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<IncrementalChase, ExecError> {
+        let mut e = IncrementalChase::new(self.scheme.universe().len(), &ir.block_fds[b]);
+        for &i in &ir.partition[b] {
+            for t in state.relation(i).iter() {
+                e.push_tuple(t, Some(i));
+            }
+        }
+        finish_run(e, guard)
+    }
+
+    fn chase_whole(&self, state: &DatabaseState, guard: &Guard) -> Result<IncrementalChase, ExecError> {
+        let e = IncrementalChase::of_state(&self.scheme, state, self.kd.full());
+        finish_run(e, guard)
+    }
+}
+
+/// Runs the engine to fixpoint; an inconsistency is a verdict (the engine
+/// stays poisoned), any other error propagates.
+fn finish_run(mut e: IncrementalChase, guard: &Guard) -> Result<IncrementalChase, ExecError> {
+    match e.run(guard) {
+        Ok(_) | Err(ExecError::Inconsistent { .. }) => Ok(e),
+        Err(err) => Err(err),
+    }
+}
+
+/// The chased tableaux backing a session: one per IR block, or one for
+/// the whole state when the scheme is not independence-reducible.
+#[derive(Debug)]
+enum Backend {
+    Blocks(Vec<IncrementalChase>),
+    Whole(Box<IncrementalChase>),
+}
+
+/// An [`Engine`] bound to one database state. Holds the chased per-block
+/// tableaux, so consistency is a field read and an insert only re-chases
+/// what the new tuple touches.
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e Engine,
+    state: DatabaseState,
+    backend: Backend,
+}
+
+impl Session<'_> {
+    /// The engine this session was created from.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// The current state (base relations, reflecting accepted inserts and
+    /// deletes).
+    pub fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+
+    /// Whether the current state is consistent — O(blocks), no chasing.
+    pub fn is_consistent(&self) -> bool {
+        match &self.backend {
+            Backend::Blocks(es) => es.iter().all(|e| e.failure().is_none()),
+            Backend::Whole(e) => e.failure().is_none(),
+        }
+    }
+
+    /// Block indexes whose substate is inconsistent (always `[0]` or `[]`
+    /// for the whole-state backend).
+    pub fn inconsistent_blocks(&self) -> Vec<usize> {
+        match &self.backend {
+            Backend::Blocks(es) => es
+                .iter()
+                .enumerate()
+                .filter_map(|(b, e)| e.failure().map(|_| b))
+                .collect(),
+            Backend::Whole(e) => e.failure().map(|_| 0).into_iter().collect(),
+        }
+    }
+
+    /// Inserts `t` into relation `i` if the result stays consistent.
+    ///
+    /// `Ok(true)`: accepted and applied (incrementally — only the rows the
+    /// new tuple touches are re-chased). `Ok(false)`: rejected, the state
+    /// is unchanged (the touched block's tableau is rebuilt from the
+    /// untouched state; the rebuild replays a chase already known to
+    /// succeed, so it is not charged). `Err(Inconsistent)`: the base
+    /// state was already inconsistent — maintenance needs a consistent
+    /// base. Other `Err`s are guard trips; the speculative row is then
+    /// still pending, and the next `run`-driven call with a fresh guard
+    /// resumes it.
+    pub fn insert(&mut self, i: usize, t: Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        let eng = self.backend_slot(i);
+        if let Some(f) = eng.failure() {
+            return Err(f.clone().into());
+        }
+        eng.push_tuple(&t, Some(i));
+        match eng.run(guard) {
+            Ok(_) => {
+                self.state
+                    .insert(i, t)
+                    .expect("tuple was chased against scheme i, so it matches scheme i");
+                Ok(true)
+            }
+            Err(ExecError::Inconsistent { .. }) => {
+                self.rebuild_slot(i, &Guard::unlimited())
+                    .expect("rebuilding a previously consistent block cannot fail");
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Removes `t` from relation `i`. Deletion never breaks consistency
+    /// but can *restore* it, and the chase has no incremental delete — the
+    /// touched block's tableau is rebuilt (charged against `guard`).
+    /// `Ok(false)` when the tuple was not present.
+    pub fn delete(&mut self, i: usize, t: &Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        let removed = self
+            .state
+            .remove(i, t)
+            .expect("relation index was validated by backend_slot");
+        if removed {
+            self.rebuild_slot(i, guard)?;
+        }
+        Ok(removed)
+    }
+
+    /// The X-total projection `[x]` of the current state. `Ok(None)` when
+    /// the state is inconsistent. On IR schemes this is chase-free: the
+    /// cached Theorem 4.1 expression is evaluated over the base state.
+    pub fn total_projection(
+        &self,
+        x: AttrSet,
+        guard: &Guard,
+    ) -> Result<Option<Vec<Tuple>>, ExecError> {
+        if !self.is_consistent() {
+            return Ok(None);
+        }
+        match &self.backend {
+            Backend::Whole(e) => Ok(Some(e.total_projection(x))),
+            Backend::Blocks(_) => match self.engine.total_projection_expr(x, guard)? {
+                Some(expr) => {
+                    let rel = expr
+                        .eval(&self.engine.scheme, &self.state)
+                        .expect("cached projection expressions are well-formed");
+                    Ok(Some(rel.sorted_tuples()))
+                }
+                // No bounded expression covers x — fall back to one
+                // whole-state chase.
+                None => idr_chase::total_projection(
+                    &self.engine.scheme,
+                    &self.state,
+                    self.engine.kd.full(),
+                    x,
+                    guard,
+                ),
+            },
+        }
+    }
+
+    /// Aggregated chase work across every block tableau.
+    pub fn chase_stats(&self) -> idr_chase::ChaseStats {
+        let mut total = idr_chase::ChaseStats::default();
+        let add = |total: &mut idr_chase::ChaseStats, s: idr_chase::ChaseStats| {
+            total.passes += s.passes;
+            total.rule_applications += s.rule_applications;
+        };
+        match &self.backend {
+            Backend::Blocks(es) => es.iter().for_each(|e| add(&mut total, e.stats())),
+            Backend::Whole(e) => add(&mut total, e.stats()),
+        }
+        total
+    }
+
+    /// The chased tableau responsible for relation `i`.
+    fn backend_slot(&mut self, i: usize) -> &mut IncrementalChase {
+        assert!(i < self.engine.scheme.len(), "relation index out of range");
+        match &mut self.backend {
+            Backend::Whole(e) => e,
+            Backend::Blocks(es) => {
+                let ir = self.engine.ir().expect("Blocks backend implies an IR partition");
+                &mut es[ir.block_of[i]]
+            }
+        }
+    }
+
+    /// Rebuilds the tableau responsible for relation `i` from the current
+    /// state.
+    fn rebuild_slot(&mut self, i: usize, guard: &Guard) -> Result<(), ExecError> {
+        match &mut self.backend {
+            Backend::Whole(slot) => {
+                **slot = self.engine.chase_whole(&self.state, guard)?;
+            }
+            Backend::Blocks(es) => {
+                let ir = self.engine.ir().expect("Blocks backend implies an IR partition");
+                let b = ir.block_of[i];
+                es[b] = self.engine.chase_block(ir, b, &self.state, guard)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates `f(0), …, f(count − 1)` into index-ordered slots, on scoped
+/// threads when `parallel` (blocks are split evenly across
+/// `available_parallelism` workers). The output order — and therefore
+/// which error a caller scanning in block order sees first — is identical
+/// either way.
+pub fn evaluate_blocks<T, F>(count: usize, parallel: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(count)
+    } else {
+        1
+    };
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let chunk = count.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (ci, slice) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(ci * chunk + j));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot is filled by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::exec::Budget;
+    use idr_relation::{state_of, SchemeBuilder, SymbolTable};
+    use idr_workload::generators::block_chain_scheme;
+    use idr_workload::states::{generate, WorkloadConfig};
+
+    fn two_block_scheme() -> DatabaseScheme {
+        SchemeBuilder::new("ABCD")
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "CD", ["C"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_precomputes_recognition_and_classification() {
+        let e = Engine::new(two_block_scheme());
+        let ir = e.ir().expect("two disjoint schemes are IR");
+        assert_eq!(ir.len(), 2);
+        assert!(e.classification().independence_reducible.is_some());
+        assert_eq!(e.classification().bounded, Some(true));
+    }
+
+    #[test]
+    fn expr_cache_serves_repeat_queries() {
+        let e = Engine::new(two_block_scheme());
+        let u = e.scheme().universe().clone();
+        let g = Guard::unlimited();
+        let first = e.total_projection_expr(u.set_of("AB"), &g).unwrap();
+        assert!(first.is_some());
+        // Second call must not consult the guard's enumeration budget.
+        let tight = Guard::new(Budget::unlimited().with_max_enumeration(0));
+        let second = e.total_projection_expr(u.set_of("AB"), &tight).unwrap();
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    }
+
+    #[test]
+    fn parallel_and_serial_sessions_agree() {
+        let db = block_chain_scheme(4, 3);
+        for seed in 0..4u64 {
+            let mut sym = SymbolTable::new();
+            let w = generate(
+                &db,
+                &mut sym,
+                WorkloadConfig {
+                    entities: 10,
+                    fragment_pct: 40,
+                    inserts: 8,
+                    corrupt_pct: 50,
+                    seed,
+                },
+            );
+            let par = Engine::new(db.clone()).with_parallel(true);
+            let ser = Engine::new(db.clone()).with_parallel(false);
+            let g = Guard::unlimited();
+            let sp = par.session(&w.state, &g).unwrap();
+            let ss = ser.session(&w.state, &g).unwrap();
+            assert_eq!(sp.is_consistent(), ss.is_consistent(), "seed {seed}");
+            assert_eq!(
+                sp.inconsistent_blocks(),
+                ss.inconsistent_blocks(),
+                "seed {seed}"
+            );
+            let x = AttrSet::from_iter(
+                (0..2).map(idr_relation::Attribute::from_index),
+            );
+            assert_eq!(
+                sp.total_projection(x, &g).unwrap(),
+                ss.total_projection(x, &g).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_matches_whole_state_chase() {
+        let db = two_block_scheme();
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &db,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("C", "c"), ("D", "d")]),
+            ],
+        )
+        .unwrap();
+        let e = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let kd = KeyDeps::of(&db);
+        assert_eq!(
+            e.is_consistent(&state, &g).unwrap(),
+            idr_chase::is_consistent(&db, &state, kd.full(), &g).unwrap()
+        );
+        for x in [db.universe().set_of("AB"), db.universe().set_of("CD")] {
+            assert_eq!(
+                e.total_projection(&state, x, &g).unwrap(),
+                idr_chase::total_projection(&db, &state, kd.full(), x, &g).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn insert_accepts_and_rejects_incrementally() {
+        let db = two_block_scheme();
+        let mut sym = SymbolTable::new();
+        let state = state_of(&db, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
+        let e = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let mut s = e.session(&state, &g).unwrap();
+        let u = db.universe();
+
+        // Consistent insert into the other block.
+        let t_ok = Tuple::from_pairs([
+            (u.attr_of("C"), sym.intern("c")),
+            (u.attr_of("D"), sym.intern("d")),
+        ]);
+        assert!(s.insert(1, t_ok.clone(), &g).unwrap());
+        assert!(s.state().relation(1).contains(&t_ok));
+
+        // Key violation in block 0: rejected, state unchanged, session
+        // still consistent.
+        let t_bad = Tuple::from_pairs([
+            (u.attr_of("A"), sym.intern("a")),
+            (u.attr_of("B"), sym.intern("b2")),
+        ]);
+        assert!(!s.insert(0, t_bad.clone(), &g).unwrap());
+        assert!(!s.state().relation(0).contains(&t_bad));
+        assert!(s.is_consistent());
+
+        // The rejected tuple is accepted after deleting its rival.
+        let t_old = Tuple::from_pairs([
+            (u.attr_of("A"), sym.intern("a")),
+            (u.attr_of("B"), sym.intern("b")),
+        ]);
+        assert!(s.delete(0, &t_old, &g).unwrap());
+        assert!(s.insert(0, t_bad, &g).unwrap());
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn inconsistent_base_is_a_verdict_not_an_error() {
+        let db = two_block_scheme();
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &db,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b1")]),
+                ("R1", &[("A", "a"), ("B", "b2")]),
+                ("R2", &[("C", "c"), ("D", "d")]),
+            ],
+        )
+        .unwrap();
+        let e = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let mut s = e.session(&state, &g).unwrap();
+        assert!(!s.is_consistent());
+        assert_eq!(s.inconsistent_blocks(), vec![0]);
+        assert!(s.total_projection(db.universe().set_of("AB"), &g).unwrap().is_none());
+        // Inserting into the poisoned block is an error; deleting the
+        // offender restores consistency.
+        let u = db.universe();
+        let t = Tuple::from_pairs([
+            (u.attr_of("A"), sym.intern("a2")),
+            (u.attr_of("B"), sym.intern("b")),
+        ]);
+        assert!(matches!(
+            s.insert(0, t, &g),
+            Err(ExecError::Inconsistent { .. })
+        ));
+        let rival = Tuple::from_pairs([
+            (u.attr_of("A"), sym.intern("a")),
+            (u.attr_of("B"), sym.intern("b2")),
+        ]);
+        assert!(s.delete(0, &rival, &g).unwrap());
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn non_ir_scheme_uses_the_whole_state_backend() {
+        // Example 2: rejected by Algorithm 6.
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
+            .build()
+            .unwrap();
+        let e = Engine::new(db.clone());
+        assert!(e.ir().is_none());
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &db,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("B", "b"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        let g = Guard::unlimited();
+        let s = e.session(&state, &g).unwrap();
+        assert!(s.is_consistent());
+        // [AC] is derivable through the chase even with no AC relation.
+        let proj = s.total_projection(db.universe().set_of("AC"), &g).unwrap().unwrap();
+        assert_eq!(proj.len(), 1);
+        let kd = KeyDeps::of(&db);
+        assert_eq!(
+            Some(proj),
+            idr_chase::total_projection(&db, &state, kd.full(), db.universe().set_of("AC"), &g)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn shared_guard_budget_trips_in_both_modes() {
+        let db = block_chain_scheme(3, 3);
+        let mut sym = SymbolTable::new();
+        let w = generate(
+            &db,
+            &mut sym,
+            WorkloadConfig {
+                entities: 20,
+                fragment_pct: 60,
+                inserts: 0,
+                corrupt_pct: 0,
+                seed: 1,
+            },
+        );
+        for parallel in [false, true] {
+            let e = Engine::new(db.clone()).with_parallel(parallel);
+            let tight = Guard::new(Budget::unlimited().with_max_chase_steps(1));
+            let err = e.session(&w.state, &tight).unwrap_err();
+            assert!(
+                matches!(err, ExecError::BudgetExceeded { .. }),
+                "parallel={parallel}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_blocks_is_index_ordered() {
+        for parallel in [false, true] {
+            let got = evaluate_blocks(17, parallel, |i| i * i);
+            let want: Vec<usize> = (0..17).map(|i| i * i).collect();
+            assert_eq!(got, want, "parallel={parallel}");
+        }
+    }
+}

@@ -220,6 +220,7 @@ mod tests {
                 (u.attr_of("A"), s.intern("a")),
                 (u.attr_of("B"), s.intern("b")),
             ])],
+            &idr_relation::exec::Guard::unlimited(),
         )
         .unwrap();
         let inj = FaultInjector::new(&rep, FaultPlan::nth(2, FaultKind::Permanent));

@@ -28,9 +28,9 @@ pub type Partition = Vec<Vec<usize>>;
 ///
 /// // Example 3: the all-keys triangle is one key-equivalent block.
 /// let db = SchemeBuilder::new("ABC")
-///     .scheme("R1", "AB", &["A", "B"])
-///     .scheme("R2", "BC", &["B", "C"])
-///     .scheme("R3", "AC", &["A", "C"])
+///     .scheme("R1", "AB", ["A", "B"])
+///     .scheme("R2", "BC", ["B", "C"])
+///     .scheme("R3", "AC", ["A", "C"])
 ///     .build()
 ///     .unwrap();
 /// let kd = KeyDeps::of(&db);
@@ -91,14 +91,14 @@ mod tests {
     /// KEP returns {{R8}, {R1, R3, R4}, {R2, R5, R6, R7}}.
     fn example13() -> DatabaseScheme {
         SchemeBuilder::new("ABCDEF")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "CD", &["CD"])
-            .scheme("R3", "ABC", &["AB"])
-            .scheme("R4", "ABD", &["AB"])
-            .scheme("R5", "CDE", &["CD", "E"])
-            .scheme("R6", "EA", &["E"])
-            .scheme("R7", "EF", &["E"])
-            .scheme("R8", "FB", &["F"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "CD", ["CD"])
+            .scheme("R3", "ABC", ["AB"])
+            .scheme("R4", "ABD", ["AB"])
+            .scheme("R5", "CDE", ["CD", "E"])
+            .scheme("R6", "EA", ["E"])
+            .scheme("R7", "EF", ["E"])
+            .scheme("R8", "FB", ["F"])
             .build()
             .unwrap()
     }
@@ -125,9 +125,9 @@ mod tests {
     #[test]
     fn key_equivalent_scheme_is_one_block() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -140,8 +140,8 @@ mod tests {
     #[test]
     fn independent_schemes_are_singleton_blocks() {
         let db = SchemeBuilder::new("ABCD")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "CD", &["C"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "CD", ["C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -156,12 +156,12 @@ mod tests {
         // Example 11: F = {A→B, B→A, B→C, C→B, C→A, A→C, A→D, D→EFG};
         // two blocks {R1..R4} and {R5, R6}.
         let db = SchemeBuilder::new("ABCDEFG")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
-            .scheme("R4", "AD", &["A"])
-            .scheme("R5", "DEF", &["D"])
-            .scheme("R6", "DEG", &["D"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
+            .scheme("R4", "AD", ["A"])
+            .scheme("R5", "DEF", ["D"])
+            .scheme("R6", "DEG", ["D"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);

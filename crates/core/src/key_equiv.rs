@@ -74,9 +74,9 @@ mod tests {
 
     fn example3() -> DatabaseScheme {
         SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap()
     }
@@ -93,13 +93,13 @@ mod tests {
         // Example 4: R = {AB, AC, AE, EB, EC, BCD, DA}, keys A/E/BC/D all
         // mutually determining.
         let db = SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AE", &["A", "E"])
-            .scheme("R4", "EB", &["E"])
-            .scheme("R5", "EC", &["E"])
-            .scheme("R6", "BCD", &["BC", "D"])
-            .scheme("R7", "DA", &["D", "A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AE", ["A", "E"])
+            .scheme("R4", "EB", ["E"])
+            .scheme("R5", "EC", ["E"])
+            .scheme("R6", "BCD", ["BC", "D"])
+            .scheme("R7", "DA", ["D", "A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -110,8 +110,8 @@ mod tests {
     fn non_key_equivalent_pair() {
         // R1(AB) key A, R2(CD) key C: closures stay local.
         let db = SchemeBuilder::new("ABCD")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "CD", &["C"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "CD", ["C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -138,8 +138,8 @@ mod tests {
     #[test]
     fn algorithm3_records_computation_order() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
             .build()
             .unwrap();
         let (cl, order) = algorithm3_closure(&db, &[0, 1], 0);

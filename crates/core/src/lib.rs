@@ -25,10 +25,17 @@
 //! The generic chase (`idr-chase`) is used as the semantic oracle in the
 //! test suites; the algorithms here never call it on the fast path.
 //!
-//! Every hot entry point additionally has a `*_bounded` variant that
-//! meters its work against an [`exec::Budget`] and returns a typed
+//! Every hot entry point takes a [`exec::Guard`] and meters its work
+//! against the guard's [`exec::Budget`], returning a typed
 //! [`exec::ExecError`] instead of panicking or looping past its limits;
-//! see [`exec`] for the failure model.
+//! see [`exec`] for the failure model. (The pre-0.2 `*_bounded` twins
+//! survive as deprecated aliases.)
+//!
+//! The recommended entry point is [`engine::Engine`]: build it once from
+//! a scheme and it caches recognition, classification and the Theorem 4.1
+//! projection expressions; its [`engine::Session`] serves consistency
+//! checks, incremental inserts/deletes and chase-free total projections,
+//! evaluating independent blocks in parallel.
 
 
 #![warn(missing_docs)]
@@ -37,6 +44,7 @@ pub mod augment;
 pub mod baselines;
 pub mod classify;
 pub mod ctm_witness;
+pub mod engine;
 pub mod exec;
 pub mod kep;
 pub mod key_equiv;
@@ -48,6 +56,7 @@ pub mod rep;
 pub mod split;
 
 pub use classify::{classify, Classification};
+pub use engine::{Engine, Session};
 pub use exec::{
     Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,
     RepAccess, Resource, RetryPolicy, StateAccess,

@@ -7,6 +7,12 @@
 //! selections issued against the state; every entry point therefore
 //! returns [`MaintenanceStats`] counting lookups and keys processed, which
 //! the EXPERIMENTS.md scaling benchmarks plot against state size.
+//!
+//! Every entry point takes a [`Guard`]: selections are charged against its
+//! budget (the unit of the paper's constant-time-maintainability cost
+//! model) and transient faults of the access path are run through a
+//! [`RetryPolicy`]. Pass [`Guard::unlimited`] and [`RetryPolicy::none`]
+//! for the plain in-memory semantics.
 
 use std::collections::HashMap;
 
@@ -15,7 +21,7 @@ use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple, Value};
 
 use crate::exec::{RepAccess, StateAccess};
 use crate::recognition::IrScheme;
-use crate::rep::{KeInconsistent, KeRep};
+use crate::rep::KeRep;
 
 /// Outcome of a maintenance check for an insertion.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,32 +51,19 @@ pub struct MaintenanceStats {
 
 /// Algorithm 2: decides whether inserting `t` into relation `si` of a
 /// *key-equivalent* block keeps the state consistent, given the block's
-/// representative instance (`rep`, built by Algorithm 1).
+/// representative instance (built by Algorithm 1), generic over the
+/// representative-instance access path.
 ///
 /// The algorithm grows a total tuple `q` from `t`, joining in — for each
 /// key `K` embedded in the growing closure — the unique representative-
 /// instance tuple agreeing with `q` on `K`. An empty join is a rejection
 /// (Theorem 3.1).
-pub fn algorithm2(
-    scheme: &DatabaseScheme,
-    rep: &KeRep,
-    si: usize,
-    t: &Tuple,
-) -> (MaintenanceOutcome, MaintenanceStats) {
-    algorithm2_bounded(scheme, rep, si, t, &Guard::unlimited(), &RetryPolicy::none())
-        .expect("in-memory rep never faults and the unlimited guard never trips")
-}
-
-/// Budgeted, fault-tolerant Algorithm 2, generic over the representative-
-/// instance access path.
 ///
-/// Every single-tuple selection is charged against `guard` (the unit of
-/// the paper's constant-time-maintainability cost model) and run through
+/// Every single-tuple selection is charged against `guard` and run through
 /// `retry`: transient [`Fault`](crate::exec::Fault)s are retried with
 /// backoff, permanent or persistent ones surface as
-/// [`ExecError::Faulted`]. With [`Guard::unlimited`], an infallible `rep`
-/// and any retry policy this computes exactly [`algorithm2`].
-pub fn algorithm2_bounded(
+/// [`ExecError::Faulted`].
+pub fn algorithm2(
     scheme: &DatabaseScheme,
     rep: &impl RepAccess,
     si: usize,
@@ -111,6 +104,20 @@ pub fn algorithm2_bounded(
         }
     }
     Ok((MaintenanceOutcome::Consistent(q), stats))
+}
+
+/// Deprecated spelling of [`algorithm2`] from before the budgeted and
+/// unbudgeted surfaces were collapsed.
+#[deprecated(since = "0.2.0", note = "use `algorithm2` — it now takes a `&Guard`")]
+pub fn algorithm2_bounded(
+    scheme: &DatabaseScheme,
+    rep: &impl RepAccess,
+    si: usize,
+    t: &Tuple,
+    guard: &Guard,
+    retry: &RetryPolicy,
+) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
+    algorithm2(scheme, rep, si, t, guard, retry)
 }
 
 /// A hash index over the raw tuples of a block substate: for each member
@@ -257,6 +264,7 @@ pub struct SelectionStep {
 }
 
 /// Algorithm 4 with a full selection trace (see [`SelectionStep`]).
+/// Diagnostic-only: runs unmetered against the concrete in-memory index.
 pub fn algorithm4_traced(
     idx: &StateIndex,
     t_on_k: &Tuple,
@@ -301,7 +309,8 @@ pub fn algorithm4_traced(
     }
 }
 
-/// Algorithm 5 with a full selection trace.
+/// Algorithm 5 with a full selection trace. Diagnostic-only: runs
+/// unmetered against the concrete in-memory index.
 pub fn algorithm5_traced(
     scheme: &DatabaseScheme,
     idx: &StateIndex,
@@ -327,22 +336,16 @@ pub fn algorithm5_traced(
 
 /// Algorithm 4: extends a tuple on a key `K` as far as the state allows —
 /// while some member scheme `Sᵢ` has a key `Kᵢ ⊆ C` with `Sᵢ − C ≠ ∅` and
-/// a matching tuple `p` (`p[Kᵢ] = t'[Kᵢ]`), absorb `p`.
+/// a matching tuple `p` (`p[Kᵢ] = t'[Kᵢ]`), absorb `p`. Generic over the
+/// state access path.
 ///
 /// Returns the extended tuple (Lemma 3.3: on a consistent state of a
 /// split-free key-equivalent scheme this is the unique total tuple of the
-/// representative instance containing the key value), or `None` if the
-/// supposedly consistent state produced a conflict.
-pub fn algorithm4(idx: &StateIndex, t_on_k: &Tuple, stats: &mut MaintenanceStats) -> Option<Tuple> {
-    algorithm4_bounded(idx, t_on_k, stats, &Guard::unlimited(), &RetryPolicy::none())
-        .expect("in-memory index never faults and the unlimited guard never trips")
-}
-
-/// Budgeted, fault-tolerant Algorithm 4, generic over the state access
-/// path. `Ok(None)` is Algorithm 4's conflict verdict (the supposedly
-/// consistent state produced an empty join); `Err` means the guard or a
-/// fault stopped the extension before a verdict.
-pub fn algorithm4_bounded(
+/// representative instance containing the key value). `Ok(None)` is the
+/// conflict verdict (the supposedly consistent state produced an empty
+/// join); `Err` means the guard or a fault stopped the extension before a
+/// verdict.
+pub fn algorithm4(
     idx: &impl StateAccess,
     t_on_k: &Tuple,
     stats: &mut MaintenanceStats,
@@ -384,23 +387,27 @@ pub fn algorithm4_bounded(
     }
 }
 
-/// Algorithm 5: constant-time maintenance for a *split-free*
-/// key-equivalent block. For each key of the updated scheme, extend the
-/// inserted tuple's key value through the state (Algorithm 4) and join the
-/// results with the inserted tuple; an empty join rejects (Lemma 3.4).
-pub fn algorithm5(
-    scheme: &DatabaseScheme,
-    idx: &StateIndex,
-    si: usize,
-    t: &Tuple,
-) -> (MaintenanceOutcome, MaintenanceStats) {
-    algorithm5_bounded(scheme, idx, si, t, &Guard::unlimited(), &RetryPolicy::none())
-        .expect("in-memory index never faults and the unlimited guard never trips")
+/// Deprecated spelling of [`algorithm4`] from before the budgeted and
+/// unbudgeted surfaces were collapsed.
+#[deprecated(since = "0.2.0", note = "use `algorithm4` — it now takes a `&Guard`")]
+pub fn algorithm4_bounded(
+    idx: &impl StateAccess,
+    t_on_k: &Tuple,
+    stats: &mut MaintenanceStats,
+    guard: &Guard,
+    retry: &RetryPolicy,
+) -> Result<Option<Tuple>, ExecError> {
+    algorithm4(idx, t_on_k, stats, guard, retry)
 }
 
-/// Budgeted, fault-tolerant Algorithm 5, generic over the state access
-/// path (see [`algorithm2_bounded`] for the budget/retry contract).
-pub fn algorithm5_bounded(
+/// Algorithm 5: constant-time maintenance for a *split-free*
+/// key-equivalent block, generic over the state access path. For each key
+/// of the updated scheme, extend the inserted tuple's key value through
+/// the state (Algorithm 4) and join the results with the inserted tuple;
+/// an empty join rejects (Lemma 3.4).
+///
+/// See [`algorithm2`] for the budget/retry contract.
+pub fn algorithm5(
     scheme: &DatabaseScheme,
     idx: &impl StateAccess,
     si: usize,
@@ -413,7 +420,7 @@ pub fn algorithm5_bounded(
     for &k in scheme.scheme(si).keys() {
         stats.keys_processed += 1;
         let probe = t.project(k);
-        let Some(extended) = algorithm4_bounded(idx, &probe, &mut stats, guard, retry)? else {
+        let Some(extended) = algorithm4(idx, &probe, &mut stats, guard, retry)? else {
             return Ok((MaintenanceOutcome::Inconsistent, stats));
         };
         match q.join(&extended) {
@@ -422,6 +429,20 @@ pub fn algorithm5_bounded(
         }
     }
     Ok((MaintenanceOutcome::Consistent(q), stats))
+}
+
+/// Deprecated spelling of [`algorithm5`] from before the budgeted and
+/// unbudgeted surfaces were collapsed.
+#[deprecated(since = "0.2.0", note = "use `algorithm5` — it now takes a `&Guard`")]
+pub fn algorithm5_bounded(
+    scheme: &DatabaseScheme,
+    idx: &impl StateAccess,
+    si: usize,
+    t: &Tuple,
+    guard: &Guard,
+    retry: &RetryPolicy,
+) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
+    algorithm5(scheme, idx, si, t, guard, retry)
 }
 
 /// Incremental maintainer for an independence-reducible scheme (§4.2):
@@ -439,39 +460,15 @@ pub struct IrMaintainer {
 
 impl IrMaintainer {
     /// Builds the maintainer from an initial state, verifying its
-    /// consistency block by block (the construction of §4.1).
+    /// consistency block by block (the construction of §4.1). Block
+    /// construction charges the guard (one lookup per key-index probe of
+    /// Algorithm 1's merge loop).
     ///
     /// # Errors
     ///
-    /// Returns the index of the first inconsistent block.
-    pub fn new(
-        scheme: &DatabaseScheme,
-        ir: &IrScheme,
-        state: &DatabaseState,
-    ) -> Result<Self, usize> {
-        let mut reps = Vec::with_capacity(ir.len());
-        for (b, block) in ir.partition.iter().enumerate() {
-            let keys = &ir.block_keys[b];
-            let tuples = block
-                .iter()
-                .flat_map(|&i| state.relation(i).iter().cloned());
-            match KeRep::build(keys, tuples) {
-                Ok(rep) => reps.push(rep),
-                Err(KeInconsistent { .. }) => return Err(b),
-            }
-        }
-        Ok(IrMaintainer {
-            scheme: scheme.clone(),
-            ir: ir.clone(),
-            reps,
-        })
-    }
-
-    /// Budgeted [`IrMaintainer::new`]: block construction charges the
-    /// guard (one lookup per key-index probe of Algorithm 1's merge loop).
     /// An inconsistent block surfaces as [`ExecError::Inconsistent`]
     /// naming the block; guard trips surface as their own variants.
-    pub fn new_bounded(
+    pub fn new(
         scheme: &DatabaseScheme,
         ir: &IrScheme,
         state: &DatabaseState,
@@ -483,7 +480,7 @@ impl IrMaintainer {
             let tuples = block
                 .iter()
                 .flat_map(|&i| state.relation(i).iter().cloned());
-            match KeRep::build_bounded(keys, tuples, guard) {
+            match KeRep::build(keys, tuples, guard) {
                 Ok(rep) => reps.push(rep),
                 Err(ExecError::Inconsistent { detail }) => {
                     return Err(ExecError::Inconsistent {
@@ -500,37 +497,39 @@ impl IrMaintainer {
         })
     }
 
+    /// Deprecated spelling of [`IrMaintainer::new`] from before the
+    /// budgeted and unbudgeted surfaces were collapsed.
+    #[deprecated(since = "0.2.0", note = "use `new` — it now takes a `&Guard`")]
+    pub fn new_bounded(
+        scheme: &DatabaseScheme,
+        ir: &IrScheme,
+        state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<Self, ExecError> {
+        Self::new(scheme, ir, state, guard)
+    }
+
     /// The per-block representative instances.
     pub fn reps(&self) -> &[KeRep] {
         &self.reps
     }
 
-    /// Checks an insertion into relation `scheme_idx` and, when consistent,
-    /// applies it (updating the block's representative instance).
-    pub fn insert(
-        &mut self,
-        scheme_idx: usize,
-        t: Tuple,
-    ) -> (MaintenanceOutcome, MaintenanceStats) {
-        let b = self.ir.block_of[scheme_idx];
-        let (outcome, stats) = algorithm2(&self.scheme, &self.reps[b], scheme_idx, &t);
-        if let MaintenanceOutcome::Consistent(ref q) = outcome {
-            self.reps[b]
-                .insert_merge(q.clone())
-                .expect("Algorithm 2 accepted; merge cannot conflict");
-        }
-        (outcome, stats)
+    /// The block structure the maintainer routes on.
+    pub fn ir(&self) -> &IrScheme {
+        &self.ir
     }
 
-    /// Budgeted [`IrMaintainer::insert`]: Algorithm 2's selections are
-    /// metered against `guard` and its faults run through `retry`. When
-    /// the guard trips or a fault persists, the maintainer state is left
-    /// unchanged — the decision phase failed, nothing was applied. The
-    /// apply phase (merging the accepted tuple into the block rep) runs
-    /// unmetered on purpose: interrupting it mid-merge would leave the rep
-    /// half-updated, and its cost is bounded by the work Algorithm 2
-    /// already paid for.
-    pub fn insert_bounded(
+    /// Checks an insertion into relation `scheme_idx` and, when consistent,
+    /// applies it (updating the block's representative instance).
+    ///
+    /// Algorithm 2's selections are metered against `guard` and its faults
+    /// run through `retry`. When the guard trips or a fault persists, the
+    /// maintainer state is left unchanged — the decision phase failed,
+    /// nothing was applied. The apply phase (merging the accepted tuple
+    /// into the block rep) runs unmetered on purpose: interrupting it
+    /// mid-merge would leave the rep half-updated, and its cost is bounded
+    /// by the work Algorithm 2 already paid for.
+    pub fn insert(
         &mut self,
         scheme_idx: usize,
         t: Tuple,
@@ -539,13 +538,26 @@ impl IrMaintainer {
     ) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
         let b = self.ir.block_of[scheme_idx];
         let (outcome, stats) =
-            algorithm2_bounded(&self.scheme, &self.reps[b], scheme_idx, &t, guard, retry)?;
+            algorithm2(&self.scheme, &self.reps[b], scheme_idx, &t, guard, retry)?;
         if let MaintenanceOutcome::Consistent(ref q) = outcome {
             self.reps[b]
-                .insert_merge(q.clone())
+                .insert_merge(q.clone(), &Guard::unlimited())
                 .expect("Algorithm 2 accepted; merge cannot conflict");
         }
         Ok((outcome, stats))
+    }
+
+    /// Deprecated spelling of [`IrMaintainer::insert`] from before the
+    /// budgeted and unbudgeted surfaces were collapsed.
+    #[deprecated(since = "0.2.0", note = "use `insert` — it now takes a `&Guard`")]
+    pub fn insert_bounded(
+        &mut self,
+        scheme_idx: usize,
+        t: Tuple,
+        guard: &Guard,
+        retry: &RetryPolicy,
+    ) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
+        self.insert(scheme_idx, t, guard, retry)
     }
 
     /// Answers an X-total projection directly from the maintained
@@ -557,27 +569,12 @@ impl IrMaintainer {
     /// [`crate::query::ir_total_projection_expr`]) the `Yⱼ`-total tuples
     /// are read straight out of block `j`'s rep and joined. Returns the
     /// deduplicated result tuples on `x`.
-    pub fn total_projection(&self, kd: &idr_fd::KeyDeps, x: idr_relation::AttrSet) -> Vec<Tuple> {
-        let _ = kd; // block structure suffices; kept for API symmetry
-        let block_fds = (0..self.ir.len())
-            .map(|b| crate::recognition::block_key_fds(&self.ir, b))
-            .fold(idr_fd::FdSet::new(), |acc, f| acc.union(&f));
-        let covers =
-            crate::query::minimal_lossless_covers(&self.ir.block_attrs, &block_fds, x);
-        let mut out: Vec<Tuple> = Vec::new();
-        for v in &covers {
-            out.extend(self.join_cover(v, x));
-        }
-        out.sort();
-        out.dedup();
-        out
-    }
-
-    /// Budgeted [`IrMaintainer::total_projection`]: the lossless-cover
-    /// enumeration is charged against the guard's enumeration budget and
-    /// the join loops honour its deadline/cancellation, so a query over an
-    /// adversarial block structure fails typed instead of running away.
-    pub fn total_projection_bounded(
+    ///
+    /// The lossless-cover enumeration is charged against the guard's
+    /// enumeration budget and the join loops honour its deadline and
+    /// cancellation, so a query over an adversarial block structure fails
+    /// typed instead of running away.
+    pub fn total_projection(
         &self,
         kd: &idr_fd::KeyDeps,
         x: idr_relation::AttrSet,
@@ -587,12 +584,8 @@ impl IrMaintainer {
         let block_fds = (0..self.ir.len())
             .map(|b| crate::recognition::block_key_fds(&self.ir, b))
             .fold(idr_fd::FdSet::new(), |acc, f| acc.union(&f));
-        let covers = crate::query::minimal_lossless_covers_bounded(
-            &self.ir.block_attrs,
-            &block_fds,
-            x,
-            guard,
-        )?;
+        let covers =
+            crate::query::minimal_lossless_covers(&self.ir.block_attrs, &block_fds, x, guard)?;
         let mut out: Vec<Tuple> = Vec::new();
         for v in &covers {
             guard.checkpoint()?;
@@ -603,9 +596,23 @@ impl IrMaintainer {
         Ok(out)
     }
 
+    /// Deprecated spelling of [`IrMaintainer::total_projection`] from
+    /// before the budgeted and unbudgeted surfaces were collapsed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `total_projection` — it now takes a `&Guard`"
+    )]
+    pub fn total_projection_bounded(
+        &self,
+        kd: &idr_fd::KeyDeps,
+        x: idr_relation::AttrSet,
+        guard: &Guard,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        self.total_projection(kd, x, guard)
+    }
+
     /// Joins the `[Yⱼ]`-total rep tuples of one lossless block cover `v`
-    /// (Theorem 4.1) and projects onto `x`. Shared by the metered and
-    /// unmetered query paths.
+    /// (Theorem 4.1) and projects onto `x`.
     fn join_cover(&self, v: &[usize], x: idr_relation::AttrSet) -> Vec<Tuple> {
         // Yⱼ per Theorem 4.1.
         let ys: Vec<idr_relation::AttrSet> = v
@@ -674,27 +681,39 @@ impl IrMaintainer {
     /// Deletion never breaks consistency (consistency is monotone under
     /// tuple removal), but it can *unmerge* representative-instance
     /// tuples, so the block representation cannot be patched in place; the
-    /// affected block is rebuilt. The paper only treats insertions; this
-    /// is the natural completion for a usable maintainer.
-    pub fn delete(&mut self, scheme_idx: usize, updated_state: &DatabaseState) {
+    /// affected block is rebuilt, with the rebuild's key-index probes
+    /// charged against `guard`. The paper only treats insertions; this is
+    /// the natural completion for a usable maintainer.
+    pub fn delete(
+        &mut self,
+        scheme_idx: usize,
+        updated_state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<(), ExecError> {
         let b = self.ir.block_of[scheme_idx];
         let keys = &self.ir.block_keys[b];
         let tuples = self.ir.partition[b]
             .iter()
             .flat_map(|&i| updated_state.relation(i).iter().cloned());
-        self.reps[b] = KeRep::build(keys, tuples)
-            .expect("deletion from a consistent state stays consistent");
+        self.reps[b] = KeRep::build(keys, tuples, guard)?;
+        Ok(())
     }
 
     /// Whether a whole state is consistent for an independence-reducible
     /// scheme: every block substate consistent wrt its embedded key
-    /// dependencies (§4.2).
+    /// dependencies (§4.2). An inconsistent block yields `Ok(false)`;
+    /// guard trips surface as errors.
     pub fn state_consistent(
         scheme: &DatabaseScheme,
         ir: &IrScheme,
         state: &DatabaseState,
-    ) -> bool {
-        Self::new(scheme, ir, state).is_ok()
+        guard: &Guard,
+    ) -> Result<bool, ExecError> {
+        match Self::new(scheme, ir, state, guard) {
+            Ok(_) => Ok(true),
+            Err(ExecError::Inconsistent { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -715,29 +734,10 @@ impl CtmMaintainer {
     ///
     /// # Errors
     ///
-    /// Returns the offending scheme index if some relation is not even
-    /// locally consistent.
+    /// A locally inconsistent relation surfaces as
+    /// [`ExecError::Inconsistent`] naming it; the guard's deadline and
+    /// cancellation are honoured between blocks.
     pub fn new(
-        scheme: &DatabaseScheme,
-        ir: &IrScheme,
-        state: &DatabaseState,
-    ) -> Result<Self, usize> {
-        let indexes = ir
-            .partition
-            .iter()
-            .map(|block| StateIndex::build(scheme, block, state))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(CtmMaintainer {
-            scheme: scheme.clone(),
-            ir: ir.clone(),
-            indexes,
-        })
-    }
-
-    /// Budgeted [`CtmMaintainer::new`]: a locally inconsistent relation
-    /// surfaces as [`ExecError::Inconsistent`] naming it; the guard's
-    /// deadline/cancellation is honoured between blocks.
-    pub fn new_bounded(
         scheme: &DatabaseScheme,
         ir: &IrScheme,
         state: &DatabaseState,
@@ -764,30 +764,23 @@ impl CtmMaintainer {
         })
     }
 
-    /// Checks an insertion and, when consistent, applies it.
-    pub fn insert(
-        &mut self,
-        scheme_idx: usize,
-        t: Tuple,
-    ) -> (MaintenanceOutcome, MaintenanceStats) {
-        let b = self.ir.block_of[scheme_idx];
-        let (outcome, stats) = algorithm5(&self.scheme, &self.indexes[b], scheme_idx, &t);
-        if outcome.is_consistent() {
-            let pos = self.indexes[b]
-                .member_pos(scheme_idx)
-                .expect("scheme belongs to its block");
-            self.indexes[b]
-                .insert(pos, t)
-                .expect("Algorithm 5 accepted; local keys cannot collide");
-        }
-        (outcome, stats)
+    /// Deprecated spelling of [`CtmMaintainer::new`] from before the
+    /// budgeted and unbudgeted surfaces were collapsed.
+    #[deprecated(since = "0.2.0", note = "use `new` — it now takes a `&Guard`")]
+    pub fn new_bounded(
+        scheme: &DatabaseScheme,
+        ir: &IrScheme,
+        state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<Self, ExecError> {
+        Self::new(scheme, ir, state, guard)
     }
 
-    /// Budgeted [`CtmMaintainer::insert`]: Algorithm 5's selections are
-    /// metered against `guard` and its faults run through `retry`; same
-    /// decide-metered/apply-atomic contract as
-    /// [`IrMaintainer::insert_bounded`].
-    pub fn insert_bounded(
+    /// Checks an insertion and, when consistent, applies it. Algorithm 5's
+    /// selections are metered against `guard` and its faults run through
+    /// `retry`; same decide-metered/apply-atomic contract as
+    /// [`IrMaintainer::insert`].
+    pub fn insert(
         &mut self,
         scheme_idx: usize,
         t: Tuple,
@@ -796,7 +789,7 @@ impl CtmMaintainer {
     ) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
         let b = self.ir.block_of[scheme_idx];
         let (outcome, stats) =
-            algorithm5_bounded(&self.scheme, &self.indexes[b], scheme_idx, &t, guard, retry)?;
+            algorithm5(&self.scheme, &self.indexes[b], scheme_idx, &t, guard, retry)?;
         if outcome.is_consistent() {
             let pos = self.indexes[b]
                 .member_pos(scheme_idx)
@@ -807,6 +800,19 @@ impl CtmMaintainer {
         }
         Ok((outcome, stats))
     }
+
+    /// Deprecated spelling of [`CtmMaintainer::insert`] from before the
+    /// budgeted and unbudgeted surfaces were collapsed.
+    #[deprecated(since = "0.2.0", note = "use `insert` — it now takes a `&Guard`")]
+    pub fn insert_bounded(
+        &mut self,
+        scheme_idx: usize,
+        t: Tuple,
+        guard: &Guard,
+        retry: &RetryPolicy,
+    ) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
+        self.insert(scheme_idx, t, guard, retry)
+    }
 }
 
 #[cfg(test)]
@@ -816,16 +822,20 @@ mod tests {
     use idr_fd::KeyDeps;
     use idr_relation::{state_of, SchemeBuilder, SymbolTable};
 
+    fn ok() -> (Guard, RetryPolicy) {
+        (Guard::unlimited(), RetryPolicy::none())
+    }
+
     /// Example 6: R = {R1(ABE), R2(AC), R3(AD), R4(BC), R5(BD), R6(CDE)},
     /// keys {A, B, E} for R1, singletons elsewhere, CD↔E.
     fn example6() -> DatabaseScheme {
         SchemeBuilder::new("ABCDE")
-            .scheme("R1", "ABE", &["A", "B", "E"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AD", &["A"])
-            .scheme("R4", "BC", &["B"])
-            .scheme("R5", "BD", &["B"])
-            .scheme("R6", "CDE", &["CD", "E"])
+            .scheme("R1", "ABE", ["A", "B", "E"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AD", ["A"])
+            .scheme("R4", "BC", ["B"])
+            .scheme("R5", "BD", ["B"])
+            .scheme("R6", "CDE", ["CD", "E"])
             .build()
             .unwrap()
     }
@@ -850,20 +860,21 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut m = IrMaintainer::new(&db, &ir, &state).unwrap();
+        let (g, rp) = ok();
+        let mut m = IrMaintainer::new(&db, &ir, &state, &g).unwrap();
         let u = db.universe();
         let bad = Tuple::from_pairs([
             (u.attr_of("A"), sym.intern("a")),
             (u.attr_of("B"), sym.intern("b")),
             (u.attr_of("E"), sym.intern("e'")),
         ]);
-        let (outcome, _) = m.insert(0, bad.clone());
+        let (outcome, _) = m.insert(0, bad.clone(), &g, &rp).unwrap();
         assert_eq!(outcome, MaintenanceOutcome::Inconsistent);
 
         // The chase agrees.
         let mut updated = state.clone();
         updated.insert(0, bad).unwrap();
-        assert!(!idr_chase::is_consistent(&db, &updated, kd.full()));
+        assert!(!idr_chase::is_consistent(&db, &updated, kd.full(), &g).unwrap());
     }
 
     #[test]
@@ -882,14 +893,15 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut m = IrMaintainer::new(&db, &ir, &state).unwrap();
+        let (g, rp) = ok();
+        let mut m = IrMaintainer::new(&db, &ir, &state, &g).unwrap();
         let u = db.universe();
         let good = Tuple::from_pairs([
             (u.attr_of("A"), sym.intern("a")),
             (u.attr_of("B"), sym.intern("b")),
             (u.attr_of("E"), sym.intern("e")),
         ]);
-        let (outcome, _) = m.insert(0, good.clone());
+        let (outcome, _) = m.insert(0, good.clone(), &g, &rp).unwrap();
         match outcome {
             MaintenanceOutcome::Consistent(q) => {
                 // q joins all four tuples: total on ABCDE.
@@ -900,7 +912,7 @@ mod tests {
         // Chase agrees.
         let mut updated = state.clone();
         updated.insert(0, good).unwrap();
-        assert!(idr_chase::is_consistent(&db, &updated, kd.full()));
+        assert!(idr_chase::is_consistent(&db, &updated, kd.full(), &g).unwrap());
     }
 
     /// Example 10: S = {S1(AB), S2(BC), S3(AC)}, all singleton keys;
@@ -908,9 +920,9 @@ mod tests {
     #[test]
     fn example10_algorithm5_rejects() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("S1", "AB", &["A", "B"])
-            .scheme("S2", "BC", &["B", "C"])
-            .scheme("S3", "AC", &["A", "C"])
+            .scheme("S1", "AB", ["A", "B"])
+            .scheme("S2", "BC", ["B", "C"])
+            .scheme("S3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -925,7 +937,8 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut m = CtmMaintainer::new(&db, &ir, &state).unwrap();
+        let (g, rp) = ok();
+        let mut m = CtmMaintainer::new(&db, &ir, &state, &g).unwrap();
         let u = db.universe();
         // Insert <a, c'> into s3: Algorithm 4 extends a ↦ <a,b,c>, and
         // <a,c'> ⋈ <a,b,c> = ∅ → no.
@@ -933,54 +946,58 @@ mod tests {
             (u.attr_of("A"), sym.intern("a")),
             (u.attr_of("C"), sym.intern("c'")),
         ]);
-        let (outcome, stats) = m.insert(2, bad.clone());
+        let (outcome, stats) = m.insert(2, bad.clone(), &g, &rp).unwrap();
         assert_eq!(outcome, MaintenanceOutcome::Inconsistent);
         assert!(stats.lookups > 0);
         // Chase agrees.
         let mut updated = state.clone();
         updated.insert(2, bad).unwrap();
-        assert!(!idr_chase::is_consistent(&db, &updated, kd.full()));
+        assert!(!idr_chase::is_consistent(&db, &updated, kd.full(), &g).unwrap());
     }
 
     #[test]
     fn algorithm5_accepts_and_later_lookups_see_insert() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("S1", "AB", &["A", "B"])
-            .scheme("S2", "BC", &["B", "C"])
-            .scheme("S3", "AC", &["A", "C"])
+            .scheme("S1", "AB", ["A", "B"])
+            .scheme("S2", "BC", ["B", "C"])
+            .scheme("S3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
         let ir = recognize(&db, &kd).accepted().unwrap();
         let mut sym = SymbolTable::new();
         let state = state_of(&db, &mut sym, &[("S1", &[("A", "a"), ("B", "b")])]).unwrap();
-        let mut m = CtmMaintainer::new(&db, &ir, &state).unwrap();
+        let (g, rp) = ok();
+        let mut m = CtmMaintainer::new(&db, &ir, &state, &g).unwrap();
         let u = db.universe();
         let t1 = Tuple::from_pairs([
             (u.attr_of("B"), sym.intern("b")),
             (u.attr_of("C"), sym.intern("c")),
         ]);
-        assert!(m.insert(1, t1).0.is_consistent());
+        assert!(m.insert(1, t1, &g, &rp).unwrap().0.is_consistent());
         // Now <a, c'> must be rejected (through the fresh S2 tuple).
         let bad = Tuple::from_pairs([
             (u.attr_of("A"), sym.intern("a")),
             (u.attr_of("C"), sym.intern("c'")),
         ]);
-        assert_eq!(m.insert(2, bad).0, MaintenanceOutcome::Inconsistent);
+        assert_eq!(
+            m.insert(2, bad, &g, &rp).unwrap().0,
+            MaintenanceOutcome::Inconsistent
+        );
         // And the matching <a, c> accepted.
         let good = Tuple::from_pairs([
             (u.attr_of("A"), sym.intern("a")),
             (u.attr_of("C"), sym.intern("c")),
         ]);
-        assert!(m.insert(2, good).0.is_consistent());
+        assert!(m.insert(2, good, &g, &rp).unwrap().0.is_consistent());
     }
 
     #[test]
     fn delete_rebuilds_block_rep() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("S1", "AB", &["A", "B"])
-            .scheme("S2", "BC", &["B", "C"])
-            .scheme("S3", "AC", &["A", "C"])
+            .scheme("S1", "AB", ["A", "B"])
+            .scheme("S2", "BC", ["B", "C"])
+            .scheme("S3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -995,12 +1012,13 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut m = IrMaintainer::new(&db, &ir, &state).unwrap();
+        let (g, rp) = ok();
+        let mut m = IrMaintainer::new(&db, &ir, &state, &g).unwrap();
         // The two tuples merged to <a, b, c>.
         assert_eq!(m.reps()[0].len(), 1);
         // Delete the S2 tuple: rebuild from a state holding only S1's.
         let reduced = state_of(&db, &mut sym, &[("S1", &[("A", "a"), ("B", "b")])]).unwrap();
-        m.delete(1, &reduced);
+        m.delete(1, &reduced, &g).unwrap();
         assert_eq!(m.reps()[0].len(), 1);
         let t = m.reps()[0].iter().next().unwrap();
         assert_eq!(t.attrs(), db.universe().set_of("AB"));
@@ -1011,13 +1029,13 @@ mod tests {
             (u.attr_of("A"), sym.intern("a")),
             (u.attr_of("C"), sym.intern("c'")),
         ]);
-        assert!(m.insert(2, t2).0.is_consistent());
+        assert!(m.insert(2, t2, &g, &rp).unwrap().0.is_consistent());
     }
 
     #[test]
     fn state_index_detects_local_violation() {
         let db = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", ["A"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();
@@ -1034,30 +1052,73 @@ mod tests {
     }
 
     #[test]
+    fn inconsistent_base_state_names_the_block() {
+        let db = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", ["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&db);
+        let ir = recognize(&db, &kd).accepted().unwrap();
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &db,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b1")]),
+                ("R1", &[("A", "a"), ("B", "b2")]),
+            ],
+        )
+        .unwrap();
+        let (g, _) = ok();
+        match IrMaintainer::new(&db, &ir, &state, &g) {
+            Err(ExecError::Inconsistent { detail }) => {
+                assert!(detail.contains("block 0"), "detail: {detail}");
+            }
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+        assert!(!IrMaintainer::state_consistent(&db, &ir, &state, &g).unwrap());
+    }
+
+    #[test]
     fn ir_maintainer_routes_to_blocks() {
         // Example 11: inserts into block 2 never touch block 1's rep.
         let db = SchemeBuilder::new("ABCDEFG")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
-            .scheme("R4", "AD", &["A"])
-            .scheme("R5", "DEF", &["D"])
-            .scheme("R6", "DEG", &["D"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
+            .scheme("R4", "AD", ["A"])
+            .scheme("R5", "DEF", ["D"])
+            .scheme("R6", "DEG", ["D"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
         let ir = recognize(&db, &kd).accepted().unwrap();
         let mut sym = SymbolTable::new();
         let state = state_of(&db, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
-        let mut m = IrMaintainer::new(&db, &ir, &state).unwrap();
+        let (g, rp) = ok();
+        let mut m = IrMaintainer::new(&db, &ir, &state, &g).unwrap();
         let u = db.universe();
         let t = Tuple::from_pairs([
             (u.attr_of("D"), sym.intern("d")),
             (u.attr_of("E"), sym.intern("e")),
             (u.attr_of("F"), sym.intern("f")),
         ]);
-        assert!(m.insert(4, t).0.is_consistent());
+        assert!(m.insert(4, t, &g, &rp).unwrap().0.is_consistent());
         assert_eq!(m.reps()[0].len(), 1);
         assert_eq!(m.reps()[1].len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward() {
+        let db = example6();
+        let kd = KeyDeps::of(&db);
+        let ir = recognize(&db, &kd).accepted().unwrap();
+        let state = DatabaseState::empty(&db);
+        let (g, _) = ok();
+        let m = IrMaintainer::new_bounded(&db, &ir, &state, &g).unwrap();
+        assert_eq!(m.reps().len(), ir.len());
+        let c = CtmMaintainer::new_bounded(&db, &ir, &state, &g);
+        assert!(c.is_ok());
     }
 }

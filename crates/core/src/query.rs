@@ -16,47 +16,52 @@
 //! own Example 4 needs `BC→D, D→A` to justify `π_AE(AB ⋈ AC ⋈ BE ⋈ CE)`),
 //! so the test chases over the full universe rather than projecting the
 //! dependencies.
+//!
+//! Every entry point takes an execution context (`&Guard`): the `2ⁿ`
+//! subset enumeration is charged against the guard's enumeration budget up
+//! front (with [`DEFAULT_MAX_ENUMERATION`] as the backstop when the budget
+//! is unlimited), and deadline/cancellation is checked per candidate
+//! subset. [`Guard::unlimited`] is the easy default.
 
 use idr_chase::lossless::dv_closures;
 use idr_fd::{FdSet, KeyDeps};
 use idr_relation::algebra::Expr;
 use idr_relation::exec::{ExecError, FaultKind, Guard, Resource, DEFAULT_MAX_ENUMERATION};
-use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Relation, RelationError};
+use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Relation};
 
 use crate::recognition::IrScheme;
 
-/// Size guard for the exponential subset enumeration.
+/// Size bound historically enforced by assertion; families beyond it now
+/// trip the guard's enumeration budget instead.
 pub const MAX_COVER_FAMILY: usize = 16;
 
 /// Enumerates the inclusion-minimal subsets of `family` that cover `x` and
 /// are lossless with respect to `fds` (chase all-dv criterion over the
 /// subset's union). Returned as index lists into `family`, in a canonical
 /// order (by size, then lexicographically).
-pub fn minimal_lossless_covers(family: &[AttrSet], fds: &FdSet, x: AttrSet) -> Vec<Vec<usize>> {
-    let n = family.len();
-    assert!(
-        n <= MAX_COVER_FAMILY,
-        "minimal_lossless_covers: family too large ({n})"
-    );
-    match covers_impl(family, fds, x, true, None) {
-        Ok(out) => out,
-        Err(_) => unreachable!("unguarded cover enumeration cannot be stopped"),
-    }
-}
-
-/// Fallible [`minimal_lossless_covers`]: instead of a size assertion, the
-/// `2ⁿ` subset enumeration is charged against `guard`'s enumeration budget
-/// up front (with [`DEFAULT_MAX_ENUMERATION`] as the backstop when the
-/// budget is unlimited), and the deadline/cancellation is checked per
-/// candidate subset.
-pub fn minimal_lossless_covers_bounded(
+pub fn minimal_lossless_covers(
     family: &[AttrSet],
     fds: &FdSet,
     x: AttrSet,
     guard: &Guard,
 ) -> Result<Vec<Vec<usize>>, ExecError> {
     charge_family(family.len(), guard)?;
-    covers_impl(family, fds, x, true, Some(guard))
+    covers_impl(family, fds, x, true, guard)
+}
+
+/// Deprecated spelling of [`minimal_lossless_covers`] from before the
+/// twin-surface collapse.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `minimal_lossless_covers` — it now takes a `&Guard`"
+)]
+pub fn minimal_lossless_covers_bounded(
+    family: &[AttrSet],
+    fds: &FdSet,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Vec<Vec<usize>>, ExecError> {
+    minimal_lossless_covers(family, fds, x, guard)
 }
 
 /// Enumerates *all* subsets of `family` that cover `x` and are lossless —
@@ -64,28 +69,29 @@ pub fn minimal_lossless_covers_bounded(
 /// over every such join and keeps the greatest nonempty one, so the full
 /// family is needed (for query answering, [`minimal_lossless_covers`]
 /// suffices since larger joins produce subsets of smaller joins' tuples).
-pub fn all_lossless_covers(family: &[AttrSet], fds: &FdSet, x: AttrSet) -> Vec<Vec<usize>> {
-    let n = family.len();
-    assert!(
-        n <= MAX_COVER_FAMILY,
-        "all_lossless_covers: family too large ({n})"
-    );
-    match covers_impl(family, fds, x, false, None) {
-        Ok(out) => out,
-        Err(_) => unreachable!("unguarded cover enumeration cannot be stopped"),
-    }
-}
-
-/// Fallible [`all_lossless_covers`]; see
-/// [`minimal_lossless_covers_bounded`] for the metering contract.
-pub fn all_lossless_covers_bounded(
+pub fn all_lossless_covers(
     family: &[AttrSet],
     fds: &FdSet,
     x: AttrSet,
     guard: &Guard,
 ) -> Result<Vec<Vec<usize>>, ExecError> {
     charge_family(family.len(), guard)?;
-    covers_impl(family, fds, x, false, Some(guard))
+    covers_impl(family, fds, x, false, guard)
+}
+
+/// Deprecated spelling of [`all_lossless_covers`] from before the
+/// twin-surface collapse.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `all_lossless_covers` — it now takes a `&Guard`"
+)]
+pub fn all_lossless_covers_bounded(
+    family: &[AttrSet],
+    fds: &FdSet,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Vec<Vec<usize>>, ExecError> {
+    all_lossless_covers(family, fds, x, guard)
 }
 
 /// Charges the `2ⁿ` cover enumeration to the guard, rejecting families too
@@ -105,15 +111,14 @@ fn charge_family(n: usize, guard: &Guard) -> Result<(), ExecError> {
 }
 
 /// Shared enumeration body. `minimal` selects the inclusion-minimal search
-/// (size-ordered masks, superset skip); `guard`, when present, is checked
-/// per candidate subset for deadline/cancellation. With `guard == None`
-/// the result is always `Ok`.
+/// (size-ordered masks, superset skip); the guard is checked per candidate
+/// subset for deadline/cancellation.
 fn covers_impl(
     family: &[AttrSet],
     fds: &FdSet,
     x: AttrSet,
     minimal: bool,
-    guard: Option<&Guard>,
+    guard: &Guard,
 ) -> Result<Vec<Vec<usize>>, ExecError> {
     let n = family.len();
     let mut masks: Vec<u32> = (1u32..(1 << n)).collect();
@@ -123,9 +128,7 @@ fn covers_impl(
     let mut accepted: Vec<u32> = Vec::new();
     let mut out: Vec<Vec<usize>> = Vec::new();
     'next: for mask in masks {
-        if let Some(g) = guard {
-            g.checkpoint()?;
-        }
+        guard.checkpoint()?;
         // Skip supersets of already-accepted (minimal) covers.
         for &a in &accepted {
             if a & mask == a {
@@ -153,48 +156,22 @@ fn covers_impl(
 
 /// Corollary 3.1(b): the relational expression computing the X-total
 /// projection `[X]` over a *key-equivalent* subset of the database scheme
-/// (`block`, by scheme indices). Returns `None` when no lossless subset
-/// covers `X`, in which case `[X]` is empty on every consistent state.
+/// (`block`, by scheme indices). Returns `Ok(None)` when no lossless
+/// subset covers `X`, in which case `[X]` is empty on every consistent
+/// state.
 pub fn ke_total_projection_expr(
-    scheme: &DatabaseScheme,
-    kd: &KeyDeps,
-    block: &[usize],
-    x: AttrSet,
-) -> Option<Expr> {
-    match ke_total_projection_expr_impl(scheme, kd, block, x, None) {
-        Ok(expr) => expr,
-        Err(_) => unreachable!("unguarded expression construction cannot be stopped"),
-    }
-}
-
-/// Fallible [`ke_total_projection_expr`]: the cover enumeration is metered
-/// against `guard` instead of guarded by an assertion.
-pub fn ke_total_projection_expr_bounded(
     scheme: &DatabaseScheme,
     kd: &KeyDeps,
     block: &[usize],
     x: AttrSet,
     guard: &Guard,
 ) -> Result<Option<Expr>, ExecError> {
-    ke_total_projection_expr_impl(scheme, kd, block, x, Some(guard))
-}
-
-fn ke_total_projection_expr_impl(
-    scheme: &DatabaseScheme,
-    kd: &KeyDeps,
-    block: &[usize],
-    x: AttrSet,
-    guard: Option<&Guard>,
-) -> Result<Option<Expr>, ExecError> {
     if x.is_empty() {
         return Ok(None);
     }
     let family: Vec<AttrSet> = block.iter().map(|&i| scheme.scheme(i).attrs()).collect();
     let fds = kd.for_subset(block);
-    let covers = match guard {
-        Some(g) => minimal_lossless_covers_bounded(&family, &fds, x, g)?,
-        None => minimal_lossless_covers(&family, &fds, x),
-    };
+    let covers = minimal_lossless_covers(&family, &fds, x, guard)?;
     if covers.is_empty() {
         return Ok(None);
     }
@@ -208,44 +185,35 @@ fn ke_total_projection_expr_impl(
     Ok(Some(Expr::union_all(exprs)))
 }
 
+/// Deprecated spelling of [`ke_total_projection_expr`] from before the
+/// twin-surface collapse.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ke_total_projection_expr` — it now takes a `&Guard`"
+)]
+pub fn ke_total_projection_expr_bounded(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    block: &[usize],
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Option<Expr>, ExecError> {
+    ke_total_projection_expr(scheme, kd, block, x, guard)
+}
+
 /// Theorem 4.1: the relational expression computing `[X]` over an
 /// independence-reducible scheme. Enumerates minimal lossless covering
 /// families of blocks; within each family, block `j` contributes its
 /// `Yⱼ`-total projection where
 /// `Yⱼ = Dⱼ ∩ (D₁ ∪ … ∪ Dⱼ₋₁ ∪ Dⱼ₊₁ ∪ … ∪ X)`,
-/// computed by the key-equivalent expression. Returns `None` when `[X]` is
-/// empty on every consistent state.
+/// computed by the key-equivalent expression. Returns `Ok(None)` when
+/// `[X]` is empty on every consistent state.
 pub fn ir_total_projection_expr(
     scheme: &DatabaseScheme,
     kd: &KeyDeps,
     ir: &IrScheme,
     x: AttrSet,
-) -> Option<Expr> {
-    match ir_total_projection_expr_impl(scheme, kd, ir, x, None) {
-        Ok(expr) => expr,
-        Err(_) => unreachable!("unguarded expression construction cannot be stopped"),
-    }
-}
-
-/// Fallible [`ir_total_projection_expr`]: both the block-level and the
-/// per-block cover enumerations are metered against `guard` instead of
-/// guarded by assertions.
-pub fn ir_total_projection_expr_bounded(
-    scheme: &DatabaseScheme,
-    kd: &KeyDeps,
-    ir: &IrScheme,
-    x: AttrSet,
     guard: &Guard,
-) -> Result<Option<Expr>, ExecError> {
-    ir_total_projection_expr_impl(scheme, kd, ir, x, Some(guard))
-}
-
-fn ir_total_projection_expr_impl(
-    scheme: &DatabaseScheme,
-    kd: &KeyDeps,
-    ir: &IrScheme,
-    x: AttrSet,
-    guard: Option<&Guard>,
 ) -> Result<Option<Expr>, ExecError> {
     if x.is_empty() {
         return Ok(None);
@@ -254,10 +222,7 @@ fn ir_total_projection_expr_impl(
     let block_fds = (0..ir.len())
         .map(|b| crate::recognition::block_key_fds(ir, b))
         .fold(FdSet::new(), |acc, f| acc.union(&f));
-    let covers = match guard {
-        Some(g) => minimal_lossless_covers_bounded(&ir.block_attrs, &block_fds, x, g)?,
-        None => minimal_lossless_covers(&ir.block_attrs, &block_fds, x),
-    };
+    let covers = minimal_lossless_covers(&ir.block_attrs, &block_fds, x, guard)?;
     if covers.is_empty() {
         return Ok(None);
     }
@@ -278,7 +243,7 @@ fn ir_total_projection_expr_impl(
                 // have been minimal-and-connected, skip it defensively.
                 continue 'covers;
             }
-            let sub = ke_total_projection_expr_impl(scheme, kd, &ir.partition[b], y_j, guard)?
+            let sub = ke_total_projection_expr(scheme, kd, &ir.partition[b], y_j, guard)?
                 .expect("a key-equivalent block always covers subsets of its union");
             sub_exprs.push(sub);
         }
@@ -294,26 +259,51 @@ fn ir_total_projection_expr_impl(
     Ok(Some(Expr::union_all(alternatives)))
 }
 
+/// Deprecated spelling of [`ir_total_projection_expr`] from before the
+/// twin-surface collapse.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ir_total_projection_expr` — it now takes a `&Guard`"
+)]
+pub fn ir_total_projection_expr_bounded(
+    scheme: &DatabaseScheme,
+    kd: &KeyDeps,
+    ir: &IrScheme,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<Option<Expr>, ExecError> {
+    ir_total_projection_expr(scheme, kd, ir, x, guard)
+}
+
 /// Evaluates the Theorem 4.1 expression over a state: the bounded,
 /// chase-free computation of `[X]`. Returns an empty relation over `x`
-/// when no expression exists.
+/// when no expression exists. An evaluation error (an internally malformed
+/// expression — never expected from this module's own construction)
+/// surfaces as a permanent [`ExecError::Faulted`].
 pub fn ir_total_projection(
     scheme: &DatabaseScheme,
     kd: &KeyDeps,
     ir: &IrScheme,
     state: &DatabaseState,
     x: AttrSet,
-) -> Result<Relation, RelationError> {
-    match ir_total_projection_expr(scheme, kd, ir, x) {
-        Some(expr) => expr.eval(scheme, state),
+    guard: &Guard,
+) -> Result<Relation, ExecError> {
+    match ir_total_projection_expr(scheme, kd, ir, x, guard)? {
+        Some(expr) => expr.eval(scheme, state).map_err(|e| ExecError::Faulted {
+            kind: FaultKind::Permanent,
+            operation: format!("relational expression evaluation: {e}"),
+            attempts: 1,
+        }),
         None => Ok(Relation::new(x)),
     }
 }
 
-/// Fallible [`ir_total_projection`]: expression construction is metered
-/// against `guard`. An evaluation error (an internally malformed
-/// expression — never expected from this module's own construction)
-/// surfaces as a permanent [`ExecError::Faulted`].
+/// Deprecated spelling of [`ir_total_projection`] from before the
+/// twin-surface collapse.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ir_total_projection` — it now takes a `&Guard`"
+)]
 pub fn ir_total_projection_bounded(
     scheme: &DatabaseScheme,
     kd: &KeyDeps,
@@ -322,14 +312,7 @@ pub fn ir_total_projection_bounded(
     x: AttrSet,
     guard: &Guard,
 ) -> Result<Relation, ExecError> {
-    match ir_total_projection_expr_bounded(scheme, kd, ir, x, guard)? {
-        Some(expr) => expr.eval(scheme, state).map_err(|e| ExecError::Faulted {
-            kind: FaultKind::Permanent,
-            operation: format!("relational expression evaluation: {e}"),
-            attempts: 1,
-        }),
-        None => Ok(Relation::new(x)),
-    }
+    ir_total_projection(scheme, kd, ir, state, x, guard)
 }
 
 #[cfg(test)]
@@ -341,13 +324,13 @@ mod tests {
     /// Example 4/7's scheme.
     fn example4() -> DatabaseScheme {
         SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AE", &["A", "E"])
-            .scheme("R4", "EB", &["E"])
-            .scheme("R5", "EC", &["E"])
-            .scheme("R6", "BCD", &["BC", "D"])
-            .scheme("R7", "DA", &["D", "A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AE", ["A", "E"])
+            .scheme("R4", "EB", ["E"])
+            .scheme("R5", "EC", ["E"])
+            .scheme("R6", "BCD", ["BC", "D"])
+            .scheme("R7", "DA", ["D", "A"])
             .build()
             .unwrap()
     }
@@ -360,8 +343,13 @@ mod tests {
         let kd = KeyDeps::of(&db);
         let block: Vec<usize> = (0..7).collect();
         let family: Vec<AttrSet> = block.iter().map(|&i| db.scheme(i).attrs()).collect();
-        let covers =
-            minimal_lossless_covers(&family, kd.full(), db.universe().set_of("AE"));
+        let covers = minimal_lossless_covers(
+            &family,
+            kd.full(),
+            db.universe().set_of("AE"),
+            &Guard::unlimited(),
+        )
+        .unwrap();
         assert!(covers.contains(&vec![2]), "R3 alone covers AE: {covers:?}");
         assert!(
             covers.contains(&vec![0, 1, 3, 4]),
@@ -390,8 +378,11 @@ mod tests {
         )
         .unwrap();
         let x = db.universe().set_of("AE");
-        let fast = ir_total_projection(&db, &kd, &ir, &state, x).unwrap();
-        let oracle = idr_chase::total_projection(&db, &state, kd.full(), x).unwrap();
+        let g = Guard::unlimited();
+        let fast = ir_total_projection(&db, &kd, &ir, &state, x, &g).unwrap();
+        let oracle = idr_chase::total_projection(&db, &state, kd.full(), x, &g)
+            .unwrap()
+            .unwrap();
         assert_eq!(fast.sorted_tuples(), oracle);
         assert_eq!(fast.len(), 1, "derives <a, e> through keys BC and A");
     }
@@ -401,24 +392,25 @@ mod tests {
         // Example 12: D = {D1(ABCD), D2(DEFG)}; the ACG expression is
         // π_ACG((π_ACD(R1⋈R2⋈R4) ∪ π_ACD(R3⋈R4)) ⋈ π_DG(R6)).
         let db = SchemeBuilder::new("ABCDEFG")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
-            .scheme("R4", "AD", &["A"])
-            .scheme("R5", "DEF", &["D"])
-            .scheme("R6", "DEG", &["D"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
+            .scheme("R4", "AD", ["A"])
+            .scheme("R5", "DEF", ["D"])
+            .scheme("R6", "DEG", ["D"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
         let ir = recognize(&db, &kd).accepted().unwrap();
         let u = db.universe();
         let x = u.set_of("ACG");
+        let g = Guard::unlimited();
 
         // Block-level: the only minimal lossless cover of ACG is {D1, D2}.
         let block_fds = (0..ir.len())
             .map(|b| crate::recognition::block_key_fds(&ir, b))
             .fold(idr_fd::FdSet::new(), |acc, f| acc.union(&f));
-        let covers = minimal_lossless_covers(&ir.block_attrs, &block_fds, x);
+        let covers = minimal_lossless_covers(&ir.block_attrs, &block_fds, x, &g).unwrap();
         assert_eq!(covers, vec![vec![0, 1]]);
 
         // Y1 = ACD within block 1 has exactly the two covers of the paper.
@@ -427,7 +419,7 @@ mod tests {
             .iter()
             .map(|&i| db.scheme(i).attrs())
             .collect();
-        let b_covers = minimal_lossless_covers(&family, &ir.block_fds[0], y1);
+        let b_covers = minimal_lossless_covers(&family, &ir.block_fds[0], y1, &g).unwrap();
         assert!(b_covers.contains(&vec![2, 3]), "{b_covers:?}"); // R3 ⋈ R4
         assert!(b_covers.contains(&vec![0, 1, 3]), "{b_covers:?}"); // R1⋈R2⋈R4
 
@@ -444,8 +436,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let fast = ir_total_projection(&db, &kd, &ir, &state, x).unwrap();
-        let oracle = idr_chase::total_projection(&db, &state, kd.full(), x).unwrap();
+        let fast = ir_total_projection(&db, &kd, &ir, &state, x, &g).unwrap();
+        let oracle = idr_chase::total_projection(&db, &state, kd.full(), x, &g)
+            .unwrap()
+            .unwrap();
         assert_eq!(fast.sorted_tuples(), oracle);
         assert_eq!(fast.len(), 1, "derives <a, c, g>");
     }
@@ -455,14 +449,17 @@ mod tests {
         // Two disconnected independent blocks: no lossless cover spans
         // them, so [AC] is always empty.
         let db = SchemeBuilder::new("ABCD")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "CD", &["C"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "CD", ["C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
         let ir = recognize(&db, &kd).accepted().unwrap();
         let x = db.universe().set_of("AC");
-        assert!(ir_total_projection_expr(&db, &kd, &ir, x).is_none());
+        let g = Guard::unlimited();
+        assert!(ir_total_projection_expr(&db, &kd, &ir, x, &g)
+            .unwrap()
+            .is_none());
         let mut sym = SymbolTable::new();
         let state = state_of(
             &db,
@@ -473,20 +470,24 @@ mod tests {
             ],
         )
         .unwrap();
-        let oracle = idr_chase::total_projection(&db, &state, kd.full(), x).unwrap();
+        let oracle = idr_chase::total_projection(&db, &state, kd.full(), x, &g)
+            .unwrap()
+            .unwrap();
         assert!(oracle.is_empty());
     }
 
     #[test]
     fn single_scheme_projection() {
         let db = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", ["A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
         let ir = recognize(&db, &kd).accepted().unwrap();
         let x = db.universe().set_of("B");
-        let expr = ir_total_projection_expr(&db, &kd, &ir, x).unwrap();
+        let expr = ir_total_projection_expr(&db, &kd, &ir, x, &Guard::unlimited())
+            .unwrap()
+            .unwrap();
         assert_eq!(expr.output_scheme(&db).unwrap(), x);
         assert_eq!(expr.rel_refs(), 1);
     }

@@ -133,12 +133,12 @@ impl Recognition {
 ///
 /// // Example 11 of the paper: two key-equivalent blocks.
 /// let db = SchemeBuilder::new("ABCDEFG")
-///     .scheme("R1", "AB", &["A", "B"])
-///     .scheme("R2", "BC", &["B", "C"])
-///     .scheme("R3", "AC", &["A", "C"])
-///     .scheme("R4", "AD", &["A"])
-///     .scheme("R5", "DEF", &["D"])
-///     .scheme("R6", "DEG", &["D"])
+///     .scheme("R1", "AB", ["A", "B"])
+///     .scheme("R2", "BC", ["B", "C"])
+///     .scheme("R3", "AC", ["A", "C"])
+///     .scheme("R4", "AD", ["A"])
+///     .scheme("R5", "DEF", ["D"])
+///     .scheme("R6", "DEG", ["D"])
 ///     .build()
 ///     .unwrap();
 /// let kd = KeyDeps::of(&db);
@@ -296,11 +296,11 @@ mod tests {
 
     fn example1_r() -> DatabaseScheme {
         SchemeBuilder::new("CTHRSG")
-            .scheme("R1", "HRC", &["HR"])
-            .scheme("R2", "HTR", &["HT", "HR"])
-            .scheme("R3", "HTC", &["HT"])
-            .scheme("R4", "CSG", &["CS"])
-            .scheme("R5", "HSR", &["HS"])
+            .scheme("R1", "HRC", ["HR"])
+            .scheme("R2", "HTR", ["HT", "HR"])
+            .scheme("R3", "HTC", ["HT"])
+            .scheme("R4", "CSG", ["CS"])
+            .scheme("R5", "HSR", ["HS"])
             .build()
             .unwrap()
     }
@@ -322,12 +322,12 @@ mod tests {
     #[test]
     fn example11_is_accepted() {
         let db = SchemeBuilder::new("ABCDEFG")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
-            .scheme("R4", "AD", &["A"])
-            .scheme("R5", "DEF", &["D"])
-            .scheme("R6", "DEG", &["D"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
+            .scheme("R4", "AD", ["A"])
+            .scheme("R5", "DEF", ["D"])
+            .scheme("R6", "DEG", ["D"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -343,9 +343,9 @@ mod tests {
         // algebraic-maintainable; Algorithm 6 must reject it.
         // Keys: R1(AB): AB; R2(BC): B; R3(AC): A.
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "BC", &["B"])
-            .scheme("R3", "AC", &["A"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -357,9 +357,9 @@ mod tests {
     fn independent_scheme_is_accepted_with_singleton_blocks() {
         // Theorem 5.3: independent schemes are accepted.
         let db = SchemeBuilder::new("CTHRSG")
-            .scheme("S1", "HRCT", &["HR", "HT"])
-            .scheme("S2", "CSG", &["CS"])
-            .scheme("S3", "HSR", &["HS"])
+            .scheme("S1", "HRCT", ["HR", "HT"])
+            .scheme("S2", "CSG", ["CS"])
+            .scheme("S3", "HSR", ["HS"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -370,9 +370,9 @@ mod tests {
     #[test]
     fn key_equivalent_scheme_is_accepted_as_single_block() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -384,12 +384,12 @@ mod tests {
     fn induced_scheme_is_bcnf_and_independent() {
         // Corollary 4.1 on Example 11's induced D.
         let db = SchemeBuilder::new("ABCDEFG")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
-            .scheme("R4", "AD", &["A"])
-            .scheme("R5", "DEF", &["D"])
-            .scheme("R6", "DEG", &["D"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
+            .scheme("R4", "AD", ["A"])
+            .scheme("R5", "DEF", ["D"])
+            .scheme("R6", "DEG", ["D"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -405,9 +405,9 @@ mod tests {
         // Example 2 and Example 13 are rejected; brute force confirms no
         // partition whatsoever satisfies the definition.
         let ex2 = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "BC", &["B"])
-            .scheme("R3", "AC", &["A"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&ex2);
@@ -415,14 +415,14 @@ mod tests {
         assert!(!is_independence_reducible_bruteforce(&ex2, &kd));
 
         let ex13 = SchemeBuilder::new("ABCDEF")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "CD", &["CD"])
-            .scheme("R3", "ABC", &["AB"])
-            .scheme("R4", "ABD", &["AB"])
-            .scheme("R5", "CDE", &["CD", "E"])
-            .scheme("R6", "EA", &["E"])
-            .scheme("R7", "EF", &["E"])
-            .scheme("R8", "FB", &["F"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "CD", ["CD"])
+            .scheme("R3", "ABC", ["AB"])
+            .scheme("R4", "ABD", ["AB"])
+            .scheme("R5", "CDE", ["CD", "E"])
+            .scheme("R6", "EA", ["E"])
+            .scheme("R7", "EF", ["E"])
+            .scheme("R8", "FB", ["F"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&ex13);
@@ -433,9 +433,9 @@ mod tests {
     #[test]
     fn rejection_reports_block_pair() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "BC", &["B"])
-            .scheme("R3", "AC", &["A"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);

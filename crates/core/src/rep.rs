@@ -41,22 +41,6 @@ impl From<KeInconsistent> for ExecError {
     }
 }
 
-/// Internal halt reason for the merge loop; the public entry points each
-/// flatten it to their own error type.
-enum MergeHalt {
-    Inconsistent(KeInconsistent),
-    Exec(ExecError),
-}
-
-impl From<MergeHalt> for ExecError {
-    fn from(h: MergeHalt) -> Self {
-        match h {
-            MergeHalt::Inconsistent(e) => e.into(),
-            MergeHalt::Exec(e) => e,
-        }
-    }
-}
-
 /// The representative instance of a state on a key-equivalent block,
 /// as produced by Algorithm 1: maximal merged tuples, any two of which
 /// disagree on every key (Corollary 3.1(a)), indexed by key values.
@@ -76,13 +60,20 @@ pub struct KeRep {
 
 impl KeRep {
     /// Runs Algorithm 1: builds the representative instance from the
-    /// block's tuples, or reports an inconsistency.
+    /// block's tuples, or reports an inconsistency
+    /// ([`ExecError::Inconsistent`]).
     ///
     /// `keys` must be the keys embedded in the block's member schemes; the
     /// input tuples are each total on their member scheme (but any partial
     /// tuple total on a superset of one of its embedded keys works, which
     /// is how Algorithm 2 re-inserts its extended tuple).
-    pub fn build<I>(keys: &[AttrSet], tuples: I) -> Result<Self, KeInconsistent>
+    ///
+    /// Every key-index probe of the merge loop is charged as one lookup
+    /// against `guard`, so building a representative instance from an
+    /// adversarially merge-heavy state can be cut off with a typed
+    /// [`ExecError::BudgetExceeded`] instead of running arbitrarily long;
+    /// [`Guard::unlimited`] is the easy default.
+    pub fn build<I>(keys: &[AttrSet], tuples: I, guard: &Guard) -> Result<Self, ExecError>
     where
         I: IntoIterator<Item = Tuple>,
     {
@@ -97,17 +88,14 @@ impl KeRep {
             live: 0,
         };
         for t in tuples {
-            rep.insert_merge(t)?;
+            rep.insert_merge(t, guard)?;
         }
         Ok(rep)
     }
 
-    /// Budgeted [`KeRep::build`]: every key-index probe of the merge loop
-    /// is charged as one lookup against `guard`, so building a
-    /// representative instance from an adversarially merge-heavy state can
-    /// be cut off with a typed [`ExecError::BudgetExceeded`] instead of
-    /// running arbitrarily long. Inconsistencies surface as
-    /// [`ExecError::Inconsistent`].
+    /// Deprecated spelling of [`KeRep::build`] from before the
+    /// twin-surface collapse.
+    #[deprecated(since = "0.2.0", note = "use `build` — it now takes a `&Guard`")]
     pub fn build_bounded<I>(
         keys: &[AttrSet],
         tuples: I,
@@ -116,20 +104,7 @@ impl KeRep {
     where
         I: IntoIterator<Item = Tuple>,
     {
-        let mut keys: Vec<AttrSet> = keys.to_vec();
-        keys.sort();
-        keys.dedup();
-        let mut rep = KeRep {
-            keys,
-            tuples: Vec::new(),
-            index: HashMap::new(),
-            redirect: HashMap::new(),
-            live: 0,
-        };
-        for t in tuples {
-            rep.insert_merge_bounded(t, guard)?;
-        }
-        Ok(rep)
+        Self::build(keys, tuples, guard)
     }
 
     /// The block's keys.
@@ -164,23 +139,10 @@ impl KeRep {
     }
 
     /// Inserts a tuple, merging with any tuples agreeing on a key — the
-    /// incremental form of Algorithm 1. Fails iff the merged state is
-    /// inconsistent.
-    pub fn insert_merge(&mut self, t: Tuple) -> Result<(), KeInconsistent> {
-        match self.insert_merge_impl(t, None) {
-            Ok(()) => Ok(()),
-            Err(MergeHalt::Inconsistent(e)) => Err(e),
-            Err(MergeHalt::Exec(_)) => unreachable!("unguarded merge cannot be stopped"),
-        }
-    }
-
-    /// Budgeted [`KeRep::insert_merge`]: charges one lookup per key-index
-    /// probe against `guard`.
-    pub fn insert_merge_bounded(&mut self, t: Tuple, guard: &Guard) -> Result<(), ExecError> {
-        self.insert_merge_impl(t, Some(guard)).map_err(ExecError::from)
-    }
-
-    fn insert_merge_impl(&mut self, t: Tuple, guard: Option<&Guard>) -> Result<(), MergeHalt> {
+    /// incremental form of Algorithm 1. Fails with
+    /// [`ExecError::Inconsistent`] iff the merged state is inconsistent;
+    /// charges one lookup per key-index probe against `guard`.
+    pub fn insert_merge(&mut self, t: Tuple, guard: &Guard) -> Result<(), ExecError> {
         let slot = self.tuples.len();
         self.tuples.push(Some(t));
         self.live += 1;
@@ -198,9 +160,7 @@ impl KeRep {
                 let Some(vals) = Self::key_values(k, &t) else {
                     continue;
                 };
-                if let Some(g) = guard {
-                    g.lookup().map_err(MergeHalt::Exec)?;
-                }
+                guard.lookup()?;
                 let entry = (ki, vals);
                 match self.index.get(&entry).copied() {
                     None => {
@@ -223,7 +183,7 @@ impl KeRep {
                             .as_ref()
                             .expect("live slot")
                             .join(&u)
-                            .ok_or(MergeHalt::Inconsistent(KeInconsistent { key: k }))?;
+                            .ok_or(KeInconsistent { key: k })?;
                         self.tuples[s] = Some(merged);
                         self.index.insert(entry, s);
                         // Redirect future lookups of `other` and re-process
@@ -236,6 +196,13 @@ impl KeRep {
             }
         }
         Ok(())
+    }
+
+    /// Deprecated spelling of [`KeRep::insert_merge`] from before the
+    /// twin-surface collapse.
+    #[deprecated(since = "0.2.0", note = "use `insert_merge` — it now takes a `&Guard`")]
+    pub fn insert_merge_bounded(&mut self, t: Tuple, guard: &Guard) -> Result<(), ExecError> {
+        self.insert_merge(t, guard)
     }
 
     fn key_index(&self, k: AttrSet) -> Option<usize> {
@@ -282,6 +249,7 @@ mod tests {
                 tup(&u, &mut s, &[("A", "a"), ("B", "b")]),
                 tup(&u, &mut s, &[("A", "a"), ("C", "c")]),
             ],
+            &Guard::unlimited(),
         )
         .unwrap();
         assert_eq!(rep.len(), 1);
@@ -302,6 +270,7 @@ mod tests {
                 tup(&u, &mut s, &[("A", "a"), ("B", "b")]),
                 tup(&u, &mut s, &[("A", "a"), ("C", "c")]),
             ],
+            &Guard::unlimited(),
         )
         .unwrap();
         assert_eq!(rep.len(), 1);
@@ -318,6 +287,7 @@ mod tests {
                 tup(&u, &mut s, &[("A", "a1"), ("B", "b1")]),
                 tup(&u, &mut s, &[("A", "a2"), ("B", "b2")]),
             ],
+            &Guard::unlimited(),
         )
         .unwrap();
         assert_eq!(rep.len(), 2);
@@ -333,9 +303,15 @@ mod tests {
                 tup(&u, &mut s, &[("A", "a"), ("B", "b1")]),
                 tup(&u, &mut s, &[("A", "a"), ("B", "b2")]),
             ],
+            &Guard::unlimited(),
         )
         .unwrap_err();
-        assert_eq!(err.key, u.set_of("A"));
+        match err {
+            idr_relation::exec::ExecError::Inconsistent { detail } => {
+                assert!(detail.contains("key"), "detail: {detail}");
+            }
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
     }
 
     #[test]
@@ -348,6 +324,7 @@ mod tests {
                 tup(&u, &mut s, &[("A", "a"), ("B", "b")]),
                 tup(&u, &mut s, &[("A", "a"), ("C", "c")]),
             ],
+            &Guard::unlimited(),
         )
         .unwrap();
         let probe = tup(&u, &mut s, &[("B", "b"), ("C", "c")]);
@@ -372,6 +349,7 @@ mod tests {
                 tup(&u, &mut s, &[("E", "e"), ("B", "b2")]),
                 tup(&u, &mut s, &[("B", "b"), ("C", "c"), ("D", "d")]),
             ],
+            &Guard::unlimited(),
         )
         .unwrap();
         let tuples: Vec<&Tuple> = rep.iter().collect();
@@ -389,7 +367,7 @@ mod tests {
     #[test]
     fn empty_build() {
         let u = Universe::of_chars("AB");
-        let rep = KeRep::build(&[u.set_of("A")], []).unwrap();
+        let rep = KeRep::build(&[u.set_of("A")], [], &Guard::unlimited()).unwrap();
         assert!(rep.is_empty());
     }
 }

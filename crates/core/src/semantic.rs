@@ -13,6 +13,7 @@
 //! the syntactic verdict.
 
 use idr_chase::is_consistent;
+use idr_relation::exec::Guard;
 use idr_fd::{project::project_fds, KeyDeps};
 use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable, Tuple};
 
@@ -94,7 +95,7 @@ pub fn find_independence_counterexample(
         acc: &mut DatabaseState,
     ) -> Option<DatabaseState> {
         if i == local.len() {
-            if !is_consistent(scheme, acc, kd.full()) {
+            if !is_consistent(scheme, acc, kd.full(), &Guard::unlimited()).unwrap() {
                 return Some(acc.clone());
             }
             return None;
@@ -125,8 +126,8 @@ mod tests {
     #[test]
     fn independent_scheme_has_no_counterexample() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -140,9 +141,9 @@ mod tests {
         // Example 3's triangle is not independent: local key satisfaction
         // does not imply global consistency.
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -152,7 +153,7 @@ mod tests {
             .expect("a 2-value counterexample exists");
         // The witness really is locally consistent (by construction) and
         // globally inconsistent.
-        assert!(!is_consistent(&db, &w, kd.full()));
+        assert!(!is_consistent(&db, &w, kd.full(), &Guard::unlimited()).unwrap());
         assert!(w.total_tuples() >= 2);
     }
 
@@ -162,9 +163,9 @@ mod tests {
         // to the three interacting schemes to keep it cheap by dropping
         // R4/R5 tuples (the search naturally finds small witnesses first).
         let db = SchemeBuilder::new("CTHR")
-            .scheme("R1", "HRC", &["HR"])
-            .scheme("R2", "HTR", &["HT", "HR"])
-            .scheme("R3", "HTC", &["HT"])
+            .scheme("R1", "HRC", ["HR"])
+            .scheme("R2", "HTR", ["HT", "HR"])
+            .scheme("R3", "HTC", ["HT"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -172,6 +173,6 @@ mod tests {
         let mut sym = SymbolTable::new();
         let w = find_independence_counterexample(&db, &kd, &mut sym, 1)
             .expect("a single-tuple-per-relation counterexample exists");
-        assert!(!is_consistent(&db, &w, kd.full()));
+        assert!(!is_consistent(&db, &w, kd.full(), &Guard::unlimited()).unwrap());
     }
 }

@@ -73,8 +73,8 @@ pub fn split_keys(scheme: &DatabaseScheme, kd: &KeyDeps, subset: &[usize]) -> Ve
 ///
 /// // Example 9: single-attribute keys never split.
 /// let db = SchemeBuilder::new("ABC")
-///     .scheme("R1", "AB", &["A", "B"])
-///     .scheme("R2", "BC", &["B", "C"])
+///     .scheme("R1", "AB", ["A", "B"])
+///     .scheme("R2", "BC", ["B", "C"])
 ///     .build()
 ///     .unwrap();
 /// let kd = KeyDeps::of(&db);
@@ -133,11 +133,11 @@ mod tests {
     /// split in R1⁺, R2⁺ and R5⁺; R3 and R4 are split-free.
     fn example8() -> DatabaseScheme {
         SchemeBuilder::new("ABCD")
-            .scheme("R1", "AC", &["A"])
-            .scheme("R2", "AB", &["A"])
-            .scheme("R3", "ABC", &["A", "BC"])
-            .scheme("R4", "BCD", &["BC", "D"])
-            .scheme("R5", "AD", &["A", "D"])
+            .scheme("R1", "AC", ["A"])
+            .scheme("R2", "AB", ["A"])
+            .scheme("R3", "ABC", ["A", "BC"])
+            .scheme("R4", "BCD", ["BC", "D"])
+            .scheme("R5", "AD", ["A", "D"])
             .build()
             .unwrap()
     }
@@ -160,10 +160,10 @@ mod tests {
     fn example9_split_free() {
         // Example 9: chain with single-attribute keys is split-free.
         let db = SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "CD", &["C", "D"])
-            .scheme("R4", "DE", &["D", "E"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "CD", ["C", "D"])
+            .scheme("R4", "DE", ["D", "E"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -176,13 +176,13 @@ mod tests {
         // Examples 4/5: the 7-scheme key-equivalent R is not ctm because
         // key BC splits.
         let db = SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AE", &["A", "E"])
-            .scheme("R4", "EB", &["E"])
-            .scheme("R5", "EC", &["E"])
-            .scheme("R6", "BCD", &["BC", "D"])
-            .scheme("R7", "DA", &["D", "A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AE", ["A", "E"])
+            .scheme("R4", "EB", ["E"])
+            .scheme("R5", "EC", ["E"])
+            .scheme("R6", "BCD", ["BC", "D"])
+            .scheme("R7", "DA", ["D", "A"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -195,8 +195,8 @@ mod tests {
     #[test]
     fn chase_oracle_agrees_on_paper_examples() {
         let chain = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
             .build()
             .unwrap();
         for db in [example8(), chain] {
@@ -213,9 +213,9 @@ mod tests {
     fn example10_scheme_is_split_free() {
         // Example 10: S = {AB, BC, AC} with all-singleton keys.
         let db = SchemeBuilder::new("ABC")
-            .scheme("S1", "AB", &["A", "B"])
-            .scheme("S2", "BC", &["B", "C"])
-            .scheme("S3", "AC", &["A", "C"])
+            .scheme("S1", "AB", ["A", "B"])
+            .scheme("S2", "BC", ["B", "C"])
+            .scheme("S3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);

@@ -17,6 +17,7 @@ use idr_core::maintain::{algorithm2, algorithm5, IrMaintainer, StateIndex};
 use idr_core::query::ir_total_projection;
 use idr_core::recognition::{is_ir_partition, recognize};
 use idr_fd::KeyDeps;
+use idr_relation::exec::{Guard, RetryPolicy};
 use idr_relation::{AttrSet, DatabaseScheme, SymbolTable, Tuple};
 use idr_workload::generators;
 use idr_workload::states::{generate, WorkloadConfig};
@@ -32,6 +33,14 @@ fn families() -> Vec<(&'static str, DatabaseScheme)> {
         ("example6", idr_workload::fixtures::example6().scheme),
         ("example11", idr_workload::fixtures::example11().scheme),
     ]
+}
+
+fn g() -> Guard {
+    Guard::unlimited()
+}
+
+fn rp() -> RetryPolicy {
+    RetryPolicy::none()
 }
 
 fn cfg(seed: u64) -> WorkloadConfig {
@@ -57,16 +66,18 @@ fn algorithm1_matches_chase_consistency_and_tuples() {
             // The generated base state is consistent by construction;
             // both deciders must agree.
             assert!(
-                idr_chase::is_consistent(&db, &w.state, kd.full()),
+                idr_chase::is_consistent(&db, &w.state, kd.full(), &g()).unwrap(),
                 "{name}/{seed}: oracle rejects the generated state"
             );
             assert!(
-                IrMaintainer::state_consistent(&db, &ir, &w.state),
+                IrMaintainer::state_consistent(&db, &ir, &w.state, &g()).unwrap(),
                 "{name}/{seed}: Algorithm 1 rejects a consistent state"
             );
             // Per-block rep tuples = constant components of chased rows.
             let rep_oracle =
-                idr_chase::representative_instance(&db, &w.state, kd.full()).unwrap();
+                idr_chase::representative_instance(&db, &w.state, kd.full(), &g())
+                .unwrap()
+                .expect("consistent state has a representative instance");
             let mut oracle_tuples: Vec<Tuple> = rep_oracle
                 .tableau
                 .rows()
@@ -75,7 +86,7 @@ fn algorithm1_matches_chase_consistency_and_tuples() {
                 .collect();
             oracle_tuples.sort();
             oracle_tuples.dedup();
-            let m = IrMaintainer::new(&db, &ir, &w.state).unwrap();
+            let m = IrMaintainer::new(&db, &ir, &w.state, &g()).unwrap();
             let mut fast_tuples: Vec<Tuple> =
                 m.reps().iter().flat_map(|r| r.iter().cloned()).collect();
             fast_tuples.sort();
@@ -116,13 +127,14 @@ fn algorithm2_matches_chase_on_inserts() {
         for seed in 0..4u64 {
             let mut sym = SymbolTable::new();
             let w = generate(&db, &mut sym, cfg(seed));
-            let maintainer = IrMaintainer::new(&db, &ir, &w.state).unwrap();
+            let maintainer = IrMaintainer::new(&db, &ir, &w.state, &g()).unwrap();
             for (i, t) in &w.inserts {
                 let b = ir.block_of[*i];
-                let (outcome, _) = algorithm2(&db, &maintainer.reps()[b], *i, t);
+                let (outcome, _) =
+                    algorithm2(&db, &maintainer.reps()[b], *i, t, &g(), &rp()).unwrap();
                 let mut updated = w.state.clone();
                 updated.insert(*i, t.clone()).unwrap();
-                let oracle = idr_chase::is_consistent(&db, &updated, kd.full());
+                let oracle = idr_chase::is_consistent(&db, &updated, kd.full(), &g()).unwrap();
                 assert_eq!(
                     outcome.is_consistent(),
                     oracle,
@@ -151,10 +163,10 @@ fn algorithm5_matches_chase_on_split_free_schemes() {
             for (i, t) in &w.inserts {
                 let b = ir.block_of[*i];
                 let idx = StateIndex::build(&db, &ir.partition[b], &w.state).unwrap();
-                let (outcome, _) = algorithm5(&db, &idx, *i, t);
+                let (outcome, _) = algorithm5(&db, &idx, *i, t, &g(), &rp()).unwrap();
                 let mut updated = w.state.clone();
                 updated.insert(*i, t.clone()).unwrap();
-                let oracle = idr_chase::is_consistent(&db, &updated, kd.full());
+                let oracle = idr_chase::is_consistent(&db, &updated, kd.full(), &g()).unwrap();
                 assert_eq!(
                     outcome.is_consistent(),
                     oracle,
@@ -185,8 +197,10 @@ fn total_projection_expressions_match_chase() {
         let mut sym = SymbolTable::new();
         let w = generate(&db, &mut sym, cfg(7));
         for x in targets {
-            let fast = ir_total_projection(&db, &kd, &ir, &w.state, x).unwrap();
-            let oracle = idr_chase::total_projection(&db, &w.state, kd.full(), x).unwrap();
+            let fast = ir_total_projection(&db, &kd, &ir, &w.state, x, &g()).unwrap();
+            let oracle = idr_chase::total_projection(&db, &w.state, kd.full(), x, &g())
+                .unwrap()
+                .expect("consistent state");
             assert_eq!(
                 fast.sorted_tuples(),
                 oracle,
@@ -227,15 +241,15 @@ fn maintainers_stay_in_sync_over_insert_streams() {
         let ir = recognize(&db, &kd).accepted().unwrap();
         let mut sym = SymbolTable::new();
         let w = generate(&db, &mut sym, cfg(11));
-        let mut maintainer = IrMaintainer::new(&db, &ir, &w.state).unwrap();
+        let mut maintainer = IrMaintainer::new(&db, &ir, &w.state, &g()).unwrap();
         let mut applied = w.state.clone();
         for (i, t) in &w.inserts {
-            let (outcome, _) = maintainer.insert(*i, t.clone());
+            let (outcome, _) = maintainer.insert(*i, t.clone(), &g(), &rp()).unwrap();
             if outcome.is_consistent() {
                 applied.insert(*i, t.clone()).unwrap();
             }
         }
-        let rebuilt = IrMaintainer::new(&db, &ir, &applied).unwrap();
+        let rebuilt = IrMaintainer::new(&db, &ir, &applied, &g()).unwrap();
         let collect = |m: &IrMaintainer| {
             let mut v: Vec<Tuple> = m.reps().iter().flat_map(|r| r.iter().cloned()).collect();
             v.sort();
@@ -264,11 +278,11 @@ fn ctm_maintainer_agrees_with_ir_maintainer_on_split_free_schemes() {
         }
         let mut sym = SymbolTable::new();
         let w = generate(&db, &mut sym, cfg(13));
-        let mut a2 = IrMaintainer::new(&db, &ir, &w.state).unwrap();
-        let mut a5 = CtmMaintainer::new(&db, &ir, &w.state).unwrap();
+        let mut a2 = IrMaintainer::new(&db, &ir, &w.state, &g()).unwrap();
+        let mut a5 = CtmMaintainer::new(&db, &ir, &w.state, &g()).unwrap();
         for (i, t) in &w.inserts {
-            let v2 = a2.insert(*i, t.clone()).0.is_consistent();
-            let v5 = a5.insert(*i, t.clone()).0.is_consistent();
+            let v2 = a2.insert(*i, t.clone(), &g(), &rp()).unwrap().0.is_consistent();
+            let v5 = a5.insert(*i, t.clone(), &g(), &rp()).unwrap().0.is_consistent();
             assert_eq!(v2, v5, "{name}: Algorithms 2 and 5 disagree on {t:?}");
         }
     }
@@ -284,10 +298,10 @@ fn rep_based_projection_matches_expression_and_chase() {
         let ir = recognize(&db, &kd).accepted().unwrap();
         let mut sym = SymbolTable::new();
         let w = generate(&db, &mut sym, cfg(17));
-        let mut m = idr_core::maintain::IrMaintainer::new(&db, &ir, &w.state).unwrap();
+        let mut m = idr_core::maintain::IrMaintainer::new(&db, &ir, &w.state, &g()).unwrap();
         let mut applied = w.state.clone();
         for (i, t) in &w.inserts {
-            if m.insert(*i, t.clone()).0.is_consistent() {
+            if m.insert(*i, t.clone(), &g(), &rp()).unwrap().0.is_consistent() {
                 applied.insert(*i, t.clone()).unwrap();
             }
         }
@@ -295,12 +309,13 @@ fn rep_based_projection_matches_expression_and_chase() {
         let attrs: Vec<_> = db.universe().iter().collect();
         targets.push(AttrSet::from_iter([attrs[0], attrs[attrs.len() - 1]]));
         for x in targets {
-            let via_rep = m.total_projection(&kd, x);
-            let via_expr = ir_total_projection(&db, &kd, &ir, &applied, x)
+            let via_rep = m.total_projection(&kd, x, &g()).unwrap();
+            let via_expr = ir_total_projection(&db, &kd, &ir, &applied, x, &g())
                 .unwrap()
                 .sorted_tuples();
-            let via_chase =
-                idr_chase::total_projection(&db, &applied, kd.full(), x).unwrap();
+            let via_chase = idr_chase::total_projection(&db, &applied, kd.full(), x, &g())
+                .unwrap()
+                .expect("consistent state");
             assert_eq!(via_rep, via_chase, "{name}: rep-based [X] differs from chase");
             assert_eq!(via_expr, via_chase, "{name}: expression [X] differs from chase");
         }
@@ -316,15 +331,19 @@ fn total_projections_are_monotone_under_consistent_inserts() {
         let ir = recognize(&db, &kd).accepted().unwrap();
         let mut sym = SymbolTable::new();
         let w = generate(&db, &mut sym, cfg(23));
-        let mut m = idr_core::maintain::IrMaintainer::new(&db, &ir, &w.state).unwrap();
+        let mut m = idr_core::maintain::IrMaintainer::new(&db, &ir, &w.state, &g()).unwrap();
         let x = db.universe().all();
         let mut applied = w.state.clone();
-        let mut before = idr_chase::total_projection(&db, &applied, kd.full(), x).unwrap();
+        let mut before = idr_chase::total_projection(&db, &applied, kd.full(), x, &g())
+        .unwrap()
+        .expect("consistent state");
         for (i, t) in w.inserts.iter().take(10) {
-            if m.insert(*i, t.clone()).0.is_consistent() {
+            if m.insert(*i, t.clone(), &g(), &rp()).unwrap().0.is_consistent() {
                 applied.insert(*i, t.clone()).unwrap();
                 let after =
-                    idr_chase::total_projection(&db, &applied, kd.full(), x).unwrap();
+                    idr_chase::total_projection(&db, &applied, kd.full(), x, &g())
+                        .unwrap()
+                        .expect("consistent state");
                 for old in &before {
                     assert!(
                         after.contains(old),

@@ -21,12 +21,21 @@ use idr_core::maintain::{algorithm2, algorithm5, IrMaintainer, StateIndex};
 use idr_core::recognition::{is_ir_partition, recognize};
 use idr_core::split::{is_split_free, split_keys, split_keys_via_chase};
 use idr_fd::KeyDeps;
+use idr_relation::exec::{Guard, RetryPolicy};
 use idr_relation::rng::SplitMix64;
 use idr_relation::DatabaseScheme;
 use idr_workload::generators::random_scheme;
 use idr_workload::states::{generate, WorkloadConfig};
 
 const CASES: usize = 128;
+
+fn g() -> Guard {
+    Guard::unlimited()
+}
+
+fn rp() -> RetryPolicy {
+    RetryPolicy::none()
+}
 
 /// Draws random schemes until the generator converges (it bails on
 /// degenerate draws), so every case gets a scheme.
@@ -154,8 +163,8 @@ fn kerep_is_confluent_under_input_order() {
             w.state.iter_all().map(|(_, t)| t.clone()).collect();
         let mut shuffled = tuples.clone();
         rng.shuffle(&mut shuffled);
-        let r1 = idr_core::KeRep::build(&keys, tuples).unwrap();
-        let r2 = idr_core::KeRep::build(&keys, shuffled).unwrap();
+        let r1 = idr_core::KeRep::build(&keys, tuples, &g()).unwrap();
+        let r2 = idr_core::KeRep::build(&keys, shuffled, &g()).unwrap();
         let collect = |r: &idr_core::KeRep| {
             let mut v: Vec<idr_relation::Tuple> = r.iter().cloned().collect();
             v.sort();
@@ -189,14 +198,14 @@ fn algorithm2_matches_chase_on_random_schemes() {
         );
         // The generated state is consistent by construction; Algorithm 1
         // must accept it.
-        let m = IrMaintainer::new(&db, &ir, &w.state)
+        let m = IrMaintainer::new(&db, &ir, &w.state, &g())
             .unwrap_or_else(|_| panic!("case {case}: Algorithm 1 rejected a consistent state"));
         for (i, t) in &w.inserts {
             let b = ir.block_of[*i];
-            let (outcome, _) = algorithm2(&db, &m.reps()[b], *i, t);
+            let (outcome, _) = algorithm2(&db, &m.reps()[b], *i, t, &g(), &rp()).unwrap();
             let mut updated = w.state.clone();
             updated.insert(*i, t.clone()).unwrap();
-            let oracle = idr_chase::is_consistent(&db, &updated, kd.full());
+            let oracle = idr_chase::is_consistent(&db, &updated, kd.full(), &g()).unwrap();
             assert_eq!(
                 outcome.is_consistent(),
                 oracle,
@@ -235,10 +244,10 @@ fn algorithm5_matches_chase_on_random_split_free_schemes() {
             let b = ir.block_of[*i];
             let idx = StateIndex::build(&db, &ir.partition[b], &w.state)
                 .expect("generated states are locally consistent");
-            let (outcome, _) = algorithm5(&db, &idx, *i, t);
+            let (outcome, _) = algorithm5(&db, &idx, *i, t, &g(), &rp()).unwrap();
             let mut updated = w.state.clone();
             updated.insert(*i, t.clone()).unwrap();
-            let oracle = idr_chase::is_consistent(&db, &updated, kd.full());
+            let oracle = idr_chase::is_consistent(&db, &updated, kd.full(), &g()).unwrap();
             assert_eq!(
                 outcome.is_consistent(),
                 oracle,
@@ -272,9 +281,11 @@ fn total_projection_matches_chase_on_random_schemes() {
         );
         for s in db.schemes().iter().take(3) {
             let x = s.attrs();
-            let fast =
-                idr_core::query::ir_total_projection(&db, &kd, &ir, &w.state, x).unwrap();
-            let oracle = idr_chase::total_projection(&db, &w.state, kd.full(), x).unwrap();
+            let fast = idr_core::query::ir_total_projection(&db, &kd, &ir, &w.state, x, &g())
+                .unwrap();
+            let oracle = idr_chase::total_projection(&db, &w.state, kd.full(), x, &g())
+                .unwrap()
+                .expect("generated states are consistent");
             assert_eq!(fast.sorted_tuples(), oracle, "case {case}: X = {x:?}");
         }
     }

@@ -70,6 +70,58 @@ impl fmt::Display for FdParseError {
 
 impl std::error::Error for FdParseError {}
 
+/// The canonical single-character universe `A`–`Z` used by the [`FromStr`]
+/// impls — attribute `A` has index 0, `B` index 1, and so on. Parsing
+/// against a bespoke universe goes through [`FdSet::try_parse`].
+fn canonical_universe() -> Universe {
+    Universe::of_chars("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+}
+
+impl std::str::FromStr for Fd {
+    type Err = FdParseError;
+
+    /// Parses one fd in the paper's notation (`"AB->C"`) over the
+    /// canonical alphabetical universe `A`–`Z` (attribute `A` = index 0).
+    /// Use [`FdSet::try_parse`] to parse against a specific [`Universe`].
+    ///
+    /// ```
+    /// use idr_fd::Fd;
+    ///
+    /// let fd: Fd = "AB->C".parse().unwrap();
+    /// assert_eq!(fd.lhs.len(), 2);
+    /// assert!("A->B, B->C".parse::<Fd>().is_err()); // one fd only
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let set = FdSet::try_parse(&canonical_universe(), s)?;
+        match set.fds() {
+            [fd] => Ok(*fd),
+            fds => Err(FdParseError {
+                fragment: s.trim().to_string(),
+                reason: format!("expected exactly one fd, found {}", fds.len()),
+            }),
+        }
+    }
+}
+
+impl std::str::FromStr for FdSet {
+    type Err = FdParseError;
+
+    /// Parses a comma-separated fd list (`"A->B, BC->D"`) over the
+    /// canonical alphabetical universe `A`–`Z` (attribute `A` = index 0).
+    /// Use [`FdSet::try_parse`] to parse against a specific [`Universe`].
+    ///
+    /// ```
+    /// use idr_fd::FdSet;
+    ///
+    /// let f: FdSet = "A->B, B->C".parse().unwrap();
+    /// assert_eq!(f.len(), 2);
+    /// assert!("A=>B".parse::<FdSet>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FdSet::try_parse(&canonical_universe(), s)
+    }
+}
+
 /// A finite set of functional dependencies with an indexed closure
 /// algorithm.
 ///
@@ -303,6 +355,23 @@ impl FdSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_str_uses_canonical_universe() {
+        let fd: Fd = " AB -> C ".parse().unwrap();
+        let u = canonical_universe();
+        assert_eq!(fd.lhs, u.set_of("AB"));
+        assert_eq!(fd.rhs, u.set_of("C"));
+        // Errors reuse FdParseError verbatim.
+        let err = "A=>B".parse::<Fd>().unwrap_err();
+        assert!(err.reason.contains("LHS->RHS"), "{err}");
+        let err = "A->B, B->C".parse::<Fd>().unwrap_err();
+        assert!(err.reason.contains("exactly one"), "{err}");
+        let set: FdSet = "A->B, B->C".parse().unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set, FdSet::parse(&u, "A->B, B->C"));
+        assert!("a->b".parse::<FdSet>().is_err());
+    }
 
     #[test]
     fn closure_basic_chain() {

@@ -79,9 +79,9 @@ mod tests {
 
     fn example3() -> DatabaseScheme {
         SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap()
     }
@@ -133,7 +133,7 @@ mod tests {
         // A scheme whose only key is the whole scheme embeds only trivial
         // key dependencies.
         let db = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["AB"])
+            .scheme("R1", "AB", ["AB"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);

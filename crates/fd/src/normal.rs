@@ -89,8 +89,8 @@ mod tests {
     #[test]
     fn bcnf_positive() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -114,9 +114,9 @@ mod tests {
     fn uniqueness_holds_for_example1_s() {
         // Example 1's scheme S = {S1(HRCT), S2(CSG), S3(HSR)}: independent.
         let db = SchemeBuilder::new("CTHRSG")
-            .scheme("S1", "HRCT", &["HR", "HT"])
-            .scheme("S2", "CSG", &["CS"])
-            .scheme("S3", "HSR", &["HS"])
+            .scheme("S1", "HRCT", ["HR", "HT"])
+            .scheme("S2", "CSG", ["CS"])
+            .scheme("S3", "HSR", ["HS"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -127,11 +127,11 @@ mod tests {
     fn uniqueness_fails_for_example1_r() {
         // Example 1's scheme R is *not* independent.
         let db = SchemeBuilder::new("CTHRSG")
-            .scheme("R1", "HRC", &["HR"])
-            .scheme("R2", "HTR", &["HT", "HR"])
-            .scheme("R3", "HTC", &["HT"])
-            .scheme("R4", "CSG", &["CS"])
-            .scheme("R5", "HSR", &["HS"])
+            .scheme("R1", "HRC", ["HR"])
+            .scheme("R2", "HTR", ["HT", "HR"])
+            .scheme("R3", "HTC", ["HT"])
+            .scheme("R4", "CSG", ["CS"])
+            .scheme("R5", "HSR", ["HS"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -143,9 +143,9 @@ mod tests {
         // Example 3: {AB, BC, AC} with all singletons keys — key-equivalent
         // but not independent.
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -155,8 +155,8 @@ mod tests {
     #[test]
     fn trivially_independent_disjoint_schemes() {
         let db = SchemeBuilder::new("ABCD")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "CD", &["C"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "CD", ["C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);
@@ -166,9 +166,9 @@ mod tests {
     #[test]
     fn uniqueness_violation_reports_pair() {
         let db = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap();
         let kd = KeyDeps::of(&db);

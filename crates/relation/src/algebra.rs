@@ -208,8 +208,8 @@ mod tests {
 
     fn setup() -> (DatabaseScheme, SymbolTable, DatabaseState) {
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();

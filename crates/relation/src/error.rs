@@ -38,6 +38,14 @@ pub enum RelationError {
     SelectionNotContained,
     /// An expression referenced a relation index outside the state.
     UnknownRelation(usize),
+    /// A scheme declaration used an attribute character that is not in the
+    /// universe.
+    UnknownAttribute {
+        /// Name of the offending relation scheme.
+        scheme: String,
+        /// The unknown attribute character.
+        attr: char,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -78,6 +86,12 @@ impl fmt::Display for RelationError {
             }
             RelationError::UnknownRelation(i) => {
                 write!(f, "expression references unknown relation index {i}")
+            }
+            RelationError::UnknownAttribute { scheme, attr } => {
+                write!(
+                    f,
+                    "relation scheme {scheme} uses attribute {attr:?} which is not in the universe"
+                )
             }
         }
     }

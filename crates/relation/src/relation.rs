@@ -49,6 +49,18 @@ impl Relation {
         Ok(true)
     }
 
+    /// Removes a tuple; returns `true` if it was present. Insertion order
+    /// of the remaining tuples is preserved.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if !self.seen.remove(t) {
+            return false;
+        }
+        if let Some(pos) = self.tuples.iter().position(|u| u == t) {
+            self.tuples.remove(pos);
+        }
+        true
+    }
+
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
         self.seen.contains(t)

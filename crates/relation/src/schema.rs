@@ -162,9 +162,9 @@ impl DatabaseScheme {
 ///
 /// // Example 3 of the paper.
 /// let db = SchemeBuilder::new("ABC")
-///     .scheme("R1", "AB", &["A", "B"])
-///     .scheme("R2", "BC", &["B", "C"])
-///     .scheme("R3", "AC", &["A", "C"])
+///     .scheme("R1", "AB", ["A", "B"])
+///     .scheme("R2", "BC", ["B", "C"])
+///     .scheme("R3", "AC", ["A", "C"])
 ///     .build()
 ///     .unwrap();
 /// assert_eq!(db.len(), 3);
@@ -184,22 +184,42 @@ impl SchemeBuilder {
     }
 
     /// Adds a relation scheme: attributes and each key given as character
-    /// strings (`"HRC"`, keys `["HR"]`).
-    pub fn scheme(mut self, name: &str, attrs: &str, keys: &[&str]) -> Self {
+    /// strings (`"HRC"`, keys `["HR"]`). Keys accept any iterable of
+    /// string-likes — `&["HR"]`, `vec![String::from("HR")]`, or an
+    /// iterator.
+    pub fn scheme(
+        mut self,
+        name: &str,
+        attrs: &str,
+        keys: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> Self {
         self.schemes.push((
             name.to_string(),
             attrs.to_string(),
-            keys.iter().map(|k| k.to_string()).collect(),
+            keys.into_iter().map(|k| k.as_ref().to_string()).collect(),
         ));
         self
     }
 
-    /// Finalises the database scheme.
+    /// Finalises the database scheme. Errors name the offending scheme:
+    /// unknown attribute characters surface as
+    /// [`RelationError::UnknownAttribute`] rather than a panic.
     pub fn build(self) -> Result<DatabaseScheme, RelationError> {
         let mut schemes = Vec::new();
         for (name, attrs, keys) in &self.schemes {
-            let a = self.universe.set_of(attrs);
-            let ks = keys.iter().map(|k| self.universe.set_of(k)).collect();
+            let set_of = |chars: &str| {
+                self.universe
+                    .try_set_of(chars)
+                    .map_err(|attr| RelationError::UnknownAttribute {
+                        scheme: name.clone(),
+                        attr,
+                    })
+            };
+            let a = set_of(attrs)?;
+            let ks = keys
+                .iter()
+                .map(|k| set_of(k))
+                .collect::<Result<Vec<_>, _>>()?;
             schemes.push(RelationScheme::new(name.clone(), a, ks)?);
         }
         DatabaseScheme::new(self.universe, schemes)
@@ -214,11 +234,11 @@ mod tests {
     fn builder_builds_example_1() {
         // Example 1: university database.
         let db = SchemeBuilder::new("CTHRSG")
-            .scheme("R1", "HRC", &["HR"])
-            .scheme("R2", "HTR", &["HT", "HR"])
-            .scheme("R3", "HTC", &["HT"])
-            .scheme("R4", "CSG", &["CS"])
-            .scheme("R5", "HSR", &["HS"])
+            .scheme("R1", "HRC", ["HR"])
+            .scheme("R2", "HTR", ["HT", "HR"])
+            .scheme("R3", "HTC", ["HT"])
+            .scheme("R4", "CSG", ["CS"])
+            .scheme("R5", "HSR", ["HS"])
             .build()
             .unwrap();
         assert_eq!(db.len(), 5);
@@ -244,7 +264,7 @@ mod tests {
     #[test]
     fn cover_must_be_complete() {
         let err = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
+            .scheme("R1", "AB", ["A"])
             .build();
         assert!(matches!(err, Err(RelationError::IncompleteCover)));
     }
@@ -252,17 +272,53 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let err = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R1", "AB", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R1", "AB", ["B"])
             .build();
         assert!(matches!(err, Err(RelationError::DuplicateScheme(_))));
     }
 
     #[test]
+    fn builder_accepts_any_key_iterable() {
+        let owned: Vec<String> = vec!["A".into()];
+        let db = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", owned)
+            .scheme("R2", "AB", ["A", "B"].iter().filter(|k| **k == "B"))
+            .build()
+            .unwrap();
+        assert_eq!(db.scheme(0).keys(), &[db.universe().set_of("A")]);
+        assert_eq!(db.scheme(1).keys(), &[db.universe().set_of("B")]);
+    }
+
+    #[test]
+    fn builder_errors_name_the_offending_scheme() {
+        let err = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AX", ["A"])
+            .build()
+            .unwrap_err();
+        match err {
+            RelationError::UnknownAttribute { scheme, attr } => {
+                assert_eq!(scheme, "R2");
+                assert_eq!(attr, 'X');
+            }
+            other => panic!("expected UnknownAttribute, got {other:?}"),
+        }
+        let err = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", ["AX"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RelationError::UnknownAttribute { attr: 'X', .. }
+        ));
+    }
+
+    #[test]
     fn all_keys_deduplicates() {
         let db = SchemeBuilder::new("AB")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AB", &["A", "B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AB", ["A", "B"])
             .build()
             .unwrap();
         let keys = db.all_keys();

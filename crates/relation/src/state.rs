@@ -41,6 +41,15 @@ impl DatabaseState {
             .insert(t)
     }
 
+    /// Removes a tuple from relation `i`; returns `true` if it was present.
+    pub fn remove(&mut self, i: usize, t: &Tuple) -> Result<bool, RelationError> {
+        Ok(self
+            .relations
+            .get_mut(i)
+            .ok_or(RelationError::UnknownRelation(i))?
+            .remove(t))
+    }
+
     /// Total number of tuples in the state.
     pub fn total_tuples(&self) -> usize {
         self.relations.iter().map(Relation::len).sum()
@@ -131,8 +140,8 @@ mod tests {
 
     fn db() -> DatabaseScheme {
         SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "BC", &["B"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
             .build()
             .unwrap()
     }

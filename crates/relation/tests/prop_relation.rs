@@ -198,8 +198,8 @@ mod algebra_laws {
         rows2: &[(usize, usize)],
     ) -> (idr_relation::DatabaseScheme, SymbolTable, DatabaseState) {
         let scheme = SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "BC", &["BC"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["BC"])
             .build()
             .unwrap();
         let mut sym = SymbolTable::new();

@@ -47,11 +47,11 @@ pub fn example1_r() -> Fixture {
     Fixture {
         name: "example1_r",
         scheme: SchemeBuilder::new("CTHRSG")
-            .scheme("R1", "HRC", &["HR"])
-            .scheme("R2", "HTR", &["HT", "HR"])
-            .scheme("R3", "HTC", &["HT"])
-            .scheme("R4", "CSG", &["CS"])
-            .scheme("R5", "HSR", &["HS"])
+            .scheme("R1", "HRC", ["HR"])
+            .scheme("R2", "HTR", ["HT", "HR"])
+            .scheme("R3", "HTC", ["HT"])
+            .scheme("R4", "CSG", ["CS"])
+            .scheme("R5", "HSR", ["HS"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -71,9 +71,9 @@ pub fn example1_s() -> Fixture {
     Fixture {
         name: "example1_s",
         scheme: SchemeBuilder::new("CTHRSG")
-            .scheme("S1", "HRCT", &["HR", "HT"])
-            .scheme("S2", "CSG", &["CS"])
-            .scheme("S3", "HSR", &["HS"])
+            .scheme("S1", "HRCT", ["HR", "HT"])
+            .scheme("S2", "CSG", ["CS"])
+            .scheme("S3", "HSR", ["HS"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -91,9 +91,9 @@ pub fn example2() -> Fixture {
     Fixture {
         name: "example2",
         scheme: SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "BC", &["B"])
-            .scheme("R3", "AC", &["A"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -110,9 +110,9 @@ pub fn example3() -> Fixture {
     Fixture {
         name: "example3",
         scheme: SchemeBuilder::new("ABC")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -134,13 +134,13 @@ pub fn example4() -> Fixture {
     Fixture {
         name: "example4",
         scheme: SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AE", &["A", "E"])
-            .scheme("R4", "EB", &["E"])
-            .scheme("R5", "EC", &["E"])
-            .scheme("R6", "BCD", &["BC", "D"])
-            .scheme("R7", "DA", &["D", "A"])
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AE", ["A", "E"])
+            .scheme("R4", "EB", ["E"])
+            .scheme("R5", "EC", ["E"])
+            .scheme("R6", "BCD", ["BC", "D"])
+            .scheme("R7", "DA", ["D", "A"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -161,12 +161,12 @@ pub fn example6() -> Fixture {
     Fixture {
         name: "example6",
         scheme: SchemeBuilder::new("ABCDE")
-            .scheme("R1", "ABE", &["A", "B", "E"])
-            .scheme("R2", "AC", &["A"])
-            .scheme("R3", "AD", &["A"])
-            .scheme("R4", "BC", &["B"])
-            .scheme("R5", "BD", &["B"])
-            .scheme("R6", "CDE", &["CD", "E"])
+            .scheme("R1", "ABE", ["A", "B", "E"])
+            .scheme("R2", "AC", ["A"])
+            .scheme("R3", "AD", ["A"])
+            .scheme("R4", "BC", ["B"])
+            .scheme("R5", "BD", ["B"])
+            .scheme("R6", "CDE", ["CD", "E"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -184,11 +184,11 @@ pub fn example8() -> Fixture {
     Fixture {
         name: "example8",
         scheme: SchemeBuilder::new("ABCD")
-            .scheme("R1", "AC", &["A"])
-            .scheme("R2", "AB", &["A"])
-            .scheme("R3", "ABC", &["A", "BC"])
-            .scheme("R4", "BCD", &["BC", "D"])
-            .scheme("R5", "AD", &["A", "D"])
+            .scheme("R1", "AC", ["A"])
+            .scheme("R2", "AB", ["A"])
+            .scheme("R3", "ABC", ["A", "BC"])
+            .scheme("R4", "BCD", ["BC", "D"])
+            .scheme("R5", "AD", ["A", "D"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -204,10 +204,10 @@ pub fn example9() -> Fixture {
     Fixture {
         name: "example9",
         scheme: SchemeBuilder::new("ABCDE")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "CD", &["C", "D"])
-            .scheme("R4", "DE", &["D", "E"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "CD", ["C", "D"])
+            .scheme("R4", "DE", ["D", "E"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -225,9 +225,9 @@ pub fn example10() -> Fixture {
     Fixture {
         name: "example10",
         scheme: SchemeBuilder::new("ABC")
-            .scheme("S1", "AB", &["A", "B"])
-            .scheme("S2", "BC", &["B", "C"])
-            .scheme("S3", "AC", &["A", "C"])
+            .scheme("S1", "AB", ["A", "B"])
+            .scheme("S2", "BC", ["B", "C"])
+            .scheme("S3", "AC", ["A", "C"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -246,12 +246,12 @@ pub fn example11() -> Fixture {
     Fixture {
         name: "example11",
         scheme: SchemeBuilder::new("ABCDEFG")
-            .scheme("R1", "AB", &["A", "B"])
-            .scheme("R2", "BC", &["B", "C"])
-            .scheme("R3", "AC", &["A", "C"])
-            .scheme("R4", "AD", &["A"])
-            .scheme("R5", "DEF", &["D"])
-            .scheme("R6", "DEG", &["D"])
+            .scheme("R1", "AB", ["A", "B"])
+            .scheme("R2", "BC", ["B", "C"])
+            .scheme("R3", "AC", ["A", "C"])
+            .scheme("R4", "AD", ["A"])
+            .scheme("R5", "DEF", ["D"])
+            .scheme("R6", "DEG", ["D"])
             .build()
             .unwrap(),
         expect: Expectations {
@@ -271,14 +271,14 @@ pub fn example13() -> Fixture {
     Fixture {
         name: "example13",
         scheme: SchemeBuilder::new("ABCDEF")
-            .scheme("R1", "AB", &["AB"])
-            .scheme("R2", "CD", &["CD"])
-            .scheme("R3", "ABC", &["AB"])
-            .scheme("R4", "ABD", &["AB"])
-            .scheme("R5", "CDE", &["CD", "E"])
-            .scheme("R6", "EA", &["E"])
-            .scheme("R7", "EF", &["E"])
-            .scheme("R8", "FB", &["F"])
+            .scheme("R1", "AB", ["AB"])
+            .scheme("R2", "CD", ["CD"])
+            .scheme("R3", "ABC", ["AB"])
+            .scheme("R4", "ABD", ["AB"])
+            .scheme("R5", "CDE", ["CD", "E"])
+            .scheme("R6", "EA", ["E"])
+            .scheme("R7", "EF", ["E"])
+            .scheme("R8", "FB", ["F"])
             .build()
             .unwrap(),
         expect: Expectations::default(),

@@ -200,9 +200,9 @@ pub fn block_chain_scheme(b: usize, m: usize) -> DatabaseScheme {
 /// rejected by Algorithm 6 and provably not algebraic-maintainable.
 pub fn example2_scheme() -> DatabaseScheme {
     idr_relation::SchemeBuilder::new("ABC")
-        .scheme("R1", "AB", &["AB"])
-        .scheme("R2", "BC", &["B"])
-        .scheme("R3", "AC", &["A"])
+        .scheme("R1", "AB", ["AB"])
+        .scheme("R2", "BC", ["B"])
+        .scheme("R3", "AC", ["A"])
         .build()
         .unwrap()
 }

@@ -28,9 +28,9 @@ fn main() {
 fn example10_trace() {
     println!("== Example 10: Algorithm 5 on a split-free scheme ==");
     let db = SchemeBuilder::new("ABC")
-        .scheme("S1", "AB", &["A", "B"])
-        .scheme("S2", "BC", &["B", "C"])
-        .scheme("S3", "AC", &["A", "C"])
+        .scheme("S1", "AB", ["A", "B"])
+        .scheme("S2", "BC", ["B", "C"])
+        .scheme("S3", "AC", ["A", "C"])
         .build()
         .unwrap();
     let mut sym = SymbolTable::new();
@@ -52,7 +52,9 @@ fn example10_trace() {
     println!("  state: s1={{<a,b>}}, s2={{<b,c>}}, s3=∅");
     println!("  insert <a, c'> into S3:");
     println!("    key A extends to <a,b,c> via S1 then S2 (Algorithm 4)");
-    let (outcome, stats) = algorithm5(&db, &idx, 2, &bad);
+    let g = Guard::unlimited();
+    let (outcome, stats) =
+        algorithm5(&db, &idx, 2, &bad, &g, &RetryPolicy::none()).unwrap();
     println!(
         "    <a,c'> ⋈ <a,b,c> = ∅  →  {} ({} lookups, {} keys)",
         if outcome.is_consistent() { "yes" } else { "no" },
@@ -69,13 +71,13 @@ fn example10_trace() {
 fn example7_trace() {
     println!("== Example 7: Algorithm 2 on a split (non-ctm) scheme ==");
     let db = SchemeBuilder::new("ABCDE")
-        .scheme("R1", "AB", &["A"])
-        .scheme("R2", "AC", &["A"])
-        .scheme("R3", "AE", &["A", "E"])
-        .scheme("R4", "EB", &["E"])
-        .scheme("R5", "EC", &["E"])
-        .scheme("R6", "BCD", &["BC", "D"])
-        .scheme("R7", "DA", &["D", "A"])
+        .scheme("R1", "AB", ["A"])
+        .scheme("R2", "AC", ["A"])
+        .scheme("R3", "AE", ["A", "E"])
+        .scheme("R4", "EB", ["E"])
+        .scheme("R5", "EC", ["E"])
+        .scheme("R6", "BCD", ["BC", "D"])
+        .scheme("R7", "DA", ["D", "A"])
         .build()
         .unwrap();
     let c = classify(&db);
@@ -97,7 +99,8 @@ fn example7_trace() {
         ],
     )
     .unwrap();
-    let mut m = IrMaintainer::new(&db, &ir, &state).expect("consistent");
+    let g = Guard::unlimited();
+    let mut m = IrMaintainer::new(&db, &ir, &state, &g).expect("consistent");
     println!("  representative instance (Algorithm 1):");
     for t in m.reps()[0].iter() {
         println!("    {}", t.render(db.universe(), &sym));
@@ -108,7 +111,7 @@ fn example7_trace() {
         (u.attr_of("E"), sym.intern("e")),
     ]);
     println!("  insert <a, e> into R3 (keys A and E of R3 processed):");
-    let (outcome, stats) = m.insert(2, bad);
+    let (outcome, stats) = m.insert(2, bad, &g, &RetryPolicy::none()).unwrap();
     println!(
         "    σ_A=a over the lossless joins returns <a,b,c,e1>; <a,e> ⋈ <a,b,c,e1> = ∅ → {}",
         if outcome.is_consistent() { "yes" } else { "no" }
@@ -139,12 +142,13 @@ fn example2_lower_bound() {
         // The chase is the decision procedure of record here; count its
         // fd-rule applications on the *refuting* run.
         let mut t = independence_reducible::chase::Tableau::of_state(&db, &updated);
-        let err = independence_reducible::chase::chase(&mut t, kd.full());
+        let g = Guard::unlimited();
+        let err = independence_reducible::chase::chase(&mut t, kd.full(), &g);
         assert!(err.is_err(), "the insert is inconsistent");
         // Count rule applications up to failure by re-running on the
         // consistent base state (all of it must be propagated).
         let mut t2 = independence_reducible::chase::Tableau::of_state(&db, &state);
-        let stats = independence_reducible::chase::chase(&mut t2, kd.full()).unwrap();
+        let stats = independence_reducible::chase::chase(&mut t2, kd.full(), &g).unwrap();
         println!(
             "    chain length n = {:>2}: state tuples = {:>3}, fd-rule applications on the base state = {:>3}",
             n,

@@ -19,27 +19,31 @@ fn main() {
 fn example4_ae() {
     println!("== Example 4: [AE] over the key-equivalent 7-scheme R ==");
     let db = SchemeBuilder::new("ABCDE")
-        .scheme("R1", "AB", &["A"])
-        .scheme("R2", "AC", &["A"])
-        .scheme("R3", "AE", &["A", "E"])
-        .scheme("R4", "EB", &["E"])
-        .scheme("R5", "EC", &["E"])
-        .scheme("R6", "BCD", &["BC", "D"])
-        .scheme("R7", "DA", &["D", "A"])
+        .scheme("R1", "AB", ["A"])
+        .scheme("R2", "AC", ["A"])
+        .scheme("R3", "AE", ["A", "E"])
+        .scheme("R4", "EB", ["E"])
+        .scheme("R5", "EC", ["E"])
+        .scheme("R6", "BCD", ["BC", "D"])
+        .scheme("R7", "DA", ["D", "A"])
         .build()
         .unwrap();
-    let kd = KeyDeps::of(&db);
-    let ir = recognize(&db, &kd).accepted().unwrap();
+    let engine = Engine::new(db);
+    let db = engine.scheme();
+    let g = Guard::unlimited();
     let u = db.universe();
     let x = u.set_of("AE");
-    let expr = ir_total_projection_expr(&db, &kd, &ir, x).unwrap();
-    println!("  [AE] = {}", expr.render(&db));
+    let expr = engine
+        .total_projection_expr(x, &g)
+        .unwrap()
+        .expect("AE is coverable");
+    println!("  [AE] = {}", expr.render(db));
 
     // A state where the answer is only derivable through the second
     // disjunct (the four fragment relations).
     let mut sym = SymbolTable::new();
     let state = state_of(
-        &db,
+        db,
         &mut sym,
         &[
             ("R1", &[("A", "a"), ("B", "b")]),
@@ -49,12 +53,14 @@ fn example4_ae() {
         ],
     )
     .unwrap();
-    let fast = expr.eval(&db, &state).unwrap();
+    let fast = expr.eval(db, &state).unwrap();
     println!("  on r = fragments only (no R3 tuple):");
     for t in fast.iter() {
         println!("    {}", t.render(u, &sym));
     }
-    let oracle = total_projection(&db, &state, kd.full(), x).unwrap();
+    let oracle = total_projection(db, &state, engine.key_deps().full(), x, &g)
+        .unwrap()
+        .expect("consistent");
     assert_eq!(fast.sorted_tuples(), oracle);
     println!("  chase agrees ({} tuple).\n", oracle.len());
 }
@@ -63,16 +69,18 @@ fn example4_ae() {
 fn example12_acg() {
     println!("== Example 12: [ACG] over the two-block scheme ==");
     let db = SchemeBuilder::new("ABCDEFG")
-        .scheme("R1", "AB", &["A", "B"])
-        .scheme("R2", "BC", &["B", "C"])
-        .scheme("R3", "AC", &["A", "C"])
-        .scheme("R4", "AD", &["A"])
-        .scheme("R5", "DEF", &["D"])
-        .scheme("R6", "DEG", &["D"])
+        .scheme("R1", "AB", ["A", "B"])
+        .scheme("R2", "BC", ["B", "C"])
+        .scheme("R3", "AC", ["A", "C"])
+        .scheme("R4", "AD", ["A"])
+        .scheme("R5", "DEF", ["D"])
+        .scheme("R6", "DEG", ["D"])
         .build()
         .unwrap();
-    let kd = KeyDeps::of(&db);
-    let ir = recognize(&db, &kd).accepted().unwrap();
+    let engine = Engine::new(db);
+    let db = engine.scheme();
+    let g = Guard::unlimited();
+    let ir = engine.ir().unwrap();
     let u = db.universe();
     println!(
         "  blocks: D1 = {}, D2 = {}",
@@ -80,15 +88,18 @@ fn example12_acg() {
         u.render(ir.block_attrs[1])
     );
     let x = u.set_of("ACG");
-    let expr = ir_total_projection_expr(&db, &kd, &ir, x).unwrap();
-    println!("  [ACG] = {}", expr.render(&db));
+    let expr = engine
+        .total_projection_expr(x, &g)
+        .unwrap()
+        .expect("ACG is coverable");
+    println!("  [ACG] = {}", expr.render(db));
     println!("  (paper: π_ACG((π_ACD(R1⋈R2⋈R4) ∪ π_ACD(R3⋈R4)) ⋈ π_DG(R6)))");
 
     // The answer <a, c, g> needs both blocks: A determines D in block 1,
     // D determines G in block 2.
     let mut sym = SymbolTable::new();
     let state = state_of(
-        &db,
+        db,
         &mut sym,
         &[
             ("R1", &[("A", "a"), ("B", "b")]),
@@ -98,11 +109,13 @@ fn example12_acg() {
         ],
     )
     .unwrap();
-    let fast = expr.eval(&db, &state).unwrap();
+    let fast = expr.eval(db, &state).unwrap();
     for t in fast.iter() {
         println!("    {}", t.render(u, &sym));
     }
-    let oracle = total_projection(&db, &state, kd.full(), x).unwrap();
+    let oracle = total_projection(db, &state, engine.key_deps().full(), x, &g)
+        .unwrap()
+        .expect("consistent");
     assert_eq!(fast.sorted_tuples(), oracle);
     println!("  chase agrees ({} tuple).", oracle.len());
 

@@ -1,6 +1,6 @@
 //! Quickstart: build the paper's university scheme (Example 1), classify
 //! it, enforce constraints incrementally, and answer a query without ever
-//! chasing.
+//! chasing — all through the [`Engine`] facade.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -10,20 +10,21 @@ fn main() {
     // Example 1: a course may be taught by several teachers.
     //   C = course, T = teacher, H = hour, R = room, S = student, G = grade
     let db = SchemeBuilder::new("CTHRSG")
-        .scheme("R1", "HRC", &["HR"])
-        .scheme("R2", "HTR", &["HT", "HR"])
-        .scheme("R3", "HTC", &["HT"])
-        .scheme("R4", "CSG", &["CS"])
-        .scheme("R5", "HSR", &["HS"])
+        .scheme("R1", "HRC", ["HR"])
+        .scheme("R2", "HTR", ["HT", "HR"])
+        .scheme("R3", "HTC", ["HT"])
+        .scheme("R4", "CSG", ["CS"])
+        .scheme("R5", "HSR", ["HS"])
         .build()
         .expect("valid scheme");
-    let kd = KeyDeps::of(&db);
 
-    // 1. Classify: the scheme is neither independent nor γ-acyclic, yet
-    //    Algorithm 6 accepts it.
-    let c = classify(&db);
+    // 1. Build the engine once: Algorithm 6 runs at construction, the
+    //    classification and query expressions are cached behind it.
+    let engine = Engine::new(db);
+    let db = engine.scheme();
+    let c = engine.classification();
     println!("classification: {}", c.summary());
-    let ir = c.independence_reducible.clone().expect("accepted");
+    let ir = engine.ir().expect("accepted");
     println!("independence-reducible partition:");
     for (b, block) in ir.partition.iter().enumerate() {
         let names: Vec<&str> = block.iter().map(|&i| db.scheme(i).name()).collect();
@@ -36,10 +37,11 @@ fn main() {
         );
     }
 
-    // 2. Incremental constraint enforcement (Algorithm 2 per block).
+    // 2. Bind a state: each block is chased separately (in parallel), and
+    //    the session then serves consistency reads and incremental updates.
     let mut sym = SymbolTable::new();
     let state = state_of(
-        &db,
+        db,
         &mut sym,
         &[
             ("R1", &[("H", "mon9"), ("R", "rm101"), ("C", "db")]),
@@ -48,48 +50,61 @@ fn main() {
         ],
     )
     .expect("state builds");
-    let mut m = IrMaintainer::new(&db, &ir, &state).expect("state is consistent");
+    let guard = Guard::unlimited();
+    let mut session = engine.session(&state, &guard).expect("chase completes");
+    println!("state consistent: {}", session.is_consistent());
 
     // A consistent insert: the same hour/teacher teaching the same course.
     let u = db.universe();
+    let r3 = db.index_of("R3").unwrap();
     let ok = Tuple::from_pairs([
         (u.attr_of("H"), sym.intern("mon9")),
         (u.attr_of("T"), sym.intern("chan")),
         (u.attr_of("C"), sym.intern("db")),
     ]);
-    let (outcome, stats) = m.insert(db.index_of("R3").unwrap(), ok);
+    let accepted = session.insert(r3, ok, &guard).expect("within budget");
     println!(
-        "insert <mon9, chan, db> into R3: {} ({} index lookups)",
-        if outcome.is_consistent() { "accepted" } else { "rejected" },
-        stats.lookups
+        "insert <mon9, chan, db> into R3: {}",
+        if accepted { "accepted" } else { "rejected" }
     );
 
     // An inconsistent insert: hour mon9 + teacher chan now teach a
-    // different course — violates HT → C.
+    // different course — violates HT → C. The session rejects it and the
+    // state is untouched.
     let bad = Tuple::from_pairs([
         (u.attr_of("H"), sym.intern("mon9")),
         (u.attr_of("T"), sym.intern("chan")),
         (u.attr_of("C"), sym.intern("os")),
     ]);
-    let (outcome, stats) = m.insert(db.index_of("R3").unwrap(), bad);
+    let accepted = session.insert(r3, bad, &guard).expect("within budget");
     println!(
-        "insert <mon9, chan, os> into R3: {} ({} index lookups)",
-        if outcome.is_consistent() { "accepted" } else { "rejected" },
-        stats.lookups
+        "insert <mon9, chan, os> into R3: {}",
+        if accepted { "accepted" } else { "rejected" }
     );
+    assert!(session.is_consistent());
 
     // 3. Bounded query answering: which (teacher, course) pairs are known?
-    //    Theorem 4.1 gives a predetermined relational expression — no chase.
+    //    Theorem 4.1 gives a predetermined relational expression — the
+    //    engine caches it and the session evaluates it chase-free.
     let x = u.set_of("TC");
-    let expr = ir_total_projection_expr(&db, &kd, &ir, x).expect("TC is coverable");
-    println!("[TC] expression: {}", expr.render(&db));
-    let answer = ir_total_projection(&db, &kd, &ir, &state, x).expect("evaluates");
-    for t in answer.iter() {
+    let expr = engine
+        .total_projection_expr(x, &guard)
+        .expect("within budget")
+        .expect("TC is coverable");
+    println!("[TC] expression: {}", expr.render(db));
+    let answer = session
+        .total_projection(x, &guard)
+        .expect("within budget")
+        .expect("state is consistent");
+    for t in &answer {
         println!("  {}", t.render(u, &sym));
     }
 
     // The chase agrees (it always does — see the differential tests).
-    let oracle = total_projection(&db, &state, kd.full(), x).expect("consistent");
-    assert_eq!(answer.sorted_tuples(), oracle);
+    let kd = engine.key_deps();
+    let oracle = total_projection(db, session.state(), kd.full(), x, &guard)
+        .expect("within budget")
+        .expect("consistent");
+    assert_eq!(answer, oracle);
     println!("chase oracle agrees: {} tuple(s)", oracle.len());
 }

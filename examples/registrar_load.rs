@@ -13,15 +13,17 @@ use independence_reducible::workload::states::{generate, WorkloadConfig};
 
 fn main() {
     let db = SchemeBuilder::new("CTHRSG")
-        .scheme("R1", "HRC", &["HR"])
-        .scheme("R2", "HTR", &["HT", "HR"])
-        .scheme("R3", "HTC", &["HT"])
-        .scheme("R4", "CSG", &["CS"])
-        .scheme("R5", "HSR", &["HS"])
+        .scheme("R1", "HRC", ["HR"])
+        .scheme("R2", "HTR", ["HT", "HR"])
+        .scheme("R3", "HTC", ["HT"])
+        .scheme("R4", "CSG", ["CS"])
+        .scheme("R5", "HSR", ["HS"])
         .build()
         .expect("scheme");
     let kd = KeyDeps::of(&db);
     let ir = recognize(&db, &kd).accepted().expect("accepted");
+    let g = Guard::unlimited();
+    let rp = RetryPolicy::none();
     println!(
         "scheme: {} relations, {} blocks, ctm = {}",
         db.len(),
@@ -54,7 +56,8 @@ fn main() {
     // Build the maintainer (Algorithm 1 per block = initial consistency
     // check + representative instances).
     let t0 = Instant::now();
-    let mut m = IrMaintainer::new(&db, &ir, &w.state).expect("base state consistent");
+    let mut m =
+        IrMaintainer::new(&db, &ir, &w.state, &g).expect("base state consistent");
     println!(
         "representative instances built in {:?} ({} merged tuples)",
         t0.elapsed(),
@@ -67,7 +70,7 @@ fn main() {
     let mut rejected = 0usize;
     let mut lookups = 0usize;
     for (i, t) in &w.inserts {
-        let (outcome, stats) = m.insert(*i, t.clone());
+        let (outcome, stats) = m.insert(*i, t.clone(), &g, &rp).unwrap();
         lookups += stats.lookups;
         if outcome.is_consistent() {
             accepted += 1;
@@ -92,7 +95,7 @@ fn main() {
     let queries = ["TC", "HSC", "CSG", "TR"];
     for q in queries {
         let x = u.set_of(q);
-        let rows = m.total_projection(&kd, x);
+        let rows = m.total_projection(&kd, x, &g).unwrap();
         println!("  [{q}] → {} rows", rows.len());
     }
     println!("4 total projections answered in {:?}", t0.elapsed());
@@ -111,10 +114,12 @@ fn main() {
             seed: 0xACAD,
         },
     );
-    let m_small = IrMaintainer::new(&db, &ir, &small.state).unwrap();
+    let m_small = IrMaintainer::new(&db, &ir, &small.state, &g).unwrap();
     let x = u.set_of("TC");
-    let fast = m_small.total_projection(&kd, x);
-    let oracle = total_projection(&db, &small.state, kd.full(), x).unwrap();
+    let fast = m_small.total_projection(&kd, x, &g).unwrap();
+    let oracle = total_projection(&db, &small.state, kd.full(), x, &g)
+        .unwrap()
+        .expect("consistent");
     assert_eq!(fast, oracle, "rep-based answer must match the chase");
     println!("chase spot-check on a 50-entity substate: OK");
 }

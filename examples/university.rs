@@ -18,17 +18,17 @@ fn classify_and_print(name: &str, db: &DatabaseScheme) {
 
 fn main() {
     let r = SchemeBuilder::new("CTHRSG")
-        .scheme("R1", "HRC", &["HR"])
-        .scheme("R2", "HTR", &["HT", "HR"])
-        .scheme("R3", "HTC", &["HT"])
-        .scheme("R4", "CSG", &["CS"])
-        .scheme("R5", "HSR", &["HS"])
+        .scheme("R1", "HRC", ["HR"])
+        .scheme("R2", "HTR", ["HT", "HR"])
+        .scheme("R3", "HTC", ["HT"])
+        .scheme("R4", "CSG", ["CS"])
+        .scheme("R5", "HSR", ["HS"])
         .build()
         .unwrap();
     let s = SchemeBuilder::new("CTHRSG")
-        .scheme("S1", "HRCT", &["HR", "HT"])
-        .scheme("S2", "CSG", &["CS"])
-        .scheme("S3", "HSR", &["HS"])
+        .scheme("S1", "HRCT", ["HR", "HT"])
+        .scheme("S2", "CSG", ["CS"])
+        .scheme("S3", "HSR", ["HS"])
         .build()
         .unwrap();
 
@@ -80,7 +80,8 @@ fn main() {
         ],
     )
     .unwrap();
-    let mut m = IrMaintainer::new(&r, &ir, &state).expect("consistent");
+    let g = Guard::unlimited();
+    let mut m = IrMaintainer::new(&r, &ir, &state, &g).expect("consistent");
 
     println!("== Incremental maintenance on R ==");
     let u = r.universe();
@@ -103,7 +104,7 @@ fn main() {
                 .map(|&(a, v)| (u.attr_of(a), sym.intern(v))),
         );
         let shown = t.render(u, &sym);
-        let (outcome, stats) = m.insert(i, t);
+        let (outcome, stats) = m.insert(i, t, &g, &RetryPolicy::none()).unwrap();
         println!(
             "  insert {shown} into {scheme_name}: {} ({} lookups)",
             if outcome.is_consistent() { "accepted" } else { "REJECTED" },
@@ -114,7 +115,7 @@ fn main() {
     println!("\n== Bounded query answering ==");
     for target in ["TC", "TR", "CSG", "HSC"] {
         let x = u.set_of(target);
-        match ir_total_projection_expr(&r, &kd_r, &ir, x) {
+        match ir_total_projection_expr(&r, &kd_r, &ir, x, &g).unwrap() {
             Some(expr) => {
                 let rel = expr.eval(&r, &state).unwrap();
                 println!("[{}] = {}", target, expr.render(&r));

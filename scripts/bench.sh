@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Seeded offline smoke benchmark (no criterion, no network): builds the
+# tier-1-safe `bench` package, runs it on the synthetic block-chain
+# families, writes BENCH_pr2.json at the repo root, and asserts the
+# headline claim of PR 2 — the indexed incremental engine beats the naive
+# whole-state chase on the largest family, for both the full chase and the
+# insert stream.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -p bench --release
+./target/release/bench-smoke > BENCH_pr2.json
+echo "wrote $(pwd)/BENCH_pr2.json"
+
+python3 - <<'EOF'
+import json
+
+with open("BENCH_pr2.json") as f:
+    doc = json.load(f)
+
+largest = doc["families"][-1]
+full = largest["full_chase_ms"]
+stream = largest["insert_stream_ms"]
+print(f"largest family: {largest['name']} ({largest['tuples']} tuples)")
+print(f"  full chase : naive {full['naive']:.3f} ms  vs  incremental {full['incremental']:.3f} ms")
+print(f"  insert x{stream['inserts']}: naive re-chase {stream['naive_rechase']:.3f} ms  vs  "
+      f"engine session {stream['engine_session']:.3f} ms  ({stream['speedup']:.1f}x)")
+
+assert full["incremental"] < full["naive"], "incremental chase must beat the naive chase"
+assert stream["engine_session"] < stream["naive_rechase"], \
+    "engine insert stream must beat re-chase-from-scratch"
+print("OK: incremental engine beats the naive chase on the largest family")
+EOF

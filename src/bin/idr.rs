@@ -1,9 +1,8 @@
 //! `idr` — command-line scheme analyser for the PODS'88 reproduction.
 //!
-//! Reads a database-scheme description and reports the full
-//! classification, the independence-reducible partition (when accepted),
-//! split keys, and — on request — the bounded expression for a total
-//! projection.
+//! Every subcommand goes through the [`Engine`] facade: the scheme is
+//! parsed once, Algorithm 6 runs once, and classification, bounded-query
+//! expressions and chases are served from the engine's caches.
 //!
 //! ## Scheme file format
 //!
@@ -20,29 +19,44 @@
 //! Attribute names are whitespace-separated tokens; alternative keys are
 //! separated by `|`.
 //!
+//! ## State file format
+//!
+//! One tuple per line: the relation name, a colon, then `ATTR=value`
+//! pairs covering exactly the relation's attributes.
+//!
+//! ```text
+//! R1: H=h1 R=r1 C=c1
+//! R4: C=c1 S=s1 G=g1
+//! ```
+//!
 //! ## Usage
 //!
 //! ```text
 //! idr classify <scheme-file>
 //! idr project  <scheme-file> <ATTR> [<ATTR> ...]
+//! idr chase    <scheme-file> <state-file>
+//! idr query    <scheme-file> <state-file> <ATTR> [<ATTR> ...]
 //! idr closure  <UNIVERSE> <FDS> <X>   # e.g. idr closure ABCD "AB->C, C->D" AB
 //! idr demo                            # runs on the paper's Example 1
 //! ```
 //!
-//! Budget flags (accepted anywhere on the command line; they meter the
-//! `project` computation through the exec layer):
+//! Budget flags (accepted anywhere on the command line; every metered
+//! computation is charged against the one [`Budget`] they build):
 //!
 //! * `--max-steps N` — cap on metered work units (chase steps, selections
 //!   and enumerated subsets all count against it).
 //! * `--timeout-ms N` — wall-clock deadline.
+//! * `--serial` — disable block-parallel evaluation (results are
+//!   identical; this only changes wall-clock).
 //!
 //! ## Exit codes
 //!
 //! | code | meaning |
 //! |---|---|
 //! | 0 | success |
+//! | 1 | state is inconsistent |
 //! | 2 | usage error |
-//! | 3 | parse error (scheme file or FD spec) |
+//! | 3 | parse error (scheme file, state file or FD spec) |
 //! | 4 | scheme is not independence-reducible |
 //! | 5 | budget exceeded (`--max-steps`) |
 //! | 6 | timed out (`--timeout-ms`) |
@@ -50,11 +64,11 @@
 
 use std::process::ExitCode;
 
-use independence_reducible::core::query::ir_total_projection_expr_bounded;
 use independence_reducible::core::split::split_keys;
 use independence_reducible::exec::{Budget, ExecError, Guard};
 use independence_reducible::prelude::*;
 
+const EXIT_INCONSISTENT: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_PARSE: u8 = 3;
 const EXIT_NOT_IR: u8 = 4;
@@ -64,33 +78,44 @@ const EXIT_FAULT: u8 = 7;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, budget) = match parse_budget_flags(&raw) {
+    let (args, budget, parallel) = match parse_budget_flags(&raw) {
         Ok(split) => split,
         Err(e) => return usage(&e),
     };
+    let engine_for = |path: &str| -> Result<Engine, String> {
+        Ok(Engine::new(load(path)?).with_parallel(parallel))
+    };
     match args.first().map(String::as_str) {
-        Some("classify") if args.len() == 2 => match load(&args[1]) {
-            Ok(db) => {
-                report(&db);
+        Some("classify") if args.len() == 2 => match engine_for(&args[1]) {
+            Ok(engine) => {
+                report(&engine);
                 ExitCode::SUCCESS
             }
             Err(e) => fail(EXIT_PARSE, &e),
         },
-        Some("project") if args.len() >= 3 => match load(&args[1]) {
-            Ok(db) => project(&db, &args[2..], budget),
+        Some("project") if args.len() >= 3 => match engine_for(&args[1]) {
+            Ok(engine) => project(&engine, &args[2..], budget),
+            Err(e) => fail(EXIT_PARSE, &e),
+        },
+        Some("chase") if args.len() == 3 => match engine_for(&args[1]) {
+            Ok(engine) => chase_cmd(&engine, &args[2], budget),
+            Err(e) => fail(EXIT_PARSE, &e),
+        },
+        Some("query") if args.len() >= 4 => match engine_for(&args[1]) {
+            Ok(engine) => query_cmd(&engine, &args[2], &args[3..], budget),
             Err(e) => fail(EXIT_PARSE, &e),
         },
         Some("closure") if args.len() == 4 => closure(&args[1], &args[2], &args[3]),
         Some("demo") => {
             let db = SchemeBuilder::new("CTHRSG")
-                .scheme("R1", "HRC", &["HR"])
-                .scheme("R2", "HTR", &["HT", "HR"])
-                .scheme("R3", "HTC", &["HT"])
-                .scheme("R4", "CSG", &["CS"])
-                .scheme("R5", "HSR", &["HS"])
+                .scheme("R1", "HRC", ["HR"])
+                .scheme("R2", "HTR", ["HT", "HR"])
+                .scheme("R3", "HTC", ["HT"])
+                .scheme("R4", "CSG", ["CS"])
+                .scheme("R5", "HSR", ["HS"])
                 .build()
                 .expect("demo scheme");
-            report(&db);
+            report(&Engine::new(db).with_parallel(parallel));
             ExitCode::SUCCESS
         }
         _ => usage("see the subcommand list"),
@@ -99,7 +124,7 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr closure <UNIVERSE> <FDS> <X>\n  idr demo\noptions: --max-steps N, --timeout-ms N"
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr closure <UNIVERSE> <FDS> <X>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -109,13 +134,15 @@ fn fail(code: u8, msg: &str) -> ExitCode {
     ExitCode::from(code)
 }
 
-/// Strips `--max-steps N` / `--timeout-ms N` out of the argument list and
-/// folds them into a [`Budget`]. `--max-steps` caps every metered resource
-/// — chase steps, single-tuple selections and enumerated subsets — since
-/// from the command line they are all just "work".
-fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget), String> {
+/// Strips `--max-steps N` / `--timeout-ms N` / `--serial` out of the
+/// argument list, folding the first two into one [`Budget`]. `--max-steps`
+/// caps every metered resource — chase steps, single-tuple selections and
+/// enumerated subsets — since from the command line they are all just
+/// "work".
+fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget, bool), String> {
     let mut args = Vec::new();
     let mut budget = Budget::unlimited();
+    let mut parallel = true;
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         let numeric = |flag: &str| -> Result<u64, String> {
@@ -139,10 +166,11 @@ fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget), String> {
                 it.next();
                 budget = budget.with_timeout(std::time::Duration::from_millis(ms));
             }
+            "--serial" => parallel = false,
             _ => args.push(a.clone()),
         }
     }
-    Ok((args, budget))
+    Ok((args, budget, parallel))
 }
 
 /// Maps a typed execution error to its documented exit code.
@@ -151,7 +179,7 @@ fn exec_exit(e: &ExecError) -> u8 {
         ExecError::BudgetExceeded { .. } => EXIT_BUDGET,
         ExecError::TimedOut { .. } => EXIT_TIMEOUT,
         ExecError::Cancelled | ExecError::Faulted { .. } => EXIT_FAULT,
-        ExecError::Inconsistent { .. } => 1,
+        ExecError::Inconsistent { .. } => EXIT_INCONSISTENT,
     }
 }
 
@@ -214,14 +242,72 @@ fn parse_scheme(text: &str) -> Result<DatabaseScheme, String> {
     DatabaseScheme::new(universe, schemes).map_err(|e| format!("{e}"))
 }
 
+/// Parses the state file format described in the module docs: one
+/// `NAME: ATTR=value ...` tuple per line, values interned into `symbols`.
+fn parse_state(
+    text: &str,
+    db: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+) -> Result<DatabaseState, String> {
+    let mut state = DatabaseState::empty(db);
+    let u = db.universe();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let (name, body) = line
+            .split_once(':')
+            .ok_or_else(|| at("expected 'NAME: ATTR=value ...'"))?;
+        let name = name.trim();
+        let i = (0..db.len())
+            .find(|&i| db.scheme(i).name() == name)
+            .ok_or_else(|| at(&format!("unknown relation {name:?}")))?;
+        let mut pairs = Vec::new();
+        for tok in body.split_whitespace() {
+            let (attr, value) = tok
+                .split_once('=')
+                .ok_or_else(|| at(&format!("expected ATTR=value, got {tok:?}")))?;
+            let a = u
+                .attr(attr)
+                .ok_or_else(|| at(&format!("unknown attribute {attr:?}")))?;
+            pairs.push((a, symbols.intern(value)));
+        }
+        let t = Tuple::from_pairs(pairs);
+        if t.attrs() != db.scheme(i).attrs() {
+            return Err(at(&format!(
+                "tuple covers {} but {name} has attributes {}",
+                u.render(t.attrs()),
+                u.render(db.scheme(i).attrs())
+            )));
+        }
+        state
+            .insert(i, t)
+            .map_err(|e| at(&format!("{e}")))?;
+    }
+    Ok(state)
+}
+
 fn load(path: &str) -> Result<DatabaseScheme, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_scheme(&text)
 }
 
-fn report(db: &DatabaseScheme) {
-    let kd = KeyDeps::of(db);
+fn load_state(
+    path: &str,
+    db: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+) -> Result<DatabaseState, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_state(&text, db, symbols)
+}
+
+fn report(engine: &Engine) {
+    let db = engine.scheme();
+    let kd = engine.key_deps();
     let u = db.universe();
     println!("schemes:");
     for s in db.schemes() {
@@ -234,7 +320,7 @@ fn report(db: &DatabaseScheme) {
         );
     }
     println!("embedded key dependencies: {}", kd.full().render(u));
-    let c = classify(db);
+    let c = engine.classification();
     println!("classification: {}", c.summary());
     match &c.independence_reducible {
         Some(ir) => {
@@ -249,7 +335,7 @@ fn report(db: &DatabaseScheme) {
                     b + 1,
                     u.render(ir.block_attrs[b])
                 );
-                let splits = split_keys(db, &kd, block);
+                let splits = split_keys(db, kd, block);
                 for s in splits {
                     let places: Vec<&str> =
                         s.split_in.iter().map(|&i| db.scheme(i).name()).collect();
@@ -273,40 +359,107 @@ fn report(db: &DatabaseScheme) {
     }
 }
 
-fn project(db: &DatabaseScheme, attrs: &[String], budget: Budget) -> ExitCode {
-    let kd = KeyDeps::of(db);
+/// Parses `attrs` against the engine's universe.
+fn parse_attrs(engine: &Engine, attrs: &[String]) -> Result<AttrSet, String> {
     let mut x = AttrSet::empty();
     for tok in attrs {
-        match db.universe().attr(tok) {
+        match engine.scheme().universe().attr(tok) {
             Some(a) => {
                 x.insert(a);
             }
-            None => return fail(EXIT_PARSE, &format!("unknown attribute {tok:?}")),
+            None => return Err(format!("unknown attribute {tok:?}")),
         }
     }
-    let Some(ir) = recognize(db, &kd).accepted() else {
+    Ok(x)
+}
+
+fn project(engine: &Engine, attrs: &[String], budget: Budget) -> ExitCode {
+    let x = match parse_attrs(engine, attrs) {
+        Ok(x) => x,
+        Err(e) => return fail(EXIT_PARSE, &e),
+    };
+    if engine.ir().is_none() {
         return fail(
             EXIT_NOT_IR,
             "scheme is not independence-reducible; no bounded expression exists",
         );
-    };
+    }
     let guard = Guard::new(budget);
-    match ir_total_projection_expr_bounded(db, &kd, &ir, x, &guard) {
+    let u = engine.scheme().universe();
+    match engine.total_projection_expr(x, &guard) {
         Ok(Some(expr)) => {
-            println!(
-                "[{}] = {}",
-                db.universe().render(x),
-                expr.render(db)
-            );
+            println!("[{}] = {}", u.render(x), expr.render(engine.scheme()));
             ExitCode::SUCCESS
         }
         Ok(None) => {
             println!(
                 "[{}] is empty on every consistent state (no lossless cover)",
-                db.universe().render(x)
+                u.render(x)
             );
             ExitCode::SUCCESS
         }
+        Err(e) => fail(exec_exit(&e), &format!("{e}")),
+    }
+}
+
+/// `idr chase <scheme-file> <state-file>`: chases the state (per block,
+/// in parallel unless `--serial`) and reports the consistency verdict.
+fn chase_cmd(engine: &Engine, state_path: &str, budget: Budget) -> ExitCode {
+    let mut symbols = SymbolTable::new();
+    let state = match load_state(state_path, engine.scheme(), &mut symbols) {
+        Ok(s) => s,
+        Err(e) => return fail(EXIT_PARSE, &e),
+    };
+    let guard = Guard::new(budget);
+    match engine.session(&state, &guard) {
+        Ok(session) => {
+            let stats = session.chase_stats();
+            if session.is_consistent() {
+                println!(
+                    "consistent ({} tuples, {} chase passes, {} rule applications)",
+                    state.total_tuples(),
+                    stats.passes,
+                    stats.rule_applications
+                );
+                ExitCode::SUCCESS
+            } else {
+                let blocks: Vec<String> = session
+                    .inconsistent_blocks()
+                    .iter()
+                    .map(|b| format!("T{}", b + 1))
+                    .collect();
+                println!("inconsistent (blocks: {})", blocks.join(", "));
+                ExitCode::from(EXIT_INCONSISTENT)
+            }
+        }
+        Err(e) => fail(exec_exit(&e), &format!("{e}")),
+    }
+}
+
+/// `idr query <scheme-file> <state-file> <ATTR>...`: the X-total
+/// projection of the state's representative instance — chase-free on
+/// independence-reducible schemes.
+fn query_cmd(engine: &Engine, state_path: &str, attrs: &[String], budget: Budget) -> ExitCode {
+    let x = match parse_attrs(engine, attrs) {
+        Ok(x) => x,
+        Err(e) => return fail(EXIT_PARSE, &e),
+    };
+    let mut symbols = SymbolTable::new();
+    let state = match load_state(state_path, engine.scheme(), &mut symbols) {
+        Ok(s) => s,
+        Err(e) => return fail(EXIT_PARSE, &e),
+    };
+    let guard = Guard::new(budget);
+    let u = engine.scheme().universe();
+    match engine.total_projection(&state, x, &guard) {
+        Ok(Some(tuples)) => {
+            println!("[{}]: {} tuple(s)", u.render(x), tuples.len());
+            for t in &tuples {
+                println!("  {}", t.render(u, &symbols));
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(None) => fail(EXIT_INCONSISTENT, "state is inconsistent"),
         Err(e) => fail(exec_exit(&e), &format!("{e}")),
     }
 }
@@ -351,8 +504,8 @@ scheme R5: H S R  keys H S
         let db = parse_scheme(EXAMPLE1).unwrap();
         assert_eq!(db.len(), 5);
         assert_eq!(db.scheme(1).keys().len(), 2);
-        let c = classify(&db);
-        assert!(c.independence_reducible.is_some());
+        let engine = Engine::new(db);
+        assert!(engine.is_independence_reducible());
     }
 
     #[test]
@@ -373,20 +526,60 @@ scheme R5: H S R  keys H S
         assert_eq!(db.len(), 1);
     }
 
+    #[test]
+    fn parses_a_state_file() {
+        let db = parse_scheme(EXAMPLE1).unwrap();
+        let mut sym = SymbolTable::new();
+        let state = parse_state(
+            "# registrar\nR1: H=h1 R=r1 C=c1\nR4: C=c1 S=s1 G=g1\n",
+            &db,
+            &mut sym,
+        )
+        .unwrap();
+        assert_eq!(state.total_tuples(), 2);
+        assert_eq!(state.relation(0).len(), 1);
+        assert_eq!(state.relation(3).len(), 1);
+    }
+
+    #[test]
+    fn state_parser_rejects_bad_lines() {
+        let db = parse_scheme(EXAMPLE1).unwrap();
+        let mut sym = SymbolTable::new();
+        for (text, needle) in [
+            ("R9: H=h", "unknown relation"),
+            ("R1: H=h1", "tuple covers"),
+            ("R1: H=h1 R=r1 Z=z", "unknown attribute"),
+            ("R1 H=h1", "expected 'NAME:"),
+            ("R1: H", "expected ATTR=value"),
+        ] {
+            let err = parse_state(text, &db, &mut sym).unwrap_err();
+            assert!(err.contains(needle), "{text:?} gave {err:?}");
+        }
+    }
+
     fn strs(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
     fn budget_flags_are_stripped_anywhere() {
-        let (args, budget) =
+        let (args, budget, parallel) =
             parse_budget_flags(&strs(&["project", "--max-steps", "7", "f", "A", "--timeout-ms", "50"]))
                 .unwrap();
         assert_eq!(args, strs(&["project", "f", "A"]));
+        assert!(parallel);
         assert_eq!(budget.max_chase_steps, Some(7));
         assert_eq!(budget.max_lookups, Some(7));
         assert_eq!(budget.max_enumeration, Some(7));
         assert_eq!(budget.timeout, Some(std::time::Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn serial_flag_disables_parallelism() {
+        let (args, _, parallel) =
+            parse_budget_flags(&strs(&["chase", "f", "s", "--serial"])).unwrap();
+        assert_eq!(args, strs(&["chase", "f", "s"]));
+        assert!(!parallel);
     }
 
     #[test]
@@ -411,5 +604,29 @@ scheme R5: H S R  keys H S
             exec_exit(&ExecError::Cancelled),
         ];
         assert_eq!(codes, [EXIT_BUDGET, EXIT_TIMEOUT, EXIT_FAULT]);
+    }
+
+    #[test]
+    fn chase_and_query_agree_with_the_oracle() {
+        let db = parse_scheme(EXAMPLE1).unwrap();
+        let mut sym = SymbolTable::new();
+        let state = parse_state(
+            "R1: H=h1 R=r1 C=c1\nR2: H=h1 T=t1 R=r1\nR3: H=h1 T=t1 C=c1\n",
+            &db,
+            &mut sym,
+        )
+        .unwrap();
+        let engine = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let kd = KeyDeps::of(&db);
+        assert_eq!(
+            engine.is_consistent(&state, &g).unwrap(),
+            is_consistent(&db, &state, kd.full(), &g).unwrap()
+        );
+        let x = db.universe().set_of("HC");
+        assert_eq!(
+            engine.total_projection(&state, x, &g).unwrap(),
+            total_projection(&db, &state, kd.full(), x, &g).unwrap()
+        );
     }
 }

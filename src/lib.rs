@@ -32,15 +32,18 @@
 //!
 //! // Example 1 of the paper: the university database.
 //! let db = SchemeBuilder::new("CTHRSG")
-//!     .scheme("R1", "HRC", &["HR"])
-//!     .scheme("R2", "HTR", &["HT", "HR"])
-//!     .scheme("R3", "HTC", &["HT"])
-//!     .scheme("R4", "CSG", &["CS"])
-//!     .scheme("R5", "HSR", &["HS"])
+//!     .scheme("R1", "HRC", ["HR"])
+//!     .scheme("R2", "HTR", ["HT", "HR"])
+//!     .scheme("R3", "HTC", ["HT"])
+//!     .scheme("R4", "CSG", ["CS"])
+//!     .scheme("R5", "HSR", ["HS"])
 //!     .build()
 //!     .unwrap();
 //!
-//! let c = classify(&db);
+//! // Build the engine once: recognition, classification and the
+//! // bounded-query expressions are computed up front or cached.
+//! let engine = Engine::new(db);
+//! let c = engine.classification();
 //! assert!(!c.independent);           // not Sagiv-independent
 //! assert!(!c.gamma_acyclic);         // not γ-acyclic
 //! assert!(c.independence_reducible.is_some()); // but accepted!
@@ -76,18 +79,20 @@ pub mod exec {
 }
 
 /// The most common imports for working with the library.
+///
+/// Every fallible entry point takes a [`Guard`](idr_relation::exec::Guard)
+/// (pass [`Guard::unlimited`](idr_relation::exec::Guard::unlimited) for an
+/// unbounded run); the pre-0.2 `*_bounded` twins still exist as deprecated
+/// aliases on their home crates but are no longer re-exported here.
 pub mod prelude {
     pub use idr_chase::{
-        chase_bounded, chase_fast_bounded, is_consistent, is_consistent_bounded,
-        representative_instance, representative_instance_bounded, total_projection,
-        total_projection_bounded,
+        chase, chase_fast, is_consistent, representative_instance, total_projection,
     };
     pub use idr_core::classify::{classify, Classification};
+    pub use idr_core::engine::{Engine, Session};
     pub use idr_core::exec::{Budget, ExecError, Guard, RetryPolicy};
     pub use idr_core::maintain::{CtmMaintainer, IrMaintainer, MaintenanceOutcome};
-    pub use idr_core::query::{
-        ir_total_projection, ir_total_projection_bounded, ir_total_projection_expr,
-    };
+    pub use idr_core::query::{ir_total_projection, ir_total_projection_expr};
     pub use idr_core::recognition::{recognize, IrScheme, Recognition};
     pub use idr_fd::{Fd, FdParseError, FdSet, KeyDeps};
     pub use idr_relation::{

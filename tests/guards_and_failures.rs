@@ -12,19 +12,14 @@
 //!   the fault-free answer, permanent ones surface as
 //!   [`ExecError::Faulted`], and exhausted budgets as `BudgetExceeded` —
 //!   never a panic, never a half-updated maintainer.
-//! * **Differential** — with an ample budget and no faults, every
-//!   `*_bounded` entry point computes exactly what its unbudgeted
-//!   counterpart does, across the paper-example fixtures and random
-//!   workloads.
+//! * **Shim parity** — the pre-0.2 `*_bounded` spellings survive as
+//!   `#[deprecated]` aliases; they must forward exactly to the canonical
+//!   guard-taking entry points.
 
 use std::time::Duration;
 
-use independence_reducible::core::maintain::{
-    algorithm2, algorithm2_bounded, algorithm5, algorithm5_bounded, StateIndex,
-};
-use independence_reducible::core::query::{
-    minimal_lossless_covers, minimal_lossless_covers_bounded,
-};
+use independence_reducible::core::maintain::{algorithm2, algorithm5, StateIndex};
+use independence_reducible::core::query::minimal_lossless_covers;
 use independence_reducible::exec::{
     Budget, ExecError, FaultInjector, FaultKind, FaultPlan, Guard, Resource, RetryPolicy,
 };
@@ -43,8 +38,8 @@ fn cover_family_guard_returns_typed_error() {
     // A family beyond the u32-mask representation fails immediately —
     // typed, not a panic or a hang.
     let family = vec![u.set_of("AB"); 40];
-    let err = minimal_lossless_covers_bounded(&family, &fds, u.set_of("A"), &Guard::unlimited())
-        .unwrap_err();
+    let err =
+        minimal_lossless_covers(&family, &fds, u.set_of("A"), &Guard::unlimited()).unwrap_err();
     assert!(
         matches!(
             err,
@@ -58,13 +53,13 @@ fn cover_family_guard_returns_typed_error() {
     // A representable family that exceeds the default enumeration backstop
     // (2^25 > DEFAULT_MAX_ENUMERATION = 2^22) also fails typed, up front.
     let family = vec![u.set_of("AB"); 25];
-    let err = minimal_lossless_covers_bounded(&family, &fds, u.set_of("A"), &Guard::unlimited())
-        .unwrap_err();
+    let err =
+        minimal_lossless_covers(&family, &fds, u.set_of("A"), &Guard::unlimited()).unwrap_err();
     assert!(err.is_resource_exhaustion(), "{err}");
     // And an explicit tiny budget trips with limit/spent observability.
     let family = vec![u.set_of("AB"); 5];
     let guard = Guard::new(Budget::unlimited().with_max_enumeration(10));
-    match minimal_lossless_covers_bounded(&family, &fds, u.set_of("A"), &guard).unwrap_err() {
+    match minimal_lossless_covers(&family, &fds, u.set_of("A"), &guard).unwrap_err() {
         ExecError::BudgetExceeded {
             resource: Resource::Enumeration,
             limit: 10,
@@ -123,8 +118,8 @@ fn subsets_guard_returns_typed_error() {
 #[test]
 fn chase_honours_deadline_and_budget() {
     let db = SchemeBuilder::new("ABC")
-        .scheme("R1", "AB", &["A"])
-        .scheme("R2", "AC", &["A"])
+        .scheme("R1", "AB", ["A"])
+        .scheme("R2", "AC", ["A"])
         .build()
         .unwrap();
     let kd = KeyDeps::of(&db);
@@ -143,7 +138,7 @@ fn chase_honours_deadline_and_budget() {
     // Zero-step budget: the chase must trip before applying any rule.
     let guard = Guard::new(Budget::unlimited().with_max_chase_steps(0));
     let mut t = independence_reducible::chase::Tableau::of_state(&db, &state);
-    let err = independence_reducible::chase::chase_bounded(&mut t, kd.full(), &guard).unwrap_err();
+    let err = chase(&mut t, kd.full(), &guard).unwrap_err();
     assert!(
         matches!(
             err,
@@ -158,13 +153,13 @@ fn chase_honours_deadline_and_budget() {
     let guard = Guard::new(Budget::unlimited().with_timeout(Duration::ZERO));
     std::thread::sleep(Duration::from_millis(2));
     let mut t = independence_reducible::chase::Tableau::of_state(&db, &state);
-    let err = independence_reducible::chase::chase_bounded(&mut t, kd.full(), &guard).unwrap_err();
+    let err = chase(&mut t, kd.full(), &guard).unwrap_err();
     assert!(matches!(err, ExecError::TimedOut { .. }), "{err}");
     // Cancellation: typed, checked at the same checkpoints.
     let guard = Guard::unlimited();
     guard.cancel_token().cancel();
     let mut t = independence_reducible::chase::Tableau::of_state(&db, &state);
-    let err = independence_reducible::chase::chase_bounded(&mut t, kd.full(), &guard).unwrap_err();
+    let err = chase(&mut t, kd.full(), &guard).unwrap_err();
     assert!(matches!(err, ExecError::Cancelled), "{err}");
 }
 
@@ -189,7 +184,7 @@ fn fd_parse_errors_are_typed() {
 #[test]
 fn scheme_validation_errors_are_typed() {
     // Incomplete cover.
-    let err = SchemeBuilder::new("ABC").scheme("R1", "AB", &["A"]).build();
+    let err = SchemeBuilder::new("ABC").scheme("R1", "AB", ["A"]).build();
     assert!(matches!(err, Err(RelationError::IncompleteCover)));
     // Key outside the scheme.
     let u = Universe::of_chars("AB");
@@ -203,10 +198,10 @@ fn scheme_validation_errors_are_typed() {
 #[test]
 fn maintainer_reports_inconsistent_base_state_block() {
     // IrMaintainer::new must refuse an inconsistent base state and name
-    // the offending block.
+    // the offending block in the typed error.
     let db = SchemeBuilder::new("ABCD")
-        .scheme("R1", "AB", &["A"])
-        .scheme("R2", "CD", &["C"])
+        .scheme("R1", "AB", ["A"])
+        .scheme("R2", "CD", ["C"])
         .build()
         .unwrap();
     let kd = KeyDeps::of(&db);
@@ -221,18 +216,25 @@ fn maintainer_reports_inconsistent_base_state_block() {
         ],
     )
     .unwrap();
-    let err = IrMaintainer::new(&db, &ir, &state).unwrap_err();
+    let err = IrMaintainer::new(&db, &ir, &state, &Guard::unlimited()).unwrap_err();
     // R2 is its own (singleton) block; blocks are ordered like schemes.
-    assert_eq!(ir.partition[err], vec![1]);
-    // The bounded constructor reports the same failure typed, naming the
-    // block in the detail.
-    let err = IrMaintainer::new_bounded(&db, &ir, &state, &Guard::unlimited()).unwrap_err();
     match err {
         ExecError::Inconsistent { detail } => {
             assert!(detail.contains("block 1"), "{detail}")
         }
         other => panic!("wrong error: {other}"),
     }
+    assert_eq!(ir.partition[1], vec![1]);
+    // The deprecated shim forwards to the same failure.
+    #[allow(deprecated)]
+    let err = IrMaintainer::new_bounded(&db, &ir, &state, &Guard::unlimited()).unwrap_err();
+    assert!(matches!(err, ExecError::Inconsistent { .. }));
+    // The engine facade treats the same state as a verdict, not an error,
+    // and points at the same block.
+    let engine = Engine::new(db);
+    let session = engine.session(&state, &Guard::unlimited()).unwrap();
+    assert!(!session.is_consistent());
+    assert_eq!(session.inconsistent_blocks(), vec![1]);
 }
 
 // ---------------------------------------------------------------------------
@@ -244,9 +246,9 @@ fn maintainer_reports_inconsistent_base_state_block() {
 /// state index) apply, and inserts issue several selections.
 fn triangle() -> (DatabaseScheme, KeyDeps, IrScheme, DatabaseState, SymbolTable) {
     let db = SchemeBuilder::new("ABC")
-        .scheme("R1", "AB", &["A", "B"])
-        .scheme("R2", "BC", &["B", "C"])
-        .scheme("R3", "AC", &["A", "C"])
+        .scheme("R1", "AB", ["A", "B"])
+        .scheme("R2", "BC", ["B", "C"])
+        .scheme("R3", "AC", ["A", "C"])
         .build()
         .unwrap();
     let kd = KeyDeps::of(&db);
@@ -267,27 +269,28 @@ fn triangle() -> (DatabaseScheme, KeyDeps, IrScheme, DatabaseState, SymbolTable)
 #[test]
 fn algorithm2_fault_matrix() {
     let (db, _kd, ir, state, mut sym) = triangle();
-    let m = IrMaintainer::new(&db, &ir, &state).unwrap();
+    let g = Guard::unlimited();
+    let rp = RetryPolicy::none();
+    let m = IrMaintainer::new(&db, &ir, &state, &g).unwrap();
     let rep = &m.reps()[0];
     let t = Tuple::from_pairs([
         (db.universe().attr_of("A"), sym.intern("a")),
         (db.universe().attr_of("C"), sym.intern("c")),
     ]);
-    let baseline = algorithm2(&db, rep, 2, &t).0;
+    let baseline = algorithm2(&db, rep, 2, &t, &g, &rp).unwrap().0;
     assert!(baseline.is_consistent());
 
     // Transient fault, retried: identical to the fault-free run.
     let inj = FaultInjector::new(rep, FaultPlan::nth(1, FaultKind::Transient));
     let (outcome, _) =
-        algorithm2_bounded(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(2))
-            .unwrap();
+        algorithm2(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(2)).unwrap();
     assert_eq!(outcome, baseline, "retried result must equal fault-free");
     assert_eq!(inj.faults_injected(), 1);
 
     // Transient fault, no retry budget: surfaces as Faulted{Transient}.
     let inj = FaultInjector::new(rep, FaultPlan::nth(1, FaultKind::Transient));
-    let err = algorithm2_bounded(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::none())
-        .unwrap_err();
+    let err =
+        algorithm2(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::none()).unwrap_err();
     match err {
         ExecError::Faulted {
             kind: FaultKind::Transient,
@@ -300,8 +303,8 @@ fn algorithm2_fault_matrix() {
     // Permanent fault: never retried, surfaces immediately even with a
     // generous retry policy.
     let inj = FaultInjector::new(rep, FaultPlan::nth(1, FaultKind::Permanent));
-    let err = algorithm2_bounded(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(5))
-        .unwrap_err();
+    let err =
+        algorithm2(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(5)).unwrap_err();
     match err {
         ExecError::Faulted {
             kind: FaultKind::Permanent,
@@ -314,7 +317,7 @@ fn algorithm2_fault_matrix() {
 
     // Exhausted lookup budget: typed BudgetExceeded, never a panic.
     let guard = Guard::new(Budget::unlimited().with_max_lookups(0));
-    let err = algorithm2_bounded(&db, rep, 2, &t, &guard, &RetryPolicy::none()).unwrap_err();
+    let err = algorithm2(&db, rep, 2, &t, &guard, &RetryPolicy::none()).unwrap_err();
     assert!(
         matches!(
             err,
@@ -337,34 +340,33 @@ fn algorithm2_fault_matrix() {
         },
     );
     let (outcome, _) =
-        algorithm2_bounded(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(10))
-            .unwrap();
+        algorithm2(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(10)).unwrap();
     assert_eq!(outcome, baseline);
 }
 
 #[test]
 fn algorithm5_fault_matrix() {
     let (db, _kd, ir, state, mut sym) = triangle();
+    let g = Guard::unlimited();
     let idx = StateIndex::build(&db, &ir.partition[0], &state).unwrap();
     let t = Tuple::from_pairs([
         (db.universe().attr_of("A"), sym.intern("a")),
         (db.universe().attr_of("C"), sym.intern("c")),
     ]);
-    let baseline = algorithm5(&db, &idx, 2, &t).0;
+    let baseline = algorithm5(&db, &idx, 2, &t, &g, &RetryPolicy::none()).unwrap().0;
     assert!(baseline.is_consistent());
 
     // Transient + retry: identical outcome.
     let inj = FaultInjector::new(&idx, FaultPlan::nth(1, FaultKind::Transient));
     let (outcome, _) =
-        algorithm5_bounded(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(2))
-            .unwrap();
+        algorithm5(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(2)).unwrap();
     assert_eq!(outcome, baseline);
     assert_eq!(inj.faults_injected(), 1);
 
     // Permanent: typed Faulted.
     let inj = FaultInjector::new(&idx, FaultPlan::nth(1, FaultKind::Permanent));
-    let err = algorithm5_bounded(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(5))
-        .unwrap_err();
+    let err =
+        algorithm5(&db, &inj, 2, &t, &Guard::unlimited(), &RetryPolicy::retries(5)).unwrap_err();
     assert!(
         matches!(
             err,
@@ -378,7 +380,7 @@ fn algorithm5_fault_matrix() {
 
     // Budget exhaustion: typed, never a panic.
     let guard = Guard::new(Budget::unlimited().with_max_lookups(0));
-    let err = algorithm5_bounded(&db, &idx, 2, &t, &guard, &RetryPolicy::none()).unwrap_err();
+    let err = algorithm5(&db, &idx, 2, &t, &guard, &RetryPolicy::none()).unwrap_err();
     assert!(
         matches!(
             err,
@@ -392,9 +394,11 @@ fn algorithm5_fault_matrix() {
 }
 
 #[test]
-fn failed_bounded_insert_leaves_maintainer_unchanged() {
+fn failed_insert_leaves_maintainer_unchanged() {
     let (db, kd, ir, state, mut sym) = triangle();
-    let mut m = IrMaintainer::new(&db, &ir, &state).unwrap();
+    let g = Guard::unlimited();
+    let rp = RetryPolicy::none();
+    let mut m = IrMaintainer::new(&db, &ir, &state, &g).unwrap();
     let before: Vec<Tuple> = m.reps()[0].iter().cloned().collect();
     let t = Tuple::from_pairs([
         (db.universe().attr_of("A"), sym.intern("a")),
@@ -402,32 +406,29 @@ fn failed_bounded_insert_leaves_maintainer_unchanged() {
     ]);
     // Decision phase trips the budget: nothing may have been applied.
     let guard = Guard::new(Budget::unlimited().with_max_lookups(0));
-    let err = m
-        .insert_bounded(2, t.clone(), &guard, &RetryPolicy::none())
-        .unwrap_err();
+    let err = m.insert(2, t.clone(), &guard, &rp).unwrap_err();
     assert!(err.is_resource_exhaustion(), "{err}");
     let after: Vec<Tuple> = m.reps()[0].iter().cloned().collect();
     assert_eq!(before, after, "failed decision must not mutate the rep");
-    // With an ample budget the same insert succeeds and matches the
-    // unbudgeted maintainer.
-    let mut m2 = IrMaintainer::new(&db, &ir, &state).unwrap();
-    let (o1, _) = m
-        .insert_bounded(2, t.clone(), &Guard::unlimited(), &RetryPolicy::none())
-        .unwrap();
-    let (o2, _) = m2.insert(2, t);
+    // With an ample budget the same insert succeeds and matches a fresh
+    // maintainer fed the same tuple.
+    let mut m2 = IrMaintainer::new(&db, &ir, &state, &g).unwrap();
+    let (o1, _) = m.insert(2, t.clone(), &g, &rp).unwrap();
+    let (o2, _) = m2.insert(2, t, &g, &rp).unwrap();
     assert_eq!(o1, o2);
     assert_eq!(
-        m.total_projection(&kd, db.universe().set_of("AC")),
-        m2.total_projection(&kd, db.universe().set_of("AC"))
+        m.total_projection(&kd, db.universe().set_of("AC"), &g).unwrap(),
+        m2.total_projection(&kd, db.universe().set_of("AC"), &g).unwrap()
     );
 }
 
 // ---------------------------------------------------------------------------
-// Differential: ample budget ≡ unbudgeted.
+// Shim parity: the deprecated `*_bounded` aliases forward exactly.
 // ---------------------------------------------------------------------------
 
 #[test]
-fn bounded_chase_agrees_with_unbounded_on_fixtures() {
+#[allow(deprecated)]
+fn deprecated_shims_forward_to_canonical_on_fixtures() {
     for fx in independence_reducible::workload::fixtures::paper_examples() {
         let db = &fx.scheme;
         let kd = KeyDeps::of(db);
@@ -444,26 +445,22 @@ fn bounded_chase_agrees_with_unbounded_on_fixtures() {
             },
         );
         let x = db.universe().all();
-        // `total_projection` returns `None` for an inconsistent state; the
-        // bounded path must agree exactly, wrapped in `Ok`.
-        let unbudgeted =
-            independence_reducible::chase::total_projection(db, &w.state, kd.full(), x);
         let guard = Guard::unlimited();
-        let bounded = independence_reducible::chase::total_projection_bounded(
+        // `total_projection` returns `Ok(None)` for an inconsistent state;
+        // the deprecated spelling must agree exactly.
+        let canonical =
+            independence_reducible::chase::total_projection(db, &w.state, kd.full(), x, &guard)
+                .unwrap();
+        let shim = independence_reducible::chase::total_projection_bounded(
             db, &w.state, kd.full(), x, &guard,
         )
         .unwrap();
-        assert_eq!(bounded, unbudgeted, "{}", fx.name);
+        assert_eq!(shim, canonical, "{}", fx.name);
         // Consistency agrees too.
         assert_eq!(
-            independence_reducible::chase::is_consistent_bounded(
-                db,
-                &w.state,
-                kd.full(),
-                &Guard::unlimited()
-            )
-            .unwrap(),
-            independence_reducible::chase::is_consistent(db, &w.state, kd.full()),
+            independence_reducible::chase::is_consistent_bounded(db, &w.state, kd.full(), &guard)
+                .unwrap(),
+            is_consistent(db, &w.state, kd.full(), &guard).unwrap(),
             "{}",
             fx.name
         );
@@ -471,7 +468,7 @@ fn bounded_chase_agrees_with_unbounded_on_fixtures() {
 }
 
 #[test]
-fn bounded_query_and_maintenance_agree_with_unbounded_on_random_workloads() {
+fn query_and_maintenance_agree_with_the_engine_on_random_workloads() {
     let mut master = SplitMix64::new(0xABCD);
     let mut exercised = 0;
     for case in 0..60 {
@@ -500,34 +497,33 @@ fn bounded_query_and_maintenance_agree_with_unbounded_on_random_workloads() {
             },
         );
         exercised += 1;
-        // Query path.
-        let x = db.scheme(rng.gen_range(0, db.len())).attrs();
-        let fast = ir_total_projection(&db, &kd, &ir, &w.state, x).unwrap();
         let guard = Guard::unlimited();
-        let bounded = ir_total_projection_bounded(&db, &kd, &ir, &w.state, x, &guard).unwrap();
-        assert_eq!(
-            bounded.sorted_tuples(),
-            fast.sorted_tuples(),
-            "case {case}: X = {x:?}"
-        );
-        // Cover enumeration parity at the block level.
-        let family: Vec<AttrSet> = db.schemes().iter().map(|s| s.attrs()).collect();
-        assert_eq!(
-            minimal_lossless_covers_bounded(&family, kd.full(), x, &Guard::unlimited()).unwrap(),
-            minimal_lossless_covers(&family, kd.full(), x),
-            "case {case}"
-        );
-        // Maintenance path.
-        let mut m1 = IrMaintainer::new(&db, &ir, &w.state).unwrap();
-        let mut m2 =
-            IrMaintainer::new_bounded(&db, &ir, &w.state, &Guard::unlimited()).unwrap();
-        for (i, t) in &w.inserts {
-            let (o1, s1) = m1.insert(*i, t.clone());
-            let (o2, s2) = m2
-                .insert_bounded(*i, t.clone(), &Guard::unlimited(), &RetryPolicy::retries(3))
-                .unwrap();
-            assert_eq!(o1, o2, "case {case}: insert {t:?} into {i}");
-            assert_eq!(s1.lookups, s2.lookups, "case {case}: metering parity");
+        // Query path: the Theorem 4.1 expressions against the engine's
+        // session (which serves the same query through its expr cache).
+        let x = db.scheme(rng.gen_range(0, db.len())).attrs();
+        let direct = ir_total_projection(&db, &kd, &ir, &w.state, x, &guard).unwrap();
+        let engine = Engine::new(db.clone());
+        let via_engine = engine.total_projection(&w.state, x, &guard).unwrap();
+        let consistent = is_consistent(&db, &w.state, kd.full(), &guard).unwrap();
+        match via_engine {
+            Some(rows) => {
+                assert!(consistent, "case {case}");
+                assert_eq!(rows, direct.sorted_tuples(), "case {case}: X = {x:?}");
+            }
+            None => assert!(!consistent, "case {case}"),
+        }
+        // Maintenance path: two maintainers fed the same stream agree.
+        if consistent {
+            let mut m1 = IrMaintainer::new(&db, &ir, &w.state, &guard).unwrap();
+            let mut m2 = IrMaintainer::new(&db, &ir, &w.state, &guard).unwrap();
+            for (i, t) in &w.inserts {
+                let (o1, s1) = m1.insert(*i, t.clone(), &guard, &RetryPolicy::none()).unwrap();
+                let (o2, s2) = m2
+                    .insert(*i, t.clone(), &guard, &RetryPolicy::retries(3))
+                    .unwrap();
+                assert_eq!(o1, o2, "case {case}: insert {t:?} into {i}");
+                assert_eq!(s1.lookups, s2.lookups, "case {case}: metering parity");
+            }
         }
     }
     assert!(exercised > 10, "too few accepted schemes exercised ({exercised})");
@@ -536,47 +532,61 @@ fn bounded_query_and_maintenance_agree_with_unbounded_on_random_workloads() {
 #[test]
 fn empty_state_everything_degrades_gracefully() {
     let db = SchemeBuilder::new("ABC")
-        .scheme("R1", "AB", &["A", "B"])
-        .scheme("R2", "BC", &["B", "C"])
-        .scheme("R3", "AC", &["A", "C"])
+        .scheme("R1", "AB", ["A", "B"])
+        .scheme("R2", "BC", ["B", "C"])
+        .scheme("R3", "AC", ["A", "C"])
         .build()
         .unwrap();
     let kd = KeyDeps::of(&db);
     let ir = recognize(&db, &kd).accepted().unwrap();
     let empty = DatabaseState::empty(&db);
-    let mut m = IrMaintainer::new(&db, &ir, &empty).unwrap();
-    // Queries on the empty state are empty — on both paths.
-    assert!(m.total_projection(&kd, db.universe().set_of("AC")).is_empty());
+    let g = Guard::unlimited();
+    let mut m = IrMaintainer::new(&db, &ir, &empty, &g).unwrap();
+    // Queries on the empty state are empty.
     assert!(m
-        .total_projection_bounded(&kd, db.universe().set_of("AC"), &Guard::unlimited())
+        .total_projection(&kd, db.universe().set_of("AC"), &g)
         .unwrap()
         .is_empty());
+    // So is the engine's answer.
+    let engine = Engine::new(db.clone());
+    assert_eq!(
+        engine
+            .total_projection(&empty, db.universe().set_of("AC"), &g)
+            .unwrap(),
+        Some(Vec::new())
+    );
     // The first insert into the empty state is always consistent.
     let mut sym = SymbolTable::new();
     let t = Tuple::from_pairs([
         (db.universe().attr_of("A"), sym.intern("a")),
         (db.universe().attr_of("B"), sym.intern("b")),
     ]);
-    assert!(m.insert(0, t).0.is_consistent());
+    assert!(m
+        .insert(0, t, &g, &RetryPolicy::none())
+        .unwrap()
+        .0
+        .is_consistent());
 }
 
 #[test]
 fn duplicate_insert_is_consistent_and_idempotent() {
     let db = SchemeBuilder::new("AB")
-        .scheme("R1", "AB", &["A"])
+        .scheme("R1", "AB", ["A"])
         .build()
         .unwrap();
     let kd = KeyDeps::of(&db);
     let ir = recognize(&db, &kd).accepted().unwrap();
     let mut sym = SymbolTable::new();
     let state = state_of(&db, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
-    let mut m = IrMaintainer::new(&db, &ir, &state).unwrap();
+    let g = Guard::unlimited();
+    let rp = RetryPolicy::none();
+    let mut m = IrMaintainer::new(&db, &ir, &state, &g).unwrap();
     let t = Tuple::from_pairs([
         (db.universe().attr_of("A"), sym.intern("a")),
         (db.universe().attr_of("B"), sym.intern("b")),
     ]);
-    assert!(m.insert(0, t.clone()).0.is_consistent());
-    assert!(m.insert(0, t).0.is_consistent());
+    assert!(m.insert(0, t.clone(), &g, &rp).unwrap().0.is_consistent());
+    assert!(m.insert(0, t, &g, &rp).unwrap().0.is_consistent());
     assert_eq!(m.reps()[0].len(), 1);
 }
 
@@ -586,9 +596,9 @@ fn theorem_5_4_augmented_baselines_accepted() {
     use independence_reducible::core::augment::augment;
     // AUG of an independent scheme (Example 1's S).
     let s = SchemeBuilder::new("CTHRSG")
-        .scheme("S1", "HRCT", &["HR", "HT"])
-        .scheme("S2", "CSG", &["CS"])
-        .scheme("S3", "HSR", &["HS"])
+        .scheme("S1", "HRCT", ["HR", "HT"])
+        .scheme("S2", "CSG", ["CS"])
+        .scheme("S3", "HSR", ["HS"])
         .build()
         .unwrap();
     let kd = KeyDeps::of(&s);
@@ -598,9 +608,9 @@ fn theorem_5_4_augmented_baselines_accepted() {
 
     // AUG of a γ-acyclic BCNF chain.
     let c = SchemeBuilder::new("ABCD")
-        .scheme("R1", "AB", &["A"])
-        .scheme("R2", "BC", &["B"])
-        .scheme("R3", "CD", &["C"])
+        .scheme("R1", "AB", ["A"])
+        .scheme("R2", "BC", ["B"])
+        .scheme("R3", "CD", ["C"])
         .build()
         .unwrap();
     let kd = KeyDeps::of(&c);

@@ -29,21 +29,22 @@ fn check(db: &DatabaseScheme, seed: u64) {
     );
 
     // Left side: chase the raw state tableau.
+    let g = Guard::unlimited();
     let mut t_r = Tableau::of_state(db, &w.state);
-    chase(&mut t_r, kd.full()).expect("consistent");
+    chase(&mut t_r, kd.full(), &g).expect("consistent");
     t_r.minimize_by_constants();
 
     // Right side: build T_d from the per-block representative instances
     // (Algorithm 1 per block = the construction of §4.1), then chase with
     // the same dependencies.
-    let m = IrMaintainer::new(db, &ir, &w.state).unwrap();
+    let m = IrMaintainer::new(db, &ir, &w.state, &g).unwrap();
     let mut t_d = Tableau::new(db.universe().len());
     for rep in m.reps() {
         for tuple in rep.iter() {
             t_d.push_tuple(tuple, None);
         }
     }
-    chase(&mut t_d, kd.full()).expect("consistent");
+    chase(&mut t_d, kd.full(), &g).expect("consistent");
     t_d.minimize_by_constants();
 
     assert!(

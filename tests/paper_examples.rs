@@ -102,7 +102,7 @@ fn ex4_ae_covers() {
     let kd = KeyDeps::of(&f.scheme);
     let family: Vec<AttrSet> = f.scheme.schemes().iter().map(|s| s.attrs()).collect();
     let x = f.scheme.universe().set_of("AE");
-    let covers = minimal_lossless_covers(&family, kd.full(), x);
+    let covers = minimal_lossless_covers(&family, kd.full(), x, &Guard::unlimited()).unwrap();
     assert!(covers.contains(&vec![2]), "R3");
     assert!(covers.contains(&vec![0, 1, 3, 4]), "AB ⋈ AC ⋈ EB ⋈ EC");
     assert!(
@@ -125,7 +125,9 @@ fn ex4_ae_covers() {
         ],
     )
     .unwrap();
-    let oracle = total_projection(&f.scheme, &state, kd.full(), x).unwrap();
+    let oracle = total_projection(&f.scheme, &state, kd.full(), x, &Guard::unlimited())
+        .unwrap()
+        .unwrap();
     assert_eq!(oracle.len(), 1, "the chase derives <a, e>");
 }
 
@@ -149,7 +151,8 @@ fn ex7_algorithm2_trace() {
         ],
     )
     .unwrap();
-    let m = IrMaintainer::new(&f.scheme, &ir, &state).unwrap();
+    let g = Guard::unlimited();
+    let m = IrMaintainer::new(&f.scheme, &ir, &state, &g).unwrap();
     // The rep instance contains <a, b, c, e1> (merged through keys A, E
     // and BC) — the total tuple Example 7's selection returns.
     let u = f.scheme.universe();
@@ -165,7 +168,8 @@ fn ex7_algorithm2_trace() {
         (u.attr_of("A"), sym.intern("a")),
         (u.attr_of("E"), sym.intern("e")),
     ]);
-    let (outcome, _) = algorithm2(&f.scheme, &m.reps()[0], 2, &bad);
+    let (outcome, _) =
+        algorithm2(&f.scheme, &m.reps()[0], 2, &bad, &g, &RetryPolicy::none()).unwrap();
     assert!(!outcome.is_consistent());
 }
 
@@ -187,14 +191,16 @@ fn ex6_rejection_at_key_cd() {
         ],
     )
     .unwrap();
-    let m = IrMaintainer::new(&f.scheme, &ir, &state).unwrap();
+    let g = Guard::unlimited();
+    let m = IrMaintainer::new(&f.scheme, &ir, &state, &g).unwrap();
     let u = f.scheme.universe();
     let bad = Tuple::from_pairs([
         (u.attr_of("A"), sym.intern("a")),
         (u.attr_of("B"), sym.intern("b")),
         (u.attr_of("E"), sym.intern("e'")),
     ]);
-    let (outcome, stats) = algorithm2(&f.scheme, &m.reps()[0], 0, &bad);
+    let (outcome, stats) =
+        algorithm2(&f.scheme, &m.reps()[0], 0, &bad, &g, &RetryPolicy::none()).unwrap();
     assert!(!outcome.is_consistent());
     // Keys A, B, E are processed before CD becomes embedded in the
     // closure; the rejection happens on the fourth key.
@@ -247,11 +253,11 @@ fn ex2_rejection_and_adversarial_state() {
     for n in [2usize, 6] {
         let mut sym = SymbolTable::new();
         let (state, bad) = generators::example2_adversarial_state(&db, &mut sym, n);
-        assert!(is_consistent(&db, &state, kd.full()));
+        assert!(is_consistent(&db, &state, kd.full(), &Guard::unlimited()).unwrap());
         // Every proper prefix of the chain stays consistent with the
         // insert; only the full state refutes it.
         let mut updated = state.clone();
         updated.insert(2, bad).unwrap();
-        assert!(!is_consistent(&db, &updated, kd.full()));
+        assert!(!is_consistent(&db, &updated, kd.full(), &Guard::unlimited()).unwrap());
     }
 }
