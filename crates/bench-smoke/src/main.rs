@@ -12,13 +12,22 @@
 //! Everything is seeded and dependency-free, so the numbers are noisy but
 //! reproducible in shape: the incremental engine must beat the naive chase
 //! on the largest family (asserted by `scripts/bench.sh`).
+//!
+//! Since the observability PR each family also carries the engine's
+//! [`MetricsRegistry`] snapshot for its insert stream, and the document
+//! ends with a `trace_overhead` section timing the largest family's
+//! incremental chase and insert stream with a live [`EventLog`] tracer
+//! attached — `scripts/bench.sh` checks the no-op-tracer numbers against
+//! the checked-in PR 2 baseline (<5% regression).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use idr_chase::{chase, chase_fast, IncrementalChase, Tableau};
-use idr_core::engine::Engine;
+use idr_core::engine::{Engine, Observability};
 use idr_core::exec::Guard;
 use idr_fd::KeyDeps;
+use idr_obs::{EventLog, MetricsRegistry, TraceHandle};
 use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable};
 use idr_workload::generators::block_chain_scheme;
 use idr_workload::states::{generate, WorkloadConfig};
@@ -48,6 +57,9 @@ struct FamilyReport {
     incremental_chase_ms: f64,
     naive_rechase_stream_ms: f64,
     engine_stream_ms: f64,
+    /// Engine metrics snapshot (single-line JSON) from one metered
+    /// session-build + insert-stream run.
+    metrics_json: String,
 }
 
 fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize) -> FamilyReport {
@@ -100,6 +112,17 @@ fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize
         }
     });
 
+    // One unmetered-by-time, metered-by-registry pass for the snapshot.
+    let registry = Arc::new(MetricsRegistry::new());
+    let metered = Engine::new(db.clone()).with_observability(Observability {
+        metrics: Some(Arc::clone(&registry)),
+        ..Observability::default()
+    });
+    let mut session = metered.session(&w.state, &g).expect("within budget");
+    for (i, t) in &w.inserts {
+        session.insert(*i, t.clone(), &g).expect("within budget");
+    }
+
     FamilyReport {
         name: name.to_string(),
         tuples: w.state.total_tuples(),
@@ -109,6 +132,68 @@ fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize
         incremental_chase_ms,
         naive_rechase_stream_ms,
         engine_stream_ms,
+        metrics_json: registry.snapshot().to_json(),
+    }
+}
+
+/// Wall-clock of the largest family's hot paths with a live ring-buffer
+/// tracer attached, against the no-op-handle numbers measured above. The
+/// gap between `*_noop` here and the PR 2 baseline is the cost of the
+/// dormant instrumentation (asserted <5% by `scripts/bench.sh`); the gap
+/// to `*_traced` is the cost of actually recording events.
+struct OverheadReport {
+    family: String,
+    incremental_noop_ms: f64,
+    incremental_traced_ms: f64,
+    stream_noop_ms: f64,
+    stream_traced_ms: f64,
+}
+
+fn bench_overhead(
+    name: &str,
+    db: &DatabaseScheme,
+    entities: usize,
+    inserts: usize,
+    noop: &FamilyReport,
+) -> OverheadReport {
+    let kd = KeyDeps::of(db);
+    let mut sym = SymbolTable::new();
+    let w = generate(
+        db,
+        &mut sym,
+        WorkloadConfig {
+            entities,
+            fragment_pct: 60,
+            inserts,
+            corrupt_pct: 0,
+            seed: SEED,
+        },
+    );
+    let g = Guard::unlimited();
+    let log = Arc::new(EventLog::new(1 << 16));
+    let incremental_traced_ms = time_ms(|| {
+        let mut ic = IncrementalChase::of_state(db, &w.state, kd.full())
+            .with_observability(TraceHandle::to_log(Arc::clone(&log)), None, "bench");
+        ic.run(&g).expect("consistent");
+        log.drain();
+    });
+    let traced_engine = Engine::new(db.clone()).with_observability(Observability {
+        tracer: TraceHandle::to_log(Arc::clone(&log)),
+        ..Observability::default()
+    });
+    let stream_traced_ms = time_ms(|| {
+        let mut session = traced_engine.session(&w.state, &g).expect("within budget");
+        for (i, t) in &w.inserts {
+            session.insert(*i, t.clone(), &g).expect("within budget");
+        }
+        log.drain();
+    });
+    OverheadReport {
+        family: name.to_string(),
+        incremental_noop_ms: noop.incremental_chase_ms,
+        incremental_traced_ms,
+        stream_noop_ms: noop.engine_stream_ms,
+        stream_traced_ms,
     }
 }
 
@@ -125,10 +210,13 @@ fn main() {
             bench_family(name, db, *entities, *inserts)
         })
         .collect();
+    let (name, db, entities, inserts) = &families[families.len() - 1];
+    eprintln!("benchmarking {name} with live tracer ...");
+    let overhead = bench_overhead(name, db, *entities, *inserts, reports.last().expect("families"));
 
     // Hand-rolled JSON: the workspace is hermetic (no serde).
     println!("{{");
-    println!("  \"bench\": \"pr2-chase-smoke\",");
+    println!("  \"bench\": \"pr3-obs-smoke\",");
     println!("  \"seed\": {SEED},");
     println!("  \"iters\": {ITERS},");
     println!("  \"families\": [");
@@ -150,9 +238,17 @@ fn main() {
             "        \"speedup\": {:.2}",
             r.naive_rechase_stream_ms / r.engine_stream_ms.max(1e-9)
         );
-        println!("      }}");
+        println!("      }},");
+        println!("      \"metrics\": {}", r.metrics_json);
         println!("    }}{comma}");
     }
-    println!("  ]");
+    println!("  ],");
+    println!("  \"trace_overhead\": {{");
+    println!("    \"family\": \"{}\",", overhead.family);
+    println!("    \"incremental_noop_ms\": {:.3},", overhead.incremental_noop_ms);
+    println!("    \"incremental_traced_ms\": {:.3},", overhead.incremental_traced_ms);
+    println!("    \"stream_noop_ms\": {:.3},", overhead.stream_noop_ms);
+    println!("    \"stream_traced_ms\": {:.3}", overhead.stream_traced_ms);
+    println!("  }}");
     println!("}}");
 }

@@ -1,8 +1,29 @@
+use std::sync::Arc;
+
 use idr_fd::{Fd, FdSet};
+use idr_obs::{TraceEvent, TraceHandle};
 use idr_relation::exec::{ExecError, Guard};
-use idr_relation::Attribute;
+use idr_relation::{Attribute, Universe};
 
 use crate::tableau::{ChaseSym, Tableau};
+
+/// Renders an fd label for trace events: by attribute name when a
+/// universe is at hand (`HR→C`), by debug form otherwise. Trace-path
+/// only — hot engines pre-render at tracer-attach time instead.
+pub(crate) fn fd_label(fd: &Fd, universe: Option<&Universe>) -> Arc<str> {
+    match universe {
+        Some(u) => Arc::from(fd.render(u).as_str()),
+        None => Arc::from(format!("{fd:?}").as_str()),
+    }
+}
+
+/// Renders a column label for trace events; see [`fd_label`].
+pub(crate) fn col_label(a: Attribute, universe: Option<&Universe>) -> Arc<str> {
+    match universe {
+        Some(u) => Arc::from(u.name(a)),
+        None => Arc::from(format!("col{}", a.index()).as_str()),
+    }
+}
 
 /// An inconsistency found while chasing: an fd-rule tried to equate two
 /// distinct constants (§2.3).
@@ -70,6 +91,50 @@ pub type ChaseOutcome = Result<ChaseStats, ExecError>;
 /// [`ExecError::BudgetExceeded`] (the tableau contents are then
 /// unspecified, as after an inconsistency).
 pub fn chase(t: &mut Tableau, fds: &FdSet, guard: &Guard) -> ChaseOutcome {
+    chase_traced(t, fds, guard, &TraceHandle::none(), None)
+}
+
+/// [`chase`] with a trace sink: emits `ChaseStarted`, one `FdRuleFired`
+/// per rule application (`dirtied` = occurrences renamed), a closing
+/// `RowsDirtied`, `StateRejected` on an inconsistency and `BudgetTrip`
+/// on a guard trip. `universe`, when given, renders fd/column labels by
+/// attribute name. [`chase`] is this function with the disabled handle —
+/// each trace site then costs one branch.
+pub fn chase_traced(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+    trace: &TraceHandle,
+    universe: Option<&Universe>,
+) -> ChaseOutcome {
+    trace.emit_with(|| TraceEvent::ChaseStarted {
+        scope: Arc::from("chase"),
+        rows: t.len(),
+        fds: fds.fds().len(),
+    });
+    let mut dirtied_total = 0usize;
+    let result = chase_inner(t, fds, guard, trace, universe, &mut dirtied_total);
+    match &result {
+        Ok(_) => trace.emit_with(|| TraceEvent::RowsDirtied {
+            scope: Arc::from("chase"),
+            count: dirtied_total,
+        }),
+        Err(e) if e.is_resource_exhaustion() => trace.emit_with(|| TraceEvent::BudgetTrip {
+            detail: Arc::from(e.to_string().as_str()),
+        }),
+        Err(_) => {}
+    }
+    result
+}
+
+fn chase_inner(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+    trace: &TraceHandle,
+    universe: Option<&Universe>,
+    dirtied_total: &mut usize,
+) -> ChaseOutcome {
     let mut stats = ChaseStats::default();
     loop {
         stats.passes += 1;
@@ -90,7 +155,8 @@ pub fn chase(t: &mut Tableau, fds: &FdSet, guard: &Guard) -> ChaseOutcome {
                         }
                         std::collections::hash_map::Entry::Occupied(e) => {
                             let j = *e.get();
-                            if apply_rule(t, *fd, j, i, &mut stats, guard)? {
+                            if apply_rule(t, *fd, j, i, &mut stats, guard, trace, universe, dirtied_total)?
+                            {
                                 changed = true;
                                 continue 'rescan;
                             }
@@ -118,6 +184,7 @@ pub fn chase_bounded(
 
 /// Applies the fd-rule for `fd` to rows `i`, `j` (which agree on `fd.lhs`);
 /// returns whether anything was renamed.
+#[allow(clippy::too_many_arguments)] // internal: the trace plumbing rides along
 fn apply_rule(
     t: &mut Tableau,
     fd: Fd,
@@ -125,6 +192,9 @@ fn apply_rule(
     j: usize,
     stats: &mut ChaseStats,
     guard: &Guard,
+    trace: &TraceHandle,
+    universe: Option<&Universe>,
+    dirtied_total: &mut usize,
 ) -> Result<bool, ExecError> {
     let mut any = false;
     for a in fd.rhs.iter() {
@@ -135,6 +205,11 @@ fn apply_rule(
         }
         let (winner, loser) = match (s1, s2) {
             (ChaseSym::Const(_), ChaseSym::Const(_)) => {
+                trace.emit_with(|| TraceEvent::StateRejected {
+                    violating_fd: fd_label(&fd, universe),
+                    column: col_label(a, universe),
+                    witness_rows: (i as u32, j as u32),
+                });
                 return Err(Inconsistent { fd, column: a }.into());
             }
             (ChaseSym::Const(_), _) => (s1, s2),
@@ -150,22 +225,33 @@ fn apply_rule(
             }
         };
         guard.chase_step()?;
-        rename_in_column(t, a, loser, winner);
+        let renamed = rename_in_column(t, a, loser, winner);
+        *dirtied_total += renamed;
         stats.rule_applications += 1;
         any = true;
+        trace.emit_with(|| TraceEvent::FdRuleFired {
+            fd: fd_label(&fd, universe),
+            column: col_label(a, universe),
+            rows: (i as u32, j as u32),
+            dirtied: renamed,
+        });
     }
     Ok(any)
 }
 
-/// Renames every occurrence of `old` in column `a` to `new`. Variables are
-/// column-local by construction, so this renames globally.
-fn rename_in_column(t: &mut Tableau, a: Attribute, old: ChaseSym, new: ChaseSym) {
+/// Renames every occurrence of `old` in column `a` to `new`, returning
+/// the number of rows touched. Variables are column-local by
+/// construction, so this renames globally.
+fn rename_in_column(t: &mut Tableau, a: Attribute, old: ChaseSym, new: ChaseSym) -> usize {
     let col = a.index();
+    let mut n = 0;
     for row in t.rows_mut() {
         if row.syms[col] == old {
             row.syms[col] = new;
+            n += 1;
         }
     }
+    n
 }
 
 #[cfg(test)]

@@ -18,18 +18,63 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use idr_fd::FdSet;
+use idr_obs::{TraceEvent, TraceHandle};
 use idr_relation::exec::{ExecError, Guard};
-use idr_relation::Attribute;
+use idr_relation::{Attribute, Universe};
 
-use crate::chase_engine::{ChaseOutcome, ChaseStats, Inconsistent};
+use crate::chase_engine::{col_label, fd_label, ChaseOutcome, ChaseStats, Inconsistent};
 use crate::tableau::{ChaseSym, Tableau};
 
 /// `CHASE_F(T)` with worklist indexing. Same contract as [`crate::chase`]:
 /// one chase-step unit charged per rule application against `guard`,
 /// deadline/cancellation checked on every worklist pop.
 pub fn chase_fast(t: &mut Tableau, fds: &FdSet, guard: &Guard) -> ChaseOutcome {
+    chase_fast_traced(t, fds, guard, &TraceHandle::none(), None)
+}
+
+/// [`chase_fast`] with a trace sink — the same event protocol as
+/// [`crate::chase_traced`](crate::chase_traced): `ChaseStarted`, one
+/// `FdRuleFired` per rule application (`dirtied` = occurrence-index
+/// holders renamed), a closing `RowsDirtied`, `StateRejected` /
+/// `BudgetTrip` on the failure paths.
+pub fn chase_fast_traced(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+    trace: &TraceHandle,
+    universe: Option<&Universe>,
+) -> ChaseOutcome {
+    trace.emit_with(|| TraceEvent::ChaseStarted {
+        scope: Arc::from("chase_fast"),
+        rows: t.len(),
+        fds: fds.fds().len(),
+    });
+    let mut dirtied_total = 0usize;
+    let result = fast_inner(t, fds, guard, trace, universe, &mut dirtied_total);
+    match &result {
+        Ok(_) => trace.emit_with(|| TraceEvent::RowsDirtied {
+            scope: Arc::from("chase_fast"),
+            count: dirtied_total,
+        }),
+        Err(e) if e.is_resource_exhaustion() => trace.emit_with(|| TraceEvent::BudgetTrip {
+            detail: Arc::from(e.to_string().as_str()),
+        }),
+        Err(_) => {}
+    }
+    result
+}
+
+fn fast_inner(
+    t: &mut Tableau,
+    fds: &FdSet,
+    guard: &Guard,
+    trace: &TraceHandle,
+    universe: Option<&Universe>,
+    dirtied_total: &mut usize,
+) -> ChaseOutcome {
     let mut stats = ChaseStats::default();
     let width = t.width();
     let n_fds = fds.fds().len();
@@ -103,6 +148,11 @@ pub fn chase_fast(t: &mut Tableau, fds: &FdSet, guard: &Guard) -> ChaseOutcome {
                         }
                         let (winner, loser) = match (s1, s2) {
                             (ChaseSym::Const(_), ChaseSym::Const(_)) => {
+                                trace.emit_with(|| TraceEvent::StateRejected {
+                                    violating_fd: fd_label(&fd, universe),
+                                    column: col_label(a, universe),
+                                    witness_rows: (rep as u32, r as u32),
+                                });
                                 return Err(Inconsistent { fd, column: a }.into());
                             }
                             (ChaseSym::Const(_), _) => (s1, s2),
@@ -130,7 +180,15 @@ pub fn chase_fast(t: &mut Tableau, fds: &FdSet, guard: &Guard) -> ChaseOutcome {
                                 work.push(h as u32);
                             }
                         }
+                        let dirtied = holders.len();
+                        *dirtied_total += dirtied;
                         occurs.entry((col, winner)).or_default().extend(holders);
+                        trace.emit_with(|| TraceEvent::FdRuleFired {
+                            fd: fd_label(&fd, universe),
+                            column: col_label(a, universe),
+                            rows: (rep as u32, r as u32),
+                            dirtied,
+                        });
                     }
                     if any {
                         // `r` changed; restart its fd sweep on requeue.

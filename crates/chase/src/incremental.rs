@@ -36,15 +36,114 @@
 //! fresh guard picks up where it stopped. An inconsistency, by contrast,
 //! poisons the engine permanently (the chase result is the empty tableau;
 //! callers rebuild from the state).
+//!
+//! ## Observability and provenance
+//!
+//! The engine optionally carries an [`idr_obs::TraceHandle`]
+//! ([`with_observability`](IncrementalChase::with_observability)): it
+//! then emits one `FdRuleFired` event per class merge, a `ChaseStarted`
+//! / `RowsDirtied` pair per [`run`](IncrementalChase::run), and
+//! `StateRejected` / `BudgetTrip` on the failure paths. Event labels
+//! (fd and column renderings) are pre-computed when the tracer is
+//! attached, so an emission clones two `Arc<str>`s; with the default
+//! no-op handle every site is a single branch.
+//!
+//! With [`with_provenance`](IncrementalChase::with_provenance) the
+//! engine additionally records, per class merge, *which* fd fired on
+//! *which* two rows — an uncompressed merge forest beside the
+//! path-compressed union-find. [`explain_cell`](IncrementalChase::explain_cell)
+//! walks a cell's chain of merges (the exact fd-firing sequence that
+//! gave the cell its canonical symbol, i.e. a Lemma 3.8-style witness),
+//! [`explain_tuple`](IncrementalChase::explain_tuple) assembles the
+//! per-column chains justifying a derived total tuple, and
+//! [`explain_rejection`](IncrementalChase::explain_rejection)
+//! reconstructs, for an inconsistency, the violated fd, the two witness
+//! rows, and the firing chains under which their left-hand sides came
+//! to agree.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use idr_fd::{Fd, FdSet};
+use idr_obs::{TraceEvent, TraceHandle};
 use idr_relation::exec::{ExecError, Guard};
-use idr_relation::{AttrSet, Attribute, DatabaseScheme, DatabaseState, Tuple, Value};
+use idr_relation::{AttrSet, Attribute, DatabaseScheme, DatabaseState, Tuple, Universe, Value};
 
 use crate::chase_engine::{ChaseStats, Inconsistent};
 use crate::tableau::{ChaseSym, Row, Tableau};
+
+/// One recorded fd-rule firing: fd index, merge column, and the two
+/// rows (representative, probed) the rule was applied to.
+#[derive(Clone, Copy, Debug)]
+struct Firing {
+    fd: u32,
+    column: Attribute,
+    rows: (u32, u32),
+}
+
+/// A link of the uncompressed merge forest: this (erstwhile root) class
+/// was merged into `winner` by firing `firing`.
+#[derive(Clone, Copy, Debug)]
+struct MergeLink {
+    winner: u32,
+    firing: u32,
+}
+
+/// One fd-rule firing in a provenance chain, resolved for callers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FiringInfo {
+    /// The dependency that fired.
+    pub fd: Fd,
+    /// The column whose classes merged.
+    pub column: Attribute,
+    /// The two rows the rule was applied to (representative, probed).
+    pub rows: (usize, usize),
+    /// Origin tags of those rows (relation index, when from a state).
+    pub tags: (Option<usize>, Option<usize>),
+}
+
+/// The merge chain that gave one cell its canonical symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellTrace {
+    /// The cell's column.
+    pub column: Attribute,
+    /// Firings from the cell's original class to its current class,
+    /// oldest first. Empty when the cell was born with its symbol.
+    pub chain: Vec<FiringInfo>,
+}
+
+/// Provenance for a derived total tuple: the witnessing row and the
+/// per-column firing chains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TupleExplanation {
+    /// The witnessing tableau row.
+    pub row: usize,
+    /// Its origin tag.
+    pub tag: Option<usize>,
+    /// One trace per requested column.
+    pub cells: Vec<CellTrace>,
+}
+
+/// Provenance for an inconsistency: the violated dependency, the two
+/// witness rows, and the chains under which their left-hand sides came
+/// to agree (plus the chains of the two clashing cells themselves).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejectionExplanation {
+    /// The violated dependency.
+    pub fd: Fd,
+    /// The column on which two distinct constants clashed.
+    pub column: Attribute,
+    /// The two witness rows (representative, probed).
+    pub rows: (usize, usize),
+    /// Origin tags of the witness rows.
+    pub tags: (Option<usize>, Option<usize>),
+    /// Per LHS column: the two rows' merge chains (they end in the same
+    /// class — that is *why* the fd applied).
+    pub lhs: Vec<(Attribute, Vec<FiringInfo>, Vec<FiringInfo>)>,
+    /// Merge chains of the two clashing cells (usually empty: base
+    /// constants).
+    pub clash: (Vec<FiringInfo>, Vec<FiringInfo>),
+}
 
 /// The incremental chase engine. See the module docs for the design.
 #[derive(Clone, Debug)]
@@ -75,6 +174,25 @@ pub struct IncrementalChase {
     queued: Vec<bool>,
     stats: ChaseStats,
     failure: Option<Inconsistent>,
+    /// Trace sink; disabled by default (one branch per site).
+    trace: TraceHandle,
+    /// Scope label for `ChaseStarted`/`RowsDirtied` events.
+    scope: Arc<str>,
+    /// Pre-rendered fd labels, parallel to `fds` (built when tracing).
+    fd_labels: Vec<Arc<str>>,
+    /// Pre-rendered column labels (built when tracing).
+    col_labels: Vec<Arc<str>>,
+    /// Whether the merge forest and firing log are maintained.
+    provenance: bool,
+    /// Firing log (provenance mode).
+    firings: Vec<Firing>,
+    /// Uncompressed merge forest, parallel to `parent` (provenance
+    /// mode). Unlike `parent`, never rewritten by path compression.
+    link: Vec<Option<MergeLink>>,
+    /// The firing that found the inconsistency, if any.
+    rejection: Option<Firing>,
+    /// Rows enqueued by class merges since the current run started.
+    dirtied_in_run: usize,
 }
 
 impl IncrementalChase {
@@ -98,7 +216,76 @@ impl IncrementalChase {
             queued: Vec::new(),
             stats: ChaseStats::default(),
             failure: None,
+            trace: TraceHandle::none(),
+            scope: Arc::from("chase"),
+            fd_labels: Vec::new(),
+            col_labels: Vec::new(),
+            provenance: false,
+            firings: Vec::new(),
+            link: Vec::new(),
+            rejection: None,
+            dirtied_in_run: 0,
         }
+    }
+
+    /// Attaches a trace sink. `scope` labels this engine's
+    /// `ChaseStarted`/`RowsDirtied` events (e.g. `whole` or `T2`);
+    /// `universe`, when given, renders fd and column labels by attribute
+    /// name (`HR→C`), otherwise by debug form. All labels are rendered
+    /// here, once — emitting an event afterwards clones `Arc`s.
+    pub fn with_observability(
+        mut self,
+        trace: TraceHandle,
+        universe: Option<&Universe>,
+        scope: &str,
+    ) -> Self {
+        if trace.enabled() {
+            self.scope = Arc::from(scope);
+            self.fd_labels = self
+                .fds
+                .fds()
+                .iter()
+                .map(|fd| match universe {
+                    Some(u) => Arc::from(fd.render(u).as_str()),
+                    None => Arc::from(format!("{fd:?}").as_str()),
+                })
+                .collect();
+            self.col_labels = (0..self.width)
+                .map(|c| match universe {
+                    Some(u) => Arc::from(u.name(Attribute::from_index(c))),
+                    None => Arc::from(format!("col{c}").as_str()),
+                })
+                .collect();
+        }
+        self.trace = trace;
+        self
+    }
+
+    /// Enables provenance recording: every class merge logs the firing
+    /// responsible (fd, column, witness rows) and the merge forest is
+    /// retained beside the union-find, so
+    /// [`explain_cell`](IncrementalChase::explain_cell),
+    /// [`explain_tuple`](IncrementalChase::explain_tuple) and
+    /// [`explain_rejection`](IncrementalChase::explain_rejection) can
+    /// reconstruct full derivations. Off by default; the chase result is
+    /// unaffected either way.
+    pub fn with_provenance(mut self, on: bool) -> Self {
+        self.provenance = on;
+        self
+    }
+
+    /// Whether provenance recording is on.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance
+    }
+
+    /// Swaps the trace sink, keeping the labels rendered when
+    /// observability was attached. The block-parallel engine uses this at
+    /// its join barrier: blocks chase into private per-block shards, then
+    /// retarget to the session's sink so later incremental work (inserts,
+    /// rebuilds) emits directly into it.
+    pub fn retarget_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The engine over the state tableau `T_r` (§2.2): one row per tuple,
@@ -132,6 +319,7 @@ impl IncrementalChase {
                     e.parent.push(id);
                     e.sym.push(s);
                     e.members.push(Vec::new());
+                    e.link.push(None);
                     id
                 });
                 e.members[node as usize].push(r);
@@ -199,15 +387,31 @@ impl IncrementalChase {
         if let Some(f) = &self.failure {
             return Err(f.clone().into());
         }
+        self.trace.emit_with(|| TraceEvent::ChaseStarted {
+            scope: self.scope.clone(),
+            rows: self.cells.len(),
+            fds: self.fds.fds().len(),
+        });
+        self.dirtied_in_run = 0;
         while let Some(r) = self.work.pop() {
             self.queued[r as usize] = false;
             self.stats.passes += 1;
             if let Err(e) = self.step_row(r, guard) {
                 // Keep the row pending so a fresh guard can resume.
                 self.enqueue(r);
+                if e.is_resource_exhaustion() {
+                    self.trace.emit_with(|| TraceEvent::BudgetTrip {
+                        detail: Arc::from(e.to_string().as_str()),
+                    });
+                }
                 return Err(e);
             }
         }
+        let count = self.dirtied_in_run;
+        self.trace.emit_with(|| TraceEvent::RowsDirtied {
+            scope: self.scope.clone(),
+            count,
+        });
         Ok(self.stats)
     }
 
@@ -236,7 +440,7 @@ impl IncrementalChase {
                     for a in fd.rhs.iter() {
                         let na = self.cells[rep as usize][a.index()];
                         let nb = self.cells[r as usize][a.index()];
-                        if self.union(na, nb, fd, a, guard)? {
+                        if self.union(na, nb, fi, a, (rep, r), guard)? {
                             any = true;
                         }
                     }
@@ -252,15 +456,17 @@ impl IncrementalChase {
     }
 
     /// Merges the classes of nodes `a` and `b` under the renaming
-    /// precedence of §2.3. Returns whether the classes were distinct.
-    /// Every row of the losing class is enqueued — those are exactly the
-    /// rows whose visible symbol changed.
+    /// precedence of §2.3, applying fd `fi` to the row pair `rows`
+    /// (representative, probed). Returns whether the classes were
+    /// distinct. Every row of the losing class is enqueued — those are
+    /// exactly the rows whose visible symbol changed.
     fn union(
         &mut self,
         a: u32,
         b: u32,
-        fd: Fd,
+        fi: usize,
         column: Attribute,
+        rows: (u32, u32),
         guard: &Guard,
     ) -> Result<bool, ExecError> {
         let ra = self.find(a);
@@ -270,8 +476,24 @@ impl IncrementalChase {
         }
         let (win, lose) = match (self.sym[ra as usize], self.sym[rb as usize]) {
             (ChaseSym::Const(_), ChaseSym::Const(_)) => {
-                let e = Inconsistent { fd, column };
+                let e = Inconsistent {
+                    fd: self.fds.fds()[fi],
+                    column,
+                };
                 self.failure = Some(e.clone());
+                // Always record the violating firing: explain_rejection
+                // names the fd and witnesses even without provenance
+                // (the justification *chains* need provenance).
+                self.rejection = Some(Firing {
+                    fd: fi as u32,
+                    column,
+                    rows,
+                });
+                self.trace.emit_with(|| TraceEvent::StateRejected {
+                    violating_fd: self.fd_labels[fi].clone(),
+                    column: self.col_labels[column.index()].clone(),
+                    witness_rows: rows,
+                });
                 return Err(e.into());
             }
             (ChaseSym::Const(_), _) => (ra, rb),
@@ -289,11 +511,28 @@ impl IncrementalChase {
         guard.chase_step()?;
         self.stats.rule_applications += 1;
         self.parent[lose as usize] = win;
+        if self.provenance {
+            let firing = self.firings.len() as u32;
+            self.firings.push(Firing {
+                fd: fi as u32,
+                column,
+                rows,
+            });
+            self.link[lose as usize] = Some(MergeLink { winner: win, firing });
+        }
         let moved = std::mem::take(&mut self.members[lose as usize]);
         for &row in &moved {
             self.enqueue(row);
         }
+        let dirtied = moved.len();
+        self.dirtied_in_run += dirtied;
         self.members[win as usize].extend(moved);
+        self.trace.emit_with(|| TraceEvent::FdRuleFired {
+            fd: self.fd_labels[fi].clone(),
+            column: self.col_labels[column.index()].clone(),
+            rows,
+            dirtied,
+        });
         Ok(true)
     }
 
@@ -351,12 +590,96 @@ impl IncrementalChase {
         self.parent.push(id);
         self.sym.push(s);
         self.members.push(Vec::new());
+        self.link.push(None);
         id
     }
 
     /// The inconsistency that poisoned the engine, if any.
     pub fn failure(&self) -> Option<&Inconsistent> {
         self.failure.as_ref()
+    }
+
+    fn firing_info(&self, i: u32) -> FiringInfo {
+        let f = self.firings[i as usize];
+        FiringInfo {
+            fd: self.fds.fds()[f.fd as usize],
+            column: f.column,
+            rows: (f.rows.0 as usize, f.rows.1 as usize),
+            tags: (self.tags[f.rows.0 as usize], self.tags[f.rows.1 as usize]),
+        }
+    }
+
+    /// Walks `node`'s merge-forest chain, oldest firing first. Path
+    /// compression only rewrites `parent`, so the chain survives intact.
+    fn chain_of(&self, mut node: u32) -> Vec<FiringInfo> {
+        let mut out = Vec::new();
+        while let Some(l) = self.link[node as usize] {
+            out.push(self.firing_info(l.firing));
+            node = l.winner;
+        }
+        out
+    }
+
+    /// The fd-firing chain that gave cell `(row, column)` its canonical
+    /// symbol, oldest first — a Lemma 3.8-style derivation witness.
+    /// Empty when the cell was born with its symbol, or when provenance
+    /// recording ([`with_provenance`](IncrementalChase::with_provenance))
+    /// is off.
+    pub fn explain_cell(&self, row: usize, column: Attribute) -> Vec<FiringInfo> {
+        self.chain_of(self.cells[row][column.index()])
+    }
+
+    /// Provenance for the derived total tuple `t` on `x`: the first row
+    /// whose canonical symbols are total on `x` and equal `t`, with its
+    /// per-column firing chains. `None` when no chased row witnesses
+    /// `t`.
+    pub fn explain_tuple(&self, x: AttrSet, t: &Tuple) -> Option<TupleExplanation> {
+        'rows: for (r, cells) in self.cells.iter().enumerate() {
+            for a in x.iter() {
+                match self.sym[self.find_ro(cells[a.index()]) as usize] {
+                    ChaseSym::Const(v) if t.get(a) == Some(v) => {}
+                    _ => continue 'rows,
+                }
+            }
+            return Some(TupleExplanation {
+                row: r,
+                tag: self.tags[r],
+                cells: x
+                    .iter()
+                    .map(|a| CellTrace {
+                        column: a,
+                        chain: self.explain_cell(r, a),
+                    })
+                    .collect(),
+            });
+        }
+        None
+    }
+
+    /// Provenance for the inconsistency that poisoned the engine: the
+    /// violated fd, the column of the constant clash, the two witness
+    /// rows with their origin tags, and (in provenance mode) the firing
+    /// chains under which the rows' left-hand sides came to agree.
+    /// `None` while the engine is healthy.
+    pub fn explain_rejection(&self) -> Option<RejectionExplanation> {
+        let f = self.rejection?;
+        let fd = self.fds.fds()[f.fd as usize];
+        let (r0, r1) = (f.rows.0 as usize, f.rows.1 as usize);
+        Some(RejectionExplanation {
+            fd,
+            column: f.column,
+            rows: (r0, r1),
+            tags: (self.tags[r0], self.tags[r1]),
+            lhs: fd
+                .lhs
+                .iter()
+                .map(|a| (a, self.explain_cell(r0, a), self.explain_cell(r1, a)))
+                .collect(),
+            clash: (
+                self.explain_cell(r0, f.column),
+                self.explain_cell(r1, f.column),
+            ),
+        })
     }
 
     /// Accumulated work counters across all runs.
@@ -623,6 +946,190 @@ mod tests {
         chase(&mut oracle, kd.full(), &Guard::unlimited()).unwrap();
         let all = scheme.universe().all();
         assert_eq!(e.total_projection(all), oracle.total_projection(all));
+    }
+
+    #[test]
+    fn tracing_emits_run_and_firing_events() {
+        use idr_obs::EventLog;
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let log = Arc::new(EventLog::new(256));
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).with_observability(
+            TraceHandle::to_log(Arc::clone(&log)),
+            Some(scheme.universe()),
+            "whole",
+        );
+        e.run(&Guard::unlimited()).unwrap();
+        let events = log.drain();
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::ChaseStarted { rows: 2, fds: _, .. })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::RowsDirtied { .. })
+        ));
+        let fired: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FdRuleFired { .. }))
+            .collect();
+        assert!(!fired.is_empty());
+        // Labels are rendered with universe names, e.g. "A→B".
+        if let TraceEvent::FdRuleFired { fd, .. } = fired[0] {
+            assert!(fd.contains('→'), "fd label: {fd}");
+        }
+    }
+
+    #[test]
+    fn tracing_emits_rejection_with_witnesses() {
+        use idr_obs::EventLog;
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", ["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b1")]),
+                ("R1", &[("A", "a"), ("B", "b2")]),
+            ],
+        )
+        .unwrap();
+        let log = Arc::new(EventLog::new(64));
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).with_observability(
+            TraceHandle::to_log(Arc::clone(&log)),
+            Some(scheme.universe()),
+            "whole",
+        );
+        e.run(&Guard::unlimited()).unwrap_err();
+        let rejected: Vec<_> = log
+            .drain()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::StateRejected { .. }))
+            .collect();
+        assert_eq!(rejected.len(), 1);
+        if let TraceEvent::StateRejected {
+            violating_fd,
+            column,
+            witness_rows,
+        } = &rejected[0]
+        {
+            assert_eq!(&**violating_fd, "A→B");
+            assert_eq!(&**column, "B");
+            assert_ne!(witness_rows.0, witness_rows.1);
+        }
+        // explain_rejection names the same violation without provenance.
+        let why = e.explain_rejection().unwrap();
+        assert_eq!(why.column.index(), 1);
+        assert_eq!(why.tags, (Some(0), Some(0)));
+    }
+
+    #[test]
+    fn provenance_explains_derived_tuple() {
+        // R1(a,b) + R2(a,c) under A→B, A→C derive the AC-total row and
+        // the BC agreement transitively; the chain must name the fds.
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let u = scheme.universe();
+        let mut e =
+            IncrementalChase::of_state(&scheme, &state, kd.full()).with_provenance(true);
+        e.run(&Guard::unlimited()).unwrap();
+        assert!(e.provenance_enabled());
+        // Row 0 (R1: a,b) became total on C via A→C between rows 0 and 1.
+        let mut sym = SymbolTable::new();
+        let (av, bv, cv) = (sym.intern("a"), sym.intern("b"), sym.intern("c"));
+        let abc = Tuple::from_pairs([
+            (u.attr_of("A"), av),
+            (u.attr_of("B"), bv),
+            (u.attr_of("C"), cv),
+        ]);
+        let why = e.explain_tuple(u.all(), &abc).expect("tuple is derived");
+        let c_trace = why
+            .cells
+            .iter()
+            .find(|c| c.column == u.attr_of("C"))
+            .unwrap();
+        assert!(
+            !c_trace.chain.is_empty(),
+            "derived C cell must have a firing chain"
+        );
+        assert!(c_trace.chain.iter().all(|f| f.rows.0 != f.rows.1));
+        // The A cell was born constant: empty chain.
+        let a_trace = why
+            .cells
+            .iter()
+            .find(|c| c.column == u.attr_of("A"))
+            .unwrap();
+        assert!(a_trace.chain.is_empty());
+    }
+
+    #[test]
+    fn provenance_off_by_default_and_chains_empty() {
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        e.run(&Guard::unlimited()).unwrap();
+        assert!(!e.provenance_enabled());
+        for r in 0..e.len() {
+            for c in 0..e.width() {
+                assert!(e.explain_cell(r, Attribute::from_index(c)).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn provenance_rejection_chains_justify_lhs_agreement() {
+        // A transitive inconsistency: the violating rows' LHS cells agree
+        // only through earlier firings, and the chains must show them.
+        let scheme = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &scheme,
+            &mut sym,
+            &[
+                ("R2", &[("B", "b"), ("C", "c1")]),
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("B", "b"), ("C", "c2")]),
+            ],
+        )
+        .unwrap();
+        let mut e =
+            IncrementalChase::of_state(&scheme, &state, kd.full()).with_provenance(true);
+        e.run(&Guard::unlimited()).unwrap_err();
+        let why = e.explain_rejection().expect("engine is poisoned");
+        assert_eq!(why.fd.render(scheme.universe()), "B→C");
+        assert_eq!(scheme.universe().name(why.column), "C");
+        assert_ne!(why.rows.0, why.rows.1);
+        // Both witness rows are R2 rows (tag 1).
+        assert_eq!(why.tags, (Some(1), Some(1)));
+    }
+
+    #[test]
+    fn tracing_does_not_change_chase_result() {
+        use idr_obs::EventLog;
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let mut plain = IncrementalChase::of_state(&scheme, &state, kd.full());
+        plain.run(&Guard::unlimited()).unwrap();
+        let log = Arc::new(EventLog::new(256));
+        let mut traced = IncrementalChase::of_state(&scheme, &state, kd.full())
+            .with_observability(
+                TraceHandle::to_log(Arc::clone(&log)),
+                Some(scheme.universe()),
+                "whole",
+            )
+            .with_provenance(true);
+        traced.run(&Guard::unlimited()).unwrap();
+        assert_eq!(plain.to_tableau(), traced.to_tableau());
+        assert_eq!(plain.stats(), traced.stats());
     }
 
     #[test]

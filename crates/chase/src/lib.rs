@@ -39,11 +39,14 @@ mod weak;
 
 #[allow(deprecated)]
 pub use chase_engine::chase_bounded;
-pub use chase_engine::{chase, ChaseOutcome, ChaseStats, Inconsistent};
+pub use chase_engine::{chase, chase_traced, ChaseOutcome, ChaseStats, Inconsistent};
 #[allow(deprecated)]
 pub use fast::chase_fast_bounded;
-pub use fast::chase_fast;
-pub use incremental::{chase_incremental, IncrementalChase};
+pub use fast::{chase_fast, chase_fast_traced};
+pub use incremental::{
+    chase_incremental, CellTrace, FiringInfo, IncrementalChase, RejectionExplanation,
+    TupleExplanation,
+};
 pub use tableau::{ChaseSym, Row, Tableau};
 #[allow(deprecated)]
 pub use weak::{is_consistent_bounded, representative_instance_bounded, total_projection_bounded};

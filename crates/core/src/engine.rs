@@ -25,17 +25,51 @@
 //! schemes fall back to a single whole-state chase.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
-use idr_chase::IncrementalChase;
+use idr_chase::{IncrementalChase, RejectionExplanation, TupleExplanation};
 use idr_fd::KeyDeps;
+use idr_obs::{MetricsRegistry, ShardedLog, TraceEvent, TraceHandle};
 use idr_relation::algebra::Expr;
 use idr_relation::exec::{ExecError, Guard};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple};
 
 use crate::classify::{classify, Classification};
+use crate::kep;
 use crate::query::ir_total_projection_expr;
 use crate::recognition::{recognize, IrScheme, Recognition};
+
+/// Events each per-block shard can hold during one session build. The
+/// ring discards oldest-first beyond this, counting drops — tracing
+/// never aborts an evaluation.
+const SHARD_CAPACITY: usize = 65_536;
+
+/// Observability configuration for an [`Engine`]: a trace sink, a
+/// metrics registry, and the provenance switch. All three default to
+/// off, in which case every instrumentation site costs one branch.
+#[derive(Clone, Debug, Default)]
+pub struct Observability {
+    /// Sink for structured [`TraceEvent`]s. Under block-parallel
+    /// evaluation each block writes to a private shard; shards merge in
+    /// block order at the join barrier, so serial and parallel runs
+    /// deliver *identical* event sequences here.
+    pub tracer: TraceHandle,
+    /// Registry fed with engine counters (chase work, session
+    /// operations, guard spend) and latency histograms.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// When set, block engines record the fd-firing merge forest, and
+    /// [`Session::explain`] / [`Session::explain_rejection`] return full
+    /// derivation chains.
+    pub provenance: bool,
+}
+
+impl Observability {
+    /// The all-off configuration (same as `Default`).
+    pub fn none() -> Self {
+        Observability::default()
+    }
+}
 
 /// Scheme-level front end: owns everything derivable from the scheme
 /// alone. Construction runs Algorithm 6 once; classification and the
@@ -51,6 +85,7 @@ pub struct Engine {
     classification: OnceLock<Classification>,
     expr_cache: Mutex<HashMap<AttrSet, Option<Expr>>>,
     parallel: bool,
+    obs: Observability,
 }
 
 impl Engine {
@@ -67,6 +102,7 @@ impl Engine {
             classification: OnceLock::new(),
             expr_cache: Mutex::new(HashMap::new()),
             parallel: true,
+            obs: Observability::default(),
         }
     }
 
@@ -75,6 +111,35 @@ impl Engine {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Attaches an [`Observability`] configuration. When the tracer is
+    /// enabled, the scheme-level verdicts already computed by
+    /// [`Engine::new`] are emitted immediately (`recognition_done`, and
+    /// `kep_computed` when Algorithm 6 accepted), so a trace always
+    /// opens with the scheme's shape.
+    pub fn with_observability(self, obs: Observability) -> Self {
+        obs.tracer.emit_with(|| self.recognition.trace_event());
+        if let Some(ir) = self.ir() {
+            obs.tracer.emit_with(|| kep::trace_event(&ir.partition));
+        }
+        Engine { obs, ..self }
+    }
+
+    /// The engine's observability configuration.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Sets every `guard.*` gauge from one [`Guard::snapshot`], when a
+    /// metrics registry is attached.
+    pub fn record_guard_metrics(&self, guard: &Guard) {
+        if let Some(m) = &self.obs.metrics {
+            let s = guard.snapshot();
+            m.gauge("guard.chase_steps").set(s.chase_steps);
+            m.gauge("guard.lookups").set(s.lookups);
+            m.gauge("guard.enumeration").set(s.enumeration);
+        }
     }
 
     /// The scheme the engine was built from.
@@ -154,48 +219,113 @@ impl Engine {
     /// session reports it through [`is_consistent`](Session::is_consistent).
     /// `Err` means the guard stopped a chase before a verdict.
     pub fn session(&self, state: &DatabaseState, guard: &Guard) -> Result<Session<'_>, ExecError> {
+        let t0 = Instant::now();
         let backend = match self.ir() {
             Some(ir) if !ir.is_empty() => {
+                // One private shard per block: workers never contend on
+                // the sink, and draining the shards in block order at the
+                // barrier below makes the merged stream identical whether
+                // the blocks ran serially or in parallel.
+                let shards = self
+                    .obs
+                    .tracer
+                    .enabled()
+                    .then(|| ShardedLog::new(ir.len(), SHARD_CAPACITY));
                 let built = evaluate_blocks(ir.len(), self.parallel, |b| {
-                    self.chase_block(ir, b, state, guard)
+                    let trace = match &shards {
+                        Some(sh) => TraceHandle::to_log(Arc::clone(sh.shard(b))),
+                        None => TraceHandle::none(),
+                    };
+                    self.chase_block(ir, b, state, guard, trace)
                 });
+                if let Some(sh) = &shards {
+                    sh.merge_into_handle(&self.obs.tracer);
+                }
                 let mut blocks = Vec::with_capacity(built.len());
                 for r in built {
-                    blocks.push(r?);
+                    let mut e = r?;
+                    // The shards are drained; point incremental work
+                    // (inserts, deletes) straight at the session's sink.
+                    e.retarget_trace(self.obs.tracer.clone());
+                    blocks.push(e);
                 }
                 Backend::Blocks(blocks)
             }
             _ => Backend::Whole(Box::new(self.chase_whole(state, guard)?)),
         };
-        Ok(Session {
+        let session = Session {
             engine: self,
             state: state.clone(),
             backend,
-        })
+            last_rejection: None,
+        };
+        self.obs.tracer.emit_with(|| TraceEvent::SessionBuilt {
+            blocks: match &session.backend {
+                Backend::Blocks(es) => es.len(),
+                Backend::Whole(_) => 1,
+            },
+            consistent: session.is_consistent(),
+        });
+        if let Some(m) = &self.obs.metrics {
+            m.counter("session.builds").inc();
+            m.latency_histogram("session.build_us")
+                .observe_duration(t0.elapsed());
+            let stats = session.chase_stats();
+            m.counter("chase.rule_applications")
+                .add(stats.rule_applications as u64);
+            m.counter("chase.passes").add(stats.passes as u64);
+            self.record_guard_metrics(guard);
+        }
+        Ok(session)
     }
 
-    /// Chases block `b`'s substate under the block's fds. Inconsistency
-    /// poisons the returned engine rather than erroring — the session
-    /// reports it as a verdict.
+    /// Chases block `b`'s substate under the block's fds, emitting its
+    /// events (and a closing `block_evaluated`) into `trace` — under
+    /// parallel evaluation that is the block's private shard.
+    /// Inconsistency poisons the returned engine rather than erroring —
+    /// the session reports it as a verdict.
     fn chase_block(
         &self,
         ir: &IrScheme,
         b: usize,
         state: &DatabaseState,
         guard: &Guard,
+        trace: TraceHandle,
     ) -> Result<IncrementalChase, ExecError> {
-        let mut e = IncrementalChase::new(self.scheme.universe().len(), &ir.block_fds[b]);
+        let mut e = IncrementalChase::new(self.scheme.universe().len(), &ir.block_fds[b])
+            .with_observability(
+                trace.clone(),
+                Some(self.scheme.universe()),
+                &format!("T{}", b + 1),
+            )
+            .with_provenance(self.obs.provenance);
         for &i in &ir.partition[b] {
             for t in state.relation(i).iter() {
                 e.push_tuple(t, Some(i));
             }
         }
-        finish_run(e, guard)
+        let e = finish_run(e, guard)?;
+        trace.emit_with(|| TraceEvent::BlockEvaluated {
+            block: b,
+            consistent: e.failure().is_none(),
+            passes: e.stats().passes,
+            rule_applications: e.stats().rule_applications,
+        });
+        Ok(e)
     }
 
     fn chase_whole(&self, state: &DatabaseState, guard: &Guard) -> Result<IncrementalChase, ExecError> {
-        let e = IncrementalChase::of_state(&self.scheme, state, self.kd.full());
-        finish_run(e, guard)
+        let e = IncrementalChase::of_state(&self.scheme, state, self.kd.full())
+            .with_observability(self.obs.tracer.clone(), Some(self.scheme.universe()), "whole")
+            .with_provenance(self.obs.provenance);
+        let e = finish_run(e, guard)?;
+        self.obs.tracer.emit_with(|| TraceEvent::BlockEvaluated {
+            block: 0,
+            consistent: e.failure().is_none(),
+            passes: e.stats().passes,
+            rule_applications: e.stats().rule_applications,
+        });
+        Ok(e)
     }
 }
 
@@ -224,6 +354,10 @@ pub struct Session<'e> {
     engine: &'e Engine,
     state: DatabaseState,
     backend: Backend,
+    /// Provenance of the most recent rejected insert, captured *before*
+    /// the poisoned block tableau is rebuilt (the rebuild discards the
+    /// chase that found the violation).
+    last_rejection: Option<RejectionExplanation>,
 }
 
 impl Session<'_> {
@@ -271,12 +405,13 @@ impl Session<'_> {
     /// still pending, and the next `run`-driven call with a fresh guard
     /// resumes it.
     pub fn insert(&mut self, i: usize, t: Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        let t0 = Instant::now();
         let eng = self.backend_slot(i);
         if let Some(f) = eng.failure() {
             return Err(f.clone().into());
         }
         eng.push_tuple(&t, Some(i));
-        match eng.run(guard) {
+        let outcome = match eng.run(guard) {
             Ok(_) => {
                 self.state
                     .insert(i, t)
@@ -284,12 +419,35 @@ impl Session<'_> {
                 Ok(true)
             }
             Err(ExecError::Inconsistent { .. }) => {
+                // Capture provenance before the rebuild wipes the chase
+                // that found the violation.
+                let why = eng.explain_rejection();
+                self.last_rejection = why;
                 self.rebuild_slot(i, &Guard::unlimited())
                     .expect("rebuilding a previously consistent block cannot fail");
                 Ok(false)
             }
             Err(e) => Err(e),
+        };
+        if let Ok(&accepted) = outcome.as_ref() {
+            let obs = &self.engine.obs;
+            obs.tracer.emit_with(|| TraceEvent::InsertApplied {
+                relation: Arc::from(self.engine.scheme.scheme(i).name()),
+                accepted,
+            });
+            if let Some(m) = &obs.metrics {
+                m.counter(if accepted {
+                    "session.inserts_accepted"
+                } else {
+                    "session.inserts_rejected"
+                })
+                .inc();
+                m.latency_histogram("session.insert_us")
+                    .observe_duration(t0.elapsed());
+                self.engine.record_guard_metrics(guard);
+            }
         }
+        outcome
     }
 
     /// Removes `t` from relation `i`. Deletion never breaks consistency
@@ -304,6 +462,15 @@ impl Session<'_> {
         if removed {
             self.rebuild_slot(i, guard)?;
         }
+        let obs = &self.engine.obs;
+        obs.tracer.emit_with(|| TraceEvent::DeleteApplied {
+            relation: Arc::from(self.engine.scheme.scheme(i).name()),
+            removed,
+        });
+        if let Some(m) = &obs.metrics {
+            m.counter("session.deletes").inc();
+            self.engine.record_guard_metrics(guard);
+        }
         Ok(removed)
     }
 
@@ -315,29 +482,77 @@ impl Session<'_> {
         x: AttrSet,
         guard: &Guard,
     ) -> Result<Option<Vec<Tuple>>, ExecError> {
+        let t0 = Instant::now();
         if !self.is_consistent() {
             return Ok(None);
         }
-        match &self.backend {
-            Backend::Whole(e) => Ok(Some(e.total_projection(x))),
+        let (result, method) = match &self.backend {
+            Backend::Whole(e) => (Ok(Some(e.total_projection(x))), "chase"),
             Backend::Blocks(_) => match self.engine.total_projection_expr(x, guard)? {
                 Some(expr) => {
                     let rel = expr
                         .eval(&self.engine.scheme, &self.state)
                         .expect("cached projection expressions are well-formed");
-                    Ok(Some(rel.sorted_tuples()))
+                    (Ok(Some(rel.sorted_tuples())), "expr")
                 }
                 // No bounded expression covers x — fall back to one
                 // whole-state chase.
-                None => idr_chase::total_projection(
-                    &self.engine.scheme,
-                    &self.state,
-                    self.engine.kd.full(),
-                    x,
-                    guard,
+                None => (
+                    idr_chase::total_projection(
+                        &self.engine.scheme,
+                        &self.state,
+                        self.engine.kd.full(),
+                        x,
+                        guard,
+                    ),
+                    "chase",
                 ),
             },
+        };
+        if let Ok(Some(tuples)) = &result {
+            let obs = &self.engine.obs;
+            obs.tracer.emit_with(|| TraceEvent::QueryAnswered {
+                attrs: Arc::from(self.engine.scheme.universe().render(x).as_str()),
+                method: Arc::from(method),
+                tuples: tuples.len(),
+            });
+            if let Some(m) = &obs.metrics {
+                m.counter("session.queries").inc();
+                m.counter(if method == "expr" {
+                    "session.queries_expr"
+                } else {
+                    "session.queries_chase"
+                })
+                .inc();
+                m.latency_histogram("session.query_us")
+                    .observe_duration(t0.elapsed());
+                self.engine.record_guard_metrics(guard);
+            }
         }
+        result
+    }
+
+    /// Provenance for a derived tuple: searches the chased block
+    /// tableaux (in block order) for a row witnessing `t` total on `x`
+    /// and returns its per-column fd-firing chains. Chains are empty
+    /// unless the engine was built with
+    /// [`Observability::provenance`] set. `None` when no row witnesses
+    /// `t` — in particular when `t` is not in the X-total projection.
+    pub fn explain(&self, x: AttrSet, t: &Tuple) -> Option<TupleExplanation> {
+        match &self.backend {
+            Backend::Whole(e) => e.explain_tuple(x, t),
+            Backend::Blocks(es) => es.iter().find_map(|e| e.explain_tuple(x, t)),
+        }
+    }
+
+    /// Provenance of the most recent *rejected* insert: the violated key
+    /// dependency, the clash column, the two witness rows (with origin
+    /// tags), and — with [`Observability::provenance`] — the fd-firing
+    /// chains under which the witnesses' left-hand sides came to agree.
+    /// Survives the block rebuild that follows a rejection; `None` until
+    /// an insert has been rejected.
+    pub fn explain_rejection(&self) -> Option<&RejectionExplanation> {
+        self.last_rejection.as_ref()
     }
 
     /// Aggregated chase work across every block tableau.
@@ -376,7 +591,13 @@ impl Session<'_> {
             Backend::Blocks(es) => {
                 let ir = self.engine.ir().expect("Blocks backend implies an IR partition");
                 let b = ir.block_of[i];
-                es[b] = self.engine.chase_block(ir, b, &self.state, guard)?;
+                es[b] = self.engine.chase_block(
+                    ir,
+                    b,
+                    &self.state,
+                    guard,
+                    self.engine.obs.tracer.clone(),
+                )?;
             }
         }
         Ok(())

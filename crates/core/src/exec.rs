@@ -27,8 +27,8 @@ use idr_relation::rng::SplitMix64;
 use idr_relation::{AttrSet, Tuple};
 
 pub use idr_relation::exec::{
-    Budget, CancelToken, ExecError, Fault, FaultKind, Guard, Resource, RetryPolicy,
-    DEFAULT_MAX_ENUMERATION,
+    Budget, CancelToken, ExecError, Fault, FaultKind, Guard, GuardSnapshot, Resource,
+    RetryPolicy, DEFAULT_MAX_ENUMERATION,
 };
 
 use crate::rep::KeRep;

@@ -16,6 +16,16 @@ use idr_relation::{AttrSet, DatabaseScheme};
 /// sorted, so the output is canonical.
 pub type Partition = Vec<Vec<usize>>;
 
+/// A partition's shape as a trace record — emitted by
+/// [`Engine::with_observability`](crate::engine::Engine::with_observability)
+/// when Algorithm 6 accepted.
+pub fn trace_event(partition: &Partition) -> idr_obs::TraceEvent {
+    idr_obs::TraceEvent::KepComputed {
+        blocks: partition.len(),
+        largest: partition.iter().map(Vec::len).max().unwrap_or(0),
+    }
+}
+
 /// Computes the key-equivalent partition of the database scheme via the
 /// recursive function KEP of §5.1.
 ///

@@ -56,10 +56,10 @@ pub mod rep;
 pub mod split;
 
 pub use classify::{classify, Classification};
-pub use engine::{Engine, Session};
+pub use engine::{Engine, Observability, Session};
 pub use exec::{
     Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,
-    RepAccess, Resource, RetryPolicy, StateAccess,
+    GuardSnapshot, RepAccess, Resource, RetryPolicy, StateAccess,
 };
 pub use kep::key_equivalent_partition;
 pub use maintain::{MaintenanceOutcome, StateIndex};

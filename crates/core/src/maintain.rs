@@ -15,7 +15,9 @@
 //! for the plain in-memory semantics.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use idr_obs::{TraceEvent, TraceHandle};
 use idr_relation::exec::{ExecError, Guard, RetryPolicy};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple, Value};
 
@@ -456,6 +458,7 @@ pub struct IrMaintainer {
     scheme: DatabaseScheme,
     ir: IrScheme,
     reps: Vec<KeRep>,
+    trace: TraceHandle,
 }
 
 impl IrMaintainer {
@@ -494,7 +497,16 @@ impl IrMaintainer {
             scheme: scheme.clone(),
             ir: ir.clone(),
             reps,
+            trace: TraceHandle::none(),
         })
+    }
+
+    /// Installs a tracer: every subsequent [`insert`](IrMaintainer::insert)
+    /// emits an [`TraceEvent::InsertApplied`] with its verdict.
+    #[must_use]
+    pub fn with_tracer(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Deprecated spelling of [`IrMaintainer::new`] from before the
@@ -544,6 +556,10 @@ impl IrMaintainer {
                 .insert_merge(q.clone(), &Guard::unlimited())
                 .expect("Algorithm 2 accepted; merge cannot conflict");
         }
+        self.trace.emit_with(|| TraceEvent::InsertApplied {
+            relation: Arc::from(self.scheme.scheme(scheme_idx).name()),
+            accepted: outcome.is_consistent(),
+        });
         Ok((outcome, stats))
     }
 
@@ -726,6 +742,7 @@ pub struct CtmMaintainer {
     scheme: DatabaseScheme,
     ir: IrScheme,
     indexes: Vec<StateIndex>,
+    trace: TraceHandle,
 }
 
 impl CtmMaintainer {
@@ -761,7 +778,19 @@ impl CtmMaintainer {
             scheme: scheme.clone(),
             ir: ir.clone(),
             indexes,
+            trace: TraceHandle::none(),
         })
+    }
+
+    /// Installs a tracer: every subsequent [`insert`](CtmMaintainer::insert)
+    /// emits one [`TraceEvent::SelectionPerformed`] per single-tuple
+    /// selection Algorithm 5 issued (replayed through
+    /// [`algorithm5_traced`], which is deterministic and agrees with the
+    /// metered run) and a closing [`TraceEvent::InsertApplied`].
+    #[must_use]
+    pub fn with_tracer(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Deprecated spelling of [`CtmMaintainer::new`] from before the
@@ -790,6 +819,22 @@ impl CtmMaintainer {
         let b = self.ir.block_of[scheme_idx];
         let (outcome, stats) =
             algorithm5(&self.scheme, &self.indexes[b], scheme_idx, &t, guard, retry)?;
+        if self.trace.enabled() {
+            // Replay the decision unmetered purely for the selection
+            // trace: Algorithm 5 is deterministic, so the replay issues
+            // exactly the selections the metered run just paid for.
+            let (_, _, steps) = algorithm5_traced(&self.scheme, &self.indexes[b], scheme_idx, &t);
+            for step in &steps {
+                self.trace.emit_with(|| TraceEvent::SelectionPerformed {
+                    relation: Arc::from(self.scheme.scheme(step.scheme).name()),
+                    found: step.result.is_some(),
+                });
+            }
+            self.trace.emit_with(|| TraceEvent::InsertApplied {
+                relation: Arc::from(self.scheme.scheme(scheme_idx).name()),
+                accepted: outcome.is_consistent(),
+            });
+        }
         if outcome.is_consistent() {
             let pos = self.indexes[b]
                 .member_pos(scheme_idx)

@@ -107,6 +107,19 @@ pub enum Recognition {
 }
 
 impl Recognition {
+    /// The verdict as a trace record — what
+    /// [`Engine::with_observability`](crate::engine::Engine::with_observability)
+    /// emits when a tracer is attached.
+    pub fn trace_event(&self) -> idr_obs::TraceEvent {
+        idr_obs::TraceEvent::RecognitionDone {
+            accepted: self.is_accepted(),
+            blocks: match self {
+                Recognition::Accepted(ir) => ir.len(),
+                Recognition::Rejected(_) => 0,
+            },
+        }
+    }
+
     /// The witness, when accepted.
     pub fn accepted(self) -> Option<IrScheme> {
         match self {

@@ -1,0 +1,422 @@
+//! The typed trace-event taxonomy.
+//!
+//! Events are small copyable records. Human-facing fields (`fd`,
+//! `column`, `scope`, …) are `Arc<str>` labels **pre-rendered by the
+//! emitter at setup time**, so constructing an event on the hot path
+//! clones a pointer instead of formatting a string. Row references are
+//! tableau row indexes; `tag` fields are the originating relation index
+//! of a row when known (the `TAG` column of the paper's figures).
+//!
+//! Each event renders two ways: [`render_text`](TraceEvent::render_text)
+//! — one `key=value` line for `--trace=text` — and
+//! [`to_json`](TraceEvent::to_json) — one single-line JSON object with a
+//! `"type"` discriminator for `--trace=json` and the golden-trace suite.
+//! Neither rendering includes clocks, addresses or other
+//! run-dependent data, so traces are byte-stable across runs.
+
+use std::sync::Arc;
+
+use crate::json::JsonWriter;
+
+/// A structured trace record. See the module docs for conventions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A chase run began (one per [`run`] call on an engine; `scope`
+    /// identifies the tableau, e.g. `whole` or `T1`).
+    ChaseStarted {
+        /// Which tableau is being chased.
+        scope: Arc<str>,
+        /// Rows in the tableau at run start.
+        rows: usize,
+        /// Dependencies being chased with.
+        fds: usize,
+    },
+    /// A symbol-equating fd-rule application (one class merge).
+    FdRuleFired {
+        /// The applied dependency, rendered (`HR→C`).
+        fd: Arc<str>,
+        /// The column whose classes merged, rendered (`C`).
+        column: Arc<str>,
+        /// The two rows the rule was applied to (representative, probed).
+        rows: (u32, u32),
+        /// Rows whose visible symbol changed and were re-enqueued.
+        dirtied: usize,
+    },
+    /// Total rows re-enqueued by symbol changes over one chase run.
+    RowsDirtied {
+        /// The run's scope (matches its [`ChaseStarted`]).
+        scope: Arc<str>,
+        /// Total worklist pushes caused by class merges.
+        count: usize,
+    },
+    /// One IR block finished evaluating (per-block session verdict).
+    BlockEvaluated {
+        /// Block index (0-based).
+        block: usize,
+        /// Whether the block's substate chased to a fixpoint.
+        consistent: bool,
+        /// Worklist pops / scan passes spent.
+        passes: usize,
+        /// Rule applications spent.
+        rule_applications: usize,
+    },
+    /// A guard stopped the computation (budget, deadline or
+    /// cancellation).
+    BudgetTrip {
+        /// Rendered description of the trip (resource, spent, limit).
+        detail: Arc<str>,
+    },
+    /// The chase tried to equate two distinct constants: the state (or a
+    /// speculative insert) is inconsistent.
+    StateRejected {
+        /// The violated dependency, rendered.
+        violating_fd: Arc<str>,
+        /// The column on which constants clashed, rendered.
+        column: Arc<str>,
+        /// The two witnessing rows.
+        witness_rows: (u32, u32),
+    },
+    /// A session finished binding an engine to a state.
+    SessionBuilt {
+        /// Block tableaux built (1 for the whole-state backend).
+        blocks: usize,
+        /// The session's consistency verdict.
+        consistent: bool,
+    },
+    /// An incremental insert was applied (or rejected).
+    InsertApplied {
+        /// Target relation name.
+        relation: Arc<str>,
+        /// Whether the insert kept the state consistent.
+        accepted: bool,
+    },
+    /// A delete was applied.
+    DeleteApplied {
+        /// Target relation name.
+        relation: Arc<str>,
+        /// Whether the tuple was present.
+        removed: bool,
+    },
+    /// An X-total projection was answered.
+    QueryAnswered {
+        /// The projection attributes, rendered.
+        attrs: Arc<str>,
+        /// `expr` (chase-free Theorem 4.1 expression) or `chase`
+        /// (whole-state fallback).
+        method: Arc<str>,
+        /// Result cardinality.
+        tuples: usize,
+    },
+    /// Algorithm 6 finished.
+    RecognitionDone {
+        /// Whether the scheme is independence-reducible.
+        accepted: bool,
+        /// Blocks in the IR partition (0 when rejected).
+        blocks: usize,
+    },
+    /// The key-equivalent partition (§5.1) was computed.
+    KepComputed {
+        /// Number of blocks.
+        blocks: usize,
+        /// Size of the largest block.
+        largest: usize,
+    },
+    /// A single-tuple selection of Algorithm 4/5 (§2.7).
+    SelectionPerformed {
+        /// The relation selected against.
+        relation: Arc<str>,
+        /// Whether a matching tuple was found.
+        found: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The snake-case discriminator used by both renderings.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ChaseStarted { .. } => "chase_started",
+            TraceEvent::FdRuleFired { .. } => "fd_rule_fired",
+            TraceEvent::RowsDirtied { .. } => "rows_dirtied",
+            TraceEvent::BlockEvaluated { .. } => "block_evaluated",
+            TraceEvent::BudgetTrip { .. } => "budget_trip",
+            TraceEvent::StateRejected { .. } => "state_rejected",
+            TraceEvent::SessionBuilt { .. } => "session_built",
+            TraceEvent::InsertApplied { .. } => "insert_applied",
+            TraceEvent::DeleteApplied { .. } => "delete_applied",
+            TraceEvent::QueryAnswered { .. } => "query_answered",
+            TraceEvent::RecognitionDone { .. } => "recognition_done",
+            TraceEvent::KepComputed { .. } => "kep_computed",
+            TraceEvent::SelectionPerformed { .. } => "selection_performed",
+        }
+    }
+
+    /// One `kind key=value ...` line for `--trace=text`.
+    pub fn render_text(&self) -> String {
+        match self {
+            TraceEvent::ChaseStarted { scope, rows, fds } => {
+                format!("chase_started scope={scope} rows={rows} fds={fds}")
+            }
+            TraceEvent::FdRuleFired {
+                fd,
+                column,
+                rows,
+                dirtied,
+            } => format!(
+                "fd_rule_fired fd={fd} column={column} rows=({},{}) dirtied={dirtied}",
+                rows.0, rows.1
+            ),
+            TraceEvent::RowsDirtied { scope, count } => {
+                format!("rows_dirtied scope={scope} count={count}")
+            }
+            TraceEvent::BlockEvaluated {
+                block,
+                consistent,
+                passes,
+                rule_applications,
+            } => format!(
+                "block_evaluated block={block} consistent={consistent} passes={passes} rule_applications={rule_applications}"
+            ),
+            TraceEvent::BudgetTrip { detail } => format!("budget_trip detail={detail:?}"),
+            TraceEvent::StateRejected {
+                violating_fd,
+                column,
+                witness_rows,
+            } => format!(
+                "state_rejected violating_fd={violating_fd} column={column} witness_rows=({},{})",
+                witness_rows.0, witness_rows.1
+            ),
+            TraceEvent::SessionBuilt { blocks, consistent } => {
+                format!("session_built blocks={blocks} consistent={consistent}")
+            }
+            TraceEvent::InsertApplied { relation, accepted } => {
+                format!("insert_applied relation={relation} accepted={accepted}")
+            }
+            TraceEvent::DeleteApplied { relation, removed } => {
+                format!("delete_applied relation={relation} removed={removed}")
+            }
+            TraceEvent::QueryAnswered {
+                attrs,
+                method,
+                tuples,
+            } => format!("query_answered attrs={attrs} method={method} tuples={tuples}"),
+            TraceEvent::RecognitionDone { accepted, blocks } => {
+                format!("recognition_done accepted={accepted} blocks={blocks}")
+            }
+            TraceEvent::KepComputed { blocks, largest } => {
+                format!("kep_computed blocks={blocks} largest={largest}")
+            }
+            TraceEvent::SelectionPerformed { relation, found } => {
+                format!("selection_performed relation={relation} found={found}")
+            }
+        }
+    }
+
+    /// One single-line JSON object with a `"type"` discriminator.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object().key("type").string(self.kind());
+        match self {
+            TraceEvent::ChaseStarted { scope, rows, fds } => {
+                w.key("scope")
+                    .string(scope)
+                    .key("rows")
+                    .u64(*rows as u64)
+                    .key("fds")
+                    .u64(*fds as u64);
+            }
+            TraceEvent::FdRuleFired {
+                fd,
+                column,
+                rows,
+                dirtied,
+            } => {
+                w.key("fd").string(fd).key("column").string(column);
+                w.key("rows")
+                    .begin_array()
+                    .u64(rows.0 as u64)
+                    .u64(rows.1 as u64)
+                    .end_array();
+                w.key("dirtied").u64(*dirtied as u64);
+            }
+            TraceEvent::RowsDirtied { scope, count } => {
+                w.key("scope")
+                    .string(scope)
+                    .key("count")
+                    .u64(*count as u64);
+            }
+            TraceEvent::BlockEvaluated {
+                block,
+                consistent,
+                passes,
+                rule_applications,
+            } => {
+                w.key("block")
+                    .u64(*block as u64)
+                    .key("consistent")
+                    .bool(*consistent)
+                    .key("passes")
+                    .u64(*passes as u64)
+                    .key("rule_applications")
+                    .u64(*rule_applications as u64);
+            }
+            TraceEvent::BudgetTrip { detail } => {
+                w.key("detail").string(detail);
+            }
+            TraceEvent::StateRejected {
+                violating_fd,
+                column,
+                witness_rows,
+            } => {
+                w.key("violating_fd")
+                    .string(violating_fd)
+                    .key("column")
+                    .string(column);
+                w.key("witness_rows")
+                    .begin_array()
+                    .u64(witness_rows.0 as u64)
+                    .u64(witness_rows.1 as u64)
+                    .end_array();
+            }
+            TraceEvent::SessionBuilt { blocks, consistent } => {
+                w.key("blocks")
+                    .u64(*blocks as u64)
+                    .key("consistent")
+                    .bool(*consistent);
+            }
+            TraceEvent::InsertApplied { relation, accepted } => {
+                w.key("relation")
+                    .string(relation)
+                    .key("accepted")
+                    .bool(*accepted);
+            }
+            TraceEvent::DeleteApplied { relation, removed } => {
+                w.key("relation")
+                    .string(relation)
+                    .key("removed")
+                    .bool(*removed);
+            }
+            TraceEvent::QueryAnswered {
+                attrs,
+                method,
+                tuples,
+            } => {
+                w.key("attrs")
+                    .string(attrs)
+                    .key("method")
+                    .string(method)
+                    .key("tuples")
+                    .u64(*tuples as u64);
+            }
+            TraceEvent::RecognitionDone { accepted, blocks } => {
+                w.key("accepted")
+                    .bool(*accepted)
+                    .key("blocks")
+                    .u64(*blocks as u64);
+            }
+            TraceEvent::KepComputed { blocks, largest } => {
+                w.key("blocks")
+                    .u64(*blocks as u64)
+                    .key("largest")
+                    .u64(*largest as u64);
+            }
+            TraceEvent::SelectionPerformed { relation, found } => {
+                w.key("relation")
+                    .string(relation)
+                    .key("found")
+                    .bool(*found);
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_and_text_render_every_variant() {
+        let label: Arc<str> = Arc::from("A→B");
+        let events = [
+            TraceEvent::ChaseStarted {
+                scope: label.clone(),
+                rows: 2,
+                fds: 1,
+            },
+            TraceEvent::FdRuleFired {
+                fd: label.clone(),
+                column: label.clone(),
+                rows: (0, 1),
+                dirtied: 3,
+            },
+            TraceEvent::RowsDirtied {
+                scope: label.clone(),
+                count: 3,
+            },
+            TraceEvent::BlockEvaluated {
+                block: 0,
+                consistent: true,
+                passes: 4,
+                rule_applications: 2,
+            },
+            TraceEvent::BudgetTrip {
+                detail: label.clone(),
+            },
+            TraceEvent::StateRejected {
+                violating_fd: label.clone(),
+                column: label.clone(),
+                witness_rows: (1, 2),
+            },
+            TraceEvent::SessionBuilt {
+                blocks: 2,
+                consistent: false,
+            },
+            TraceEvent::InsertApplied {
+                relation: label.clone(),
+                accepted: true,
+            },
+            TraceEvent::DeleteApplied {
+                relation: label.clone(),
+                removed: false,
+            },
+            TraceEvent::QueryAnswered {
+                attrs: label.clone(),
+                method: label.clone(),
+                tuples: 9,
+            },
+            TraceEvent::RecognitionDone {
+                accepted: true,
+                blocks: 2,
+            },
+            TraceEvent::KepComputed {
+                blocks: 3,
+                largest: 4,
+            },
+            TraceEvent::SelectionPerformed {
+                relation: label.clone(),
+                found: true,
+            },
+        ];
+        for e in &events {
+            let json = e.to_json();
+            assert!(json.starts_with(&format!("{{\"type\":\"{}\"", e.kind())), "{json}");
+            assert!(json.ends_with('}'), "{json}");
+            assert!(e.render_text().starts_with(e.kind()));
+        }
+    }
+
+    #[test]
+    fn fd_rule_fired_json_shape() {
+        let e = TraceEvent::FdRuleFired {
+            fd: Arc::from("HR→C"),
+            column: Arc::from("C"),
+            rows: (0, 1),
+            dirtied: 2,
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"type":"fd_rule_fired","fd":"HR→C","column":"C","rows":[0,1],"dirtied":2}"#
+        );
+    }
+}

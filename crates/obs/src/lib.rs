@@ -1,0 +1,42 @@
+//! `idr-obs` — dependency-free structured tracing and metrics.
+//!
+//! The execution layer (PR 1) made every computation *budgeted* and the
+//! engine (PR 2) made it *fast*; this crate makes it *observable*. It is
+//! deliberately at the bottom of the workspace dependency graph — std
+//! only, no other `idr-*` crate — so every layer (the chase engines, the
+//! `Engine` facade, the maintainers, the CLI, the bench harness) can emit
+//! into the same two sinks:
+//!
+//! * **Tracing** ([`tracer`]): a [`Tracer`] trait with a no-op default
+//!   that compiles to a single branch on the hot path, a fixed-capacity
+//!   ring-buffer [`EventLog`], and a [`ShardedLog`] whose per-shard
+//!   streams merge deterministically — the block-parallel engine gives
+//!   each scoped thread its own shard and merges in block order at the
+//!   barrier, so serial and parallel runs produce *identical* event
+//!   streams, not merely equivalent ones. Events ([`TraceEvent`]) are
+//!   typed records whose human-facing fields are pre-rendered
+//!   `Arc<str>` labels: emitting clones a pointer, it never formats.
+//! * **Metrics** ([`metrics`]): a [`MetricsRegistry`] of named atomic
+//!   counters, gauges and fixed-bucket latency histograms, snapshotable
+//!   as one [`MetricsSnapshot`] and serialised by the same hand-rolled
+//!   JSON writer ([`json`]) the bench harness uses — the workspace stays
+//!   hermetic (no serde).
+//!
+//! Everything is `Send + Sync`; counters are relaxed atomics and the
+//! event log takes one uncontended mutex per emit. Nothing in this crate
+//! reads clocks or allocates identifiers, so two runs over the same
+//! inputs produce byte-identical traces — the property the golden-trace
+//! suite pins down.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::TraceEvent;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use tracer::{EventLog, NoopTracer, ShardedLog, TraceHandle, Tracer};

@@ -1,0 +1,381 @@
+//! Named atomic counters, gauges and fixed-bucket latency histograms.
+//!
+//! A [`MetricsRegistry`] hands out `Arc` handles so hot code increments
+//! a pre-resolved atomic — the name lookup happens once, at setup. A
+//! [`snapshot`](MetricsRegistry::snapshot) folds everything into one
+//! [`MetricsSnapshot`] with deterministic (sorted-name) ordering,
+//! serialised by the hand-rolled JSON writer ([`crate::json`]); the
+//! workspace stays hermetic.
+//!
+//! Histograms are fixed-bucket (cumulative-free: each bucket counts its
+//! own range) with caller-chosen upper bounds plus an implicit overflow
+//! bucket; [`latency_bounds_us`] is the shared microsecond scale used
+//! for engine timings.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::JsonWriter;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: bucket `i` counts observations `v` with
+/// `v <= bounds[i]` (and `> bounds[i-1]`); values above the last bound
+/// land in the overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    /// `bounds.len() + 1` buckets; the last is overflow.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// The shared microsecond latency scale: 1µs … 10s in a 1-2-5
+/// progression. 22 buckets plus overflow.
+pub fn latency_bounds_us() -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut decade = 1u64;
+    while decade <= 1_000_000 {
+        for m in [1, 2, 5] {
+            out.push(m * decade);
+        }
+        decade *= 10;
+    }
+    out.push(10_000_000);
+    out
+}
+
+impl Histogram {
+    /// A histogram over ascending `bounds` (deduplicated, sorted).
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut b: Vec<u64> = bounds.to_vec();
+        b.sort_unstable();
+        b.dedup();
+        let n = b.len();
+        Histogram {
+            bounds: b.into_boxed_slice(),
+            buckets: (0..=n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let buckets = self
+            .bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, self.buckets[i].load(Ordering::Relaxed)))
+            .collect();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+            overflow: self.buckets[self.bounds.len()].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A registry of named metrics. Handles are `Arc`s: resolve once, then
+/// increment lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .expect("metrics registry poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The histogram named `name` over the shared latency scale
+    /// ([`latency_bounds_us`]), created on first use.
+    pub fn latency_histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram(name, &latency_bounds_us())
+    }
+
+    /// The histogram named `name`, created over `bounds` on first use
+    /// (an existing histogram keeps its original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| v.snapshot(k))
+                .collect(),
+        }
+    }
+}
+
+/// One histogram's snapshot: per-bucket `(upper_bound, count)` pairs
+/// plus the overflow bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// `(upper_bound, count)` per bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], with deterministic
+/// ordering and a hand-rolled JSON rendering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Single-line JSON:
+    /// `{"counters":{...},"gauges":{...},"histograms":[...]}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters").begin_object();
+        for (k, v) in &self.counters {
+            w.key(k).u64(*v);
+        }
+        w.end_object();
+        w.key("gauges").begin_object();
+        for (k, v) in &self.gauges {
+            w.key(k).u64(*v);
+        }
+        w.end_object();
+        w.key("histograms").begin_array();
+        for h in &self.histograms {
+            w.begin_object()
+                .key("name")
+                .string(&h.name)
+                .key("count")
+                .u64(h.count)
+                .key("sum")
+                .u64(h.sum)
+                .key("overflow")
+                .u64(h.overflow)
+                .key("buckets")
+                .begin_array();
+            for &(bound, count) in &h.buckets {
+                // Elide empty buckets: the latency scale is wide and the
+                // document stays readable.
+                if count > 0 {
+                    w.begin_array().u64(bound).u64(count).end_array();
+                }
+            }
+            w.end_array().end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// A `name value` line per metric, for human output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter   {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge     {k} = {v}\n"));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "histogram {} count={} sum={}us mean={:.1}us\n",
+                h.name,
+                h.count,
+                h.sum,
+                if h.count > 0 {
+                    h.sum as f64 / h.count as f64
+                } else {
+                    0.0
+                }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("chase.rule_applications");
+        c.add(3);
+        reg.counter("chase.rule_applications").inc();
+        reg.gauge("guard.chase_steps").set(17);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("chase.rule_applications".to_string(), 4)]
+        );
+        assert_eq!(snap.gauges, vec![("guard.chase_steps".to_string(), 17)]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10);
+        h.observe(11);
+        h.observe(1000);
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1026);
+        assert_eq!(s.buckets, vec![(10, 2), (100, 1)]);
+        assert_eq!(s.overflow, 1);
+    }
+
+    #[test]
+    fn latency_scale_is_ascending() {
+        let b = latency_bounds_us();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*b.first().unwrap(), 1);
+        assert_eq!(*b.last().unwrap(), 10_000_000);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(2);
+        reg.histogram("h", &[10]).observe(3);
+        let j1 = reg.snapshot().to_json();
+        let j2 = reg.snapshot().to_json();
+        assert_eq!(j1, j2);
+        assert_eq!(
+            j1,
+            r#"{"counters":{"a":2,"b":1},"gauges":{},"histograms":[{"name":"h","count":1,"sum":3,"overflow":0,"buckets":[[10,1]]}]}"#
+        );
+    }
+
+    #[test]
+    fn snapshot_renders_text() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.latency_histogram("lat").observe(10);
+        let text = reg.snapshot().render_text();
+        assert!(text.contains("counter   x = 1"));
+        assert!(text.contains("histogram lat count=1"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Tracer trait, the ring-buffer event log, sharding, and the cheap
+//! handle threaded through the engines.
+//!
+//! The hot-path contract: an instrumentation site calls
+//! [`TraceHandle::emit_with`] with a *closure* that builds the event.
+//! When no tracer is installed (the default), the call is one branch on
+//! an `Option` — the closure is never invoked, no event is constructed,
+//! nothing is formatted. When a tracer is installed, the closure runs
+//! and the event is pushed into a fixed-capacity ring buffer under one
+//! uncontended mutex.
+//!
+//! Determinism under block parallelism comes from [`ShardedLog`]: the
+//! engine gives every IR block its own shard, scoped worker threads
+//! write only to their own shard, and after the join barrier the shards
+//! are drained *in block order* into the session's sink. Serial and
+//! parallel runs therefore produce identical event sequences — the
+//! golden-trace suite asserts byte equality, not just multiset
+//! equality.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// A sink for [`TraceEvent`]s. Implementations must be cheap to probe
+/// via [`enabled`](Tracer::enabled): instrumentation sites gate event
+/// construction on it.
+pub trait Tracer: Send + Sync {
+    /// Whether events should be constructed and emitted at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one event. Implementations must not block for long — the
+    /// chase calls this with its own locks *not* held, but from inside
+    /// hot loops.
+    fn emit(&self, event: TraceEvent);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    fn emit(&self, _event: TraceEvent) {}
+}
+
+#[derive(Debug)]
+struct LogState {
+    events: VecDeque<TraceEvent>,
+    /// Events discarded because the ring was full (oldest-first).
+    dropped: u64,
+    /// Total events ever emitted (including dropped).
+    seq: u64,
+}
+
+/// A fixed-capacity ring buffer of trace events. When full, the oldest
+/// event is discarded and counted in [`dropped`](EventLog::dropped) —
+/// tracing never grows without bound and never errors.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    state: Mutex<LogState>,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity: capacity.max(1),
+            state: Mutex::new(LogState {
+                events: VecDeque::new(),
+                dropped: 0,
+                seq: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("event log poisoned").events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("event log poisoned").dropped
+    }
+
+    /// Total events ever emitted into this log (buffered + dropped).
+    pub fn total_emitted(&self) -> u64 {
+        self.state.lock().expect("event log poisoned").seq
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut st = self.state.lock().expect("event log poisoned");
+        st.events.drain(..).collect()
+    }
+
+    /// Clones the buffered events without draining, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let st = self.state.lock().expect("event log poisoned");
+        st.events.iter().cloned().collect()
+    }
+}
+
+impl Tracer for EventLog {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        let mut st = self.state.lock().expect("event log poisoned");
+        st.seq += 1;
+        if st.events.len() == self.capacity {
+            st.events.pop_front();
+            st.dropped += 1;
+        }
+        st.events.push_back(event);
+    }
+}
+
+/// Per-shard event logs that merge deterministically.
+///
+/// The block-parallel engine creates one shard per IR block; each scoped
+/// worker emits only into its block's shard, and at the join barrier
+/// [`merge_into`](ShardedLog::merge_into) drains the shards *in shard
+/// order* into a single sink. Because each block's chase is itself
+/// deterministic, the merged stream is identical whether the blocks ran
+/// serially or in parallel.
+#[derive(Debug)]
+pub struct ShardedLog {
+    shards: Vec<Arc<EventLog>>,
+}
+
+impl ShardedLog {
+    /// `n` shards of `capacity_per_shard` events each.
+    pub fn new(n: usize, capacity_per_shard: usize) -> Self {
+        ShardedLog {
+            shards: (0..n)
+                .map(|_| Arc::new(EventLog::new(capacity_per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether there are no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard for block `i`.
+    pub fn shard(&self, i: usize) -> &Arc<EventLog> {
+        &self.shards[i]
+    }
+
+    /// Drains every shard, in shard order, into `sink`. Returns the
+    /// number of events merged.
+    pub fn merge_into(&self, sink: &dyn Tracer) -> usize {
+        let mut n = 0;
+        for shard in &self.shards {
+            for e in shard.drain() {
+                sink.emit(e);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// [`merge_into`](ShardedLog::merge_into) through a [`TraceHandle`]
+    /// (no-op when the handle is disabled).
+    pub fn merge_into_handle(&self, sink: &TraceHandle) -> usize {
+        let mut n = 0;
+        for shard in &self.shards {
+            for e in shard.drain() {
+                sink.emit(e);
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// The cheap, cloneable handle instrumented code holds. `None` (the
+/// default) is the no-op tracer compiled down to one branch.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<dyn Tracer>>);
+
+impl TraceHandle {
+    /// The disabled handle.
+    pub fn none() -> Self {
+        TraceHandle(None)
+    }
+
+    /// A handle emitting into `tracer`.
+    pub fn new(tracer: Arc<dyn Tracer>) -> Self {
+        TraceHandle(Some(tracer))
+    }
+
+    /// A handle emitting into an [`EventLog`].
+    pub fn to_log(log: Arc<EventLog>) -> Self {
+        TraceHandle(Some(log))
+    }
+
+    /// Whether emitting is worthwhile. Instrumentation sites use this to
+    /// skip whole blocks of event preparation.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        match &self.0 {
+            Some(t) => t.enabled(),
+            None => false,
+        }
+    }
+
+    /// Emits the event built by `f`, if and only if tracing is enabled —
+    /// `f` never runs otherwise.
+    #[inline]
+    pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.0 {
+            if t.enabled() {
+                t.emit(f());
+            }
+        }
+    }
+
+    /// Emits an already-built event, if tracing is enabled. Prefer
+    /// [`emit_with`](TraceHandle::emit_with) when construction has any
+    /// cost; this is for relaying events that already exist (e.g. shard
+    /// merges).
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(t) = &self.0 {
+            if t.enabled() {
+                t.emit(event);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TraceHandle({})",
+            if self.enabled() { "enabled" } else { "disabled" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(n: usize) -> TraceEvent {
+        TraceEvent::SessionBuilt {
+            blocks: n,
+            consistent: true,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let log = EventLog::new(2);
+        log.emit(ev(0));
+        log.emit(ev(1));
+        log.emit(ev(2));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.total_emitted(), 3);
+        let drained = log.drain();
+        assert_eq!(drained, vec![ev(1), ev(2)]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn handle_defaults_disabled_and_skips_closure() {
+        let h = TraceHandle::none();
+        assert!(!h.enabled());
+        h.emit_with(|| panic!("must not be constructed"));
+    }
+
+    #[test]
+    fn handle_emits_into_log() {
+        let log = Arc::new(EventLog::new(16));
+        let h = TraceHandle::to_log(Arc::clone(&log));
+        assert!(h.enabled());
+        h.emit_with(|| ev(7));
+        assert_eq!(log.events(), vec![ev(7)]);
+    }
+
+    #[test]
+    fn shards_merge_in_order() {
+        let sharded = ShardedLog::new(3, 8);
+        // Emit out of shard order, as parallel workers would.
+        sharded.shard(2).emit(ev(20));
+        sharded.shard(0).emit(ev(0));
+        sharded.shard(1).emit(ev(10));
+        sharded.shard(0).emit(ev(1));
+        let sink = EventLog::new(16);
+        assert_eq!(sharded.merge_into(&sink), 4);
+        assert_eq!(sink.drain(), vec![ev(0), ev(1), ev(10), ev(20)]);
+    }
+
+    #[test]
+    fn noop_tracer_is_disabled() {
+        assert!(!NoopTracer.enabled());
+        NoopTracer.emit(ev(0));
+    }
+}

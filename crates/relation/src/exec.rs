@@ -259,6 +259,19 @@ impl CancelToken {
     }
 }
 
+/// A point-in-time copy of a [`Guard`]'s work counters, read with one
+/// call ([`Guard::snapshot`]). The spent-getter triple survives as thin
+/// wrappers over this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GuardSnapshot {
+    /// Chase steps (fd-rule applications) spent.
+    pub chase_steps: u64,
+    /// Index/hash lookups spent.
+    pub lookups: u64,
+    /// Enumeration units (tuples materialised) spent.
+    pub enumeration: u64,
+}
+
 /// Meters the work of one bounded computation against a [`Budget`].
 ///
 /// A guard is shared by reference across every stage of a pipeline (chase,
@@ -310,19 +323,34 @@ impl Guard {
         }
     }
 
-    /// Chase steps spent so far.
+    /// A point-in-time copy of all three work counters — the one call
+    /// for reporting surfaces (metrics gauges, CLI summaries, bench
+    /// reports) that would otherwise read the `*_spent()` getters
+    /// separately.
+    pub fn snapshot(&self) -> GuardSnapshot {
+        GuardSnapshot {
+            chase_steps: self.chase_steps.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            enumeration: self.enumeration.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Chase steps spent so far (thin wrapper over
+    /// [`snapshot`](Guard::snapshot)).
     pub fn chase_steps_spent(&self) -> u64 {
-        self.chase_steps.load(Ordering::Relaxed)
+        self.snapshot().chase_steps
     }
 
-    /// Lookups spent so far.
+    /// Lookups spent so far (thin wrapper over
+    /// [`snapshot`](Guard::snapshot)).
     pub fn lookups_spent(&self) -> u64 {
-        self.lookups.load(Ordering::Relaxed)
+        self.snapshot().lookups
     }
 
-    /// Enumeration units spent so far.
+    /// Enumeration units spent so far (thin wrapper over
+    /// [`snapshot`](Guard::snapshot)).
     pub fn enumeration_spent(&self) -> u64 {
-        self.enumeration.load(Ordering::Relaxed)
+        self.snapshot().enumeration
     }
 
     /// Checks deadline and cancellation without charging any resource.

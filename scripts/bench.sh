@@ -1,21 +1,29 @@
 #!/usr/bin/env bash
 # Seeded offline smoke benchmark (no criterion, no network): builds the
 # tier-1-safe `bench` package, runs it on the synthetic block-chain
-# families, writes BENCH_pr2.json at the repo root, and asserts the
-# headline claim of PR 2 — the indexed incremental engine beats the naive
-# whole-state chase on the largest family, for both the full chase and the
-# insert stream.
+# families, writes the output JSON (default BENCH_pr3.json, override with
+# the first argument), and asserts:
+#
+#   * the PR 2 headline — the indexed incremental engine beats the naive
+#     whole-state chase on the largest family, full chase and insert
+#     stream alike;
+#   * the PR 3 headline — the dormant (no-op-tracer) instrumentation
+#     costs < 5% on the largest family against the checked-in
+#     BENCH_pr2.json baseline (plus a small absolute epsilon so sub-ms
+#     timer noise cannot fail the build).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+OUT="${1:-BENCH_pr3.json}"
+
 cargo build -p bench --release
-./target/release/bench-smoke > BENCH_pr2.json
-echo "wrote $(pwd)/BENCH_pr2.json"
+./target/release/bench-smoke > "$OUT"
+echo "wrote $(pwd)/$OUT"
 
-python3 - <<'EOF'
-import json
+OUT="$OUT" python3 - <<'EOF'
+import json, os
 
-with open("BENCH_pr2.json") as f:
+with open(os.environ["OUT"]) as f:
     doc = json.load(f)
 
 largest = doc["families"][-1]
@@ -30,4 +38,30 @@ assert full["incremental"] < full["naive"], "incremental chase must beat the nai
 assert stream["engine_session"] < stream["naive_rechase"], \
     "engine insert stream must beat re-chase-from-scratch"
 print("OK: incremental engine beats the naive chase on the largest family")
+
+for fam in doc["families"]:
+    m = fam["metrics"]
+    assert m["counters"]["session.builds"] >= 1, f"{fam['name']}: no session build metered"
+    assert m["counters"]["chase.rule_applications"] >= 0
+print("OK: every family carries a metrics snapshot")
+
+oh = doc["trace_overhead"]
+print(f"trace overhead on {oh['family']}: "
+      f"incremental noop {oh['incremental_noop_ms']:.3f} ms, traced {oh['incremental_traced_ms']:.3f} ms; "
+      f"stream noop {oh['stream_noop_ms']:.3f} ms, traced {oh['stream_traced_ms']:.3f} ms")
+
+# Dormant-instrumentation regression gate: the no-op-tracer numbers of
+# this build vs the pre-instrumentation PR 2 baseline. 5% relative, with
+# 0.15 ms absolute slack for scheduler jitter on sub-ms medians.
+if os.path.exists("BENCH_pr2.json"):
+    with open("BENCH_pr2.json") as f:
+        base = json.load(f)
+    base_largest = base["families"][-1]
+    budget = base_largest["full_chase_ms"]["incremental"] * 1.05 + 0.15
+    got = oh["incremental_noop_ms"]
+    assert got <= budget, \
+        f"no-op tracer overhead: incremental {got:.3f} ms exceeds 5% over PR2 baseline ({budget:.3f} ms)"
+    print(f"OK: no-op tracer within 5% of the PR2 baseline ({got:.3f} <= {budget:.3f} ms)")
+else:
+    print("note: BENCH_pr2.json baseline missing; skipping the overhead gate")
 EOF

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Validates the CLI's observability artifacts against the checked-in
+# contract (scripts/obs-schema.json): runs chase / query / maintain /
+# explain on the university fixture with --trace=json and --metrics, then
+# checks every emitted event line and the metrics document field by
+# field. Dependency-free on purpose — python3 stdlib only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q
+
+SCM=examples/schemes/university.scm
+STATE=examples/states/university.state
+TRACE=$(mktemp)
+METRICS=$(mktemp)
+trap 'rm -f "$TRACE" "$METRICS"' EXIT
+
+./target/release/idr chase "$SCM" "$STATE" --trace=json --metrics "$METRICS" 2>> "$TRACE" > /dev/null
+./target/release/idr query "$SCM" "$STATE" H T C --trace=json 2>> "$TRACE" > /dev/null
+./target/release/idr maintain "$SCM" "$STATE" "R4: C=c1 S=s2 G=g2" --trace=json 2>> "$TRACE" > /dev/null
+# The rejected insert exits 1 by design; its trace must still validate.
+./target/release/idr explain "$SCM" "$STATE" --insert "R1: H=h1 R=r1 C=c9" --trace=json \
+  2>> "$TRACE" > /dev/null || true
+
+TRACE="$TRACE" METRICS="$METRICS" python3 - <<'EOF'
+import json, os
+
+with open("scripts/obs-schema.json") as f:
+    schema = json.load(f)
+
+PY_TYPES = {"string": str, "integer": int, "boolean": bool, "array": list, "object": dict}
+
+def check_fields(obj, fields, where):
+    extra = set(obj) - set(fields)
+    assert not extra, f"{where}: unexpected fields {sorted(extra)}"
+    for name, ty in fields.items():
+        assert name in obj, f"{where}: missing field {name!r}"
+        # bool is an int subclass in python: keep integers strictly numeric.
+        if ty == "integer":
+            ok = isinstance(obj[name], int) and not isinstance(obj[name], bool)
+        else:
+            ok = isinstance(obj[name], PY_TYPES[ty])
+        assert ok, f"{where}: field {name!r} should be {ty}, got {obj[name]!r}"
+
+events, kinds = 0, set()
+with open(os.environ["TRACE"]) as f:
+    for lineno, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        e = json.loads(line)
+        kind = e.pop("type", None)
+        assert kind in schema["events"], f"trace line {lineno}: unknown event type {kind!r}"
+        check_fields(e, schema["events"][kind], f"trace line {lineno} ({kind})")
+        events += 1
+        kinds.add(kind)
+
+assert events > 0, "no trace events captured"
+for expected in ["chase_started", "fd_rule_fired", "session_built", "query_answered",
+                 "selection_performed", "insert_applied", "state_rejected"]:
+    assert expected in kinds, f"exercise did not produce a {expected!r} event"
+
+with open(os.environ["METRICS"]) as f:
+    m = json.load(f)
+check_fields(m, schema["metrics"], "metrics document")
+for k, v in {**m["counters"], **m["gauges"]}.items():
+    assert isinstance(v, int) and not isinstance(v, bool), f"metric {k!r} is not an integer"
+for i, h in enumerate(m["histograms"]):
+    check_fields(h, schema["histogram_entry"], f"histogram {i}")
+    for bucket in h["buckets"]:
+        assert isinstance(bucket, list) and len(bucket) == 2, f"histogram {i}: bad bucket {bucket!r}"
+
+print(f"OK: {events} trace events ({len(kinds)} kinds) and the metrics document match the schema")
+EOF

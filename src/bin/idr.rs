@@ -36,9 +36,23 @@
 //! idr project  <scheme-file> <ATTR> [<ATTR> ...]
 //! idr chase    <scheme-file> <state-file>
 //! idr query    <scheme-file> <state-file> <ATTR> [<ATTR> ...]
+//! idr maintain <scheme-file> <state-file> <TUPLE> [<TUPLE> ...]
+//! idr explain  <scheme-file> <state-file> <ATTR> [<ATTR> ...]
+//! idr explain  <scheme-file> <state-file> --insert <TUPLE>
 //! idr closure  <UNIVERSE> <FDS> <X>   # e.g. idr closure ABCD "AB->C, C->D" AB
 //! idr demo                            # runs on the paper's Example 1
 //! ```
+//!
+//! `<TUPLE>` is one state-file line, quoted: `"R1: H=h2 R=r2 C=c9"`.
+//!
+//! `idr maintain` routes each tuple through the paper's maintenance
+//! algorithms (Algorithm 5 on constant-time-maintainable schemes,
+//! Algorithm 2 otherwise) and reports the verdict plus selection counts.
+//! `idr explain` reports chase provenance: for a query, the fd-firing
+//! chain behind every derived cell of the X-total projection; with
+//! `--insert`, why the tuple was rejected (the violated key dependency,
+//! the witness rows, and the chains under which their key values came to
+//! agree).
 //!
 //! Budget flags (accepted anywhere on the command line; every metered
 //! computation is charged against the one [`Budget`] they build):
@@ -48,6 +62,14 @@
 //! * `--timeout-ms N` — wall-clock deadline.
 //! * `--serial` — disable block-parallel evaluation (results are
 //!   identical; this only changes wall-clock).
+//!
+//! Observability flags (also accepted anywhere):
+//!
+//! * `--trace[=text|json]` — emit the structured event stream to stderr
+//!   after the command finishes (`text` is the default form). Traces are
+//!   deterministic: `--serial` and parallel runs print identical streams.
+//! * `--metrics PATH` — write a [`MetricsRegistry`] snapshot as
+//!   single-line JSON to `PATH`.
 //!
 //! ## Exit codes
 //!
@@ -63,9 +85,11 @@
 //! | 7 | fault or cancellation |
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use independence_reducible::chase::{FiringInfo, RejectionExplanation};
 use independence_reducible::core::split::split_keys;
-use independence_reducible::exec::{Budget, ExecError, Guard};
+use independence_reducible::exec::{Budget, ExecError, Guard, RetryPolicy};
 use independence_reducible::prelude::*;
 
 const EXIT_INCONSISTENT: u8 = 1;
@@ -76,16 +100,54 @@ const EXIT_BUDGET: u8 = 5;
 const EXIT_TIMEOUT: u8 = 6;
 const EXIT_FAULT: u8 = 7;
 
+/// Rendering requested by `--trace[=text|json]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceFormat {
+    Text,
+    Json,
+}
+
+/// The command line after stripping global flags.
+struct CliOpts {
+    args: Vec<String>,
+    budget: Budget,
+    parallel: bool,
+    trace: Option<TraceFormat>,
+    metrics: Option<String>,
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, budget, parallel) = match parse_budget_flags(&raw) {
-        Ok(split) => split,
+    let opts = match parse_flags(&raw) {
+        Ok(opts) => opts,
         Err(e) => return usage(&e),
     };
-    let engine_for = |path: &str| -> Result<Engine, String> {
-        Ok(Engine::new(load(path)?).with_parallel(parallel))
+    let CliOpts {
+        args,
+        budget,
+        parallel,
+        trace,
+        metrics,
+    } = opts;
+    // The explain subcommand needs the merge forest even without --trace.
+    let provenance =
+        trace.is_some() || args.first().map(String::as_str) == Some("explain");
+    let log = trace.map(|_| Arc::new(EventLog::new(1 << 20)));
+    let registry = metrics.as_ref().map(|_| Arc::new(MetricsRegistry::new()));
+    let obs = Observability {
+        tracer: log
+            .as_ref()
+            .map(|l| TraceHandle::to_log(Arc::clone(l)))
+            .unwrap_or_default(),
+        metrics: registry.clone(),
+        provenance,
     };
-    match args.first().map(String::as_str) {
+    let engine_for = |path: &str| -> Result<Engine, String> {
+        Ok(Engine::new(load(path)?)
+            .with_parallel(parallel)
+            .with_observability(obs.clone()))
+    };
+    let code = match args.first().map(String::as_str) {
         Some("classify") if args.len() == 2 => match engine_for(&args[1]) {
             Ok(engine) => {
                 report(&engine);
@@ -105,6 +167,14 @@ fn main() -> ExitCode {
             Ok(engine) => query_cmd(&engine, &args[2], &args[3..], budget),
             Err(e) => fail(EXIT_PARSE, &e),
         },
+        Some("maintain") if args.len() >= 4 => match engine_for(&args[1]) {
+            Ok(engine) => maintain_cmd(&engine, &args[2], &args[3..], budget),
+            Err(e) => fail(EXIT_PARSE, &e),
+        },
+        Some("explain") if args.len() >= 4 => match engine_for(&args[1]) {
+            Ok(engine) => explain_cmd(&engine, &args[2], &args[3..], budget),
+            Err(e) => fail(EXIT_PARSE, &e),
+        },
         Some("closure") if args.len() == 4 => closure(&args[1], &args[2], &args[3]),
         Some("demo") => {
             let db = SchemeBuilder::new("CTHRSG")
@@ -115,16 +185,51 @@ fn main() -> ExitCode {
                 .scheme("R5", "HSR", ["HS"])
                 .build()
                 .expect("demo scheme");
-            report(&Engine::new(db).with_parallel(parallel));
+            report(
+                &Engine::new(db)
+                    .with_parallel(parallel)
+                    .with_observability(obs.clone()),
+            );
             ExitCode::SUCCESS
         }
         _ => usage("see the subcommand list"),
+    };
+    flush_obs(log.as_deref(), trace, registry.as_deref(), metrics.as_deref());
+    code
+}
+
+/// Drains the trace ring to stderr and writes the metrics snapshot, as
+/// requested by `--trace` / `--metrics`. Runs after the subcommand so
+/// event emission never interleaves with result output.
+fn flush_obs(
+    log: Option<&EventLog>,
+    format: Option<TraceFormat>,
+    registry: Option<&MetricsRegistry>,
+    metrics_path: Option<&str>,
+) {
+    if let (Some(log), Some(format)) = (log, format) {
+        for e in log.drain() {
+            match format {
+                TraceFormat::Text => eprintln!("{}", e.render_text()),
+                TraceFormat::Json => eprintln!("{}", e.to_json()),
+            }
+        }
+        if log.dropped() > 0 {
+            eprintln!("trace: {} event(s) dropped (ring full)", log.dropped());
+        }
+    }
+    if let (Some(m), Some(path)) = (registry, metrics_path) {
+        let mut json = m.snapshot().to_json();
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+        }
     }
 }
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr closure <UNIVERSE> <FDS> <X>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial"
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -134,15 +239,18 @@ fn fail(code: u8, msg: &str) -> ExitCode {
     ExitCode::from(code)
 }
 
-/// Strips `--max-steps N` / `--timeout-ms N` / `--serial` out of the
-/// argument list, folding the first two into one [`Budget`]. `--max-steps`
-/// caps every metered resource — chase steps, single-tuple selections and
-/// enumerated subsets — since from the command line they are all just
-/// "work".
-fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget, bool), String> {
+/// Strips the global flags out of the argument list: `--max-steps N` /
+/// `--timeout-ms N` fold into one [`Budget`] (`--max-steps` caps every
+/// metered resource — chase steps, single-tuple selections and enumerated
+/// subsets — since from the command line they are all just "work");
+/// `--serial`, `--trace[=text|json]` and `--metrics PATH` set their
+/// respective [`CliOpts`] fields.
+fn parse_flags(raw: &[String]) -> Result<CliOpts, String> {
     let mut args = Vec::new();
     let mut budget = Budget::unlimited();
     let mut parallel = true;
+    let mut trace = None;
+    let mut metrics = None;
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         let numeric = |flag: &str| -> Result<u64, String> {
@@ -167,10 +275,31 @@ fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget, bool), Str
                 budget = budget.with_timeout(std::time::Duration::from_millis(ms));
             }
             "--serial" => parallel = false,
+            "--trace" | "--trace=text" => trace = Some(TraceFormat::Text),
+            "--trace=json" => trace = Some(TraceFormat::Json),
+            "--metrics" => {
+                metrics = Some(
+                    it.next()
+                        .ok_or_else(|| "--metrics needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            other if other.starts_with("--trace=") => {
+                return Err(format!(
+                    "unknown trace format {:?} (expected text or json)",
+                    &other["--trace=".len()..]
+                ));
+            }
             _ => args.push(a.clone()),
         }
     }
-    Ok((args, budget, parallel))
+    Ok(CliOpts {
+        args,
+        budget,
+        parallel,
+        trace,
+        metrics,
+    })
 }
 
 /// Maps a typed execution error to its documented exit code.
@@ -242,6 +371,42 @@ fn parse_scheme(text: &str) -> Result<DatabaseScheme, String> {
     DatabaseScheme::new(universe, schemes).map_err(|e| format!("{e}"))
 }
 
+/// Parses one `NAME: ATTR=value ...` state line into a relation index and
+/// a tuple covering exactly that relation's attributes.
+fn parse_tuple_line(
+    line: &str,
+    db: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+) -> Result<(usize, Tuple), String> {
+    let u = db.universe();
+    let (name, body) = line
+        .split_once(':')
+        .ok_or_else(|| "expected 'NAME: ATTR=value ...'".to_string())?;
+    let name = name.trim();
+    let i = (0..db.len())
+        .find(|&i| db.scheme(i).name() == name)
+        .ok_or_else(|| format!("unknown relation {name:?}"))?;
+    let mut pairs = Vec::new();
+    for tok in body.split_whitespace() {
+        let (attr, value) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected ATTR=value, got {tok:?}"))?;
+        let a = u
+            .attr(attr)
+            .ok_or_else(|| format!("unknown attribute {attr:?}"))?;
+        pairs.push((a, symbols.intern(value)));
+    }
+    let t = Tuple::from_pairs(pairs);
+    if t.attrs() != db.scheme(i).attrs() {
+        return Err(format!(
+            "tuple covers {} but {name} has attributes {}",
+            u.render(t.attrs()),
+            u.render(db.scheme(i).attrs())
+        ));
+    }
+    Ok((i, t))
+}
+
 /// Parses the state file format described in the module docs: one
 /// `NAME: ATTR=value ...` tuple per line, values interned into `symbols`.
 fn parse_state(
@@ -250,38 +415,13 @@ fn parse_state(
     symbols: &mut SymbolTable,
 ) -> Result<DatabaseState, String> {
     let mut state = DatabaseState::empty(db);
-    let u = db.universe();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
         let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
-        let (name, body) = line
-            .split_once(':')
-            .ok_or_else(|| at("expected 'NAME: ATTR=value ...'"))?;
-        let name = name.trim();
-        let i = (0..db.len())
-            .find(|&i| db.scheme(i).name() == name)
-            .ok_or_else(|| at(&format!("unknown relation {name:?}")))?;
-        let mut pairs = Vec::new();
-        for tok in body.split_whitespace() {
-            let (attr, value) = tok
-                .split_once('=')
-                .ok_or_else(|| at(&format!("expected ATTR=value, got {tok:?}")))?;
-            let a = u
-                .attr(attr)
-                .ok_or_else(|| at(&format!("unknown attribute {attr:?}")))?;
-            pairs.push((a, symbols.intern(value)));
-        }
-        let t = Tuple::from_pairs(pairs);
-        if t.attrs() != db.scheme(i).attrs() {
-            return Err(at(&format!(
-                "tuple covers {} but {name} has attributes {}",
-                u.render(t.attrs()),
-                u.render(db.scheme(i).attrs())
-            )));
-        }
+        let (i, t) = parse_tuple_line(line, db, symbols).map_err(|e| at(&e))?;
         state
             .insert(i, t)
             .map_err(|e| at(&format!("{e}")))?;
@@ -464,6 +604,244 @@ fn query_cmd(engine: &Engine, state_path: &str, attrs: &[String], budget: Budget
     }
 }
 
+/// Renders one fd-firing chain (oldest first); `given` when the cell was
+/// born with its symbol.
+fn render_chain(db: &DatabaseScheme, chain: &[FiringInfo]) -> String {
+    if chain.is_empty() {
+        return "given".to_string();
+    }
+    let u = db.universe();
+    chain
+        .iter()
+        .map(|f| {
+            format!(
+                "{} equated {} of rows {} ({}) and {} ({})",
+                f.fd.render(u),
+                u.name(f.column),
+                f.rows.0,
+                tag_name(db, f.tags.0),
+                f.rows.1,
+                tag_name(db, f.tags.1),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; then ")
+}
+
+/// The relation a tableau row came from, when tagged.
+fn tag_name(db: &DatabaseScheme, tag: Option<usize>) -> String {
+    match tag {
+        Some(i) => db.scheme(i).name().to_string(),
+        None => "untagged".to_string(),
+    }
+}
+
+/// `idr maintain <scheme-file> <state-file> <TUPLE>...`: routes each
+/// insertion through Algorithm 5 (on constant-time-maintainable schemes)
+/// or Algorithm 2, reporting the verdict and the selection counts of the
+/// paper's cost model.
+fn maintain_cmd(
+    engine: &Engine,
+    state_path: &str,
+    tuples: &[String],
+    budget: Budget,
+) -> ExitCode {
+    let Some(ir) = engine.ir() else {
+        return fail(
+            EXIT_NOT_IR,
+            "scheme is not independence-reducible; the maintenance algorithms do not apply",
+        );
+    };
+    let db = engine.scheme();
+    let u = db.universe();
+    let mut symbols = SymbolTable::new();
+    let state = match load_state(state_path, db, &mut symbols) {
+        Ok(s) => s,
+        Err(e) => return fail(EXIT_PARSE, &e),
+    };
+    let guard = Guard::new(budget);
+    let retry = RetryPolicy::none();
+    let tracer = engine.observability().tracer.clone();
+    let ctm = engine.classification().ctm == Some(true);
+    enum Maintainer {
+        Ctm(CtmMaintainer),
+        Ir(IrMaintainer),
+    }
+    let mut m = if ctm {
+        match CtmMaintainer::new(db, ir, &state, &guard) {
+            Ok(m) => Maintainer::Ctm(m.with_tracer(tracer)),
+            Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+        }
+    } else {
+        match IrMaintainer::new(db, ir, &state, &guard) {
+            Ok(m) => Maintainer::Ir(m.with_tracer(tracer)),
+            Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+        }
+    };
+    println!(
+        "maintenance: {}",
+        if ctm {
+            "Algorithm 5 (constant-time)"
+        } else {
+            "Algorithm 2 (algebraic)"
+        }
+    );
+    let mut all_accepted = true;
+    for spec in tuples {
+        let (i, t) = match parse_tuple_line(spec, db, &mut symbols) {
+            Ok(p) => p,
+            Err(e) => return fail(EXIT_PARSE, &e),
+        };
+        let result = match &mut m {
+            Maintainer::Ctm(m) => m.insert(i, t.clone(), &guard, &retry),
+            Maintainer::Ir(m) => m.insert(i, t.clone(), &guard, &retry),
+        };
+        match result {
+            Ok((outcome, stats)) => {
+                let verdict = if outcome.is_consistent() {
+                    "consistent"
+                } else {
+                    "inconsistent — rejected"
+                };
+                println!(
+                    "  {} + {}: {verdict}  ({} selection(s), {} key(s))",
+                    db.scheme(i).name(),
+                    t.render(u, &symbols),
+                    stats.lookups,
+                    stats.keys_processed
+                );
+                all_accepted &= outcome.is_consistent();
+            }
+            Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+        }
+    }
+    if all_accepted {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_INCONSISTENT)
+    }
+}
+
+/// Prints the full provenance of a rejected insert: the violated key
+/// dependency, the clash column, the witness rows, and the fd-firing
+/// chains under which their left-hand sides came to agree (the Lemma 3.8
+/// witness structure).
+fn render_rejection(db: &DatabaseScheme, r: &RejectionExplanation) {
+    let u = db.universe();
+    println!("  violated key dependency: {}", r.fd.render(u));
+    println!(
+        "  clash column {}, witness rows {} (from {}) and {} (from {})",
+        u.name(r.column),
+        r.rows.0,
+        tag_name(db, r.tags.0),
+        r.rows.1,
+        tag_name(db, r.tags.1)
+    );
+    for (a, left, right) in &r.lhs {
+        println!("  agreement on {}:", u.name(*a));
+        println!("    row {}: {}", r.rows.0, render_chain(db, left));
+        println!("    row {}: {}", r.rows.1, render_chain(db, right));
+    }
+    println!("  clash on {}:", u.name(r.column));
+    println!("    row {}: {}", r.rows.0, render_chain(db, &r.clash.0));
+    println!("    row {}: {}", r.rows.1, render_chain(db, &r.clash.1));
+}
+
+/// `idr explain <scheme-file> <state-file> <ATTR>...` — chase provenance
+/// for every tuple of the X-total projection — or
+/// `idr explain <scheme-file> <state-file> --insert <TUPLE>` — why an
+/// insert is rejected.
+fn explain_cmd(
+    engine: &Engine,
+    state_path: &str,
+    rest: &[String],
+    budget: Budget,
+) -> ExitCode {
+    let db = engine.scheme();
+    let u = db.universe();
+    let mut symbols = SymbolTable::new();
+    let state = match load_state(state_path, db, &mut symbols) {
+        Ok(s) => s,
+        Err(e) => return fail(EXIT_PARSE, &e),
+    };
+    let guard = Guard::new(budget);
+    if rest[0] == "--insert" {
+        if rest.len() != 2 {
+            return usage("--insert takes exactly one quoted tuple");
+        }
+        let (i, t) = match parse_tuple_line(&rest[1], db, &mut symbols) {
+            Ok(p) => p,
+            Err(e) => return fail(EXIT_PARSE, &e),
+        };
+        let mut session = match engine.session(&state, &guard) {
+            Ok(s) => s,
+            Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+        };
+        if !session.is_consistent() {
+            return fail(EXIT_INCONSISTENT, "initial state is already inconsistent");
+        }
+        match session.insert(i, t.clone(), &guard) {
+            Ok(true) => {
+                println!(
+                    "insert accepted: {}: {} (state stays consistent — nothing to explain)",
+                    db.scheme(i).name(),
+                    t.render(u, &symbols)
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(false) => {
+                println!(
+                    "insert rejected: {}: {}",
+                    db.scheme(i).name(),
+                    t.render(u, &symbols)
+                );
+                match session.explain_rejection() {
+                    Some(r) => render_rejection(db, r),
+                    None => println!("  (no rejection record)"),
+                }
+                ExitCode::from(EXIT_INCONSISTENT)
+            }
+            Err(e) => fail(exec_exit(&e), &format!("{e}")),
+        }
+    } else {
+        let x = match parse_attrs(engine, rest) {
+            Ok(x) => x,
+            Err(e) => return fail(EXIT_PARSE, &e),
+        };
+        let session = match engine.session(&state, &guard) {
+            Ok(s) => s,
+            Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+        };
+        let tuples = match session.total_projection(x, &guard) {
+            Ok(Some(ts)) => ts,
+            Ok(None) => return fail(EXIT_INCONSISTENT, "state is inconsistent"),
+            Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+        };
+        println!("[{}]: {} tuple(s)", u.render(x), tuples.len());
+        for t in &tuples {
+            println!("  {}", t.render(u, &symbols));
+            match session.explain(x, t) {
+                Some(exp) => {
+                    println!(
+                        "    witness: tableau row {} (from {})",
+                        exp.row,
+                        tag_name(db, exp.tag)
+                    );
+                    for cell in &exp.cells {
+                        println!(
+                            "      {}: {}",
+                            u.name(cell.column),
+                            render_chain(db, &cell.chain)
+                        );
+                    }
+                }
+                None => println!("    (no witness row found)"),
+            }
+        }
+        ExitCode::SUCCESS
+    }
+}
+
 /// `idr closure <UNIVERSE> <FDS> <X>`: parses the FD list with the typed
 /// parser and prints the attribute closure `X⁺`.
 fn closure(universe_chars: &str, fd_spec: &str, x_chars: &str) -> ExitCode {
@@ -563,29 +941,57 @@ scheme R5: H S R  keys H S
 
     #[test]
     fn budget_flags_are_stripped_anywhere() {
-        let (args, budget, parallel) =
-            parse_budget_flags(&strs(&["project", "--max-steps", "7", "f", "A", "--timeout-ms", "50"]))
+        let opts =
+            parse_flags(&strs(&["project", "--max-steps", "7", "f", "A", "--timeout-ms", "50"]))
                 .unwrap();
-        assert_eq!(args, strs(&["project", "f", "A"]));
-        assert!(parallel);
-        assert_eq!(budget.max_chase_steps, Some(7));
-        assert_eq!(budget.max_lookups, Some(7));
-        assert_eq!(budget.max_enumeration, Some(7));
-        assert_eq!(budget.timeout, Some(std::time::Duration::from_millis(50)));
+        assert_eq!(opts.args, strs(&["project", "f", "A"]));
+        assert!(opts.parallel);
+        assert_eq!(opts.budget.max_chase_steps, Some(7));
+        assert_eq!(opts.budget.max_lookups, Some(7));
+        assert_eq!(opts.budget.max_enumeration, Some(7));
+        assert_eq!(opts.budget.timeout, Some(std::time::Duration::from_millis(50)));
+        assert_eq!(opts.trace, None);
+        assert_eq!(opts.metrics, None);
     }
 
     #[test]
     fn serial_flag_disables_parallelism() {
-        let (args, _, parallel) =
-            parse_budget_flags(&strs(&["chase", "f", "s", "--serial"])).unwrap();
-        assert_eq!(args, strs(&["chase", "f", "s"]));
-        assert!(!parallel);
+        let opts = parse_flags(&strs(&["chase", "f", "s", "--serial"])).unwrap();
+        assert_eq!(opts.args, strs(&["chase", "f", "s"]));
+        assert!(!opts.parallel);
     }
 
     #[test]
     fn budget_flags_reject_garbage() {
-        assert!(parse_budget_flags(&strs(&["--max-steps"])).is_err());
-        assert!(parse_budget_flags(&strs(&["--timeout-ms", "soon"])).is_err());
+        assert!(parse_flags(&strs(&["--max-steps"])).is_err());
+        assert!(parse_flags(&strs(&["--timeout-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse() {
+        let opts =
+            parse_flags(&strs(&["chase", "--trace", "f", "s", "--metrics", "m.json"])).unwrap();
+        assert_eq!(opts.args, strs(&["chase", "f", "s"]));
+        assert_eq!(opts.trace, Some(TraceFormat::Text));
+        assert_eq!(opts.metrics.as_deref(), Some("m.json"));
+        let opts = parse_flags(&strs(&["query", "--trace=json", "f", "s", "A"])).unwrap();
+        assert_eq!(opts.trace, Some(TraceFormat::Json));
+        assert_eq!(
+            parse_flags(&strs(&["--trace=text", "x"])).unwrap().trace,
+            Some(TraceFormat::Text)
+        );
+        assert!(parse_flags(&strs(&["--trace=xml"])).is_err());
+        assert!(parse_flags(&strs(&["--metrics"])).is_err());
+    }
+
+    #[test]
+    fn tuple_lines_parse_standalone() {
+        let db = parse_scheme(EXAMPLE1).unwrap();
+        let mut sym = SymbolTable::new();
+        let (i, t) = parse_tuple_line("R4: C=c1 S=s1 G=g1", &db, &mut sym).unwrap();
+        assert_eq!(i, 3);
+        assert_eq!(t.attrs(), db.scheme(3).attrs());
+        assert!(parse_tuple_line("R4: C=c1", &db, &mut sym).is_err());
     }
 
     #[test]

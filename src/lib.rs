@@ -60,11 +60,13 @@
 //! | [`hypergraph`] | connectivity, Bachman closure, u.m.c., α/γ-acyclicity |
 //! | [`core`] | the paper: key-equivalence, Algorithms 1–6, KEP, splitness, recognition, maintenance, boundedness |
 //! | [`workload`] | the paper's 13 worked examples as fixtures; synthetic scaling families |
+//! | [`obs`] | dependency-free structured tracing, metrics and the chase-provenance event taxonomy |
 
 pub use idr_chase as chase;
 pub use idr_core as core;
 pub use idr_fd as fd;
 pub use idr_hypergraph as hypergraph;
+pub use idr_obs as obs;
 pub use idr_relation as relation;
 pub use idr_workload as workload;
 
@@ -74,7 +76,7 @@ pub use idr_workload as workload;
 pub mod exec {
     pub use idr_core::exec::{
         Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,
-        RepAccess, Resource, RetryPolicy, StateAccess, DEFAULT_MAX_ENUMERATION,
+        GuardSnapshot, RepAccess, Resource, RetryPolicy, StateAccess, DEFAULT_MAX_ENUMERATION,
     };
 }
 
@@ -90,8 +92,10 @@ pub mod prelude {
     };
     pub use idr_core::classify::{classify, Classification};
     pub use idr_core::engine::{Engine, Session};
-    pub use idr_core::exec::{Budget, ExecError, Guard, RetryPolicy};
+    pub use idr_core::engine::Observability;
+    pub use idr_core::exec::{Budget, ExecError, Guard, GuardSnapshot, RetryPolicy};
     pub use idr_core::maintain::{CtmMaintainer, IrMaintainer, MaintenanceOutcome};
+    pub use idr_obs::{EventLog, MetricsRegistry, TraceEvent, TraceHandle};
     pub use idr_core::query::{ir_total_projection, ir_total_projection_expr};
     pub use idr_core::recognition::{recognize, IrScheme, Recognition};
     pub use idr_fd::{Fd, FdParseError, FdSet, KeyDeps};

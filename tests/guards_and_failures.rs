@@ -112,7 +112,9 @@ fn subsets_guard_returns_typed_error() {
     let small = AttrSet::from_iter(u.all().iter().take(4));
     let guard = Guard::new(Budget::unlimited().with_max_enumeration(16));
     assert_eq!(small.try_subsets(&guard).unwrap().count(), 16);
-    assert_eq!(guard.enumeration_spent(), 16);
+    let snap = guard.snapshot();
+    assert_eq!(snap.enumeration, 16);
+    assert_eq!(snap.enumeration, guard.enumeration_spent());
 }
 
 #[test]
