@@ -184,15 +184,55 @@ impl Engine {
         let Some(ir) = self.ir() else {
             return Ok(None);
         };
-        if let Some(e) = self.expr_cache.lock().expect("expr cache poisoned").get(&x) {
+        if let Some(e) = self.expr_cache_guard()?.get(&x) {
             return Ok(e.clone());
         }
         let expr = ir_total_projection_expr(&self.scheme, &self.kd, ir, x, guard)?;
-        self.expr_cache
-            .lock()
-            .expect("expr cache poisoned")
-            .insert(x, expr.clone());
+        self.expr_cache_guard()?.insert(x, expr.clone());
         Ok(expr)
+    }
+
+    /// Locks the expression cache, recovering from poison. A thread that
+    /// panicked while holding the lock may have left a half-written map
+    /// behind; the cache is only an optimisation, so recovery discards it,
+    /// clears the poison (later queries recompute and succeed), and
+    /// surfaces the panic *once* as a typed [`ExecError::Faulted`] instead
+    /// of cascading panics on every subsequent query.
+    fn expr_cache_guard(
+        &self,
+    ) -> Result<std::sync::MutexGuard<'_, HashMap<AttrSet, Option<Expr>>>, ExecError> {
+        match self.expr_cache.lock() {
+            Ok(g) => Ok(g),
+            Err(poisoned) => {
+                poisoned.into_inner().clear();
+                self.expr_cache.clear_poison();
+                Err(ExecError::Faulted {
+                    kind: idr_relation::exec::FaultKind::Permanent,
+                    operation: "expression cache poisoned by a panicked evaluation thread \
+                                (cache cleared; the next query recomputes)"
+                        .to_string(),
+                    attempts: 1,
+                })
+            }
+        }
+    }
+
+    /// Test hook: poisons the expression cache the way a panicking
+    /// evaluation thread would (a thread panics while holding the lock).
+    /// Used by the poison-recovery regression tests and the fuzzing
+    /// oracle's fault schedule.
+    #[doc(hidden)]
+    pub fn inject_expr_cache_panic(&self) {
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = self.expr_cache.lock().unwrap_or_else(|p| p.into_inner());
+                // resume_unwind poisons exactly like panic! but skips the
+                // panic hook, so injection runs don't spam backtraces.
+                std::panic::resume_unwind(Box::new("injected expr-cache panic"));
+            })
+            .join()
+        });
+        assert!(result.is_err(), "injected panic must propagate to join");
     }
 
     /// One-shot consistency check: builds a throwaway [`Session`] (block
@@ -401,9 +441,11 @@ impl Session<'_> {
     /// untouched state; the rebuild replays a chase already known to
     /// succeed, so it is not charged). `Err(Inconsistent)`: the base
     /// state was already inconsistent — maintenance needs a consistent
-    /// base. Other `Err`s are guard trips; the speculative row is then
-    /// still pending, and the next `run`-driven call with a fresh guard
-    /// resumes it.
+    /// base. Other `Err`s are guard trips; the insert then did *not*
+    /// happen — the speculative row is rolled back (the tableau is rebuilt
+    /// from the unchanged base state), so queries keep answering from the
+    /// pre-insert state and the caller may simply retry with a fresh
+    /// guard.
     pub fn insert(&mut self, i: usize, t: Tuple, guard: &Guard) -> Result<bool, ExecError> {
         let t0 = Instant::now();
         let eng = self.backend_slot(i);
@@ -427,7 +469,17 @@ impl Session<'_> {
                     .expect("rebuilding a previously consistent block cannot fail");
                 Ok(false)
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                // Guard trip mid-chase: the speculative row is already in
+                // the tableau but `self.state` never saw it, so the
+                // expression path and the chase path would disagree. Roll
+                // it back by rebuilding from the unchanged base state —
+                // that replays a chase already known to succeed, so it is
+                // not charged.
+                self.rebuild_slot(i, &Guard::unlimited())
+                    .expect("rebuilding a previously consistent block cannot fail");
+                Err(e)
+            }
         };
         if let Ok(&accepted) = outcome.as_ref() {
             let obs = &self.engine.obs;
@@ -453,14 +505,25 @@ impl Session<'_> {
     /// Removes `t` from relation `i`. Deletion never breaks consistency
     /// but can *restore* it, and the chase has no incremental delete — the
     /// touched block's tableau is rebuilt (charged against `guard`).
-    /// `Ok(false)` when the tuple was not present.
+    /// `Ok(false)` when the tuple was not present. On `Err` (a guard trip
+    /// mid-rebuild) the delete did *not* happen: the tuple is restored to
+    /// the base state, matching the old tableau that is still answering
+    /// queries, and the caller may retry with a fresh guard.
     pub fn delete(&mut self, i: usize, t: &Tuple, guard: &Guard) -> Result<bool, ExecError> {
         let removed = self
             .state
             .remove(i, t)
             .expect("relation index was validated by backend_slot");
         if removed {
-            self.rebuild_slot(i, guard)?;
+            if let Err(e) = self.rebuild_slot(i, guard) {
+                // The rebuild never replaced the tableau, so the old chase
+                // is still answering; put the tuple back so the base state
+                // agrees with it — delete is all-or-nothing.
+                self.state
+                    .insert(i, t.clone())
+                    .expect("tuple was just removed from relation i");
+                return Err(e);
+            }
         }
         let obs = &self.engine.obs;
         obs.tracer.emit_with(|| TraceEvent::DeleteApplied {
@@ -892,5 +955,117 @@ mod tests {
             let want: Vec<usize> = (0..17).map(|i| i * i).collect();
             assert_eq!(got, want, "parallel={parallel}");
         }
+    }
+
+    /// star(3) — R0(K A0), R1(K A1), R2(K A2), all keyed on K — with
+    /// three rows sharing the hub value, so any tableau rebuild must fire
+    /// at least one fd rule and a `max_chase_steps = 0` guard trips
+    /// mid-rebuild.
+    fn tripping_session(
+        sym: &mut SymbolTable,
+    ) -> (&'static Engine, Session<'static>) {
+        let db = idr_workload::generators::star_scheme(3);
+        let state = state_of(
+            &db,
+            sym,
+            &[
+                ("R0", &[("K", "k"), ("A0", "x0")]),
+                ("R1", &[("K", "k"), ("A1", "x1")]),
+                ("R2", &[("K", "k"), ("A2", "x2")]),
+            ],
+        )
+        .unwrap();
+        let engine = Box::leak(Box::new(Engine::new(db)));
+        let session = engine.session(&state, &Guard::unlimited()).unwrap();
+        (engine, session)
+    }
+
+    #[test]
+    fn delete_is_atomic_under_a_guard_trip() {
+        let mut sym = SymbolTable::new();
+        let (engine, mut s) = tripping_session(&mut sym);
+        let u = engine.scheme().universe();
+        let t = Tuple::from_pairs([
+            (u.attr_of("K"), sym.intern("k")),
+            (u.attr_of("A2"), sym.intern("x2")),
+        ]);
+        let x = AttrSet::from_iter([u.attr_of("K"), u.attr_of("A2")]);
+
+        let tight = Guard::new(Budget::unlimited().with_max_chase_steps(0));
+        let err = s.delete(2, &t, &tight).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }), "{err:?}");
+
+        // The failed delete must not have happened: the tuple is still in
+        // the base state, and both query paths still see it.
+        let g = Guard::unlimited();
+        assert!(s.state().relation(2).contains(&t));
+        let proj = s.total_projection(x, &g).unwrap().unwrap();
+        assert!(proj.contains(&t), "expression path lost the tuple");
+        assert!(s.explain(x, &t).is_some(), "chase path lost the tuple");
+
+        // A retry with budget completes the delete on both paths.
+        assert!(s.delete(2, &t, &g).unwrap());
+        assert!(!s.state().relation(2).contains(&t));
+        let proj = s.total_projection(x, &g).unwrap().unwrap();
+        assert!(!proj.contains(&t));
+        assert!(s.explain(x, &t).is_none());
+    }
+
+    #[test]
+    fn insert_rolls_back_the_speculative_row_on_a_guard_trip() {
+        let mut sym = SymbolTable::new();
+        let (engine, mut s) = tripping_session(&mut sym);
+        let u = engine.scheme().universe();
+        // A second hub value: chasing it against the existing "k" rows
+        // fires no rule directly, but the three new-row unions do.
+        let t = Tuple::from_pairs([
+            (u.attr_of("K"), sym.intern("k")),
+            (u.attr_of("A2"), sym.intern("x2b")),
+        ]);
+        let x = AttrSet::from_iter([u.attr_of("K"), u.attr_of("A2")]);
+
+        let tight = Guard::new(Budget::unlimited().with_max_chase_steps(0));
+        let err = s.insert(2, t.clone(), &tight).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }), "{err:?}");
+
+        // The failed insert must not be visible through either path: the
+        // base state lacks the row, and the block tableau must not keep
+        // answering from the speculative push.
+        assert!(!s.state().relation(2).contains(&t));
+        assert!(
+            s.explain(x, &t).is_none(),
+            "speculative row survived in the block tableau"
+        );
+        // Consistency is a verdict about the *base* state again.
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn poisoned_expr_cache_recovers_with_a_typed_error() {
+        let db = two_block_scheme();
+        let engine = Engine::new(db.clone());
+        let mut sym = SymbolTable::new();
+        let state = state_of(&db, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
+        let g = Guard::unlimited();
+        let s = engine.session(&state, &g).unwrap();
+        let x = db.universe().set_of("AB");
+        assert!(s.total_projection(x, &g).unwrap().is_some());
+
+        engine.inject_expr_cache_panic();
+
+        // The first query after the panic surfaces a typed error instead
+        // of cascading the panic...
+        let err = s.total_projection(x, &g).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ExecError::Faulted { kind: idr_relation::exec::FaultKind::Permanent, operation, .. }
+                if operation.contains("poisoned")
+            ),
+            "{err:?}"
+        );
+        // ...and the cache has recovered: the next query recomputes.
+        let proj = s.total_projection(x, &g).unwrap().unwrap();
+        assert_eq!(proj.len(), 1);
     }
 }

@@ -29,6 +29,7 @@ pub mod algebra;
 mod attrset;
 mod error;
 pub mod exec;
+pub mod parse;
 mod relation;
 pub mod rng;
 mod schema;

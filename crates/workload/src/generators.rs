@@ -324,6 +324,78 @@ pub fn random_scheme(
     None
 }
 
+/// A *near-miss* variant of `db`: one scheme's key declaration is mutated
+/// (an alternative key dropped, a key widened by one attribute, or a key
+/// replaced by a fresh nonempty subset), producing a scheme that differs
+/// from `db` by a single fd — the boundary inputs where classifiers and
+/// recognisers are most likely to disagree.
+///
+/// The mutant must still satisfy the paper's standing assumption (every
+/// declared key set is exactly the candidate keys of its scheme under the
+/// fd set the declarations themselves induce), so the mutation is followed
+/// by the same fixpoint check as [`random_scheme`]; `None` when the mutant
+/// fails it or collapses back to `db` (callers resample with the next
+/// seed).
+pub fn mutate_one_key(
+    db: &DatabaseScheme,
+    rng: &mut idr_relation::rng::SplitMix64,
+) -> Option<DatabaseScheme> {
+    use idr_fd::{keys::candidate_keys, KeyDeps};
+    let i = rng.gen_range(0, db.len());
+    let s = db.scheme(i);
+    let members: Vec<idr_relation::Attribute> = s.attrs().iter().collect();
+    let mut keys: Vec<AttrSet> = s.keys().to_vec();
+    match rng.gen_range(0, 3) {
+        // Drop one alternative key (needs at least two).
+        0 if keys.len() >= 2 => {
+            keys.remove(rng.gen_range(0, keys.len()));
+        }
+        // Widen one key by an attribute it lacks (weakens the fd).
+        1 => {
+            let k = rng.gen_range(0, keys.len());
+            let missing: Vec<_> = (s.attrs() - keys[k]).iter().collect();
+            if missing.is_empty() {
+                return None;
+            }
+            keys[k] |= AttrSet::singleton(missing[rng.gen_range(0, missing.len())]);
+        }
+        // Replace one key with a fresh random nonempty subset.
+        _ => {
+            let k = rng.gen_range(0, keys.len());
+            let ksize = rng.gen_range_inclusive(1, members.len());
+            let mut fresh = AttrSet::empty();
+            while fresh.len() < ksize {
+                fresh.insert(members[rng.gen_range(0, members.len())]);
+            }
+            keys[k] = fresh;
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    let schemes: Vec<RelationScheme> = (0..db.len())
+        .map(|j| {
+            let s = db.scheme(j);
+            let ks = if j == i { keys.clone() } else { s.keys().to_vec() };
+            RelationScheme::new(s.name(), s.attrs(), ks)
+        })
+        .collect::<Result<_, _>>()
+        .ok()?;
+    let mutant = DatabaseScheme::new(db.universe().clone(), schemes).ok()?;
+    // Standing assumption: declared keys must be exactly the candidate
+    // keys under the induced fd set, for *every* scheme (the mutation can
+    // change other schemes' candidate keys through the closure).
+    let kd = KeyDeps::of(&mutant);
+    let mut differs = false;
+    for j in 0..mutant.len() {
+        let declared = mutant.scheme(j).keys();
+        if candidate_keys(kd.full(), mutant.scheme(j).attrs()) != declared {
+            return None;
+        }
+        differs |= declared != db.scheme(j).keys();
+    }
+    differs.then_some(mutant)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +441,37 @@ mod tests {
         // 3 blocks × 3 cycle schemes + 2 bridges.
         assert_eq!(db.len(), 11);
         assert_eq!(db.universe().len(), 9);
+    }
+
+    #[test]
+    fn mutants_differ_and_keep_the_standing_assumption() {
+        use idr_fd::keys::candidate_keys;
+        let mut rng = idr_relation::rng::SplitMix64::new(7);
+        let mut produced = 0;
+        for seed in 0..200u64 {
+            let mut srng = idr_relation::rng::SplitMix64::new(seed);
+            let Some(db) = random_scheme(&mut srng, 5, 3) else {
+                continue;
+            };
+            let Some(mutant) = mutate_one_key(&db, &mut rng) else {
+                continue;
+            };
+            produced += 1;
+            assert_eq!(mutant.len(), db.len());
+            assert_eq!(mutant.universe().len(), db.universe().len());
+            let kd = KeyDeps::of(&mutant);
+            let mut differs = false;
+            for j in 0..mutant.len() {
+                assert_eq!(
+                    candidate_keys(kd.full(), mutant.scheme(j).attrs()),
+                    mutant.scheme(j).keys().to_vec(),
+                    "seed {seed}: mutant violates the standing assumption"
+                );
+                differs |= mutant.scheme(j).keys() != db.scheme(j).keys();
+            }
+            assert!(differs, "seed {seed}: mutant identical to its parent");
+        }
+        assert!(produced >= 10, "only {produced} mutants from 200 seeds");
     }
 
     #[test]

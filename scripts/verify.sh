@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 cargo build --workspace --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Bounded differential-fuzzing smoke run: 100 seed-deterministic cases
+# replayed against four oracles in lockstep (parallel session, serial
+# session, naive chase, Theorem 4.1 expressions). Exits 8 and writes
+# repro fixtures to target/fuzz-failures on any divergence.
+./target/release/idr fuzz --seed 42 --cases 100 --shrink

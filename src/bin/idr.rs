@@ -40,10 +40,20 @@
 //! idr explain  <scheme-file> <state-file> <ATTR> [<ATTR> ...]
 //! idr explain  <scheme-file> <state-file> --insert <TUPLE>
 //! idr closure  <UNIVERSE> <FDS> <X>   # e.g. idr closure ABCD "AB->C, C->D" AB
+//! idr fuzz     [--seed N] [--cases K] [--shrink] [--out DIR]
+//! idr fuzz     --replay <fixture-file>
 //! idr demo                            # runs on the paper's Example 1
 //! ```
 //!
 //! `<TUPLE>` is one state-file line, quoted: `"R1: H=h2 R=r2 C=c9"`.
+//!
+//! `idr fuzz` runs the differential oracle of the `idr-oracle` crate:
+//! seed-deterministic generated cases replayed against four oracles in
+//! lockstep (parallel session, serial session, from-scratch naive chase,
+//! Theorem 4.1 expressions). Any divergence is written as a replayable
+//! fixture under `--out` (default `target/fuzz-failures`) and the run
+//! exits with code 8; `--shrink` minimises failures first, and
+//! `--replay` re-runs one fixture file.
 //!
 //! `idr maintain` routes each tuple through the paper's maintenance
 //! algorithms (Algorithm 5 on constant-time-maintainable schemes,
@@ -83,6 +93,7 @@
 //! | 5 | budget exceeded (`--max-steps`) |
 //! | 6 | timed out (`--timeout-ms`) |
 //! | 7 | fault or cancellation |
+//! | 8 | differential fuzzing found a divergence (`idr fuzz`) |
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -91,6 +102,7 @@ use independence_reducible::chase::{FiringInfo, RejectionExplanation};
 use independence_reducible::core::split::split_keys;
 use independence_reducible::exec::{Budget, ExecError, Guard, RetryPolicy};
 use independence_reducible::prelude::*;
+use independence_reducible::relation::parse::{parse_scheme, parse_state, parse_tuple_line};
 
 const EXIT_INCONSISTENT: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -99,6 +111,7 @@ const EXIT_NOT_IR: u8 = 4;
 const EXIT_BUDGET: u8 = 5;
 const EXIT_TIMEOUT: u8 = 6;
 const EXIT_FAULT: u8 = 7;
+const EXIT_DIVERGENCE: u8 = 8;
 
 /// Rendering requested by `--trace[=text|json]`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,6 +189,7 @@ fn main() -> ExitCode {
             Err(e) => fail(EXIT_PARSE, &e),
         },
         Some("closure") if args.len() == 4 => closure(&args[1], &args[2], &args[3]),
+        Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("demo") => {
             let db = SchemeBuilder::new("CTHRSG")
                 .scheme("R1", "HRC", ["HR"])
@@ -229,7 +243,7 @@ fn flush_obs(
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -310,123 +324,6 @@ fn exec_exit(e: &ExecError) -> u8 {
         ExecError::Cancelled | ExecError::Faulted { .. } => EXIT_FAULT,
         ExecError::Inconsistent { .. } => EXIT_INCONSISTENT,
     }
-}
-
-/// Parses the scheme file format described in the module docs.
-fn parse_scheme(text: &str) -> Result<DatabaseScheme, String> {
-    let mut universe = Universe::new();
-    let mut universe_seen = false;
-    let mut schemes: Vec<RelationScheme> = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
-        if let Some(rest) = line.strip_prefix("universe:") {
-            for tok in rest.split_whitespace() {
-                universe
-                    .add(tok)
-                    .map_err(|e| at(&format!("{e}")))?;
-            }
-            universe_seen = true;
-        } else if let Some(rest) = line.strip_prefix("scheme ") {
-            if !universe_seen {
-                return Err(at("'universe:' must come before schemes"));
-            }
-            let (name, body) = rest
-                .split_once(':')
-                .ok_or_else(|| at("expected 'scheme NAME: ATTRS keys K1 | K2'"))?;
-            let (attrs_part, keys_part) = body
-                .split_once("keys")
-                .ok_or_else(|| at("missing 'keys' clause"))?;
-            let mut attrs = AttrSet::empty();
-            for tok in attrs_part.split_whitespace() {
-                let a = universe
-                    .attr(tok)
-                    .ok_or_else(|| at(&format!("unknown attribute {tok:?}")))?;
-                attrs.insert(a);
-            }
-            let mut keys = Vec::new();
-            for alt in keys_part.split('|') {
-                let mut k = AttrSet::empty();
-                for tok in alt.split_whitespace() {
-                    let a = universe
-                        .attr(tok)
-                        .ok_or_else(|| at(&format!("unknown attribute {tok:?}")))?;
-                    k.insert(a);
-                }
-                if !k.is_empty() {
-                    keys.push(k);
-                }
-            }
-            schemes.push(
-                RelationScheme::new(name.trim(), attrs, keys)
-                    .map_err(|e| at(&format!("{e}")))?,
-            );
-        } else {
-            return Err(at("expected 'universe:' or 'scheme ...'"));
-        }
-    }
-    DatabaseScheme::new(universe, schemes).map_err(|e| format!("{e}"))
-}
-
-/// Parses one `NAME: ATTR=value ...` state line into a relation index and
-/// a tuple covering exactly that relation's attributes.
-fn parse_tuple_line(
-    line: &str,
-    db: &DatabaseScheme,
-    symbols: &mut SymbolTable,
-) -> Result<(usize, Tuple), String> {
-    let u = db.universe();
-    let (name, body) = line
-        .split_once(':')
-        .ok_or_else(|| "expected 'NAME: ATTR=value ...'".to_string())?;
-    let name = name.trim();
-    let i = (0..db.len())
-        .find(|&i| db.scheme(i).name() == name)
-        .ok_or_else(|| format!("unknown relation {name:?}"))?;
-    let mut pairs = Vec::new();
-    for tok in body.split_whitespace() {
-        let (attr, value) = tok
-            .split_once('=')
-            .ok_or_else(|| format!("expected ATTR=value, got {tok:?}"))?;
-        let a = u
-            .attr(attr)
-            .ok_or_else(|| format!("unknown attribute {attr:?}"))?;
-        pairs.push((a, symbols.intern(value)));
-    }
-    let t = Tuple::from_pairs(pairs);
-    if t.attrs() != db.scheme(i).attrs() {
-        return Err(format!(
-            "tuple covers {} but {name} has attributes {}",
-            u.render(t.attrs()),
-            u.render(db.scheme(i).attrs())
-        ));
-    }
-    Ok((i, t))
-}
-
-/// Parses the state file format described in the module docs: one
-/// `NAME: ATTR=value ...` tuple per line, values interned into `symbols`.
-fn parse_state(
-    text: &str,
-    db: &DatabaseScheme,
-    symbols: &mut SymbolTable,
-) -> Result<DatabaseState, String> {
-    let mut state = DatabaseState::empty(db);
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
-        let (i, t) = parse_tuple_line(line, db, symbols).map_err(|e| at(&e))?;
-        state
-            .insert(i, t)
-            .map_err(|e| at(&format!("{e}")))?;
-    }
-    Ok(state)
 }
 
 fn load(path: &str) -> Result<DatabaseScheme, String> {
@@ -842,6 +739,125 @@ fn explain_cmd(
     }
 }
 
+/// Fuzz-specific options (after global flag stripping).
+struct FuzzOpts {
+    seed: u64,
+    cases: usize,
+    shrink: bool,
+    out: String,
+    replay: Option<String>,
+}
+
+fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
+    let mut opts = FuzzOpts {
+        seed: 42,
+        cases: 100,
+        shrink: false,
+        out: "target/fuzz-failures".to_string(),
+        replay: None,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an unsigned integer".to_string())?;
+            }
+            "--cases" => {
+                opts.cases = value("--cases")?
+                    .parse()
+                    .map_err(|_| "--cases needs an unsigned integer".to_string())?;
+            }
+            "--shrink" => opts.shrink = true,
+            "--out" => opts.out = value("--out")?,
+            "--replay" => opts.replay = Some(value("--replay")?),
+            other => return Err(format!("unknown fuzz option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// `idr fuzz`: differential fuzzing against the four oracles of the
+/// `idr-oracle` crate. Divergences become replayable fixtures under
+/// `--out` and the run exits with [`EXIT_DIVERGENCE`].
+fn fuzz_cmd(rest: &[String]) -> ExitCode {
+    use independence_reducible::oracle;
+    let opts = match parse_fuzz_flags(rest) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    if let Some(path) = &opts.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(EXIT_PARSE, &format!("cannot read {path}: {e}")),
+        };
+        let case = match oracle::Case::parse(&text) {
+            Ok(c) => c,
+            Err(e) => return fail(EXIT_PARSE, &format!("{path}: {e}")),
+        };
+        return match oracle::run_case_guarded(&case) {
+            Ok(report) => {
+                println!(
+                    "replay ok: {} op(s), all oracles agree (final state {})",
+                    report.ops_run,
+                    if report.final_consistent {
+                        "consistent"
+                    } else {
+                        "inconsistent"
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(d) => {
+                println!("replay diverges: {d}");
+                ExitCode::from(EXIT_DIVERGENCE)
+            }
+        };
+    }
+    let mut progress = |done: usize, failures: usize| {
+        if done.is_multiple_of(100) {
+            eprintln!("fuzz: {done}/{} cases, {failures} divergence(s)", opts.cases);
+        }
+    };
+    let summary = oracle::fuzz(opts.seed, opts.cases, opts.shrink, Some(&mut progress));
+    println!(
+        "fuzz: {} case(s) from seed {}, {} op(s) executed, {} final state(s) consistent, {} divergence(s)",
+        summary.cases,
+        opts.seed,
+        summary.ops_run,
+        summary.consistent,
+        summary.failures.len()
+    );
+    if summary.is_clean() {
+        return ExitCode::SUCCESS;
+    }
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        return fail(EXIT_PARSE, &format!("cannot create {}: {e}", opts.out));
+    }
+    for f in &summary.failures {
+        println!("  seed {}: {}", f.seed, f.divergence);
+        let path = format!("{}/case-{}.txt", opts.out, f.seed);
+        let text = match &f.shrunk {
+            Some((case, d)) => {
+                println!("    shrunk to {} op(s), still: {d}", case.ops.len());
+                case.render()
+            }
+            None => f.case.render(),
+        };
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("    repro written to {path}"),
+            Err(e) => eprintln!("    cannot write {path}: {e}"),
+        }
+    }
+    ExitCode::from(EXIT_DIVERGENCE)
+}
+
 /// `idr closure <UNIVERSE> <FDS> <X>`: parses the FD list with the typed
 /// parser and prints the attribute closure `X⁺`.
 fn closure(universe_chars: &str, fd_spec: &str, x_chars: &str) -> ExitCode {
@@ -878,61 +894,10 @@ scheme R5: H S R  keys H S
 ";
 
     #[test]
-    fn parses_example1() {
+    fn parsed_example1_is_independence_reducible() {
         let db = parse_scheme(EXAMPLE1).unwrap();
-        assert_eq!(db.len(), 5);
-        assert_eq!(db.scheme(1).keys().len(), 2);
         let engine = Engine::new(db);
         assert!(engine.is_independence_reducible());
-    }
-
-    #[test]
-    fn rejects_unknown_attribute() {
-        let err = parse_scheme("universe: A B\nscheme R1: A Z keys A").unwrap_err();
-        assert!(err.contains("unknown attribute"));
-    }
-
-    #[test]
-    fn rejects_scheme_before_universe() {
-        let err = parse_scheme("scheme R1: A keys A").unwrap_err();
-        assert!(err.contains("universe"));
-    }
-
-    #[test]
-    fn comments_and_blanks_ignored() {
-        let db = parse_scheme("# hi\n\nuniverse: A B\n# mid\nscheme R1: A B keys A\n").unwrap();
-        assert_eq!(db.len(), 1);
-    }
-
-    #[test]
-    fn parses_a_state_file() {
-        let db = parse_scheme(EXAMPLE1).unwrap();
-        let mut sym = SymbolTable::new();
-        let state = parse_state(
-            "# registrar\nR1: H=h1 R=r1 C=c1\nR4: C=c1 S=s1 G=g1\n",
-            &db,
-            &mut sym,
-        )
-        .unwrap();
-        assert_eq!(state.total_tuples(), 2);
-        assert_eq!(state.relation(0).len(), 1);
-        assert_eq!(state.relation(3).len(), 1);
-    }
-
-    #[test]
-    fn state_parser_rejects_bad_lines() {
-        let db = parse_scheme(EXAMPLE1).unwrap();
-        let mut sym = SymbolTable::new();
-        for (text, needle) in [
-            ("R9: H=h", "unknown relation"),
-            ("R1: H=h1", "tuple covers"),
-            ("R1: H=h1 R=r1 Z=z", "unknown attribute"),
-            ("R1 H=h1", "expected 'NAME:"),
-            ("R1: H", "expected ATTR=value"),
-        ] {
-            let err = parse_state(text, &db, &mut sym).unwrap_err();
-            assert!(err.contains(needle), "{text:?} gave {err:?}");
-        }
     }
 
     fn strs(v: &[&str]) -> Vec<String> {
@@ -992,6 +957,22 @@ scheme R5: H S R  keys H S
         assert_eq!(i, 3);
         assert_eq!(t.attrs(), db.scheme(3).attrs());
         assert!(parse_tuple_line("R4: C=c1", &db, &mut sym).is_err());
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let opts = parse_fuzz_flags(&strs(&["--seed", "7", "--cases", "250", "--shrink"])).unwrap();
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.cases, 250);
+        assert!(opts.shrink);
+        assert_eq!(opts.out, "target/fuzz-failures");
+        assert_eq!(opts.replay, None);
+        let opts = parse_fuzz_flags(&strs(&["--replay", "case.txt", "--out", "d"])).unwrap();
+        assert_eq!(opts.replay.as_deref(), Some("case.txt"));
+        assert_eq!(opts.out, "d");
+        assert!(parse_fuzz_flags(&strs(&["--seed"])).is_err());
+        assert!(parse_fuzz_flags(&strs(&["--cases", "many"])).is_err());
+        assert!(parse_fuzz_flags(&strs(&["--frobnicate"])).is_err());
     }
 
     #[test]

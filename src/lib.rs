@@ -61,12 +61,14 @@
 //! | [`core`] | the paper: key-equivalence, Algorithms 1–6, KEP, splitness, recognition, maintenance, boundedness |
 //! | [`workload`] | the paper's 13 worked examples as fixtures; synthetic scaling families |
 //! | [`obs`] | dependency-free structured tracing, metrics and the chase-provenance event taxonomy |
+//! | [`oracle`] | seed-deterministic differential fuzzing: generators, four-oracle lockstep interpreter, shrinker, corpus fixtures |
 
 pub use idr_chase as chase;
 pub use idr_core as core;
 pub use idr_fd as fd;
 pub use idr_hypergraph as hypergraph;
 pub use idr_obs as obs;
+pub use idr_oracle as oracle;
 pub use idr_relation as relation;
 pub use idr_workload as workload;
 

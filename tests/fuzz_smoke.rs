@@ -1,0 +1,24 @@
+//! In-process differential-fuzzing smoke run — the test-suite twin of
+//! the CI step `idr fuzz --seed 42 --cases 100`. A bounded number of
+//! generated cases must replay with zero divergences across the four
+//! oracles (parallel session, serial session, naive chase, Theorem 4.1
+//! expressions).
+
+use independence_reducible::oracle::fuzz;
+
+#[test]
+fn bounded_fuzz_is_divergence_free() {
+    let summary = fuzz(42, 100, false, None);
+    assert_eq!(summary.cases, 100);
+    assert!(summary.ops_run > 0, "no ops executed");
+    assert!(
+        summary.is_clean(),
+        "divergences:\n{}",
+        summary
+            .failures
+            .iter()
+            .map(|f| format!("  seed {}: {}", f.seed, f.divergence))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
