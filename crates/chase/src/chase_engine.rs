@@ -172,16 +172,6 @@ fn chase_inner(
     }
 }
 
-/// Deprecated spelling of [`chase`] from before the twin-surface collapse.
-#[deprecated(since = "0.2.0", note = "use `chase` — it now takes a `&Guard`")]
-pub fn chase_bounded(
-    t: &mut Tableau,
-    fds: &FdSet,
-    guard: &Guard,
-) -> Result<ChaseStats, ExecError> {
-    chase(t, fds, guard)
-}
-
 /// Applies the fd-rule for `fd` to rows `i`, `j` (which agree on `fd.lhs`);
 /// returns whether anything was renamed.
 #[allow(clippy::too_many_arguments)] // internal: the trace plumbing rides along
@@ -362,12 +352,4 @@ mod tests {
         assert_eq!(stats.rule_applications, 0);
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_forwards() {
-        let u = Universe::of_chars("AB");
-        let f = FdSet::parse(&u, "A->B");
-        let mut t = Tableau::new(2);
-        assert!(chase_bounded(&mut t, &f, &Guard::unlimited()).is_ok());
-    }
 }

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use idr_fd::FdSet;
 use idr_obs::{TraceEvent, TraceHandle};
-use idr_relation::exec::{ExecError, Guard};
+use idr_relation::exec::Guard;
 use idr_relation::{Attribute, Universe};
 
 use crate::chase_engine::{col_label, fd_label, ChaseOutcome, ChaseStats, Inconsistent};
@@ -36,7 +36,7 @@ pub fn chase_fast(t: &mut Tableau, fds: &FdSet, guard: &Guard) -> ChaseOutcome {
 }
 
 /// [`chase_fast`] with a trace sink — the same event protocol as
-/// [`crate::chase_traced`](crate::chase_traced): `ChaseStarted`, one
+/// [`crate::chase_traced`]: `ChaseStarted`, one
 /// `FdRuleFired` per rule application (`dirtied` = occurrence-index
 /// holders renamed), a closing `RowsDirtied`, `StateRejected` /
 /// `BudgetTrip` on the failure paths.
@@ -204,17 +204,6 @@ fn fast_inner(
         }
     }
     Ok(stats)
-}
-
-/// Deprecated spelling of [`chase_fast`] from before the twin-surface
-/// collapse.
-#[deprecated(since = "0.2.0", note = "use `chase_fast` — it now takes a `&Guard`")]
-pub fn chase_fast_bounded(
-    t: &mut Tableau,
-    fds: &FdSet,
-    guard: &Guard,
-) -> Result<ChaseStats, ExecError> {
-    chase_fast(t, fds, guard)
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //!
 //! Three structures drive the evaluation:
 //!
-//! * **Union-find nodes** ([`IncrementalChase::union`]): merging two
+//! * **Union-find nodes** (`IncrementalChase::union`): merging two
 //!   classes costs near-constant time plus one worklist push per row
 //!   whose visible symbol actually changed — exactly the semantic cost of
 //!   a rename, without scanning anything.

@@ -25,8 +25,8 @@
 //!
 //! Every chase entry point takes an execution context (`&Guard`);
 //! [`Guard::unlimited`](idr_relation::exec::Guard::unlimited) is the easy
-//! default. The pre-collapse `*_bounded` twins survive as `#[deprecated]`
-//! shims.
+//! default. (The pre-collapse `*_bounded` twins were removed in 0.5 —
+//! drop the suffix and pass a `Guard`.)
 
 #![warn(missing_docs)]
 mod chase_engine;
@@ -37,17 +37,11 @@ pub mod lossless;
 mod tableau;
 mod weak;
 
-#[allow(deprecated)]
-pub use chase_engine::chase_bounded;
 pub use chase_engine::{chase, chase_traced, ChaseOutcome, ChaseStats, Inconsistent};
-#[allow(deprecated)]
-pub use fast::chase_fast_bounded;
 pub use fast::{chase_fast, chase_fast_traced};
 pub use incremental::{
     chase_incremental, CellTrace, FiringInfo, IncrementalChase, RejectionExplanation,
     TupleExplanation,
 };
 pub use tableau::{ChaseSym, Row, Tableau};
-#[allow(deprecated)]
-pub use weak::{is_consistent_bounded, representative_instance_bounded, total_projection_bounded};
 pub use weak::{is_consistent, representative_instance, total_projection, RepInstance};

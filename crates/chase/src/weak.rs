@@ -75,49 +75,6 @@ pub fn total_projection(
     Ok(representative_instance(scheme, state, fds, guard)?.map(|ri| ri.total_projection(x)))
 }
 
-/// Deprecated spelling of [`is_consistent`] from before the twin-surface
-/// collapse.
-#[deprecated(since = "0.2.0", note = "use `is_consistent` — it now takes a `&Guard`")]
-pub fn is_consistent_bounded(
-    scheme: &DatabaseScheme,
-    state: &DatabaseState,
-    fds: &FdSet,
-    guard: &Guard,
-) -> Result<bool, ExecError> {
-    is_consistent(scheme, state, fds, guard)
-}
-
-/// Deprecated spelling of [`representative_instance`] from before the
-/// twin-surface collapse.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `representative_instance` — it now takes a `&Guard`"
-)]
-pub fn representative_instance_bounded(
-    scheme: &DatabaseScheme,
-    state: &DatabaseState,
-    fds: &FdSet,
-    guard: &Guard,
-) -> Result<Option<RepInstance>, ExecError> {
-    representative_instance(scheme, state, fds, guard)
-}
-
-/// Deprecated spelling of [`total_projection`] from before the
-/// twin-surface collapse.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `total_projection` — it now takes a `&Guard`"
-)]
-pub fn total_projection_bounded(
-    scheme: &DatabaseScheme,
-    state: &DatabaseState,
-    fds: &FdSet,
-    x: AttrSet,
-    guard: &Guard,
-) -> Result<Option<Vec<Tuple>>, ExecError> {
-    total_projection(scheme, state, fds, x, guard)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

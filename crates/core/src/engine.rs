@@ -23,6 +23,52 @@
 //! Total projections on IR schemes are answered chase-free through the
 //! cached Theorem 4.1 expressions evaluated over the base state; non-IR
 //! schemes fall back to a single whole-state chase.
+//!
+//! Mutations can be made durable by attaching a write-ahead sink
+//! ([`Session::with_durability`], implemented by `idr_store::Store`):
+//! the session then commits every op to the log before touching memory.
+//!
+//! # Examples
+//!
+//! Build an engine once, bind it to a state, and serve consistency
+//! checks, incremental updates and chase-free projections:
+//!
+//! ```
+//! use idr_core::Engine;
+//! use idr_relation::exec::Guard;
+//! use idr_relation::{parse, SymbolTable};
+//!
+//! // Two independent blocks — independence-reducible by Algorithm 6.
+//! let db = parse::parse_scheme(
+//!     "universe: A B C D\n\
+//!      scheme R1: A B keys A\n\
+//!      scheme R2: C D keys C\n",
+//! )
+//! .unwrap();
+//! let mut sym = SymbolTable::new();
+//! let state = parse::parse_state("R1: A=a B=b\n", &db, &mut sym).unwrap();
+//!
+//! let engine = Engine::new(db);
+//! assert!(engine.is_independence_reducible());
+//!
+//! let guard = Guard::unlimited();
+//! let mut session = engine.session(&state, &guard).unwrap();
+//! assert!(session.is_consistent());
+//!
+//! // Incremental insert: only the touched block re-chases.
+//! let (rel, t) = parse::parse_tuple_line("R2: C=c D=d", engine.scheme(), &mut sym).unwrap();
+//! assert!(session.insert(rel, t, &guard).unwrap());
+//!
+//! // A key violation is rejected as a verdict, not an error.
+//! let (rel, bad) = parse::parse_tuple_line("R1: A=a B=b2", engine.scheme(), &mut sym).unwrap();
+//! assert!(!session.insert(rel, bad, &guard).unwrap());
+//! assert!(session.is_consistent());
+//!
+//! // Chase-free X-total projection via the Theorem 4.1 expression.
+//! let x = engine.scheme().universe().set_of("AB");
+//! let answer = session.total_projection(x, &guard).unwrap().unwrap();
+//! assert_eq!(answer.len(), 1);
+//! ```
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -36,6 +82,7 @@ use idr_relation::exec::{ExecError, Guard};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple};
 
 use crate::classify::{classify, Classification};
+use crate::durability::{DurableOp, Durability};
 use crate::kep;
 use crate::query::ir_total_projection_expr;
 use crate::recognition::{recognize, IrScheme, Recognition};
@@ -298,6 +345,7 @@ impl Engine {
             state: state.clone(),
             backend,
             last_rejection: None,
+            durability: None,
         };
         self.obs.tracer.emit_with(|| TraceEvent::SessionBuilt {
             blocks: match &session.backend {
@@ -398,6 +446,26 @@ pub struct Session<'e> {
     /// the poisoned block tableau is rebuilt (the rebuild discards the
     /// chase that found the violation).
     last_rejection: Option<RejectionExplanation>,
+    /// Optional write-ahead durability sink: when attached, every
+    /// mutation is logged *before* memory changes and aborted on
+    /// rollback, so the log and memory always agree. (`+ 'static` keeps
+    /// `Session<'e>` covariant in `'e`.)
+    durability: Option<&'e mut (dyn Durability + 'static)>,
+}
+
+impl<'e> Session<'e> {
+    /// Attaches a write-ahead [`Durability`] sink (e.g.
+    /// `idr_store::Store`). From then on every [`insert`](Session::insert)
+    /// / [`delete`](Session::delete) logs its intent record before
+    /// mutating memory, appends an abort marker when a guard trip rolls
+    /// the mutation back, and offers the post-op state to the sink for
+    /// periodic snapshots. The sink must resolve the same interned
+    /// [`idr_relation::Value`]s the session's tuples use — intern through
+    /// the sink's own symbol table.
+    pub fn with_durability(mut self, sink: &'e mut (dyn Durability + 'static)) -> Self {
+        self.durability = Some(sink);
+        self
+    }
 }
 
 impl Session<'_> {
@@ -448,10 +516,14 @@ impl Session<'_> {
     /// guard.
     pub fn insert(&mut self, i: usize, t: Tuple, guard: &Guard) -> Result<bool, ExecError> {
         let t0 = Instant::now();
-        let eng = self.backend_slot(i);
-        if let Some(f) = eng.failure() {
+        if let Some(f) = self.backend_slot(i).failure() {
             return Err(f.clone().into());
         }
+        // Write-ahead: commit the intent record before any memory changes.
+        if let Some(d) = self.durability.as_mut() {
+            d.log_op(DurableOp::Insert { rel: i, t: &t })?;
+        }
+        let eng = self.backend_slot(i);
         eng.push_tuple(&t, Some(i));
         let outcome = match eng.run(guard) {
             Ok(_) => {
@@ -478,9 +550,19 @@ impl Session<'_> {
                 // not charged.
                 self.rebuild_slot(i, &Guard::unlimited())
                     .expect("rebuilding a previously consistent block cannot fail");
+                // Memory is rolled back; mark the logged record aborted so
+                // recovery skips it and the log agrees with memory again.
+                if let Some(d) = self.durability.as_mut() {
+                    d.log_abort()?;
+                }
                 Err(e)
             }
         };
+        if outcome.is_ok() {
+            if let Some(d) = self.durability.as_mut() {
+                d.op_finished(&self.state)?;
+            }
+        }
         if let Ok(&accepted) = outcome.as_ref() {
             let obs = &self.engine.obs;
             obs.tracer.emit_with(|| TraceEvent::InsertApplied {
@@ -510,6 +592,10 @@ impl Session<'_> {
     /// the base state, matching the old tableau that is still answering
     /// queries, and the caller may retry with a fresh guard.
     pub fn delete(&mut self, i: usize, t: &Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        // Write-ahead: commit the intent record before any memory changes.
+        if let Some(d) = self.durability.as_mut() {
+            d.log_op(DurableOp::Delete { rel: i, t })?;
+        }
         let removed = self
             .state
             .remove(i, t)
@@ -522,8 +608,15 @@ impl Session<'_> {
                 self.state
                     .insert(i, t.clone())
                     .expect("tuple was just removed from relation i");
+                // Memory is rolled back; mark the logged record aborted.
+                if let Some(d) = self.durability.as_mut() {
+                    d.log_abort()?;
+                }
                 return Err(e);
             }
+        }
+        if let Some(d) = self.durability.as_mut() {
+            d.op_finished(&self.state)?;
         }
         let obs = &self.engine.obs;
         obs.tracer.emit_with(|| TraceEvent::DeleteApplied {

@@ -15,7 +15,7 @@
 //!   that fails chosen selections, for testing the retry path without a
 //!   real flaky backend.
 //!
-//! The `*_bounded` maintainers in [`crate::maintain`] are generic over
+//! The maintainers in [`crate::maintain`] are generic over
 //! these traits: production code passes the concrete in-memory stores,
 //! tests pass a [`FaultInjector`] around them and assert that transient
 //! faults are retried to the fault-free answer while permanent faults

@@ -28,8 +28,7 @@
 //! Every hot entry point takes a [`exec::Guard`] and meters its work
 //! against the guard's [`exec::Budget`], returning a typed
 //! [`exec::ExecError`] instead of panicking or looping past its limits;
-//! see [`exec`] for the failure model. (The pre-0.2 `*_bounded` twins
-//! survive as deprecated aliases.)
+//! see [`exec`] for the failure model.
 //!
 //! The recommended entry point is [`engine::Engine`]: build it once from
 //! a scheme and it caches recognition, classification and the Theorem 4.1
@@ -44,6 +43,7 @@ pub mod augment;
 pub mod baselines;
 pub mod classify;
 pub mod ctm_witness;
+pub mod durability;
 pub mod engine;
 pub mod exec;
 pub mod kep;
@@ -56,6 +56,7 @@ pub mod rep;
 pub mod split;
 
 pub use classify::{classify, Classification};
+pub use durability::{Durability, DurableOp};
 pub use engine::{Engine, Observability, Session};
 pub use exec::{
     Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,

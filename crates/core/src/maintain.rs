@@ -108,20 +108,6 @@ pub fn algorithm2(
     Ok((MaintenanceOutcome::Consistent(q), stats))
 }
 
-/// Deprecated spelling of [`algorithm2`] from before the budgeted and
-/// unbudgeted surfaces were collapsed.
-#[deprecated(since = "0.2.0", note = "use `algorithm2` — it now takes a `&Guard`")]
-pub fn algorithm2_bounded(
-    scheme: &DatabaseScheme,
-    rep: &impl RepAccess,
-    si: usize,
-    t: &Tuple,
-    guard: &Guard,
-    retry: &RetryPolicy,
-) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
-    algorithm2(scheme, rep, si, t, guard, retry)
-}
-
 /// A hash index over the raw tuples of a block substate: for each member
 /// scheme and each of its keys, key values → tuple. This is what makes
 /// Algorithm 4's selections `σ_Φ(π_X(Sᵢ))` constant-time.
@@ -389,19 +375,6 @@ pub fn algorithm4(
     }
 }
 
-/// Deprecated spelling of [`algorithm4`] from before the budgeted and
-/// unbudgeted surfaces were collapsed.
-#[deprecated(since = "0.2.0", note = "use `algorithm4` — it now takes a `&Guard`")]
-pub fn algorithm4_bounded(
-    idx: &impl StateAccess,
-    t_on_k: &Tuple,
-    stats: &mut MaintenanceStats,
-    guard: &Guard,
-    retry: &RetryPolicy,
-) -> Result<Option<Tuple>, ExecError> {
-    algorithm4(idx, t_on_k, stats, guard, retry)
-}
-
 /// Algorithm 5: constant-time maintenance for a *split-free*
 /// key-equivalent block, generic over the state access path. For each key
 /// of the updated scheme, extend the inserted tuple's key value through
@@ -431,20 +404,6 @@ pub fn algorithm5(
         }
     }
     Ok((MaintenanceOutcome::Consistent(q), stats))
-}
-
-/// Deprecated spelling of [`algorithm5`] from before the budgeted and
-/// unbudgeted surfaces were collapsed.
-#[deprecated(since = "0.2.0", note = "use `algorithm5` — it now takes a `&Guard`")]
-pub fn algorithm5_bounded(
-    scheme: &DatabaseScheme,
-    idx: &impl StateAccess,
-    si: usize,
-    t: &Tuple,
-    guard: &Guard,
-    retry: &RetryPolicy,
-) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
-    algorithm5(scheme, idx, si, t, guard, retry)
 }
 
 /// Incremental maintainer for an independence-reducible scheme (§4.2):
@@ -509,18 +468,6 @@ impl IrMaintainer {
         self
     }
 
-    /// Deprecated spelling of [`IrMaintainer::new`] from before the
-    /// budgeted and unbudgeted surfaces were collapsed.
-    #[deprecated(since = "0.2.0", note = "use `new` — it now takes a `&Guard`")]
-    pub fn new_bounded(
-        scheme: &DatabaseScheme,
-        ir: &IrScheme,
-        state: &DatabaseState,
-        guard: &Guard,
-    ) -> Result<Self, ExecError> {
-        Self::new(scheme, ir, state, guard)
-    }
-
     /// The per-block representative instances.
     pub fn reps(&self) -> &[KeRep] {
         &self.reps
@@ -563,19 +510,6 @@ impl IrMaintainer {
         Ok((outcome, stats))
     }
 
-    /// Deprecated spelling of [`IrMaintainer::insert`] from before the
-    /// budgeted and unbudgeted surfaces were collapsed.
-    #[deprecated(since = "0.2.0", note = "use `insert` — it now takes a `&Guard`")]
-    pub fn insert_bounded(
-        &mut self,
-        scheme_idx: usize,
-        t: Tuple,
-        guard: &Guard,
-        retry: &RetryPolicy,
-    ) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
-        self.insert(scheme_idx, t, guard, retry)
-    }
-
     /// Answers an X-total projection directly from the maintained
     /// representative instances — the query path of a *live* system, where
     /// Theorem 4.1's `[Yⱼ]` relations are already materialised as the
@@ -610,21 +544,6 @@ impl IrMaintainer {
         out.sort();
         out.dedup();
         Ok(out)
-    }
-
-    /// Deprecated spelling of [`IrMaintainer::total_projection`] from
-    /// before the budgeted and unbudgeted surfaces were collapsed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `total_projection` — it now takes a `&Guard`"
-    )]
-    pub fn total_projection_bounded(
-        &self,
-        kd: &idr_fd::KeyDeps,
-        x: idr_relation::AttrSet,
-        guard: &Guard,
-    ) -> Result<Vec<Tuple>, ExecError> {
-        self.total_projection(kd, x, guard)
     }
 
     /// Joins the `[Yⱼ]`-total rep tuples of one lossless block cover `v`
@@ -793,18 +712,6 @@ impl CtmMaintainer {
         self
     }
 
-    /// Deprecated spelling of [`CtmMaintainer::new`] from before the
-    /// budgeted and unbudgeted surfaces were collapsed.
-    #[deprecated(since = "0.2.0", note = "use `new` — it now takes a `&Guard`")]
-    pub fn new_bounded(
-        scheme: &DatabaseScheme,
-        ir: &IrScheme,
-        state: &DatabaseState,
-        guard: &Guard,
-    ) -> Result<Self, ExecError> {
-        Self::new(scheme, ir, state, guard)
-    }
-
     /// Checks an insertion and, when consistent, applies it. Algorithm 5's
     /// selections are metered against `guard` and its faults run through
     /// `retry`; same decide-metered/apply-atomic contract as
@@ -846,18 +753,6 @@ impl CtmMaintainer {
         Ok((outcome, stats))
     }
 
-    /// Deprecated spelling of [`CtmMaintainer::insert`] from before the
-    /// budgeted and unbudgeted surfaces were collapsed.
-    #[deprecated(since = "0.2.0", note = "use `insert` — it now takes a `&Guard`")]
-    pub fn insert_bounded(
-        &mut self,
-        scheme_idx: usize,
-        t: Tuple,
-        guard: &Guard,
-        retry: &RetryPolicy,
-    ) -> Result<(MaintenanceOutcome, MaintenanceStats), ExecError> {
-        self.insert(scheme_idx, t, guard, retry)
-    }
 }
 
 #[cfg(test)]
@@ -1153,17 +1048,4 @@ mod tests {
         assert_eq!(m.reps()[1].len(), 1);
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward() {
-        let db = example6();
-        let kd = KeyDeps::of(&db);
-        let ir = recognize(&db, &kd).accepted().unwrap();
-        let state = DatabaseState::empty(&db);
-        let (g, _) = ok();
-        let m = IrMaintainer::new_bounded(&db, &ir, &state, &g).unwrap();
-        assert_eq!(m.reps().len(), ir.len());
-        let c = CtmMaintainer::new_bounded(&db, &ir, &state, &g);
-        assert!(c.is_ok());
-    }
 }

@@ -49,21 +49,6 @@ pub fn minimal_lossless_covers(
     covers_impl(family, fds, x, true, guard)
 }
 
-/// Deprecated spelling of [`minimal_lossless_covers`] from before the
-/// twin-surface collapse.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `minimal_lossless_covers` — it now takes a `&Guard`"
-)]
-pub fn minimal_lossless_covers_bounded(
-    family: &[AttrSet],
-    fds: &FdSet,
-    x: AttrSet,
-    guard: &Guard,
-) -> Result<Vec<Vec<usize>>, ExecError> {
-    minimal_lossless_covers(family, fds, x, guard)
-}
-
 /// Enumerates *all* subsets of `family` that cover `x` and are lossless —
 /// no minimality filter. Theorem 3.2's maintenance construction selects
 /// over every such join and keeps the greatest nonempty one, so the full
@@ -77,21 +62,6 @@ pub fn all_lossless_covers(
 ) -> Result<Vec<Vec<usize>>, ExecError> {
     charge_family(family.len(), guard)?;
     covers_impl(family, fds, x, false, guard)
-}
-
-/// Deprecated spelling of [`all_lossless_covers`] from before the
-/// twin-surface collapse.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `all_lossless_covers` — it now takes a `&Guard`"
-)]
-pub fn all_lossless_covers_bounded(
-    family: &[AttrSet],
-    fds: &FdSet,
-    x: AttrSet,
-    guard: &Guard,
-) -> Result<Vec<Vec<usize>>, ExecError> {
-    all_lossless_covers(family, fds, x, guard)
 }
 
 /// Charges the `2ⁿ` cover enumeration to the guard, rejecting families too
@@ -185,22 +155,6 @@ pub fn ke_total_projection_expr(
     Ok(Some(Expr::union_all(exprs)))
 }
 
-/// Deprecated spelling of [`ke_total_projection_expr`] from before the
-/// twin-surface collapse.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ke_total_projection_expr` — it now takes a `&Guard`"
-)]
-pub fn ke_total_projection_expr_bounded(
-    scheme: &DatabaseScheme,
-    kd: &KeyDeps,
-    block: &[usize],
-    x: AttrSet,
-    guard: &Guard,
-) -> Result<Option<Expr>, ExecError> {
-    ke_total_projection_expr(scheme, kd, block, x, guard)
-}
-
 /// Theorem 4.1: the relational expression computing `[X]` over an
 /// independence-reducible scheme. Enumerates minimal lossless covering
 /// families of blocks; within each family, block `j` contributes its
@@ -259,22 +213,6 @@ pub fn ir_total_projection_expr(
     Ok(Some(Expr::union_all(alternatives)))
 }
 
-/// Deprecated spelling of [`ir_total_projection_expr`] from before the
-/// twin-surface collapse.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ir_total_projection_expr` — it now takes a `&Guard`"
-)]
-pub fn ir_total_projection_expr_bounded(
-    scheme: &DatabaseScheme,
-    kd: &KeyDeps,
-    ir: &IrScheme,
-    x: AttrSet,
-    guard: &Guard,
-) -> Result<Option<Expr>, ExecError> {
-    ir_total_projection_expr(scheme, kd, ir, x, guard)
-}
-
 /// Evaluates the Theorem 4.1 expression over a state: the bounded,
 /// chase-free computation of `[X]`. Returns an empty relation over `x`
 /// when no expression exists. An evaluation error (an internally malformed
@@ -296,23 +234,6 @@ pub fn ir_total_projection(
         }),
         None => Ok(Relation::new(x)),
     }
-}
-
-/// Deprecated spelling of [`ir_total_projection`] from before the
-/// twin-surface collapse.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ir_total_projection` — it now takes a `&Guard`"
-)]
-pub fn ir_total_projection_bounded(
-    scheme: &DatabaseScheme,
-    kd: &KeyDeps,
-    ir: &IrScheme,
-    state: &DatabaseState,
-    x: AttrSet,
-    guard: &Guard,
-) -> Result<Relation, ExecError> {
-    ir_total_projection(scheme, kd, ir, state, x, guard)
 }
 
 #[cfg(test)]

@@ -93,20 +93,6 @@ impl KeRep {
         Ok(rep)
     }
 
-    /// Deprecated spelling of [`KeRep::build`] from before the
-    /// twin-surface collapse.
-    #[deprecated(since = "0.2.0", note = "use `build` — it now takes a `&Guard`")]
-    pub fn build_bounded<I>(
-        keys: &[AttrSet],
-        tuples: I,
-        guard: &Guard,
-    ) -> Result<Self, ExecError>
-    where
-        I: IntoIterator<Item = Tuple>,
-    {
-        Self::build(keys, tuples, guard)
-    }
-
     /// The block's keys.
     pub fn keys(&self) -> &[AttrSet] {
         &self.keys
@@ -196,13 +182,6 @@ impl KeRep {
             }
         }
         Ok(())
-    }
-
-    /// Deprecated spelling of [`KeRep::insert_merge`] from before the
-    /// twin-surface collapse.
-    #[deprecated(since = "0.2.0", note = "use `insert_merge` — it now takes a `&Guard`")]
-    pub fn insert_merge_bounded(&mut self, t: Tuple, guard: &Guard) -> Result<(), ExecError> {
-        self.insert_merge(t, guard)
     }
 
     fn key_index(&self, k: AttrSet) -> Option<usize> {

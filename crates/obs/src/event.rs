@@ -21,7 +21,7 @@ use crate::json::JsonWriter;
 /// A structured trace record. See the module docs for conventions.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
-    /// A chase run began (one per [`run`] call on an engine; `scope`
+    /// A chase run began (one per `run` call on an engine; `scope`
     /// identifies the tableau, e.g. `whole` or `T1`).
     ChaseStarted {
         /// Which tableau is being chased.
@@ -44,7 +44,7 @@ pub enum TraceEvent {
     },
     /// Total rows re-enqueued by symbol changes over one chase run.
     RowsDirtied {
-        /// The run's scope (matches its [`ChaseStarted`]).
+        /// The run's scope (matches its [`TraceEvent::ChaseStarted`]).
         scope: Arc<str>,
         /// Total worklist pushes caused by class merges.
         count: usize,
@@ -128,6 +128,36 @@ pub enum TraceEvent {
         /// Whether a matching tuple was found.
         found: bool,
     },
+    /// A record was committed to the write-ahead log (before the
+    /// corresponding in-memory mutation).
+    WalAppended {
+        /// The record's verb (`insert`, `delete` or `abort`).
+        verb: Arc<str>,
+        /// Framed record size in bytes (header + payload).
+        bytes: usize,
+    },
+    /// A snapshot was installed by atomic rename and the WAL rotated to
+    /// a new epoch.
+    SnapshotWritten {
+        /// The new snapshot's epoch.
+        epoch: u64,
+        /// Tuples in the snapshotted state.
+        tuples: usize,
+    },
+    /// Crash recovery finished replaying a WAL tail through the guarded
+    /// session path.
+    RecoveryReplayed {
+        /// The snapshot epoch recovery started from.
+        epoch: u64,
+        /// Complete, checksum-valid records found in the WAL.
+        records: usize,
+        /// Ops replayed (after abort filtering).
+        replayed: usize,
+        /// Op records skipped because an abort marker followed them.
+        aborted: usize,
+        /// Bytes of crash-torn final record truncated.
+        torn_bytes: usize,
+    },
 }
 
 impl TraceEvent {
@@ -147,6 +177,9 @@ impl TraceEvent {
             TraceEvent::RecognitionDone { .. } => "recognition_done",
             TraceEvent::KepComputed { .. } => "kep_computed",
             TraceEvent::SelectionPerformed { .. } => "selection_performed",
+            TraceEvent::WalAppended { .. } => "wal_appended",
+            TraceEvent::SnapshotWritten { .. } => "snapshot_written",
+            TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
         }
     }
 
@@ -208,6 +241,21 @@ impl TraceEvent {
             TraceEvent::SelectionPerformed { relation, found } => {
                 format!("selection_performed relation={relation} found={found}")
             }
+            TraceEvent::WalAppended { verb, bytes } => {
+                format!("wal_appended verb={verb} bytes={bytes}")
+            }
+            TraceEvent::SnapshotWritten { epoch, tuples } => {
+                format!("snapshot_written epoch={epoch} tuples={tuples}")
+            }
+            TraceEvent::RecoveryReplayed {
+                epoch,
+                records,
+                replayed,
+                aborted,
+                torn_bytes,
+            } => format!(
+                "recovery_replayed epoch={epoch} records={records} replayed={replayed} aborted={aborted} torn_bytes={torn_bytes}"
+            ),
         }
     }
 
@@ -325,6 +373,30 @@ impl TraceEvent {
                     .key("found")
                     .bool(*found);
             }
+            TraceEvent::WalAppended { verb, bytes } => {
+                w.key("verb").string(verb).key("bytes").u64(*bytes as u64);
+            }
+            TraceEvent::SnapshotWritten { epoch, tuples } => {
+                w.key("epoch").u64(*epoch).key("tuples").u64(*tuples as u64);
+            }
+            TraceEvent::RecoveryReplayed {
+                epoch,
+                records,
+                replayed,
+                aborted,
+                torn_bytes,
+            } => {
+                w.key("epoch")
+                    .u64(*epoch)
+                    .key("records")
+                    .u64(*records as u64)
+                    .key("replayed")
+                    .u64(*replayed as u64)
+                    .key("aborted")
+                    .u64(*aborted as u64)
+                    .key("torn_bytes")
+                    .u64(*torn_bytes as u64);
+            }
         }
         w.end_object();
         w.finish()
@@ -396,6 +468,21 @@ mod tests {
             TraceEvent::SelectionPerformed {
                 relation: label.clone(),
                 found: true,
+            },
+            TraceEvent::WalAppended {
+                verb: label.clone(),
+                bytes: 26,
+            },
+            TraceEvent::SnapshotWritten {
+                epoch: 3,
+                tuples: 12,
+            },
+            TraceEvent::RecoveryReplayed {
+                epoch: 3,
+                records: 7,
+                replayed: 5,
+                aborted: 1,
+                torn_bytes: 11,
             },
         ];
         for e in &events {

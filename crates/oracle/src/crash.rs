@@ -1,0 +1,463 @@
+//! Crash-point differential fuzzing for the durability layer.
+//!
+//! For each seeded case the fuzzer runs a stream of durable session ops
+//! against a real data dir, then simulates a crash at **every byte
+//! boundary of the write-ahead log**: the WAL is truncated to each
+//! prefix length in turn, [`idr_store::recover()`] rebuilds a session
+//! from the surviving bytes, and the recovered state, consistency
+//! verdict and a query answer are differentially checked against an
+//! in-memory oracle that replayed exactly the ops whose records
+//! survived the cut. A torn final record must be tolerated (truncated),
+//! never misread — any byte offset that recovers to the wrong state is
+//! a reported failure.
+//!
+//! Cases vary the scheme family (the same IR/non-IR spread as
+//! [`gen`](crate::gen)), the op mix (accepted inserts, rejected
+//! inserts, deletes of present and absent tuples) and the snapshot
+//! cadence, so cuts land both in a fresh epoch-0 log and in a log tail
+//! after snapshot rotation + compaction.
+//!
+//! Ops run under unlimited guards, so every op is exactly one WAL
+//! record and `k` surviving records ⇔ the first `k` ops — the mapping
+//! the differential check relies on. (Abort markers from guard-tripped
+//! ops are covered by targeted tests in `tests/durability.rs`.)
+
+use std::path::Path;
+
+use idr_core::Engine;
+use idr_relation::exec::Guard;
+use idr_relation::parse::render_tuple_line;
+use idr_relation::rng::SplitMix64;
+use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, SymbolTable, Tuple};
+use idr_store::tempdir::TempDir;
+use idr_store::{recover, snapshot, wal, Store};
+use idr_workload::generators::{
+    block_chain_scheme, chain_scheme, cycle_scheme, example2_scheme, split_scheme, star_scheme,
+};
+
+/// One crash point whose recovery disagreed with the in-memory oracle
+/// (or failed when it should have succeeded).
+#[derive(Clone, Debug)]
+pub struct CrashFailure {
+    /// The per-case seed (reproduces the whole case).
+    pub seed: u64,
+    /// The WAL byte length the crash truncated to.
+    pub crash_point: u64,
+    /// What disagreed (`state`, `verdict`, `answer`, `recovery_error`).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CrashFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {} crash@{} [{}]: {}",
+            self.seed, self.crash_point, self.kind, self.detail
+        )
+    }
+}
+
+/// Outcome of a crash-fuzzing run.
+#[derive(Clone, Debug, Default)]
+pub struct CrashFuzzSummary {
+    /// Cases (op streams × data dirs) executed.
+    pub cases: usize,
+    /// Total crash points (byte boundaries) recovered from.
+    pub crash_points: usize,
+    /// Total ops executed across the live (never-crashed) runs.
+    pub ops_run: usize,
+    /// Disagreements, in discovery order.
+    pub failures: Vec<CrashFailure>,
+}
+
+impl CrashFuzzSummary {
+    /// Whether every crash point recovered to the oracle's state.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The per-prefix expectation computed by the in-memory oracle: the
+/// state after the first `k` ops, rendered; its verdict; the rendered
+/// probe-query answer.
+struct MirrorPoint {
+    state_lines: Vec<String>,
+    consistent: bool,
+    answer: Option<Vec<String>>,
+}
+
+/// A scheme drawn from the same families the main fuzzer covers,
+/// including the non-IR Example 2 (whole-state backend).
+fn gen_scheme(rng: &mut SplitMix64) -> DatabaseScheme {
+    match rng.gen_range(0, 6) {
+        0 => chain_scheme(rng.gen_range_inclusive(2, 4)),
+        1 => cycle_scheme(rng.gen_range_inclusive(3, 4)),
+        2 => split_scheme(2),
+        3 => star_scheme(rng.gen_range_inclusive(2, 3)),
+        4 => block_chain_scheme(2, 3),
+        _ => example2_scheme(),
+    }
+}
+
+/// The universal tuple of entity `id` (values `<attr>_<id>`).
+fn entity_tuple(db: &DatabaseScheme, symbols: &mut SymbolTable, id: usize) -> Tuple {
+    let u = db.universe();
+    Tuple::from_pairs(
+        u.iter()
+            .map(|a| (a, symbols.intern(&format!("{}_{id}", u.name(a))))),
+    )
+}
+
+/// A key-violating mix of two entities on relation `i` (key from `a`,
+/// non-key from `b`) — the op stream's source of rejected inserts.
+fn corrupt_tuple(
+    db: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+    i: usize,
+    a: usize,
+    b: usize,
+) -> Tuple {
+    let ta = entity_tuple(db, symbols, a);
+    let tb = entity_tuple(db, symbols, b);
+    let key = db.scheme(i).keys()[0];
+    Tuple::from_pairs(db.scheme(i).attrs().iter().map(|at| {
+        (at, if key.contains(at) { ta.value(at) } else { tb.value(at) })
+    }))
+}
+
+/// One durable op: `(is_insert, relation, tuple)`.
+type CrashOp = (bool, usize, Tuple);
+
+/// Generates the op stream for one case. Inserts dominate (they grow
+/// the WAL and the state); deletes hit both present and absent tuples;
+/// corrupt inserts produce in-log *rejected* records whose replay must
+/// re-reject.
+fn gen_ops(
+    db: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+    rng: &mut SplitMix64,
+) -> Vec<CrashOp> {
+    let entities = rng.gen_range_inclusive(2, 3);
+    let nops = rng.gen_range_inclusive(4, 8);
+    let mut pool: Vec<(usize, Tuple)> = Vec::new();
+    let mut ops = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        let i = rng.gen_range(0, db.len());
+        let op: CrashOp = match rng.gen_range(0, 100) {
+            // Delete a previously inserted tuple (or an absent one).
+            0..=19 if !pool.is_empty() => {
+                let (rel, t) = pool[rng.gen_range(0, pool.len())].clone();
+                (false, rel, t)
+            }
+            0..=24 => {
+                let id = rng.gen_range(0, entities);
+                (false, i, entity_tuple(db, symbols, id).project(db.scheme(i).attrs()))
+            }
+            // A key-violating insert: logged, rejected, replay re-rejects.
+            25..=39 => (true, i, corrupt_tuple(db, symbols, i, 0, 1)),
+            // A fragment of an entity (usually accepted).
+            _ => {
+                let id = rng.gen_range(0, entities + 1);
+                let t = entity_tuple(db, symbols, id).project(db.scheme(i).attrs());
+                pool.push((i, t.clone()));
+                (true, i, t)
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Renders a state as sorted fixture lines — the cross-symbol-table
+/// fingerprint (recovery re-interns values in its own order, so raw
+/// `Value` comparisons would be meaningless).
+fn state_lines(db: &DatabaseScheme, state: &DatabaseState, symbols: &SymbolTable) -> Vec<String> {
+    let mut lines: Vec<String> = state
+        .iter_all()
+        .map(|(i, t)| render_tuple_line(db, symbols, i, t))
+        .collect();
+    lines.sort();
+    lines
+}
+
+/// Renders a query answer's tuples as sorted `attr=value` lines.
+fn answer_lines(
+    db: &DatabaseScheme,
+    tuples: &[Tuple],
+    symbols: &SymbolTable,
+) -> Vec<String> {
+    let u = db.universe();
+    let mut lines: Vec<String> = tuples
+        .iter()
+        .map(|t| {
+            t.iter()
+                .map(|(a, v)| format!("{}={}", u.name(a), symbols.resolve(v)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    lines.sort();
+    lines.dedup();
+    lines
+}
+
+/// Replays `ops` prefixes through a purely in-memory session, recording
+/// the expected state/verdict/answer after every prefix length.
+fn build_mirror(
+    db: &DatabaseScheme,
+    ops: &[CrashOp],
+    probe: AttrSet,
+    symbols: &SymbolTable,
+) -> Result<Vec<MirrorPoint>, String> {
+    let engine = Engine::new(db.clone());
+    let guard = Guard::unlimited();
+    let mut session = engine
+        .session(&DatabaseState::empty(db), &guard)
+        .map_err(|e| format!("mirror session: {e}"))?;
+    let point = |s: &idr_core::Session<'_>| -> Result<MirrorPoint, String> {
+        let answer = s
+            .total_projection(probe, &guard)
+            .map_err(|e| format!("mirror query: {e}"))?
+            .map(|ts| answer_lines(db, &ts, symbols));
+        Ok(MirrorPoint {
+            state_lines: state_lines(db, s.state(), symbols),
+            consistent: s.is_consistent(),
+            answer,
+        })
+    };
+    let mut mirror = vec![point(&session)?];
+    for (is_insert, rel, t) in ops {
+        if *is_insert {
+            session
+                .insert(*rel, t.clone(), &guard)
+                .map_err(|e| format!("mirror insert: {e}"))?;
+        } else {
+            session
+                .delete(*rel, t, &guard)
+                .map_err(|e| format!("mirror delete: {e}"))?;
+        }
+        mirror.push(point(&session)?);
+    }
+    Ok(mirror)
+}
+
+/// Copies the live data dir's immutable files into the crash-scratch
+/// dir once per case (the per-cut loop rewrites only the WAL).
+fn stage_scratch(live: &Path, scratch: &Path, epoch: u64) -> std::io::Result<()> {
+    for name in [snapshot::SCHEME_FILE, snapshot::SNAPSHOT_FILE] {
+        std::fs::copy(live.join(name), scratch.join(name))?;
+    }
+    // Make sure no stale WAL from a previous case lingers.
+    let _ = std::fs::remove_file(snapshot::wal_path(scratch, epoch));
+    Ok(())
+}
+
+/// Runs one case: live durable run, then a recovery + differential
+/// check at every WAL byte boundary. Returns the crash points checked
+/// and any failures.
+fn run_case(seed: u64, summary: &mut CrashFuzzSummary) {
+    let mut rng = SplitMix64::new(seed);
+    let db = gen_scheme(&mut rng);
+    let mut case_symbols = SymbolTable::new();
+    let ops = gen_ops(&db, &mut case_symbols, &mut rng);
+    let probe = db.scheme(rng.gen_range(0, db.len())).attrs();
+    let snapshot_every = if rng.gen_pct(35) {
+        Some(rng.gen_range_inclusive(2, 3) as u64)
+    } else {
+        None
+    };
+    let mut fail = |crash_point: u64, kind: &str, detail: String| {
+        summary.failures.push(CrashFailure {
+            seed,
+            crash_point,
+            kind: kind.to_string(),
+            detail,
+        });
+    };
+
+    // --- Live durable run -------------------------------------------------
+    let live_dir = TempDir::new("crash-live");
+    let mut store = match Store::init(live_dir.path(), &db) {
+        Ok(s) => s.with_sync(false).with_snapshot_every(snapshot_every),
+        Err(e) => return fail(0, "setup", format!("init: {e}")),
+    };
+    {
+        let shared = store.symbols();
+        shared
+            .lock()
+            .expect("fresh store symbol lock")
+            .clone_from(&case_symbols);
+    }
+    // `ops_before_epoch[..]` tracks, for the epoch open *after* op k,
+    // how many ops predate its WAL — the offset that maps surviving
+    // records back to op counts after a snapshot rotation.
+    let engine = Engine::new(db.clone());
+    let guard = Guard::unlimited();
+    let mut ops_at_epoch_start = 0usize;
+    {
+        let mut session = match engine.session(&DatabaseState::empty(&db), &guard) {
+            Ok(s) => s.with_durability(&mut store),
+            Err(e) => return fail(0, "setup", format!("live session: {e}")),
+        };
+        for (k, (is_insert, rel, t)) in ops.iter().enumerate() {
+            let r = if *is_insert {
+                session.insert(*rel, t.clone(), &guard).map(|_| ())
+            } else {
+                session.delete(*rel, t, &guard).map(|_| ())
+            };
+            if let Err(e) = r {
+                return fail(0, "setup", format!("live op {k}: {e}"));
+            }
+            summary.ops_run += 1;
+        }
+    }
+    let final_epoch = store.epoch();
+    if snapshot_every.is_some() {
+        // Ops predating the open epoch's WAL are exactly those not
+        // reflected as records in it.
+        ops_at_epoch_start = ops.len() - store.wal_records() as usize;
+    }
+    drop(store); // "kill -9": nothing flushed beyond what each op wrote
+
+    // --- The in-memory oracle --------------------------------------------
+    let mirror = match build_mirror(&db, &ops, probe, &case_symbols) {
+        Ok(m) => m,
+        Err(e) => return fail(0, "setup", e),
+    };
+
+    // --- Crash at every WAL byte boundary ---------------------------------
+    let wal_path_live = snapshot::wal_path(live_dir.path(), final_epoch);
+    let wal_bytes = match std::fs::read(&wal_path_live) {
+        Ok(b) => b,
+        Err(e) => return fail(0, "setup", format!("read live wal: {e}")),
+    };
+    let scratch = TempDir::new("crash-cut");
+    if let Err(e) = stage_scratch(live_dir.path(), scratch.path(), final_epoch) {
+        return fail(0, "setup", format!("stage scratch dir: {e}"));
+    }
+    let scratch_wal = snapshot::wal_path(scratch.path(), final_epoch);
+    for cut in 0..=wal_bytes.len() {
+        summary.crash_points += 1;
+        if std::fs::write(&scratch_wal, &wal_bytes[..cut]).is_err() {
+            fail(cut as u64, "setup", "cannot write truncated wal".to_string());
+            continue;
+        }
+        let survivors = match wal::scan_bytes(&wal_bytes[..cut], &scratch_wal) {
+            Ok(scan) => scan.records.len(),
+            Err(e) => {
+                fail(cut as u64, "setup", format!("prefix scan: {e}"));
+                continue;
+            }
+        };
+        let expected = &mirror[ops_at_epoch_start + survivors];
+        let recovered = match recover::recover(scratch.path()) {
+            Ok(r) => r,
+            Err(e) => {
+                fail(cut as u64, "recovery_error", e.to_string());
+                continue;
+            }
+        };
+        let rec_symbols = recovered.store.symbols();
+        let rec_symbols = rec_symbols.lock().expect("recovered symbol lock");
+        let got_lines = state_lines(&db, &recovered.state, &rec_symbols);
+        if got_lines != expected.state_lines {
+            fail(
+                cut as u64,
+                "state",
+                format!(
+                    "recovered [{}] != oracle [{}] after {} surviving ops",
+                    got_lines.join("; "),
+                    expected.state_lines.join("; "),
+                    ops_at_epoch_start + survivors
+                ),
+            );
+            continue;
+        }
+        if recovered.consistent != expected.consistent {
+            fail(
+                cut as u64,
+                "verdict",
+                format!(
+                    "recovered consistent={} oracle={}",
+                    recovered.consistent, expected.consistent
+                ),
+            );
+            continue;
+        }
+        // Differential query answer through a fresh session over the
+        // recovered state.
+        let rec_engine = Engine::new(db.clone());
+        let got_answer = rec_engine
+            .session(&recovered.state, &guard)
+            .and_then(|s| s.total_projection(probe, &guard))
+            .map(|o| o.map(|ts| answer_lines(&db, &ts, &rec_symbols)));
+        match got_answer {
+            Ok(got) => {
+                if got != expected.answer {
+                    fail(
+                        cut as u64,
+                        "answer",
+                        format!("recovered {:?} != oracle {:?}", got, expected.answer),
+                    );
+                }
+            }
+            Err(e) => fail(cut as u64, "answer", format!("recovered query failed: {e}")),
+        }
+    }
+}
+
+/// Runs `cases` crash cases from master seed `seed`; per-case seeds are
+/// drawn from the master stream (same convention as [`crate::fuzz`]).
+/// `progress` is called after each case with `(index, failures so
+/// far)`.
+pub fn crash_fuzz(
+    seed: u64,
+    cases: usize,
+    mut progress: Option<&mut dyn FnMut(usize, usize)>,
+) -> CrashFuzzSummary {
+    let mut master = SplitMix64::new(seed);
+    let mut summary = CrashFuzzSummary::default();
+    for k in 0..cases {
+        let case_seed = master.next_u64();
+        summary.cases += 1;
+        run_case(case_seed, &mut summary);
+        if let Some(p) = progress.as_deref_mut() {
+            p(k + 1, summary.failures.len());
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The in-process equivalent of the CI crash-fuzz smoke step.
+    #[test]
+    fn bounded_crash_fuzz_is_clean() {
+        let summary = crash_fuzz(42, 12, None);
+        assert_eq!(summary.cases, 12);
+        assert!(summary.crash_points > 100, "{}", summary.crash_points);
+        assert!(
+            summary.is_clean(),
+            "failures: {}",
+            summary
+                .failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    #[test]
+    fn crash_fuzz_is_deterministic() {
+        let a = crash_fuzz(7, 4, None);
+        let b = crash_fuzz(7, 4, None);
+        assert_eq!(a.crash_points, b.crash_points);
+        assert_eq!(a.ops_run, b.ops_run);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+}

@@ -8,7 +8,8 @@
 //!    must be *indistinguishable* from (1), including error classes.
 //! 3. **Naive chase, from scratch** — a mirror of the base state is
 //!    maintained by the interpreter and re-chased per step with
-//!    [`idr_chase::is_consistent`]/[`total_projection`]; verdicts and
+//!    [`idr_chase::is_consistent`]/[`idr_chase::total_projection`];
+//!    verdicts and
 //!    answers are ground truth.
 //! 4. **Theorem 4.1 expressions vs. chase answers** — on IR schemes the
 //!    sessions answer queries through cached expressions over the base

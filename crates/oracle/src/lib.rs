@@ -22,7 +22,15 @@
 //!
 //! The top-level [`fuzz`] driver ties these together for the `idr fuzz`
 //! CLI subcommand and the CI smoke run.
+//!
+//! A fifth oracle arrived with the durability layer:
+//! [`crash::crash_fuzz`] runs durable op streams against a real data
+//! dir, kills the write-ahead log at every byte boundary, recovers, and
+//! checks the recovered session against the in-memory session that
+//! never crashed (`idr fuzz --crash`).
 
+#![warn(missing_docs)]
+pub mod crash;
 pub mod gen;
 pub mod interp;
 pub mod ops;
@@ -30,6 +38,7 @@ pub mod shrink;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+pub use crash::{crash_fuzz, CrashFailure, CrashFuzzSummary};
 pub use interp::{CaseReport, Divergence};
 pub use ops::Case;
 

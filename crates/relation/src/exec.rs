@@ -6,7 +6,7 @@
 //! counts single-tuple selections (Alg. 5, Thm. 3.4). This module turns
 //! those cost models into enforced runtime contracts. A [`Budget`] states
 //! how much of each resource a computation may spend; a [`Guard`] meters
-//! the work as it happens; and every `*_bounded` entry point in the
+//! the work as it happens; and every guard-taking entry point in the
 //! workspace returns a typed [`ExecError`] — never a panic — when the
 //! budget is exhausted, the deadline passes, the caller cancels, or an
 //! injected storage fault proves permanent.

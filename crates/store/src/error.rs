@@ -1,0 +1,119 @@
+//! The typed error taxonomy of the durability layer.
+//!
+//! Recovery distinguishes two failure shapes the WAL format makes
+//! observable: a **torn tail** (the file ends mid-record — the expected
+//! aftermath of a crash during an append; tolerated by truncation) and
+//! **corruption** (a structurally complete record whose checksum does
+//! not match — a storage fault; surfaced as [`StoreError::Corrupt`] and
+//! never silently repaired). Everything that crosses into the engine is
+//! mapped onto [`ExecError::Faulted`] with a permanent fault kind, so
+//! callers see storage failures through the same taxonomy as every other
+//! fault.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use idr_relation::exec::{ExecError, FaultKind};
+
+/// A failure in the durability layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure (open, read, write, fsync,
+    /// rename, …).
+    Io {
+        /// What the store was doing (`"append wal record"`, …).
+        operation: String,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The rendered OS error.
+        message: String,
+    },
+    /// A structurally complete WAL record whose CRC32 does not match its
+    /// payload: storage corruption, distinct from a crash-torn tail.
+    Corrupt {
+        /// The WAL file.
+        path: PathBuf,
+        /// Byte offset of the bad record's header.
+        offset: u64,
+        /// What disagreed (stored vs computed checksum, oversized
+        /// length, …).
+        detail: String,
+    },
+    /// A data-dir file that does not parse (scheme, snapshot header,
+    /// state lines, WAL payload).
+    Format {
+        /// The offending file.
+        path: PathBuf,
+        /// The parse error.
+        detail: String,
+    },
+    /// Replaying the WAL through the engine failed (a malformed op
+    /// sequence, or an engine error that is not a consistency verdict).
+    Replay {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { operation, path, message } => {
+                write!(f, "io error during {operation} on {}: {message}", path.display())
+            }
+            StoreError::Corrupt { path, offset, detail } => {
+                write!(f, "corrupt wal record in {} at offset {offset}: {detail}", path.display())
+            }
+            StoreError::Format { path, detail } => {
+                write!(f, "malformed store file {}: {detail}", path.display())
+            }
+            StoreError::Replay { detail } => write!(f, "wal replay failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// Wraps an OS error with the operation and path it interrupted.
+    pub fn io(operation: &str, path: &std::path::Path, err: std::io::Error) -> Self {
+        StoreError::Io {
+            operation: operation.to_string(),
+            path: path.to_path_buf(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl From<StoreError> for ExecError {
+    /// Storage failures surface to the engine as permanent faults: a
+    /// retry without operator intervention will hit the same disk state.
+    fn from(e: StoreError) -> ExecError {
+        ExecError::Faulted {
+            kind: FaultKind::Permanent,
+            operation: format!("durability: {e}"),
+            attempts: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_maps_to_exec_error() {
+        let e = StoreError::Corrupt {
+            path: PathBuf::from("/data/wal-0.log"),
+            offset: 16,
+            detail: "stored crc 1 != computed 2".to_string(),
+        };
+        assert!(e.to_string().contains("offset 16"));
+        match ExecError::from(e) {
+            ExecError::Faulted { kind: FaultKind::Permanent, operation, attempts: 1 } => {
+                assert!(operation.contains("durability"), "{operation}");
+            }
+            other => panic!("unexpected mapping: {other:?}"),
+        }
+    }
+}

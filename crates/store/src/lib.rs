@@ -1,0 +1,86 @@
+//! `idr-store` — durable state for the independence-reducible engine.
+//!
+//! The paper reduces maintenance to a stream of small insert/delete
+//! steps (Theorems 4.1/4.2); this crate makes that stream survive
+//! process death. Three pieces, all dependency-free:
+//!
+//! * **WAL** ([`wal`]): an append-only log of session ops — one text
+//!   line per record in the CLI's fixture syntax, framed as
+//!   `[len][crc32][payload]` with a vendored [`crc32`](crc32::crc32).
+//!   Appends fsync before the engine mutates memory (write-ahead), so
+//!   the log never lags the state.
+//! * **Snapshots** ([`snapshot`]): the full state in the state-file
+//!   format, installed by `write temp + fsync + rename` and paired with
+//!   an epoch-numbered WAL; rotation compacts old logs.
+//! * **Recovery** ([`recover`](mod@recover)): loads the latest snapshot,
+//!   truncates a crash-torn final WAL record (a checksum-mismatched
+//!   *complete* record is instead a typed [`StoreError::Corrupt`]),
+//!   drops aborted ops, and replays the rest through the normal guarded
+//!   [`Session`](idr_core::Session) path — the recovered state
+//!   *re-earns* its consistency verdict rather than trusting the log.
+//!
+//! [`Store`] implements the engine's
+//! [`Durability`](idr_core::durability::Durability) hook; attach one
+//! with [`Session::with_durability`](idr_core::Session::with_durability)
+//! and every mutation is committed to the log before memory changes,
+//! with the engine's rollback-on-`Err` paths mirrored by abort markers.
+//!
+//! # Examples
+//!
+//! Initialise a data dir, mutate durably, "crash" (drop everything),
+//! recover, and observe the same state:
+//!
+//! ```
+//! use idr_core::Engine;
+//! use idr_relation::exec::Guard;
+//! use idr_relation::parse::{parse_scheme, parse_tuple_line};
+//! use idr_store::{recover, Store};
+//!
+//! let db = parse_scheme(
+//!     "universe: A B C D\n\
+//!      scheme R1: A B keys A\n\
+//!      scheme R2: C D keys C\n",
+//! )
+//! .unwrap();
+//! let dir = idr_store::tempdir::TempDir::new("doc-example");
+//!
+//! let mut store = Store::init(dir.path(), &db).unwrap();
+//! let engine = Engine::new(db.clone());
+//! let guard = Guard::unlimited();
+//! {
+//!     let symbols = store.symbols();
+//!     let (rel, t) = parse_tuple_line(
+//!         "R1: A=a B=b",
+//!         &db,
+//!         &mut symbols.lock().unwrap(),
+//!     )
+//!     .unwrap();
+//!     let mut session = engine
+//!         .session(&idr_relation::DatabaseState::empty(&db), &guard)
+//!         .unwrap()
+//!         .with_durability(&mut store);
+//!     assert!(session.insert(rel, t, &guard).unwrap());
+//! }
+//! drop(store); // simulate process death
+//!
+//! let recovered = recover::recover(dir.path()).unwrap();
+//! assert!(recovered.consistent);
+//! assert_eq!(recovered.state.total_tuples(), 1);
+//! assert_eq!(recovered.stats.replayed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod error;
+pub mod recover;
+pub mod snapshot;
+pub mod store;
+pub mod tempdir;
+pub mod wal;
+
+pub use error::StoreError;
+pub use recover::{recover, recover_with, Recovered, RecoveryStats};
+pub use store::Store;
+pub use tempdir::TempDir;
+pub use wal::{WalScan, WalWriter};

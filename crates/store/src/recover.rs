@@ -1,0 +1,227 @@
+//! Crash recovery: latest valid snapshot + WAL tail, replayed through
+//! the normal guarded [`Session`](idr_core::Session) path.
+//!
+//! Recovery never trusts the log's word for a verdict: every surviving
+//! op is re-executed through the same engine code that ran it the first
+//! time, so the recovered state **re-earns** its consistency verdict
+//! (Honeyman's weak-instance consistency, the invariant the paper's
+//! maintenance theorems preserve). The sequence:
+//!
+//! 1. parse `scheme.idr`;
+//! 2. load `snapshot.state` (epoch `N`) — the atomic-rename install
+//!    guarantees it is either the old or the new complete snapshot;
+//! 3. scan `wal-N.log`: a torn final record (crash mid-append) is
+//!    truncated and counted; a checksum-mismatched *complete* record is
+//!    a typed [`StoreError::Corrupt`] — corruption is surfaced, never
+//!    repaired silently;
+//! 4. drop each op record immediately followed by an `abort` marker
+//!    (the engine rolled that op back before the crash);
+//! 5. replay the survivors through `Engine::session` +
+//!    `insert`/`delete` under an unlimited guard — rejected inserts
+//!    re-reject deterministically, re-deriving the same state and
+//!    verdict the process held before it died.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use idr_core::Engine;
+use idr_obs::{MetricsRegistry, TraceEvent, TraceHandle};
+use idr_relation::exec::{ExecError, Guard};
+use idr_relation::parse::{parse_scheme, parse_tuple_line};
+use idr_relation::{DatabaseState, SymbolTable};
+
+use crate::error::StoreError;
+use crate::snapshot::{self, SCHEME_FILE};
+use crate::store::{Store, ABORT_PAYLOAD};
+use crate::wal::{self, WalWriter};
+
+/// What recovery found and did, for logs and the `recovery_replayed`
+/// trace event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// The snapshot epoch recovery started from.
+    pub epoch: u64,
+    /// Tuples loaded from the snapshot.
+    pub snapshot_tuples: usize,
+    /// Complete, checksum-valid records found in the WAL.
+    pub wal_records: usize,
+    /// Bytes of torn final record truncated from the WAL.
+    pub torn_bytes: u64,
+    /// Ops replayed through the session (after abort filtering).
+    pub replayed: usize,
+    /// Op records skipped because an `abort` marker followed them.
+    pub aborted: usize,
+    /// Replayed inserts the engine rejected (again) as inconsistent.
+    pub rejected: usize,
+}
+
+/// A recovered data dir: the store (positioned to append), the replayed
+/// state, its re-earned consistency verdict, and the recovery stats.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The store, open at the recovered epoch with the torn tail (if
+    /// any) truncated.
+    pub store: Store,
+    /// The state after snapshot + WAL replay.
+    pub state: DatabaseState,
+    /// The replayed state's consistency verdict, re-earned through the
+    /// guarded session path.
+    pub consistent: bool,
+    /// What recovery found and did.
+    pub stats: RecoveryStats,
+}
+
+/// Recovers `dir` silently (no tracing). See [`recover_with`].
+pub fn recover(dir: &Path) -> Result<Recovered, StoreError> {
+    recover_with(dir, TraceHandle::none(), None)
+}
+
+/// Recovers `dir`, emitting a `recovery_replayed` event and `store.*`
+/// recovery metrics, and attaching `tracer`/`metrics` to the returned
+/// store.
+pub fn recover_with(
+    dir: &Path,
+    tracer: TraceHandle,
+    metrics: Option<Arc<MetricsRegistry>>,
+) -> Result<Recovered, StoreError> {
+    let scheme_path = dir.join(SCHEME_FILE);
+    let db = parse_scheme(&wal::read_file(&scheme_path, "read scheme file")?).map_err(|e| {
+        StoreError::Format {
+            path: scheme_path,
+            detail: e,
+        }
+    })?;
+    let mut symbols = SymbolTable::new();
+    let (epoch, snap_state) = snapshot::load_snapshot(dir, &db, &mut symbols)?;
+    let wal_path = snapshot::wal_path(dir, epoch);
+    let scan = wal::scan_file(&wal_path)?;
+
+    // Abort filtering: an `abort` marker cancels the op logged right
+    // before it (the engine appends it only after rolling memory back).
+    let mut stats = RecoveryStats {
+        epoch,
+        snapshot_tuples: snap_state.total_tuples(),
+        wal_records: scan.records.len(),
+        torn_bytes: scan.torn_bytes,
+        ..RecoveryStats::default()
+    };
+    let mut pending: Vec<&str> = Vec::with_capacity(scan.records.len());
+    for record in &scan.records {
+        if record == ABORT_PAYLOAD {
+            if pending.pop().is_none() {
+                return Err(StoreError::Replay {
+                    detail: format!(
+                        "abort marker with no preceding op in {}",
+                        wal_path.display()
+                    ),
+                });
+            }
+            stats.aborted += 1;
+        } else {
+            pending.push(record);
+        }
+    }
+
+    // Replay through the normal guarded session path.
+    let engine = Engine::new(db.clone());
+    let guard = Guard::unlimited();
+    let (state, consistent) = {
+        let mut session = engine.session(&snap_state, &guard).map_err(|e| {
+            StoreError::Replay {
+                detail: format!("cannot bind a session to the snapshot state: {e}"),
+            }
+        })?;
+        for line in pending {
+            let (verb, rest) = line.split_once(' ').ok_or_else(|| StoreError::Replay {
+                detail: format!("malformed wal op {line:?}"),
+            })?;
+            let (rel, t) =
+                parse_tuple_line(rest, &db, &mut symbols).map_err(|e| StoreError::Replay {
+                    detail: format!("bad wal tuple {rest:?}: {e}"),
+                })?;
+            match verb {
+                "insert" => match session.insert(rel, t, &guard) {
+                    Ok(true) => {}
+                    // A rejected insert re-rejects; an insert into an
+                    // already-poisoned block re-errors. Both are the
+                    // deterministic re-run of what the op did originally.
+                    Ok(false) | Err(ExecError::Inconsistent { .. }) => stats.rejected += 1,
+                    Err(e) => {
+                        return Err(StoreError::Replay {
+                            detail: format!("replaying {line:?} failed: {e}"),
+                        })
+                    }
+                },
+                "delete" => {
+                    session.delete(rel, &t, &guard).map_err(|e| StoreError::Replay {
+                        detail: format!("replaying {line:?} failed: {e}"),
+                    })?;
+                }
+                other => {
+                    return Err(StoreError::Replay {
+                        detail: format!("unknown wal verb {other:?}"),
+                    })
+                }
+            }
+            stats.replayed += 1;
+        }
+        (session.state().clone(), session.is_consistent())
+    };
+
+    // Truncate the torn tail and open for appends; sweep stale WALs
+    // left by a crash between snapshot rename and compaction.
+    let writer = WalWriter::open_at(&wal_path, scan.valid_len, true)?;
+    sweep_stale_wals(dir, epoch);
+
+    tracer.emit_with(|| TraceEvent::RecoveryReplayed {
+        epoch,
+        records: stats.wal_records,
+        replayed: stats.replayed,
+        aborted: stats.aborted,
+        torn_bytes: stats.torn_bytes as usize,
+    });
+    if let Some(m) = &metrics {
+        m.counter("store.recoveries").inc();
+        m.counter("store.recovered_records").add(stats.wal_records as u64);
+        m.counter("store.recovered_aborts").add(stats.aborted as u64);
+        if stats.torn_bytes > 0 {
+            m.counter("store.torn_tails_truncated").inc();
+        }
+        m.gauge("store.epoch").set(epoch);
+    }
+
+    let store = Store::from_recovery(
+        dir.to_path_buf(),
+        db,
+        symbols,
+        writer,
+        epoch,
+        stats.wal_records as u64,
+        stats.replayed as u64,
+    )
+    .with_observability(tracer, metrics);
+    Ok(Recovered {
+        store,
+        state,
+        consistent,
+        stats,
+    })
+}
+
+/// Deletes `wal-K.log` for every `K != epoch` (best effort): stale logs
+/// a crash prevented the rotation from compacting. Their ops are all in
+/// the current snapshot, so they are dead weight.
+fn sweep_stale_wals(dir: &Path, epoch: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name.strip_prefix("wal-").and_then(|r| r.strip_suffix(".log")) {
+            if num.parse::<u64>().map(|k| k != epoch).unwrap_or(false) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Snapshots: the full state rendered in the CLI's state-file format,
+//! installed atomically and paired with an epoch-numbered WAL.
+//!
+//! ## Data-dir layout
+//!
+//! ```text
+//! scheme.idr      — the scheme, written once at init (render_scheme_file)
+//! snapshot.state  — "epoch: N" header + state lines (render_state_file)
+//! wal-N.log       — ops since the epoch-N snapshot
+//! ```
+//!
+//! A snapshot at epoch `N` is paired with `wal-N.log`; cutting a new one
+//! writes `snapshot.tmp`, fsyncs it, renames it over `snapshot.state`
+//! (atomic on POSIX), fsyncs the directory, creates the next epoch's
+//! empty WAL and deletes stale ones. A crash at *any* point leaves
+//! either the old pair or the new pair loadable: the rename is the
+//! commit point, and a missing `wal-N.log` (crash between rename and
+//! create) reads as an empty log.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use idr_relation::parse::{parse_state, render_state_file};
+use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable};
+
+use crate::error::StoreError;
+
+/// The scheme file, written once at init.
+pub const SCHEME_FILE: &str = "scheme.idr";
+/// The current snapshot.
+pub const SNAPSHOT_FILE: &str = "snapshot.state";
+/// Scratch name the next snapshot is staged under before the rename.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// The WAL paired with the epoch-`epoch` snapshot.
+pub fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch}.log"))
+}
+
+/// fsyncs a directory so a just-renamed entry survives power loss.
+pub fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| StoreError::io("fsync data dir", dir, e))
+}
+
+/// Writes the epoch-`epoch` snapshot of `state` atomically: temp file,
+/// fsync, rename over [`SNAPSHOT_FILE`], fsync dir. Returns the tuple
+/// count written. Does **not** touch any WAL — rotation is the caller's
+/// (the [`Store`](crate::Store)'s) job, after the rename commits.
+pub fn write_snapshot(
+    dir: &Path,
+    epoch: u64,
+    db: &DatabaseScheme,
+    state: &DatabaseState,
+    symbols: &SymbolTable,
+    sync: bool,
+) -> Result<usize, StoreError> {
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let body = format!(
+        "# idr-store snapshot\nepoch: {epoch}\n{}",
+        render_state_file(db, state, symbols)
+    );
+    let mut f = File::create(&tmp).map_err(|e| StoreError::io("create snapshot tmp", &tmp, e))?;
+    f.write_all(body.as_bytes())
+        .map_err(|e| StoreError::io("write snapshot tmp", &tmp, e))?;
+    if sync {
+        f.sync_all()
+            .map_err(|e| StoreError::io("sync snapshot tmp", &tmp, e))?;
+    }
+    drop(f);
+    let dest = dir.join(SNAPSHOT_FILE);
+    std::fs::rename(&tmp, &dest).map_err(|e| StoreError::io("rename snapshot", &dest, e))?;
+    if sync {
+        fsync_dir(dir)?;
+    }
+    Ok(state.total_tuples())
+}
+
+/// Loads [`SNAPSHOT_FILE`]: returns its epoch and the state, interning
+/// values into `symbols`.
+pub fn load_snapshot(
+    dir: &Path,
+    db: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+) -> Result<(u64, DatabaseState), StoreError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let text = crate::wal::read_file(&path, "read snapshot")?;
+    let mut epoch: Option<u64> = None;
+    let mut body = String::new();
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("epoch:") {
+            if epoch.is_some() {
+                return Err(StoreError::Format {
+                    path,
+                    detail: "duplicate epoch header".to_string(),
+                });
+            }
+            epoch = Some(rest.trim().parse().map_err(|e| StoreError::Format {
+                path: path.clone(),
+                detail: format!("bad epoch {rest:?}: {e}"),
+            })?);
+        } else {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    let epoch = epoch.ok_or_else(|| StoreError::Format {
+        path: path.clone(),
+        detail: "missing 'epoch: N' header".to_string(),
+    })?;
+    let state = parse_state(&body, db, symbols).map_err(|e| StoreError::Format {
+        path: path.clone(),
+        detail: e,
+    })?;
+    Ok((epoch, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use idr_relation::parse::parse_scheme;
+
+    fn scheme() -> DatabaseScheme {
+        parse_scheme("universe: A B C D\nscheme R1: A B keys A\nscheme R2: C D keys C\n").unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trips_state_and_epoch() {
+        let dir = TempDir::new("snap");
+        let db = scheme();
+        let mut sym = SymbolTable::new();
+        let state =
+            parse_state("R1: A=a B=b\nR2: C=c D=d\n", &db, &mut sym).unwrap();
+        let written = write_snapshot(dir.path(), 7, &db, &state, &sym, true).unwrap();
+        assert_eq!(written, 2);
+        assert!(!dir.path().join(SNAPSHOT_TMP).exists());
+
+        let mut sym2 = SymbolTable::new();
+        let (epoch, back) = load_snapshot(dir.path(), &db, &mut sym2).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(
+            render_state_file(&db, &back, &sym2),
+            render_state_file(&db, &state, &sym)
+        );
+    }
+
+    #[test]
+    fn missing_epoch_header_is_a_format_error() {
+        let dir = TempDir::new("snap-noepoch");
+        std::fs::write(dir.path().join(SNAPSHOT_FILE), "R1: A=a B=b\n").unwrap();
+        let db = scheme();
+        let mut sym = SymbolTable::new();
+        let err = load_snapshot(dir.path(), &db, &mut sym).unwrap_err();
+        assert!(matches!(err, StoreError::Format { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn a_new_snapshot_replaces_the_old_one_atomically() {
+        let dir = TempDir::new("snap-replace");
+        let db = scheme();
+        let mut sym = SymbolTable::new();
+        let s1 = parse_state("R1: A=a B=b\n", &db, &mut sym).unwrap();
+        let s2 = parse_state("R2: C=c D=d\n", &db, &mut sym).unwrap();
+        write_snapshot(dir.path(), 0, &db, &s1, &sym, true).unwrap();
+        write_snapshot(dir.path(), 1, &db, &s2, &sym, true).unwrap();
+        let mut sym2 = SymbolTable::new();
+        let (epoch, back) = load_snapshot(dir.path(), &db, &mut sym2).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(back.total_tuples(), 1);
+        assert_eq!(back.relation(1).len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! A minimal scratch-directory helper (the workspace is hermetic — no
+//! `tempfile` crate). Used by this crate's tests, `tests/durability.rs`
+//! and the oracle's crash-point fuzzer, which needs a real data
+//! directory per simulated crash.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the OS temp dir, removed (best effort) on drop.
+/// Names combine the label, the process id and a process-wide counter,
+/// so concurrent tests never collide.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `"$TMPDIR/idr-<label>-<pid>-<n>"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — these are test
+    /// scratch dirs, and a broken temp filesystem should fail loudly.
+    pub fn new(label: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "idr-{label}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("cannot create temp dir {}: {e}", path.display()));
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_dirs_and_cleanup_on_drop() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+}

@@ -8,8 +8,18 @@ cargo build --workspace --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Rustdoc gate: every public item is documented (the crates opt into
+# missing_docs) and no broken intra-doc links.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 # Bounded differential-fuzzing smoke run: 100 seed-deterministic cases
 # replayed against four oracles in lockstep (parallel session, serial
 # session, naive chase, Theorem 4.1 expressions). Exits 8 and writes
 # repro fixtures to target/fuzz-failures on any divergence.
 ./target/release/idr fuzz --seed 42 --cases 100 --shrink
+
+# Crash-point recovery fuzzing: 200 durable op streams, the WAL cut at
+# every byte boundary, each cut recovered and diffed against a
+# never-crashed oracle (tens of thousands of crash points). Exits 8 on
+# any recovery divergence.
+./target/release/idr fuzz --crash --seed 20260806 --cases 200

@@ -42,10 +42,30 @@
 //! idr closure  <UNIVERSE> <FDS> <X>   # e.g. idr closure ABCD "AB->C, C->D" AB
 //! idr fuzz     [--seed N] [--cases K] [--shrink] [--out DIR]
 //! idr fuzz     --replay <fixture-file>
+//! idr fuzz     --crash [--seed N] [--cases K]
+//! idr init     <data-dir> <scheme-file>
+//! idr serve    --data-dir <dir> [--snapshot-every N]   # ops from stdin
+//! idr recover  --data-dir <dir> [<ATTR> ...]
 //! idr demo                            # runs on the paper's Example 1
 //! ```
 //!
 //! `<TUPLE>` is one state-file line, quoted: `"R1: H=h2 R=r2 C=c9"`.
+//!
+//! ## Durable mode
+//!
+//! `idr init` creates a data directory: a copy of the scheme, an empty
+//! epoch-0 snapshot and an empty write-ahead log. `idr serve` recovers
+//! the directory and reads one op per stdin line — `insert R1: A=a B=b`,
+//! `delete R1: A=a B=b`, `query A B`, `quit` — logging every mutation to
+//! the WAL *before* applying it in memory, and (with `--snapshot-every`)
+//! cutting a snapshot and rotating the log every N completed ops.
+//! `idr recover` replays snapshot + WAL tail through the guarded engine,
+//! reports what it found (records replayed, aborts honoured, torn bytes
+//! truncated) and the re-earned consistency verdict; trailing attribute
+//! names run one query against the recovered state. `idr fuzz --crash`
+//! is the matching oracle: it cuts the WAL at every byte boundary,
+//! recovers, and differentially compares state, verdict and answers
+//! against a session that never crashed (exit 8 on any mismatch).
 //!
 //! `idr fuzz` runs the differential oracle of the `idr-oracle` crate:
 //! seed-deterministic generated cases replayed against four oracles in
@@ -95,6 +115,8 @@
 //! | 7 | fault or cancellation |
 //! | 8 | differential fuzzing found a divergence (`idr fuzz`) |
 
+use std::io::{BufRead, Write};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -103,6 +125,7 @@ use independence_reducible::core::split::split_keys;
 use independence_reducible::exec::{Budget, ExecError, Guard, RetryPolicy};
 use independence_reducible::prelude::*;
 use independence_reducible::relation::parse::{parse_scheme, parse_state, parse_tuple_line};
+use independence_reducible::store::{self, Store};
 
 const EXIT_INCONSISTENT: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -190,6 +213,9 @@ fn main() -> ExitCode {
         },
         Some("closure") if args.len() == 4 => closure(&args[1], &args[2], &args[3]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
+        Some("init") if args.len() == 3 => init_cmd(&args[1], &args[2]),
+        Some("serve") => serve_cmd(&args[1..], budget, &obs, parallel),
+        Some("recover") => recover_cmd(&args[1..], budget, &obs, parallel),
         Some("demo") => {
             let db = SchemeBuilder::new("CTHRSG")
                 .scheme("R1", "HRC", ["HR"])
@@ -243,7 +269,7 @@ fn flush_obs(
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N]   (ops from stdin)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -746,6 +772,7 @@ struct FuzzOpts {
     shrink: bool,
     out: String,
     replay: Option<String>,
+    crash: bool,
 }
 
 fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
@@ -755,6 +782,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
         shrink: false,
         out: "target/fuzz-failures".to_string(),
         replay: None,
+        crash: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -777,6 +805,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
             "--shrink" => opts.shrink = true,
             "--out" => opts.out = value("--out")?,
             "--replay" => opts.replay = Some(value("--replay")?),
+            "--crash" => opts.crash = true,
             other => return Err(format!("unknown fuzz option {other:?}")),
         }
     }
@@ -792,6 +821,36 @@ fn fuzz_cmd(rest: &[String]) -> ExitCode {
         Ok(o) => o,
         Err(e) => return usage(&e),
     };
+    if opts.crash {
+        if opts.replay.is_some() || opts.shrink {
+            return usage("--crash cannot be combined with --replay or --shrink");
+        }
+        let mut progress = |done: usize, failures: usize| {
+            if done.is_multiple_of(50) {
+                eprintln!(
+                    "crash fuzz: {done}/{} cases, {failures} failure(s)",
+                    opts.cases
+                );
+            }
+        };
+        let summary = oracle::crash_fuzz(opts.seed, opts.cases, Some(&mut progress));
+        println!(
+            "crash fuzz: {} case(s) from seed {}, {} crash point(s) recovered, {} op(s) replayed, {} failure(s)",
+            summary.cases,
+            opts.seed,
+            summary.crash_points,
+            summary.ops_run,
+            summary.failures.len()
+        );
+        for f in summary.failures.iter().take(10) {
+            println!("  {f}");
+        }
+        return if summary.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(EXIT_DIVERGENCE)
+        };
+    }
     if let Some(path) = &opts.replay {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -877,6 +936,269 @@ fn closure(universe_chars: &str, fd_spec: &str, x_chars: &str) -> ExitCode {
         fds.render(&universe)
     );
     ExitCode::SUCCESS
+}
+
+/// `idr init <data-dir> <scheme-file>`: creates a fresh durable data
+/// directory — a copy of the scheme, an empty epoch-0 snapshot and an
+/// empty write-ahead log.
+fn init_cmd(dir: &str, scheme_path: &str) -> ExitCode {
+    let db = match load(scheme_path) {
+        Ok(db) => db,
+        Err(e) => return fail(EXIT_PARSE, &e),
+    };
+    match Store::init(Path::new(dir), &db) {
+        Ok(store) => {
+            println!(
+                "initialised {dir}: {} scheme(s), epoch {}",
+                db.schemes().len(),
+                store.epoch()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(EXIT_FAULT, &format!("{e}")),
+    }
+}
+
+/// Durable-mode flags shared by `serve` and `recover`: `--data-dir DIR`
+/// (required), `--snapshot-every N` (serve only), plus whatever
+/// positional arguments remain.
+struct StoreOpts {
+    dir: String,
+    snapshot_every: Option<u64>,
+    rest: Vec<String>,
+}
+
+fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
+    let mut dir = None;
+    let mut snapshot_every = None;
+    let mut out = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data-dir" => {
+                dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--data-dir needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--snapshot-every" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--snapshot-every needs a value".to_string())?
+                    .parse::<u64>()
+                    .map_err(|_| "--snapshot-every needs an unsigned integer".to_string())?;
+                snapshot_every = Some(n);
+            }
+            _ => out.push(a.clone()),
+        }
+    }
+    Ok(StoreOpts {
+        dir: dir.ok_or_else(|| "--data-dir is required".to_string())?,
+        snapshot_every,
+        rest: out,
+    })
+}
+
+/// Renders the recovery stats line shared by `serve` and `recover`.
+fn report_recovery(dir: &str, rec: &store::Recovered) {
+    let s = &rec.stats;
+    let torn = if s.torn_bytes > 0 {
+        format!(", {} torn byte(s) truncated", s.torn_bytes)
+    } else {
+        String::new()
+    };
+    println!(
+        "recovered {dir} at epoch {}: {} snapshot tuple(s) + {} WAL record(s) ({} replayed, {} aborted, {} re-rejected{torn})",
+        s.epoch, s.snapshot_tuples, s.wal_records, s.replayed, s.aborted, s.rejected
+    );
+    println!(
+        "state: {} tuple(s), {}",
+        rec.state.total_tuples(),
+        if rec.consistent {
+            "consistent"
+        } else {
+            "inconsistent"
+        }
+    );
+}
+
+/// `idr recover --data-dir DIR [<ATTR>...]`: replays snapshot + WAL
+/// through the guarded engine, reports what recovery found and the
+/// re-earned consistency verdict; trailing attribute names run one
+/// X-total projection against the recovered state.
+fn recover_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: bool) -> ExitCode {
+    let opts = match parse_store_flags(rest) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    if opts.snapshot_every.is_some() {
+        return usage("--snapshot-every only applies to idr serve");
+    }
+    let rec = match store::recover_with(
+        Path::new(&opts.dir),
+        obs.tracer.clone(),
+        obs.metrics.clone(),
+    ) {
+        Ok(r) => r,
+        Err(e) => return fail(EXIT_FAULT, &format!("{e}")),
+    };
+    report_recovery(&opts.dir, &rec);
+    if !opts.rest.is_empty() {
+        let engine = Engine::new(rec.store.scheme().clone())
+            .with_parallel(parallel)
+            .with_observability(obs.clone());
+        let x = match parse_attrs(&engine, &opts.rest) {
+            Ok(x) => x,
+            Err(e) => return fail(EXIT_PARSE, &e),
+        };
+        let guard = Guard::new(budget);
+        let u = engine.scheme().universe();
+        match engine.total_projection(&rec.state, x, &guard) {
+            Ok(Some(tuples)) => {
+                let symbols = rec.store.symbols();
+                let sym = symbols.lock().unwrap_or_else(|p| p.into_inner());
+                println!("[{}]: {} tuple(s)", u.render(x), tuples.len());
+                for t in &tuples {
+                    println!("  {}", t.render(u, &sym));
+                }
+            }
+            Ok(None) => return fail(EXIT_INCONSISTENT, "state is inconsistent"),
+            Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+        }
+    }
+    if rec.consistent {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_INCONSISTENT)
+    }
+}
+
+/// `idr serve --data-dir DIR [--snapshot-every N]`: recovers the data
+/// dir and applies one op per stdin line through a durable session —
+/// every mutation is committed to the WAL before it touches memory, so
+/// killing the process at any point loses nothing acknowledged.
+///
+/// Ops: `insert R1: A=a B=b`, `delete R1: A=a B=b`, `query A B`,
+/// `quit`. Blank lines and `#` comments are ignored; malformed lines
+/// get an `error:` response and the loop continues.
+fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: bool) -> ExitCode {
+    let opts = match parse_store_flags(rest) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    if let Some(extra) = opts.rest.first() {
+        return usage(&format!("serve takes no positional argument {extra:?}"));
+    }
+    let rec = match store::recover_with(
+        Path::new(&opts.dir),
+        obs.tracer.clone(),
+        obs.metrics.clone(),
+    ) {
+        Ok(r) => r,
+        Err(e) => return fail(EXIT_FAULT, &format!("{e}")),
+    };
+    report_recovery(&opts.dir, &rec);
+    let mut store = rec.store.with_snapshot_every(opts.snapshot_every);
+    let symbols = store.symbols();
+    let db = store.scheme().clone();
+    let engine = Engine::new(db.clone())
+        .with_parallel(parallel)
+        .with_observability(obs.clone());
+    let guard = Guard::new(budget);
+    let mut session = match engine.session(&rec.state, &guard) {
+        Ok(s) => s.with_durability(&mut store),
+        Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+    };
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => return fail(EXIT_FAULT, &format!("stdin: {e}")),
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (verb, tail) = match line.split_once(char::is_whitespace) {
+            Some((v, t)) => (v, t.trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "quit" | "exit" => break,
+            "insert" | "delete" => {
+                // Intern under the store's canonical symbol table — and
+                // release the lock before the op runs, because logging
+                // the op re-locks it to render the WAL payload.
+                let parsed = {
+                    let mut sym = symbols.lock().unwrap_or_else(|p| p.into_inner());
+                    parse_tuple_line(tail, &db, &mut sym)
+                };
+                let (i, t) = match parsed {
+                    Ok(p) => p,
+                    Err(e) => {
+                        println!("error: {e}");
+                        continue;
+                    }
+                };
+                let result = if verb == "insert" {
+                    session.insert(i, t, &guard)
+                } else {
+                    session.delete(i, &t, &guard)
+                };
+                match (verb, result) {
+                    ("insert", Ok(true)) => println!("accepted"),
+                    ("insert", Ok(false)) => println!("rejected (state unchanged)"),
+                    (_, Ok(true)) => println!("removed"),
+                    (_, Ok(false)) => println!("absent (state unchanged)"),
+                    (_, Err(e)) => return fail(exec_exit(&e), &format!("{e}")),
+                }
+            }
+            "query" => {
+                let attrs: Vec<String> =
+                    tail.split_whitespace().map(str::to_string).collect();
+                if attrs.is_empty() {
+                    println!("error: query needs at least one attribute");
+                    continue;
+                }
+                let x = match parse_attrs(&engine, &attrs) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        println!("error: {e}");
+                        continue;
+                    }
+                };
+                match session.total_projection(x, &guard) {
+                    Ok(Some(tuples)) => {
+                        let u = db.universe();
+                        let sym = symbols.lock().unwrap_or_else(|p| p.into_inner());
+                        println!("[{}]: {} tuple(s)", u.render(x), tuples.len());
+                        for t in &tuples {
+                            println!("  {}", t.render(u, &sym));
+                        }
+                    }
+                    Ok(None) => println!("state is inconsistent"),
+                    Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+                }
+            }
+            other => println!("error: unknown op {other:?} (insert/delete/query/quit)"),
+        }
+        let _ = std::io::stdout().flush();
+    }
+    let consistent = session.is_consistent();
+    drop(session);
+    println!(
+        "served {}: final state {}, epoch {}, {} WAL record(s)",
+        opts.dir,
+        if consistent { "consistent" } else { "inconsistent" },
+        store.epoch(),
+        store.wal_records()
+    );
+    if consistent {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_INCONSISTENT)
+    }
 }
 
 #[cfg(test)]

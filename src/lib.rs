@@ -61,7 +61,14 @@
 //! | [`core`] | the paper: key-equivalence, Algorithms 1–6, KEP, splitness, recognition, maintenance, boundedness |
 //! | [`workload`] | the paper's 13 worked examples as fixtures; synthetic scaling families |
 //! | [`obs`] | dependency-free structured tracing, metrics and the chase-provenance event taxonomy |
-//! | [`oracle`] | seed-deterministic differential fuzzing: generators, four-oracle lockstep interpreter, shrinker, corpus fixtures |
+//! | [`store`] | durable state: checksummed write-ahead log, atomic snapshots, crash recovery |
+//! | [`oracle`] | seed-deterministic differential fuzzing: generators, five-oracle lockstep interpreters (including crash-point recovery), shrinker, corpus fixtures |
+//!
+//! The paper-to-code map — every numbered definition, lemma, theorem,
+//! algorithm and example of the paper with the module and test that
+//! realises it — lives in `docs/PAPER_MAP.md`.
+
+#![warn(missing_docs)]
 
 pub use idr_chase as chase;
 pub use idr_core as core;
@@ -70,6 +77,7 @@ pub use idr_hypergraph as hypergraph;
 pub use idr_obs as obs;
 pub use idr_oracle as oracle;
 pub use idr_relation as relation;
+pub use idr_store as store;
 pub use idr_workload as workload;
 
 /// Budgeted, fault-tolerant execution: budgets, guards, the typed
@@ -86,8 +94,8 @@ pub mod exec {
 ///
 /// Every fallible entry point takes a [`Guard`](idr_relation::exec::Guard)
 /// (pass [`Guard::unlimited`](idr_relation::exec::Guard::unlimited) for an
-/// unbounded run); the pre-0.2 `*_bounded` twins still exist as deprecated
-/// aliases on their home crates but are no longer re-exported here.
+/// unbounded run). The pre-0.2 `*_bounded` twins were removed in 0.5 —
+/// calls migrate by dropping the suffix and passing a `Guard`.
 pub mod prelude {
     pub use idr_chase::{
         chase, chase_fast, is_consistent, representative_instance, total_projection,

@@ -12,9 +12,9 @@
 //!   the fault-free answer, permanent ones surface as
 //!   [`ExecError::Faulted`], and exhausted budgets as `BudgetExceeded` —
 //!   never a panic, never a half-updated maintainer.
-//! * **Shim parity** — the pre-0.2 `*_bounded` spellings survive as
-//!   `#[deprecated]` aliases; they must forward exactly to the canonical
-//!   guard-taking entry points.
+//! * **Cross-surface agreement** — the facade, the maintainers and the
+//!   reference chase must agree on verdicts and answers over the paper's
+//!   fixtures and random workloads.
 
 use std::time::Duration;
 
@@ -227,10 +227,6 @@ fn maintainer_reports_inconsistent_base_state_block() {
         other => panic!("wrong error: {other}"),
     }
     assert_eq!(ir.partition[1], vec![1]);
-    // The deprecated shim forwards to the same failure.
-    #[allow(deprecated)]
-    let err = IrMaintainer::new_bounded(&db, &ir, &state, &Guard::unlimited()).unwrap_err();
-    assert!(matches!(err, ExecError::Inconsistent { .. }));
     // The engine facade treats the same state as a verdict, not an error,
     // and points at the same block.
     let engine = Engine::new(db);
@@ -422,51 +418,6 @@ fn failed_insert_leaves_maintainer_unchanged() {
         m.total_projection(&kd, db.universe().set_of("AC"), &g).unwrap(),
         m2.total_projection(&kd, db.universe().set_of("AC"), &g).unwrap()
     );
-}
-
-// ---------------------------------------------------------------------------
-// Shim parity: the deprecated `*_bounded` aliases forward exactly.
-// ---------------------------------------------------------------------------
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_forward_to_canonical_on_fixtures() {
-    for fx in independence_reducible::workload::fixtures::paper_examples() {
-        let db = &fx.scheme;
-        let kd = KeyDeps::of(db);
-        let mut sym = SymbolTable::new();
-        let w = independence_reducible::workload::states::generate(
-            db,
-            &mut sym,
-            independence_reducible::workload::states::WorkloadConfig {
-                entities: 6,
-                fragment_pct: 60,
-                inserts: 0,
-                corrupt_pct: 30,
-                seed: 99,
-            },
-        );
-        let x = db.universe().all();
-        let guard = Guard::unlimited();
-        // `total_projection` returns `Ok(None)` for an inconsistent state;
-        // the deprecated spelling must agree exactly.
-        let canonical =
-            independence_reducible::chase::total_projection(db, &w.state, kd.full(), x, &guard)
-                .unwrap();
-        let shim = independence_reducible::chase::total_projection_bounded(
-            db, &w.state, kd.full(), x, &guard,
-        )
-        .unwrap();
-        assert_eq!(shim, canonical, "{}", fx.name);
-        // Consistency agrees too.
-        assert_eq!(
-            independence_reducible::chase::is_consistent_bounded(db, &w.state, kd.full(), &guard)
-                .unwrap(),
-            is_consistent(db, &w.state, kd.full(), &guard).unwrap(),
-            "{}",
-            fx.name
-        );
-    }
 }
 
 #[test]
