@@ -19,6 +19,13 @@
 //! incremental chase and insert stream with a live [`EventLog`] tracer
 //! attached — `scripts/bench.sh` checks the no-op-tracer numbers against
 //! the checked-in PR 2 baseline (<5% regression).
+//!
+//! Since the replication PR the document also carries a `sync` section:
+//! the same scripted insert stream spread over three simulated replicas
+//! under three fault plans (clean network, lossy network, partition plus
+//! a mid-push crash), reporting rounds-to-convergence and ops shipped.
+//! The simulator is fully deterministic, so these are exact integers,
+//! not timings.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -28,7 +35,9 @@ use idr_core::engine::{Engine, Observability};
 use idr_core::exec::Guard;
 use idr_fd::KeyDeps;
 use idr_obs::{EventLog, MetricsRegistry, TraceHandle};
+use idr_relation::parse::render_tuple_line;
 use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable};
+use idr_sync::{CrashPoint, CrashStep, FaultPlan, Partition, ScriptedOp, Simulator, SyncPolicy};
 use idr_workload::generators::block_chain_scheme;
 use idr_workload::states::{generate, WorkloadConfig};
 
@@ -197,6 +206,91 @@ fn bench_overhead(
     }
 }
 
+/// Rounds-to-convergence and ops shipped for one fault plan — exact
+/// deterministic integers from the replication simulator, not timings.
+struct SyncBenchReport {
+    plan: String,
+    rounds: usize,
+    ops_shipped: usize,
+    messages_sent: usize,
+    dropped: usize,
+    crashes: usize,
+}
+
+/// The same generated insert stream, spread round-robin over three
+/// replicas (one op per replica per round), synced to convergence under
+/// each of three adversaries. Convergence itself is asserted — a plan
+/// that stops converging fails the bench run, not just the gate script.
+fn bench_sync(db: &DatabaseScheme, entities: usize, inserts: usize) -> Vec<SyncBenchReport> {
+    let replicas = 3;
+    let mut sym = SymbolTable::new();
+    let w = generate(
+        db,
+        &mut sym,
+        WorkloadConfig {
+            entities,
+            fragment_pct: 60,
+            inserts,
+            corrupt_pct: 0,
+            seed: SEED,
+        },
+    );
+    let ops: Vec<ScriptedOp> = w
+        .inserts
+        .iter()
+        .enumerate()
+        .map(|(k, (i, t))| ScriptedOp {
+            round: k / replicas,
+            replica: k % replicas,
+            line: format!("insert {}", render_tuple_line(db, &sym, *i, t)),
+        })
+        .collect();
+    let lossy = FaultPlan {
+        drop_pct: 20,
+        dup_pct: 10,
+        delay_pct: 20,
+        max_delay: 2,
+        ..FaultPlan::clean()
+    };
+    let partition_crash = FaultPlan {
+        drop_pct: 10,
+        partitions: vec![Partition {
+            from_round: 2,
+            to_round: 10,
+            groups: vec![vec![0, 1], vec![2]],
+        }],
+        crashes: vec![CrashPoint {
+            round: 3,
+            replica: 1,
+            step: CrashStep::OpsPush,
+        }],
+        ..FaultPlan::clean()
+    };
+    [
+        ("clean", FaultPlan::clean()),
+        ("lossy", lossy),
+        ("partition_crash", partition_crash),
+    ]
+    .into_iter()
+    .map(|(name, plan)| {
+        let mut sim = Simulator::new(db, replicas, ops.clone(), plan, SyncPolicy::default(), SEED);
+        let report = sim.run(256).expect("sync bench within budget");
+        assert!(
+            report.converged && report.diverged.is_none(),
+            "sync bench plan {name:?} failed to converge"
+        );
+        SyncBenchReport {
+            plan: name.to_string(),
+            rounds: report.rounds,
+            ops_shipped: report.ops_shipped,
+            messages_sent: report.messages_sent,
+            dropped: report.dropped,
+            crashes: report.crashes,
+        }
+    })
+    .collect()
+}
+
 fn main() {
     let families = [
         ("block_chain(2,3)", block_chain_scheme(2, 3), 12, 24),
@@ -213,10 +307,12 @@ fn main() {
     let (name, db, entities, inserts) = &families[families.len() - 1];
     eprintln!("benchmarking {name} with live tracer ...");
     let overhead = bench_overhead(name, db, *entities, *inserts, reports.last().expect("families"));
+    eprintln!("benchmarking {name} replication sync ...");
+    let sync = bench_sync(db, *entities, *inserts);
 
     // Hand-rolled JSON: the workspace is hermetic (no serde).
     println!("{{");
-    println!("  \"bench\": \"pr3-obs-smoke\",");
+    println!("  \"bench\": \"pr6-sync-smoke\",");
     println!("  \"seed\": {SEED},");
     println!("  \"iters\": {ITERS},");
     println!("  \"families\": [");
@@ -249,6 +345,23 @@ fn main() {
     println!("    \"incremental_traced_ms\": {:.3},", overhead.incremental_traced_ms);
     println!("    \"stream_noop_ms\": {:.3},", overhead.stream_noop_ms);
     println!("    \"stream_traced_ms\": {:.3}", overhead.stream_traced_ms);
+    println!("  }},");
+    println!("  \"sync\": {{");
+    println!("    \"family\": \"{name}\",");
+    println!("    \"replicas\": 3,");
+    println!("    \"plans\": [");
+    for (k, s) in sync.iter().enumerate() {
+        let comma = if k + 1 < sync.len() { "," } else { "" };
+        println!("      {{");
+        println!("        \"plan\": \"{}\",", s.plan);
+        println!("        \"rounds_to_convergence\": {},", s.rounds);
+        println!("        \"ops_shipped\": {},", s.ops_shipped);
+        println!("        \"messages_sent\": {},", s.messages_sent);
+        println!("        \"dropped\": {},", s.dropped);
+        println!("        \"crashes\": {}", s.crashes);
+        println!("      }}{comma}");
+    }
+    println!("    ]");
     println!("  }}");
     println!("}}");
 }

@@ -51,6 +51,7 @@ pub mod key_equiv;
 pub mod maintain;
 pub mod query;
 pub mod recognition;
+pub mod replay;
 pub mod semantic;
 pub mod rep;
 pub mod split;
@@ -58,6 +59,7 @@ pub mod split;
 pub use classify::{classify, Classification};
 pub use durability::{Durability, DurableOp};
 pub use engine::{Engine, Observability, Session};
+pub use replay::{ReplayError, ReplayOutcome};
 pub use exec::{
     Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,
     GuardSnapshot, RepAccess, Resource, RetryPolicy, StateAccess,

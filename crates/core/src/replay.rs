@@ -1,0 +1,179 @@
+//! Replaying logged op lines through a [`Session`] — the shared entry
+//! point for crash recovery and replication.
+//!
+//! Both the durability layer (WAL replay after a crash) and the
+//! replication layer (applying op ranges shipped from a peer replica)
+//! re-execute the same canonical text records: one line per op in the
+//! fixture syntax (`insert R1: A=a B=b`, `delete R2: C=c D=d`). The
+//! invariant they share is that a replayed op **re-earns its verdict**
+//! through the normal guarded session path — a rejected insert
+//! re-rejects deterministically, a delete of an absent tuple reports
+//! absence — instead of trusting whatever the log's producer concluded.
+//! This module centralises that discipline so the two layers cannot
+//! drift.
+
+use idr_relation::exec::{ExecError, Guard};
+use idr_relation::parse::parse_tuple_line;
+use idr_relation::SymbolTable;
+
+use crate::engine::Session;
+
+/// What a replayed op did, mirroring the `Ok` shapes of
+/// [`Session::insert`] / [`Session::delete`] plus the re-rejection case
+/// recovery tolerates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// An insert was accepted and applied.
+    Accepted,
+    /// An insert was rejected (either `Ok(false)` or an
+    /// [`ExecError::Inconsistent`] from a block already poisoned by an
+    /// earlier replayed op) — the deterministic re-run of what the op did
+    /// originally.
+    Rejected,
+    /// A delete removed a present tuple.
+    Removed,
+    /// A delete found its tuple absent.
+    Absent,
+}
+
+impl ReplayOutcome {
+    /// Whether the op mutated the state.
+    pub fn mutated(self) -> bool {
+        matches!(self, ReplayOutcome::Accepted | ReplayOutcome::Removed)
+    }
+}
+
+/// Why a replay stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The line is not a well-formed op record (unknown verb, bad tuple
+    /// syntax, wrong relation arity). The log producer and consumer
+    /// disagree on the format — nothing was applied.
+    Malformed {
+        /// The offending line.
+        line: String,
+        /// What failed to parse.
+        detail: String,
+    },
+    /// The engine failed with a typed error that is not a consistency
+    /// verdict (guard trip, fault). The session rolled the op back.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Malformed { line, detail } => {
+                write!(f, "malformed op record {line:?}: {detail}")
+            }
+            ReplayError::Exec(e) => write!(f, "replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl Session<'_> {
+    /// Replays one logged op line (`insert R1: A=a B=b` /
+    /// `delete R1: A=a B=b`) through this session, re-earning its
+    /// verdict. Tuple values are interned through `symbols`, which must
+    /// be the table the session's state was built with.
+    ///
+    /// An insert into a block an earlier replayed op already poisoned
+    /// reports [`ReplayOutcome::Rejected`] (the deterministic re-run of
+    /// the original rejection); any other [`ExecError`] is surfaced as
+    /// [`ReplayError::Exec`] with the session rolled back.
+    pub fn replay_op(
+        &mut self,
+        line: &str,
+        symbols: &mut SymbolTable,
+        guard: &Guard,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        let (verb, rest) = line.split_once(' ').ok_or_else(|| ReplayError::Malformed {
+            line: line.to_string(),
+            detail: "expected 'insert <tuple>' or 'delete <tuple>'".to_string(),
+        })?;
+        let db = self.engine().scheme().clone();
+        let (rel, t) =
+            parse_tuple_line(rest, &db, symbols).map_err(|detail| ReplayError::Malformed {
+                line: line.to_string(),
+                detail,
+            })?;
+        match verb {
+            "insert" => match self.insert(rel, t, guard) {
+                Ok(true) => Ok(ReplayOutcome::Accepted),
+                Ok(false) | Err(ExecError::Inconsistent { .. }) => Ok(ReplayOutcome::Rejected),
+                Err(e) => Err(ReplayError::Exec(e)),
+            },
+            "delete" => match self.delete(rel, &t, guard) {
+                Ok(true) => Ok(ReplayOutcome::Removed),
+                Ok(false) => Ok(ReplayOutcome::Absent),
+                Err(e) => Err(ReplayError::Exec(e)),
+            },
+            other => Err(ReplayError::Malformed {
+                line: line.to_string(),
+                detail: format!("unknown verb {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use idr_relation::parse::parse_scheme;
+    use idr_relation::DatabaseState;
+
+    fn engine() -> Engine {
+        let db = parse_scheme(
+            "universe: A B C\nscheme R1: A B keys A\nscheme R2: B C keys B\n",
+        )
+        .unwrap();
+        Engine::new(db)
+    }
+
+    #[test]
+    fn replay_re_earns_each_verdict() {
+        let engine = engine();
+        let guard = Guard::unlimited();
+        let mut symbols = SymbolTable::new();
+        let db = engine.scheme().clone();
+        let mut s = engine
+            .session(&DatabaseState::empty(&db), &guard)
+            .unwrap();
+        assert_eq!(
+            s.replay_op("insert R1: A=a B=b", &mut symbols, &guard).unwrap(),
+            ReplayOutcome::Accepted
+        );
+        // A key-violating second tuple re-rejects.
+        assert_eq!(
+            s.replay_op("insert R1: A=a B=z", &mut symbols, &guard).unwrap(),
+            ReplayOutcome::Rejected
+        );
+        assert_eq!(
+            s.replay_op("delete R1: A=a B=b", &mut symbols, &guard).unwrap(),
+            ReplayOutcome::Removed
+        );
+        assert_eq!(
+            s.replay_op("delete R1: A=a B=b", &mut symbols, &guard).unwrap(),
+            ReplayOutcome::Absent
+        );
+        assert_eq!(s.state().total_tuples(), 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        let engine = engine();
+        let guard = Guard::unlimited();
+        let mut symbols = SymbolTable::new();
+        let db = engine.scheme().clone();
+        let mut s = engine
+            .session(&DatabaseState::empty(&db), &guard)
+            .unwrap();
+        for bad in ["frobnicate", "upsert R1: A=a B=b", "insert R9: A=a"] {
+            let err = s.replay_op(bad, &mut symbols, &guard).unwrap_err();
+            assert!(matches!(err, ReplayError::Malformed { .. }), "{bad}: {err}");
+        }
+    }
+}

@@ -144,6 +144,55 @@ pub enum TraceEvent {
         /// Tuples in the snapshotted state.
         tuples: usize,
     },
+    /// Snapshot rotation could not delete an old WAL log; the stale file
+    /// is harmless (recovery reads only the snapshot's epoch) but the
+    /// failure is surfaced instead of swallowed.
+    CompactionSkipped {
+        /// The WAL file that survived deletion.
+        path: Arc<str>,
+        /// The rendered `io::Error`.
+        error: Arc<str>,
+    },
+    /// An anti-entropy exchange shipped a missing op range to a peer
+    /// replica.
+    SyncOpsShipped {
+        /// The shipping replica.
+        src: usize,
+        /// The receiving replica.
+        dst: usize,
+        /// The origin replica whose journal the range extends.
+        origin: usize,
+        /// First shipped sequence number (0-based) in the origin's log.
+        from: u64,
+        /// Ops in the shipped range.
+        count: usize,
+    },
+    /// One simulator round finished (messages delivered, client ops
+    /// issued, anti-entropy ticked).
+    SyncRoundCompleted {
+        /// The 0-based round index.
+        round: usize,
+        /// Messages delivered this round.
+        messages: usize,
+        /// Whether every replica's digest matched at round end.
+        in_sync: bool,
+    },
+    /// A replica crashed mid-sync (scripted fault); its in-flight
+    /// transfer was cut and its session state discarded.
+    SyncReplicaCrashed {
+        /// The crashed replica.
+        replica: usize,
+        /// The protocol step interrupted (`digest_pull`, `ops_push`, …).
+        step: Arc<str>,
+    },
+    /// Every replica converged to the same digest with no messages in
+    /// flight.
+    SyncConverged {
+        /// Rounds it took.
+        rounds: usize,
+        /// Total ops shipped between replicas over the run.
+        ops_shipped: usize,
+    },
     /// Crash recovery finished replaying a WAL tail through the guarded
     /// session path.
     RecoveryReplayed {
@@ -179,6 +228,11 @@ impl TraceEvent {
             TraceEvent::SelectionPerformed { .. } => "selection_performed",
             TraceEvent::WalAppended { .. } => "wal_appended",
             TraceEvent::SnapshotWritten { .. } => "snapshot_written",
+            TraceEvent::CompactionSkipped { .. } => "compaction_skipped",
+            TraceEvent::SyncOpsShipped { .. } => "sync_ops_shipped",
+            TraceEvent::SyncRoundCompleted { .. } => "sync_round_completed",
+            TraceEvent::SyncReplicaCrashed { .. } => "sync_replica_crashed",
+            TraceEvent::SyncConverged { .. } => "sync_converged",
             TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
         }
     }
@@ -246,6 +300,29 @@ impl TraceEvent {
             }
             TraceEvent::SnapshotWritten { epoch, tuples } => {
                 format!("snapshot_written epoch={epoch} tuples={tuples}")
+            }
+            TraceEvent::CompactionSkipped { path, error } => {
+                format!("compaction_skipped path={path} error={error:?}")
+            }
+            TraceEvent::SyncOpsShipped {
+                src,
+                dst,
+                origin,
+                from,
+                count,
+            } => format!(
+                "sync_ops_shipped src={src} dst={dst} origin={origin} from={from} count={count}"
+            ),
+            TraceEvent::SyncRoundCompleted {
+                round,
+                messages,
+                in_sync,
+            } => format!("sync_round_completed round={round} messages={messages} in_sync={in_sync}"),
+            TraceEvent::SyncReplicaCrashed { replica, step } => {
+                format!("sync_replica_crashed replica={replica} step={step}")
+            }
+            TraceEvent::SyncConverged { rounds, ops_shipped } => {
+                format!("sync_converged rounds={rounds} ops_shipped={ops_shipped}")
             }
             TraceEvent::RecoveryReplayed {
                 epoch,
@@ -379,6 +456,48 @@ impl TraceEvent {
             TraceEvent::SnapshotWritten { epoch, tuples } => {
                 w.key("epoch").u64(*epoch).key("tuples").u64(*tuples as u64);
             }
+            TraceEvent::CompactionSkipped { path, error } => {
+                w.key("path").string(path).key("error").string(error);
+            }
+            TraceEvent::SyncOpsShipped {
+                src,
+                dst,
+                origin,
+                from,
+                count,
+            } => {
+                w.key("src")
+                    .u64(*src as u64)
+                    .key("dst")
+                    .u64(*dst as u64)
+                    .key("origin")
+                    .u64(*origin as u64)
+                    .key("from")
+                    .u64(*from)
+                    .key("count")
+                    .u64(*count as u64);
+            }
+            TraceEvent::SyncRoundCompleted {
+                round,
+                messages,
+                in_sync,
+            } => {
+                w.key("round")
+                    .u64(*round as u64)
+                    .key("messages")
+                    .u64(*messages as u64)
+                    .key("in_sync")
+                    .bool(*in_sync);
+            }
+            TraceEvent::SyncReplicaCrashed { replica, step } => {
+                w.key("replica").u64(*replica as u64).key("step").string(step);
+            }
+            TraceEvent::SyncConverged { rounds, ops_shipped } => {
+                w.key("rounds")
+                    .u64(*rounds as u64)
+                    .key("ops_shipped")
+                    .u64(*ops_shipped as u64);
+            }
             TraceEvent::RecoveryReplayed {
                 epoch,
                 records,
@@ -476,6 +595,30 @@ mod tests {
             TraceEvent::SnapshotWritten {
                 epoch: 3,
                 tuples: 12,
+            },
+            TraceEvent::CompactionSkipped {
+                path: label.clone(),
+                error: label.clone(),
+            },
+            TraceEvent::SyncOpsShipped {
+                src: 0,
+                dst: 1,
+                origin: 0,
+                from: 4,
+                count: 2,
+            },
+            TraceEvent::SyncRoundCompleted {
+                round: 5,
+                messages: 3,
+                in_sync: false,
+            },
+            TraceEvent::SyncReplicaCrashed {
+                replica: 1,
+                step: label.clone(),
+            },
+            TraceEvent::SyncConverged {
+                rounds: 9,
+                ops_shipped: 14,
             },
             TraceEvent::RecoveryReplayed {
                 epoch: 3,

@@ -89,8 +89,9 @@ struct MirrorPoint {
 }
 
 /// A scheme drawn from the same families the main fuzzer covers,
-/// including the non-IR Example 2 (whole-state backend).
-fn gen_scheme(rng: &mut SplitMix64) -> DatabaseScheme {
+/// including the non-IR Example 2 (whole-state backend). Shared with
+/// the sync arm ([`crate::sync_fuzz`]).
+pub(crate) fn gen_scheme(rng: &mut SplitMix64) -> DatabaseScheme {
     match rng.gen_range(0, 6) {
         0 => chain_scheme(rng.gen_range_inclusive(2, 4)),
         1 => cycle_scheme(rng.gen_range_inclusive(3, 4)),
@@ -102,7 +103,7 @@ fn gen_scheme(rng: &mut SplitMix64) -> DatabaseScheme {
 }
 
 /// The universal tuple of entity `id` (values `<attr>_<id>`).
-fn entity_tuple(db: &DatabaseScheme, symbols: &mut SymbolTable, id: usize) -> Tuple {
+pub(crate) fn entity_tuple(db: &DatabaseScheme, symbols: &mut SymbolTable, id: usize) -> Tuple {
     let u = db.universe();
     Tuple::from_pairs(
         u.iter()
@@ -112,7 +113,7 @@ fn entity_tuple(db: &DatabaseScheme, symbols: &mut SymbolTable, id: usize) -> Tu
 
 /// A key-violating mix of two entities on relation `i` (key from `a`,
 /// non-key from `b`) — the op stream's source of rejected inserts.
-fn corrupt_tuple(
+pub(crate) fn corrupt_tuple(
     db: &DatabaseScheme,
     symbols: &mut SymbolTable,
     i: usize,

@@ -28,6 +28,14 @@
 //! dir, kills the write-ahead log at every byte boundary, recovers, and
 //! checks the recovered session against the in-memory session that
 //! never crashed (`idr fuzz --crash`).
+//!
+//! A sixth arm covers replication: [`sync_fuzz::sync_fuzz`] partitions
+//! random op streams across simulated replicas under random fault
+//! plans (drop, delay, duplication, partition, crash mid-sync) and
+//! asserts that after quiescence every replica's rendered state,
+//! verdict, and query answers match a never-partitioned baseline
+//! (`idr fuzz --sync`), shrinking failures to replayable scenario
+//! files.
 
 #![warn(missing_docs)]
 pub mod crash;
@@ -35,12 +43,14 @@ pub mod gen;
 pub mod interp;
 pub mod ops;
 pub mod shrink;
+pub mod sync_fuzz;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 pub use crash::{crash_fuzz, CrashFailure, CrashFuzzSummary};
 pub use interp::{CaseReport, Divergence};
 pub use ops::Case;
+pub use sync_fuzz::{sync_fuzz, SyncFailure, SyncFuzzSummary};
 
 /// [`interp::run_case`] with a panic shield: an oracle (or the engine
 /// under test) panicking is itself a reportable divergence, not a fuzzer

@@ -1,0 +1,378 @@
+//! Convergence differential fuzzing for the replication layer — the
+//! oracle's sixth arm.
+//!
+//! Each seeded case draws a scheme (the same IR/non-IR family spread as
+//! the other arms), partitions a random op stream across 2–4 replicas
+//! at random rounds, and runs the deterministic sync simulator under a
+//! random fault plan (drop, delay/reorder, duplication, partition with
+//! heal, crash mid-sync at a random protocol step) and a random
+//! retry/backoff policy. After quiescence it asserts, for **every**
+//! replica, that the rendered state, the consistency verdict, and a
+//! probe-query answer are byte-identical to a **never-partitioned
+//! baseline**: one replica that held every op at its true origin from
+//! the start, so canonical-order replay yields the group's obligation.
+//!
+//! Failures carry a full scenario file (see [`idr_sync::scenario`])
+//! shrunk greedily — ops, then crashes, then partitions, then the
+//! probabilistic knobs — so every red case replays standalone under
+//! `idr sync <fixture>`.
+
+use idr_relation::exec::Guard;
+use idr_relation::parse::render_tuple_line;
+use idr_relation::rng::SplitMix64;
+use idr_relation::{AttrSet, SymbolTable};
+use idr_sync::{render_scenario, FaultPlan, Replica, Scenario, ScriptedOp, SyncPolicy};
+
+use crate::crash::{corrupt_tuple, entity_tuple, gen_scheme};
+
+/// One case whose replicas failed to converge to the baseline (or
+/// diverged, or timed out).
+#[derive(Clone, Debug)]
+pub struct SyncFailure {
+    /// The per-case seed (reproduces the whole case).
+    pub seed: u64,
+    /// What failed (`diverged`, `liveness`, `state`, `verdict`,
+    /// `answer`, `setup`).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The shrunk scenario, replayable with `idr sync`.
+    pub scenario: String,
+}
+
+impl std::fmt::Display for SyncFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed {} [{}]: {}", self.seed, self.kind, self.detail)
+    }
+}
+
+/// Outcome of a sync-fuzzing run.
+#[derive(Clone, Debug, Default)]
+pub struct SyncFuzzSummary {
+    /// Cases executed.
+    pub cases: usize,
+    /// Rounds simulated across all cases.
+    pub rounds: usize,
+    /// Ops shipped in ranges across all cases (retransmissions count).
+    pub ops_shipped: usize,
+    /// Crashes fired across all cases.
+    pub crashes: usize,
+    /// Convergence failures, in discovery order.
+    pub failures: Vec<SyncFailure>,
+}
+
+impl SyncFuzzSummary {
+    /// Whether every case converged to its baseline.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Draws one scenario: scheme, replica count, partitioned op stream,
+/// fault plan, policy.
+fn gen_scenario(seed: u64) -> Scenario {
+    let mut rng = SplitMix64::new(seed);
+    let db = gen_scheme(&mut rng);
+    let mut symbols = SymbolTable::new();
+    let replicas = rng.gen_range_inclusive(2, 4);
+    let op_horizon = rng.gen_range_inclusive(1, 6);
+    let nops = rng.gen_range_inclusive(3, 8);
+    let entities = rng.gen_range_inclusive(2, 3);
+
+    let mut pool: Vec<String> = Vec::new();
+    let mut ops = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        let i = rng.gen_range(0, db.len());
+        let line = match rng.gen_range(0, 100) {
+            // Delete something previously inserted (contended when the
+            // replicas that issued the two ops differ).
+            0..=19 if !pool.is_empty() => {
+                let rendered = pool[rng.gen_range(0, pool.len())].clone();
+                format!("delete {rendered}")
+            }
+            // A key-violating insert: the canonical order decides its
+            // verdict identically everywhere.
+            20..=39 => {
+                let t = corrupt_tuple(&db, &mut symbols, i, 0, 1);
+                format!("insert {}", render_tuple_line(&db, &symbols, i, &t))
+            }
+            _ => {
+                let id = rng.gen_range(0, entities + 1);
+                let t = entity_tuple(&db, &mut symbols, id).project(db.scheme(i).attrs());
+                let rendered = render_tuple_line(&db, &symbols, i, &t);
+                pool.push(rendered.clone());
+                format!("insert {rendered}")
+            }
+        };
+        ops.push(ScriptedOp {
+            round: rng.gen_range(0, op_horizon),
+            replica: rng.gen_range(0, replicas),
+            line,
+        });
+    }
+
+    Scenario {
+        db,
+        replicas,
+        seed: rng.next_u64(),
+        max_rounds: 96,
+        policy: SyncPolicy {
+            max_retries: rng.gen_range_inclusive(1, 4) as u32,
+            backoff_rounds: rng.gen_range_inclusive(0, 3) as u32,
+            round_timeout: rng.gen_range_inclusive(1, 4) as u32,
+        },
+        plan: FaultPlan::random(&mut rng, replicas, 8),
+        ops,
+    }
+}
+
+/// The baseline the group must converge to: one replica holding every
+/// op at its true origin, in the sim's application order (round, then
+/// script order).
+fn baseline(s: &Scenario, guard: &Guard) -> Result<Replica, String> {
+    let mut base = Replica::new(0, s.replicas, &s.db);
+    let last = s.ops.iter().map(|o| o.round).max().unwrap_or(0);
+    for round in 0..=last {
+        for op in s.ops.iter().filter(|o| o.round == round) {
+            base.adopt_op(op.replica, &op.line, guard)
+                .map_err(|e| format!("baseline op: {e}"))?;
+        }
+    }
+    Ok(base)
+}
+
+/// Runs a scenario and checks every replica against the baseline.
+/// `Ok(stats)` on convergence; `Err((kind, detail))` otherwise.
+fn check_scenario(s: &Scenario) -> Result<(usize, usize, usize), (String, String)> {
+    let guard = Guard::unlimited();
+    let setup = |e: String| ("setup".to_string(), e);
+    let base = baseline(s, &guard).map_err(setup)?;
+    let probe: AttrSet = {
+        // Derived from the scenario seed so shrinking preserves it.
+        let mut rng = SplitMix64::new(s.seed);
+        s.db.scheme(rng.gen_range(0, s.db.len())).attrs()
+    };
+    let base_answer = base
+        .answer(probe, &guard)
+        .map_err(|e| setup(format!("baseline query: {e}")))?;
+
+    let mut sim = idr_sync::Simulator::new(
+        &s.db,
+        s.replicas,
+        s.ops.clone(),
+        s.plan.clone(),
+        s.policy,
+        s.seed,
+    );
+    let report = sim
+        .run(s.max_rounds)
+        .map_err(|e| setup(format!("sim: {e}")))?;
+    let stats = (report.rounds, report.ops_shipped, report.crashes);
+    if let Some(d) = &report.diverged {
+        return Err(("diverged".to_string(), d.clone()));
+    }
+    if !report.converged {
+        return Err((
+            "liveness".to_string(),
+            format!(
+                "no convergence within {} rounds; last: {}",
+                s.max_rounds,
+                report.trace.last().cloned().unwrap_or_default()
+            ),
+        ));
+    }
+    for r in sim.replicas() {
+        if r.state_lines() != base.state_lines() {
+            return Err((
+                "state".to_string(),
+                format!(
+                    "replica {} [{}] != baseline [{}]",
+                    r.id(),
+                    r.state_lines().join("; "),
+                    base.state_lines().join("; ")
+                ),
+            ));
+        }
+        if r.is_consistent() != base.is_consistent() {
+            return Err((
+                "verdict".to_string(),
+                format!(
+                    "replica {} consistent={} baseline={}",
+                    r.id(),
+                    r.is_consistent(),
+                    base.is_consistent()
+                ),
+            ));
+        }
+        let got = r
+            .answer(probe, &guard)
+            .map_err(|e| setup(format!("replica {} query: {e}", r.id())))?;
+        if got != base_answer {
+            return Err((
+                "answer".to_string(),
+                format!("replica {} {:?} != baseline {:?}", r.id(), got, base_answer),
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+/// Greedy shrink: drop ops, then crashes, then partitions, then zero
+/// the probabilistic knobs — keeping each removal only if the scenario
+/// still fails with the **same kind**.
+fn shrink(mut s: Scenario, kind: &str) -> Scenario {
+    let still_fails = |s: &Scenario| matches!(&check_scenario(s), Err((k, _)) if k == kind);
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut i = 0;
+        while i < s.ops.len() {
+            let mut candidate = s.clone();
+            candidate.ops.remove(i);
+            if still_fails(&candidate) {
+                s = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    let mut i = 0;
+    while i < s.plan.crashes.len() {
+        let mut candidate = s.clone();
+        candidate.plan.crashes.remove(i);
+        if still_fails(&candidate) {
+            s = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    let mut i = 0;
+    while i < s.plan.partitions.len() {
+        let mut candidate = s.clone();
+        candidate.plan.partitions.remove(i);
+        if still_fails(&candidate) {
+            s = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    for knob in 0..3 {
+        let mut candidate = s.clone();
+        match knob {
+            0 => candidate.plan.drop_pct = 0,
+            1 => candidate.plan.dup_pct = 0,
+            _ => candidate.plan.delay_pct = 0,
+        }
+        if still_fails(&candidate) {
+            s = candidate;
+        }
+    }
+    s
+}
+
+/// Runs one case end to end, recording stats and (shrunk) failures.
+fn run_case(seed: u64, summary: &mut SyncFuzzSummary) {
+    let scenario = gen_scenario(seed);
+    match check_scenario(&scenario) {
+        Ok((rounds, shipped, crashes)) => {
+            summary.rounds += rounds;
+            summary.ops_shipped += shipped;
+            summary.crashes += crashes;
+        }
+        Err((kind, detail)) => {
+            let shrunk = shrink(scenario, &kind);
+            summary.failures.push(SyncFailure {
+                seed,
+                kind,
+                detail,
+                scenario: render_scenario(&shrunk),
+            });
+        }
+    }
+}
+
+/// Runs `cases` convergence cases from master seed `seed`; per-case
+/// seeds are drawn from the master stream (the same convention as the
+/// other arms). `progress` is called after each case with `(index,
+/// failures so far)`.
+pub fn sync_fuzz(
+    seed: u64,
+    cases: usize,
+    mut progress: Option<&mut dyn FnMut(usize, usize)>,
+) -> SyncFuzzSummary {
+    let mut master = SplitMix64::new(seed);
+    let mut summary = SyncFuzzSummary::default();
+    for k in 0..cases {
+        let case_seed = master.next_u64();
+        summary.cases += 1;
+        run_case(case_seed, &mut summary);
+        if let Some(p) = progress.as_deref_mut() {
+            p(k + 1, summary.failures.len());
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The in-process equivalent of the CI sync-fuzz smoke step.
+    #[test]
+    fn bounded_sync_fuzz_is_clean() {
+        let summary = sync_fuzz(42, 25, None);
+        assert_eq!(summary.cases, 25);
+        assert!(summary.rounds > 0);
+        assert!(
+            summary.is_clean(),
+            "failures: {}",
+            summary
+                .failures
+                .iter()
+                .map(|f| format!("{f}\n--- scenario ---\n{}", f.scenario))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn sync_fuzz_is_deterministic() {
+        let a = sync_fuzz(7, 6, None);
+        let b = sync_fuzz(7, 6, None);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.ops_shipped, b.ops_shipped);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    /// A scripted liveness failure (a partition that never heals within
+    /// the round budget) is caught, and the shrinker keeps it failing.
+    #[test]
+    fn eternal_partition_is_a_liveness_failure() {
+        let mut s = gen_scenario(3);
+        s.plan = FaultPlan::clean();
+        s.plan.partitions.push(idr_sync::Partition {
+            from_round: 0,
+            to_round: usize::MAX,
+            groups: (0..s.replicas).map(|r| vec![r]).collect(),
+        });
+        // Ops on at least two replicas so isolation actually matters.
+        s.ops = vec![
+            ScriptedOp {
+                round: 0,
+                replica: 0,
+                line: s.ops[0].line.clone(),
+            },
+            ScriptedOp {
+                round: 0,
+                replica: 1,
+                line: s.ops[s.ops.len() - 1].line.clone(),
+            },
+        ];
+        match check_scenario(&s) {
+            Err((kind, _)) => assert_eq!(kind, "liveness"),
+            Ok(_) => panic!("an eternally partitioned group cannot converge"),
+        }
+    }
+}

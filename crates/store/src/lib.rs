@@ -83,4 +83,4 @@ pub use error::StoreError;
 pub use recover::{recover, recover_with, Recovered, RecoveryStats};
 pub use store::Store;
 pub use tempdir::TempDir;
-pub use wal::{WalScan, WalWriter};
+pub use wal::{SegmentDigest, WalScan, WalWriter};

@@ -24,10 +24,10 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use idr_core::Engine;
+use idr_core::{Engine, ReplayError, ReplayOutcome};
 use idr_obs::{MetricsRegistry, TraceEvent, TraceHandle};
-use idr_relation::exec::{ExecError, Guard};
-use idr_relation::parse::{parse_scheme, parse_tuple_line};
+use idr_relation::exec::Guard;
+use idr_relation::parse::parse_scheme;
 use idr_relation::{DatabaseState, SymbolTable};
 
 use crate::error::StoreError;
@@ -132,34 +132,21 @@ pub fn recover_with(
             }
         })?;
         for line in pending {
-            let (verb, rest) = line.split_once(' ').ok_or_else(|| StoreError::Replay {
-                detail: format!("malformed wal op {line:?}"),
-            })?;
-            let (rel, t) =
-                parse_tuple_line(rest, &db, &mut symbols).map_err(|e| StoreError::Replay {
-                    detail: format!("bad wal tuple {rest:?}: {e}"),
-                })?;
-            match verb {
-                "insert" => match session.insert(rel, t, &guard) {
-                    Ok(true) => {}
-                    // A rejected insert re-rejects; an insert into an
-                    // already-poisoned block re-errors. Both are the
-                    // deterministic re-run of what the op did originally.
-                    Ok(false) | Err(ExecError::Inconsistent { .. }) => stats.rejected += 1,
-                    Err(e) => {
-                        return Err(StoreError::Replay {
-                            detail: format!("replaying {line:?} failed: {e}"),
-                        })
-                    }
-                },
-                "delete" => {
-                    session.delete(rel, &t, &guard).map_err(|e| StoreError::Replay {
-                        detail: format!("replaying {line:?} failed: {e}"),
-                    })?;
-                }
-                other => {
+            // The shared replay entry re-earns each op's verdict: a
+            // rejected insert re-rejects (including inserts into a block
+            // an earlier replayed op already poisoned) — the
+            // deterministic re-run of what the op did originally.
+            match session.replay_op(line, &mut symbols, &guard) {
+                Ok(ReplayOutcome::Rejected) => stats.rejected += 1,
+                Ok(_) => {}
+                Err(ReplayError::Malformed { detail, .. }) => {
                     return Err(StoreError::Replay {
-                        detail: format!("unknown wal verb {other:?}"),
+                        detail: format!("bad wal record {line:?}: {detail}"),
+                    })
+                }
+                Err(ReplayError::Exec(e)) => {
+                    return Err(StoreError::Replay {
+                        detail: format!("replaying {line:?} failed: {e}"),
                     })
                 }
             }

@@ -20,7 +20,7 @@ use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable, Tuple};
 
 use crate::error::StoreError;
 use crate::snapshot::{self, SCHEME_FILE};
-use crate::wal::WalWriter;
+use crate::wal::{self, SegmentDigest, WalWriter};
 
 /// The WAL payload marking the immediately preceding op as rolled back.
 pub const ABORT_PAYLOAD: &str = "abort";
@@ -160,6 +160,44 @@ impl Store {
         self.wal_records
     }
 
+    /// Summarises every retained WAL segment as a chained digest vector:
+    /// one [`SegmentDigest`] per `wal-<epoch>.log` still on disk, in
+    /// epoch order, each segment's rolling CRC chained from the previous
+    /// segment's. Two stores whose final chain values agree (at equal
+    /// record counts) hold — modulo CRC collisions — the same retained
+    /// op history; replication's anti-entropy compares exactly this
+    /// shape per origin journal.
+    ///
+    /// Compacted epochs are absent by design (their ops live in the
+    /// snapshot); the digest covers what a peer could still ship.
+    pub fn wal_digest(&self) -> Result<Vec<SegmentDigest>, StoreError> {
+        let mut epochs: Vec<u64> = Vec::new();
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| StoreError::io("list data dir", &self.dir, e))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(num) = name.strip_prefix("wal-").and_then(|r| r.strip_suffix(".log")) {
+                if let Ok(epoch) = num.parse::<u64>() {
+                    epochs.push(epoch);
+                }
+            }
+        }
+        epochs.sort_unstable();
+        let mut digests = Vec::with_capacity(epochs.len());
+        let mut chain = 0u32;
+        for epoch in epochs {
+            let scan = wal::scan_file(&snapshot::wal_path(&self.dir, epoch))?;
+            chain = wal::chain_of(chain, scan.records.iter().map(String::as_str));
+            digests.push(SegmentDigest {
+                epoch,
+                records: scan.records.len() as u64,
+                chain,
+            });
+        }
+        Ok(digests)
+    }
+
     /// Cuts an epoch-`e+1` snapshot of `state` and rotates the WAL: the
     /// snapshot is installed by atomic rename, a fresh empty WAL is
     /// created for the new epoch, and the old epoch's WAL is deleted
@@ -178,8 +216,18 @@ impl Store {
         }
         // Compaction. Best effort: a leftover old WAL is ignored by
         // recovery (it reads only the snapshot's epoch) and removed on
-        // the next rotation.
-        let _ = std::fs::remove_file(old_wal);
+        // the next rotation — but the skip is surfaced, not swallowed.
+        if let Err(e) = std::fs::remove_file(&old_wal) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                self.tracer.emit_with(|| TraceEvent::CompactionSkipped {
+                    path: Arc::from(old_wal.display().to_string().as_str()),
+                    error: Arc::from(e.to_string().as_str()),
+                });
+                if let Some(m) = &self.metrics {
+                    m.counter("store.compactions_skipped").inc();
+                }
+            }
+        }
         self.epoch = next;
         self.wal_records = 0;
         self.ops_since_snapshot = 0;

@@ -43,6 +43,37 @@ pub fn encode_record(payload: &str) -> Vec<u8> {
     out
 }
 
+/// One WAL segment summarised for digest-based anti-entropy: its epoch,
+/// its record count, and the chained rolling CRC32 of its payloads
+/// (seeded with the previous segment's chain, so equal chains at equal
+/// record counts imply — modulo CRC collisions — equal op histories).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentDigest {
+    /// The snapshot epoch this segment's WAL is paired with.
+    pub epoch: u64,
+    /// Records in the segment.
+    pub records: u64,
+    /// The chain value after folding every payload of this segment (and,
+    /// transitively, of every earlier segment) into the rolling CRC.
+    pub chain: u32,
+}
+
+/// Folds one record payload into a rolling chain value: the CRC32 of the
+/// previous chain's little-endian bytes followed by the payload. Chained
+/// folding commits each value to the entire payload prefix, which is what
+/// lets anti-entropy verify a range extension with one `u32` compare.
+pub fn fold_chain(chain: u32, payload: &str) -> u32 {
+    let mut bytes = Vec::with_capacity(4 + payload.len());
+    bytes.extend_from_slice(&chain.to_le_bytes());
+    bytes.extend_from_slice(payload.as_bytes());
+    crc32(&bytes)
+}
+
+/// The chain value of a whole payload sequence, folded from `seed`.
+pub fn chain_of<'a, I: IntoIterator<Item = &'a str>>(seed: u32, payloads: I) -> u32 {
+    payloads.into_iter().fold(seed, fold_chain)
+}
+
 /// The result of scanning a WAL file.
 #[derive(Clone, Debug, Default)]
 pub struct WalScan {

@@ -1,0 +1,119 @@
+//! Chained digest vectors — the summaries replicas exchange instead of
+//! their logs.
+//!
+//! A replica summarises each origin journal it knows as an
+//! [`OriginDigest`]: the journal's length and its rolling chained CRC32
+//! (see [`idr_store::wal::fold_chain`]). Because every chain value
+//! commits to the entire payload prefix, two equal `(len, chain)` pairs
+//! imply — modulo CRC collisions — equal op histories, and a peer can
+//! verify that a shipped range *extends* what it has with a single
+//! `u32` compare against the range's declared base chain.
+
+use idr_store::wal::fold_chain;
+
+/// One origin journal summarised: how many ops it holds and the chain
+/// value after folding all of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OriginDigest {
+    /// Ops in the journal.
+    pub len: u64,
+    /// Rolling chained CRC32 after the last op (`0` when empty).
+    pub chain: u32,
+}
+
+impl OriginDigest {
+    /// The digest of an empty journal.
+    pub const EMPTY: OriginDigest = OriginDigest { len: 0, chain: 0 };
+}
+
+/// A replica's full summary: one [`OriginDigest`] per origin, indexed
+/// by origin id. This is the entire payload of an anti-entropy digest
+/// message — O(origins), independent of journal length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalDigest {
+    /// Per-origin digests, indexed by origin id.
+    pub origins: Vec<OriginDigest>,
+}
+
+impl JournalDigest {
+    /// Renders the digest compactly for round traces:
+    /// `[3/9f2a11c0 0/00000000 1/5b7..]` (len/chain per origin).
+    pub fn render(&self) -> String {
+        let mut out = String::from("[");
+        for (i, o) in self.origins.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}/{:08x}", o.len, o.chain));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// How one origin journal relates to a peer's digest of the same
+/// origin. Computed by [`Journal::classify`](crate::journal::Journal::classify);
+/// per origin the relation is always exactly one of these four.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DigestStatus {
+    /// Same length, same chain: the journals are identical.
+    InSync,
+    /// We hold a strict superset: the peer's `(len, chain)` matches our
+    /// chain at its length, and we have more. We can ship the suffix.
+    Ahead,
+    /// The peer holds more than we do. Whether its history extends ours
+    /// is verified when the shipped range's base chain is attached.
+    Behind,
+    /// The chains contradict at a common length. Origin journals are
+    /// single-writer and append-only, so this means corruption or a
+    /// protocol bug — it is surfaced, never reconciled silently.
+    Diverged,
+}
+
+impl DigestStatus {
+    /// Short label for traces (`in-sync`, `ahead`, `behind`,
+    /// `diverged`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DigestStatus::InSync => "in-sync",
+            DigestStatus::Ahead => "ahead",
+            DigestStatus::Behind => "behind",
+            DigestStatus::Diverged => "diverged",
+        }
+    }
+}
+
+/// Folds `payloads` into a digest starting from [`OriginDigest::EMPTY`]
+/// — the digest a journal holding exactly those ops would report.
+pub fn digest_of<'a, I: IntoIterator<Item = &'a str>>(payloads: I) -> OriginDigest {
+    let mut d = OriginDigest::EMPTY;
+    for p in payloads {
+        d.chain = fold_chain(d.chain, p);
+        d.len += 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_commits_to_order_and_content() {
+        let a = digest_of(["insert R1: A=a", "delete R1: A=a"]);
+        let b = digest_of(["delete R1: A=a", "insert R1: A=a"]);
+        let c = digest_of(["insert R1: A=a", "delete R1: A=a"]);
+        assert_eq!(a, c);
+        assert_eq!(a.len, b.len);
+        assert_ne!(a.chain, b.chain, "order must change the chain");
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let d = JournalDigest {
+            origins: vec![OriginDigest::EMPTY, digest_of(["insert R1: A=a"])],
+        };
+        let s = d.render();
+        assert!(s.starts_with("[0/00000000 1/"), "{s}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-origin append-only op journals.
+//!
+//! Replication treats each replica as the **single writer** of its own
+//! journal: client ops append at one origin only, and anti-entropy
+//! ships read-only copies of journal suffixes. Single-writer journals
+//! never conflict — two replicas can only disagree about *how much* of
+//! an origin's journal they have seen, never about its contents — which
+//! is what makes the chained digest comparison sound: any chain
+//! contradiction at a common index is corruption, not concurrency.
+//!
+//! The journal keeps the chain value after **every** op (not just the
+//! head) so it can classify a peer's digest at any length in O(1) and
+//! verify the overlap of a shipped range op by op.
+
+use crate::digest::{DigestStatus, OriginDigest};
+use idr_store::wal::fold_chain;
+
+/// Why a shipped op range could not be attached to a journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttachError {
+    /// The range starts past our end — there is a gap we have not seen.
+    /// Not an error in the protocol sense: a later anti-entropy round
+    /// re-ships from our actual length.
+    Gap {
+        /// Ops we hold.
+        have: u64,
+        /// Where the range starts.
+        from: u64,
+    },
+    /// The range's chain contradicts ours at `at` — divergence on a
+    /// single-writer journal, surfaced as such.
+    Diverged {
+        /// The op index where the chains first contradict.
+        at: u64,
+    },
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::Gap { have, from } => {
+                write!(f, "range starts at {from} but journal holds {have} ops")
+            }
+            AttachError::Diverged { at } => write!(f, "chain mismatch at op {at}"),
+        }
+    }
+}
+
+/// One origin's append-only op journal with per-op chained CRCs.
+#[derive(Clone, Debug, Default)]
+pub struct Journal {
+    ops: Vec<String>,
+    /// `chains[i]` is the chain value after folding `ops[..=i]`.
+    chains: Vec<u32>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Ops in the journal.
+    pub fn len(&self) -> u64 {
+        self.ops.len() as u64
+    }
+
+    /// Whether the journal holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The op at index `i`.
+    pub fn op(&self, i: u64) -> &str {
+        &self.ops[i as usize]
+    }
+
+    /// The ops from index `from` to the end.
+    pub fn ops_from(&self, from: u64) -> &[String] {
+        &self.ops[from as usize..]
+    }
+
+    /// The chain value after the first `n` ops (`0` for `n == 0`), or
+    /// `None` if we do not hold `n` ops.
+    pub fn chain_at(&self, n: u64) -> Option<u32> {
+        if n == 0 {
+            Some(0)
+        } else if n <= self.len() {
+            Some(self.chains[n as usize - 1])
+        } else {
+            None
+        }
+    }
+
+    /// The journal's digest: its length and head chain.
+    pub fn digest(&self) -> OriginDigest {
+        OriginDigest {
+            len: self.len(),
+            chain: self.chain_at(self.len()).unwrap_or(0),
+        }
+    }
+
+    /// Appends one op (the single-writer path: a client op at this
+    /// journal's origin).
+    pub fn append(&mut self, op: String) {
+        let chain = fold_chain(self.chain_at(self.len()).unwrap_or(0), &op);
+        self.ops.push(op);
+        self.chains.push(chain);
+    }
+
+    /// Classifies a peer's digest of this origin against our journal.
+    /// Every case lands in exactly one [`DigestStatus`]: equal lengths
+    /// compare heads, a shorter peer is verified against our chain at
+    /// its length, a longer peer is tentatively [`DigestStatus::Behind`]
+    /// (for us) pending base-chain verification at attach time.
+    pub fn classify(&self, theirs: OriginDigest) -> DigestStatus {
+        match theirs.len.cmp(&self.len()) {
+            std::cmp::Ordering::Equal => {
+                if theirs.chain == self.digest().chain {
+                    DigestStatus::InSync
+                } else {
+                    DigestStatus::Diverged
+                }
+            }
+            std::cmp::Ordering::Less => {
+                if self.chain_at(theirs.len) == Some(theirs.chain) {
+                    DigestStatus::Ahead
+                } else {
+                    DigestStatus::Diverged
+                }
+            }
+            std::cmp::Ordering::Greater => DigestStatus::Behind,
+        }
+    }
+
+    /// Attaches a shipped range: `records` claim to be the ops starting
+    /// at index `from`, with `base_chain` the sender's chain *before*
+    /// them. Verifies the base, re-verifies any overlap with ops we
+    /// already hold op by op, and appends only the genuinely new
+    /// suffix. Returns how many ops were appended.
+    ///
+    /// Tolerant of redundant delivery (duplicate or reordered pushes
+    /// re-verify and append nothing) and of short ranges (a range cut
+    /// by a crash attaches its surviving prefix).
+    pub fn attach(
+        &mut self,
+        from: u64,
+        base_chain: u32,
+        records: &[String],
+    ) -> Result<u64, AttachError> {
+        if from > self.len() {
+            return Err(AttachError::Gap {
+                have: self.len(),
+                from,
+            });
+        }
+        if self.chain_at(from) != Some(base_chain) {
+            return Err(AttachError::Diverged { at: from });
+        }
+        let mut chain = base_chain;
+        let mut appended = 0;
+        for (i, record) in records.iter().enumerate() {
+            let idx = from + i as u64;
+            chain = fold_chain(chain, record);
+            if idx < self.len() {
+                if self.chains[idx as usize] != chain {
+                    return Err(AttachError::Diverged { at: idx });
+                }
+            } else {
+                self.ops.push(record.clone());
+                self.chains.push(chain);
+                appended += 1;
+            }
+        }
+        Ok(appended)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal(ops: &[&str]) -> Journal {
+        let mut j = Journal::new();
+        for op in ops {
+            j.append(op.to_string());
+        }
+        j
+    }
+
+    #[test]
+    fn classify_covers_all_four_statuses() {
+        let mine = journal(&["a", "b", "c"]);
+        assert_eq!(mine.classify(mine.digest()), DigestStatus::InSync);
+        assert_eq!(mine.classify(journal(&["a"]).digest()), DigestStatus::Ahead);
+        assert_eq!(
+            mine.classify(journal(&["a", "b", "c", "d"]).digest()),
+            DigestStatus::Behind
+        );
+        assert_eq!(
+            mine.classify(journal(&["a", "x", "c"]).digest()),
+            DigestStatus::Diverged
+        );
+        assert_eq!(
+            mine.classify(journal(&["x"]).digest()),
+            DigestStatus::Diverged,
+            "a shorter contradicting prefix is divergence, not ahead"
+        );
+    }
+
+    #[test]
+    fn attach_appends_suffix_and_tolerates_overlap() {
+        let full = journal(&["a", "b", "c", "d"]);
+        let mut mine = journal(&["a", "b"]);
+        // Overlapping range [1..4): verifies "b", appends "c", "d".
+        let records: Vec<String> = full.ops_from(1).to_vec();
+        let appended = mine.attach(1, full.chain_at(1).unwrap(), &records).unwrap();
+        assert_eq!(appended, 2);
+        assert_eq!(mine.digest(), full.digest());
+        // Re-delivering the same range is a no-op.
+        assert_eq!(mine.attach(1, full.chain_at(1).unwrap(), &records).unwrap(), 0);
+    }
+
+    #[test]
+    fn attach_rejects_gaps_and_contradictions() {
+        let mut mine = journal(&["a", "b"]);
+        assert!(matches!(
+            mine.attach(3, 0, &["z".to_string()]),
+            Err(AttachError::Gap { have: 2, from: 3 })
+        ));
+        // A base chain that does not match ours at index 1.
+        assert!(matches!(
+            mine.attach(1, 0xdead_beef, &["z".to_string()]),
+            Err(AttachError::Diverged { at: 1 })
+        ));
+        // Overlap verification catches a contradicting record.
+        let base = mine.chain_at(1).unwrap();
+        assert!(matches!(
+            mine.attach(1, base, &["not-b".to_string()]),
+            Err(AttachError::Diverged { at: 1 })
+        ));
+        assert_eq!(mine.len(), 2, "failed attaches must not mutate");
+    }
+}

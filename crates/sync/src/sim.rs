@@ -1,0 +1,540 @@
+//! The deterministic in-process simulator: N replicas, a faulty
+//! network, and synchronous rounds.
+//!
+//! Everything is driven by one vendored [`SplitMix64`] stream and
+//! deterministic iteration orders, so a `(scenario, seed)` pair replays
+//! the exact same execution — the property the convergence oracle's
+//! shrinker and the `idr sync` CLI rely on.
+//!
+//! # Round structure
+//!
+//! 1. scripted crashes with step `start` fire;
+//! 2. scripted client ops for the round apply at their replicas;
+//! 3. anti-entropy initiation: every replica opens a digest exchange
+//!    with every peer it is not backing off from (see
+//!    [`SyncPolicy`]); the simulator, not the replica, owns the
+//!    retry/backoff/timeout bookkeeping, so the policy is injectable;
+//! 4. delivery: every message due this round is delivered in a
+//!    deterministic order; scripted crashes pinned to a protocol step
+//!    fire here (an in-flight ops range is cut at a random byte
+//!    boundary, its complete-record prefix reaches the journal, and the
+//!    replica rebuilds from its journals);
+//! 5. the round is traced and convergence is checked: scripted faults
+//!    all in the past, network empty, every digest equal, every
+//!    rendered state byte-identical.
+//!
+//! Messages sent in round `r` are never delivered before `r + 1`, so a
+//! full mesh converges in a handful of rounds on a clean network and
+//! the per-round trace reads as a causal history.
+
+use idr_obs::{TraceEvent, TraceHandle};
+use idr_relation::exec::{ExecError, Guard};
+use idr_relation::rng::SplitMix64;
+use idr_relation::DatabaseScheme;
+
+use crate::fault::{CrashStep, FaultPlan, SyncPolicy};
+use crate::proto::{self, Message};
+use crate::replica::Replica;
+
+/// A scripted client op: `line` arrives at `replica` in `round`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptedOp {
+    /// The round the op arrives in.
+    pub round: usize,
+    /// The replica it arrives at (its origin).
+    pub replica: usize,
+    /// The op line (`insert R1: A=a B=b` / `delete …`).
+    pub line: String,
+}
+
+/// What a simulation run did and concluded.
+#[derive(Clone, Debug)]
+pub struct SyncReport {
+    /// Whether the group converged (digest-equal, byte-identical
+    /// states) before the round budget ran out.
+    pub converged: bool,
+    /// Whether any replica observed divergence (chain contradiction or
+    /// malformed shipped data) — should never happen and fails the
+    /// oracle.
+    pub diverged: Option<String>,
+    /// Rounds executed (the convergence round when `converged`).
+    pub rounds: usize,
+    /// Total ops shipped in `OpsPush` frames (retransmissions count).
+    pub ops_shipped: usize,
+    /// Messages offered to the network.
+    pub messages_sent: usize,
+    /// Messages the adversary dropped (including partition blocks).
+    pub dropped: usize,
+    /// Messages the adversary duplicated.
+    pub duplicated: usize,
+    /// Messages the adversary delayed.
+    pub delayed: usize,
+    /// Crashes that fired.
+    pub crashes: usize,
+    /// The converged consistency verdict (replica 0's when not
+    /// converged).
+    pub consistent: bool,
+    /// The converged rendered state (replica 0's when not converged).
+    pub state_lines: Vec<String>,
+    /// Round-by-round digest trace lines.
+    pub trace: Vec<String>,
+}
+
+/// An in-flight message.
+#[derive(Clone, Debug)]
+struct Envelope {
+    id: u64,
+    deliver: usize,
+    src: usize,
+    dst: usize,
+    msg: Message,
+}
+
+/// Per ordered pair `(initiator, peer)` retry bookkeeping.
+#[derive(Clone, Copy, Debug, Default)]
+struct PeerSync {
+    /// Round the awaited reply times out at, if awaiting one.
+    deadline: Option<usize>,
+    /// Consecutive timeouts so far.
+    timeouts: u32,
+    /// Earliest round the next exchange may open.
+    next: usize,
+}
+
+/// The simulator.
+pub struct Simulator {
+    replicas: Vec<Replica>,
+    ops: Vec<ScriptedOp>,
+    plan: FaultPlan,
+    policy: SyncPolicy,
+    rng: SplitMix64,
+    guard: Guard,
+    net: Vec<Envelope>,
+    next_id: u64,
+    pairs: Vec<Vec<PeerSync>>,
+    crash_fired: Vec<bool>,
+    tracer: TraceHandle,
+    report: SyncReport,
+}
+
+impl Simulator {
+    /// Builds a simulator over `db` with `n` fresh replicas.
+    pub fn new(
+        db: &DatabaseScheme,
+        n: usize,
+        ops: Vec<ScriptedOp>,
+        plan: FaultPlan,
+        policy: SyncPolicy,
+        seed: u64,
+    ) -> Simulator {
+        Simulator {
+            replicas: (0..n).map(|i| Replica::new(i, n, db)).collect(),
+            ops,
+            crash_fired: vec![false; plan.crashes.len()],
+            plan,
+            policy,
+            rng: SplitMix64::new(seed),
+            guard: Guard::unlimited(),
+            net: Vec::new(),
+            next_id: 0,
+            pairs: (0..n).map(|_| vec![PeerSync::default(); n]).collect(),
+            tracer: TraceHandle::none(),
+            report: SyncReport {
+                converged: false,
+                diverged: None,
+                rounds: 0,
+                ops_shipped: 0,
+                messages_sent: 0,
+                dropped: 0,
+                duplicated: 0,
+                delayed: 0,
+                crashes: 0,
+                consistent: true,
+                state_lines: Vec::new(),
+                trace: Vec::new(),
+            },
+        }
+    }
+
+    /// Attaches a trace sink: the run emits `sync_*` events.
+    pub fn with_observability(mut self, tracer: TraceHandle) -> Simulator {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The replicas, for post-run inspection by the oracle.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Runs until convergence or `max_rounds`, whichever first.
+    pub fn run(&mut self, max_rounds: usize) -> Result<SyncReport, ExecError> {
+        for round in 0..max_rounds {
+            self.report.rounds = round + 1;
+            self.step(round)?;
+            if self.check_converged(round) {
+                break;
+            }
+        }
+        let sample = &self.replicas[0];
+        self.report.consistent = sample.is_consistent();
+        self.report.state_lines = sample.state_lines();
+        if self.report.diverged.is_none() {
+            self.report.diverged = self
+                .replicas
+                .iter()
+                .find_map(|r| r.diverged().map(|d| format!("replica {}: {d}", r.id())));
+        }
+        if self.report.converged {
+            self.tracer.emit_with(|| TraceEvent::SyncConverged {
+                rounds: self.report.rounds,
+                ops_shipped: self.report.ops_shipped,
+            });
+        }
+        Ok(self.report.clone())
+    }
+
+    /// One synchronous round.
+    fn step(&mut self, round: usize) -> Result<(), ExecError> {
+        // 1. Scripted start-of-round crashes.
+        self.fire_start_crashes(round)?;
+
+        // 2. Scripted client ops.
+        let due: Vec<ScriptedOp> = self
+            .ops
+            .iter()
+            .filter(|o| o.round == round)
+            .cloned()
+            .collect();
+        for op in due {
+            self.replicas[op.replica].client_op(&op.line, &self.guard)?;
+        }
+
+        // 3. Anti-entropy initiation under the injectable policy.
+        let n = self.replicas.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let p = &mut self.pairs[i][j];
+                if let Some(deadline) = p.deadline {
+                    if round >= deadline {
+                        // The awaited reply never came: a timeout.
+                        p.deadline = None;
+                        p.timeouts += 1;
+                        if p.timeouts > self.policy.max_retries {
+                            p.next = round + self.policy.backoff_rounds as usize;
+                            p.timeouts = 0;
+                        }
+                    }
+                }
+                let p = self.pairs[i][j];
+                if p.deadline.is_none() && round >= p.next {
+                    let msg = Message::Digest {
+                        digest: self.replicas[i].digest(),
+                        want_reply: true,
+                    };
+                    self.send(round, i, j, msg);
+                    let p = &mut self.pairs[i][j];
+                    p.deadline = Some(round + self.policy.round_timeout.max(1) as usize);
+                    p.next = round + 1;
+                }
+            }
+        }
+
+        // 4. Delivery, in deterministic (dst, id) order. A replica that
+        // crashes mid-round loses the rest of this round's deliveries
+        // (they died in its socket buffer).
+        let mut due: Vec<Envelope> = Vec::new();
+        self.net.retain(|e| {
+            if e.deliver <= round {
+                due.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|e| (e.dst, e.id));
+        let mut crashed_this_round = vec![false; n];
+        let mut delivered = 0usize;
+        for env in due {
+            if crashed_this_round[env.dst] {
+                continue;
+            }
+            // A crash scripted for this step at this replica?
+            if self.crash_due(round, env.dst, env.msg.step()) {
+                crashed_this_round[env.dst] = true;
+                self.crash_on_delivery(round, env)?;
+                continue;
+            }
+            delivered += 1;
+            if let Message::Digest {
+                want_reply: false, ..
+            } = env.msg
+            {
+                // The reply the initiator was waiting for.
+                let p = &mut self.pairs[env.dst][env.src];
+                p.deadline = None;
+                p.timeouts = 0;
+            }
+            let out = self.replicas[env.dst].receive(env.src, &env.msg, &self.guard)?;
+            for (dst, msg) in out.messages {
+                if let Message::OpsPush {
+                    origin,
+                    from,
+                    ref frame,
+                    ..
+                } = msg
+                {
+                    let count = proto::frame_record_count(frame);
+                    self.report.ops_shipped += count;
+                    let src = env.dst;
+                    self.tracer.emit_with(|| TraceEvent::SyncOpsShipped {
+                        src,
+                        dst,
+                        origin,
+                        from,
+                        count,
+                    });
+                }
+                self.send(round, env.dst, dst, msg);
+            }
+        }
+
+        // 5. Trace the round.
+        let digests: Vec<String> = self
+            .replicas
+            .iter()
+            .map(|r| format!("r{}={}", r.id(), r.digest().render()))
+            .collect();
+        let in_sync = self.digests_equal();
+        self.report.trace.push(format!(
+            "round {round}: {} in-flight={} {}",
+            digests.join(" "),
+            self.net.len(),
+            if in_sync { "in-sync" } else { "syncing" }
+        ));
+        self.tracer.emit_with(|| TraceEvent::SyncRoundCompleted {
+            round,
+            messages: delivered,
+            in_sync,
+        });
+        Ok(())
+    }
+
+    /// Offers a message to the faulty network.
+    fn send(&mut self, round: usize, src: usize, dst: usize, msg: Message) {
+        self.report.messages_sent += 1;
+        if self.plan.blocked(round, src, dst) || self.rng.gen_pct(self.plan.drop_pct) {
+            self.report.dropped += 1;
+            return;
+        }
+        let mut delay = 0;
+        if self.plan.delay_pct > 0 && self.rng.gen_pct(self.plan.delay_pct) {
+            delay = self.rng.gen_range_inclusive(1, self.plan.max_delay.max(1));
+            self.report.delayed += 1;
+        }
+        let copies = if self.rng.gen_pct(self.plan.dup_pct) {
+            self.report.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.net.push(Envelope {
+                id,
+                deliver: round + 1 + delay,
+                src,
+                dst,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Whether a not-yet-fired crash point matches `(round, replica,
+    /// step)` — `step == None` matches `start` points at round start.
+    fn crash_due(&self, round: usize, replica: usize, step: &str) -> bool {
+        self.plan.crashes.iter().enumerate().any(|(k, c)| {
+            !self.crash_fired[k]
+                && c.replica == replica
+                && round >= c.round
+                && c.step.name() == step
+        })
+    }
+
+    /// Fires any due `start` crash points.
+    fn fire_start_crashes(&mut self, round: usize) -> Result<(), ExecError> {
+        for k in 0..self.plan.crashes.len() {
+            let c = self.plan.crashes[k];
+            if !self.crash_fired[k]
+                && c.step == CrashStep::StartOfRound
+                && round >= c.round
+            {
+                self.crash_fired[k] = true;
+                self.crash_replica(round, c.replica, "start")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Crashes `replica` while it is delivering `env`: an in-flight ops
+    /// range is cut at a random byte boundary and its complete-record
+    /// prefix still reaches the journal (the WAL framing's torn-tail
+    /// discipline); then the replica restarts.
+    fn crash_on_delivery(&mut self, round: usize, env: Envelope) -> Result<(), ExecError> {
+        let step = env.msg.step();
+        for k in 0..self.plan.crashes.len() {
+            let c = self.plan.crashes[k];
+            if !self.crash_fired[k]
+                && c.replica == env.dst
+                && round >= c.round
+                && c.step.name() == step
+            {
+                self.crash_fired[k] = true;
+                break;
+            }
+        }
+        if let Message::OpsPush {
+            origin,
+            from,
+            base_chain,
+            frame,
+        } = &env.msg
+        {
+            let cut = self.rng.gen_range_inclusive(0, frame.len());
+            let torn = Message::OpsPush {
+                origin: *origin,
+                from: *from,
+                base_chain: *base_chain,
+                frame: frame[..cut].to_vec(),
+            };
+            // The surviving prefix hits the durable journal; the
+            // replica's outgoing reaction dies with it.
+            let _ = self.replicas[env.dst].receive(env.src, &torn, &self.guard)?;
+        }
+        self.crash_replica(round, env.dst, step)
+    }
+
+    /// Crash-and-restart semantics: queued deliveries for this round
+    /// die, awaited replies are forgotten, the state is rebuilt from
+    /// the journals.
+    fn crash_replica(&mut self, round: usize, replica: usize, step: &str) -> Result<(), ExecError> {
+        self.report.crashes += 1;
+        self.net
+            .retain(|e| !(e.dst == replica && e.deliver <= round));
+        for p in &mut self.pairs[replica] {
+            *p = PeerSync::default();
+        }
+        self.replicas[replica].crash(&self.guard)?;
+        self.tracer.emit_with(|| TraceEvent::SyncReplicaCrashed {
+            replica,
+            step: std::sync::Arc::from(step),
+        });
+        Ok(())
+    }
+
+    fn digests_equal(&self) -> bool {
+        let first = self.replicas[0].digest();
+        self.replicas.iter().skip(1).all(|r| r.digest() == first)
+    }
+
+    /// Convergence: every scripted fault and op is in the past and
+    /// digests are equal — stable even with stale messages still in
+    /// flight, because attaches are idempotent (a push computed from
+    /// any earlier journal re-attaches and appends nothing). The
+    /// rendered states are then verified byte-identical (a digest match
+    /// with differing states would be a canonical-order bug, reported
+    /// as divergence).
+    fn check_converged(&mut self, round: usize) -> bool {
+        let last_op = self.ops.iter().map(|o| o.round).max().unwrap_or(0);
+        if round < self.plan.last_scripted_round().max(last_op) || !self.digests_equal() {
+            return false;
+        }
+        let first = self.replicas[0].state_lines();
+        let verdict = self.replicas[0].is_consistent();
+        for r in self.replicas.iter().skip(1) {
+            if r.state_lines() != first || r.is_consistent() != verdict {
+                self.report.diverged = Some(format!(
+                    "digests equal but replica {} state differs from replica 0",
+                    r.id()
+                ));
+                return true;
+            }
+        }
+        self.report.converged = true;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::parse::parse_scheme;
+
+    fn db() -> DatabaseScheme {
+        parse_scheme("universe: A B C\nscheme R1: A B keys A\nscheme R2: B C keys B\n").unwrap()
+    }
+
+    fn ops() -> Vec<ScriptedOp> {
+        (0..6)
+            .map(|i| ScriptedOp {
+                round: i % 3,
+                replica: i % 3,
+                line: format!("insert R1: A=a{i} B=b{i}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_network_converges_quickly() {
+        let mut sim = Simulator::new(
+            &db(),
+            3,
+            ops(),
+            FaultPlan::clean(),
+            SyncPolicy::default(),
+            1,
+        );
+        let report = sim.run(32).unwrap();
+        assert!(report.converged, "{:?}", report.trace);
+        assert!(report.diverged.is_none());
+        assert_eq!(report.state_lines.len(), 6);
+        assert!(report.rounds <= 8, "clean mesh should converge fast");
+        assert_eq!(report.dropped + report.duplicated + report.delayed, 0);
+    }
+
+    #[test]
+    fn faulty_network_still_converges_deterministically() {
+        let plan = FaultPlan {
+            drop_pct: 25,
+            dup_pct: 15,
+            delay_pct: 25,
+            max_delay: 2,
+            partitions: vec![crate::fault::Partition {
+                from_round: 1,
+                to_round: 5,
+                groups: vec![vec![0], vec![1, 2]],
+            }],
+            crashes: vec![crate::fault::CrashPoint {
+                round: 2,
+                replica: 1,
+                step: CrashStep::OpsPush,
+            }],
+        };
+        let run = |seed| {
+            let mut sim = Simulator::new(&db(), 3, ops(), plan.clone(), SyncPolicy::default(), seed);
+            sim.run(64).unwrap()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert!(a.converged, "{:?}", a.trace);
+        assert!(a.diverged.is_none());
+        assert_eq!(a.state_lines, b.state_lines);
+        assert_eq!(a.trace, b.trace, "same seed must replay identically");
+        assert_eq!(a.ops_shipped, b.ops_shipped);
+        assert!(a.crashes >= 1, "the scripted crash fired");
+    }
+}

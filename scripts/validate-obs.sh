@@ -21,6 +21,10 @@ trap 'rm -f "$TRACE" "$METRICS"' EXIT
 # The rejected insert exits 1 by design; its trace must still validate.
 ./target/release/idr explain "$SCM" "$STATE" --insert "R1: H=h1 R=r1 C=c9" --trace=json \
   2>> "$TRACE" > /dev/null || true
+# A replication scenario with a scripted crash: exercises the sync_*
+# event family (ops shipped, round completions, the crash, convergence).
+./target/release/idr sync examples/scenarios/partition-heal.txt --trace=json \
+  2>> "$TRACE" > /dev/null
 
 TRACE="$TRACE" METRICS="$METRICS" python3 - <<'EOF'
 import json, os
@@ -57,7 +61,9 @@ with open(os.environ["TRACE"]) as f:
 
 assert events > 0, "no trace events captured"
 for expected in ["chase_started", "fd_rule_fired", "session_built", "query_answered",
-                 "selection_performed", "insert_applied", "state_rejected"]:
+                 "selection_performed", "insert_applied", "state_rejected",
+                 "sync_ops_shipped", "sync_round_completed", "sync_replica_crashed",
+                 "sync_converged"]:
     assert expected in kinds, f"exercise did not produce a {expected!r} event"
 
 with open(os.environ["METRICS"]) as f:

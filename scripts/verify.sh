@@ -23,3 +23,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 # never-crashed oracle (tens of thousands of crash points). Exits 8 on
 # any recovery divergence.
 ./target/release/idr fuzz --crash --seed 20260806 --cases 200
+
+# Replication-convergence fuzzing: 200 random op streams partitioned
+# across 2–4 simulated replicas under random fault plans (drop, delay,
+# duplication, partition + heal, crash mid-sync). Every replica's
+# converged state must match a never-partitioned baseline byte for byte;
+# failures shrink to replayable scenario files. Exits 8 on any miss.
+./target/release/idr fuzz --sync --seed 42 --cases 200
+
+# The checked-in demo scenario must converge (and exercises the CLI
+# round-trace path end to end).
+./target/release/idr sync examples/scenarios/partition-heal.txt > /dev/null

@@ -43,9 +43,11 @@
 //! idr fuzz     [--seed N] [--cases K] [--shrink] [--out DIR]
 //! idr fuzz     --replay <fixture-file>
 //! idr fuzz     --crash [--seed N] [--cases K]
+//! idr fuzz     --sync  [--seed N] [--cases K] [--out DIR]
 //! idr init     <data-dir> <scheme-file>
 //! idr serve    --data-dir <dir> [--snapshot-every N]   # ops from stdin
 //! idr recover  --data-dir <dir> [<ATTR> ...]
+//! idr sync     <scenario-file>        # scripted replication scenario
 //! idr demo                            # runs on the paper's Example 1
 //! ```
 //!
@@ -75,9 +77,29 @@
 //! exits with code 8; `--shrink` minimises failures first, and
 //! `--replay` re-runs one fixture file.
 //!
+//! ## Replication
+//!
+//! `idr sync <scenario-file>` runs one scripted replication scenario
+//! through the deterministic simulator of the `idr-sync` crate: N
+//! replicas ship write-ahead-log ranges to each other under digest-based
+//! anti-entropy while a scripted adversary drops, delays, duplicates,
+//! partitions and crashes. The round-by-round digest trace is printed,
+//! then the converged state; a scenario that fails to converge inside
+//! its round budget (or diverges outright) exits 8. The scenario format
+//! is documented in `idr_sync::scenario` and demonstrated under
+//! `examples/`. `idr fuzz --sync` is the matching oracle: random op
+//! streams partitioned across replicas under random fault plans, with
+//! every replica's converged state checked byte-for-byte against a
+//! never-partitioned baseline; failures shrink to replayable scenario
+//! files under `--out`.
+//!
 //! `idr maintain` routes each tuple through the paper's maintenance
 //! algorithms (Algorithm 5 on constant-time-maintainable schemes,
 //! Algorithm 2 otherwise) and reports the verdict plus selection counts.
+//! Transient-fault handling is configurable: `--retries N` retries
+//! injected transient faults up to N times and `--backoff-ms M` sets the
+//! base of the exponential backoff between attempts (default: no
+//! retries — every fault surfaces immediately).
 //! `idr explain` reports chase provenance: for a query, the fd-firing
 //! chain behind every derived cell of the X-total projection; with
 //! `--insert`, why the tuple was rejected (the violated key dependency,
@@ -92,6 +114,8 @@
 //! * `--timeout-ms N` — wall-clock deadline.
 //! * `--serial` — disable block-parallel evaluation (results are
 //!   identical; this only changes wall-clock).
+//! * `--retries N` / `--backoff-ms M` — retry policy for transient
+//!   faults in the maintenance path (see `idr maintain` above).
 //!
 //! Observability flags (also accepted anywhere):
 //!
@@ -113,7 +137,7 @@
 //! | 5 | budget exceeded (`--max-steps`) |
 //! | 6 | timed out (`--timeout-ms`) |
 //! | 7 | fault or cancellation |
-//! | 8 | differential fuzzing found a divergence (`idr fuzz`) |
+//! | 8 | differential fuzzing found a divergence (`idr fuzz`), or replicas failed to converge (`idr sync`) |
 
 use std::io::{BufRead, Write};
 use std::path::Path;
@@ -150,6 +174,7 @@ struct CliOpts {
     parallel: bool,
     trace: Option<TraceFormat>,
     metrics: Option<String>,
+    retry: RetryPolicy,
 }
 
 fn main() -> ExitCode {
@@ -164,6 +189,7 @@ fn main() -> ExitCode {
         parallel,
         trace,
         metrics,
+        retry,
     } = opts;
     // The explain subcommand needs the merge forest even without --trace.
     let provenance =
@@ -204,7 +230,7 @@ fn main() -> ExitCode {
             Err(e) => fail(EXIT_PARSE, &e),
         },
         Some("maintain") if args.len() >= 4 => match engine_for(&args[1]) {
-            Ok(engine) => maintain_cmd(&engine, &args[2], &args[3..], budget),
+            Ok(engine) => maintain_cmd(&engine, &args[2], &args[3..], budget, &retry),
             Err(e) => fail(EXIT_PARSE, &e),
         },
         Some("explain") if args.len() >= 4 => match engine_for(&args[1]) {
@@ -216,6 +242,7 @@ fn main() -> ExitCode {
         Some("init") if args.len() == 3 => init_cmd(&args[1], &args[2]),
         Some("serve") => serve_cmd(&args[1..], budget, &obs, parallel),
         Some("recover") => recover_cmd(&args[1..], budget, &obs, parallel),
+        Some("sync") if args.len() == 2 => sync_cmd(&args[1], &obs),
         Some("demo") => {
             let db = SchemeBuilder::new("CTHRSG")
                 .scheme("R1", "HRC", ["HR"])
@@ -269,7 +296,7 @@ fn flush_obs(
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N]   (ops from stdin)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash | --sync\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N]   (ops from stdin)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -284,13 +311,17 @@ fn fail(code: u8, msg: &str) -> ExitCode {
 /// metered resource — chase steps, single-tuple selections and enumerated
 /// subsets — since from the command line they are all just "work");
 /// `--serial`, `--trace[=text|json]` and `--metrics PATH` set their
-/// respective [`CliOpts`] fields.
+/// respective [`CliOpts`] fields; `--retries N` and `--backoff-ms M`
+/// build the transient-fault [`RetryPolicy`] used by `idr maintain`
+/// (default: no retries).
 fn parse_flags(raw: &[String]) -> Result<CliOpts, String> {
     let mut args = Vec::new();
     let mut budget = Budget::unlimited();
     let mut parallel = true;
     let mut trace = None;
     let mut metrics = None;
+    let mut retries = 0u32;
+    let mut backoff_ms = None;
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         let numeric = |flag: &str| -> Result<u64, String> {
@@ -315,6 +346,17 @@ fn parse_flags(raw: &[String]) -> Result<CliOpts, String> {
                 budget = budget.with_timeout(std::time::Duration::from_millis(ms));
             }
             "--serial" => parallel = false,
+            "--retries" => {
+                let n = numeric("--retries")?;
+                it.next();
+                retries = u32::try_from(n)
+                    .map_err(|_| "--retries needs a value that fits in u32".to_string())?;
+            }
+            "--backoff-ms" => {
+                let ms = numeric("--backoff-ms")?;
+                it.next();
+                backoff_ms = Some(ms);
+            }
             "--trace" | "--trace=text" => trace = Some(TraceFormat::Text),
             "--trace=json" => trace = Some(TraceFormat::Json),
             "--metrics" => {
@@ -333,12 +375,20 @@ fn parse_flags(raw: &[String]) -> Result<CliOpts, String> {
             _ => args.push(a.clone()),
         }
     }
+    if backoff_ms.is_some() && retries == 0 {
+        return Err("--backoff-ms only applies together with --retries".to_string());
+    }
+    let mut retry = RetryPolicy::retries(retries);
+    if let Some(ms) = backoff_ms {
+        retry = retry.with_base_backoff(std::time::Duration::from_millis(ms));
+    }
     Ok(CliOpts {
         args,
         budget,
         parallel,
         trace,
         metrics,
+        retry,
     })
 }
 
@@ -349,6 +399,18 @@ fn exec_exit(e: &ExecError) -> u8 {
         ExecError::TimedOut { .. } => EXIT_TIMEOUT,
         ExecError::Cancelled | ExecError::Faulted { .. } => EXIT_FAULT,
         ExecError::Inconsistent { .. } => EXIT_INCONSISTENT,
+    }
+}
+
+/// Maps a durability-layer error to its documented exit code. Every
+/// [`store::StoreError`] variant is a fault (exit 7); the match is
+/// exhaustive so adding a variant forces an explicit decision here.
+fn store_exit(e: &store::StoreError) -> u8 {
+    match e {
+        store::StoreError::Io { .. }
+        | store::StoreError::Corrupt { .. }
+        | store::StoreError::Format { .. }
+        | store::StoreError::Replay { .. } => EXIT_FAULT,
     }
 }
 
@@ -568,6 +630,7 @@ fn maintain_cmd(
     state_path: &str,
     tuples: &[String],
     budget: Budget,
+    retry: &RetryPolicy,
 ) -> ExitCode {
     let Some(ir) = engine.ir() else {
         return fail(
@@ -583,7 +646,6 @@ fn maintain_cmd(
         Err(e) => return fail(EXIT_PARSE, &e),
     };
     let guard = Guard::new(budget);
-    let retry = RetryPolicy::none();
     let tracer = engine.observability().tracer.clone();
     let ctm = engine.classification().ctm == Some(true);
     enum Maintainer {
@@ -616,8 +678,8 @@ fn maintain_cmd(
             Err(e) => return fail(EXIT_PARSE, &e),
         };
         let result = match &mut m {
-            Maintainer::Ctm(m) => m.insert(i, t.clone(), &guard, &retry),
-            Maintainer::Ir(m) => m.insert(i, t.clone(), &guard, &retry),
+            Maintainer::Ctm(m) => m.insert(i, t.clone(), &guard, retry),
+            Maintainer::Ir(m) => m.insert(i, t.clone(), &guard, retry),
         };
         match result {
             Ok((outcome, stats)) => {
@@ -773,6 +835,7 @@ struct FuzzOpts {
     out: String,
     replay: Option<String>,
     crash: bool,
+    sync: bool,
 }
 
 fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
@@ -783,6 +846,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
         out: "target/fuzz-failures".to_string(),
         replay: None,
         crash: false,
+        sync: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -806,21 +870,62 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
             "--out" => opts.out = value("--out")?,
             "--replay" => opts.replay = Some(value("--replay")?),
             "--crash" => opts.crash = true,
+            "--sync" => opts.sync = true,
             other => return Err(format!("unknown fuzz option {other:?}")),
         }
     }
     Ok(opts)
 }
 
-/// `idr fuzz`: differential fuzzing against the four oracles of the
-/// `idr-oracle` crate. Divergences become replayable fixtures under
-/// `--out` and the run exits with [`EXIT_DIVERGENCE`].
+/// `idr fuzz`: differential fuzzing against the oracles of the
+/// `idr-oracle` crate — the four-oracle lockstep run by default, the
+/// crash-recovery arm with `--crash`, the replication-convergence arm
+/// with `--sync`. Divergences become replayable fixtures under `--out`
+/// and the run exits with [`EXIT_DIVERGENCE`].
 fn fuzz_cmd(rest: &[String]) -> ExitCode {
     use independence_reducible::oracle;
     let opts = match parse_fuzz_flags(rest) {
         Ok(o) => o,
         Err(e) => return usage(&e),
     };
+    if opts.sync {
+        if opts.replay.is_some() || opts.shrink || opts.crash {
+            return usage("--sync cannot be combined with --replay, --shrink or --crash");
+        }
+        let mut progress = |done: usize, failures: usize| {
+            if done.is_multiple_of(50) {
+                eprintln!(
+                    "sync fuzz: {done}/{} cases, {failures} failure(s)",
+                    opts.cases
+                );
+            }
+        };
+        let summary = oracle::sync_fuzz(opts.seed, opts.cases, Some(&mut progress));
+        println!(
+            "sync fuzz: {} case(s) from seed {}, {} round(s) simulated, {} op(s) shipped, {} crash(es) fired, {} failure(s)",
+            summary.cases,
+            opts.seed,
+            summary.rounds,
+            summary.ops_shipped,
+            summary.crashes,
+            summary.failures.len()
+        );
+        if summary.is_clean() {
+            return ExitCode::SUCCESS;
+        }
+        if let Err(e) = std::fs::create_dir_all(&opts.out) {
+            return fail(EXIT_PARSE, &format!("cannot create {}: {e}", opts.out));
+        }
+        for f in &summary.failures {
+            println!("  {f}");
+            let path = format!("{}/sync-{}.txt", opts.out, f.seed);
+            match std::fs::write(&path, &f.scenario) {
+                Ok(()) => println!("    repro written to {path} (replay with idr sync)"),
+                Err(e) => eprintln!("    cannot write {path}: {e}"),
+            }
+        }
+        return ExitCode::from(EXIT_DIVERGENCE);
+    }
     if opts.crash {
         if opts.replay.is_some() || opts.shrink {
             return usage("--crash cannot be combined with --replay or --shrink");
@@ -917,6 +1022,63 @@ fn fuzz_cmd(rest: &[String]) -> ExitCode {
     ExitCode::from(EXIT_DIVERGENCE)
 }
 
+/// `idr sync <scenario-file>`: runs one scripted replication scenario
+/// through the deterministic simulator and prints the round-by-round
+/// digest trace. Exit 0 when the replicas converge to a byte-identical
+/// state inside the round budget, [`EXIT_DIVERGENCE`] otherwise,
+/// [`EXIT_PARSE`] on a malformed scenario file.
+fn sync_cmd(path: &str, obs: &Observability) -> ExitCode {
+    use independence_reducible::sync;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(EXIT_PARSE, &format!("cannot read {path}: {e}")),
+    };
+    let scenario = match sync::parse_scenario(&text) {
+        Ok(s) => s,
+        Err(e) => return fail(EXIT_PARSE, &format!("{path}: {e}")),
+    };
+    let report = match scenario.run(obs.tracer.clone()) {
+        Ok(r) => r,
+        Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+    };
+    for line in &report.trace {
+        println!("{line}");
+    }
+    println!(
+        "sync: {} replica(s), {} round(s), {} op(s) shipped, {} message(s) sent ({} dropped, {} duplicated, {} delayed), {} crash(es)",
+        scenario.replicas,
+        report.rounds,
+        report.ops_shipped,
+        report.messages_sent,
+        report.dropped,
+        report.duplicated,
+        report.delayed,
+        report.crashes
+    );
+    if let Some(d) = &report.diverged {
+        return fail(EXIT_DIVERGENCE, &format!("replicas diverged: {d}"));
+    }
+    if !report.converged {
+        return fail(
+            EXIT_DIVERGENCE,
+            &format!("replicas did not converge within {} round(s)", scenario.max_rounds),
+        );
+    }
+    println!(
+        "converged: {} tuple(s), {}",
+        report.state_lines.len(),
+        if report.consistent {
+            "consistent"
+        } else {
+            "inconsistent"
+        }
+    );
+    for l in &report.state_lines {
+        println!("  {l}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// `idr closure <UNIVERSE> <FDS> <X>`: parses the FD list with the typed
 /// parser and prints the attribute closure `X⁺`.
 fn closure(universe_chars: &str, fd_spec: &str, x_chars: &str) -> ExitCode {
@@ -955,7 +1117,7 @@ fn init_cmd(dir: &str, scheme_path: &str) -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        Err(e) => fail(EXIT_FAULT, &format!("{e}")),
+        Err(e) => fail(store_exit(&e), &format!("{e}")),
     }
 }
 
@@ -1041,7 +1203,7 @@ fn recover_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: b
         obs.metrics.clone(),
     ) {
         Ok(r) => r,
-        Err(e) => return fail(EXIT_FAULT, &format!("{e}")),
+        Err(e) => return fail(store_exit(&e), &format!("{e}")),
     };
     report_recovery(&opts.dir, &rec);
     if !opts.rest.is_empty() {
@@ -1096,7 +1258,7 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
         obs.metrics.clone(),
     ) {
         Ok(r) => r,
-        Err(e) => return fail(EXIT_FAULT, &format!("{e}")),
+        Err(e) => return fail(store_exit(&e), &format!("{e}")),
     };
     report_recovery(&opts.dir, &rec);
     let mut store = rec.store.with_snapshot_every(opts.snapshot_every);
@@ -1292,9 +1454,79 @@ scheme R5: H S R  keys H S
         let opts = parse_fuzz_flags(&strs(&["--replay", "case.txt", "--out", "d"])).unwrap();
         assert_eq!(opts.replay.as_deref(), Some("case.txt"));
         assert_eq!(opts.out, "d");
+        let opts = parse_fuzz_flags(&strs(&["--sync", "--seed", "9"])).unwrap();
+        assert!(opts.sync);
+        assert_eq!(opts.seed, 9);
         assert!(parse_fuzz_flags(&strs(&["--seed"])).is_err());
         assert!(parse_fuzz_flags(&strs(&["--cases", "many"])).is_err());
         assert!(parse_fuzz_flags(&strs(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn retry_flags_build_the_maintenance_policy() {
+        let opts = parse_flags(&strs(&["maintain", "--retries", "3", "--backoff-ms", "10", "f"]))
+            .unwrap();
+        assert_eq!(opts.args, strs(&["maintain", "f"]));
+        assert_eq!(opts.retry.max_retries, 3);
+        assert_eq!(
+            opts.retry.base_backoff,
+            std::time::Duration::from_millis(10)
+        );
+        // Default: no retries, no backoff — the pre-flag behaviour.
+        let opts = parse_flags(&strs(&["maintain", "f"])).unwrap();
+        assert_eq!(opts.retry.max_retries, 0);
+        assert_eq!(opts.retry.base_backoff, std::time::Duration::ZERO);
+        assert!(parse_flags(&strs(&["--retries"])).is_err());
+        assert!(parse_flags(&strs(&["--retries", "soon"])).is_err());
+        // Backoff without retries would silently do nothing — reject it.
+        assert!(parse_flags(&strs(&["--backoff-ms", "10"])).is_err());
+    }
+
+    /// Satellite contract: every [`store::StoreError`] variant maps to
+    /// exit 7 through the CLI (both directly and via the engine's fault
+    /// taxonomy), and its rendering is pinned so scripts can match on
+    /// stderr.
+    #[test]
+    fn every_store_error_variant_exits_fault_with_a_stable_rendering() {
+        use independence_reducible::store::StoreError;
+        use std::path::PathBuf;
+        let table = [
+            (
+                StoreError::Io {
+                    operation: "append wal record".to_string(),
+                    path: PathBuf::from("/data/wal-0.log"),
+                    message: "disk full".to_string(),
+                },
+                "io error during append wal record on /data/wal-0.log: disk full",
+            ),
+            (
+                StoreError::Corrupt {
+                    path: PathBuf::from("/data/wal-0.log"),
+                    offset: 16,
+                    detail: "stored crc 1 != computed 2".to_string(),
+                },
+                "corrupt wal record in /data/wal-0.log at offset 16: stored crc 1 != computed 2",
+            ),
+            (
+                StoreError::Format {
+                    path: PathBuf::from("/data/scheme.txt"),
+                    detail: "unknown attribute \"Z\"".to_string(),
+                },
+                "malformed store file /data/scheme.txt: unknown attribute \"Z\"",
+            ),
+            (
+                StoreError::Replay {
+                    detail: "bad wal record".to_string(),
+                },
+                "wal replay failed: bad wal record",
+            ),
+        ];
+        for (e, rendered) in table {
+            assert_eq!(e.to_string(), rendered);
+            assert_eq!(store_exit(&e), EXIT_FAULT);
+            // A store error that crosses into the engine keeps exit 7.
+            assert_eq!(exec_exit(&ExecError::from(e)), EXIT_FAULT);
+        }
     }
 
     #[test]

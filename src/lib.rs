@@ -62,7 +62,8 @@
 //! | [`workload`] | the paper's 13 worked examples as fixtures; synthetic scaling families |
 //! | [`obs`] | dependency-free structured tracing, metrics and the chase-provenance event taxonomy |
 //! | [`store`] | durable state: checksummed write-ahead log, atomic snapshots, crash recovery |
-//! | [`oracle`] | seed-deterministic differential fuzzing: generators, five-oracle lockstep interpreters (including crash-point recovery), shrinker, corpus fixtures |
+//! | [`sync`] | replication: WAL-shipping anti-entropy over chained digests, deterministic fault-scripted simulator, scenario files |
+//! | [`oracle`] | seed-deterministic differential fuzzing: generators, six oracle arms (lockstep interpreters, crash-point recovery, replication convergence), shrinkers, corpus fixtures |
 //!
 //! The paper-to-code map — every numbered definition, lemma, theorem,
 //! algorithm and example of the paper with the module and test that
@@ -78,6 +79,7 @@ pub use idr_obs as obs;
 pub use idr_oracle as oracle;
 pub use idr_relation as relation;
 pub use idr_store as store;
+pub use idr_sync as sync;
 pub use idr_workload as workload;
 
 /// Budgeted, fault-tolerant execution: budgets, guards, the typed
