@@ -6,7 +6,7 @@
 //!   partition-indexed [`idr_chase::chase_fast`] vs the PR 2 indexed
 //!   worklist engine [`IncrementalChase`];
 //! * **insert stream** — re-chasing the whole state after every insert
-//!   (the pre-engine discipline) vs [`Engine::session`] inserts, which
+//!   (the pre-engine discipline) vs hub [`WriteHandle`] inserts, which
 //!   chase only the dirty rows of the affected block.
 //!
 //! Everything is seeded and dependency-free, so the numbers are noisy but
@@ -26,17 +26,28 @@
 //! a mid-push crash), reporting rounds-to-convergence and ops shipped.
 //! The simulator is fully deterministic, so these are exact integers,
 //! not timings.
+//!
+//! Since the serving PR the document ends with a `serve` section: the
+//! concurrent hub ([`WriteHandle`]/read views) over a real group-commit
+//! WAL (`idr_store::SharedStore`, fsync on), driven by 1/2/4/8 client
+//! threads splitting a fixed op budget. Commit latency is dominated by
+//! the commit window plus the fsync, so concurrent clients riding one
+//! batch raise throughput even on a single core — `scripts/bench.sh`
+//! asserts 4 clients beat 1, and that grouping cuts fsyncs-per-op
+//! against the classic one-fsync-per-op discipline.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use idr_chase::{chase, chase_fast, IncrementalChase, Tableau};
 use idr_core::engine::{Engine, Observability};
 use idr_core::exec::Guard;
+use idr_core::WriteHandle;
 use idr_fd::KeyDeps;
 use idr_obs::{EventLog, MetricsRegistry, TraceHandle};
 use idr_relation::parse::render_tuple_line;
-use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable};
+use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable, Tuple};
+use idr_store::{tempdir::TempDir, SharedStore, Store};
 use idr_sync::{CrashPoint, CrashStep, FaultPlan, Partition, ScriptedOp, Simulator, SyncPolicy};
 use idr_workload::generators::block_chain_scheme;
 use idr_workload::states::{generate, WorkloadConfig};
@@ -65,9 +76,9 @@ struct FamilyReport {
     fast_chase_ms: f64,
     incremental_chase_ms: f64,
     naive_rechase_stream_ms: f64,
-    engine_stream_ms: f64,
+    hub_stream_ms: f64,
     /// Engine metrics snapshot (single-line JSON) from one metered
-    /// session-build + insert-stream run.
+    /// hub-build + insert-stream run.
     metrics_json: String,
 }
 
@@ -102,7 +113,7 @@ fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize
     });
 
     // Insert stream: the pre-engine discipline re-chases the whole state
-    // after every accepted insert; the engine session chases dirty rows.
+    // after every accepted insert; the hub's write lanes chase dirty rows.
     let naive_rechase_stream_ms = time_ms(|| {
         let mut state: DatabaseState = w.state.clone();
         for (i, t) in &w.inserts {
@@ -114,10 +125,11 @@ fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize
         }
     });
     let engine = Engine::new(db.clone());
-    let engine_stream_ms = time_ms(|| {
-        let mut session = engine.session(&w.state, &g).expect("within budget");
+    let hub_stream_ms = time_ms(|| {
+        let hub = engine.hub(&w.state, &g).expect("within budget");
+        let writer = hub.write_handle();
         for (i, t) in &w.inserts {
-            session.insert(*i, t.clone(), &g).expect("within budget");
+            writer.insert(*i, t.clone(), &g).expect("within budget");
         }
     });
 
@@ -127,9 +139,10 @@ fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize
         metrics: Some(Arc::clone(&registry)),
         ..Observability::default()
     });
-    let mut session = metered.session(&w.state, &g).expect("within budget");
+    let hub = metered.hub(&w.state, &g).expect("within budget");
+    let writer = hub.write_handle();
     for (i, t) in &w.inserts {
-        session.insert(*i, t.clone(), &g).expect("within budget");
+        writer.insert(*i, t.clone(), &g).expect("within budget");
     }
 
     FamilyReport {
@@ -140,7 +153,7 @@ fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize
         fast_chase_ms,
         incremental_chase_ms,
         naive_rechase_stream_ms,
-        engine_stream_ms,
+        hub_stream_ms,
         metrics_json: registry.snapshot().to_json(),
     }
 }
@@ -191,9 +204,10 @@ fn bench_overhead(
         ..Observability::default()
     });
     let stream_traced_ms = time_ms(|| {
-        let mut session = traced_engine.session(&w.state, &g).expect("within budget");
+        let hub = traced_engine.hub(&w.state, &g).expect("within budget");
+        let writer = hub.write_handle();
         for (i, t) in &w.inserts {
-            session.insert(*i, t.clone(), &g).expect("within budget");
+            writer.insert(*i, t.clone(), &g).expect("within budget");
         }
         log.drain();
     });
@@ -201,7 +215,7 @@ fn bench_overhead(
         family: name.to_string(),
         incremental_noop_ms: noop.incremental_chase_ms,
         incremental_traced_ms,
-        stream_noop_ms: noop.engine_stream_ms,
+        stream_noop_ms: noop.hub_stream_ms,
         stream_traced_ms,
     }
 }
@@ -291,6 +305,169 @@ fn bench_sync(db: &DatabaseScheme, entities: usize, inserts: usize) -> Vec<SyncB
     .collect()
 }
 
+/// The commit window every serve-throughput run uses: long enough that
+/// commit latency (window + fsync) dominates per-op cost, so the benefit
+/// of concurrent clients sharing one batch is visible even on one core.
+const SERVE_WINDOW_US: u64 = 200;
+/// Each client opens a fresh `ReadView` and runs one projection after
+/// this many inserts.
+const QUERY_EVERY: usize = 8;
+
+/// Throughput of the durable serving stack at one client count.
+struct ServeReport {
+    clients: usize,
+    inserts: usize,
+    queries: usize,
+    wall_ms: f64,
+    ops_per_sec: f64,
+}
+
+/// fsync accounting for one group-commit configuration.
+struct GroupCommitReport {
+    clients: usize,
+    window_us: u64,
+    inserts: usize,
+    batches: u64,
+    fsyncs: u64,
+}
+
+/// Pre-interned per-block insert streams for `blocks` blocks of
+/// `rels_per_block` chained relations ([`block_chain_scheme`] layout:
+/// block `b` owns relations `b*rels_per_block ..`). Every tuple carries
+/// fresh symbols, so every insert is accepted and does real chase work.
+fn serve_ops(
+    db: &DatabaseScheme,
+    sym: &mut SymbolTable,
+    blocks: usize,
+    rels_per_block: usize,
+    per_block: usize,
+) -> Vec<Vec<(usize, Tuple)>> {
+    (0..blocks)
+        .map(|b| {
+            (0..per_block)
+                .map(|k| {
+                    let i = b * rels_per_block + k % rels_per_block;
+                    let t = Tuple::from_pairs(db.scheme(i).attrs().iter().map(|a| {
+                        (a, sym.intern(&format!("{}_b{b}k{k}", db.universe().name(a))))
+                    }));
+                    (i, t)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the per-block op streams through one hub over a fresh durable
+/// store: `clients` threads split the blocks round-robin, each insert
+/// commits through the group WAL (fsync on, `window_us` commit window),
+/// and every [`QUERY_EVERY`]-th insert opens an epoch-stamped read view
+/// and runs a projection over the block's first relation. Returns the
+/// store so callers can read batch/fsync counters.
+fn serve_run(
+    engine: &Engine,
+    db: &DatabaseScheme,
+    sym: &SymbolTable,
+    ops: &[Vec<(usize, Tuple)>],
+    clients: usize,
+    window_us: u64,
+    label: &str,
+) -> Arc<SharedStore> {
+    let g = Guard::unlimited();
+    let dir = TempDir::new(label);
+    let store = Store::init(dir.path(), db)
+        .expect("bench store init")
+        .with_sync(true);
+    let shared = Arc::new(
+        SharedStore::new(store).with_group_window(Duration::from_micros(window_us)),
+    );
+    shared
+        .symbols()
+        .lock()
+        .expect("fresh store symbol table")
+        .clone_from(sym);
+    let hub = engine
+        .hub_with(&DatabaseState::empty(db), &g, shared.clone())
+        .expect("empty state is consistent");
+    let writer = hub.write_handle();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let writer: WriteHandle<'_> = writer.clone();
+            let g = &g;
+            s.spawn(move || {
+                for b in (c..ops.len()).step_by(clients) {
+                    let x = db.scheme(ops[b][0].0).attrs();
+                    for (k, (i, t)) in ops[b].iter().enumerate() {
+                        writer.insert(*i, t.clone(), g).expect("serve insert");
+                        if (k + 1) % QUERY_EVERY == 0 {
+                            writer
+                                .read_view()
+                                .total_projection(x, g)
+                                .expect("within budget")
+                                .expect("state stays consistent");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    shared
+}
+
+/// Client-scaling sweep: the same fixed op budget served by 1/2/4/8
+/// client threads. Per-block write lanes plus group commit mean more
+/// clients ride each commit barrier, so throughput must rise with the
+/// client count (asserted for 4 vs 1 by `scripts/bench.sh`).
+fn bench_serve(
+    engine: &Engine,
+    db: &DatabaseScheme,
+    sym: &SymbolTable,
+    ops: &[Vec<(usize, Tuple)>],
+) -> Vec<ServeReport> {
+    let inserts: usize = ops.iter().map(Vec::len).sum();
+    let queries: usize = ops.iter().map(|o| o.len() / QUERY_EVERY).sum();
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|clients| {
+            let wall_ms = time_ms(|| {
+                serve_run(engine, db, sym, ops, clients, SERVE_WINDOW_US, "bench-serve");
+            });
+            ServeReport {
+                clients,
+                inserts,
+                queries,
+                wall_ms,
+                ops_per_sec: (inserts + queries) as f64 / (wall_ms / 1e3).max(1e-9),
+            }
+        })
+        .collect()
+}
+
+/// fsyncs-per-op with and without group commit: the classic discipline
+/// (one client, zero window — every append is its own batch and its own
+/// fsync) against four clients sharing a commit window.
+fn bench_group_commit(
+    engine: &Engine,
+    db: &DatabaseScheme,
+    sym: &SymbolTable,
+    ops: &[Vec<(usize, Tuple)>],
+) -> Vec<GroupCommitReport> {
+    let inserts: usize = ops.iter().map(Vec::len).sum();
+    [(1usize, 0u64), (4, 300)]
+        .into_iter()
+        .map(|(clients, window_us)| {
+            let shared = serve_run(engine, db, sym, ops, clients, window_us, "bench-group");
+            let wal = shared.group_wal();
+            GroupCommitReport {
+                clients,
+                window_us,
+                inserts,
+                batches: wal.batches(),
+                fsyncs: wal.fsyncs(),
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let families = [
         ("block_chain(2,3)", block_chain_scheme(2, 3), 12, 24),
@@ -310,9 +487,19 @@ fn main() {
     eprintln!("benchmarking {name} replication sync ...");
     let sync = bench_sync(db, *entities, *inserts);
 
+    let serve_family = "block_chain(8,3)";
+    let serve_db = block_chain_scheme(8, 3);
+    let serve_engine = Engine::new(serve_db.clone());
+    let mut serve_sym = SymbolTable::new();
+    let serve_stream = serve_ops(&serve_db, &mut serve_sym, 8, 3, 30);
+    eprintln!("benchmarking {serve_family} durable serving (1/2/4/8 clients) ...");
+    let serve = bench_serve(&serve_engine, &serve_db, &serve_sym, &serve_stream);
+    eprintln!("benchmarking {serve_family} group-commit fsync accounting ...");
+    let group = bench_group_commit(&serve_engine, &serve_db, &serve_sym, &serve_stream);
+
     // Hand-rolled JSON: the workspace is hermetic (no serde).
     println!("{{");
-    println!("  \"bench\": \"pr6-sync-smoke\",");
+    println!("  \"bench\": \"pr7-serve-smoke\",");
     println!("  \"seed\": {SEED},");
     println!("  \"iters\": {ITERS},");
     println!("  \"families\": [");
@@ -329,10 +516,10 @@ fn main() {
         println!("      \"insert_stream_ms\": {{");
         println!("        \"inserts\": {},", r.inserts);
         println!("        \"naive_rechase\": {:.3},", r.naive_rechase_stream_ms);
-        println!("        \"engine_session\": {:.3},", r.engine_stream_ms);
+        println!("        \"hub_stream\": {:.3},", r.hub_stream_ms);
         println!(
             "        \"speedup\": {:.2}",
-            r.naive_rechase_stream_ms / r.engine_stream_ms.max(1e-9)
+            r.naive_rechase_stream_ms / r.hub_stream_ms.max(1e-9)
         );
         println!("      }},");
         println!("      \"metrics\": {}", r.metrics_json);
@@ -359,6 +546,40 @@ fn main() {
         println!("        \"messages_sent\": {},", s.messages_sent);
         println!("        \"dropped\": {},", s.dropped);
         println!("        \"crashes\": {}", s.crashes);
+        println!("      }}{comma}");
+    }
+    println!("    ]");
+    println!("  }},");
+    println!("  \"serve\": {{");
+    println!("    \"family\": \"{serve_family}\",");
+    println!("    \"window_us\": {SERVE_WINDOW_US},");
+    println!("    \"query_every\": {QUERY_EVERY},");
+    println!("    \"clients\": [");
+    for (k, s) in serve.iter().enumerate() {
+        let comma = if k + 1 < serve.len() { "," } else { "" };
+        println!("      {{");
+        println!("        \"clients\": {},", s.clients);
+        println!("        \"inserts\": {},", s.inserts);
+        println!("        \"queries\": {},", s.queries);
+        println!("        \"wall_ms\": {:.3},", s.wall_ms);
+        println!("        \"ops_per_sec\": {:.1}", s.ops_per_sec);
+        println!("      }}{comma}");
+    }
+    println!("    ],");
+    println!("    \"group_commit\": [");
+    for (k, gc) in group.iter().enumerate() {
+        let comma = if k + 1 < group.len() { "," } else { "" };
+        println!("      {{");
+        println!("        \"mode\": \"{}\",", if gc.window_us == 0 { "per_op" } else { "grouped" });
+        println!("        \"clients\": {},", gc.clients);
+        println!("        \"window_us\": {},", gc.window_us);
+        println!("        \"inserts\": {},", gc.inserts);
+        println!("        \"batches\": {},", gc.batches);
+        println!("        \"fsyncs\": {},", gc.fsyncs);
+        println!(
+            "        \"fsyncs_per_op\": {:.3}",
+            gc.fsyncs as f64 / gc.inserts as f64
+        );
         println!("      }}{comma}");
     }
     println!("    ]");

@@ -21,6 +21,20 @@
 //! After every completed op the session calls
 //! [`Durability::op_finished`] with the post-op state, giving the
 //! implementation a safe point to cut a snapshot and truncate the log.
+//!
+//! ## Two trait shapes
+//!
+//! [`Durability`] is the original single-writer hook: `&mut self`
+//! methods, borrowed by one [`Session`](crate::Session) at a time. The
+//! concurrent serving layer ([`Hub`](crate::Hub) /
+//! [`WriteHandle`](crate::WriteHandle)) instead *owns* its sink as an
+//! `Arc<dyn DurabilitySink>`: `&self` methods callable from many writer
+//! threads at once, with the implementation free to coalesce concurrent
+//! appends into one fsync (group commit — `idr_store::SharedStore`).
+//! Snapshot cutting splits in two under concurrency: the sink only
+//! *reports* that a snapshot is due ([`DurabilitySink::op_finished`]),
+//! and the hub quiesces every block before handing over a consistent
+//! state ([`DurabilitySink::write_snapshot`]).
 
 use idr_relation::exec::ExecError;
 use idr_relation::{DatabaseState, Tuple};
@@ -69,4 +83,37 @@ pub trait Durability: std::fmt::Debug {
     /// state. Implementations use this to cut periodic snapshots and
     /// compact the log.
     fn op_finished(&mut self, state: &DatabaseState) -> Result<(), ExecError>;
+}
+
+/// A write-ahead durability sink shared by concurrent writers: the same
+/// log/abort contract as [`Durability`], but through `&self` so many
+/// [`WriteHandle`](crate::WriteHandle)s can log at once. Implementations
+/// serialise (or group-commit) internally; `idr_store::SharedStore` is
+/// the canonical one.
+///
+/// The write pipeline calls [`log_op`](DurabilitySink::log_op) while
+/// holding the target block's write lock, so the log order of any one
+/// block equals its apply order — which, per Theorem 4.2 block
+/// independence, makes a serial replay of the whole log reproduce the
+/// concurrent final state.
+pub trait DurabilitySink: std::fmt::Debug + Send + Sync {
+    /// Appends (and makes durable) the intent record for `op`. Called
+    /// before the in-memory mutation, under the target block's write
+    /// lock; on `Err` the mutation is not attempted.
+    fn log_op(&self, op: DurableOp<'_>) -> Result<(), ExecError>;
+
+    /// Marks this writer's most recently logged op as rolled back.
+    /// Called under the same block lock as the `log_op` it cancels, so
+    /// the abort marker lands before any later op of the same block.
+    fn log_abort(&self) -> Result<(), ExecError>;
+
+    /// Called after every op that reached a verdict. Returns `true` when
+    /// the sink wants a snapshot — the caller then quiesces every block
+    /// and calls [`write_snapshot`](DurabilitySink::write_snapshot) with
+    /// the resulting consistent state.
+    fn op_finished(&self) -> Result<bool, ExecError>;
+
+    /// Cuts a snapshot of `state` and rotates the log. Only called with
+    /// a quiesced, consistent cut (no in-flight `log_op` anywhere).
+    fn write_snapshot(&self, state: &DatabaseState) -> Result<(), ExecError>;
 }

@@ -25,8 +25,14 @@
 //! schemes fall back to a single whole-state chase.
 //!
 //! Mutations can be made durable by attaching a write-ahead sink
-//! ([`Session::with_durability`], implemented by `idr_store::Store`):
-//! the session then commits every op to the log before touching memory.
+//! (owned by the hub via [`Engine::hub_with`], or borrowed by the legacy
+//! [`Session::with_durability`]): every op then commits to the log
+//! before touching memory.
+//!
+//! Since 0.7 the serving surface is the [`Hub`] with its split
+//! [`ReadView`](crate::ReadView) / [`WriteHandle`](crate::WriteHandle)
+//! API (`crate::serving`); [`Session`] remains as a single-threaded
+//! compatibility shim over one hub.
 //!
 //! # Examples
 //!
@@ -52,21 +58,24 @@
 //! assert!(engine.is_independence_reducible());
 //!
 //! let guard = Guard::unlimited();
-//! let mut session = engine.session(&state, &guard).unwrap();
-//! assert!(session.is_consistent());
+//! let hub = engine.hub(&state, &guard).unwrap();
+//! let writer = hub.write_handle();
+//! assert!(hub.read_view().is_consistent());
 //!
 //! // Incremental insert: only the touched block re-chases.
 //! let (rel, t) = parse::parse_tuple_line("R2: C=c D=d", engine.scheme(), &mut sym).unwrap();
-//! assert!(session.insert(rel, t, &guard).unwrap());
+//! assert!(writer.insert(rel, t, &guard).unwrap());
 //!
 //! // A key violation is rejected as a verdict, not an error.
 //! let (rel, bad) = parse::parse_tuple_line("R1: A=a B=b2", engine.scheme(), &mut sym).unwrap();
-//! assert!(!session.insert(rel, bad, &guard).unwrap());
-//! assert!(session.is_consistent());
+//! assert!(!writer.insert(rel, bad, &guard).unwrap());
 //!
-//! // Chase-free X-total projection via the Theorem 4.1 expression.
+//! // Chase-free X-total projection via the Theorem 4.1 expression,
+//! // answered against an epoch-stamped snapshot.
+//! let view = hub.read_view();
+//! assert!(view.is_consistent());
 //! let x = engine.scheme().universe().set_of("AB");
-//! let answer = session.total_projection(x, &guard).unwrap().unwrap();
+//! let answer = view.total_projection(x, &guard).unwrap().unwrap();
 //! assert_eq!(answer.len(), 1);
 //! ```
 
@@ -76,21 +85,22 @@ use std::time::Instant;
 
 use idr_chase::{IncrementalChase, RejectionExplanation, TupleExplanation};
 use idr_fd::KeyDeps;
-use idr_obs::{MetricsRegistry, ShardedLog, TraceEvent, TraceHandle};
+use idr_obs::{MetricsRegistry, TraceEvent, TraceHandle};
 use idr_relation::algebra::Expr;
 use idr_relation::exec::{ExecError, Guard};
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, Tuple};
 
 use crate::classify::{classify, Classification};
-use crate::durability::{DurableOp, Durability};
+use crate::durability::{Durability, DurabilitySink, DurableOp};
 use crate::kep;
 use crate::query::ir_total_projection_expr;
 use crate::recognition::{recognize, IrScheme, Recognition};
+use crate::serving::Hub;
 
-/// Events each per-block shard can hold during one session build. The
+/// Events each per-block shard can hold during one hub build. The
 /// ring discards oldest-first beyond this, counting drops — tracing
 /// never aborts an evaluation.
-const SHARD_CAPACITY: usize = 65_536;
+pub(crate) const SHARD_CAPACITY: usize = 65_536;
 
 /// Observability configuration for an [`Engine`]: a trace sink, a
 /// metrics registry, and the provenance switch. All three default to
@@ -282,11 +292,11 @@ impl Engine {
         assert!(result.is_err(), "injected panic must propagate to join");
     }
 
-    /// One-shot consistency check: builds a throwaway [`Session`] (block
+    /// One-shot consistency check: builds a throwaway [`Hub`] (block
     /// chases, parallel when enabled) and reports its verdict. For a
-    /// stream of checks against an evolving state, keep the session.
+    /// stream of checks against an evolving state, keep the hub.
     pub fn is_consistent(&self, state: &DatabaseState, guard: &Guard) -> Result<bool, ExecError> {
-        Ok(self.session(state, guard)?.is_consistent())
+        Ok(self.hub(state, guard)?.is_consistent())
     }
 
     /// One-shot X-total projection `[x]`. `Ok(None)` when the state is
@@ -297,82 +307,62 @@ impl Engine {
         x: AttrSet,
         guard: &Guard,
     ) -> Result<Option<Vec<Tuple>>, ExecError> {
-        self.session(state, guard)?.total_projection(x, guard)
+        self.hub(state, guard)?.query_live(state, x, guard)
     }
 
-    /// Binds the engine to a state: chases every block (in parallel when
-    /// enabled), leaving the session ready for O(1) consistency reads and
-    /// incremental updates. An inconsistent state is *not* an error — the
-    /// session reports it through [`is_consistent`](Session::is_consistent).
-    /// `Err` means the guard stopped a chase before a verdict.
+    /// Binds the engine to a state for concurrent service: chases every
+    /// block (in parallel when enabled) and returns the [`Hub`] that
+    /// hands out [`WriteHandle`](crate::WriteHandle)s and epoch-stamped
+    /// [`ReadView`](crate::ReadView)s. An inconsistent state is *not* an
+    /// error — the hub reports it through [`Hub::is_consistent`]. `Err`
+    /// means the guard stopped a chase before a verdict.
+    pub fn hub(&self, state: &DatabaseState, guard: &Guard) -> Result<Hub<'_>, ExecError> {
+        Hub::build(self, state, guard, None)
+    }
+
+    /// Like [`hub`](Engine::hub), with an owned write-ahead durability
+    /// sink (e.g. `idr_store::SharedStore`) shared by every
+    /// [`WriteHandle`](crate::WriteHandle): mutations commit to the log
+    /// before memory, concurrent writers' appends may group-commit into
+    /// one fsync.
+    pub fn hub_with(
+        &self,
+        state: &DatabaseState,
+        guard: &Guard,
+        sink: Arc<dyn DurabilitySink>,
+    ) -> Result<Hub<'_>, ExecError> {
+        Hub::build(self, state, guard, Some(sink))
+    }
+
+    /// Binds the engine to a state behind the pre-0.7 single-threaded
+    /// [`Session`] facade. The session is now a thin shim over one
+    /// [`Hub`]; new code should call [`hub`](Engine::hub) and use the
+    /// split `ReadView`/`WriteHandle` API — see DESIGN.md §14 for the
+    /// migration guide.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use Engine::hub and the split ReadView/WriteHandle API (DESIGN.md §14)"
+    )]
     pub fn session(&self, state: &DatabaseState, guard: &Guard) -> Result<Session<'_>, ExecError> {
-        let t0 = Instant::now();
-        let backend = match self.ir() {
-            Some(ir) if !ir.is_empty() => {
-                // One private shard per block: workers never contend on
-                // the sink, and draining the shards in block order at the
-                // barrier below makes the merged stream identical whether
-                // the blocks ran serially or in parallel.
-                let shards = self
-                    .obs
-                    .tracer
-                    .enabled()
-                    .then(|| ShardedLog::new(ir.len(), SHARD_CAPACITY));
-                let built = evaluate_blocks(ir.len(), self.parallel, |b| {
-                    let trace = match &shards {
-                        Some(sh) => TraceHandle::to_log(Arc::clone(sh.shard(b))),
-                        None => TraceHandle::none(),
-                    };
-                    self.chase_block(ir, b, state, guard, trace)
-                });
-                if let Some(sh) = &shards {
-                    sh.merge_into_handle(&self.obs.tracer);
-                }
-                let mut blocks = Vec::with_capacity(built.len());
-                for r in built {
-                    let mut e = r?;
-                    // The shards are drained; point incremental work
-                    // (inserts, deletes) straight at the session's sink.
-                    e.retarget_trace(self.obs.tracer.clone());
-                    blocks.push(e);
-                }
-                Backend::Blocks(blocks)
-            }
-            _ => Backend::Whole(Box::new(self.chase_whole(state, guard)?)),
-        };
-        let session = Session {
-            engine: self,
+        Ok(Session {
+            hub: Hub::build(self, state, guard, None)?,
             state: state.clone(),
-            backend,
             last_rejection: None,
             durability: None,
-        };
-        self.obs.tracer.emit_with(|| TraceEvent::SessionBuilt {
-            blocks: match &session.backend {
-                Backend::Blocks(es) => es.len(),
-                Backend::Whole(_) => 1,
-            },
-            consistent: session.is_consistent(),
-        });
-        if let Some(m) = &self.obs.metrics {
-            m.counter("session.builds").inc();
-            m.latency_histogram("session.build_us")
-                .observe_duration(t0.elapsed());
-            let stats = session.chase_stats();
-            m.counter("chase.rule_applications")
-                .add(stats.rule_applications as u64);
-            m.counter("chase.passes").add(stats.passes as u64);
-            self.record_guard_metrics(guard);
-        }
-        Ok(session)
+        })
+    }
+
+    /// Whether block-parallel evaluation is enabled.
+    pub(crate) fn parallel_enabled(&self) -> bool {
+        self.parallel
     }
 
     /// Chases block `b`'s substate under the block's fds, emitting its
     /// events (and a closing `block_evaluated`) into `trace` — under
     /// parallel evaluation that is the block's private shard.
     /// Inconsistency poisons the returned engine rather than erroring —
-    /// the session reports it as a verdict.
-    fn chase_block(
+    /// the hub reports it as a verdict.
+    pub(crate) fn chase_block(
         &self,
         ir: &IrScheme,
         b: usize,
@@ -402,7 +392,11 @@ impl Engine {
         Ok(e)
     }
 
-    fn chase_whole(&self, state: &DatabaseState, guard: &Guard) -> Result<IncrementalChase, ExecError> {
+    pub(crate) fn chase_whole(
+        &self,
+        state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<IncrementalChase, ExecError> {
         let e = IncrementalChase::of_state(&self.scheme, state, self.kd.full())
             .with_observability(self.obs.tracer.clone(), Some(self.scheme.universe()), "whole")
             .with_provenance(self.obs.provenance);
@@ -426,22 +420,22 @@ fn finish_run(mut e: IncrementalChase, guard: &Guard) -> Result<IncrementalChase
     }
 }
 
-/// The chased tableaux backing a session: one per IR block, or one for
-/// the whole state when the scheme is not independence-reducible.
-#[derive(Debug)]
-enum Backend {
-    Blocks(Vec<IncrementalChase>),
-    Whole(Box<IncrementalChase>),
-}
-
-/// An [`Engine`] bound to one database state. Holds the chased per-block
-/// tableaux, so consistency is a field read and an insert only re-chases
-/// what the new tuple touches.
+/// An [`Engine`] bound to one database state — the pre-0.7
+/// single-threaded facade, kept as a thin compatibility shim over one
+/// [`Hub`]. Consistency is still O(blocks) and an insert still only
+/// re-chases what the new tuple touches; the hub does the work, the
+/// shim preserves the original `&mut self` surface, the borrowed
+/// [`Durability`] sink, and the exact legacy event/metric order.
+///
+/// New code should use [`Engine::hub`] with the split
+/// [`ReadView`](crate::ReadView) / [`WriteHandle`](crate::WriteHandle)
+/// API; see DESIGN.md §14 for the migration guide.
 #[derive(Debug)]
 pub struct Session<'e> {
-    engine: &'e Engine,
+    hub: Hub<'e>,
+    /// Mirror of the hub's base state, so [`state`](Session::state) can
+    /// keep returning a borrow.
     state: DatabaseState,
-    backend: Backend,
     /// Provenance of the most recent rejected insert, captured *before*
     /// the poisoned block tableau is rebuilt (the rebuild discards the
     /// chase that found the violation).
@@ -471,7 +465,7 @@ impl<'e> Session<'e> {
 impl Session<'_> {
     /// The engine this session was created from.
     pub fn engine(&self) -> &Engine {
-        self.engine
+        self.hub.engine()
     }
 
     /// The current state (base relations, reflecting accepted inserts and
@@ -482,23 +476,13 @@ impl Session<'_> {
 
     /// Whether the current state is consistent — O(blocks), no chasing.
     pub fn is_consistent(&self) -> bool {
-        match &self.backend {
-            Backend::Blocks(es) => es.iter().all(|e| e.failure().is_none()),
-            Backend::Whole(e) => e.failure().is_none(),
-        }
+        self.hub.is_consistent()
     }
 
     /// Block indexes whose substate is inconsistent (always `[0]` or `[]`
     /// for the whole-state backend).
     pub fn inconsistent_blocks(&self) -> Vec<usize> {
-        match &self.backend {
-            Backend::Blocks(es) => es
-                .iter()
-                .enumerate()
-                .filter_map(|(b, e)| e.failure().map(|_| b))
-                .collect(),
-            Backend::Whole(e) => e.failure().map(|_| 0).into_iter().collect(),
-        }
+        self.hub.inconsistent_blocks()
     }
 
     /// Inserts `t` into relation `i` if the result stays consistent.
@@ -516,42 +500,29 @@ impl Session<'_> {
     /// guard.
     pub fn insert(&mut self, i: usize, t: Tuple, guard: &Guard) -> Result<bool, ExecError> {
         let t0 = Instant::now();
-        if let Some(f) = self.backend_slot(i).failure() {
-            return Err(f.clone().into());
+        if let Some(f) = self.hub.block_failure(i) {
+            return Err(f);
         }
         // Write-ahead: commit the intent record before any memory changes.
         if let Some(d) = self.durability.as_mut() {
             d.log_op(DurableOp::Insert { rel: i, t: &t })?;
         }
-        let eng = self.backend_slot(i);
-        eng.push_tuple(&t, Some(i));
-        let outcome = match eng.run(guard) {
-            Ok(_) => {
+        let outcome = match self.hub.insert_op(i, t.clone(), guard) {
+            Ok((true, _)) => {
                 self.state
                     .insert(i, t)
                     .expect("tuple was chased against scheme i, so it matches scheme i");
                 Ok(true)
             }
-            Err(ExecError::Inconsistent { .. }) => {
-                // Capture provenance before the rebuild wipes the chase
-                // that found the violation.
-                let why = eng.explain_rejection();
+            Ok((false, why)) => {
                 self.last_rejection = why;
-                self.rebuild_slot(i, &Guard::unlimited())
-                    .expect("rebuilding a previously consistent block cannot fail");
                 Ok(false)
             }
             Err(e) => {
-                // Guard trip mid-chase: the speculative row is already in
-                // the tableau but `self.state` never saw it, so the
-                // expression path and the chase path would disagree. Roll
-                // it back by rebuilding from the unchanged base state —
-                // that replays a chase already known to succeed, so it is
-                // not charged.
-                self.rebuild_slot(i, &Guard::unlimited())
-                    .expect("rebuilding a previously consistent block cannot fail");
-                // Memory is rolled back; mark the logged record aborted so
-                // recovery skips it and the log agrees with memory again.
+                // The hub already rolled the op back (the tableau is
+                // rebuilt from the unchanged base state); mark the logged
+                // record aborted so recovery skips it and the log agrees
+                // with memory again.
                 if let Some(d) = self.durability.as_mut() {
                     d.log_abort()?;
                 }
@@ -564,22 +535,7 @@ impl Session<'_> {
             }
         }
         if let Ok(&accepted) = outcome.as_ref() {
-            let obs = &self.engine.obs;
-            obs.tracer.emit_with(|| TraceEvent::InsertApplied {
-                relation: Arc::from(self.engine.scheme.scheme(i).name()),
-                accepted,
-            });
-            if let Some(m) = &obs.metrics {
-                m.counter(if accepted {
-                    "session.inserts_accepted"
-                } else {
-                    "session.inserts_rejected"
-                })
-                .inc();
-                m.latency_histogram("session.insert_us")
-                    .observe_duration(t0.elapsed());
-                self.engine.record_guard_metrics(guard);
-            }
+            self.hub.emit_insert_event(i, accepted, t0, guard);
         }
         outcome
     }
@@ -596,37 +552,26 @@ impl Session<'_> {
         if let Some(d) = self.durability.as_mut() {
             d.log_op(DurableOp::Delete { rel: i, t })?;
         }
-        let removed = self
-            .state
-            .remove(i, t)
-            .expect("relation index was validated by backend_slot");
-        if removed {
-            if let Err(e) = self.rebuild_slot(i, guard) {
-                // The rebuild never replaced the tableau, so the old chase
-                // is still answering; put the tuple back so the base state
-                // agrees with it — delete is all-or-nothing.
-                self.state
-                    .insert(i, t.clone())
-                    .expect("tuple was just removed from relation i");
-                // Memory is rolled back; mark the logged record aborted.
+        let removed = match self.hub.delete_op(i, t, guard) {
+            Ok(removed) => removed,
+            Err(e) => {
+                // The hub restored the tuple (delete is all-or-nothing);
+                // mark the logged record aborted.
                 if let Some(d) = self.durability.as_mut() {
                     d.log_abort()?;
                 }
                 return Err(e);
             }
+        };
+        if removed {
+            self.state
+                .remove(i, t)
+                .expect("the hub just removed this tuple from its slot");
         }
         if let Some(d) = self.durability.as_mut() {
             d.op_finished(&self.state)?;
         }
-        let obs = &self.engine.obs;
-        obs.tracer.emit_with(|| TraceEvent::DeleteApplied {
-            relation: Arc::from(self.engine.scheme.scheme(i).name()),
-            removed,
-        });
-        if let Some(m) = &obs.metrics {
-            m.counter("session.deletes").inc();
-            self.engine.record_guard_metrics(guard);
-        }
+        self.hub.emit_delete_event(i, removed, guard);
         Ok(removed)
     }
 
@@ -638,54 +583,7 @@ impl Session<'_> {
         x: AttrSet,
         guard: &Guard,
     ) -> Result<Option<Vec<Tuple>>, ExecError> {
-        let t0 = Instant::now();
-        if !self.is_consistent() {
-            return Ok(None);
-        }
-        let (result, method) = match &self.backend {
-            Backend::Whole(e) => (Ok(Some(e.total_projection(x))), "chase"),
-            Backend::Blocks(_) => match self.engine.total_projection_expr(x, guard)? {
-                Some(expr) => {
-                    let rel = expr
-                        .eval(&self.engine.scheme, &self.state)
-                        .expect("cached projection expressions are well-formed");
-                    (Ok(Some(rel.sorted_tuples())), "expr")
-                }
-                // No bounded expression covers x — fall back to one
-                // whole-state chase.
-                None => (
-                    idr_chase::total_projection(
-                        &self.engine.scheme,
-                        &self.state,
-                        self.engine.kd.full(),
-                        x,
-                        guard,
-                    ),
-                    "chase",
-                ),
-            },
-        };
-        if let Ok(Some(tuples)) = &result {
-            let obs = &self.engine.obs;
-            obs.tracer.emit_with(|| TraceEvent::QueryAnswered {
-                attrs: Arc::from(self.engine.scheme.universe().render(x).as_str()),
-                method: Arc::from(method),
-                tuples: tuples.len(),
-            });
-            if let Some(m) = &obs.metrics {
-                m.counter("session.queries").inc();
-                m.counter(if method == "expr" {
-                    "session.queries_expr"
-                } else {
-                    "session.queries_chase"
-                })
-                .inc();
-                m.latency_histogram("session.query_us")
-                    .observe_duration(t0.elapsed());
-                self.engine.record_guard_metrics(guard);
-            }
-        }
-        result
+        self.hub.query_live(&self.state, x, guard)
     }
 
     /// Provenance for a derived tuple: searches the chased block
@@ -695,10 +593,7 @@ impl Session<'_> {
     /// [`Observability::provenance`] set. `None` when no row witnesses
     /// `t` — in particular when `t` is not in the X-total projection.
     pub fn explain(&self, x: AttrSet, t: &Tuple) -> Option<TupleExplanation> {
-        match &self.backend {
-            Backend::Whole(e) => e.explain_tuple(x, t),
-            Backend::Blocks(es) => es.iter().find_map(|e| e.explain_tuple(x, t)),
-        }
+        self.hub.explain(x, t)
     }
 
     /// Provenance of the most recent *rejected* insert: the violated key
@@ -713,50 +608,7 @@ impl Session<'_> {
 
     /// Aggregated chase work across every block tableau.
     pub fn chase_stats(&self) -> idr_chase::ChaseStats {
-        let mut total = idr_chase::ChaseStats::default();
-        let add = |total: &mut idr_chase::ChaseStats, s: idr_chase::ChaseStats| {
-            total.passes += s.passes;
-            total.rule_applications += s.rule_applications;
-        };
-        match &self.backend {
-            Backend::Blocks(es) => es.iter().for_each(|e| add(&mut total, e.stats())),
-            Backend::Whole(e) => add(&mut total, e.stats()),
-        }
-        total
-    }
-
-    /// The chased tableau responsible for relation `i`.
-    fn backend_slot(&mut self, i: usize) -> &mut IncrementalChase {
-        assert!(i < self.engine.scheme.len(), "relation index out of range");
-        match &mut self.backend {
-            Backend::Whole(e) => e,
-            Backend::Blocks(es) => {
-                let ir = self.engine.ir().expect("Blocks backend implies an IR partition");
-                &mut es[ir.block_of[i]]
-            }
-        }
-    }
-
-    /// Rebuilds the tableau responsible for relation `i` from the current
-    /// state.
-    fn rebuild_slot(&mut self, i: usize, guard: &Guard) -> Result<(), ExecError> {
-        match &mut self.backend {
-            Backend::Whole(slot) => {
-                **slot = self.engine.chase_whole(&self.state, guard)?;
-            }
-            Backend::Blocks(es) => {
-                let ir = self.engine.ir().expect("Blocks backend implies an IR partition");
-                let b = ir.block_of[i];
-                es[b] = self.engine.chase_block(
-                    ir,
-                    b,
-                    &self.state,
-                    guard,
-                    self.engine.obs.tracer.clone(),
-                )?;
-            }
-        }
-        Ok(())
+        self.hub.chase_stats()
     }
 }
 
@@ -801,6 +653,9 @@ where
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the behaviour of the legacy Session shim itself.
+    #![allow(deprecated)]
+
     use super::*;
     use idr_relation::exec::Budget;
     use idr_relation::{state_of, SchemeBuilder, SymbolTable};

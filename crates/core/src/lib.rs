@@ -32,9 +32,13 @@
 //!
 //! The recommended entry point is [`engine::Engine`]: build it once from
 //! a scheme and it caches recognition, classification and the Theorem 4.1
-//! projection expressions; its [`engine::Session`] serves consistency
-//! checks, incremental inserts/deletes and chase-free total projections,
-//! evaluating independent blocks in parallel.
+//! projection expressions. Bind it to a state with [`engine::Engine::hub`]
+//! and serve many clients at once through the split
+//! [`serving::WriteHandle`] / [`serving::ReadView`] API — per-block
+//! serialized writes (Theorem 4.2 block independence makes cross-block
+//! ops commute) and epoch-stamped snapshot reads. The pre-0.7
+//! single-threaded [`engine::Session`] facade remains as a deprecated
+//! compatibility shim over one hub.
 
 
 #![warn(missing_docs)]
@@ -54,12 +58,14 @@ pub mod recognition;
 pub mod replay;
 pub mod semantic;
 pub mod rep;
+pub mod serving;
 pub mod split;
 
 pub use classify::{classify, Classification};
-pub use durability::{Durability, DurableOp};
+pub use durability::{Durability, DurabilitySink, DurableOp};
 pub use engine::{Engine, Observability, Session};
 pub use replay::{ReplayError, ReplayOutcome};
+pub use serving::{Hub, ReadView, Snapshot, WriteHandle};
 pub use exec::{
     Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,
     GuardSnapshot, RepAccess, Resource, RetryPolicy, StateAccess,

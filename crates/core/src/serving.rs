@@ -1,0 +1,1001 @@
+//! The concurrent serving layer: one [`Hub`] per bound state, many
+//! [`WriteHandle`]s and [`ReadView`]s over it.
+//!
+//! Theorem 4.2 is a concurrency structure in disguise: on an
+//! independence-reducible scheme the blocks of the IR partition chase
+//! *independently*, so per-block consistency is global consistency — and
+//! therefore ops on different blocks commute. The hub turns that into a
+//! serving discipline:
+//!
+//! * **writes** go through [`WriteHandle`]: each block has its own write
+//!   lock, a writer holds it across *log → chase → apply*, so the WAL
+//!   order of any one block equals its apply order while writers on
+//!   different blocks proceed in parallel;
+//! * **reads** go through [`ReadView`]: an epoch-stamped immutable
+//!   snapshot, published lazily from a consistent cut of every block.
+//!   Readers never block writers and never see a half-applied op;
+//! * **durability** is an owned, shared [`DurabilitySink`] — under
+//!   concurrency the sink can coalesce the WAL appends of overlapping
+//!   writers into one fsync (group commit, `idr_store::SharedStore`).
+//!
+//! Because per-block log order equals per-block apply order and
+//! cross-block ops commute, **a serial replay of the log reproduces the
+//! concurrent final state** — the invariant the concurrency stress suite
+//! and the `idr fuzz --concurrent` oracle arm check end to end.
+//!
+//! The pre-0.7 [`Session`](crate::Session) facade survives as a thin
+//! compatibility shim over this module (one hub, one mirror state, no
+//! shared sink); see DESIGN.md §14 for the migration guide.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use idr_core::Engine;
+//! use idr_relation::exec::Guard;
+//! use idr_relation::{parse, DatabaseState, SymbolTable};
+//!
+//! let db = parse::parse_scheme(
+//!     "universe: A B C D\n\
+//!      scheme R1: A B keys A\n\
+//!      scheme R2: C D keys C\n",
+//! )
+//! .unwrap();
+//! let engine = Engine::new(db);
+//! let guard = Guard::unlimited();
+//! let symbols = Arc::new(std::sync::Mutex::new(SymbolTable::new()));
+//!
+//! let state = DatabaseState::empty(engine.scheme());
+//! let hub = engine.hub(&state, &guard).unwrap();
+//! let writer = hub.write_handle();
+//!
+//! // Two writer threads, one per block — concurrent, serialized per block.
+//! std::thread::scope(|s| {
+//!     for rel in 0..2 {
+//!         let w = writer.clone();
+//!         let symbols = Arc::clone(&symbols);
+//!         let engine = &engine;
+//!         let guard = &guard;
+//!         s.spawn(move || {
+//!             let line = ["R1: A=a B=b", "R2: C=c D=d"][rel];
+//!             let (i, t) = {
+//!                 let mut sym = symbols.lock().unwrap();
+//!                 parse::parse_tuple_line(line, engine.scheme(), &mut sym).unwrap()
+//!             };
+//!             assert!(w.insert(i, t, guard).unwrap());
+//!         });
+//!     }
+//! });
+//!
+//! // A read view is an immutable epoch: consistent, stamped, shareable.
+//! let view = hub.read_view();
+//! assert!(view.is_consistent());
+//! assert_eq!(view.state().total_tuples(), 2);
+//! let x = engine.scheme().universe().set_of("AB");
+//! assert_eq!(view.total_projection(x, &guard).unwrap().unwrap().len(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use idr_chase::{IncrementalChase, RejectionExplanation, TupleExplanation};
+use idr_obs::{ShardedLog, TraceEvent, TraceHandle};
+use idr_relation::exec::{ExecError, Guard};
+use idr_relation::{AttrSet, DatabaseState, Tuple};
+
+use crate::durability::{DurabilitySink, DurableOp};
+use crate::engine::{evaluate_blocks, Engine, SHARD_CAPACITY};
+
+/// An immutable, epoch-stamped cut of the hub's state. Cheap to share
+/// (`Arc`ed by [`ReadView`]); queries over it are wait-free with respect
+/// to writers.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    state: DatabaseState,
+    consistent: bool,
+}
+
+/// One block's serialized write lane: the chased tableau plus the slice
+/// of the base state the block owns (full-width [`DatabaseState`], only
+/// this block's relations populated — blocks partition the relations, so
+/// the union over slots is the whole state).
+#[derive(Debug)]
+struct Slot {
+    chase: IncrementalChase,
+    state: DatabaseState,
+}
+
+/// State shared by every handle of one hub.
+#[derive(Debug)]
+struct HubShared {
+    slots: Vec<Mutex<Slot>>,
+    /// `true` when the scheme is not IR (single whole-state slot).
+    whole: bool,
+    /// The most recently published snapshot. Lock order: `publish`
+    /// before any slot; writers take a single slot and never `publish`.
+    publish: Mutex<Arc<Snapshot>>,
+    epoch: AtomicU64,
+    /// Set by writers after mutating a slot; cleared (before the slot
+    /// scan) by the publisher. A spurious republish is harmless, a lost
+    /// update is not — see [`HubShared::publish_snapshot`].
+    stale: AtomicBool,
+    /// Owned durability sink for the concurrent write pipeline.
+    sink: Option<Arc<dyn DurabilitySink>>,
+    /// Provenance of the most recent rejected insert across all writers.
+    last_rejection: Mutex<Option<RejectionExplanation>>,
+}
+
+/// Recovers a slot lock from poison: a writer panicking mid-op is
+/// rebuilt away by the rollback paths, and the chase engines themselves
+/// never leave a slot half-mutated across an unwind point we own.
+fn lock_slot(slot: &Mutex<Slot>) -> MutexGuard<'_, Slot> {
+    slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An [`Engine`] bound to one evolving state for concurrent service.
+///
+/// The hub owns the per-block tableaux and the published snapshot; it
+/// hands out cloneable [`WriteHandle`]s (serialized per block, parallel
+/// across blocks) and epoch-stamped [`ReadView`]s. Built by
+/// [`Engine::hub`] / [`Engine::hub_with`].
+#[derive(Debug)]
+pub struct Hub<'e> {
+    engine: &'e Engine,
+    shared: Arc<HubShared>,
+}
+
+/// A cloneable writer over a [`Hub`]: routes each insert/delete to its
+/// block's serialized write lane. Many handles (threads) may write
+/// concurrently; ops on the same block serialize, ops on different
+/// blocks run in parallel (Theorem 4.2).
+#[derive(Debug)]
+pub struct WriteHandle<'e> {
+    engine: &'e Engine,
+    shared: Arc<HubShared>,
+}
+
+impl Clone for WriteHandle<'_> {
+    fn clone(&self) -> Self {
+        WriteHandle {
+            engine: self.engine,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// An immutable reader over one published epoch. Opening a view
+/// publishes the latest consistent cut if writers dirtied the state
+/// since the last publication; the view itself then never changes —
+/// snapshot isolation, not read-your-latest.
+#[derive(Debug)]
+pub struct ReadView<'e> {
+    engine: &'e Engine,
+    snap: Arc<Snapshot>,
+}
+
+impl Clone for ReadView<'_> {
+    fn clone(&self) -> Self {
+        ReadView {
+            engine: self.engine,
+            snap: Arc::clone(&self.snap),
+        }
+    }
+}
+
+impl<'e> Hub<'e> {
+    /// Builds the hub: chases every block (in parallel when the engine
+    /// enables it), carves the state into per-block slots, and publishes
+    /// epoch 0. Emits the same `session_built` event and metrics as the
+    /// legacy session build — the shim delegates here.
+    pub(crate) fn build(
+        engine: &'e Engine,
+        state: &DatabaseState,
+        guard: &Guard,
+        sink: Option<Arc<dyn DurabilitySink>>,
+    ) -> Result<Hub<'e>, ExecError> {
+        let t0 = Instant::now();
+        let obs = engine.observability();
+        let (slots, whole) = match engine.ir() {
+            Some(ir) if !ir.is_empty() => {
+                // One private shard per block: workers never contend on
+                // the sink, and draining the shards in block order at
+                // the barrier makes the merged stream identical whether
+                // the blocks ran serially or in parallel.
+                let shards = obs
+                    .tracer
+                    .enabled()
+                    .then(|| ShardedLog::new(ir.len(), SHARD_CAPACITY));
+                let built = evaluate_blocks(ir.len(), engine.parallel_enabled(), |b| {
+                    let trace = match &shards {
+                        Some(sh) => TraceHandle::to_log(Arc::clone(sh.shard(b))),
+                        None => TraceHandle::none(),
+                    };
+                    engine.chase_block(ir, b, state, guard, trace)
+                });
+                if let Some(sh) = &shards {
+                    sh.merge_into_handle(&obs.tracer);
+                }
+                let mut slots = Vec::with_capacity(built.len());
+                for (b, r) in built.into_iter().enumerate() {
+                    let mut chase = r?;
+                    // The shards are drained; point incremental work
+                    // straight at the hub's sink.
+                    chase.retarget_trace(obs.tracer.clone());
+                    let mut sub = DatabaseState::empty(engine.scheme());
+                    for &i in &ir.partition[b] {
+                        for t in state.relation(i).iter() {
+                            sub.insert(i, t.clone())
+                                .expect("tuple comes from relation i of a matching state");
+                        }
+                    }
+                    slots.push(Mutex::new(Slot { chase, state: sub }));
+                }
+                (slots, false)
+            }
+            _ => (
+                vec![Mutex::new(Slot {
+                    chase: engine.chase_whole(state, guard)?,
+                    state: state.clone(),
+                })],
+                true,
+            ),
+        };
+        let consistent = slots
+            .iter()
+            .all(|s| lock_slot(s).chase.failure().is_none());
+        let hub = Hub {
+            engine,
+            shared: Arc::new(HubShared {
+                whole,
+                publish: Mutex::new(Arc::new(Snapshot {
+                    epoch: 0,
+                    state: state.clone(),
+                    consistent,
+                })),
+                epoch: AtomicU64::new(0),
+                stale: AtomicBool::new(false),
+                sink,
+                last_rejection: Mutex::new(None),
+                slots,
+            }),
+        };
+        obs.tracer.emit_with(|| TraceEvent::SessionBuilt {
+            blocks: hub.shared.slots.len(),
+            consistent,
+        });
+        if let Some(m) = &obs.metrics {
+            m.counter("session.builds").inc();
+            m.latency_histogram("session.build_us")
+                .observe_duration(t0.elapsed());
+            let stats = hub.chase_stats();
+            m.counter("chase.rule_applications")
+                .add(stats.rule_applications as u64);
+            m.counter("chase.passes").add(stats.passes as u64);
+            engine.record_guard_metrics(guard);
+        }
+        Ok(hub)
+    }
+
+    /// The engine this hub serves.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// A new writer over this hub. Cloneable and `Send` — hand one to
+    /// each client thread.
+    pub fn write_handle(&self) -> WriteHandle<'e> {
+        WriteHandle {
+            engine: self.engine,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// An epoch-stamped read view. If writers dirtied the state since
+    /// the last publication this first publishes a fresh consistent cut
+    /// (briefly locking each block in turn); the returned view is then
+    /// immutable.
+    pub fn read_view(&self) -> ReadView<'e> {
+        ReadView {
+            engine: self.engine,
+            snap: publish_snapshot(self.engine, &self.shared),
+        }
+    }
+
+    /// Whether every block's current substate is consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.shared
+            .slots
+            .iter()
+            .all(|s| lock_slot(s).chase.failure().is_none())
+    }
+
+    /// Block indexes whose substate is inconsistent (always `[0]` or
+    /// `[]` for the whole-state backend).
+    pub fn inconsistent_blocks(&self) -> Vec<usize> {
+        self.shared
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(b, s)| lock_slot(s).chase.failure().map(|_| b))
+            .collect()
+    }
+
+    /// Provenance for a derived tuple: searches the live block tableaux
+    /// in block order. See `Session::explain` for the contract.
+    pub fn explain(&self, x: AttrSet, t: &Tuple) -> Option<TupleExplanation> {
+        self.shared
+            .slots
+            .iter()
+            .find_map(|s| lock_slot(s).chase.explain_tuple(x, t))
+    }
+
+    /// Provenance of the most recent rejected insert across all writers
+    /// (cloned out of the hub — under concurrency a borrow would race).
+    pub fn explain_rejection(&self) -> Option<RejectionExplanation> {
+        self.shared
+            .last_rejection
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Aggregated chase work across every block tableau.
+    pub fn chase_stats(&self) -> idr_chase::ChaseStats {
+        let mut total = idr_chase::ChaseStats::default();
+        for s in &self.shared.slots {
+            let stats = lock_slot(s).chase.stats();
+            total.passes += stats.passes;
+            total.rule_applications += stats.rule_applications;
+        }
+        total
+    }
+
+    /// The shim's live query path: the legacy `Session::total_projection`
+    /// semantics over a caller-supplied base state (the shim's mirror).
+    pub(crate) fn query_live(
+        &self,
+        state: &DatabaseState,
+        x: AttrSet,
+        guard: &Guard,
+    ) -> Result<Option<Vec<Tuple>>, ExecError> {
+        let t0 = Instant::now();
+        if !self.is_consistent() {
+            return Ok(None);
+        }
+        let (result, method) = if self.shared.whole {
+            // The live whole-state tableau answers directly.
+            (
+                Ok(Some(lock_slot(&self.shared.slots[0]).chase.total_projection(x))),
+                "chase",
+            )
+        } else {
+            project_ir(self.engine, state, x, guard)?
+        };
+        emit_query(self.engine, x, method, &result, t0, guard);
+        result
+    }
+
+    /// Routes relation `i` to its slot index.
+    fn slot_of(&self, i: usize) -> usize {
+        assert!(i < self.engine.scheme().len(), "relation index out of range");
+        if self.shared.whole {
+            0
+        } else {
+            let ir = self.engine.ir().expect("block slots imply an IR partition");
+            ir.block_of[i]
+        }
+    }
+
+    /// `Some(err)` when relation `i`'s block is currently poisoned — the
+    /// legacy shim checks this *before* logging the intent record.
+    pub(crate) fn block_failure(&self, i: usize) -> Option<ExecError> {
+        lock_slot(&self.shared.slots[self.slot_of(i)])
+            .chase
+            .failure()
+            .map(|f| f.clone().into())
+    }
+
+    /// The slot half of the insert pipeline. Holds the target block's
+    /// lock across *log → chase → apply*, so per-block WAL order equals
+    /// apply order. Returns the verdict plus (on rejection) its
+    /// provenance; emits no events — callers ([`WriteHandle::insert`],
+    /// the `Session` shim) finish the op in their own order.
+    pub(crate) fn insert_op(
+        &self,
+        i: usize,
+        t: Tuple,
+        guard: &Guard,
+    ) -> Result<(bool, Option<RejectionExplanation>), ExecError> {
+        let si = self.slot_of(i);
+        let mut slot = lock_slot(&self.shared.slots[si]);
+        if let Some(f) = slot.chase.failure() {
+            return Err(f.clone().into());
+        }
+        // Write-ahead: commit the intent record before memory changes,
+        // still under the block lock.
+        if let Some(d) = &self.shared.sink {
+            d.log_op(DurableOp::Insert { rel: i, t: &t })?;
+        }
+        slot.chase.push_tuple(&t, Some(i));
+        let outcome = match slot.chase.run(guard) {
+            Ok(_) => {
+                slot.state
+                    .insert(i, t)
+                    .expect("tuple was chased against scheme i, so it matches scheme i");
+                self.shared.stale.store(true, Ordering::Release);
+                Ok((true, None))
+            }
+            Err(ExecError::Inconsistent { .. }) => {
+                // Capture provenance before the rebuild wipes the chase
+                // that found the violation.
+                let why = slot.chase.explain_rejection();
+                slot.chase = self
+                    .rebuilt_chase(si, &slot.state, &Guard::unlimited())
+                    .expect("rebuilding a previously consistent block cannot fail");
+                Ok((false, why))
+            }
+            Err(e) => {
+                // Guard trip mid-chase: roll the speculative row back by
+                // rebuilding from the unchanged base substate (a chase
+                // already known to succeed — not charged).
+                slot.chase = self
+                    .rebuilt_chase(si, &slot.state, &Guard::unlimited())
+                    .expect("rebuilding a previously consistent block cannot fail");
+                // Memory is rolled back; mark the logged record aborted
+                // so the log agrees with memory again.
+                if let Some(d) = &self.shared.sink {
+                    d.log_abort()?;
+                }
+                Err(e)
+            }
+        };
+        drop(slot);
+        if let Ok((_, Some(why))) = &outcome {
+            *self
+                .shared
+                .last_rejection
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(why.clone());
+        }
+        outcome
+    }
+
+    /// The `insert_applied` event + metrics an insert ends with,
+    /// identical for the concurrent pipeline and the `Session` shim.
+    pub(crate) fn emit_insert_event(&self, i: usize, accepted: bool, t0: Instant, guard: &Guard) {
+        let obs = self.engine.observability();
+        obs.tracer.emit_with(|| TraceEvent::InsertApplied {
+            relation: Arc::from(self.engine.scheme().scheme(i).name()),
+            accepted,
+        });
+        if let Some(m) = &obs.metrics {
+            m.counter(if accepted {
+                "session.inserts_accepted"
+            } else {
+                "session.inserts_rejected"
+            })
+            .inc();
+            m.latency_histogram("session.insert_us")
+                .observe_duration(t0.elapsed());
+            self.engine.record_guard_metrics(guard);
+        }
+    }
+
+    /// The `delete_applied` event + metrics a delete ends with.
+    pub(crate) fn emit_delete_event(&self, i: usize, removed: bool, guard: &Guard) {
+        let obs = self.engine.observability();
+        obs.tracer.emit_with(|| TraceEvent::DeleteApplied {
+            relation: Arc::from(self.engine.scheme().scheme(i).name()),
+            removed,
+        });
+        if let Some(m) = &obs.metrics {
+            m.counter("session.deletes").inc();
+            self.engine.record_guard_metrics(guard);
+        }
+    }
+
+    /// The slot half of the delete pipeline: log, remove, rebuild the
+    /// block's tableau from its substate (charged against `guard`); on a
+    /// guard trip the tuple is restored and the logged record aborted.
+    /// Emits no events — see [`Hub::insert_op`].
+    pub(crate) fn delete_op(&self, i: usize, t: &Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        let si = self.slot_of(i);
+        let mut slot = lock_slot(&self.shared.slots[si]);
+        // Write-ahead: commit the intent record before memory changes.
+        if let Some(d) = &self.shared.sink {
+            d.log_op(DurableOp::Delete { rel: i, t })?;
+        }
+        let removed = slot
+            .state
+            .remove(i, t)
+            .expect("relation index was validated by slot_of");
+        if removed {
+            match self.rebuilt_chase(si, &slot.state, guard) {
+                Ok(chase) => slot.chase = chase,
+                Err(e) => {
+                    // The rebuild never replaced the tableau, so the old
+                    // chase is still answering; put the tuple back so the
+                    // base substate agrees with it — delete is
+                    // all-or-nothing.
+                    slot.state
+                        .insert(i, t.clone())
+                        .expect("tuple was just removed from relation i");
+                    if let Some(d) = &self.shared.sink {
+                        d.log_abort()?;
+                    }
+                    return Err(e);
+                }
+            }
+            self.shared.stale.store(true, Ordering::Release);
+        }
+        drop(slot);
+        Ok(removed)
+    }
+
+    /// A fresh chase of slot `si` from substate `state` (the rollback /
+    /// rebuild path), emitting into the hub's live tracer.
+    fn rebuilt_chase(
+        &self,
+        si: usize,
+        state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<IncrementalChase, ExecError> {
+        let tracer = self.engine.observability().tracer.clone();
+        if self.shared.whole {
+            self.engine.chase_whole(state, guard)
+        } else {
+            let ir = self.engine.ir().expect("block slots imply an IR partition");
+            self.engine.chase_block(ir, si, state, guard, tracer)
+        }
+    }
+
+    /// After a completed op: asks the sink whether a snapshot is due and,
+    /// if so, quiesces every block and hands over a consistent cut.
+    /// Called with no slot lock held.
+    fn sink_op_finished(&self) -> Result<(), ExecError> {
+        let Some(sink) = &self.shared.sink else {
+            return Ok(());
+        };
+        if !sink.op_finished()? {
+            return Ok(());
+        }
+        // Quiesce: publish-lock first (lock order), then every block in
+        // index order. Holding all block locks means no writer is inside
+        // log_op, so the assembled state covers exactly the logged
+        // prefix — the rotation the sink performs is safe.
+        let _publish = self
+            .shared
+            .publish
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slots: Vec<_> = self.shared.slots.iter().map(lock_slot).collect();
+        let mut state = DatabaseState::empty(self.engine.scheme());
+        for s in &slots {
+            for (i, t) in s.state.iter_all() {
+                state
+                    .insert(i, t.clone())
+                    .expect("slot substates are projections of one scheme-valid state");
+            }
+        }
+        sink.write_snapshot(&state)
+    }
+}
+
+impl<'e> WriteHandle<'e> {
+    /// The engine behind this handle.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// A hub facade over the same shared state (for queries, explain,
+    /// verdicts). Cheap — an `Arc` clone.
+    fn hub(&self) -> Hub<'e> {
+        Hub {
+            engine: self.engine,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Inserts `t` into relation `i` through the block's serialized
+    /// write lane. Same verdict contract as `Session::insert`:
+    /// `Ok(true)` accepted, `Ok(false)` rejected (state unchanged),
+    /// `Err(Inconsistent)` when the block is already poisoned, other
+    /// `Err`s are guard trips with the op rolled back.
+    pub fn insert(&self, i: usize, t: Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        let t0 = Instant::now();
+        let hub = self.hub();
+        let (accepted, _) = hub.insert_op(i, t, guard)?;
+        hub.sink_op_finished()?;
+        hub.emit_insert_event(i, accepted, t0, guard);
+        Ok(accepted)
+    }
+
+    /// Removes `t` from relation `i`. Same contract as
+    /// `Session::delete`: `Ok(false)` when absent, `Err` on a guard trip
+    /// with the delete rolled back.
+    pub fn delete(&self, i: usize, t: &Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        let hub = self.hub();
+        let removed = hub.delete_op(i, t, guard)?;
+        hub.sink_op_finished()?;
+        hub.emit_delete_event(i, removed, guard);
+        Ok(removed)
+    }
+
+    /// An epoch-stamped read view (see [`Hub::read_view`]) — gives every
+    /// writer thread snapshot-isolated queries without a hub reference.
+    pub fn read_view(&self) -> ReadView<'e> {
+        self.hub().read_view()
+    }
+
+    /// Whether every block's current substate is consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.hub().is_consistent()
+    }
+
+    /// Provenance of the most recent rejected insert across all writers.
+    pub fn explain_rejection(&self) -> Option<RejectionExplanation> {
+        self.hub().explain_rejection()
+    }
+}
+
+impl Snapshot {
+    /// The epoch number this snapshot was published as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl<'e> ReadView<'e> {
+    /// The engine behind this view.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// The epoch this view reads — monotone across publications of one
+    /// hub.
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch
+    }
+
+    /// The epoch's consistency verdict (O(1), decided at publication).
+    pub fn is_consistent(&self) -> bool {
+        self.snap.consistent
+    }
+
+    /// The epoch's base state.
+    pub fn state(&self) -> &DatabaseState {
+        &self.snap.state
+    }
+
+    /// The X-total projection `[x]` of this epoch. `Ok(None)` when the
+    /// epoch is inconsistent. On IR schemes this is chase-free (the
+    /// cached Theorem 4.1 expression over the snapshot state); non-IR
+    /// schemes chase the snapshot — never the live tableaux, so the
+    /// answer is stable no matter what writers do meanwhile.
+    pub fn total_projection(
+        &self,
+        x: AttrSet,
+        guard: &Guard,
+    ) -> Result<Option<Vec<Tuple>>, ExecError> {
+        let t0 = Instant::now();
+        if !self.snap.consistent {
+            return Ok(None);
+        }
+        let (result, method) = if self.engine.ir().is_some_and(|ir| !ir.is_empty()) {
+            project_ir(self.engine, &self.snap.state, x, guard)?
+        } else {
+            (
+                idr_chase::total_projection(
+                    self.engine.scheme(),
+                    &self.snap.state,
+                    self.engine.key_deps().full(),
+                    x,
+                    guard,
+                ),
+                "chase",
+            )
+        };
+        emit_query(self.engine, x, method, &result, t0, guard);
+        result
+    }
+}
+
+/// The IR query path shared by live (shim) and snapshot reads: the
+/// cached Theorem 4.1 expression over `state`, falling back to one
+/// whole-state chase when no bounded expression covers `x`.
+type ProjectionResult = Result<Option<Vec<Tuple>>, ExecError>;
+
+fn project_ir(
+    engine: &Engine,
+    state: &DatabaseState,
+    x: AttrSet,
+    guard: &Guard,
+) -> Result<(ProjectionResult, &'static str), ExecError> {
+    Ok(match engine.total_projection_expr(x, guard)? {
+        Some(expr) => {
+            let rel = expr
+                .eval(engine.scheme(), state)
+                .expect("cached projection expressions are well-formed");
+            (Ok(Some(rel.sorted_tuples())), "expr")
+        }
+        None => (
+            idr_chase::total_projection(
+                engine.scheme(),
+                state,
+                engine.key_deps().full(),
+                x,
+                guard,
+            ),
+            "chase",
+        ),
+    })
+}
+
+/// The `query_answered` event + metrics every query path shares.
+fn emit_query(
+    engine: &Engine,
+    x: AttrSet,
+    method: &'static str,
+    result: &ProjectionResult,
+    t0: Instant,
+    guard: &Guard,
+) {
+    if let Ok(Some(tuples)) = result {
+        let obs = engine.observability();
+        obs.tracer.emit_with(|| TraceEvent::QueryAnswered {
+            attrs: Arc::from(engine.scheme().universe().render(x).as_str()),
+            method: Arc::from(method),
+            tuples: tuples.len(),
+        });
+        if let Some(m) = &obs.metrics {
+            m.counter("session.queries").inc();
+            m.counter(if method == "expr" {
+                "session.queries_expr"
+            } else {
+                "session.queries_chase"
+            })
+            .inc();
+            m.latency_histogram("session.query_us")
+                .observe_duration(t0.elapsed());
+            engine.record_guard_metrics(guard);
+        }
+    }
+}
+
+/// Returns the current snapshot, republishing first when writers dirtied
+/// the state. The stale flag is cleared *before* the slot scan: a writer
+/// landing mid-scan re-marks it and the next view republishes — at worst
+/// a spurious republication, never a lost update.
+fn publish_snapshot(engine: &Engine, shared: &HubShared) -> Arc<Snapshot> {
+    if !shared.stale.load(Ordering::Acquire) {
+        return Arc::clone(
+            &shared
+                .publish
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+    }
+    let mut published = shared
+        .publish
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if shared.stale.swap(false, Ordering::AcqRel) {
+        let t0 = Instant::now();
+        let mut state = DatabaseState::empty(engine.scheme());
+        let mut consistent = true;
+        for s in &shared.slots {
+            let slot = lock_slot(s);
+            consistent &= slot.chase.failure().is_none();
+            for (i, t) in slot.state.iter_all() {
+                state
+                    .insert(i, t.clone())
+                    .expect("slot substates are projections of one scheme-valid state");
+            }
+        }
+        let epoch = shared.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let tuples = state.total_tuples();
+        let obs = engine.observability();
+        obs.tracer.emit_with(|| TraceEvent::EpochPublished {
+            epoch,
+            tuples,
+            consistent,
+        });
+        if let Some(m) = &obs.metrics {
+            m.counter("hub.epochs_published").inc();
+            m.gauge("hub.epoch").set(epoch);
+            m.latency_histogram("hub.publish_us")
+                .observe_duration(t0.elapsed());
+        }
+        *published = Arc::new(Snapshot {
+            epoch,
+            state,
+            consistent,
+        });
+    }
+    Arc::clone(&published)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_relation::exec::Budget;
+    use idr_relation::{state_of, SchemeBuilder, SymbolTable};
+    use idr_workload::generators::block_chain_scheme;
+
+    fn two_block_scheme() -> idr_relation::DatabaseScheme {
+        SchemeBuilder::new("ABCD")
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "CD", ["C"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn read_views_are_snapshot_isolated_and_epoch_stamped() {
+        let db = two_block_scheme();
+        let engine = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let mut sym = SymbolTable::new();
+        let state = state_of(&db, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
+        let hub = engine.hub(&state, &g).unwrap();
+
+        let v0 = hub.read_view();
+        assert_eq!(v0.epoch(), 0);
+        assert_eq!(v0.state().total_tuples(), 1);
+
+        let w = hub.write_handle();
+        let u = db.universe();
+        let t = Tuple::from_pairs([
+            (u.attr_of("C"), sym.intern("c")),
+            (u.attr_of("D"), sym.intern("d")),
+        ]);
+        assert!(w.insert(1, t, &g).unwrap());
+
+        // The old view still reads epoch 0; a new view sees the insert.
+        assert_eq!(v0.state().total_tuples(), 1);
+        let v1 = hub.read_view();
+        assert!(v1.epoch() > v0.epoch());
+        assert_eq!(v1.state().total_tuples(), 2);
+        // No writes since: the same epoch is re-served, not republished.
+        assert_eq!(hub.read_view().epoch(), v1.epoch());
+    }
+
+    #[test]
+    fn concurrent_block_writers_commute() {
+        let db = block_chain_scheme(4, 3);
+        let engine = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let hub = engine.hub(&DatabaseState::empty(&db), &g).unwrap();
+        let symbols = std::sync::Mutex::new(SymbolTable::new());
+        let w = hub.write_handle();
+        std::thread::scope(|s| {
+            for k in 0..4usize {
+                let w = w.clone();
+                let symbols = &symbols;
+                let db = &db;
+                let g = &g;
+                s.spawn(move || {
+                    for e in 0..3usize {
+                        let i = k * 3; // first relation of block k
+                        let t = {
+                            let mut sym = symbols.lock().unwrap();
+                            Tuple::from_pairs(db.scheme(i).attrs().iter().map(|a| {
+                                (
+                                    a,
+                                    sym.intern(&format!(
+                                        "{}_{e}",
+                                        db.universe().name(a)
+                                    )),
+                                )
+                            }))
+                        };
+                        assert!(w.insert(i, t, g).unwrap());
+                    }
+                });
+            }
+        });
+        let v = hub.read_view();
+        assert!(v.is_consistent());
+        assert_eq!(v.state().total_tuples(), 12);
+    }
+
+    #[test]
+    fn rejected_insert_leaves_the_epoch_unchanged() {
+        let db = two_block_scheme();
+        let engine = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let mut sym = SymbolTable::new();
+        let state = state_of(&db, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
+        let hub = engine.hub(&state, &g).unwrap();
+        let w = hub.write_handle();
+        let u = db.universe();
+        let bad = Tuple::from_pairs([
+            (u.attr_of("A"), sym.intern("a")),
+            (u.attr_of("B"), sym.intern("b2")),
+        ]);
+        let before = hub.read_view().epoch();
+        assert!(!w.insert(0, bad, &g).unwrap());
+        assert!(w.explain_rejection().is_some());
+        let v = hub.read_view();
+        assert_eq!(v.epoch(), before, "a rejected insert publishes nothing");
+        assert_eq!(v.state().total_tuples(), 1);
+        assert!(v.is_consistent());
+    }
+
+    #[test]
+    fn guard_trip_rolls_back_and_aborts_nothing_visible() {
+        // star(3) with a shared hub value: any rebuild fires fd rules, so
+        // max_chase_steps(0) trips mid-insert.
+        let db = idr_workload::generators::star_scheme(3);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &db,
+            &mut sym,
+            &[
+                ("R0", &[("K", "k"), ("A0", "x0")]),
+                ("R1", &[("K", "k"), ("A1", "x1")]),
+                ("R2", &[("K", "k"), ("A2", "x2")]),
+            ],
+        )
+        .unwrap();
+        let engine = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let hub = engine.hub(&state, &g).unwrap();
+        let w = hub.write_handle();
+        let u = db.universe();
+        let t = Tuple::from_pairs([
+            (u.attr_of("K"), sym.intern("k")),
+            (u.attr_of("A2"), sym.intern("x2b")),
+        ]);
+        let tight = Guard::new(Budget::unlimited().with_max_chase_steps(0));
+        let err = w.insert(2, t.clone(), &tight).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }), "{err:?}");
+        let v = hub.read_view();
+        assert!(!v.state().relation(2).contains(&t));
+        assert!(v.is_consistent());
+        let x = AttrSet::from_iter([u.attr_of("K"), u.attr_of("A2")]);
+        assert!(hub.explain(x, &t).is_none(), "speculative row leaked");
+    }
+
+    #[test]
+    fn whole_state_backend_serves_reads_and_writes() {
+        // Example 2: rejected by Algorithm 6 — one whole-state slot.
+        let db = SchemeBuilder::new("ABC")
+            .scheme("R1", "AB", ["A"])
+            .scheme("R2", "BC", ["B"])
+            .scheme("R3", "AC", ["A"])
+            .build()
+            .unwrap();
+        let engine = Engine::new(db.clone());
+        assert!(engine.ir().is_none());
+        let g = Guard::unlimited();
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &db,
+            &mut sym,
+            &[
+                ("R1", &[("A", "a"), ("B", "b")]),
+                ("R2", &[("B", "b"), ("C", "c")]),
+            ],
+        )
+        .unwrap();
+        let hub = engine.hub(&state, &g).unwrap();
+        let v = hub.read_view();
+        assert!(v.is_consistent());
+        // [AC] is derivable through the chase even with no AC relation —
+        // and the snapshot path must agree with the one-shot engine path.
+        let x = db.universe().set_of("AC");
+        let via_view = v.total_projection(x, &g).unwrap().unwrap();
+        let via_engine = engine.total_projection(&state, x, &g).unwrap().unwrap();
+        assert_eq!(via_view, via_engine);
+        let u = db.universe();
+        let t = Tuple::from_pairs([
+            (u.attr_of("A"), sym.intern("a2")),
+            (u.attr_of("B"), sym.intern("b2")),
+        ]);
+        assert!(hub.write_handle().insert(0, t, &g).unwrap());
+        assert_eq!(hub.read_view().state().total_tuples(), 3);
+    }
+}

@@ -207,6 +207,25 @@ pub enum TraceEvent {
         /// Bytes of crash-torn final record truncated.
         torn_bytes: usize,
     },
+    /// A consistent tableau epoch was published for readers: the serving
+    /// hub cut a snapshot spanning every block, so read views opened from
+    /// now on answer against this epoch without blocking writers.
+    EpochPublished {
+        /// The published epoch number (monotone per hub).
+        epoch: u64,
+        /// Tuples in the published state.
+        tuples: usize,
+        /// The epoch's consistency verdict.
+        consistent: bool,
+    },
+    /// A group-commit leader flushed the coalesced WAL records of
+    /// concurrent writers as one framed batch with a single fsync.
+    GroupCommitted {
+        /// Records in the batch (1 when no writer overlapped).
+        ops: usize,
+        /// Framed bytes written.
+        bytes: usize,
+    },
 }
 
 impl TraceEvent {
@@ -234,6 +253,8 @@ impl TraceEvent {
             TraceEvent::SyncReplicaCrashed { .. } => "sync_replica_crashed",
             TraceEvent::SyncConverged { .. } => "sync_converged",
             TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
+            TraceEvent::EpochPublished { .. } => "epoch_published",
+            TraceEvent::GroupCommitted { .. } => "group_committed",
         }
     }
 
@@ -333,6 +354,14 @@ impl TraceEvent {
             } => format!(
                 "recovery_replayed epoch={epoch} records={records} replayed={replayed} aborted={aborted} torn_bytes={torn_bytes}"
             ),
+            TraceEvent::EpochPublished {
+                epoch,
+                tuples,
+                consistent,
+            } => format!("epoch_published epoch={epoch} tuples={tuples} consistent={consistent}"),
+            TraceEvent::GroupCommitted { ops, bytes } => {
+                format!("group_committed ops={ops} bytes={bytes}")
+            }
         }
     }
 
@@ -516,6 +545,21 @@ impl TraceEvent {
                     .key("torn_bytes")
                     .u64(*torn_bytes as u64);
             }
+            TraceEvent::EpochPublished {
+                epoch,
+                tuples,
+                consistent,
+            } => {
+                w.key("epoch")
+                    .u64(*epoch)
+                    .key("tuples")
+                    .u64(*tuples as u64)
+                    .key("consistent")
+                    .bool(*consistent);
+            }
+            TraceEvent::GroupCommitted { ops, bytes } => {
+                w.key("ops").u64(*ops as u64).key("bytes").u64(*bytes as u64);
+            }
         }
         w.end_object();
         w.finish()
@@ -627,6 +671,12 @@ mod tests {
                 aborted: 1,
                 torn_bytes: 11,
             },
+            TraceEvent::EpochPublished {
+                epoch: 4,
+                tuples: 20,
+                consistent: true,
+            },
+            TraceEvent::GroupCommitted { ops: 3, bytes: 96 },
         ];
         for e in &events {
             let json = e.to_json();

@@ -1,9 +1,9 @@
 //! Crash-point differential fuzzing for the durability layer.
 //!
-//! For each seeded case the fuzzer runs a stream of durable session ops
+//! For each seeded case the fuzzer runs a stream of durable write ops
 //! against a real data dir, then simulates a crash at **every byte
 //! boundary of the write-ahead log**: the WAL is truncated to each
-//! prefix length in turn, [`idr_store::recover()`] rebuilds a session
+//! prefix length in turn, [`idr_store::recover()`] rebuilds the state
 //! from the surviving bytes, and the recovered state, consistency
 //! verdict and a query answer are differentially checked against an
 //! in-memory oracle that replayed exactly the ops whose records
@@ -23,6 +23,7 @@
 //! ops are covered by targeted tests in `tests/durability.rs`.)
 
 use std::path::Path;
+use std::sync::Arc;
 
 use idr_core::Engine;
 use idr_relation::exec::Guard;
@@ -30,7 +31,7 @@ use idr_relation::parse::render_tuple_line;
 use idr_relation::rng::SplitMix64;
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, SymbolTable, Tuple};
 use idr_store::tempdir::TempDir;
-use idr_store::{recover, snapshot, wal, Store};
+use idr_store::{recover, snapshot, wal, SharedStore, Store};
 use idr_workload::generators::{
     block_chain_scheme, chain_scheme, cycle_scheme, example2_scheme, split_scheme, star_scheme,
 };
@@ -128,14 +129,15 @@ pub(crate) fn corrupt_tuple(
     }))
 }
 
-/// One durable op: `(is_insert, relation, tuple)`.
-type CrashOp = (bool, usize, Tuple);
+/// One durable op: `(is_insert, relation, tuple)`. Shared with the
+/// concurrent arm ([`crate::concurrent`]).
+pub(crate) type CrashOp = (bool, usize, Tuple);
 
 /// Generates the op stream for one case. Inserts dominate (they grow
 /// the WAL and the state); deletes hit both present and absent tuples;
 /// corrupt inserts produce in-log *rejected* records whose replay must
 /// re-reject.
-fn gen_ops(
+pub(crate) fn gen_ops(
     db: &DatabaseScheme,
     symbols: &mut SymbolTable,
     rng: &mut SplitMix64,
@@ -174,7 +176,7 @@ fn gen_ops(
 /// Renders a state as sorted fixture lines — the cross-symbol-table
 /// fingerprint (recovery re-interns values in its own order, so raw
 /// `Value` comparisons would be meaningless).
-fn state_lines(db: &DatabaseScheme, state: &DatabaseState, symbols: &SymbolTable) -> Vec<String> {
+pub(crate) fn state_lines(db: &DatabaseScheme, state: &DatabaseState, symbols: &SymbolTable) -> Vec<String> {
     let mut lines: Vec<String> = state
         .iter_all()
         .map(|(i, t)| render_tuple_line(db, symbols, i, t))
@@ -184,7 +186,7 @@ fn state_lines(db: &DatabaseScheme, state: &DatabaseState, symbols: &SymbolTable
 }
 
 /// Renders a query answer's tuples as sorted `attr=value` lines.
-fn answer_lines(
+pub(crate) fn answer_lines(
     db: &DatabaseScheme,
     tuples: &[Tuple],
     symbols: &SymbolTable,
@@ -204,7 +206,7 @@ fn answer_lines(
     lines
 }
 
-/// Replays `ops` prefixes through a purely in-memory session, recording
+/// Replays `ops` prefixes through a purely in-memory hub, recording
 /// the expected state/verdict/answer after every prefix length.
 fn build_mirror(
     db: &DatabaseScheme,
@@ -214,32 +216,34 @@ fn build_mirror(
 ) -> Result<Vec<MirrorPoint>, String> {
     let engine = Engine::new(db.clone());
     let guard = Guard::unlimited();
-    let mut session = engine
-        .session(&DatabaseState::empty(db), &guard)
-        .map_err(|e| format!("mirror session: {e}"))?;
-    let point = |s: &idr_core::Session<'_>| -> Result<MirrorPoint, String> {
-        let answer = s
+    let hub = engine
+        .hub(&DatabaseState::empty(db), &guard)
+        .map_err(|e| format!("mirror hub: {e}"))?;
+    let writer = hub.write_handle();
+    let point = |h: &idr_core::serving::Hub<'_>| -> Result<MirrorPoint, String> {
+        let view = h.read_view();
+        let answer = view
             .total_projection(probe, &guard)
             .map_err(|e| format!("mirror query: {e}"))?
             .map(|ts| answer_lines(db, &ts, symbols));
         Ok(MirrorPoint {
-            state_lines: state_lines(db, s.state(), symbols),
-            consistent: s.is_consistent(),
+            state_lines: state_lines(db, view.state(), symbols),
+            consistent: view.is_consistent(),
             answer,
         })
     };
-    let mut mirror = vec![point(&session)?];
+    let mut mirror = vec![point(&hub)?];
     for (is_insert, rel, t) in ops {
         if *is_insert {
-            session
+            writer
                 .insert(*rel, t.clone(), &guard)
                 .map_err(|e| format!("mirror insert: {e}"))?;
         } else {
-            session
+            writer
                 .delete(*rel, t, &guard)
                 .map_err(|e| format!("mirror delete: {e}"))?;
         }
-        mirror.push(point(&session)?);
+        mirror.push(point(&hub)?);
     }
     Ok(mirror)
 }
@@ -280,10 +284,11 @@ fn run_case(seed: u64, summary: &mut CrashFuzzSummary) {
 
     // --- Live durable run -------------------------------------------------
     let live_dir = TempDir::new("crash-live");
-    let mut store = match Store::init(live_dir.path(), &db) {
+    let store = match Store::init(live_dir.path(), &db) {
         Ok(s) => s.with_sync(false).with_snapshot_every(snapshot_every),
         Err(e) => return fail(0, "setup", format!("init: {e}")),
     };
+    let store = Arc::new(SharedStore::new(store));
     {
         let shared = store.symbols();
         shared
@@ -298,15 +303,17 @@ fn run_case(seed: u64, summary: &mut CrashFuzzSummary) {
     let guard = Guard::unlimited();
     let mut ops_at_epoch_start = 0usize;
     {
-        let mut session = match engine.session(&DatabaseState::empty(&db), &guard) {
-            Ok(s) => s.with_durability(&mut store),
-            Err(e) => return fail(0, "setup", format!("live session: {e}")),
+        let base = DatabaseState::empty(&db);
+        let hub = match engine.hub_with(&base, &guard, store.clone()) {
+            Ok(h) => h,
+            Err(e) => return fail(0, "setup", format!("live hub: {e}")),
         };
+        let writer = hub.write_handle();
         for (k, (is_insert, rel, t)) in ops.iter().enumerate() {
             let r = if *is_insert {
-                session.insert(*rel, t.clone(), &guard).map(|_| ())
+                writer.insert(*rel, t.clone(), &guard).map(|_| ())
             } else {
-                session.delete(*rel, t, &guard).map(|_| ())
+                writer.delete(*rel, t, &guard).map(|_| ())
             };
             if let Err(e) = r {
                 return fail(0, "setup", format!("live op {k}: {e}"));
@@ -314,11 +321,11 @@ fn run_case(seed: u64, summary: &mut CrashFuzzSummary) {
             summary.ops_run += 1;
         }
     }
-    let final_epoch = store.epoch();
+    let final_epoch = store.lock().epoch();
     if snapshot_every.is_some() {
         // Ops predating the open epoch's WAL are exactly those not
         // reflected as records in it.
-        ops_at_epoch_start = ops.len() - store.wal_records() as usize;
+        ops_at_epoch_start = ops.len() - store.lock().wal_records() as usize;
     }
     drop(store); // "kill -9": nothing flushed beyond what each op wrote
 
@@ -329,13 +336,49 @@ fn run_case(seed: u64, summary: &mut CrashFuzzSummary) {
     };
 
     // --- Crash at every WAL byte boundary ---------------------------------
-    let wal_path_live = snapshot::wal_path(live_dir.path(), final_epoch);
+    check_all_cuts(
+        seed,
+        &db,
+        probe,
+        &mirror,
+        ops_at_epoch_start,
+        live_dir.path(),
+        final_epoch,
+        summary,
+    );
+}
+
+/// The cut loop shared by the sequential and concurrent crash arms:
+/// truncates the live WAL at every byte boundary, recovers each prefix
+/// in a scratch dir, and differentially checks state, verdict and a
+/// probe-query answer against `mirror[ops_at_epoch_start + survivors]`.
+#[allow(clippy::too_many_arguments)]
+fn check_all_cuts(
+    seed: u64,
+    db: &DatabaseScheme,
+    probe: AttrSet,
+    mirror: &[MirrorPoint],
+    ops_at_epoch_start: usize,
+    live_dir: &Path,
+    final_epoch: u64,
+    summary: &mut CrashFuzzSummary,
+) {
+    let guard = Guard::unlimited();
+    let mut fail = |crash_point: u64, kind: &str, detail: String| {
+        summary.failures.push(CrashFailure {
+            seed,
+            crash_point,
+            kind: kind.to_string(),
+            detail,
+        });
+    };
+    let wal_path_live = snapshot::wal_path(live_dir, final_epoch);
     let wal_bytes = match std::fs::read(&wal_path_live) {
         Ok(b) => b,
         Err(e) => return fail(0, "setup", format!("read live wal: {e}")),
     };
     let scratch = TempDir::new("crash-cut");
-    if let Err(e) = stage_scratch(live_dir.path(), scratch.path(), final_epoch) {
+    if let Err(e) = stage_scratch(live_dir, scratch.path(), final_epoch) {
         return fail(0, "setup", format!("stage scratch dir: {e}"));
     }
     let scratch_wal = snapshot::wal_path(scratch.path(), final_epoch);
@@ -362,7 +405,7 @@ fn run_case(seed: u64, summary: &mut CrashFuzzSummary) {
         };
         let rec_symbols = recovered.store.symbols();
         let rec_symbols = rec_symbols.lock().expect("recovered symbol lock");
-        let got_lines = state_lines(&db, &recovered.state, &rec_symbols);
+        let got_lines = state_lines(db, &recovered.state, &rec_symbols);
         if got_lines != expected.state_lines {
             fail(
                 cut as u64,
@@ -387,13 +430,13 @@ fn run_case(seed: u64, summary: &mut CrashFuzzSummary) {
             );
             continue;
         }
-        // Differential query answer through a fresh session over the
+        // Differential query answer through a fresh hub over the
         // recovered state.
         let rec_engine = Engine::new(db.clone());
         let got_answer = rec_engine
-            .session(&recovered.state, &guard)
-            .and_then(|s| s.total_projection(probe, &guard))
-            .map(|o| o.map(|ts| answer_lines(&db, &ts, &rec_symbols)));
+            .hub(&recovered.state, &guard)
+            .and_then(|h| h.read_view().total_projection(probe, &guard))
+            .map(|o| o.map(|ts| answer_lines(db, &ts, &rec_symbols)));
         match got_answer {
             Ok(got) => {
                 if got != expected.answer {
@@ -431,6 +474,202 @@ pub fn crash_fuzz(
     summary
 }
 
+/// Replays already-rendered op lines (the committed WAL order of a
+/// concurrent run) through a purely in-memory hub, recording the
+/// expected state/verdict/answer after every prefix length — the mirror
+/// the concurrent crash arm cuts against.
+fn build_mirror_from_lines(
+    db: &DatabaseScheme,
+    lines: &[String],
+    probe: AttrSet,
+) -> Result<Vec<MirrorPoint>, String> {
+    let engine = Engine::new(db.clone());
+    let guard = Guard::unlimited();
+    let mut symbols = SymbolTable::new();
+    let hub = engine
+        .hub(&DatabaseState::empty(db), &guard)
+        .map_err(|e| format!("mirror hub: {e}"))?;
+    let writer = hub.write_handle();
+    let mut mirror = Vec::with_capacity(lines.len() + 1);
+    for k in 0..=lines.len() {
+        if k > 0 {
+            writer
+                .replay_op(&lines[k - 1], &mut symbols, &guard)
+                .map_err(|e| format!("mirror replay of {:?}: {e}", lines[k - 1]))?;
+        }
+        let view = hub.read_view();
+        let answer = view
+            .total_projection(probe, &guard)
+            .map_err(|e| format!("mirror query: {e}"))?
+            .map(|ts| answer_lines(db, &ts, &symbols));
+        mirror.push(MirrorPoint {
+            state_lines: state_lines(db, view.state(), &symbols),
+            consistent: view.is_consistent(),
+            answer,
+        });
+    }
+    Ok(mirror)
+}
+
+/// One concurrent crash case: several writer threads drive a
+/// group-commit [`SharedStore`] (non-zero window, so appends coalesce
+/// into multi-record batches), then the WAL is cut at every byte —
+/// including mid-batch — and each prefix's recovery is checked against
+/// a serial replay of the surviving committed order. The full-length
+/// cut is additionally checked against the live concurrent final state,
+/// closing the serial==concurrent loop end to end.
+fn run_concurrent_case(seed: u64, summary: &mut CrashFuzzSummary) {
+    let mut rng = SplitMix64::new(seed);
+    let db = gen_scheme(&mut rng);
+    let mut case_symbols = SymbolTable::new();
+    let clients = rng.gen_range_inclusive(2, 3);
+    let client_ops: Vec<Vec<CrashOp>> = (0..clients)
+        .map(|_| gen_ops(&db, &mut case_symbols, &mut rng))
+        .collect();
+    let probe = db.scheme(rng.gen_range(0, db.len())).attrs();
+    let mut fail = |crash_point: u64, kind: &str, detail: String| {
+        summary.failures.push(CrashFailure {
+            seed,
+            crash_point,
+            kind: kind.to_string(),
+            detail,
+        });
+    };
+
+    // --- Live concurrent run over a group-commit store --------------------
+    let live_dir = TempDir::new("crash-conc-live");
+    let store = match Store::init(live_dir.path(), &db) {
+        Ok(s) => s.with_sync(false),
+        Err(e) => return fail(0, "setup", format!("init: {e}")),
+    };
+    let store = Arc::new(
+        SharedStore::new(store).with_group_window(std::time::Duration::from_micros(300)),
+    );
+    {
+        let shared = store.symbols();
+        shared
+            .lock()
+            .expect("fresh store symbol lock")
+            .clone_from(&case_symbols);
+    }
+    let engine = Engine::new(db.clone());
+    let guard = Guard::unlimited();
+    let (conc_lines, conc_consistent) = {
+        let base = DatabaseState::empty(&db);
+        let hub = match engine.hub_with(&base, &guard, store.clone()) {
+            Ok(h) => h,
+            Err(e) => return fail(0, "setup", format!("live hub: {e}")),
+        };
+        let errors = std::sync::Mutex::new(Vec::<String>::new());
+        std::thread::scope(|s| {
+            for (c, ops) in client_ops.iter().enumerate() {
+                let writer = hub.write_handle();
+                let errors = &errors;
+                let guard = &guard;
+                s.spawn(move || {
+                    for (k, (is_insert, rel, t)) in ops.iter().enumerate() {
+                        let r = if *is_insert {
+                            writer.insert(*rel, t.clone(), guard).map(|_| ())
+                        } else {
+                            writer.delete(*rel, t, guard).map(|_| ())
+                        };
+                        if let Err(e) = r {
+                            errors
+                                .lock()
+                                .expect("error list lock")
+                                .push(format!("client {c} op {k}: {e}"));
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        let errors = errors.into_inner().expect("error list lock");
+        if !errors.is_empty() {
+            return fail(0, "setup", format!("live ops failed: {}", errors.join("; ")));
+        }
+        summary.ops_run += client_ops.iter().map(Vec::len).sum::<usize>();
+        let view = hub.read_view();
+        (
+            state_lines(&db, view.state(), &case_symbols),
+            view.is_consistent(),
+        )
+    };
+    let final_epoch = store.lock().epoch();
+    drop(store); // "kill -9"
+
+    // --- Mirror: serial replay of the committed (WAL) order ---------------
+    let wal_path_live = snapshot::wal_path(live_dir.path(), final_epoch);
+    let wal_bytes = match std::fs::read(&wal_path_live) {
+        Ok(b) => b,
+        Err(e) => return fail(0, "setup", format!("read live wal: {e}")),
+    };
+    let committed: Vec<String> = match wal::scan_bytes(&wal_bytes, &wal_path_live) {
+        Ok(scan) => scan.records,
+        Err(e) => return fail(0, "setup", format!("scan live wal: {e}")),
+    };
+    if committed.iter().any(|r| r == idr_store::store::ABORT_PAYLOAD) {
+        // Unlimited guards never trip, so no op should have aborted.
+        return fail(0, "setup", "unexpected abort marker in live wal".to_string());
+    }
+    let mirror = match build_mirror_from_lines(&db, &committed, probe) {
+        Ok(m) => m,
+        Err(e) => return fail(0, "setup", e),
+    };
+    // Theorem 4.2 end to end: a serial replay of the full committed
+    // order must reproduce the concurrent final state and verdict.
+    let last = mirror.last().expect("mirror has a point per prefix");
+    if last.state_lines != conc_lines || last.consistent != conc_consistent {
+        fail(
+            wal_bytes.len() as u64,
+            "serial_vs_concurrent",
+            format!(
+                "serial replay of {} committed op(s) gives [{}] consistent={} \
+                 but the concurrent run finished at [{}] consistent={}",
+                committed.len(),
+                last.state_lines.join("; "),
+                last.consistent,
+                conc_lines.join("; "),
+                conc_consistent
+            ),
+        );
+    }
+
+    // --- Crash at every WAL byte boundary (mid-batch cuts included) -------
+    check_all_cuts(
+        seed,
+        &db,
+        probe,
+        &mirror,
+        0,
+        live_dir.path(),
+        final_epoch,
+        summary,
+    );
+}
+
+/// Runs `cases` **concurrent** crash cases from master seed `seed`:
+/// multi-writer group-commit runs whose WAL is cut at every byte,
+/// including mid-batch. Same summary shape and seeding convention as
+/// [`crash_fuzz`] (`idr fuzz --crash --concurrent`).
+pub fn concurrent_crash_fuzz(
+    seed: u64,
+    cases: usize,
+    mut progress: Option<&mut dyn FnMut(usize, usize)>,
+) -> CrashFuzzSummary {
+    let mut master = SplitMix64::new(seed);
+    let mut summary = CrashFuzzSummary::default();
+    for k in 0..cases {
+        let case_seed = master.next_u64();
+        summary.cases += 1;
+        run_concurrent_case(case_seed, &mut summary);
+        if let Some(p) = progress.as_deref_mut() {
+            p(k + 1, summary.failures.len());
+        }
+    }
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +679,26 @@ mod tests {
     fn bounded_crash_fuzz_is_clean() {
         let summary = crash_fuzz(42, 12, None);
         assert_eq!(summary.cases, 12);
+        assert!(summary.crash_points > 100, "{}", summary.crash_points);
+        assert!(
+            summary.is_clean(),
+            "failures: {}",
+            summary
+                .failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    /// Group-commit WALs cut mid-batch must recover to the serial
+    /// replay of the surviving committed prefix, and the full log must
+    /// replay to the concurrent final state.
+    #[test]
+    fn bounded_concurrent_crash_fuzz_is_clean() {
+        let summary = concurrent_crash_fuzz(42, 6, None);
+        assert_eq!(summary.cases, 6);
         assert!(summary.crash_points > 100, "{}", summary.crash_points);
         assert!(
             summary.is_clean(),

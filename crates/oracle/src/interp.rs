@@ -2,9 +2,10 @@
 //!
 //! Every case runs against:
 //!
-//! 1. **`Session` (parallel)** — the production path: block-parallel
-//!    evaluation, incremental inserts, cached Theorem 4.1 expressions.
-//! 2. **`Session` (serial)** — the same engine with parallelism off;
+//! 1. **Hub (parallel)** — the production path: block-parallel
+//!    evaluation, incremental inserts through a [`WriteHandle`], cached
+//!    Theorem 4.1 expressions, snapshot queries through a `ReadView`.
+//! 2. **Hub (serial)** — the same engine with parallelism off;
 //!    must be *indistinguishable* from (1), including error classes.
 //! 3. **Naive chase, from scratch** — a mirror of the base state is
 //!    maintained by the interpreter and re-chased per step with
@@ -12,7 +13,7 @@
 //!    verdicts and
 //!    answers are ground truth.
 //! 4. **Theorem 4.1 expressions vs. chase answers** — on IR schemes the
-//!    sessions answer queries through cached expressions over the base
+//!    hubs answer queries through cached expressions over the base
 //!    state while oracle (3) chases; their agreement *is* the paper's
 //!    boundedness claim. Explain probes cross-check the trace class: a
 //!    tuple is in the answer iff some chased tableau row witnesses it.
@@ -24,7 +25,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use idr_core::engine::{Engine, Session};
+use idr_core::engine::Engine;
+use idr_core::serving::{Hub, WriteHandle};
 use idr_core::exec::{FaultInjector, FaultPlan};
 use idr_core::maintain::algorithm2;
 use idr_core::maintain::IrMaintainer;
@@ -38,7 +40,7 @@ use crate::ops::{Case, Op};
 #[derive(Clone, Debug)]
 pub struct Divergence {
     /// 0-based index of the op that diverged; `None` for the initial
-    /// session build.
+    /// hub build.
     pub step: Option<usize>,
     /// Rendering of the offending op.
     pub op: Option<String>,
@@ -57,7 +59,7 @@ impl std::fmt::Display for Divergence {
             (Some(k), Some(op)) => {
                 write!(f, "[{}] step {k} ({op}): {}", self.kind, self.detail)
             }
-            _ => write!(f, "[{}] session build: {}", self.kind, self.detail),
+            _ => write!(f, "[{}] hub build: {}", self.kind, self.detail),
         }
     }
 }
@@ -135,12 +137,13 @@ pub fn run_case(case: &Case) -> Result<CaseReport, Divergence> {
     let engine_par = Engine::new(db.clone()).with_parallel(true);
     let engine_ser = Engine::new(db.clone()).with_parallel(false);
     let unl = Guard::unlimited();
-    let mut sp = engine_par
-        .session(&case.state, &unl)
+    let sp = engine_par
+        .hub(&case.state, &unl)
         .map_err(|e| diverge(None, None, "internal", format!("parallel build: {e}")))?;
-    let mut ss = engine_ser
-        .session(&case.state, &unl)
+    let ss = engine_ser
+        .hub(&case.state, &unl)
         .map_err(|e| diverge(None, None, "internal", format!("serial build: {e}")))?;
+    let (wp, ws) = (sp.write_handle(), ss.write_handle());
     let mut mirror = case.state.clone();
     check_sync(None, None, &sp, &ss, &mirror, db, &kd)?;
 
@@ -149,16 +152,16 @@ pub fn run_case(case: &Case) -> Result<CaseReport, Divergence> {
         let ctx = (Some(step), Some(op_str.as_str()));
         match op {
             Op::Insert { rel, t } => {
-                apply_insert(ctx, &mut sp, &mut ss, &mut mirror, db, &kd, *rel, t, None)?;
+                apply_insert(ctx, (&sp, &wp), (&ss, &ws), &mut mirror, db, &kd, *rel, t, None)?;
             }
             Op::BudgetInsert { steps, rel, t } => {
-                apply_insert(ctx, &mut sp, &mut ss, &mut mirror, db, &kd, *rel, t, Some(*steps))?;
+                apply_insert(ctx, (&sp, &wp), (&ss, &ws), &mut mirror, db, &kd, *rel, t, Some(*steps))?;
             }
             Op::Delete { rel, t } => {
-                apply_delete(ctx, &mut sp, &mut ss, &mut mirror, *rel, t, None)?;
+                apply_delete(ctx, (&sp, &wp), (&ss, &ws), &mut mirror, *rel, t, None)?;
             }
             Op::BudgetDelete { steps, rel, t } => {
-                apply_delete(ctx, &mut sp, &mut ss, &mut mirror, *rel, t, Some(*steps))?;
+                apply_delete(ctx, (&sp, &wp), (&ss, &ws), &mut mirror, *rel, t, Some(*steps))?;
             }
             Op::Query { x } => {
                 run_query(ctx, &sp, &ss, &mirror, db, &kd, *x, None)?;
@@ -184,25 +187,26 @@ pub fn run_case(case: &Case) -> Result<CaseReport, Divergence> {
     })
 }
 
-/// After every op: both sessions' base states equal the mirror, and all
-/// three oracles agree on the consistency verdict.
+/// After every op: both hubs' published snapshot states equal the
+/// mirror, and all three oracles agree on the consistency verdict.
 fn check_sync(
     step: Option<usize>,
     op: Option<&str>,
-    sp: &Session<'_>,
-    ss: &Session<'_>,
+    sp: &Hub<'_>,
+    ss: &Hub<'_>,
     mirror: &DatabaseState,
     db: &DatabaseScheme,
     kd: &KeyDeps,
 ) -> Result<(), Divergence> {
     let want = fingerprint(mirror);
     for (label, s) in [("parallel", sp), ("serial", ss)] {
-        if fingerprint(s.state()) != want {
+        let view = s.read_view();
+        if fingerprint(view.state()) != want {
             return Err(diverge(
                 step,
                 op,
                 "state",
-                format!("{label} session base state differs from the interpreter mirror"),
+                format!("{label} hub snapshot state differs from the interpreter mirror"),
             ));
         }
     }
@@ -214,7 +218,7 @@ fn check_sync(
                 op,
                 "verdict",
                 format!(
-                    "{label} session says consistent={}, naive chase says {}",
+                    "{label} hub says consistent={}, naive chase says {}",
                     s.is_consistent(),
                     naive
                 ),
@@ -227,8 +231,8 @@ fn check_sync(
 #[allow(clippy::too_many_arguments)]
 fn apply_insert(
     (step, op): (Option<usize>, Option<&str>),
-    sp: &mut Session<'_>,
-    ss: &mut Session<'_>,
+    (sp, wp): (&Hub<'_>, &WriteHandle<'_>),
+    (ss, ws): (&Hub<'_>, &WriteHandle<'_>),
     mirror: &mut DatabaseState,
     db: &DatabaseScheme,
     kd: &KeyDeps,
@@ -238,8 +242,8 @@ fn apply_insert(
 ) -> Result<(), Divergence> {
     let pre_consistent = naive_consistent(db, kd, mirror);
     let guard = || steps.map_or_else(Guard::unlimited, step_guard);
-    let rp = sp.insert(rel, t.clone(), &guard());
-    let rs = ss.insert(rel, t.clone(), &guard());
+    let rp = wp.insert(rel, t.clone(), &guard());
+    let rs = ws.insert(rel, t.clone(), &guard());
     if class_of(&rp) != class_of(&rs) {
         return Err(diverge(
             step,
@@ -286,10 +290,11 @@ fn apply_insert(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_delete(
     (step, op): (Option<usize>, Option<&str>),
-    sp: &mut Session<'_>,
-    ss: &mut Session<'_>,
+    (sp, wp): (&Hub<'_>, &WriteHandle<'_>),
+    (ss, ws): (&Hub<'_>, &WriteHandle<'_>),
     mirror: &mut DatabaseState,
     rel: usize,
     t: &Tuple,
@@ -297,8 +302,8 @@ fn apply_delete(
 ) -> Result<(), Divergence> {
     let present = mirror.relation(rel).contains(t);
     let guard = || steps.map_or_else(Guard::unlimited, step_guard);
-    let rp = sp.delete(rel, t, &guard());
-    let rs = ss.delete(rel, t, &guard());
+    let rp = wp.delete(rel, t, &guard());
+    let rs = ws.delete(rel, t, &guard());
     if class_of(&rp) != class_of(&rs) {
         return Err(diverge(
             step,
@@ -337,7 +342,7 @@ fn apply_delete(
 /// direction; a dropped base tuple breaks it in the other.
 fn probe_after_err(
     (step, op): (Option<usize>, Option<&str>),
-    s: &Session<'_>,
+    s: &Hub<'_>,
     label: &str,
     t: &Tuple,
 ) -> Result<(), Divergence> {
@@ -345,7 +350,7 @@ fn probe_after_err(
         return Ok(());
     }
     let x = t.attrs();
-    let Ok(Some(answer)) = s.total_projection(x, &Guard::unlimited()) else {
+    let Ok(Some(answer)) = s.read_view().total_projection(x, &Guard::unlimited()) else {
         return Ok(());
     };
     let member = answer.contains(t);
@@ -356,7 +361,7 @@ fn probe_after_err(
             op,
             "probe",
             format!(
-                "{label} session after Err: answer membership {member} but tableau witness {witnessed}"
+                "{label} hub after Err: answer membership {member} but tableau witness {witnessed}"
             ),
         ));
     }
@@ -366,8 +371,8 @@ fn probe_after_err(
 #[allow(clippy::too_many_arguments)]
 fn run_query(
     (step, op): (Option<usize>, Option<&str>),
-    sp: &Session<'_>,
-    ss: &Session<'_>,
+    sp: &Hub<'_>,
+    ss: &Hub<'_>,
     mirror: &DatabaseState,
     db: &DatabaseScheme,
     kd: &KeyDeps,
@@ -375,8 +380,8 @@ fn run_query(
     steps: Option<u64>,
 ) -> Result<(), Divergence> {
     let guard = || steps.map_or_else(Guard::unlimited, step_guard);
-    let rp = sp.total_projection(x, &guard());
-    let rs = ss.total_projection(x, &guard());
+    let rp = sp.read_view().total_projection(x, &guard());
+    let rs = ss.read_view().total_projection(x, &guard());
     if class_of(&rp) != class_of(&rs) {
         return Err(diverge(
             step,
@@ -407,7 +412,7 @@ fn run_query(
                 op,
                 "answer",
                 format!(
-                    "session answer {:?} tuples vs naive chase {:?} tuples",
+                    "hub answer {:?} tuples vs naive chase {:?} tuples",
                     ap.as_ref().map(Vec::len),
                     naive.as_ref().map(Vec::len)
                 ),
@@ -419,14 +424,14 @@ fn run_query(
 
 fn run_explain(
     (step, op): (Option<usize>, Option<&str>),
-    sp: &Session<'_>,
-    ss: &Session<'_>,
+    sp: &Hub<'_>,
+    ss: &Hub<'_>,
     x: AttrSet,
 ) -> Result<(), Divergence> {
     if !sp.is_consistent() {
         return Ok(());
     }
-    let Ok(Some(answer)) = sp.total_projection(x, &Guard::unlimited()) else {
+    let Ok(Some(answer)) = sp.read_view().total_projection(x, &Guard::unlimited()) else {
         return Ok(());
     };
     for t in &answer {
@@ -452,8 +457,8 @@ fn run_poison(
     (step, op): (Option<usize>, Option<&str>),
     engine_par: &Engine,
     engine_ser: &Engine,
-    sp: &Session<'_>,
-    ss: &Session<'_>,
+    sp: &Hub<'_>,
+    ss: &Hub<'_>,
     mirror: &DatabaseState,
     db: &DatabaseScheme,
     kd: &KeyDeps,
@@ -469,7 +474,7 @@ fn run_poison(
     engine_ser.inject_expr_cache_panic();
     for (label, s) in [("parallel", sp), ("serial", ss)] {
         let probed = catch_unwind(AssertUnwindSafe(|| {
-            s.total_projection(x, &Guard::unlimited())
+            s.read_view().total_projection(x, &Guard::unlimited())
         }));
         match probed {
             Err(_) => {
@@ -477,7 +482,7 @@ fn run_poison(
                     step,
                     op,
                     "panic",
-                    format!("{label} session panicked on the first query after poisoning"),
+                    format!("{label} hub panicked on the first query after poisoning"),
                 ));
             }
             Ok(Err(ExecError::Faulted { .. })) => {}
@@ -487,7 +492,7 @@ fn run_poison(
                     op,
                     "poison",
                     format!(
-                        "{label} session returned {} instead of a typed fault",
+                        "{label} hub returned {} instead of a typed fault",
                         class_of(&other)
                     ),
                 ));
@@ -495,12 +500,12 @@ fn run_poison(
         }
         // Recovery: the cache was cleared, the next query recomputes and
         // must agree with the naive chase.
-        let recovered = s.total_projection(x, &Guard::unlimited()).map_err(|e| {
+        let recovered = s.read_view().total_projection(x, &Guard::unlimited()).map_err(|e| {
             diverge(
                 step,
                 op,
                 "poison",
-                format!("{label} session still failing after recovery: {e}"),
+                format!("{label} hub still failing after recovery: {e}"),
             )
         })?;
         let naive = naive_projection(db, kd, mirror, x);
@@ -527,7 +532,7 @@ fn run_poison(
 fn run_fault_insert(
     (step, op): (Option<usize>, Option<&str>),
     engine: &Engine,
-    sp: &Session<'_>,
+    sp: &Hub<'_>,
     mirror: &DatabaseState,
     db: &DatabaseScheme,
     kd: &KeyDeps,

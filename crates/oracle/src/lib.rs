@@ -36,8 +36,18 @@
 //! verdict, and query answers match a never-partitioned baseline
 //! (`idr fuzz --sync`), shrinking failures to replayable scenario
 //! files.
+//!
+//! The seventh arm targets the concurrent serving layer:
+//! [`concurrent::concurrent_fuzz`] races client threads over one hub,
+//! records the committed op order through the durability sink, and
+//! asserts that a serial replay of that order reproduces the
+//! concurrent final state byte for byte — Theorem 4.2's commutation
+//! claim under real threads (`idr fuzz --concurrent`). Its crash-side
+//! twin, [`crash::concurrent_crash_fuzz`], cuts a group-commit WAL at
+//! every byte, mid-batch included (`idr fuzz --crash --concurrent`).
 
 #![warn(missing_docs)]
+pub mod concurrent;
 pub mod crash;
 pub mod gen;
 pub mod interp;
@@ -47,7 +57,8 @@ pub mod sync_fuzz;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-pub use crash::{crash_fuzz, CrashFailure, CrashFuzzSummary};
+pub use concurrent::{concurrent_fuzz, ConcurrentFailure, ConcurrentFuzzSummary};
+pub use crash::{concurrent_crash_fuzz, crash_fuzz, CrashFailure, CrashFuzzSummary};
 pub use interp::{CaseReport, Divergence};
 pub use ops::Case;
 pub use sync_fuzz::{sync_fuzz, SyncFailure, SyncFuzzSummary};

@@ -1,0 +1,449 @@
+//! Group commit: coalescing concurrent writers' WAL appends into one
+//! framed batch and one fsync.
+//!
+//! [`GroupWal`] wraps the open [`WalWriter`] behind a leader/follower
+//! protocol. Every append enqueues its payload and then either
+//!
+//! * finds its record already durable (a concurrent leader's batch
+//!   carried it) and returns, or
+//! * becomes the **leader**: it optionally sleeps for the commit window,
+//!   drains the whole pending queue, writes the batch and pays **one**
+//!   fsync for all of it — while followers whose records ride in the
+//!   batch block on a condvar until the leader publishes durability.
+//!
+//! The queue assigns sequence numbers in arrival order and the leader
+//! writes the drained batch in that order, so the on-disk record order
+//! equals enqueue order — per-writer (and therefore per-block) WAL order
+//! is preserved, which is what keeps serial replay of the log equal to
+//! the concurrent execution (Theorem 4.2).
+//!
+//! With a zero window and a single caller, every append is its own
+//! leader and its own batch: byte-for-byte the classic one-fsync-per-op
+//! WAL. Under concurrency batching emerges naturally even at window
+//! zero, because appends arriving while the leader is inside `fsync`
+//! pile up for the next batch.
+//!
+//! A failed batch write/fsync is **sticky**: the error is broadcast to
+//! every waiter and every later append — a WAL that may have lost a
+//! committed-ack'd record must not accept new ops.
+//!
+//! [`SharedStore`] layers the rest of the store contract on top: it
+//! implements the engine's [`DurabilitySink`] (the `&self`, many-writer
+//! shape) by rendering ops under a short store lock, appending
+//! through the group WAL *without* holding the store lock, and cutting
+//! quiesced snapshots when the cadence says one is due.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use idr_core::durability::{DurabilitySink, DurableOp};
+use idr_obs::{MetricsRegistry, TraceEvent, TraceHandle};
+use idr_relation::exec::ExecError;
+use idr_relation::DatabaseState;
+
+use crate::error::StoreError;
+use crate::store::{Store, ABORT_PAYLOAD};
+use crate::wal::WalWriter;
+
+/// The append queue the leader drains. Sequence numbers are assigned at
+/// enqueue; `durable_seq` advances only when a batch's fsync returns.
+#[derive(Debug, Default)]
+struct Queue {
+    pending: VecDeque<String>,
+    /// Seq of the most recently enqueued record (first record is 1).
+    next_seq: u64,
+    /// Seq of the last record drained into a batch.
+    taken_seq: u64,
+    /// Seq of the last record known durable.
+    durable_seq: u64,
+    /// A leader is currently writing a batch.
+    leader_active: bool,
+    /// Sticky batch failure: set once, broadcast to every waiter and
+    /// every later append.
+    failed: Option<StoreError>,
+}
+
+/// Grouping configuration + observability, settable after construction.
+#[derive(Debug, Default)]
+struct GroupCfg {
+    /// How long a leader lingers before draining the queue, to let
+    /// concurrent appends pile into its batch. Zero: drain immediately.
+    window: Duration,
+    /// Emit `group_committed` events and `store.group_*` metrics. Off
+    /// for the single-writer legacy path so its event stream is
+    /// unchanged.
+    grouping: bool,
+    tracer: TraceHandle,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+/// The group-commit WAL: an open [`WalWriter`] behind the
+/// leader/follower batching protocol (see the module docs).
+#[derive(Debug)]
+pub struct GroupWal {
+    writer: Mutex<WalWriter>,
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    cfg: Mutex<GroupCfg>,
+    batches: AtomicU64,
+    fsyncs: AtomicU64,
+}
+
+fn relock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl GroupWal {
+    /// Wraps an open writer. Grouping starts disabled (every append is
+    /// its own batch — classic per-op commit); [`SharedStore::new`]
+    /// enables it.
+    pub fn new(writer: WalWriter) -> GroupWal {
+        GroupWal {
+            writer: Mutex::new(writer),
+            queue: Mutex::new(Queue::default()),
+            cond: Condvar::new(),
+            cfg: Mutex::new(GroupCfg::default()),
+            batches: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns on group observability (events + metrics) and sets the
+    /// commit window.
+    pub(crate) fn enable_grouping(
+        &self,
+        window: Duration,
+        tracer: TraceHandle,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) {
+        *relock(&self.cfg) = GroupCfg {
+            window,
+            grouping: true,
+            tracer,
+            metrics,
+        };
+    }
+
+    /// Changes the commit window (leader linger time).
+    pub fn set_window(&self, window: Duration) {
+        relock(&self.cfg).window = window;
+    }
+
+    /// Changes the fsync-per-batch policy on the underlying writer.
+    pub(crate) fn set_sync(&self, sync: bool) {
+        relock(&self.writer).set_sync(sync);
+    }
+
+    /// Swaps in a fresh writer (snapshot rotation). The caller must have
+    /// quiesced appends — the store only rotates from a safe point with
+    /// no op in flight.
+    pub(crate) fn swap_writer(&self, new: WalWriter) {
+        let q = relock(&self.queue);
+        debug_assert!(
+            q.pending.is_empty() && !q.leader_active,
+            "WAL rotation with appends in flight"
+        );
+        drop(q);
+        *relock(&self.writer) = new;
+    }
+
+    /// Batches committed so far (each batch = one commit barrier, one
+    /// fsync when the sync policy is on).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// fsyncs actually issued for batches (0 when the sync policy is
+    /// off; then [`batches`](GroupWal::batches) still counts barriers).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Appends one payload through the group-commit protocol and returns
+    /// once it is durable (or the sync policy is off and it is written).
+    /// Returns the framed record's size in bytes.
+    ///
+    /// Record order on disk equals the arrival order of `append` calls,
+    /// so callers that serialize their own ops (the per-block write
+    /// lanes) keep their WAL order.
+    pub fn append(&self, payload: &str) -> Result<usize, StoreError> {
+        let framed = crate::wal::RECORD_HEADER_LEN + payload.len();
+        let mut q = relock(&self.queue);
+        if let Some(e) = &q.failed {
+            return Err(e.clone());
+        }
+        q.next_seq += 1;
+        let my_seq = q.next_seq;
+        q.pending.push_back(payload.to_string());
+        loop {
+            if let Some(e) = &q.failed {
+                return Err(e.clone());
+            }
+            if q.durable_seq >= my_seq {
+                return Ok(framed);
+            }
+            if !q.leader_active {
+                q.leader_active = true;
+                break;
+            }
+            q = self
+                .cond
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // Leader. Linger for the window so concurrent appends can pile
+        // into this batch, then drain everything pending.
+        let window = relock(&self.cfg).window;
+        if !window.is_zero() {
+            drop(q);
+            std::thread::sleep(window);
+            q = relock(&self.queue);
+        }
+        let batch: Vec<String> = q.pending.drain(..).collect();
+        let batch_end = q.taken_seq + batch.len() as u64;
+        q.taken_seq = batch_end;
+        drop(q);
+
+        // One write pass + one fsync for the whole batch, outside the
+        // queue lock so followers can keep enqueuing for the next batch.
+        let t0 = Instant::now();
+        let wrote: Result<(usize, bool), StoreError> = (|| {
+            let mut w = relock(&self.writer);
+            let mut bytes = 0usize;
+            for p in &batch {
+                bytes += w.append_unsynced(p)?;
+            }
+            let synced = w.sync_now()?;
+            Ok((bytes, synced))
+        })();
+
+        let mut q = relock(&self.queue);
+        q.leader_active = false;
+        let out = match wrote {
+            Ok((bytes, synced)) => {
+                q.durable_seq = batch_end;
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                if synced {
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                let cfg = relock(&self.cfg);
+                if cfg.grouping {
+                    let ops = batch.len();
+                    cfg.tracer
+                        .emit_with(|| TraceEvent::GroupCommitted { ops, bytes });
+                    if let Some(m) = &cfg.metrics {
+                        m.counter("store.group_batches").inc();
+                        m.counter("store.group_ops").add(ops as u64);
+                        if synced {
+                            m.counter("store.fsyncs").inc();
+                        }
+                        m.latency_histogram("store.group_commit_us")
+                            .observe_duration(t0.elapsed());
+                    }
+                }
+                Ok(framed)
+            }
+            Err(e) => {
+                // Sticky: a batch that may have half-landed must fail
+                // every rider and every later append.
+                q.failed = Some(e.clone());
+                Err(e)
+            }
+        };
+        drop(q);
+        self.cond.notify_all();
+        out
+    }
+}
+
+/// A [`Store`] shared by concurrent writers: the engine's owned
+/// [`DurabilitySink`], with group-commit WAL appends.
+///
+/// The store proper (symbol table, counters, snapshot rotation) sits
+/// behind a mutex that is only held for short render/bookkeeping
+/// sections; the WAL append — the slow, fsyncing part — goes through the
+/// lock-free-to-enqueue [`GroupWal`], so writers on different blocks
+/// overlap their commits into shared batches.
+///
+/// ```
+/// use std::sync::Arc;
+/// use idr_core::Engine;
+/// use idr_relation::exec::Guard;
+/// use idr_relation::parse::{parse_scheme, parse_tuple_line};
+/// use idr_store::{SharedStore, Store};
+///
+/// let db = parse_scheme(
+///     "universe: A B C D\n\
+///      scheme R1: A B keys A\n\
+///      scheme R2: C D keys C\n",
+/// )
+/// .unwrap();
+/// let dir = idr_store::tempdir::TempDir::new("shared-doc");
+/// let shared = Arc::new(SharedStore::new(Store::init(dir.path(), &db).unwrap()));
+///
+/// let engine = Engine::new(db.clone());
+/// let guard = Guard::unlimited();
+/// let state = idr_relation::DatabaseState::empty(&db);
+/// let hub = engine.hub_with(&state, &guard, shared.clone()).unwrap();
+/// let symbols = shared.symbols();
+/// let (rel, t) = parse_tuple_line("R1: A=a B=b", &db, &mut symbols.lock().unwrap()).unwrap();
+/// assert!(hub.write_handle().insert(rel, t, &guard).unwrap());
+/// assert_eq!(shared.lock().wal_records(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedStore {
+    inner: Mutex<Store>,
+    wal: Arc<GroupWal>,
+}
+
+impl SharedStore {
+    /// Wraps a store for concurrent use, enabling group commit with a
+    /// zero window (batching still emerges under concurrency; see
+    /// [`with_group_window`](SharedStore::with_group_window)).
+    pub fn new(store: Store) -> SharedStore {
+        let wal = store.group_wal();
+        wal.enable_grouping(Duration::ZERO, store.tracer(), store.metrics());
+        SharedStore {
+            inner: Mutex::new(store),
+            wal,
+        }
+    }
+
+    /// Sets the group-commit window: how long a commit leader lingers to
+    /// let concurrent writers join its batch. Zero (the default) trades
+    /// no latency; a few hundred microseconds buys bigger batches under
+    /// load.
+    pub fn with_group_window(self, window: Duration) -> Self {
+        self.wal.set_window(window);
+        self
+    }
+
+    /// Locks the underlying store (snapshot cutting, counters, epoch —
+    /// the bookkeeping surface). Never held across an append.
+    pub fn lock(&self) -> MutexGuard<'_, Store> {
+        relock(&self.inner)
+    }
+
+    /// The canonical symbol table of the data dir (see
+    /// [`Store::symbols`]).
+    pub fn symbols(&self) -> Arc<Mutex<idr_relation::SymbolTable>> {
+        self.lock().symbols()
+    }
+
+    /// The group WAL, for batch/fsync counters.
+    pub fn group_wal(&self) -> Arc<GroupWal> {
+        Arc::clone(&self.wal)
+    }
+}
+
+impl DurabilitySink for SharedStore {
+    fn log_op(&self, op: DurableOp<'_>) -> Result<(), ExecError> {
+        let t0 = Instant::now();
+        let (verb, payload) = self.lock().render_op(op)?;
+        // The slow part — batched write + fsync — runs with the store
+        // lock *released*, so concurrent renders/bookkeeping proceed.
+        let bytes = self.wal.append(&payload)?;
+        let mut store = self.lock();
+        store.note_append(verb, bytes);
+        if let Some(m) = store.metrics() {
+            m.latency_histogram("store.commit_us")
+                .observe_duration(t0.elapsed());
+        }
+        Ok(())
+    }
+
+    fn log_abort(&self) -> Result<(), ExecError> {
+        let bytes = self.wal.append(ABORT_PAYLOAD)?;
+        let mut store = self.lock();
+        store.note_append("abort", bytes);
+        store.note_abort();
+        Ok(())
+    }
+
+    fn op_finished(&self) -> Result<bool, ExecError> {
+        Ok(self.lock().snapshot_due())
+    }
+
+    fn write_snapshot(&self, state: &DatabaseState) -> Result<(), ExecError> {
+        self.lock().snapshot(state)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use crate::wal;
+
+    fn writer(dir: &TempDir, sync: bool) -> WalWriter {
+        WalWriter::create(&dir.path().join("wal-0.log"), sync).unwrap()
+    }
+
+    #[test]
+    fn single_threaded_zero_window_is_one_batch_per_op() {
+        let dir = TempDir::new("group-serial");
+        let g = GroupWal::new(writer(&dir, false));
+        for i in 0..5 {
+            g.append(&format!("insert R1: A=a{i} B=b")).unwrap();
+        }
+        assert_eq!(g.batches(), 5, "no concurrency, no batching");
+        let scan = wal::scan_file(&dir.path().join("wal-0.log")).unwrap();
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.records[3], "insert R1: A=a3 B=b");
+    }
+
+    #[test]
+    fn concurrent_appends_all_land_in_arrival_order_with_fewer_batches() {
+        let dir = TempDir::new("group-concurrent");
+        let g = Arc::new(GroupWal::new(writer(&dir, false)));
+        g.set_window(Duration::from_micros(300));
+        const WRITERS: usize = 4;
+        const EACH: usize = 25;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    for i in 0..EACH {
+                        g.append(&format!("insert R{w}: A=w{w}i{i} B=b")).unwrap();
+                    }
+                });
+            }
+        });
+        let scan = wal::scan_file(&dir.path().join("wal-0.log")).unwrap();
+        assert_eq!(scan.records.len(), WRITERS * EACH, "no record lost");
+        // Per-writer order is preserved even though batches interleave.
+        for w in 0..WRITERS {
+            let mine: Vec<&String> = scan
+                .records
+                .iter()
+                .filter(|r| r.contains(&format!("A=w{w}i")))
+                .collect();
+            assert_eq!(mine.len(), EACH);
+            for (i, r) in mine.iter().enumerate() {
+                assert!(r.contains(&format!("A=w{w}i{i} ")), "writer {w} out of order: {r}");
+            }
+        }
+        assert!(
+            g.batches() <= (WRITERS * EACH) as u64,
+            "batches never exceed appends"
+        );
+    }
+
+    #[test]
+    fn batch_failure_is_sticky_and_broadcast() {
+        let dir = TempDir::new("group-fail");
+        let g = GroupWal::new(writer(&dir, false));
+        g.append("insert R1: A=a B=b").unwrap();
+        // Poison the queue the way a failed batch would.
+        relock(&g.queue).failed = Some(StoreError::Replay {
+            detail: "injected batch failure".to_string(),
+        });
+        let err = g.append("insert R1: A=a2 B=b").unwrap_err();
+        assert!(matches!(err, StoreError::Replay { .. }), "{err:?}");
+        // Still failing: no recovery without reopening the store.
+        assert!(g.append("abort").is_err());
+    }
+}

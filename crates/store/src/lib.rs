@@ -16,25 +16,31 @@
 //!   truncates a crash-torn final WAL record (a checksum-mismatched
 //!   *complete* record is instead a typed [`StoreError::Corrupt`]),
 //!   drops aborted ops, and replays the rest through the normal guarded
-//!   [`Session`](idr_core::Session) path — the recovered state
+//!   [`WriteHandle`](idr_core::WriteHandle) path — the recovered state
 //!   *re-earns* its consistency verdict rather than trusting the log.
 //!
-//! [`Store`] implements the engine's
-//! [`Durability`](idr_core::durability::Durability) hook; attach one
-//! with [`Session::with_durability`](idr_core::Session::with_durability)
-//! and every mutation is committed to the log before memory changes,
-//! with the engine's rollback-on-`Err` paths mirrored by abort markers.
+//! [`SharedStore`] wraps a [`Store`] as the engine's owned
+//! [`DurabilitySink`](idr_core::DurabilitySink): hand one to
+//! [`Engine::hub_with`](idr_core::Engine::hub_with) and every mutation
+//! from every [`WriteHandle`](idr_core::WriteHandle) is committed to
+//! the log before memory changes, with the engine's rollback-on-`Err`
+//! paths mirrored by abort markers. Concurrent writers' appends are
+//! coalesced by [`GroupWal`] into one framed batch and **one fsync**
+//! (group commit). The bare [`Store`] still implements the legacy
+//! single-threaded [`Durability`](idr_core::durability::Durability)
+//! hook for the deprecated `Session` shim.
 //!
 //! # Examples
 //!
-//! Initialise a data dir, mutate durably, "crash" (drop everything),
-//! recover, and observe the same state:
+//! Initialise a data dir, mutate durably through a hub, "crash" (drop
+//! everything), recover, and observe the same state:
 //!
 //! ```
+//! use std::sync::Arc;
 //! use idr_core::Engine;
 //! use idr_relation::exec::Guard;
 //! use idr_relation::parse::{parse_scheme, parse_tuple_line};
-//! use idr_store::{recover, Store};
+//! use idr_store::{recover, SharedStore, Store};
 //!
 //! let db = parse_scheme(
 //!     "universe: A B C D\n\
@@ -44,7 +50,7 @@
 //! .unwrap();
 //! let dir = idr_store::tempdir::TempDir::new("doc-example");
 //!
-//! let mut store = Store::init(dir.path(), &db).unwrap();
+//! let store = Arc::new(SharedStore::new(Store::init(dir.path(), &db).unwrap()));
 //! let engine = Engine::new(db.clone());
 //! let guard = Guard::unlimited();
 //! {
@@ -55,11 +61,9 @@
 //!         &mut symbols.lock().unwrap(),
 //!     )
 //!     .unwrap();
-//!     let mut session = engine
-//!         .session(&idr_relation::DatabaseState::empty(&db), &guard)
-//!         .unwrap()
-//!         .with_durability(&mut store);
-//!     assert!(session.insert(rel, t, &guard).unwrap());
+//!     let state = idr_relation::DatabaseState::empty(&db);
+//!     let hub = engine.hub_with(&state, &guard, store.clone()).unwrap();
+//!     assert!(hub.write_handle().insert(rel, t, &guard).unwrap());
 //! }
 //! drop(store); // simulate process death
 //!
@@ -73,6 +77,7 @@
 
 pub mod crc32;
 pub mod error;
+pub mod group;
 pub mod recover;
 pub mod snapshot;
 pub mod store;
@@ -80,6 +85,7 @@ pub mod tempdir;
 pub mod wal;
 
 pub use error::StoreError;
+pub use group::{GroupWal, SharedStore};
 pub use recover::{recover, recover_with, Recovered, RecoveryStats};
 pub use store::Store;
 pub use tempdir::TempDir;

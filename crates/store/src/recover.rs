@@ -1,5 +1,5 @@
 //! Crash recovery: latest valid snapshot + WAL tail, replayed through
-//! the normal guarded [`Session`](idr_core::Session) path.
+//! the normal guarded [`WriteHandle`](idr_core::WriteHandle) path.
 //!
 //! Recovery never trusts the log's word for a verdict: every surviving
 //! op is re-executed through the same engine code that ran it the first
@@ -16,10 +16,14 @@
 //!    repaired silently;
 //! 4. drop each op record immediately followed by an `abort` marker
 //!    (the engine rolled that op back before the crash);
-//! 5. replay the survivors through `Engine::session` +
-//!    `insert`/`delete` under an unlimited guard — rejected inserts
-//!    re-reject deterministically, re-deriving the same state and
-//!    verdict the process held before it died.
+//! 5. replay the survivors through `Engine::hub` + a `WriteHandle`
+//!    under an unlimited guard — rejected inserts re-reject
+//!    deterministically, re-deriving the same state and verdict the
+//!    process held before it died. The WAL's record order is the
+//!    committed op order even when the log was written by concurrent
+//!    writers under group commit: per-block order is preserved by the
+//!    per-block write lanes, and cross-block ops commute (Theorem 4.2),
+//!    so this serial replay reproduces the concurrent final state.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -122,21 +126,22 @@ pub fn recover_with(
         }
     }
 
-    // Replay through the normal guarded session path.
+    // Replay through the normal guarded write pipeline.
     let engine = Engine::new(db.clone());
     let guard = Guard::unlimited();
     let (state, consistent) = {
-        let mut session = engine.session(&snap_state, &guard).map_err(|e| {
+        let hub = engine.hub(&snap_state, &guard).map_err(|e| {
             StoreError::Replay {
-                detail: format!("cannot bind a session to the snapshot state: {e}"),
+                detail: format!("cannot bind a hub to the snapshot state: {e}"),
             }
         })?;
+        let writer = hub.write_handle();
         for line in pending {
             // The shared replay entry re-earns each op's verdict: a
             // rejected insert re-rejects (including inserts into a block
             // an earlier replayed op already poisoned) — the
             // deterministic re-run of what the op did originally.
-            match session.replay_op(line, &mut symbols, &guard) {
+            match writer.replay_op(line, &mut symbols, &guard) {
                 Ok(ReplayOutcome::Rejected) => stats.rejected += 1,
                 Ok(_) => {}
                 Err(ReplayError::Malformed { detail, .. }) => {
@@ -152,7 +157,8 @@ pub fn recover_with(
             }
             stats.replayed += 1;
         }
-        (session.state().clone(), session.is_consistent())
+        let view = hub.read_view();
+        (view.state().clone(), view.is_consistent())
     };
 
     // Truncate the torn tail and open for appends; sweep stale WALs

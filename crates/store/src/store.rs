@@ -19,6 +19,7 @@ use idr_relation::parse::{render_scheme_file, render_tuple_line};
 use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable, Tuple};
 
 use crate::error::StoreError;
+use crate::group::GroupWal;
 use crate::snapshot::{self, SCHEME_FILE};
 use crate::wal::{self, SegmentDigest, WalWriter};
 
@@ -31,7 +32,7 @@ pub struct Store {
     dir: PathBuf,
     db: DatabaseScheme,
     symbols: Arc<Mutex<SymbolTable>>,
-    wal: WalWriter,
+    wal: Arc<GroupWal>,
     epoch: u64,
     wal_records: u64,
     ops_since_snapshot: u64,
@@ -64,7 +65,7 @@ impl Store {
             dir: dir.to_path_buf(),
             db: db.clone(),
             symbols: Arc::new(Mutex::new(symbols)),
-            wal,
+            wal: Arc::new(GroupWal::new(wal)),
             epoch: 0,
             wal_records: 0,
             ops_since_snapshot: 0,
@@ -91,7 +92,7 @@ impl Store {
             dir,
             db,
             symbols: Arc::new(Mutex::new(symbols)),
-            wal,
+            wal: Arc::new(GroupWal::new(wal)),
             epoch,
             wal_records,
             ops_since_snapshot,
@@ -210,7 +211,8 @@ impl Store {
             snapshot::write_snapshot(&self.dir, next, &self.db, state, &symbols, self.sync)?
         };
         let old_wal = snapshot::wal_path(&self.dir, self.epoch);
-        self.wal = WalWriter::create(&snapshot::wal_path(&self.dir, next), self.sync)?;
+        self.wal
+            .swap_writer(WalWriter::create(&snapshot::wal_path(&self.dir, next), self.sync)?);
         if self.sync {
             snapshot::fsync_dir(&self.dir)?;
         }
@@ -251,7 +253,7 @@ impl Store {
 
     /// Renders `op` as a WAL payload (`insert R1: A=a B=b`). Fails if a
     /// tuple value was not interned through this store's table.
-    fn render_op(&self, op: DurableOp<'_>) -> Result<(&'static str, String), StoreError> {
+    pub(crate) fn render_op(&self, op: DurableOp<'_>) -> Result<(&'static str, String), StoreError> {
         let (verb, rel, t): (&'static str, usize, &Tuple) = match op {
             DurableOp::Insert { rel, t } => ("insert", rel, t),
             DurableOp::Delete { rel, t } => ("delete", rel, t),
@@ -275,6 +277,16 @@ impl Store {
     /// `wal_appended` event.
     fn append(&mut self, verb: &'static str, payload: &str) -> Result<(), StoreError> {
         let bytes = self.wal.append(payload)?;
+        self.note_append(verb, bytes);
+        Ok(())
+    }
+
+    /// Bookkeeping for one appended record: the record counter, the
+    /// `wal_appended` event and the `store.wal_*` metrics. Split from
+    /// [`append`](Store::append) so [`crate::SharedStore`] can run the
+    /// group-commit append *outside* the store lock and account for it
+    /// afterwards.
+    pub(crate) fn note_append(&mut self, verb: &'static str, bytes: usize) {
         self.wal_records += 1;
         self.tracer.emit_with(|| TraceEvent::WalAppended {
             verb: std::sync::Arc::from(verb),
@@ -284,7 +296,36 @@ impl Store {
             m.counter("store.wal_appends").inc();
             m.counter("store.wal_bytes").add(bytes as u64);
         }
-        Ok(())
+    }
+
+    /// Counts one abort marker.
+    pub(crate) fn note_abort(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.counter("store.aborts").inc();
+        }
+    }
+
+    /// Counts one completed op against the snapshot cadence and reports
+    /// whether a snapshot is now due.
+    pub(crate) fn snapshot_due(&mut self) -> bool {
+        self.ops_since_snapshot += 1;
+        self.snapshot_every
+            .is_some_and(|n| self.ops_since_snapshot >= n)
+    }
+
+    /// The group-commit WAL shared with [`crate::SharedStore`].
+    pub(crate) fn group_wal(&self) -> Arc<GroupWal> {
+        Arc::clone(&self.wal)
+    }
+
+    /// The attached trace sink.
+    pub(crate) fn tracer(&self) -> TraceHandle {
+        self.tracer.clone()
+    }
+
+    /// The attached metrics registry.
+    pub(crate) fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.clone()
     }
 }
 
@@ -297,18 +338,13 @@ impl Durability for Store {
 
     fn log_abort(&mut self) -> Result<(), ExecError> {
         self.append("abort", ABORT_PAYLOAD)?;
-        if let Some(m) = &self.metrics {
-            m.counter("store.aborts").inc();
-        }
+        self.note_abort();
         Ok(())
     }
 
     fn op_finished(&mut self, state: &DatabaseState) -> Result<(), ExecError> {
-        self.ops_since_snapshot += 1;
-        if let Some(n) = self.snapshot_every {
-            if self.ops_since_snapshot >= n {
-                self.snapshot(state)?;
-            }
+        if self.snapshot_due() {
+            self.snapshot(state)?;
         }
         Ok(())
     }

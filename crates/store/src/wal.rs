@@ -197,16 +197,38 @@ impl WalWriter {
     /// the engine relies on before mutating memory. Returns the framed
     /// record's size in bytes.
     pub fn append(&mut self, payload: &str) -> Result<usize, StoreError> {
+        let bytes = self.append_unsynced(payload)?;
+        self.sync_now()?;
+        Ok(bytes)
+    }
+
+    /// Appends one record *without* syncing — the group-commit building
+    /// block: a leader appends a whole batch unsynced, then pays one
+    /// [`sync_now`](WalWriter::sync_now) for all of it. Returns the
+    /// framed record's size in bytes.
+    pub fn append_unsynced(&mut self, payload: &str) -> Result<usize, StoreError> {
         let record = encode_record(payload);
         self.file
             .write_all(&record)
             .map_err(|e| StoreError::io("append wal record", &self.path, e))?;
-        if self.sync {
-            self.file
-                .sync_data()
-                .map_err(|e| StoreError::io("sync wal append", &self.path, e))?;
-        }
         Ok(record.len())
+    }
+
+    /// Makes every append so far durable (when the sync policy is on;
+    /// a no-op otherwise). Returns whether an fsync was actually issued.
+    pub fn sync_now(&mut self) -> Result<bool, StoreError> {
+        if !self.sync {
+            return Ok(false);
+        }
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io("sync wal append", &self.path, e))?;
+        Ok(true)
+    }
+
+    /// Whether appends fsync (the commit guarantee).
+    pub fn sync_enabled(&self) -> bool {
+        self.sync
     }
 
     /// The file this writer appends to.

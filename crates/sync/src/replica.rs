@@ -267,10 +267,11 @@ impl Replica {
                 diverged,
                 ..
             } = &mut *self;
-            let mut session = engine.session(&base, guard)?;
+            let hub = engine.hub(&base, guard)?;
+            let writer = hub.write_handle();
             for &(seq, origin) in &order[todo_from..] {
                 let line = journals[origin].op(seq).to_string();
-                match session.replay_op(&line, symbols, guard) {
+                match writer.replay_op(&line, symbols, guard) {
                     Ok(_) => {}
                     Err(ReplayError::Malformed { line, detail }) => {
                         // A malformed journal entry means the peers
@@ -284,7 +285,8 @@ impl Replica {
                     Err(ReplayError::Exec(e)) => return Err(e),
                 }
             }
-            (session.state().clone(), session.is_consistent())
+            let view = hub.read_view();
+            (view.state().clone(), view.is_consistent())
         };
         self.state = state;
         self.consistent = consistent;
@@ -321,8 +323,8 @@ impl Replica {
     /// rendered as sorted `attr=value` lines (`None` when the state is
     /// inconsistent and the query has no defined answer).
     pub fn answer(&self, probe: AttrSet, guard: &Guard) -> Result<Option<Vec<String>>, ExecError> {
-        let session = self.engine.session(&self.state, guard)?;
-        let Some(tuples) = session.total_projection(probe, guard)? else {
+        let hub = self.engine.hub(&self.state, guard)?;
+        let Some(tuples) = hub.read_view().total_projection(probe, guard)? else {
             return Ok(None);
         };
         let db = self.engine.scheme();

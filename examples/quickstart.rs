@@ -38,7 +38,8 @@ fn main() {
     }
 
     // 2. Bind a state: each block is chased separately (in parallel), and
-    //    the session then serves consistency reads and incremental updates.
+    //    the hub then serves consistency reads and incremental updates
+    //    through its split ReadView/WriteHandle API.
     let mut sym = SymbolTable::new();
     let state = state_of(
         db,
@@ -51,8 +52,9 @@ fn main() {
     )
     .expect("state builds");
     let guard = Guard::unlimited();
-    let mut session = engine.session(&state, &guard).expect("chase completes");
-    println!("state consistent: {}", session.is_consistent());
+    let hub = engine.hub(&state, &guard).expect("chase completes");
+    let writer = hub.write_handle();
+    println!("state consistent: {}", hub.is_consistent());
 
     // A consistent insert: the same hour/teacher teaching the same course.
     let u = db.universe();
@@ -62,37 +64,39 @@ fn main() {
         (u.attr_of("T"), sym.intern("chan")),
         (u.attr_of("C"), sym.intern("db")),
     ]);
-    let accepted = session.insert(r3, ok, &guard).expect("within budget");
+    let accepted = writer.insert(r3, ok, &guard).expect("within budget");
     println!(
         "insert <mon9, chan, db> into R3: {}",
         if accepted { "accepted" } else { "rejected" }
     );
 
     // An inconsistent insert: hour mon9 + teacher chan now teach a
-    // different course — violates HT → C. The session rejects it and the
+    // different course — violates HT → C. The writer rejects it and the
     // state is untouched.
     let bad = Tuple::from_pairs([
         (u.attr_of("H"), sym.intern("mon9")),
         (u.attr_of("T"), sym.intern("chan")),
         (u.attr_of("C"), sym.intern("os")),
     ]);
-    let accepted = session.insert(r3, bad, &guard).expect("within budget");
+    let accepted = writer.insert(r3, bad, &guard).expect("within budget");
     println!(
         "insert <mon9, chan, os> into R3: {}",
         if accepted { "accepted" } else { "rejected" }
     );
-    assert!(session.is_consistent());
+    assert!(hub.is_consistent());
 
     // 3. Bounded query answering: which (teacher, course) pairs are known?
     //    Theorem 4.1 gives a predetermined relational expression — the
-    //    engine caches it and the session evaluates it chase-free.
+    //    engine caches it and an epoch-stamped read view evaluates it
+    //    chase-free over its immutable snapshot.
     let x = u.set_of("TC");
     let expr = engine
         .total_projection_expr(x, &guard)
         .expect("within budget")
         .expect("TC is coverable");
     println!("[TC] expression: {}", expr.render(db));
-    let answer = session
+    let view = hub.read_view();
+    let answer = view
         .total_projection(x, &guard)
         .expect("within budget")
         .expect("state is consistent");
@@ -102,7 +106,7 @@ fn main() {
 
     // The chase agrees (it always does — see the differential tests).
     let kd = engine.key_deps();
-    let oracle = total_projection(db, session.state(), kd.full(), x, &guard)
+    let oracle = total_projection(db, view.state(), kd.full(), x, &guard)
         .expect("within budget")
         .expect("consistent");
     assert_eq!(answer, oracle);

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Seeded offline smoke benchmark (no criterion, no network): builds the
 # tier-1-safe `bench` package, runs it on the synthetic block-chain
-# families, writes the output JSON (default BENCH_pr6.json, override with
+# families, writes the output JSON (default BENCH_pr7.json, override with
 # the first argument), and asserts:
 #
 #   * the PR 2 headline — the indexed incremental engine beats the naive
@@ -14,11 +14,15 @@
 #   * the PR 6 headline — three replicas running the largest family's
 #     insert stream converge under all three fault plans (clean, lossy,
 #     partition + crash), with deterministic rounds-to-convergence and
-#     ops-shipped counts in the `sync` section.
+#     ops-shipped counts in the `sync` section;
+#   * the PR 7 headline — the concurrent hub over the group-commit WAL
+#     serves a fixed durable op budget faster with 4 clients than with 1
+#     (clients ride shared commit barriers), and grouping cuts
+#     fsyncs-per-op below the classic one-fsync-per-op discipline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr6.json}"
+OUT="${1:-BENCH_pr7.json}"
 
 cargo build -p bench --release
 ./target/release/bench-smoke > "$OUT"
@@ -36,11 +40,11 @@ stream = largest["insert_stream_ms"]
 print(f"largest family: {largest['name']} ({largest['tuples']} tuples)")
 print(f"  full chase : naive {full['naive']:.3f} ms  vs  incremental {full['incremental']:.3f} ms")
 print(f"  insert x{stream['inserts']}: naive re-chase {stream['naive_rechase']:.3f} ms  vs  "
-      f"engine session {stream['engine_session']:.3f} ms  ({stream['speedup']:.1f}x)")
+      f"hub stream {stream['hub_stream']:.3f} ms  ({stream['speedup']:.1f}x)")
 
 assert full["incremental"] < full["naive"], "incremental chase must beat the naive chase"
-assert stream["engine_session"] < stream["naive_rechase"], \
-    "engine insert stream must beat re-chase-from-scratch"
+assert stream["hub_stream"] < stream["naive_rechase"], \
+    "hub insert stream must beat re-chase-from-scratch"
 print("OK: incremental engine beats the naive chase on the largest family")
 
 for fam in doc["families"]:
@@ -84,4 +88,28 @@ faulty = sync["plans"][2]
 assert faulty["rounds_to_convergence"] >= clean["rounds_to_convergence"], \
     "partition+crash should not converge faster than the clean network"
 print("OK: replicas converge under clean, lossy and partition+crash plans")
+
+# Serving section: the durable hub under 1/2/4/8 client threads, plus
+# the group-commit fsync accounting. Commit latency (window + fsync)
+# dominates per-op cost, so more clients per batch must mean more
+# throughput — even on a single core.
+serve = doc["serve"]
+by_clients = {c["clients"]: c for c in serve["clients"]}
+for c in serve["clients"]:
+    print(f"serve {c['clients']} client(s): {c['inserts']} insert(s) + {c['queries']} quer(ies) "
+          f"in {c['wall_ms']:.1f} ms = {c['ops_per_sec']:.0f} ops/s")
+assert by_clients[4]["ops_per_sec"] > by_clients[1]["ops_per_sec"], \
+    "4 concurrent clients must out-serve 1 (group commit amortises the barrier)"
+print("OK: 4-client throughput beats 1-client on the durable serving path")
+
+gc = {g["mode"]: g for g in serve["group_commit"]}
+for mode in ("per_op", "grouped"):
+    g = gc[mode]
+    print(f"group_commit {mode}: {g['clients']} client(s), window {g['window_us']} us, "
+          f"{g['fsyncs']} fsync(s) / {g['inserts']} op(s) = {g['fsyncs_per_op']:.3f} fsyncs/op")
+assert gc["per_op"]["fsyncs_per_op"] >= 1.0, \
+    "zero-window single-writer WAL must fsync every op"
+assert gc["grouped"]["fsyncs_per_op"] < gc["per_op"]["fsyncs_per_op"], \
+    "group commit must reduce fsyncs-per-op below the per-op discipline"
+print("OK: group commit measurably reduces fsyncs-per-op")
 EOF

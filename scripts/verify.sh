@@ -31,6 +31,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 # failures shrink to replayable scenario files. Exits 8 on any miss.
 ./target/release/idr fuzz --sync --seed 42 --cases 200
 
+# Concurrent-serving fuzzing: 100 random op schedules run through the
+# hub under racing client threads, the final state diffed against a
+# serial replay of the committed WAL order (Thm 4.2: cross-block ops
+# commute, so the two must agree byte for byte). Exits 8 on any miss.
+./target/release/idr fuzz --concurrent --seed 42 --cases 100
+
+# Mid-batch crash cuts on the group-commit WAL: concurrent durable
+# streams, the log truncated inside coalesced batches, each cut
+# recovered and checked against the committed-prefix oracle.
+./target/release/idr fuzz --crash --concurrent --seed 20260806 --cases 100
+
 # The checked-in demo scenario must converge (and exercises the CLI
 # round-trace path end to end).
 ./target/release/idr sync examples/scenarios/partition-heal.txt > /dev/null

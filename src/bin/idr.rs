@@ -42,10 +42,11 @@
 //! idr closure  <UNIVERSE> <FDS> <X>   # e.g. idr closure ABCD "AB->C, C->D" AB
 //! idr fuzz     [--seed N] [--cases K] [--shrink] [--out DIR]
 //! idr fuzz     --replay <fixture-file>
-//! idr fuzz     --crash [--seed N] [--cases K]
+//! idr fuzz     --crash [--concurrent] [--seed N] [--cases K]
 //! idr fuzz     --sync  [--seed N] [--cases K] [--out DIR]
+//! idr fuzz     --concurrent [--seed N] [--cases K] [--out DIR]
 //! idr init     <data-dir> <scheme-file>
-//! idr serve    --data-dir <dir> [--snapshot-every N]   # ops from stdin
+//! idr serve    --data-dir <dir> [--snapshot-every N] [--clients N] [--group-commit-window US]
 //! idr recover  --data-dir <dir> [<ATTR> ...]
 //! idr sync     <scenario-file>        # scripted replication scenario
 //! idr demo                            # runs on the paper's Example 1
@@ -61,13 +62,29 @@
 //! `delete R1: A=a B=b`, `query A B`, `quit` — logging every mutation to
 //! the WAL *before* applying it in memory, and (with `--snapshot-every`)
 //! cutting a snapshot and rotating the log every N completed ops.
+//! `--clients N` serves mutations through N concurrent writer lanes over
+//! one shared hub (responses are tagged `[op K]` and may interleave);
+//! `--group-commit-window US` lets a commit leader linger US
+//! microseconds so concurrent lanes share one WAL batch and one fsync.
+//! Queries answer from an epoch-stamped snapshot and never block the
+//! lanes.
 //! `idr recover` replays snapshot + WAL tail through the guarded engine,
 //! reports what it found (records replayed, aborts honoured, torn bytes
 //! truncated) and the re-earned consistency verdict; trailing attribute
 //! names run one query against the recovered state. `idr fuzz --crash`
 //! is the matching oracle: it cuts the WAL at every byte boundary,
 //! recovers, and differentially compares state, verdict and answers
-//! against a session that never crashed (exit 8 on any mismatch).
+//! against a run that never crashed (exit 8 on any mismatch); with
+//! `--concurrent` the live run is multi-writer over a group-commit
+//! store, so the cuts land mid-batch and each prefix is checked
+//! against a serial replay of the surviving committed order.
+//!
+//! `idr fuzz --concurrent` is the serving-layer oracle: client threads
+//! race over one hub while the durability sink records the committed
+//! op order, and a serial replay of that order must reproduce the
+//! concurrent final state, verdict and query answers byte for byte
+//! (Theorem 4.2's commutation claim under real threads). Divergences
+//! shrink greedily and land as self-describing fixtures under `--out`.
 //!
 //! `idr fuzz` runs the differential oracle of the `idr-oracle` crate:
 //! seed-deterministic generated cases replayed against four oracles in
@@ -296,7 +313,7 @@ fn flush_obs(
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash | --sync\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N]   (ops from stdin)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash [--concurrent] | --sync | --concurrent\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N] [--clients N] [--group-commit-window US]   (ops from stdin)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -536,10 +553,10 @@ fn chase_cmd(engine: &Engine, state_path: &str, budget: Budget) -> ExitCode {
         Err(e) => return fail(EXIT_PARSE, &e),
     };
     let guard = Guard::new(budget);
-    match engine.session(&state, &guard) {
-        Ok(session) => {
-            let stats = session.chase_stats();
-            if session.is_consistent() {
+    match engine.hub(&state, &guard) {
+        Ok(hub) => {
+            let stats = hub.chase_stats();
+            if hub.is_consistent() {
                 println!(
                     "consistent ({} tuples, {} chase passes, {} rule applications)",
                     state.total_tuples(),
@@ -548,7 +565,7 @@ fn chase_cmd(engine: &Engine, state_path: &str, budget: Budget) -> ExitCode {
                 );
                 ExitCode::SUCCESS
             } else {
-                let blocks: Vec<String> = session
+                let blocks: Vec<String> = hub
                     .inconsistent_blocks()
                     .iter()
                     .map(|b| format!("T{}", b + 1))
@@ -758,14 +775,15 @@ fn explain_cmd(
             Ok(p) => p,
             Err(e) => return fail(EXIT_PARSE, &e),
         };
-        let mut session = match engine.session(&state, &guard) {
-            Ok(s) => s,
+        let hub = match engine.hub(&state, &guard) {
+            Ok(h) => h,
             Err(e) => return fail(exec_exit(&e), &format!("{e}")),
         };
-        if !session.is_consistent() {
+        if !hub.is_consistent() {
             return fail(EXIT_INCONSISTENT, "initial state is already inconsistent");
         }
-        match session.insert(i, t.clone(), &guard) {
+        let writer = hub.write_handle();
+        match writer.insert(i, t.clone(), &guard) {
             Ok(true) => {
                 println!(
                     "insert accepted: {}: {} (state stays consistent — nothing to explain)",
@@ -780,8 +798,8 @@ fn explain_cmd(
                     db.scheme(i).name(),
                     t.render(u, &symbols)
                 );
-                match session.explain_rejection() {
-                    Some(r) => render_rejection(db, r),
+                match writer.explain_rejection() {
+                    Some(r) => render_rejection(db, &r),
                     None => println!("  (no rejection record)"),
                 }
                 ExitCode::from(EXIT_INCONSISTENT)
@@ -793,11 +811,11 @@ fn explain_cmd(
             Ok(x) => x,
             Err(e) => return fail(EXIT_PARSE, &e),
         };
-        let session = match engine.session(&state, &guard) {
-            Ok(s) => s,
+        let hub = match engine.hub(&state, &guard) {
+            Ok(h) => h,
             Err(e) => return fail(exec_exit(&e), &format!("{e}")),
         };
-        let tuples = match session.total_projection(x, &guard) {
+        let tuples = match hub.read_view().total_projection(x, &guard) {
             Ok(Some(ts)) => ts,
             Ok(None) => return fail(EXIT_INCONSISTENT, "state is inconsistent"),
             Err(e) => return fail(exec_exit(&e), &format!("{e}")),
@@ -805,7 +823,7 @@ fn explain_cmd(
         println!("[{}]: {} tuple(s)", u.render(x), tuples.len());
         for t in &tuples {
             println!("  {}", t.render(u, &symbols));
-            match session.explain(x, t) {
+            match hub.explain(x, t) {
                 Some(exp) => {
                     println!(
                         "    witness: tableau row {} (from {})",
@@ -836,6 +854,7 @@ struct FuzzOpts {
     replay: Option<String>,
     crash: bool,
     sync: bool,
+    concurrent: bool,
 }
 
 fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
@@ -847,6 +866,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
         replay: None,
         crash: false,
         sync: false,
+        concurrent: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -871,6 +891,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
             "--replay" => opts.replay = Some(value("--replay")?),
             "--crash" => opts.crash = true,
             "--sync" => opts.sync = true,
+            "--concurrent" => opts.concurrent = true,
             other => return Err(format!("unknown fuzz option {other:?}")),
         }
     }
@@ -879,9 +900,11 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
 
 /// `idr fuzz`: differential fuzzing against the oracles of the
 /// `idr-oracle` crate — the four-oracle lockstep run by default, the
-/// crash-recovery arm with `--crash`, the replication-convergence arm
-/// with `--sync`. Divergences become replayable fixtures under `--out`
-/// and the run exits with [`EXIT_DIVERGENCE`].
+/// crash-recovery arm with `--crash` (multi-writer group-commit cuts
+/// with `--crash --concurrent`), the replication-convergence arm with
+/// `--sync`, the serial==concurrent serving-layer arm with
+/// `--concurrent`. Divergences become replayable fixtures under
+/// `--out` and the run exits with [`EXIT_DIVERGENCE`].
 fn fuzz_cmd(rest: &[String]) -> ExitCode {
     use independence_reducible::oracle;
     let opts = match parse_fuzz_flags(rest) {
@@ -889,8 +912,10 @@ fn fuzz_cmd(rest: &[String]) -> ExitCode {
         Err(e) => return usage(&e),
     };
     if opts.sync {
-        if opts.replay.is_some() || opts.shrink || opts.crash {
-            return usage("--sync cannot be combined with --replay, --shrink or --crash");
+        if opts.replay.is_some() || opts.shrink || opts.crash || opts.concurrent {
+            return usage(
+                "--sync cannot be combined with --replay, --shrink, --crash or --concurrent",
+            );
         }
         let mut progress = |done: usize, failures: usize| {
             if done.is_multiple_of(50) {
@@ -930,17 +955,23 @@ fn fuzz_cmd(rest: &[String]) -> ExitCode {
         if opts.replay.is_some() || opts.shrink {
             return usage("--crash cannot be combined with --replay or --shrink");
         }
+        let label = if opts.concurrent {
+            "concurrent crash fuzz"
+        } else {
+            "crash fuzz"
+        };
         let mut progress = |done: usize, failures: usize| {
             if done.is_multiple_of(50) {
-                eprintln!(
-                    "crash fuzz: {done}/{} cases, {failures} failure(s)",
-                    opts.cases
-                );
+                eprintln!("{label}: {done}/{} cases, {failures} failure(s)", opts.cases);
             }
         };
-        let summary = oracle::crash_fuzz(opts.seed, opts.cases, Some(&mut progress));
+        let summary = if opts.concurrent {
+            oracle::concurrent_crash_fuzz(opts.seed, opts.cases, Some(&mut progress))
+        } else {
+            oracle::crash_fuzz(opts.seed, opts.cases, Some(&mut progress))
+        };
         println!(
-            "crash fuzz: {} case(s) from seed {}, {} crash point(s) recovered, {} op(s) replayed, {} failure(s)",
+            "{label}: {} case(s) from seed {}, {} crash point(s) recovered, {} op(s) replayed, {} failure(s)",
             summary.cases,
             opts.seed,
             summary.crash_points,
@@ -955,6 +986,46 @@ fn fuzz_cmd(rest: &[String]) -> ExitCode {
         } else {
             ExitCode::from(EXIT_DIVERGENCE)
         };
+    }
+    if opts.concurrent {
+        if opts.replay.is_some() || opts.shrink {
+            return usage("--concurrent cannot be combined with --replay or --shrink");
+        }
+        let mut progress = |done: usize, failures: usize| {
+            if done.is_multiple_of(50) {
+                eprintln!(
+                    "concurrent fuzz: {done}/{} cases, {failures} failure(s)",
+                    opts.cases
+                );
+            }
+        };
+        let summary = oracle::concurrent_fuzz(opts.seed, opts.cases, Some(&mut progress));
+        println!(
+            "concurrent fuzz: {} case(s) from seed {}, {} client thread(s) raced, {} op(s) committed, {} failure(s)",
+            summary.cases,
+            opts.seed,
+            summary.clients,
+            summary.ops_run,
+            summary.failures.len()
+        );
+        if summary.is_clean() {
+            return ExitCode::SUCCESS;
+        }
+        if let Err(e) = std::fs::create_dir_all(&opts.out) {
+            return fail(EXIT_PARSE, &format!("cannot create {}: {e}", opts.out));
+        }
+        for f in &summary.failures {
+            println!("  {f}");
+            if f.fixture.is_empty() {
+                continue;
+            }
+            let path = format!("{}/concurrent-{}.txt", opts.out, f.seed);
+            match std::fs::write(&path, &f.fixture) {
+                Ok(()) => println!("    repro written to {path}"),
+                Err(e) => eprintln!("    cannot write {path}: {e}"),
+            }
+        }
+        return ExitCode::from(EXIT_DIVERGENCE);
     }
     if let Some(path) = &opts.replay {
         let text = match std::fs::read_to_string(path) {
@@ -1122,20 +1193,31 @@ fn init_cmd(dir: &str, scheme_path: &str) -> ExitCode {
 }
 
 /// Durable-mode flags shared by `serve` and `recover`: `--data-dir DIR`
-/// (required), `--snapshot-every N` (serve only), plus whatever
-/// positional arguments remain.
+/// (required); `--snapshot-every N`, `--clients N` and
+/// `--group-commit-window US` (serve only); plus whatever positional
+/// arguments remain.
 struct StoreOpts {
     dir: String,
     snapshot_every: Option<u64>,
+    clients: Option<usize>,
+    group_commit_window_us: Option<u64>,
     rest: Vec<String>,
 }
 
 fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
     let mut dir = None;
     let mut snapshot_every = None;
+    let mut clients = None;
+    let mut group_commit_window_us = None;
     let mut out = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
+        let mut numeric = |flag: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} needs an unsigned integer"))
+        };
         match a.as_str() {
             "--data-dir" => {
                 dir = Some(
@@ -1144,13 +1226,16 @@ fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
                         .clone(),
                 );
             }
-            "--snapshot-every" => {
-                let n = it
-                    .next()
-                    .ok_or_else(|| "--snapshot-every needs a value".to_string())?
-                    .parse::<u64>()
-                    .map_err(|_| "--snapshot-every needs an unsigned integer".to_string())?;
-                snapshot_every = Some(n);
+            "--snapshot-every" => snapshot_every = Some(numeric("--snapshot-every")?),
+            "--clients" => {
+                let n = numeric("--clients")?;
+                if n == 0 {
+                    return Err("--clients needs at least 1".to_string());
+                }
+                clients = Some(n as usize);
+            }
+            "--group-commit-window" => {
+                group_commit_window_us = Some(numeric("--group-commit-window")?);
             }
             _ => out.push(a.clone()),
         }
@@ -1158,6 +1243,8 @@ fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
     Ok(StoreOpts {
         dir: dir.ok_or_else(|| "--data-dir is required".to_string())?,
         snapshot_every,
+        clients,
+        group_commit_window_us,
         rest: out,
     })
 }
@@ -1194,8 +1281,9 @@ fn recover_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: b
         Ok(o) => o,
         Err(e) => return usage(&e),
     };
-    if opts.snapshot_every.is_some() {
-        return usage("--snapshot-every only applies to idr serve");
+    if opts.snapshot_every.is_some() || opts.clients.is_some() || opts.group_commit_window_us.is_some()
+    {
+        return usage("--snapshot-every/--clients/--group-commit-window only apply to idr serve");
     }
     let rec = match store::recover_with(
         Path::new(&opts.dir),
@@ -1236,15 +1324,37 @@ fn recover_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: b
     }
 }
 
-/// `idr serve --data-dir DIR [--snapshot-every N]`: recovers the data
-/// dir and applies one op per stdin line through a durable session —
-/// every mutation is committed to the WAL before it touches memory, so
-/// killing the process at any point loses nothing acknowledged.
+/// A mutation dispatched to a serve worker lane: the op number, whether
+/// it is an insert, and the parsed target.
+struct ServeJob {
+    op: usize,
+    insert: bool,
+    rel: usize,
+    t: Tuple,
+}
+
+/// One tagged response line bundle: the op number, the rendered body
+/// (may be multi-line), and the exit code if the op failed fatally.
+type ServeResponse = (usize, String, Option<u8>);
+
+/// `idr serve --data-dir DIR [--snapshot-every N] [--clients N]
+/// [--group-commit-window US]`: recovers the data dir and serves ops
+/// from stdin through `--clients` concurrent writer lanes over one
+/// shared hub — every mutation is committed to the group-commit WAL
+/// before it touches memory, so killing the process at any point loses
+/// nothing acknowledged.
 ///
 /// Ops: `insert R1: A=a B=b`, `delete R1: A=a B=b`, `query A B`,
 /// `quit`. Blank lines and `#` comments are ignored; malformed lines
-/// get an `error:` response and the loop continues.
+/// get a tagged `error:` response and the loop continues. Every
+/// response line is prefixed `[op K]` with K the op's 1-based position
+/// in the input, so interleaved lane output stays attributable.
+/// Mutations round-robin across the lanes and may complete out of
+/// order; queries run against an epoch-stamped [`ReadView`] snapshot
+/// (they never block writers and report the epoch they read). `quit`
+/// or EOF drains: queued mutations finish, then the summary prints.
 fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: bool) -> ExitCode {
+    use std::sync::mpsc;
     let opts = match parse_store_flags(rest) {
         Ok(o) => o,
         Err(e) => return usage(&e),
@@ -1261,105 +1371,200 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
         Err(e) => return fail(store_exit(&e), &format!("{e}")),
     };
     report_recovery(&opts.dir, &rec);
-    let mut store = rec.store.with_snapshot_every(opts.snapshot_every);
-    let symbols = store.symbols();
-    let db = store.scheme().clone();
+    let window = std::time::Duration::from_micros(opts.group_commit_window_us.unwrap_or(0));
+    let shared = Arc::new(
+        store::SharedStore::new(rec.store.with_snapshot_every(opts.snapshot_every))
+            .with_group_window(window),
+    );
+    let symbols = shared.symbols();
+    let db = shared.lock().scheme().clone();
     let engine = Engine::new(db.clone())
         .with_parallel(parallel)
         .with_observability(obs.clone());
     let guard = Guard::new(budget);
-    let mut session = match engine.session(&rec.state, &guard) {
-        Ok(s) => s.with_durability(&mut store),
+    let hub = match engine.hub_with(&rec.state, &guard, shared.clone()) {
+        Ok(h) => h,
         Err(e) => return fail(exec_exit(&e), &format!("{e}")),
     };
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => return fail(EXIT_FAULT, &format!("stdin: {e}")),
-        };
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (verb, tail) = match line.split_once(char::is_whitespace) {
-            Some((v, t)) => (v, t.trim()),
-            None => (line, ""),
-        };
-        match verb {
-            "quit" | "exit" => break,
-            "insert" | "delete" => {
-                // Intern under the store's canonical symbol table — and
-                // release the lock before the op runs, because logging
-                // the op re-locks it to render the WAL payload.
-                let parsed = {
-                    let mut sym = symbols.lock().unwrap_or_else(|p| p.into_inner());
-                    parse_tuple_line(tail, &db, &mut sym)
-                };
-                let (i, t) = match parsed {
-                    Ok(p) => p,
-                    Err(e) => {
-                        println!("error: {e}");
-                        continue;
-                    }
-                };
-                let result = if verb == "insert" {
-                    session.insert(i, t, &guard)
-                } else {
-                    session.delete(i, &t, &guard)
-                };
-                match (verb, result) {
-                    ("insert", Ok(true)) => println!("accepted"),
-                    ("insert", Ok(false)) => println!("rejected (state unchanged)"),
-                    (_, Ok(true)) => println!("removed"),
-                    (_, Ok(false)) => println!("absent (state unchanged)"),
-                    (_, Err(e)) => return fail(exec_exit(&e), &format!("{e}")),
+    let clients = opts.clients.unwrap_or(1);
+    let mut ops = 0usize;
+    let worst = std::thread::scope(|s| {
+        let (res_tx, res_rx) = mpsc::channel::<ServeResponse>();
+        // The printer serializes all lane output; it owns the worst
+        // fatal exit code seen.
+        let printer = s.spawn(move || {
+            let mut worst = 0u8;
+            for (op, body, code) in res_rx {
+                for line in body.lines() {
+                    println!("[op {op}] {line}");
                 }
+                let _ = std::io::stdout().flush();
+                worst = worst.max(code.unwrap_or(0));
             }
-            "query" => {
-                let attrs: Vec<String> =
-                    tail.split_whitespace().map(str::to_string).collect();
-                if attrs.is_empty() {
-                    println!("error: query needs at least one attribute");
-                    continue;
-                }
-                let x = match parse_attrs(&engine, &attrs) {
-                    Ok(x) => x,
-                    Err(e) => {
-                        println!("error: {e}");
-                        continue;
-                    }
-                };
-                match session.total_projection(x, &guard) {
-                    Ok(Some(tuples)) => {
-                        let u = db.universe();
-                        let sym = symbols.lock().unwrap_or_else(|p| p.into_inner());
-                        println!("[{}]: {} tuple(s)", u.render(x), tuples.len());
-                        for t in &tuples {
-                            println!("  {}", t.render(u, &sym));
+            worst
+        });
+        let lanes: Vec<mpsc::Sender<ServeJob>> = (0..clients)
+            .map(|_| {
+                let (tx, rx) = mpsc::channel::<ServeJob>();
+                let writer = hub.write_handle();
+                let res = res_tx.clone();
+                let guard = &guard;
+                s.spawn(move || {
+                    for job in rx {
+                        let (body, code) = if job.insert {
+                            match writer.insert(job.rel, job.t, guard) {
+                                Ok(true) => ("accepted".to_string(), None),
+                                Ok(false) => ("rejected (state unchanged)".to_string(), None),
+                                Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
+                            }
+                        } else {
+                            match writer.delete(job.rel, &job.t, guard) {
+                                Ok(true) => ("removed".to_string(), None),
+                                Ok(false) => ("absent (state unchanged)".to_string(), None),
+                                Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
+                            }
+                        };
+                        if res.send((job.op, body, code)).is_err() {
+                            break;
                         }
                     }
-                    Ok(None) => println!("state is inconsistent"),
-                    Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+                });
+                tx
+            })
+            .collect();
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    let _ = res_tx.send((ops, format!("error: stdin: {e}"), Some(EXIT_FAULT)));
+                    break;
+                }
+            };
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (verb, tail) = match line.split_once(char::is_whitespace) {
+                Some((v, t)) => (v, t.trim()),
+                None => (line, ""),
+            };
+            if matches!(verb, "quit" | "exit") {
+                break;
+            }
+            ops += 1;
+            let op = ops;
+            match verb {
+                "insert" | "delete" => {
+                    // Intern under the store's canonical symbol table —
+                    // and release the lock before dispatch, because
+                    // logging the op re-locks it to render the WAL
+                    // payload.
+                    let parsed = {
+                        let mut sym = symbols.lock().unwrap_or_else(|p| p.into_inner());
+                        parse_tuple_line(tail, &db, &mut sym)
+                    };
+                    match parsed {
+                        Ok((rel, t)) => {
+                            let job = ServeJob {
+                                op,
+                                insert: verb == "insert",
+                                rel,
+                                t,
+                            };
+                            let _ = lanes[(op - 1) % clients].send(job);
+                        }
+                        Err(e) => {
+                            let _ = res_tx.send((op, format!("error: {e}"), None));
+                        }
+                    }
+                }
+                "query" => {
+                    let attrs: Vec<String> =
+                        tail.split_whitespace().map(str::to_string).collect();
+                    let body = serve_query(&hub, &engine, &attrs, &symbols, &guard);
+                    let _ = res_tx.send((op, body.0, body.1));
+                }
+                other => {
+                    let _ = res_tx.send((
+                        op,
+                        format!("error: unknown op {other:?} (insert/delete/query/quit)"),
+                        None,
+                    ));
                 }
             }
-            other => println!("error: unknown op {other:?} (insert/delete/query/quit)"),
         }
-        let _ = std::io::stdout().flush();
-    }
-    let consistent = session.is_consistent();
-    drop(session);
+        // Graceful drain: close the lanes so queued mutations finish,
+        // then close the response channel so the printer flushes.
+        drop(lanes);
+        drop(res_tx);
+        printer.join().unwrap_or(EXIT_FAULT)
+    });
+    let consistent = hub.is_consistent();
+    let epoch_now = hub.read_view().epoch();
+    let (epoch, records) = {
+        let st = shared.lock();
+        (st.epoch(), st.wal_records())
+    };
+    let gw = shared.group_wal();
     println!(
-        "served {}: final state {}, epoch {}, {} WAL record(s)",
+        "served {}: {} op(s) over {} client lane(s), final state {} at read epoch {}, store epoch {}, {} WAL record(s), {} group batch(es), {} fsync(s)",
         opts.dir,
+        ops,
+        clients,
         if consistent { "consistent" } else { "inconsistent" },
-        store.epoch(),
-        store.wal_records()
+        epoch_now,
+        epoch,
+        records,
+        gw.batches(),
+        gw.fsyncs()
     );
-    if consistent {
+    if worst != 0 {
+        ExitCode::from(worst)
+    } else if consistent {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(EXIT_INCONSISTENT)
+    }
+}
+
+/// Runs one `query A B` op against a fresh epoch-stamped snapshot and
+/// renders the tagged response body (never blocks the writer lanes).
+fn serve_query(
+    hub: &Hub<'_>,
+    engine: &Engine,
+    attrs: &[String],
+    symbols: &Arc<std::sync::Mutex<SymbolTable>>,
+    guard: &Guard,
+) -> (String, Option<u8>) {
+    if attrs.is_empty() {
+        return ("error: query needs at least one attribute".to_string(), None);
+    }
+    let x = match parse_attrs(engine, attrs) {
+        Ok(x) => x,
+        Err(e) => return (format!("error: {e}"), None),
+    };
+    let view = hub.read_view();
+    let u = engine.scheme().universe();
+    match view.total_projection(x, guard) {
+        Ok(Some(tuples)) => {
+            let sym = symbols.lock().unwrap_or_else(|p| p.into_inner());
+            let mut body = format!(
+                "[{}]: {} tuple(s) @epoch {}",
+                u.render(x),
+                tuples.len(),
+                view.epoch()
+            );
+            for t in &tuples {
+                body.push_str(&format!("\n  {}", t.render(u, &sym)));
+            }
+            (body, None)
+        }
+        Ok(None) => (
+            format!("state is inconsistent @epoch {}", view.epoch()),
+            None,
+        ),
+        Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
     }
 }
 
@@ -1454,6 +1659,13 @@ scheme R5: H S R  keys H S
         let opts = parse_fuzz_flags(&strs(&["--replay", "case.txt", "--out", "d"])).unwrap();
         assert_eq!(opts.replay.as_deref(), Some("case.txt"));
         assert_eq!(opts.out, "d");
+        let opts = parse_fuzz_flags(&strs(&["--concurrent", "--cases", "8"])).unwrap();
+        assert!(opts.concurrent && !opts.crash);
+        assert_eq!(opts.cases, 8);
+
+        let opts = parse_fuzz_flags(&strs(&["--crash", "--concurrent"])).unwrap();
+        assert!(opts.concurrent && opts.crash);
+
         let opts = parse_fuzz_flags(&strs(&["--sync", "--seed", "9"])).unwrap();
         assert!(opts.sync);
         assert_eq!(opts.seed, 9);

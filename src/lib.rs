@@ -61,7 +61,7 @@
 //! | [`core`] | the paper: key-equivalence, Algorithms 1–6, KEP, splitness, recognition, maintenance, boundedness |
 //! | [`workload`] | the paper's 13 worked examples as fixtures; synthetic scaling families |
 //! | [`obs`] | dependency-free structured tracing, metrics and the chase-provenance event taxonomy |
-//! | [`store`] | durable state: checksummed write-ahead log, atomic snapshots, crash recovery |
+//! | [`store`] | durable state: checksummed write-ahead log with group commit, atomic snapshots, crash recovery |
 //! | [`sync`] | replication: WAL-shipping anti-entropy over chained digests, deterministic fault-scripted simulator, scenario files |
 //! | [`oracle`] | seed-deterministic differential fuzzing: generators, six oracle arms (lockstep interpreters, crash-point recovery, replication convergence), shrinkers, corpus fixtures |
 //!
@@ -103,8 +103,10 @@ pub mod prelude {
         chase, chase_fast, is_consistent, representative_instance, total_projection,
     };
     pub use idr_core::classify::{classify, Classification};
+    pub use idr_core::durability::{Durability, DurabilitySink, DurableOp};
     pub use idr_core::engine::{Engine, Session};
     pub use idr_core::engine::Observability;
+    pub use idr_core::serving::{Hub, ReadView, Snapshot, WriteHandle};
     pub use idr_core::exec::{Budget, ExecError, Guard, GuardSnapshot, RetryPolicy};
     pub use idr_core::maintain::{CtmMaintainer, IrMaintainer, MaintenanceOutcome};
     pub use idr_obs::{EventLog, MetricsRegistry, TraceEvent, TraceHandle};

@@ -20,6 +20,13 @@
 //!   the WAL at every byte boundary and diffs recovery against a
 //!   never-crashed oracle.
 
+// These tests drive the legacy single-writer `Durability` hook through
+// the deprecated `Session` shim on purpose: the shim must keep working
+// until it is removed, and this file is its durability coverage. The
+// concurrent `SharedStore`/`DurabilitySink` path is covered by
+// tests/concurrency_stress.rs and the oracle's concurrent arms.
+#![allow(deprecated)]
+
 use std::time::Duration;
 
 use independence_reducible::exec::{Budget, Guard};

@@ -1,5 +1,5 @@
 //! Differential suite for the PR 2 engine: the indexed incremental
-//! [`Engine`]/[`Session`] facade must be observationally equal to the
+//! [`Engine`]/[`Hub`] facade must be observationally equal to the
 //! naive whole-state chase on every fixture the paper provides and on the
 //! synthetic scaling families — same consistency verdict, same total
 //! projections (the query-visible part of the representative instance),
@@ -23,8 +23,9 @@ fn check_queries(db: &DatabaseScheme, state: &DatabaseState, engine: &Engine, ca
     let kd = KeyDeps::of(db);
     let g = Guard::unlimited();
     let oracle_consistent = is_consistent(db, state, kd.full(), &g).unwrap();
-    let session = engine.session(state, &g).unwrap();
-    assert_eq!(session.is_consistent(), oracle_consistent, "{case}: verdict");
+    let hub = engine.hub(state, &g).unwrap();
+    assert_eq!(hub.is_consistent(), oracle_consistent, "{case}: verdict");
+    let view = hub.read_view();
     let mut targets: Vec<AttrSet> = db.schemes().iter().map(|s| s.attrs()).collect();
     targets.push(db.universe().all());
     for x in targets {
@@ -36,9 +37,9 @@ fn check_queries(db: &DatabaseScheme, state: &DatabaseState, engine: &Engine, ca
             "{case}: [{}]",
             db.universe().render(x)
         );
-        // The session serves the same answer from its chased backend.
-        let via_session = session.total_projection(x, &g).unwrap();
-        assert_eq!(via_session, oracle, "{case}: session [{}]", db.universe().render(x));
+        // The hub's read view serves the same answer from its snapshot.
+        let via_view = view.total_projection(x, &g).unwrap();
+        assert_eq!(via_view, oracle, "{case}: view [{}]", db.universe().render(x));
     }
 }
 
@@ -96,8 +97,9 @@ fn engine_matches_the_chase_on_synthetic_families() {
     }
 }
 
-/// Insert differential: the session's incremental accept/reject decision
-/// equals "add the tuple, re-chase from scratch, keep it iff consistent".
+/// Insert differential: the write handle's incremental accept/reject
+/// decision equals "add the tuple, re-chase from scratch, keep it iff
+/// consistent".
 #[test]
 fn incremental_inserts_match_recompute_from_scratch() {
     let families: Vec<(&str, DatabaseScheme)> = vec![
@@ -122,10 +124,11 @@ fn incremental_inserts_match_recompute_from_scratch() {
                 },
             );
             let g = Guard::unlimited();
-            let mut session = engine.session(&w.state, &g).unwrap();
+            let hub = engine.hub(&w.state, &g).unwrap();
+            let writer = hub.write_handle();
             let mut naive = w.state.clone();
             for (i, t) in &w.inserts {
-                let accepted = session.insert(*i, t.clone(), &g).unwrap();
+                let accepted = writer.insert(*i, t.clone(), &g).unwrap();
                 // Oracle: apply to a copy and re-chase the whole state.
                 let mut candidate = naive.clone();
                 candidate.insert(*i, t.clone()).unwrap();
@@ -135,12 +138,13 @@ fn incremental_inserts_match_recompute_from_scratch() {
                     naive = candidate;
                 }
             }
-            // After the whole stream the session's state equals the naive
-            // replay, and so do its answers.
-            assert_eq!(session.state().total_tuples(), naive.total_tuples());
+            // After the whole stream the hub's published state equals the
+            // naive replay, and so do its answers.
+            let view = hub.read_view();
+            assert_eq!(view.state().total_tuples(), naive.total_tuples());
             let x = db.universe().all();
             assert_eq!(
-                session.total_projection(x, &g).unwrap(),
+                view.total_projection(x, &g).unwrap(),
                 total_projection(&db, &naive, kd.full(), x, &g).unwrap(),
                 "{name} seed {seed}"
             );
@@ -171,8 +175,8 @@ fn parallel_and_serial_agree_under_injected_faults() {
             },
         );
         let g = Guard::unlimited();
-        let sp = parallel.session(&w.state, &g).unwrap();
-        let ss = serial.session(&w.state, &g).unwrap();
+        let sp = parallel.hub(&w.state, &g).unwrap();
+        let ss = serial.hub(&w.state, &g).unwrap();
         assert_eq!(sp.is_consistent(), ss.is_consistent(), "seed {seed}");
         assert_eq!(
             sp.inconsistent_blocks(),
@@ -181,8 +185,8 @@ fn parallel_and_serial_agree_under_injected_faults() {
         );
         let x = db.universe().all();
         assert_eq!(
-            sp.total_projection(x, &g).unwrap(),
-            ss.total_projection(x, &g).unwrap(),
+            sp.read_view().total_projection(x, &g).unwrap(),
+            ss.read_view().total_projection(x, &g).unwrap(),
             "seed {seed}"
         );
 
@@ -191,8 +195,8 @@ fn parallel_and_serial_agree_under_injected_faults() {
         // agree) or both trip with the same error variant.
         for steps in [0u64, 1, 2, 4, 64, 4096] {
             let budget = Budget::unlimited().with_max_chase_steps(steps);
-            let rp = parallel.session(&w.state, &Guard::new(budget));
-            let rs = serial.session(&w.state, &Guard::new(budget));
+            let rp = parallel.hub(&w.state, &Guard::new(budget));
+            let rs = serial.hub(&w.state, &Guard::new(budget));
             match (rp, rs) {
                 (Ok(a), Ok(b)) => {
                     assert_eq!(a.is_consistent(), b.is_consistent(), "seed {seed}/{steps}");

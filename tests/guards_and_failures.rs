@@ -230,9 +230,9 @@ fn maintainer_reports_inconsistent_base_state_block() {
     // The engine facade treats the same state as a verdict, not an error,
     // and points at the same block.
     let engine = Engine::new(db);
-    let session = engine.session(&state, &Guard::unlimited()).unwrap();
-    assert!(!session.is_consistent());
-    assert_eq!(session.inconsistent_blocks(), vec![1]);
+    let hub = engine.hub(&state, &Guard::unlimited()).unwrap();
+    assert!(!hub.is_consistent());
+    assert_eq!(hub.inconsistent_blocks(), vec![1]);
 }
 
 // ---------------------------------------------------------------------------

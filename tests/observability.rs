@@ -31,9 +31,9 @@ fn traced_engine(
     (engine, log)
 }
 
-/// One full traced workout — session build, insert stream (some inserts
-/// corrupted, so both verdicts appear), one query — rendered to JSON
-/// lines.
+/// One full traced workout — hub build, insert stream (some inserts
+/// corrupted, so both verdicts appear), one epoch-publishing query —
+/// rendered to JSON lines.
 fn trace_of(db: &DatabaseScheme, parallel: bool) -> Vec<String> {
     let mut sym = SymbolTable::new();
     let w = generate(
@@ -49,11 +49,13 @@ fn trace_of(db: &DatabaseScheme, parallel: bool) -> Vec<String> {
     );
     let (engine, log) = traced_engine(db.clone(), parallel, false);
     let g = Guard::unlimited();
-    let mut session = engine.session(&w.state, &g).expect("unlimited guard");
+    let hub = engine.hub(&w.state, &g).expect("unlimited guard");
+    let writer = hub.write_handle();
     for (i, t) in &w.inserts {
-        let _ = session.insert(*i, t.clone(), &g).expect("unlimited guard");
+        let _ = writer.insert(*i, t.clone(), &g).expect("unlimited guard");
     }
-    let _ = session
+    let _ = hub
+        .read_view()
         .total_projection(db.scheme(0).attrs(), &g)
         .expect("unlimited guard");
     log.drain().iter().map(|e| e.to_json()).collect()
@@ -123,14 +125,15 @@ fn example3_rejection_names_the_violated_key_dependency() {
     .unwrap();
     let (engine, log) = traced_engine(db.clone(), true, true);
     let g = Guard::unlimited();
-    let mut session = engine.session(&state, &g).unwrap();
-    assert!(session.is_consistent());
+    let hub = engine.hub(&state, &g).unwrap();
+    let writer = hub.write_handle();
+    assert!(hub.is_consistent());
     let bad = Tuple::from_pairs([
         (u.attr("A").unwrap(), sym.intern("a1")),
         (u.attr("B").unwrap(), sym.intern("b2")),
     ]);
-    assert!(!session.insert(0, bad, &g).unwrap(), "insert must be rejected");
-    let r = session.explain_rejection().expect("rejection recorded");
+    assert!(!writer.insert(0, bad, &g).unwrap(), "insert must be rejected");
+    let r = hub.explain_rejection().expect("rejection recorded");
     assert_eq!(r.fd.render(&u), "A→B");
     assert_eq!(u.name(r.column), "B");
     // The probed witness is the speculative insert into R1 (index 0);
@@ -178,11 +181,15 @@ fn university_derived_cell_has_the_exact_firing_chain() {
     .unwrap();
     let (engine, _log) = traced_engine(db.clone(), true, true);
     let g = Guard::unlimited();
-    let session = engine.session(&state, &g).unwrap();
+    let hub = engine.hub(&state, &g).unwrap();
     let x = u.set_of("HTC");
-    let answers = session.total_projection(x, &g).unwrap().expect("consistent");
+    let answers = hub
+        .read_view()
+        .total_projection(x, &g)
+        .unwrap()
+        .expect("consistent");
     assert_eq!(answers.len(), 1);
-    let exp = session.explain(x, &answers[0]).expect("witness row exists");
+    let exp = hub.explain(x, &answers[0]).expect("witness row exists");
     assert_eq!(exp.tag, Some(0), "witness is R1's row");
     for cell in &exp.cells {
         match u.name(cell.column) {
@@ -205,8 +212,8 @@ fn university_derived_cell_has_the_exact_firing_chain() {
     }
     // Without provenance the same witness is found but chains are empty.
     let plain = Engine::new(db.clone()).with_parallel(true);
-    let plain_session = plain.session(&state, &g).unwrap();
-    let exp = plain_session.explain(x, &answers[0]).expect("witness");
+    let plain_hub = plain.hub(&state, &g).unwrap();
+    let exp = plain_hub.explain(x, &answers[0]).expect("witness");
     assert!(exp.cells.iter().all(|c| c.chain.is_empty()));
 }
 
@@ -232,20 +239,21 @@ fn metrics_registry_counts_session_operations() {
         provenance: false,
     });
     let g = Guard::unlimited();
-    let mut session = engine.session(&state, &g).unwrap();
+    let hub = engine.hub(&state, &g).unwrap();
+    let writer = hub.write_handle();
     let ok = Tuple::from_pairs([
         (u.attr("C").unwrap(), sym.intern("c1")),
         (u.attr("S").unwrap(), sym.intern("s1")),
         (u.attr("G").unwrap(), sym.intern("g1")),
     ]);
-    assert!(session.insert(3, ok, &g).unwrap());
+    assert!(writer.insert(3, ok, &g).unwrap());
     let bad = Tuple::from_pairs([
         (u.attr("H").unwrap(), sym.intern("h1")),
         (u.attr("R").unwrap(), sym.intern("r1")),
         (u.attr("C").unwrap(), sym.intern("c9")),
     ]);
-    assert!(!session.insert(0, bad, &g).unwrap());
-    let _ = session.total_projection(u.set_of("HTC"), &g).unwrap();
+    assert!(!writer.insert(0, bad, &g).unwrap());
+    let _ = hub.read_view().total_projection(u.set_of("HTC"), &g).unwrap();
     let snap = registry.snapshot();
     let counter = |name: &str| {
         snap.counters
