@@ -499,7 +499,7 @@ fn main() {
 
     // Hand-rolled JSON: the workspace is hermetic (no serde).
     println!("{{");
-    println!("  \"bench\": \"pr7-serve-smoke\",");
+    println!("  \"bench\": \"pr8-serve-smoke\",");
     println!("  \"seed\": {SEED},");
     println!("  \"iters\": {ITERS},");
     println!("  \"families\": [");

@@ -80,7 +80,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use idr_chase::{IncrementalChase, RejectionExplanation, TupleExplanation};
-use idr_obs::{ShardedLog, TraceEvent, TraceHandle};
+use idr_obs::timeline::{self, OpTimeline, Phase};
+use idr_obs::{Counter, Gauge, Histogram, MetricsRegistry, ShardedLog, TraceEvent, TraceHandle};
 use idr_relation::exec::{ExecError, Guard};
 use idr_relation::{AttrSet, DatabaseState, Tuple};
 
@@ -125,6 +126,80 @@ struct HubShared {
     sink: Option<Arc<dyn DurabilitySink>>,
     /// Provenance of the most recent rejected insert across all writers.
     last_rejection: Mutex<Option<RejectionExplanation>>,
+    /// Pre-resolved metric handles (None when metrics are off). The
+    /// write pipeline must never pay a registry name lookup — the
+    /// registry's maps are the locks a periodic snapshot takes.
+    metrics: Option<HubMetrics>,
+}
+
+/// Every metric the per-op serving path touches, resolved once at hub
+/// build. Incrementing is then pure relaxed atomics, so writer lanes
+/// never contend with `MetricsRegistry::snapshot` (the `--stats-every`
+/// path) on the registry's map locks.
+#[derive(Debug)]
+struct HubMetrics {
+    inserts_accepted: Arc<Counter>,
+    inserts_rejected: Arc<Counter>,
+    deletes: Arc<Counter>,
+    insert_us: Arc<Histogram>,
+    epochs_published: Arc<Counter>,
+    epoch: Arc<Gauge>,
+    publish_us: Arc<Histogram>,
+    /// Ops applied since the last published epoch — how far readers of
+    /// the current snapshot trail the write frontier.
+    epoch_lag: Arc<Gauge>,
+    /// Per-block op counts: `hub.lane_ops{block=B}`. Thm 4.2 read
+    /// operationally — independent blocks predict near-uniform lanes.
+    lane_ops: Vec<Arc<Counter>>,
+    /// Per-block microseconds spent holding the block lock:
+    /// `hub.lane_busy_us{block=B}` — the utilization numerator.
+    lane_busy_us: Vec<Arc<Counter>>,
+    /// Per-phase pipeline latency: `pipeline.us{phase=P}`.
+    phase_us: [Arc<Histogram>; 7],
+    guard_chase_steps: Arc<Gauge>,
+    guard_lookups: Arc<Gauge>,
+    guard_enumeration: Arc<Gauge>,
+}
+
+impl HubMetrics {
+    fn new(m: &MetricsRegistry, blocks: usize) -> HubMetrics {
+        HubMetrics {
+            inserts_accepted: m.counter("session.inserts_accepted"),
+            inserts_rejected: m.counter("session.inserts_rejected"),
+            deletes: m.counter("session.deletes"),
+            insert_us: m.latency_histogram("session.insert_us"),
+            epochs_published: m.counter("hub.epochs_published"),
+            epoch: m.gauge("hub.epoch"),
+            publish_us: m.latency_histogram("hub.publish_us"),
+            epoch_lag: m.gauge("hub.epoch_lag"),
+            lane_ops: (0..blocks)
+                .map(|b| m.counter(&format!("hub.lane_ops{{block={b}}}")))
+                .collect(),
+            lane_busy_us: (0..blocks)
+                .map(|b| m.counter(&format!("hub.lane_busy_us{{block={b}}}")))
+                .collect(),
+            phase_us: Phase::ALL
+                .map(|p| m.latency_histogram(&format!("pipeline.us{{phase={}}}", p.as_str()))),
+            guard_chase_steps: m.gauge("guard.chase_steps"),
+            guard_lookups: m.gauge("guard.lookups"),
+            guard_enumeration: m.gauge("guard.enumeration"),
+        }
+    }
+
+    /// The pre-resolved equivalent of [`Engine::record_guard_metrics`].
+    fn record_guard(&self, guard: &Guard) {
+        let s = guard.snapshot();
+        self.guard_chase_steps.set(s.chase_steps);
+        self.guard_lookups.set(s.lookups);
+        self.guard_enumeration.set(s.enumeration);
+    }
+
+    /// Folds a completed op's timeline into the per-phase histograms.
+    fn record_timeline(&self, tl: &OpTimeline) {
+        for (p, d) in tl.phase_durations() {
+            self.phase_us[p as usize].observe(d);
+        }
+    }
 }
 
 /// Recovers a slot lock from poison: a writer panicking mid-op is
@@ -245,6 +320,10 @@ impl<'e> Hub<'e> {
         let consistent = slots
             .iter()
             .all(|s| lock_slot(s).chase.failure().is_none());
+        let metrics = obs
+            .metrics
+            .as_ref()
+            .map(|m| HubMetrics::new(m, slots.len()));
         let hub = Hub {
             engine,
             shared: Arc::new(HubShared {
@@ -258,6 +337,7 @@ impl<'e> Hub<'e> {
                 stale: AtomicBool::new(false),
                 sink,
                 last_rejection: Mutex::new(None),
+                metrics,
                 slots,
             }),
         };
@@ -410,6 +490,8 @@ impl<'e> Hub<'e> {
     ) -> Result<(bool, Option<RejectionExplanation>), ExecError> {
         let si = self.slot_of(i);
         let mut slot = lock_slot(&self.shared.slots[si]);
+        timeline::stamp_current(Phase::LaneAcquire);
+        let lane_t0 = Instant::now();
         if let Some(f) = slot.chase.failure() {
             return Err(f.clone().into());
         }
@@ -418,12 +500,16 @@ impl<'e> Hub<'e> {
         if let Some(d) = &self.shared.sink {
             d.log_op(DurableOp::Insert { rel: i, t: &t })?;
         }
+        // Durable sinks stamp wal-append where the record is queued;
+        // this fallback covers in-memory sinks (first write wins).
+        timeline::stamp_current(Phase::WalAppend);
         slot.chase.push_tuple(&t, Some(i));
         let outcome = match slot.chase.run(guard) {
             Ok(_) => {
                 slot.state
                     .insert(i, t)
                     .expect("tuple was chased against scheme i, so it matches scheme i");
+                timeline::stamp_current(Phase::Apply);
                 self.shared.stale.store(true, Ordering::Release);
                 Ok((true, None))
             }
@@ -434,6 +520,9 @@ impl<'e> Hub<'e> {
                 slot.chase = self
                     .rebuilt_chase(si, &slot.state, &Guard::unlimited())
                     .expect("rebuilding a previously consistent block cannot fail");
+                // A rejection still did its apply work: the chase ran
+                // and the block's tableau was restored.
+                timeline::stamp_current(Phase::Apply);
                 Ok((false, why))
             }
             Err(e) => {
@@ -451,6 +540,13 @@ impl<'e> Hub<'e> {
                 Err(e)
             }
         };
+        if let Some(hm) = &self.shared.metrics {
+            hm.lane_ops[si].inc();
+            hm.lane_busy_us[si].add(lane_t0.elapsed().as_micros() as u64);
+            if matches!(outcome, Ok((true, _))) {
+                hm.epoch_lag.add(1);
+            }
+        }
         drop(slot);
         if let Ok((_, Some(why))) = &outcome {
             *self
@@ -470,16 +566,14 @@ impl<'e> Hub<'e> {
             relation: Arc::from(self.engine.scheme().scheme(i).name()),
             accepted,
         });
-        if let Some(m) = &obs.metrics {
-            m.counter(if accepted {
-                "session.inserts_accepted"
+        if let Some(hm) = &self.shared.metrics {
+            if accepted {
+                hm.inserts_accepted.inc();
             } else {
-                "session.inserts_rejected"
-            })
-            .inc();
-            m.latency_histogram("session.insert_us")
-                .observe_duration(t0.elapsed());
-            self.engine.record_guard_metrics(guard);
+                hm.inserts_rejected.inc();
+            }
+            hm.insert_us.observe_duration(t0.elapsed());
+            hm.record_guard(guard);
         }
     }
 
@@ -490,9 +584,9 @@ impl<'e> Hub<'e> {
             relation: Arc::from(self.engine.scheme().scheme(i).name()),
             removed,
         });
-        if let Some(m) = &obs.metrics {
-            m.counter("session.deletes").inc();
-            self.engine.record_guard_metrics(guard);
+        if let Some(hm) = &self.shared.metrics {
+            hm.deletes.inc();
+            hm.record_guard(guard);
         }
     }
 
@@ -503,10 +597,13 @@ impl<'e> Hub<'e> {
     pub(crate) fn delete_op(&self, i: usize, t: &Tuple, guard: &Guard) -> Result<bool, ExecError> {
         let si = self.slot_of(i);
         let mut slot = lock_slot(&self.shared.slots[si]);
+        timeline::stamp_current(Phase::LaneAcquire);
+        let lane_t0 = Instant::now();
         // Write-ahead: commit the intent record before memory changes.
         if let Some(d) = &self.shared.sink {
             d.log_op(DurableOp::Delete { rel: i, t })?;
         }
+        timeline::stamp_current(Phase::WalAppend);
         let removed = slot
             .state
             .remove(i, t)
@@ -529,6 +626,14 @@ impl<'e> Hub<'e> {
                 }
             }
             self.shared.stale.store(true, Ordering::Release);
+        }
+        timeline::stamp_current(Phase::Apply);
+        if let Some(hm) = &self.shared.metrics {
+            hm.lane_ops[si].inc();
+            hm.lane_busy_us[si].add(lane_t0.elapsed().as_micros() as u64);
+            if removed {
+                hm.epoch_lag.add(1);
+            }
         }
         drop(slot);
         Ok(removed)
@@ -604,11 +709,34 @@ impl<'e> WriteHandle<'e> {
     /// `Err(Inconsistent)` when the block is already poisoned, other
     /// `Err`s are guard trips with the op rolled back.
     pub fn insert(&self, i: usize, t: Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        self.insert_timed(i, t, guard, &Arc::new(OpTimeline::new()))
+    }
+
+    /// [`insert`](WriteHandle::insert) with a caller-owned
+    /// [`OpTimeline`]: the caller stamps [`Phase::Enqueue`] when it
+    /// queues the op; this method installs the timeline as the thread's
+    /// current op so every pipeline layer (block lock, WAL, group
+    /// commit) stamps its phase, then folds the completed timeline into
+    /// the per-phase histograms.
+    pub fn insert_timed(
+        &self,
+        i: usize,
+        t: Tuple,
+        guard: &Guard,
+        tl: &Arc<OpTimeline>,
+    ) -> Result<bool, ExecError> {
+        let _cur = timeline::set_current(tl);
         let t0 = Instant::now();
         let hub = self.hub();
         let (accepted, _) = hub.insert_op(i, t, guard)?;
         hub.sink_op_finished()?;
+        // Publish = the visibility handoff: the op's effect is marked
+        // for the next epoch cut and any due snapshot has been taken.
+        tl.stamp(Phase::Publish);
         hub.emit_insert_event(i, accepted, t0, guard);
+        if let Some(hm) = &self.shared.metrics {
+            hm.record_timeline(tl);
+        }
         Ok(accepted)
     }
 
@@ -616,10 +744,27 @@ impl<'e> WriteHandle<'e> {
     /// `Session::delete`: `Ok(false)` when absent, `Err` on a guard trip
     /// with the delete rolled back.
     pub fn delete(&self, i: usize, t: &Tuple, guard: &Guard) -> Result<bool, ExecError> {
+        self.delete_timed(i, t, guard, &Arc::new(OpTimeline::new()))
+    }
+
+    /// [`delete`](WriteHandle::delete) with a caller-owned
+    /// [`OpTimeline`] — see [`insert_timed`](WriteHandle::insert_timed).
+    pub fn delete_timed(
+        &self,
+        i: usize,
+        t: &Tuple,
+        guard: &Guard,
+        tl: &Arc<OpTimeline>,
+    ) -> Result<bool, ExecError> {
+        let _cur = timeline::set_current(tl);
         let hub = self.hub();
         let removed = hub.delete_op(i, t, guard)?;
         hub.sink_op_finished()?;
+        tl.stamp(Phase::Publish);
         hub.emit_delete_event(i, removed, guard);
+        if let Some(hm) = &self.shared.metrics {
+            hm.record_timeline(tl);
+        }
         Ok(removed)
     }
 
@@ -802,11 +947,11 @@ fn publish_snapshot(engine: &Engine, shared: &HubShared) -> Arc<Snapshot> {
             tuples,
             consistent,
         });
-        if let Some(m) = &obs.metrics {
-            m.counter("hub.epochs_published").inc();
-            m.gauge("hub.epoch").set(epoch);
-            m.latency_histogram("hub.publish_us")
-                .observe_duration(t0.elapsed());
+        if let Some(hm) = &shared.metrics {
+            hm.epochs_published.inc();
+            hm.epoch.set(epoch);
+            hm.epoch_lag.set(0);
+            hm.publish_us.observe_duration(t0.elapsed());
         }
         *published = Arc::new(Snapshot {
             epoch,

@@ -226,6 +226,33 @@ pub enum TraceEvent {
         /// Framed bytes written.
         bytes: usize,
     },
+    /// One write op's trip through the serving pipeline, broken into
+    /// per-phase durations (microseconds attributed to each phase; 0
+    /// for phases the op did not reach). The only event carrying wall
+    /// time — emitted solely from serve-mode timed paths, never from
+    /// the deterministic engine paths the golden-trace suite pins.
+    OpTimeline {
+        /// The op verb (`insert` / `delete`).
+        verb: Arc<str>,
+        /// The op's sequence number in its session.
+        op: u64,
+        /// End-to-end pipeline time.
+        total_us: u64,
+        /// Time queued before a writer lane picked the op up.
+        enqueue_us: u64,
+        /// Time to acquire the block lock.
+        lane_acquire_us: u64,
+        /// Time to render and queue the WAL record.
+        wal_append_us: u64,
+        /// Time waiting on the group-commit batch.
+        batch_wait_us: u64,
+        /// Time to make the batch durable.
+        fsync_us: u64,
+        /// Time in the chase + state mutation.
+        apply_us: u64,
+        /// Time to hand the op off for reader visibility.
+        publish_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -255,6 +282,7 @@ impl TraceEvent {
             TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
             TraceEvent::EpochPublished { .. } => "epoch_published",
             TraceEvent::GroupCommitted { .. } => "group_committed",
+            TraceEvent::OpTimeline { .. } => "op_timeline",
         }
     }
 
@@ -362,6 +390,20 @@ impl TraceEvent {
             TraceEvent::GroupCommitted { ops, bytes } => {
                 format!("group_committed ops={ops} bytes={bytes}")
             }
+            TraceEvent::OpTimeline {
+                verb,
+                op,
+                total_us,
+                enqueue_us,
+                lane_acquire_us,
+                wal_append_us,
+                batch_wait_us,
+                fsync_us,
+                apply_us,
+                publish_us,
+            } => format!(
+                "op_timeline verb={verb} op={op} total_us={total_us} enqueue_us={enqueue_us} lane_acquire_us={lane_acquire_us} wal_append_us={wal_append_us} batch_wait_us={batch_wait_us} fsync_us={fsync_us} apply_us={apply_us} publish_us={publish_us}"
+            ),
         }
     }
 
@@ -560,6 +602,39 @@ impl TraceEvent {
             TraceEvent::GroupCommitted { ops, bytes } => {
                 w.key("ops").u64(*ops as u64).key("bytes").u64(*bytes as u64);
             }
+            TraceEvent::OpTimeline {
+                verb,
+                op,
+                total_us,
+                enqueue_us,
+                lane_acquire_us,
+                wal_append_us,
+                batch_wait_us,
+                fsync_us,
+                apply_us,
+                publish_us,
+            } => {
+                w.key("verb")
+                    .string(verb)
+                    .key("op")
+                    .u64(*op)
+                    .key("total_us")
+                    .u64(*total_us)
+                    .key("enqueue_us")
+                    .u64(*enqueue_us)
+                    .key("lane_acquire_us")
+                    .u64(*lane_acquire_us)
+                    .key("wal_append_us")
+                    .u64(*wal_append_us)
+                    .key("batch_wait_us")
+                    .u64(*batch_wait_us)
+                    .key("fsync_us")
+                    .u64(*fsync_us)
+                    .key("apply_us")
+                    .u64(*apply_us)
+                    .key("publish_us")
+                    .u64(*publish_us);
+            }
         }
         w.end_object();
         w.finish()
@@ -677,6 +752,18 @@ mod tests {
                 consistent: true,
             },
             TraceEvent::GroupCommitted { ops: 3, bytes: 96 },
+            TraceEvent::OpTimeline {
+                verb: Arc::from("insert"),
+                op: 12,
+                total_us: 480,
+                enqueue_us: 30,
+                lane_acquire_us: 5,
+                wal_append_us: 40,
+                batch_wait_us: 180,
+                fsync_us: 150,
+                apply_us: 60,
+                publish_us: 15,
+            },
         ];
         for e in &events {
             let json = e.to_json();

@@ -1,0 +1,136 @@
+//! Dependency-free Prometheus-style text exposition.
+//!
+//! Renders a [`MetricsSnapshot`] as `name{label="value"} value` lines —
+//! the de-facto scrape format — without pulling in any client library;
+//! the workspace stays hermetic. Registry names use dots
+//! (`store.wal_appends`) and an optional inline label suffix
+//! (`hub.lane_ops{block=3}`); exposition maps dots and dashes to
+//! underscores, prefixes everything with `idr_`, and quotes label
+//! values, so the two examples above become `idr_store_wal_appends` and
+//! `idr_hub_lane_ops{block="3"}`.
+//!
+//! Histograms follow the Prometheus convention: cumulative
+//! `_bucket{le="..."}` series ending in `le="+Inf"`, plus `_sum` and
+//! `_count`. Ordering is the snapshot's (sorted by name), so the output
+//! is deterministic.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Splits a registry name into `(base, label_suffix)`: the suffix of
+/// `hub.lane_ops{block=3}` is `{block="3"}`, rendered with quoted
+/// values; a name without braces has an empty suffix.
+fn split_name(name: &str) -> (String, String) {
+    let (base, labels) = match name.split_once('{') {
+        Some((b, rest)) => (b, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (name, ""),
+    };
+    let base: String = base
+        .chars()
+        .map(|c| if c == '.' || c == '-' { '_' } else { c })
+        .collect();
+    if labels.is_empty() {
+        return (format!("idr_{base}"), String::new());
+    }
+    let rendered: Vec<String> = labels
+        .split(',')
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => format!("{}=\"{}\"", k.trim(), v.trim().trim_matches('"')),
+            None => format!("{}=\"\"", pair.trim()),
+        })
+        .collect();
+    (format!("idr_{base}"), format!("{{{}}}", rendered.join(",")))
+}
+
+/// Joins a `{k="v"}` suffix with extra label pairs (for histogram `le`).
+fn with_extra_label(suffix: &str, extra: &str) -> String {
+    if suffix.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{}{},{}}}", &suffix[..1], &suffix[1..suffix.len() - 1], extra)
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition style.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let (base, labels) = split_name(name);
+        out.push_str(&format!("{base}{labels} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let (base, labels) = split_name(name);
+        out.push_str(&format!("{base}{labels} {v}\n"));
+    }
+    for h in &snap.histograms {
+        let (base, labels) = split_name(&h.name);
+        let mut cumulative = 0u64;
+        for &(bound, count) in &h.buckets {
+            cumulative += count;
+            // Elide empty prefixes? No — cumulative series must be
+            // complete for quantile math downstream; emit every bound.
+            let l = with_extra_label(&labels, &format!("le=\"{bound}\""));
+            out.push_str(&format!("{base}_bucket{l} {cumulative}\n"));
+        }
+        cumulative += h.overflow;
+        let l = with_extra_label(&labels, "le=\"+Inf\"");
+        out.push_str(&format!("{base}_bucket{l} {cumulative}\n"));
+        out.push_str(&format!("{base}_sum{labels} {}\n", h.sum));
+        out.push_str(&format!("{base}_count{labels} {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn names_are_sanitized_and_labels_quoted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("store.wal_appends").add(4);
+        reg.counter("hub.lane_ops{block=3}").add(9);
+        reg.gauge("serve.queue_depth").set(2);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("idr_store_wal_appends 4\n"));
+        assert!(text.contains("idr_hub_lane_ops{block=\"3\"} 9\n"));
+        assert!(text.contains("idr_serve_queue_depth 2\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_with_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("store.batch_size", &[1, 4]);
+        h.observe(1);
+        h.observe(3);
+        h.observe(100); // overflow
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("idr_store_batch_size_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("idr_store_batch_size_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("idr_store_batch_size_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("idr_store_batch_size_sum 104\n"));
+        assert!(text.contains("idr_store_batch_size_count 3\n"));
+    }
+
+    #[test]
+    fn labeled_histogram_keeps_its_labels_on_every_series() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("pipeline.us{phase=fsync}", &[10]).observe(5);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("idr_pipeline_us_bucket{phase=\"fsync\",le=\"10\"} 1\n"));
+        assert!(text.contains("idr_pipeline_us_sum{phase=\"fsync\"} 5\n"));
+        assert!(text.contains("idr_pipeline_us_count{phase=\"fsync\"} 1\n"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            reg.counter("b").inc();
+            reg.counter("a").add(2);
+            reg.latency_histogram("h").observe(3);
+            render_prometheus(&reg.snapshot())
+        };
+        assert_eq!(build(), build());
+    }
+}

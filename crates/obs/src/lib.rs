@@ -22,21 +22,38 @@
 //!   JSON writer ([`json`]) the bench harness uses — the workspace stays
 //!   hermetic (no serde).
 //!
+//! * **Timelines** ([`timeline`]): per-op pipeline spans for the
+//!   serving write path (enqueue → lane-acquire → wal-append →
+//!   batch-wait → fsync → apply → publish), with first-write-wins
+//!   atomic stamps and a thread-local current-op channel so layers
+//!   behind fixed trait boundaries can stamp without signature churn.
+//! * **Exposition** ([`exposition`]): a Prometheus-style
+//!   `name{label="value"} value` text renderer over the same snapshot,
+//!   again without any client library.
+//!
 //! Everything is `Send + Sync`; counters are relaxed atomics and the
-//! event log takes one uncontended mutex per emit. Nothing in this crate
-//! reads clocks or allocates identifiers, so two runs over the same
-//! inputs produce byte-identical traces — the property the golden-trace
-//! suite pins down.
+//! event log takes one uncontended mutex per emit. The engine-facing
+//! core of this crate reads no clocks and allocates no identifiers, so
+//! two runs over the same inputs produce byte-identical traces — the
+//! property the golden-trace suite pins down. The *one* deliberate
+//! exception is [`timeline`] (and the [`TraceEvent::OpTimeline`] event
+//! it feeds): op timelines exist to measure wall time on the serving
+//! path and are emitted only from serve-mode timed paths, never from
+//! the deterministic engine paths. DESIGN.md §15 spells out the split.
 
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod exposition;
 pub mod json;
 pub mod metrics;
+pub mod timeline;
 pub mod tracer;
 
 pub use event::TraceEvent;
+pub use exposition::render_prometheus;
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, WindowedRate,
 };
+pub use timeline::{OpTimeline, Phase};
 pub use tracer::{EventLog, NoopTracer, ShardedLog, TraceHandle, Tracer};

@@ -50,6 +50,21 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Adds `n` — for up/down gauges like queue depth.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (concurrent decrements can
+    /// momentarily observe a not-yet-incremented value).
+    pub fn sub(&self, n: u64) {
+        self.0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            })
+            .ok();
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -189,30 +204,104 @@ impl MetricsRegistry {
     }
 
     /// A point-in-time copy of every metric, sorted by name.
+    ///
+    /// Each map lock is held only long enough to clone `(name, Arc)`
+    /// pairs; the atomics are read after the locks drop. Hot-path
+    /// writers hold pre-resolved `Arc` handles and never touch the
+    /// maps, so a periodic snapshot (serve's `--stats-every`) cannot
+    /// stall a writer lane — the only contention window is another
+    /// thread *registering* a brand-new metric at the same instant.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters: Vec<(String, Arc<Counter>)> = self
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        let gauges: Vec<(String, Arc<Gauge>)> = self
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        let histograms: Vec<(String, Arc<Histogram>)> = self
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
         MetricsSnapshot {
-            counters: self
-                .counters
-                .lock()
-                .expect("metrics registry poisoned")
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
-            gauges: self
-                .gauges
-                .lock()
-                .expect("metrics registry poisoned")
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .expect("metrics registry poisoned")
-                .iter()
-                .map(|(k, v)| v.snapshot(k))
-                .collect(),
+            counters: counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: histograms.iter().map(|(k, v)| v.snapshot(k)).collect(),
         }
+    }
+}
+
+/// A sliding-window event rate over a fixed ring of time slots.
+///
+/// The clock is *explicit*: every call takes `now_us`, so production
+/// code passes a monotonic elapsed-time reading while tests drive a
+/// fake clock and get bit-for-bit deterministic rates. The window is
+/// divided into `slots` equal slices; recording into a slice whose
+/// epoch has passed resets it, so memory stays fixed no matter how long
+/// the server runs.
+#[derive(Debug)]
+pub struct WindowedRate {
+    window_us: u64,
+    slot_us: u64,
+    /// `(slot_epoch, count)` per slot; an entry counts only when its
+    /// epoch matches the current time's.
+    slots: Vec<(u64, u64)>,
+}
+
+impl WindowedRate {
+    /// A rate over a trailing `window_us` window with `slots` slices.
+    /// Both are clamped to at least 1 (sub-slot windows round up).
+    pub fn new(window_us: u64, slots: usize) -> Self {
+        let slots = slots.max(1);
+        let window_us = window_us.max(1);
+        WindowedRate {
+            window_us,
+            slot_us: (window_us / slots as u64).max(1),
+            slots: vec![(u64::MAX, 0); slots],
+        }
+    }
+
+    fn slot_epoch(&self, now_us: u64) -> u64 {
+        now_us / self.slot_us
+    }
+
+    /// Records `n` events at `now_us`.
+    pub fn record(&mut self, now_us: u64, n: u64) {
+        let epoch = self.slot_epoch(now_us);
+        let i = (epoch % self.slots.len() as u64) as usize;
+        if self.slots[i].0 != epoch {
+            self.slots[i] = (epoch, 0);
+        }
+        self.slots[i].1 += n;
+    }
+
+    /// Events recorded inside the trailing window ending at `now_us`.
+    pub fn count(&self, now_us: u64) -> u64 {
+        let epoch = self.slot_epoch(now_us);
+        let oldest = epoch.saturating_sub(self.slots.len() as u64 - 1);
+        self.slots
+            .iter()
+            .filter(|(e, _)| (oldest..=epoch).contains(e))
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Events per second over the trailing window ending at `now_us`.
+    /// Early in a run, the divisor is the elapsed time rather than the
+    /// full window, so the first seconds aren't under-reported.
+    pub fn per_sec(&self, now_us: u64) -> f64 {
+        let span = self.window_us.min(now_us.max(1));
+        self.count(now_us) as f64 * 1_000_000.0 / span as f64
     }
 }
 
@@ -230,6 +319,53 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
     /// Observations above the last bound.
     pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the buckets: the
+    /// upper bound of the bucket containing the quantile rank. Returns
+    /// `None` for an empty histogram; a rank landing in the overflow
+    /// bucket reports `u64::MAX` ("above the top bound"). The estimate
+    /// is conservative — at most one bucket width above the true value,
+    /// which on the 1-2-5 latency scale means within 2.5x.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bound);
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// The median estimate. `None` when empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile estimate. `None` when empty.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate. `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean observed value, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
 }
 
 /// A point-in-time copy of a [`MetricsRegistry`], with deterministic
@@ -367,6 +503,105 @@ mod tests {
             j1,
             r#"{"counters":{"a":2,"b":1},"gauges":{},"histograms":[{"name":"h","count":1,"sum":3,"overflow":0,"buckets":[[10,1]]}]}"#
         );
+    }
+
+    #[test]
+    fn gauge_add_sub_saturates_at_zero() {
+        let g = Gauge::default();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let s = Histogram::new(&[10, 100]).snapshot("t");
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let h = Histogram::new(&[10, 20, 50]);
+        // 6 in (..=10], 3 in (10..=20], 1 in (20..=50].
+        for _ in 0..6 {
+            h.observe(5);
+        }
+        for _ in 0..3 {
+            h.observe(15);
+        }
+        h.observe(30);
+        let s = h.snapshot("t");
+        assert_eq!(s.p50(), Some(10)); // rank 5 of 10 lands in the first bucket
+        assert_eq!(s.quantile(0.89), Some(20)); // rank 9
+        assert_eq!(s.p95(), Some(50)); // rank 10
+        assert_eq!(s.quantile(0.0), Some(10)); // rank clamps to 1
+        assert_eq!(s.quantile(1.0), Some(50));
+    }
+
+    #[test]
+    fn quantile_in_edge_buckets_and_overflow() {
+        let h = Histogram::new(&[10]);
+        h.observe(3); // first (and only) bounded bucket
+        h.observe(99); // overflow
+        let s = h.snapshot("t");
+        assert_eq!(s.p50(), Some(10));
+        assert_eq!(s.p99(), Some(u64::MAX)); // rank 2 lands above the top bound
+        // All mass in overflow: every quantile is "above the top bound".
+        let h = Histogram::new(&[10]);
+        h.observe(99);
+        assert_eq!(h.snapshot("t").p50(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn windowed_rate_is_deterministic_under_a_fake_clock() {
+        let mut r = WindowedRate::new(1_000_000, 10); // 1s window, 100ms slots
+        for t in [0u64, 100_000, 200_000, 300_000] {
+            r.record(t, 5);
+        }
+        assert_eq!(r.count(300_000), 20);
+        // 20 events over the first 0.3s: early-run divisor is elapsed time.
+        assert!((r.per_sec(300_000) - 20.0 * 1_000_000.0 / 300_000.0).abs() < 1e-9);
+        // 1.5s later the window has slid past every recorded slot.
+        assert_eq!(r.count(1_800_000), 0);
+        // Re-recording into a recycled slot resets its stale epoch.
+        r.record(2_000_000, 7);
+        assert_eq!(r.count(2_000_000), 7);
+        // Identical replay produces identical numbers.
+        let mut r2 = WindowedRate::new(1_000_000, 10);
+        for t in [0u64, 100_000, 200_000, 300_000] {
+            r2.record(t, 5);
+        }
+        assert_eq!(r2.count(300_000), 20);
+        assert_eq!(r2.per_sec(300_000).to_bits(), {
+            let mut r3 = WindowedRate::new(1_000_000, 10);
+            for t in [0u64, 100_000, 200_000, 300_000] {
+                r3.record(t, 5);
+            }
+            r3.per_sec(300_000).to_bits()
+        });
+    }
+
+    #[test]
+    fn snapshot_reads_do_not_hold_registry_locks() {
+        // Regression shape for the hot-path fix: while one thread holds
+        // a registry map lock mid-registration, snapshot() must still
+        // have been able to read atomics outside the locks. We can't
+        // observe lock spans directly; instead pin the contract that
+        // snapshot equals a by-hand read through pre-resolved handles.
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("serve.ops");
+        let h = reg.latency_histogram("serve.op_us");
+        c.add(41);
+        h.observe(7);
+        let snap = reg.snapshot();
+        c.inc(); // handle writes after the snapshot don't retro-apply
+        assert_eq!(snap.counters, vec![("serve.ops".to_string(), 41)]);
+        assert_eq!(snap.histograms[0].count, 1);
+        assert_eq!(reg.snapshot().counters[0].1, 42);
     }
 
     #[test]

@@ -27,7 +27,8 @@
 use std::sync::{Arc, Mutex};
 
 use idr_core::durability::{DurabilitySink, DurableOp};
-use idr_core::Engine;
+use idr_core::{Engine, Observability};
+use idr_obs::{MetricsRegistry, OpTimeline, Phase};
 use idr_relation::exec::{ExecError, Guard};
 use idr_relation::parse::{render_scheme_file, render_tuple_line};
 use idr_relation::rng::SplitMix64;
@@ -275,7 +276,7 @@ fn render_fixture(
 /// Runs one case: generate per-client op streams, run them from
 /// concurrent threads over one hub + recording sink, then serially
 /// replay the committed order and compare.
-fn run_case(seed: u64, summary: &mut ConcurrentFuzzSummary) {
+fn run_case(seed: u64, summary: &mut ConcurrentFuzzSummary, metrics: Option<Arc<MetricsRegistry>>) {
     let mut rng = SplitMix64::new(seed);
     let db = gen_scheme(&mut rng);
     let mut symbols = SymbolTable::new();
@@ -287,7 +288,13 @@ fn run_case(seed: u64, summary: &mut ConcurrentFuzzSummary) {
     summary.clients += clients;
 
     // --- Concurrent run ---------------------------------------------------
-    let engine = Engine::new(db.clone());
+    // Only the concurrent arm feeds the registry: the serial replay
+    // below re-runs the same ops, and double-counting would make the
+    // dumped snapshot lie about how much work the fuzz run drove.
+    let engine = Engine::new(db.clone()).with_observability(Observability {
+        metrics,
+        ..Observability::default()
+    });
     let guard = Guard::unlimited();
     let sink = Arc::new(RecordingSink::new(db.clone(), symbols.clone()));
     let base = DatabaseState::empty(&db);
@@ -311,16 +318,45 @@ fn run_case(seed: u64, summary: &mut ConcurrentFuzzSummary) {
             let guard = &guard;
             s.spawn(move || {
                 for (k, (is_insert, rel, t)) in ops.iter().enumerate() {
+                    // Drive the timed pipeline so every completed op
+                    // carries a timeline we can assert invariants on.
+                    let tl = Arc::new(OpTimeline::new());
+                    tl.stamp(Phase::Enqueue);
                     let r = if *is_insert {
-                        writer.insert(*rel, t.clone(), guard).map(|_| ())
+                        writer.insert_timed(*rel, t.clone(), guard, &tl).map(|_| ())
                     } else {
-                        writer.delete(*rel, t, guard).map(|_| ())
+                        writer.delete_timed(*rel, t, guard, &tl).map(|_| ())
                     };
                     if let Err(e) = r {
                         errors
                             .lock()
                             .expect("error list lock")
                             .push(format!("client {c} op {k}: {e}"));
+                        return;
+                    }
+                    // Completed ops must have stamped every phase the
+                    // in-memory pipeline reaches (the recording sink has
+                    // no group commit, so batch-wait/fsync may be unset)
+                    // and the stamps must never run backwards.
+                    if !tl.is_monotone() {
+                        errors.lock().expect("error list lock").push(format!(
+                            "client {c} op {k}: timeline not monotone: {:?}",
+                            tl.phase_durations()
+                        ));
+                        return;
+                    }
+                    let required = [
+                        Phase::Enqueue,
+                        Phase::LaneAcquire,
+                        Phase::WalAppend,
+                        Phase::Apply,
+                        Phase::Publish,
+                    ];
+                    if !tl.covers(&required) {
+                        errors.lock().expect("error list lock").push(format!(
+                            "client {c} op {k}: timeline missing phases, got {:?}",
+                            tl.phase_durations()
+                        ));
                         return;
                     }
                 }
@@ -387,14 +423,27 @@ fn run_case(seed: u64, summary: &mut ConcurrentFuzzSummary) {
 pub fn concurrent_fuzz(
     seed: u64,
     cases: usize,
+    progress: Option<&mut dyn FnMut(usize, usize)>,
+) -> ConcurrentFuzzSummary {
+    concurrent_fuzz_with(seed, cases, progress, None)
+}
+
+/// [`concurrent_fuzz`] with an optional metrics registry: every
+/// concurrent hub feeds it (session verdicts, per-block lane ops,
+/// pipeline-phase latencies), so a CI run can dump one snapshot
+/// covering the whole campaign alongside any failure fixtures.
+pub fn concurrent_fuzz_with(
+    seed: u64,
+    cases: usize,
     mut progress: Option<&mut dyn FnMut(usize, usize)>,
+    metrics: Option<Arc<MetricsRegistry>>,
 ) -> ConcurrentFuzzSummary {
     let mut master = SplitMix64::new(seed);
     let mut summary = ConcurrentFuzzSummary::default();
     for k in 0..cases {
         let case_seed = master.next_u64();
         summary.cases += 1;
-        run_case(case_seed, &mut summary);
+        run_case(case_seed, &mut summary, metrics.clone());
         if let Some(p) = progress.as_deref_mut() {
             p(k + 1, summary.failures.len());
         }

@@ -57,7 +57,9 @@ pub mod sync_fuzz;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-pub use concurrent::{concurrent_fuzz, ConcurrentFailure, ConcurrentFuzzSummary};
+pub use concurrent::{
+    concurrent_fuzz, concurrent_fuzz_with, ConcurrentFailure, ConcurrentFuzzSummary,
+};
 pub use crash::{concurrent_crash_fuzz, crash_fuzz, CrashFailure, CrashFuzzSummary};
 pub use interp::{CaseReport, Divergence};
 pub use ops::Case;

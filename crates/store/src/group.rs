@@ -39,7 +39,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use idr_core::durability::{DurabilitySink, DurableOp};
-use idr_obs::{MetricsRegistry, TraceEvent, TraceHandle};
+use idr_obs::timeline::{self, Phase};
+use idr_obs::{Counter, Histogram, MetricsRegistry, TraceEvent, TraceHandle};
 use idr_relation::exec::ExecError;
 use idr_relation::DatabaseState;
 
@@ -65,6 +66,35 @@ struct Queue {
     failed: Option<StoreError>,
 }
 
+/// Pre-resolved handles for every metric the commit path touches. The
+/// registry's name lookup (a map lock) happens once, when grouping is
+/// enabled — the leader's per-batch bookkeeping is then pure atomics,
+/// so a concurrent registry snapshot can never stall a commit.
+#[derive(Debug)]
+struct GroupMetrics {
+    batches: Arc<Counter>,
+    ops: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    commit_us: Arc<Histogram>,
+    /// Records per committed batch, on a 1-2-5 count scale.
+    batch_size: Arc<Histogram>,
+    /// Raw fsync syscall latency per batch.
+    fsync_us: Arc<Histogram>,
+}
+
+impl GroupMetrics {
+    fn new(m: &MetricsRegistry) -> GroupMetrics {
+        GroupMetrics {
+            batches: m.counter("store.group_batches"),
+            ops: m.counter("store.group_ops"),
+            fsyncs: m.counter("store.fsyncs"),
+            commit_us: m.latency_histogram("store.group_commit_us"),
+            batch_size: m.histogram("store.batch_size", &[1, 2, 5, 10, 20, 50, 100, 200, 500]),
+            fsync_us: m.latency_histogram("store.fsync_us"),
+        }
+    }
+}
+
 /// Grouping configuration + observability, settable after construction.
 #[derive(Debug, Default)]
 struct GroupCfg {
@@ -76,7 +106,7 @@ struct GroupCfg {
     /// unchanged.
     grouping: bool,
     tracer: TraceHandle,
-    metrics: Option<Arc<MetricsRegistry>>,
+    metrics: Option<Arc<GroupMetrics>>,
 }
 
 /// The group-commit WAL: an open [`WalWriter`] behind the
@@ -122,7 +152,7 @@ impl GroupWal {
             window,
             grouping: true,
             tracer,
-            metrics,
+            metrics: metrics.map(|m| Arc::new(GroupMetrics::new(&m))),
         };
     }
 
@@ -177,11 +207,18 @@ impl GroupWal {
         q.next_seq += 1;
         let my_seq = q.next_seq;
         q.pending.push_back(payload.to_string());
+        // The op's record is queued for the commit writer: wal-append
+        // is done from the op's point of view; what follows is waiting.
+        timeline::stamp_current(Phase::WalAppend);
         loop {
             if let Some(e) = &q.failed {
                 return Err(e.clone());
             }
             if q.durable_seq >= my_seq {
+                // Follower whose record rode a leader's batch: the wait
+                // and the durability point collapse into this wakeup.
+                timeline::stamp_current(Phase::BatchWait);
+                timeline::stamp_current(Phase::Fsync);
                 return Ok(framed);
             }
             if !q.leader_active {
@@ -205,27 +242,31 @@ impl GroupWal {
         let batch_end = q.taken_seq + batch.len() as u64;
         q.taken_seq = batch_end;
         drop(q);
+        // Leader's batch-wait = its linger + drain; the write + fsync
+        // that follow are accounted to the fsync phase.
+        timeline::stamp_current(Phase::BatchWait);
 
         // One write pass + one fsync for the whole batch, outside the
         // queue lock so followers can keep enqueuing for the next batch.
         let t0 = Instant::now();
-        let wrote: Result<(usize, bool), StoreError> = (|| {
+        let wrote: Result<(usize, Option<Duration>), StoreError> = (|| {
             let mut w = relock(&self.writer);
             let mut bytes = 0usize;
             for p in &batch {
                 bytes += w.append_unsynced(p)?;
             }
-            let synced = w.sync_now()?;
-            Ok((bytes, synced))
+            let fsync = w.sync_now()?;
+            Ok((bytes, fsync))
         })();
 
         let mut q = relock(&self.queue);
         q.leader_active = false;
         let out = match wrote {
-            Ok((bytes, synced)) => {
+            Ok((bytes, fsync)) => {
                 q.durable_seq = batch_end;
+                timeline::stamp_current(Phase::Fsync);
                 self.batches.fetch_add(1, Ordering::Relaxed);
-                if synced {
+                if fsync.is_some() {
                     self.fsyncs.fetch_add(1, Ordering::Relaxed);
                 }
                 let cfg = relock(&self.cfg);
@@ -234,13 +275,14 @@ impl GroupWal {
                     cfg.tracer
                         .emit_with(|| TraceEvent::GroupCommitted { ops, bytes });
                     if let Some(m) = &cfg.metrics {
-                        m.counter("store.group_batches").inc();
-                        m.counter("store.group_ops").add(ops as u64);
-                        if synced {
-                            m.counter("store.fsyncs").inc();
+                        m.batches.inc();
+                        m.ops.add(ops as u64);
+                        m.batch_size.observe(ops as u64);
+                        if let Some(d) = fsync {
+                            m.fsyncs.inc();
+                            m.fsync_us.observe_duration(d);
                         }
-                        m.latency_histogram("store.group_commit_us")
-                            .observe_duration(t0.elapsed());
+                        m.commit_us.observe_duration(t0.elapsed());
                     }
                 }
                 Ok(framed)
@@ -296,6 +338,9 @@ impl GroupWal {
 pub struct SharedStore {
     inner: Mutex<Store>,
     wal: Arc<GroupWal>,
+    /// Pre-resolved `store.commit_us` handle: the per-op commit path
+    /// must not pay a registry name lookup.
+    commit_us: Option<Arc<Histogram>>,
 }
 
 impl SharedStore {
@@ -305,9 +350,13 @@ impl SharedStore {
     pub fn new(store: Store) -> SharedStore {
         let wal = store.group_wal();
         wal.enable_grouping(Duration::ZERO, store.tracer(), store.metrics());
+        let commit_us = store
+            .metrics()
+            .map(|m| m.latency_histogram("store.commit_us"));
         SharedStore {
             inner: Mutex::new(store),
             wal,
+            commit_us,
         }
     }
 
@@ -347,9 +396,8 @@ impl DurabilitySink for SharedStore {
         let bytes = self.wal.append(&payload)?;
         let mut store = self.lock();
         store.note_append(verb, bytes);
-        if let Some(m) = store.metrics() {
-            m.latency_histogram("store.commit_us")
-                .observe_duration(t0.elapsed());
+        if let Some(h) = &self.commit_us {
+            h.observe_duration(t0.elapsed());
         }
         Ok(())
     }

@@ -215,15 +215,19 @@ impl WalWriter {
     }
 
     /// Makes every append so far durable (when the sync policy is on;
-    /// a no-op otherwise). Returns whether an fsync was actually issued.
-    pub fn sync_now(&mut self) -> Result<bool, StoreError> {
+    /// a no-op otherwise). Returns how long the fsync syscall took —
+    /// measured here, at the syscall, so the group-commit layer can
+    /// histogram raw device latency — or `None` when the sync policy is
+    /// off and no fsync was issued.
+    pub fn sync_now(&mut self) -> Result<Option<std::time::Duration>, StoreError> {
         if !self.sync {
-            return Ok(false);
+            return Ok(None);
         }
+        let t0 = std::time::Instant::now();
         self.file
             .sync_data()
             .map_err(|e| StoreError::io("sync wal append", &self.path, e))?;
-        Ok(true)
+        Ok(Some(t0.elapsed()))
     }
 
     /// Whether appends fsync (the commit guarantee).

@@ -56,6 +56,17 @@ pub struct Scenario {
 impl Scenario {
     /// Runs the scenario, attaching `tracer` to the simulator.
     pub fn run(&self, tracer: TraceHandle) -> Result<SyncReport, idr_relation::exec::ExecError> {
+        self.run_with(tracer, None)
+    }
+
+    /// Runs the scenario with full observability: `tracer` for the
+    /// deterministic `sync_*` events, `metrics` for wall-clock round
+    /// timings (`sync.round_us` / `sync.rounds`).
+    pub fn run_with(
+        &self,
+        tracer: TraceHandle,
+        metrics: Option<std::sync::Arc<idr_obs::MetricsRegistry>>,
+    ) -> Result<SyncReport, idr_relation::exec::ExecError> {
         let mut sim = Simulator::new(
             &self.db,
             self.replicas,
@@ -64,7 +75,8 @@ impl Scenario {
             self.policy,
             self.seed,
         )
-        .with_observability(tracer);
+        .with_observability(tracer)
+        .with_metrics(metrics);
         sim.run(self.max_rounds)
     }
 }

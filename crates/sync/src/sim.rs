@@ -114,6 +114,11 @@ pub struct Simulator {
     pairs: Vec<Vec<PeerSync>>,
     crash_fired: Vec<bool>,
     tracer: TraceHandle,
+    /// Pre-resolved round-timing handles (None when metrics are off).
+    round_metrics: Option<(
+        std::sync::Arc<idr_obs::Counter>,
+        std::sync::Arc<idr_obs::Histogram>,
+    )>,
     report: SyncReport,
 }
 
@@ -139,6 +144,7 @@ impl Simulator {
             next_id: 0,
             pairs: (0..n).map(|_| vec![PeerSync::default(); n]).collect(),
             tracer: TraceHandle::none(),
+            round_metrics: None,
             report: SyncReport {
                 converged: false,
                 diverged: None,
@@ -162,6 +168,16 @@ impl Simulator {
         self
     }
 
+    /// Attaches a metrics registry: each anti-entropy round's wall time
+    /// lands in the `sync.round_us` histogram and `sync.rounds` counts
+    /// them. Round *timings* are wall-clock (non-deterministic); every
+    /// `sync_*` trace event stays clock-free.
+    pub fn with_metrics(mut self, metrics: Option<std::sync::Arc<idr_obs::MetricsRegistry>>) -> Simulator {
+        self.round_metrics =
+            metrics.map(|m| (m.counter("sync.rounds"), m.latency_histogram("sync.round_us")));
+        self
+    }
+
     /// The replicas, for post-run inspection by the oracle.
     pub fn replicas(&self) -> &[Replica] {
         &self.replicas
@@ -171,7 +187,12 @@ impl Simulator {
     pub fn run(&mut self, max_rounds: usize) -> Result<SyncReport, ExecError> {
         for round in 0..max_rounds {
             self.report.rounds = round + 1;
+            let t0 = std::time::Instant::now();
             self.step(round)?;
+            if let Some((rounds, round_us)) = &self.round_metrics {
+                rounds.inc();
+                round_us.observe_duration(t0.elapsed());
+            }
             if self.check_converged(round) {
                 break;
             }

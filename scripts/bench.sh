@@ -18,11 +18,16 @@
 #   * the PR 7 headline — the concurrent hub over the group-commit WAL
 #     serves a fixed durable op budget faster with 4 clients than with 1
 #     (clients ride shared commit barriers), and grouping cuts
-#     fsyncs-per-op below the classic one-fsync-per-op discipline.
+#     fsyncs-per-op below the classic one-fsync-per-op discipline;
+#   * the PR 8 trajectory gate — the 4-client serving throughput of this
+#     build must stay within a generous tolerance of the checked-in
+#     BENCH_pr7.json, so the always-on serving-path instrumentation
+#     (pre-resolved metric handles, pipeline timelines) cannot silently
+#     halve the serving path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr7.json}"
+OUT="${1:-BENCH_pr8.json}"
 
 cargo build -p bench --release
 ./target/release/bench-smoke > "$OUT"
@@ -62,14 +67,27 @@ print(f"trace overhead on {oh['family']}: "
 # this build vs the PR 3 baseline (itself gated against PR 2). 5%
 # relative, with 0.15 ms absolute slack for scheduler jitter on sub-ms
 # medians — the replication layer must stay out of the single-node path.
+#
+# The baseline's milliseconds were recorded on a different day's machine
+# conditions, so the budget is first corrected for environment drift
+# using the fast whole-state chase as the same-run anchor: chase_fast is
+# library code with no instrumentation sites, so its time moves with the
+# machine but never with dormant-tracer cost. (Observed in practice: the
+# uninstrumented incremental chase drifts ~10% between sessions while
+# the noop/fast ratio stays flat.)
 if os.path.exists("BENCH_pr3.json"):
     with open("BENCH_pr3.json") as f:
         base = json.load(f)
-    budget = base["trace_overhead"]["incremental_noop_ms"] * 1.05 + 0.15
+    drift = (largest["full_chase_ms"]["fast"]
+             / base["families"][-1]["full_chase_ms"]["fast"])
+    base_noop = base["trace_overhead"]["incremental_noop_ms"]
+    budget = base_noop * drift * 1.05 + 0.15
     got = oh["incremental_noop_ms"]
     assert got <= budget, \
-        f"no-op tracer overhead: incremental {got:.3f} ms exceeds 5% over PR3 baseline ({budget:.3f} ms)"
-    print(f"OK: no-op tracer within 5% of the PR3 baseline ({got:.3f} <= {budget:.3f} ms)")
+        f"no-op tracer overhead: incremental {got:.3f} ms exceeds 5% over the " \
+        f"drift-corrected PR3 baseline ({budget:.3f} ms = {base_noop:.3f} x {drift:.3f} x 1.05 + 0.15)"
+    print(f"OK: no-op tracer within 5% of the PR3 baseline "
+          f"({got:.3f} <= {budget:.3f} ms, drift x{drift:.3f})")
 else:
     print("note: BENCH_pr3.json baseline missing; skipping the overhead gate")
 
@@ -112,4 +130,24 @@ assert gc["per_op"]["fsyncs_per_op"] >= 1.0, \
 assert gc["grouped"]["fsyncs_per_op"] < gc["per_op"]["fsyncs_per_op"], \
     "group commit must reduce fsyncs-per-op below the per-op discipline"
 print("OK: group commit measurably reduces fsyncs-per-op")
+
+# Absolute-throughput trajectory gate: 4-client serving ops/s against the
+# PR 7 baseline. The tolerance is deliberately generous (half the
+# baseline) — fsync-bound medians jitter hard on shared runners — but a
+# hot-path regression from the new instrumentation (an accidental
+# registry lock per op, say) costs well over 2x and will trip it.
+if os.path.exists("BENCH_pr7.json") and os.path.abspath("BENCH_pr7.json") != \
+        os.path.abspath(os.environ["OUT"]):
+    with open("BENCH_pr7.json") as f:
+        base = json.load(f)
+    base_rate = {c["clients"]: c["ops_per_sec"] for c in base["serve"]["clients"]}[4]
+    got_rate = by_clients[4]["ops_per_sec"]
+    floor = base_rate * 0.5
+    assert got_rate >= floor, \
+        f"serve trajectory: 4-client {got_rate:.0f} ops/s fell below half the " \
+        f"PR7 baseline ({base_rate:.0f} ops/s)"
+    print(f"OK: 4-client serve throughput {got_rate:.0f} ops/s holds the PR7 "
+          f"trajectory (baseline {base_rate:.0f}, floor {floor:.0f})")
+else:
+    print("note: BENCH_pr7.json baseline missing; skipping the serve trajectory gate")
 EOF

@@ -25,6 +25,22 @@ trap 'rm -f "$TRACE" "$METRICS"' EXIT
 # event family (ops shipped, round completions, the crash, convergence).
 ./target/release/idr sync examples/scenarios/partition-heal.txt --trace=json \
   2>> "$TRACE" > /dev/null
+# A real multi-client serve session: two writer lanes with group commit,
+# every op journaled (--slow-op-us 0) and a `.stats` probe in-band. Its
+# stderr carries both the op_timeline trace events and the slow_op
+# records; both shapes are validated below.
+DATA=$(mktemp -d)
+trap 'rm -f "$TRACE" "$METRICS"; rm -rf "$DATA"' EXIT
+./target/release/idr init "$DATA" "$SCM" > /dev/null
+printf '%s\n' \
+  "insert R1: H=h9 R=r9 C=c9" \
+  "insert R4: C=c9 S=s9 G=g9" \
+  "insert R2: H=h9 T=t9 R=r9" \
+  "delete R2: H=h9 T=t9 R=r9" \
+  ".stats" \
+  "quit" \
+  | ./target/release/idr serve --data-dir "$DATA" --clients 2 --group-commit-window 200 \
+      --stats-every 2 --slow-op-us 0 --trace=json 2>> "$TRACE" > /dev/null
 
 TRACE="$TRACE" METRICS="$METRICS" python3 - <<'EOF'
 import json, os
@@ -46,7 +62,7 @@ def check_fields(obj, fields, where):
             ok = isinstance(obj[name], PY_TYPES[ty])
         assert ok, f"{where}: field {name!r} should be {ty}, got {obj[name]!r}"
 
-events, kinds = 0, set()
+events, slow_ops, kinds = 0, 0, set()
 with open(os.environ["TRACE"]) as f:
     for lineno, line in enumerate(f, 1):
         line = line.strip()
@@ -54,6 +70,12 @@ with open(os.environ["TRACE"]) as f:
             continue
         e = json.loads(line)
         kind = e.pop("type", None)
+        # The serve session's stderr interleaves the slow-op journal
+        # (--slow-op-us) with the trace stream; it has its own shape.
+        if kind == "slow_op":
+            check_fields(e, schema["slow_op"], f"trace line {lineno} (slow_op)")
+            slow_ops += 1
+            continue
         assert kind in schema["events"], f"trace line {lineno}: unknown event type {kind!r}"
         check_fields(e, schema["events"][kind], f"trace line {lineno} ({kind})")
         events += 1
@@ -63,8 +85,13 @@ assert events > 0, "no trace events captured"
 for expected in ["chase_started", "fd_rule_fired", "session_built", "query_answered",
                  "selection_performed", "insert_applied", "state_rejected",
                  "sync_ops_shipped", "sync_round_completed", "sync_replica_crashed",
-                 "sync_converged"]:
+                 "sync_converged",
+                 # The serve session's pipeline family.
+                 "op_timeline", "wal_appended", "group_committed", "epoch_published"]:
     assert expected in kinds, f"exercise did not produce a {expected!r} event"
+# Each of the serve session's 4 mutations must land in the slow-op
+# journal (threshold 0 journals everything).
+assert slow_ops == 4, f"expected 4 slow_op records, saw {slow_ops}"
 
 with open(os.environ["METRICS"]) as f:
     m = json.load(f)
@@ -76,5 +103,6 @@ for i, h in enumerate(m["histograms"]):
     for bucket in h["buckets"]:
         assert isinstance(bucket, list) and len(bucket) == 2, f"histogram {i}: bad bucket {bucket!r}"
 
-print(f"OK: {events} trace events ({len(kinds)} kinds) and the metrics document match the schema")
+print(f"OK: {events} trace events ({len(kinds)} kinds), {slow_ops} slow-op records "
+      "and the metrics document match the schema")
 EOF

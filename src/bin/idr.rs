@@ -46,7 +46,7 @@
 //! idr fuzz     --sync  [--seed N] [--cases K] [--out DIR]
 //! idr fuzz     --concurrent [--seed N] [--cases K] [--out DIR]
 //! idr init     <data-dir> <scheme-file>
-//! idr serve    --data-dir <dir> [--snapshot-every N] [--clients N] [--group-commit-window US]
+//! idr serve    --data-dir <dir> [--snapshot-every N] [--clients N] [--group-commit-window US] [--stats-every N] [--slow-op-us T]
 //! idr recover  --data-dir <dir> [<ATTR> ...]
 //! idr sync     <scenario-file>        # scripted replication scenario
 //! idr demo                            # runs on the paper's Example 1
@@ -164,6 +164,7 @@ use std::sync::Arc;
 use independence_reducible::chase::{FiringInfo, RejectionExplanation};
 use independence_reducible::core::split::split_keys;
 use independence_reducible::exec::{Budget, ExecError, Guard, RetryPolicy};
+use independence_reducible::obs;
 use independence_reducible::prelude::*;
 use independence_reducible::relation::parse::{parse_scheme, parse_state, parse_tuple_line};
 use independence_reducible::store::{self, Store};
@@ -255,7 +256,7 @@ fn main() -> ExitCode {
             Err(e) => fail(EXIT_PARSE, &e),
         },
         Some("closure") if args.len() == 4 => closure(&args[1], &args[2], &args[3]),
-        Some("fuzz") => fuzz_cmd(&args[1..]),
+        Some("fuzz") => fuzz_cmd(&args[1..], &obs),
         Some("init") if args.len() == 3 => init_cmd(&args[1], &args[2]),
         Some("serve") => serve_cmd(&args[1..], budget, &obs, parallel),
         Some("recover") => recover_cmd(&args[1..], budget, &obs, parallel),
@@ -303,9 +304,17 @@ fn flush_obs(
         }
     }
     if let (Some(m), Some(path)) = (registry, metrics_path) {
-        let mut json = m.snapshot().to_json();
-        json.push('\n');
-        if let Err(e) = std::fs::write(path, json) {
+        let snap = m.snapshot();
+        // A `.prom` extension selects the text exposition format; any
+        // other path gets the pinned JSON snapshot.
+        let body = if path.ends_with(".prom") {
+            obs::render_prometheus(&snap)
+        } else {
+            let mut json = snap.to_json();
+            json.push('\n');
+            json
+        };
+        if let Err(e) = std::fs::write(path, body) {
             eprintln!("error: cannot write metrics to {path}: {e}");
         }
     }
@@ -313,7 +322,7 @@ fn flush_obs(
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash [--concurrent] | --sync | --concurrent\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N] [--clients N] [--group-commit-window US]   (ops from stdin)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash [--concurrent] | --sync | --concurrent\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N] [--clients N] [--group-commit-window US] [--stats-every N] [--slow-op-us T]   (ops from stdin; `.stats` prints live stats)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH (.prom extension selects text exposition)\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -905,7 +914,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
 /// `--sync`, the serial==concurrent serving-layer arm with
 /// `--concurrent`. Divergences become replayable fixtures under
 /// `--out` and the run exits with [`EXIT_DIVERGENCE`].
-fn fuzz_cmd(rest: &[String]) -> ExitCode {
+fn fuzz_cmd(rest: &[String], obs: &Observability) -> ExitCode {
     use independence_reducible::oracle;
     let opts = match parse_fuzz_flags(rest) {
         Ok(o) => o,
@@ -999,7 +1008,12 @@ fn fuzz_cmd(rest: &[String]) -> ExitCode {
                 );
             }
         };
-        let summary = oracle::concurrent_fuzz(opts.seed, opts.cases, Some(&mut progress));
+        let summary = oracle::concurrent_fuzz_with(
+            opts.seed,
+            opts.cases,
+            Some(&mut progress),
+            obs.metrics.clone(),
+        );
         println!(
             "concurrent fuzz: {} case(s) from seed {}, {} client thread(s) raced, {} op(s) committed, {} failure(s)",
             summary.cases,
@@ -1108,7 +1122,7 @@ fn sync_cmd(path: &str, obs: &Observability) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(EXIT_PARSE, &format!("{path}: {e}")),
     };
-    let report = match scenario.run(obs.tracer.clone()) {
+    let report = match scenario.run_with(obs.tracer.clone(), obs.metrics.clone()) {
         Ok(r) => r,
         Err(e) => return fail(exec_exit(&e), &format!("{e}")),
     };
@@ -1201,6 +1215,11 @@ struct StoreOpts {
     snapshot_every: Option<u64>,
     clients: Option<usize>,
     group_commit_window_us: Option<u64>,
+    /// Print a one-line stats summary every N completed ops.
+    stats_every: Option<u64>,
+    /// Emit a structured slow-op record to stderr for ops at or above
+    /// this many microseconds end to end.
+    slow_op_us: Option<u64>,
     rest: Vec<String>,
 }
 
@@ -1209,6 +1228,8 @@ fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
     let mut snapshot_every = None;
     let mut clients = None;
     let mut group_commit_window_us = None;
+    let mut stats_every = None;
+    let mut slow_op_us = None;
     let mut out = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -1237,6 +1258,14 @@ fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
             "--group-commit-window" => {
                 group_commit_window_us = Some(numeric("--group-commit-window")?);
             }
+            "--stats-every" => {
+                let n = numeric("--stats-every")?;
+                if n == 0 {
+                    return Err("--stats-every needs at least 1".to_string());
+                }
+                stats_every = Some(n);
+            }
+            "--slow-op-us" => slow_op_us = Some(numeric("--slow-op-us")?),
             _ => out.push(a.clone()),
         }
     }
@@ -1245,6 +1274,8 @@ fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
         snapshot_every,
         clients,
         group_commit_window_us,
+        stats_every,
+        slow_op_us,
         rest: out,
     })
 }
@@ -1281,9 +1312,15 @@ fn recover_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: b
         Ok(o) => o,
         Err(e) => return usage(&e),
     };
-    if opts.snapshot_every.is_some() || opts.clients.is_some() || opts.group_commit_window_us.is_some()
+    if opts.snapshot_every.is_some()
+        || opts.clients.is_some()
+        || opts.group_commit_window_us.is_some()
+        || opts.stats_every.is_some()
+        || opts.slow_op_us.is_some()
     {
-        return usage("--snapshot-every/--clients/--group-commit-window only apply to idr serve");
+        return usage(
+            "--snapshot-every/--clients/--group-commit-window/--stats-every/--slow-op-us only apply to idr serve",
+        );
     }
     let rec = match store::recover_with(
         Path::new(&opts.dir),
@@ -1331,11 +1368,188 @@ struct ServeJob {
     insert: bool,
     rel: usize,
     t: Tuple,
+    /// The op's pipeline timeline; `enqueue` is stamped at dispatch.
+    tl: Arc<obs::OpTimeline>,
 }
 
 /// One tagged response line bundle: the op number, the rendered body
 /// (may be multi-line), and the exit code if the op failed fatally.
 type ServeResponse = (usize, String, Option<u8>);
+
+/// The live stats surface behind `.stats` and `--stats-every`: the
+/// serve registry plus the windowed throughput rate. The printer thread
+/// records completions; the dispatcher renders on demand. Reads go
+/// through `MetricsRegistry::snapshot`, whose lock spans are bounded to
+/// Arc clones — writer lanes only ever touch pre-resolved atomics.
+struct ServeStats {
+    registry: Arc<MetricsRegistry>,
+    start: std::time::Instant,
+    rate: std::sync::Mutex<obs::WindowedRate>,
+    /// Ops dispatched to a lane but not yet completed.
+    queue_depth: Arc<obs::Gauge>,
+}
+
+impl ServeStats {
+    fn new(registry: Arc<MetricsRegistry>) -> ServeStats {
+        ServeStats {
+            queue_depth: registry.gauge("serve.queue_depth"),
+            registry,
+            start: std::time::Instant::now(),
+            // Trailing 1s window in 100ms slots: responsive without
+            // jitter from single slow batches.
+            rate: std::sync::Mutex::new(obs::WindowedRate::new(1_000_000, 10)),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Called by the printer per completed response.
+    fn note_done(&self) {
+        let now = self.now_us();
+        self.rate
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .record(now, 1);
+    }
+
+    fn rate_per_sec(&self) -> f64 {
+        let now = self.now_us();
+        self.rate
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .per_sec(now)
+    }
+
+    /// The periodic one-line summary (`--stats-every`).
+    fn render_line(&self, done: u64) -> String {
+        let snap = self.registry.snapshot();
+        let gauge = |n: &str| lookup_gauge(&snap, n);
+        format!(
+            "[stats] ops={done} rate={:.1}/s queue={} epoch={} lag={} insert_us={} fsync_us={} batch_mean={:.1} lanes=[{}]",
+            self.rate_per_sec(),
+            gauge("serve.queue_depth"),
+            gauge("hub.epoch"),
+            gauge("hub.epoch_lag"),
+            render_pctls(lookup_hist(&snap, "session.insert_us")),
+            render_pctls(lookup_hist(&snap, "store.fsync_us")),
+            lookup_hist(&snap, "store.batch_size").map_or(0.0, |h| h.mean()),
+            lane_counts(&snap, "hub.lane_ops")
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+
+    /// The full `.stats` breakdown (multi-line).
+    fn render_full(&self, dispatched: usize, clients: usize) -> String {
+        let snap = self.registry.snapshot();
+        let gauge = |n: &str| lookup_gauge(&snap, n);
+        let mut body = format!(
+            "server stats: {dispatched} op(s) dispatched over {clients} client lane(s), {:.1} op/s (trailing 1s)\nqueue depth {}, read epoch {} (lag {} op(s) unpublished)",
+            self.rate_per_sec(),
+            gauge("serve.queue_depth"),
+            gauge("hub.epoch"),
+            gauge("hub.epoch_lag"),
+        );
+        body.push_str("\npipeline phase latencies (us):");
+        for p in obs::Phase::ALL {
+            let h = lookup_hist(&snap, &format!("pipeline.us{{phase={}}}", p.as_str()));
+            if h.is_some_and(|h| h.count > 0) {
+                body.push_str(&format!(
+                    "\n  {:<12} {}",
+                    p.as_str(),
+                    render_pctls(h)
+                ));
+            }
+        }
+        let batches = lookup_hist(&snap, "store.batch_size");
+        body.push_str(&format!(
+            "\ngroup commit: {} batch(es), mean size {:.1}, batch {}, fsync_us {}",
+            batches.map_or(0, |h| h.count),
+            batches.map_or(0.0, |h| h.mean()),
+            render_pctls(batches),
+            render_pctls(lookup_hist(&snap, "store.fsync_us")),
+        ));
+        let ops = lane_counts(&snap, "hub.lane_ops");
+        let busy = lane_counts(&snap, "hub.lane_busy_us");
+        let elapsed = self.now_us().max(1);
+        body.push_str("\nlanes:");
+        for (b, n) in ops.iter().enumerate() {
+            let pct = busy.get(b).map_or(0.0, |&u| u as f64 * 100.0 / elapsed as f64);
+            body.push_str(&format!("\n  block {b}: {n} op(s), {pct:.1}% busy"));
+        }
+        body
+    }
+}
+
+fn lookup_gauge(snap: &obs::MetricsSnapshot, name: &str) -> u64 {
+    snap.gauges
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+fn lookup_hist<'a>(
+    snap: &'a obs::MetricsSnapshot,
+    name: &str,
+) -> Option<&'a obs::HistogramSnapshot> {
+    snap.histograms.iter().find(|h| h.name == name)
+}
+
+/// Values of `prefix{block=0..}` counters in block order.
+fn lane_counts(snap: &obs::MetricsSnapshot, prefix: &str) -> Vec<u64> {
+    let mut out: Vec<(usize, u64)> = snap
+        .counters
+        .iter()
+        .filter_map(|(n, v)| {
+            let rest = n.strip_prefix(prefix)?.strip_prefix("{block=")?;
+            rest.strip_suffix('}')?.parse().ok().map(|b: usize| (b, *v))
+        })
+        .collect();
+    out.sort_unstable();
+    out.into_iter().map(|(_, v)| v).collect()
+}
+
+/// `p50/p95/p99=a/b/c` from bucket-estimated percentiles; `-` when the
+/// histogram is empty and `>10s` when a rank lands above the top bound.
+fn render_pctls(h: Option<&obs::HistogramSnapshot>) -> String {
+    let fmt = |v: Option<u64>| match v {
+        None => "-".to_string(),
+        Some(u64::MAX) => ">10s".to_string(),
+        Some(v) => v.to_string(),
+    };
+    match h {
+        Some(h) if h.count > 0 => format!(
+            "p50/p95/p99={}/{}/{}",
+            fmt(h.p50()),
+            fmt(h.p95()),
+            fmt(h.p99())
+        ),
+        _ => "p50/p95/p99=-".to_string(),
+    }
+}
+
+/// The structured slow-op record (`--slow-op-us`): one JSON line on
+/// stderr with the full per-phase breakdown, schema-checked by
+/// `scripts/obs-schema.json` as the `slow_op` shape.
+fn slow_op_json(verb: &str, op: usize, threshold_us: u64, tl: &obs::OpTimeline) -> String {
+    use obs::Phase;
+    let mut w = obs::json::JsonWriter::new();
+    w.begin_object();
+    w.key("type").string("slow_op");
+    w.key("verb").string(verb);
+    w.key("op").u64(op as u64);
+    w.key("threshold_us").u64(threshold_us);
+    w.key("total_us").u64(tl.total_us());
+    for p in Phase::ALL {
+        w.key(&format!("{}_us", p.as_str())).u64(tl.duration_of(p));
+    }
+    w.end_object();
+    w.finish()
+}
 
 /// `idr serve --data-dir DIR [--snapshot-every N] [--clients N]
 /// [--group-commit-window US]`: recovers the data dir and serves ops
@@ -1362,6 +1576,19 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
     if let Some(extra) = opts.rest.first() {
         return usage(&format!("serve takes no positional argument {extra:?}"));
     }
+    // Serve mode always runs with a registry: `.stats`, `--stats-every`
+    // and `--slow-op-us` all read from it, and pre-resolved handles make
+    // its hot-path cost a handful of relaxed atomics either way.
+    let registry = obs
+        .metrics
+        .clone()
+        .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+    let obs = {
+        let mut o = obs.clone();
+        o.metrics = Some(registry.clone());
+        o
+    };
+    let obs = &obs;
     let rec = match store::recover_with(
         Path::new(&opts.dir),
         obs.tracer.clone(),
@@ -1387,44 +1614,68 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
         Err(e) => return fail(exec_exit(&e), &format!("{e}")),
     };
     let clients = opts.clients.unwrap_or(1);
+    let stats = Arc::new(ServeStats::new(registry.clone()));
+    let stats_every = opts.stats_every;
+    let slow_op_us = opts.slow_op_us;
     let mut ops = 0usize;
     let worst = std::thread::scope(|s| {
         let (res_tx, res_rx) = mpsc::channel::<ServeResponse>();
         // The printer serializes all lane output; it owns the worst
-        // fatal exit code seen.
-        let printer = s.spawn(move || {
-            let mut worst = 0u8;
-            for (op, body, code) in res_rx {
-                for line in body.lines() {
-                    println!("[op {op}] {line}");
+        // fatal exit code seen, the completion count, and (because it
+        // already holds the output stream) the `--stats-every` cadence.
+        let printer = {
+            let stats = stats.clone();
+            s.spawn(move || {
+                let mut worst = 0u8;
+                let mut done = 0u64;
+                for (op, body, code) in res_rx {
+                    for line in body.lines() {
+                        println!("[op {op}] {line}");
+                    }
+                    done += 1;
+                    stats.note_done();
+                    if stats_every.is_some_and(|n| done.is_multiple_of(n)) {
+                        println!("{}", stats.render_line(done));
+                    }
+                    let _ = std::io::stdout().flush();
+                    worst = worst.max(code.unwrap_or(0));
                 }
-                let _ = std::io::stdout().flush();
-                worst = worst.max(code.unwrap_or(0));
-            }
-            worst
-        });
+                worst
+            })
+        };
         let lanes: Vec<mpsc::Sender<ServeJob>> = (0..clients)
             .map(|_| {
                 let (tx, rx) = mpsc::channel::<ServeJob>();
                 let writer = hub.write_handle();
                 let res = res_tx.clone();
                 let guard = &guard;
+                let stats = stats.clone();
+                let tracer = obs.tracer.clone();
                 s.spawn(move || {
                     for job in rx {
-                        let (body, code) = if job.insert {
-                            match writer.insert(job.rel, job.t, guard) {
+                        let ServeJob { op, insert, rel, t, tl } = job;
+                        let verb = if insert { "insert" } else { "delete" };
+                        let (body, code) = if insert {
+                            match writer.insert_timed(rel, t, guard, &tl) {
                                 Ok(true) => ("accepted".to_string(), None),
                                 Ok(false) => ("rejected (state unchanged)".to_string(), None),
                                 Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
                             }
                         } else {
-                            match writer.delete(job.rel, &job.t, guard) {
+                            match writer.delete_timed(rel, &t, guard, &tl) {
                                 Ok(true) => ("removed".to_string(), None),
                                 Ok(false) => ("absent (state unchanged)".to_string(), None),
                                 Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
                             }
                         };
-                        if res.send((job.op, body, code)).is_err() {
+                        stats.queue_depth.sub(1);
+                        tracer.emit_with(|| tl.to_event(Arc::from(verb), op as u64));
+                        if let Some(th) = slow_op_us {
+                            if tl.total_us() >= th {
+                                eprintln!("{}", slow_op_json(verb, op, th, &tl));
+                            }
+                        }
+                        if res.send((op, body, code)).is_err() {
                             break;
                         }
                     }
@@ -1466,11 +1717,15 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
                     };
                     match parsed {
                         Ok((rel, t)) => {
+                            let tl = Arc::new(obs::OpTimeline::new());
+                            tl.stamp(obs::Phase::Enqueue);
+                            stats.queue_depth.add(1);
                             let job = ServeJob {
                                 op,
                                 insert: verb == "insert",
                                 rel,
                                 t,
+                                tl,
                             };
                             let _ = lanes[(op - 1) % clients].send(job);
                         }
@@ -1485,10 +1740,13 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
                     let body = serve_query(&hub, &engine, &attrs, &symbols, &guard);
                     let _ = res_tx.send((op, body.0, body.1));
                 }
+                ".stats" => {
+                    let _ = res_tx.send((op, stats.render_full(ops, clients), None));
+                }
                 other => {
                     let _ = res_tx.send((
                         op,
-                        format!("error: unknown op {other:?} (insert/delete/query/quit)"),
+                        format!("error: unknown op {other:?} (insert/delete/query/.stats/quit)"),
                         None,
                     ));
                 }
@@ -1692,6 +1950,57 @@ scheme R5: H S R  keys H S
         assert!(parse_flags(&strs(&["--retries", "soon"])).is_err());
         // Backoff without retries would silently do nothing — reject it.
         assert!(parse_flags(&strs(&["--backoff-ms", "10"])).is_err());
+    }
+
+    #[test]
+    fn serve_stats_flags_parse() {
+        let opts = parse_store_flags(&strs(&[
+            "--data-dir",
+            "d",
+            "--stats-every",
+            "25",
+            "--slow-op-us",
+            "1500",
+        ]))
+        .unwrap();
+        assert_eq!(opts.stats_every, Some(25));
+        assert_eq!(opts.slow_op_us, Some(1500));
+        // Defaults: both surfaces off.
+        let opts = parse_store_flags(&strs(&["--data-dir", "d"])).unwrap();
+        assert_eq!(opts.stats_every, None);
+        assert_eq!(opts.slow_op_us, None);
+        // `--slow-op-us 0` journals every op (handy for schema checks);
+        // `--stats-every 0` would never fire and is rejected instead.
+        assert_eq!(
+            parse_store_flags(&strs(&["--data-dir", "d", "--slow-op-us", "0"]))
+                .unwrap()
+                .slow_op_us,
+            Some(0)
+        );
+        assert!(parse_store_flags(&strs(&["--data-dir", "d", "--stats-every", "0"])).is_err());
+        assert!(parse_store_flags(&strs(&["--data-dir", "d", "--stats-every"])).is_err());
+        assert!(parse_store_flags(&strs(&["--data-dir", "d", "--slow-op-us", "x"])).is_err());
+    }
+
+    /// The slow-op journal record is consumed by scripts: pin its shape
+    /// (field order and the `_us` suffix per phase) so
+    /// `scripts/obs-schema.json` and the record never drift apart.
+    #[test]
+    fn slow_op_record_shape_is_pinned() {
+        let tl = obs::OpTimeline::new();
+        tl.record(obs::Phase::Enqueue, 0);
+        tl.record(obs::Phase::LaneAcquire, 40);
+        tl.record(obs::Phase::WalAppend, 55);
+        tl.record(obs::Phase::BatchWait, 900);
+        tl.record(obs::Phase::Fsync, 1200);
+        tl.record(obs::Phase::Apply, 1250);
+        tl.record(obs::Phase::Publish, 1260);
+        assert_eq!(
+            slow_op_json("insert", 7, 1000, &tl),
+            "{\"type\":\"slow_op\",\"verb\":\"insert\",\"op\":7,\"threshold_us\":1000,\
+             \"total_us\":1260,\"enqueue_us\":0,\"lane_acquire_us\":40,\"wal_append_us\":15,\
+             \"batch_wait_us\":845,\"fsync_us\":300,\"apply_us\":50,\"publish_us\":10}"
+        );
     }
 
     /// Satellite contract: every [`store::StoreError`] variant maps to

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use independence_reducible::exec::Guard;
 use independence_reducible::prelude::*;
 use independence_reducible::workload::fixtures::{example1_r, example3, paper_examples};
+use independence_reducible::workload::generators::{block_chain_scheme, star_scheme};
 use independence_reducible::workload::states::{generate, WorkloadConfig};
 
 fn traced_engine(
@@ -215,6 +216,93 @@ fn university_derived_cell_has_the_exact_firing_chain() {
     let plain_hub = plain.hub(&state, &g).unwrap();
     let exp = plain_hub.explain(x, &answers[0]).expect("witness");
     assert!(exp.cells.iter().all(|c| c.chain.is_empty()));
+}
+
+/// Named `(name, value)` lists: clock-free counters, gauges, and
+/// histogram observation counts, in registry order.
+type DeterministicMetrics = (Vec<(String, u64)>, Vec<(String, u64)>, Vec<(String, u64)>);
+
+/// The same traced workout as [`trace_of`], but through a metrics
+/// registry, keeping only the clock-free parts of the snapshot: counters
+/// whose name carries no `_us` suffix, every gauge, and each histogram's
+/// observation *count* (sums and bucket placement of latency histograms
+/// are wall-clock).
+fn deterministic_metrics(db: &DatabaseScheme, parallel: bool) -> DeterministicMetrics {
+    let mut sym = SymbolTable::new();
+    let w = generate(
+        db,
+        &mut sym,
+        WorkloadConfig {
+            entities: 6,
+            fragment_pct: 70,
+            inserts: 8,
+            corrupt_pct: 25,
+            seed: 0xC0FFEE,
+        },
+    );
+    let registry = Arc::new(MetricsRegistry::new());
+    let engine = Engine::new(db.clone())
+        .with_parallel(parallel)
+        .with_observability(Observability {
+            tracer: TraceHandle::none(),
+            metrics: Some(Arc::clone(&registry)),
+            provenance: false,
+        });
+    let g = Guard::unlimited();
+    let hub = engine.hub(&w.state, &g).expect("unlimited guard");
+    let writer = hub.write_handle();
+    for (i, t) in &w.inserts {
+        let _ = writer.insert(*i, t.clone(), &g).expect("unlimited guard");
+    }
+    let _ = hub
+        .read_view()
+        .total_projection(db.scheme(0).attrs(), &g)
+        .expect("unlimited guard");
+    let snap = registry.snapshot();
+    let counters = snap
+        .counters
+        .into_iter()
+        .filter(|(n, _)| !n.contains("_us"))
+        .collect();
+    let gauges = snap.gauges;
+    let hist_counts = snap
+        .histograms
+        .into_iter()
+        .map(|h| (h.name, h.count))
+        .collect();
+    (counters, gauges, hist_counts)
+}
+
+/// PR 8's extension of the determinism contract to derived metrics:
+/// every deterministic counter (session verdicts, chase work, per-block
+/// lane ops), every gauge (epoch, epoch lag, guard spend) and every
+/// histogram's observation count must be equal between a serial and a
+/// block-parallel run — across the 11 paper fixtures plus two synthetic
+/// multi-block schemes. Only latency *values* (the `_us` sums and bucket
+/// placements) are allowed to differ.
+#[test]
+fn serial_and_parallel_runs_agree_on_every_deterministic_metric() {
+    let mut fixtures: Vec<(String, DatabaseScheme)> = paper_examples()
+        .into_iter()
+        .map(|fx| (fx.name.to_string(), fx.scheme))
+        .collect();
+    fixtures.push(("block_chain(4,3)".to_string(), block_chain_scheme(4, 3)));
+    fixtures.push(("star(4)".to_string(), star_scheme(4)));
+    assert_eq!(fixtures.len(), 13, "fixture roster drifted");
+    for (name, db) in &fixtures {
+        let serial = deterministic_metrics(db, false);
+        let parallel = deterministic_metrics(db, true);
+        assert!(
+            !serial.0.is_empty(),
+            "{name}: no clock-free counters recorded"
+        );
+        assert_eq!(serial.0, parallel.0, "{name}: counters diverged");
+        assert_eq!(serial.1, parallel.1, "{name}: gauges diverged");
+        assert_eq!(
+            serial.2, parallel.2,
+            "{name}: histogram observation counts diverged"
+        );
+    }
 }
 
 #[test]
