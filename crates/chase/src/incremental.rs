@@ -170,6 +170,12 @@ pub struct IncrementalChase {
     next_ndv: u32,
     /// Per-fd index: canonical LHS node vector → representative row.
     keyidx: Vec<HashMap<Box<[u32]>, u32>>,
+    /// Reusable probe buffers: [`step_row`](IncrementalChase::step_row)
+    /// canonicalises LHS keys into these and probes the index with the
+    /// borrowed slice (`Box<[u32]>: Borrow<[u32]>`), so a lookup
+    /// allocates nothing — only a first-time slot claim boxes its key.
+    key_scratch: Vec<u32>,
+    rep_scratch: Vec<u32>,
     work: Vec<u32>,
     queued: Vec<bool>,
     stats: ChaseStats,
@@ -212,6 +218,8 @@ impl IncrementalChase {
             const_nodes: vec![HashMap::new(); width],
             dv_nodes: vec![None; width],
             next_ndv: 0,
+            key_scratch: Vec::new(),
+            rep_scratch: Vec::new(),
             work: Vec::new(),
             queued: Vec::new(),
             stats: ChaseStats::default(),
@@ -415,14 +423,32 @@ impl IncrementalChase {
         Ok(self.stats)
     }
 
-    /// Probes one dirty row against every fd.
+    /// Probes one dirty row against every fd. Key canonicalisation goes
+    /// through the reusable scratch buffers (swapped out of `self` for
+    /// the duration so the borrows stay disjoint): probing the index
+    /// never allocates, only a first-time slot claim boxes its key.
     fn step_row(&mut self, r: u32, guard: &Guard) -> Result<(), ExecError> {
         guard.checkpoint()?;
+        let mut key = std::mem::take(&mut self.key_scratch);
+        let mut rep_key = std::mem::take(&mut self.rep_scratch);
+        let result = self.step_row_with(r, guard, &mut key, &mut rep_key);
+        self.key_scratch = key;
+        self.rep_scratch = rep_key;
+        result
+    }
+
+    fn step_row_with(
+        &mut self,
+        r: u32,
+        guard: &Guard,
+        key: &mut Vec<u32>,
+        rep_key: &mut Vec<u32>,
+    ) -> Result<(), ExecError> {
         for fi in 0..self.fds.fds().len() {
-            let key = self.key_of(fi, r);
-            match self.keyidx[fi].get(&key).copied() {
+            self.fill_key(fi, r, key);
+            match self.keyidx[fi].get(key.as_slice()).copied() {
                 None => {
-                    self.keyidx[fi].insert(key, r);
+                    self.keyidx[fi].insert(key.as_slice().into(), r);
                 }
                 Some(rep) if rep == r => {}
                 Some(rep) => {
@@ -430,9 +456,9 @@ impl IncrementalChase {
                     // have changed since it was indexed. If so, this slot
                     // now belongs to `r`; the old representative was
                     // enqueued by the union that changed its key.
-                    let rep_key = self.key_of(fi, rep);
+                    self.fill_key(fi, rep, rep_key);
                     if rep_key != key {
-                        self.keyidx[fi].insert(key, r);
+                        self.keyidx[fi].insert(key.as_slice().into(), r);
                         continue;
                     }
                     let fd = self.fds.fds()[fi];
@@ -543,15 +569,16 @@ impl IncrementalChase {
         }
     }
 
-    /// The canonical LHS node vector of row `r` for fd `fi`.
-    fn key_of(&mut self, fi: usize, r: u32) -> Box<[u32]> {
+    /// Canonicalises the LHS node vector of row `r` for fd `fi` into
+    /// `out` (cleared first) — no allocation once `out` has warmed up to
+    /// the widest LHS.
+    fn fill_key(&mut self, fi: usize, r: u32, out: &mut Vec<u32>) {
         let lhs = self.fds.fds()[fi].lhs;
-        let mut key = Vec::with_capacity(lhs.len());
+        out.clear();
         for a in lhs.iter() {
             let n = self.cells[r as usize][a.index()];
-            key.push(self.find(n));
+            out.push(self.find(n));
         }
-        key.into_boxed_slice()
     }
 
     /// Root of `x` with path compression.
