@@ -1,5 +1,8 @@
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasher, RandomState};
+
+use crate::exec::ExecError;
 
 /// An interned constant value appearing in tuples.
 ///
@@ -18,8 +21,19 @@ impl Value {
     }
 
     /// Builds a value from a raw index (must come from the owning table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit the `u32` interning space — a
+    /// silent `as u32` wrap here would alias two distinct constants and
+    /// corrupt every downstream equality. The fallible interning path is
+    /// [`SymbolTable::try_intern`].
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        assert!(
+            index <= u32::MAX as usize,
+            "symbol index {index} exceeds the u32 interning space"
+        );
         Value(index as u32)
     }
 }
@@ -31,6 +45,13 @@ impl fmt::Debug for Value {
 }
 
 /// Interning table for constants.
+///
+/// Each interned string is stored exactly once, in `strings`; the lookup
+/// index maps the string's *hash* to the indexes carrying that hash and
+/// confirms candidates against `strings` directly. The obvious
+/// `HashMap<String, Value>` index would clone every symbol a second time
+/// — double the intern memory at the 10^6–10^7 symbols the batch
+/// pipeline loads (see the `memory_shape` regression test).
 ///
 /// # Examples
 ///
@@ -45,7 +66,10 @@ impl fmt::Debug for Value {
 #[derive(Clone, Debug, Default)]
 pub struct SymbolTable {
     strings: Vec<String>,
-    index: HashMap<String, Value>,
+    hasher: RandomState,
+    /// String hash → interning indexes with that hash (almost always one;
+    /// candidates are confirmed against `strings` before use).
+    index: HashMap<u64, Vec<u32>>,
 }
 
 impl SymbolTable {
@@ -54,15 +78,42 @@ impl SymbolTable {
         SymbolTable::default()
     }
 
+    /// Finds the interning index of `s` under its precomputed hash.
+    fn probe(&self, hash: u64, s: &str) -> Option<Value> {
+        let bucket = self.index.get(&hash)?;
+        bucket
+            .iter()
+            .copied()
+            .find(|&i| self.strings[i as usize] == s)
+            .map(Value)
+    }
+
     /// Interns a string, returning the same [`Value`] for equal strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table already holds 2^32 distinct symbols (see
+    /// [`SymbolTable::try_intern`] for the fallible form).
     pub fn intern(&mut self, s: &str) -> Value {
-        if let Some(&v) = self.index.get(s) {
-            return v;
+        self.try_intern(s)
+            .expect("symbol table full: 2^32 distinct symbols interned")
+    }
+
+    /// Interns a string, failing with a typed
+    /// [`ExecError::CapacityExceeded`] once the `u32` interning space is
+    /// full instead of wrapping and aliasing an existing symbol.
+    pub fn try_intern(&mut self, s: &str) -> Result<Value, ExecError> {
+        let hash = self.hasher.hash_one(s);
+        if let Some(v) = self.probe(hash, s) {
+            return Ok(v);
         }
-        let v = Value(self.strings.len() as u32);
+        let id = u32::try_from(self.strings.len()).map_err(|_| ExecError::CapacityExceeded {
+            what: "interned symbols",
+            limit: 1 << 32,
+        })?;
         self.strings.push(s.to_string());
-        self.index.insert(s.to_string(), v);
-        v
+        self.index.entry(hash).or_default().push(id);
+        Ok(Value(id))
     }
 
     /// Returns a fresh value guaranteed distinct from all interned ones —
@@ -84,7 +135,7 @@ impl SymbolTable {
 
     /// Looks up a previously interned string.
     pub fn get(&self, s: &str) -> Option<Value> {
-        self.index.get(s).copied()
+        self.probe(self.hasher.hash_one(s), s)
     }
 
     /// Number of distinct interned values.
@@ -129,5 +180,21 @@ mod tests {
         let f2 = t.fresh("n");
         assert_ne!(f1, f2);
         assert_ne!(f1, a);
+    }
+
+    #[test]
+    fn survives_many_symbols_and_clone() {
+        // Exercises hash-bucket probing (including reallocation of the
+        // bucket map) across enough symbols to make accidental collisions
+        // of the *bucket* path — not the full-string confirm — plausible.
+        let mut t = SymbolTable::new();
+        let vals: Vec<Value> = (0..10_000).map(|i| t.intern(&format!("s{i}"))).collect();
+        let snap = t.clone();
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(t.get(&format!("s{i}")), Some(v));
+            assert_eq!(snap.resolve(v), format!("s{i}"));
+            assert_eq!(t.intern(&format!("s{i}")), v);
+        }
+        assert_eq!(t.len(), 10_000);
     }
 }

@@ -1,0 +1,82 @@
+//! Memory-shape regression test for [`idr_relation::SymbolTable`].
+//!
+//! The table used to store every interned string twice — once in its
+//! `strings: Vec<String>` arena and again as the owned key of a
+//! `HashMap<String, Value>` lookup index — doubling intern memory at the
+//! 10^6–10^7 symbols a bulk load produces. The fix indexes by string
+//! *hash* and confirms candidates against the arena, so each symbol's
+//! bytes are allocated exactly once.
+//!
+//! The test pins that shape with a counting global allocator: interning
+//! N distinct strings of one distinctive length must perform exactly N
+//! heap allocations of that length (the double-store made 2N). Length
+//! 257 collides with nothing else on the path — `Vec`/`HashMap` growth
+//! allocates power-of-two multiples of their entry sizes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use idr_relation::SymbolTable;
+
+/// Length of every test symbol; chosen so no container-growth allocation
+/// can accidentally match the filter.
+const SYMBOL_LEN: usize = 257;
+
+struct CountingAlloc;
+
+/// Number of allocations of exactly [`SYMBOL_LEN`] bytes.
+static SYMBOL_SIZED_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() == SYMBOL_LEN {
+            SYMBOL_SIZED_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn each_interned_string_is_stored_once() {
+    const N: usize = 1000;
+    // Materialise the inputs *before* the counted window so only the
+    // table's own copies are measured.
+    let inputs: Vec<String> = (0..N)
+        .map(|i| {
+            let mut s = String::with_capacity(SYMBOL_LEN);
+            s.push_str(&format!("sym{i}"));
+            while s.len() < SYMBOL_LEN {
+                s.push('_');
+            }
+            s
+        })
+        .collect();
+
+    let mut table = SymbolTable::new();
+    let before = SYMBOL_SIZED_ALLOCS.load(Ordering::Relaxed);
+    let vals: Vec<_> = inputs.iter().map(|s| table.intern(s)).collect();
+    // Re-interning and lookups must not copy anything.
+    for (s, &v) in inputs.iter().zip(&vals) {
+        assert_eq!(table.intern(s), v);
+        assert_eq!(table.get(s), Some(v));
+    }
+    let copies = SYMBOL_SIZED_ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(
+        copies, N as u64,
+        "interning {N} distinct {SYMBOL_LEN}-byte symbols must heap-copy \
+         each exactly once (double-storage would make {})",
+        2 * N
+    );
+    // The shape change must not break resolution.
+    for (s, &v) in inputs.iter().zip(&vals) {
+        assert_eq!(table.resolve(v), s);
+    }
+}
