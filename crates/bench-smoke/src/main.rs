@@ -35,6 +35,15 @@
 //! batch raise throughput even on a single core — `scripts/bench.sh`
 //! asserts 4 clients beat 1, and that grouping cuts fsyncs-per-op
 //! against the classic one-fsync-per-op discipline.
+//!
+//! Since the batch PR the document adds a `chase_scale` section —
+//! absolute wall-clock of 10^5–10^6-tuple bulk streams (10^7 with
+//! `BENCH_SCALE=full`) through the in-memory hub, batch vs per-op — and
+//! a `durable_bulk_load` headline: one million tuples into a real
+//! fsync-on store, once per-op (one WAL record + one fsync each, the
+//! PR 7–8 serving discipline) and once as framed batch groups (one WAL
+//! batch + one fsync per group). `scripts/bench.sh` gates the batch
+//! path at ≥5x over per-op on that family.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -49,11 +58,22 @@ use idr_relation::parse::render_tuple_line;
 use idr_relation::{DatabaseScheme, DatabaseState, SymbolTable, Tuple};
 use idr_store::{tempdir::TempDir, SharedStore, Store};
 use idr_sync::{CrashPoint, CrashStep, FaultPlan, Partition, ScriptedOp, Simulator, SyncPolicy};
+use idr_core::serving::BatchOp;
 use idr_workload::generators::block_chain_scheme;
+use idr_workload::scale::{bulk_families, bulk_inserts};
 use idr_workload::states::{generate, WorkloadConfig};
 
 const SEED: u64 = 0x1DB5_CE11;
 const ITERS: u32 = 5;
+
+/// Wall-time in milliseconds of a single run of `f` — the chase-scale
+/// section measures 10^5–10^6-tuple loads where a median-of-5 would cost
+/// minutes; at these op counts the per-run jitter is a rounding error.
+fn time_once<F: FnOnce()>(f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
 
 /// Median wall-time in milliseconds of `ITERS` runs of `f`.
 fn time_ms<F: FnMut()>(mut f: F) -> f64 {
@@ -108,7 +128,7 @@ fn bench_family(name: &str, db: &DatabaseScheme, entities: usize, inserts: usize
         chase_fast(&mut t, kd.full(), &g).expect("consistent");
     });
     let incremental_chase_ms = time_ms(|| {
-        let mut ic = IncrementalChase::of_state(db, &w.state, kd.full());
+        let mut ic = IncrementalChase::of_state(db, &w.state, kd.full()).expect("in capacity");
         ic.run(&g).expect("consistent");
     });
 
@@ -195,6 +215,7 @@ fn bench_overhead(
     let log = Arc::new(EventLog::new(1 << 16));
     let incremental_traced_ms = time_ms(|| {
         let mut ic = IncrementalChase::of_state(db, &w.state, kd.full())
+            .expect("in capacity")
             .with_observability(TraceHandle::to_log(Arc::clone(&log)), None, "bench");
         ic.run(&g).expect("consistent");
         log.drain();
@@ -468,6 +489,134 @@ fn bench_group_commit(
         .collect()
 }
 
+/// Absolute wall-clock of a bulk insert stream through the in-memory
+/// hub, batch vs per-op. These are the honest chase-path numbers at
+/// 10^5–10^6 tuples the toy families cannot produce.
+struct ScaleReport {
+    family: String,
+    tuples: usize,
+    gen_ms: f64,
+    hub_per_op_ms: f64,
+    hub_batch_ms: f64,
+}
+
+fn bench_chase_scale(name: &str, db: &DatabaseScheme, tuples: usize) -> ScaleReport {
+    let g = Guard::unlimited();
+    let mut sym = SymbolTable::new();
+    let mut ops = Vec::new();
+    let gen_ms = time_once(|| ops = bulk_inserts(db, &mut sym, tuples));
+    let engine = Engine::new(db.clone());
+    let empty = DatabaseState::empty(db);
+
+    let hub = engine.hub(&empty, &g).expect("empty state is consistent");
+    let writer = hub.write_handle();
+    let hub_per_op_ms = time_once(|| {
+        for (i, t) in &ops {
+            writer.insert(*i, t.clone(), &g).expect("bulk insert");
+        }
+    });
+
+    let hub2 = engine.hub(&empty, &g).expect("empty state is consistent");
+    let writer2 = hub2.write_handle();
+    let group: Vec<BatchOp> = ops
+        .iter()
+        .map(|(i, t)| BatchOp::Insert { rel: *i, t: t.clone() })
+        .collect();
+    let hub_batch_ms = time_once(|| {
+        let verdicts = writer2.apply_batch(&group, &g).expect("bulk batch");
+        assert!(verdicts.iter().all(|&v| v), "bulk stream must be accepted");
+    });
+
+    ScaleReport {
+        family: name.to_string(),
+        tuples,
+        gen_ms,
+        hub_per_op_ms,
+        hub_batch_ms,
+    }
+}
+
+/// The headline of the batch pipeline: loading a ≥10^6-tuple family into
+/// a real durable store (fsync on, zero commit window), once through the
+/// per-op serving discipline of PRs 7–8 — every insert renders, frames
+/// and fsyncs its own WAL record — and once as framed batch groups, each
+/// committing one WAL batch with one fsync. `scripts/bench.sh` gates the
+/// speedup at ≥5x.
+struct BulkLoadReport {
+    family: String,
+    tuples: usize,
+    group_size: usize,
+    per_op_ms: f64,
+    per_op_fsyncs: u64,
+    batch_ms: f64,
+    batch_fsyncs: u64,
+}
+
+fn bench_durable_bulk_load(
+    name: &str,
+    db: &DatabaseScheme,
+    tuples: usize,
+    group_size: usize,
+) -> BulkLoadReport {
+    let g = Guard::unlimited();
+    let engine = Engine::new(db.clone());
+    let mut sym = SymbolTable::new();
+    let ops = bulk_inserts(db, &mut sym, tuples);
+
+    let durable_hub = |label: &str| {
+        let dir = TempDir::new(label);
+        let store = Store::init(dir.path(), db)
+            .expect("bench store init")
+            .with_sync(true);
+        let shared = Arc::new(SharedStore::new(store).with_group_window(Duration::ZERO));
+        shared
+            .symbols()
+            .lock()
+            .expect("fresh store symbol table")
+            .clone_from(&sym);
+        let hub = engine
+            .hub_with(&DatabaseState::empty(db), &g, shared.clone())
+            .expect("empty state is consistent");
+        (dir, shared, hub)
+    };
+
+    eprintln!("  per-op durable load of {tuples} tuples (one fsync per op; this is the slow one) ...");
+    let (_dir_a, shared_a, hub_a) = durable_hub("bulk-per-op");
+    let writer = hub_a.write_handle();
+    let per_op_ms = time_once(|| {
+        for (i, t) in &ops {
+            writer.insert(*i, t.clone(), &g).expect("durable insert");
+        }
+    });
+    let per_op_fsyncs = shared_a.group_wal().fsyncs();
+    drop(hub_a);
+
+    eprintln!("  batched durable load of {tuples} tuples ({group_size}-op framed groups) ...");
+    let (_dir_b, shared_b, hub_b) = durable_hub("bulk-batch");
+    let writer = hub_b.write_handle();
+    let batch_ms = time_once(|| {
+        for chunk in ops.chunks(group_size) {
+            let group: Vec<BatchOp> = chunk
+                .iter()
+                .map(|(i, t)| BatchOp::Insert { rel: *i, t: t.clone() })
+                .collect();
+            let verdicts = writer.apply_batch(&group, &g).expect("durable batch");
+            assert!(verdicts.iter().all(|&v| v), "bulk stream must be accepted");
+        }
+    });
+    let batch_fsyncs = shared_b.group_wal().fsyncs();
+
+    BulkLoadReport {
+        family: name.to_string(),
+        tuples,
+        group_size,
+        per_op_ms,
+        per_op_fsyncs,
+        batch_ms,
+        batch_fsyncs,
+    }
+}
+
 fn main() {
     let families = [
         ("block_chain(2,3)", block_chain_scheme(2, 3), 12, 24),
@@ -497,9 +646,37 @@ fn main() {
     eprintln!("benchmarking {serve_family} group-commit fsync accounting ...");
     let group = bench_group_commit(&serve_engine, &serve_db, &serve_sym, &serve_stream);
 
+    // Chase-path absolute numbers at 10^5–10^6 tuples (10^7 with
+    // BENCH_SCALE=full), then the durable bulk-load headline.
+    let full_scale = std::env::var("BENCH_SCALE").is_ok_and(|v| v == "full");
+    let mut scale_sizes = vec![100_000usize, 1_000_000];
+    if full_scale {
+        scale_sizes.push(10_000_000);
+    } else {
+        eprintln!("note: 10^7 family skipped (set BENCH_SCALE=full to include it)");
+    }
+    let mut scale = Vec::new();
+    for (fam_name, fam_db) in bulk_families() {
+        for &n in &scale_sizes {
+            if n > 1_000_000 && fam_name != "block_chain(4,4)" {
+                continue; // 10^7 only on the sharded family the gate uses
+            }
+            eprintln!("benchmarking {fam_name} bulk stream at {n} tuples ...");
+            scale.push(bench_chase_scale(fam_name, &fam_db, n));
+        }
+    }
+    let bulk_family_name = "block_chain(4,4)";
+    let bulk_db = bulk_families()
+        .into_iter()
+        .find(|(n, _)| *n == bulk_family_name)
+        .expect("family exists")
+        .1;
+    eprintln!("benchmarking {bulk_family_name} durable bulk load at 1000000 tuples ...");
+    let bulk = bench_durable_bulk_load(bulk_family_name, &bulk_db, 1_000_000, 10_000);
+
     // Hand-rolled JSON: the workspace is hermetic (no serde).
     println!("{{");
-    println!("  \"bench\": \"pr8-serve-smoke\",");
+    println!("  \"bench\": \"pr9-batch-smoke\",");
     println!("  \"seed\": {SEED},");
     println!("  \"iters\": {ITERS},");
     println!("  \"families\": [");
@@ -583,6 +760,36 @@ fn main() {
         println!("      }}{comma}");
     }
     println!("    ]");
+    println!("  }},");
+    println!("  \"chase_scale\": {{");
+    println!("    \"iters\": 1,");
+    println!("    \"families\": [");
+    for (k, s) in scale.iter().enumerate() {
+        let comma = if k + 1 < scale.len() { "," } else { "" };
+        println!("      {{");
+        println!("        \"name\": \"{}\",", s.family);
+        println!("        \"tuples\": {},", s.tuples);
+        println!("        \"gen_ms\": {:.1},", s.gen_ms);
+        println!("        \"hub_per_op_ms\": {:.1},", s.hub_per_op_ms);
+        println!("        \"hub_batch_ms\": {:.1}", s.hub_batch_ms);
+        println!("      }}{comma}");
+    }
+    println!("    ]");
+    println!("  }},");
+    println!("  \"durable_bulk_load\": {{");
+    println!("    \"family\": \"{}\",", bulk.family);
+    println!("    \"tuples\": {},", bulk.tuples);
+    println!("    \"group_size\": {},", bulk.group_size);
+    println!("    \"sync\": true,");
+    println!("    \"window_us\": 0,");
+    println!("    \"per_op_ms\": {:.1},", bulk.per_op_ms);
+    println!("    \"per_op_fsyncs\": {},", bulk.per_op_fsyncs);
+    println!("    \"batch_ms\": {:.1},", bulk.batch_ms);
+    println!("    \"batch_fsyncs\": {},", bulk.batch_fsyncs);
+    println!(
+        "    \"speedup\": {:.2}",
+        bulk.per_op_ms / bulk.batch_ms.max(1e-9)
+    );
     println!("  }}");
     println!("}}");
 }

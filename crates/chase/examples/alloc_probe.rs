@@ -1,12 +1,15 @@
-//! Counts heap allocations on the incremental-chase probe path.
+//! Counts heap allocations on the incremental-chase hot paths.
 //!
 //! Builds two synthetic workloads over a 4-attribute universe —
 //! `fresh` (every row claims new index slots) and `merge` (rows share
-//! keys, so probes hit existing entries and classes merge) — pushes all
-//! rows, then counts allocations during `run()` alone. The numbers
-//! attribute the cost of per-probe key materialisation: a `Box<[u32]>`
-//! per lookup before the borrowed-slice probe landed, only first-time
-//! slot claims after.
+//! keys, so probes hit existing entries and classes merge) — then counts
+//! allocations separately for the *push* phase (row appends into the
+//! arenas) and the *run* phase (worklist-driven chase). The numbers
+//! attribute two optimisations: the borrowed-slice `keyidx` probe (run
+//! phase: a `Box<[u32]>` per lookup before, only first-time slot claims
+//! after) and the flat cell/membership arenas (push phase: a `Vec` per
+//! row plus per-class membership vecs before, amortised flat pushes
+//! after).
 //!
 //! Run with `cargo run --release -p idr-chase --example alloc_probe`.
 
@@ -36,40 +39,50 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+fn make_tuple(i: usize, shared_keys: bool, u: &Universe, sym: &mut SymbolTable) -> Tuple {
+    let a = u.attr_of("A");
+    let b = u.attr_of("B");
+    let c = u.attr_of("C");
+    let d = u.attr_of("D");
+    if shared_keys {
+        // Every 4 rows share an A value and leave B/C undefined, so
+        // their fresh ndv classes merge under A→B / A→C and the
+        // dirtied rows re-probe the index (no constants clash).
+        let ak = i / 4;
+        Tuple::from_pairs([
+            (a, sym.intern(&format!("a{ak}"))),
+            (d, sym.intern(&format!("d{ak}"))),
+        ])
+    } else {
+        Tuple::from_pairs([
+            (a, sym.intern(&format!("a{i}"))),
+            (b, sym.intern(&format!("b{i}"))),
+            (c, sym.intern(&format!("c{i}"))),
+            (d, sym.intern(&format!("d{i}"))),
+        ])
+    }
+}
+
 fn probe(name: &str, rows: usize, shared_keys: bool) {
     let u = Universe::of_chars("ABCD");
     let fds = FdSet::parse(&u, "A->B, A->C, B->D");
     let mut sym = SymbolTable::new();
     let mut engine = IncrementalChase::new(u.len(), &fds);
-    let a = u.attr_of("A");
-    let b = u.attr_of("B");
-    let c = u.attr_of("C");
-    let d = u.attr_of("D");
-    for i in 0..rows {
-        let t = if shared_keys {
-            // Every 4 rows share an A value and leave B/C undefined, so
-            // their fresh ndv classes merge under A→B / A→C and the
-            // dirtied rows re-probe the index (no constants clash).
-            let ak = i / 4;
-            Tuple::from_pairs([
-                (a, sym.intern(&format!("a{ak}"))),
-                (d, sym.intern(&format!("d{ak}"))),
-            ])
-        } else {
-            Tuple::from_pairs([
-                (a, sym.intern(&format!("a{i}"))),
-                (b, sym.intern(&format!("b{i}"))),
-                (c, sym.intern(&format!("c{i}"))),
-                (d, sym.intern(&format!("d{i}"))),
-            ])
-        };
-        engine.push_tuple(&t, Some(0));
+    // Materialise the tuples first so interning noise stays out of the
+    // counted windows.
+    let tuples: Vec<Tuple> = (0..rows)
+        .map(|i| make_tuple(i, shared_keys, &u, &mut sym))
+        .collect();
+    let before_push = ALLOCS.load(Ordering::Relaxed);
+    for t in &tuples {
+        engine.push_tuple(t, Some(0)).expect("within capacity");
     }
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let push = ALLOCS.load(Ordering::Relaxed) - before_push;
+    let before_run = ALLOCS.load(Ordering::Relaxed);
     let stats = engine.run(&Guard::unlimited()).err();
-    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    let run = ALLOCS.load(Ordering::Relaxed) - before_run;
     println!(
-        "{name}: {rows} rows, {during} allocation(s) during run(){}",
+        "{name}: {rows} rows, {push} allocation(s) during push, {run} during run(){}",
         match stats {
             None => String::new(),
             Some(e) => format!(" (chase ended early: {e})"),

@@ -72,6 +72,9 @@ use idr_relation::{AttrSet, Attribute, DatabaseScheme, DatabaseState, Tuple, Uni
 use crate::chase_engine::{ChaseStats, Inconsistent};
 use crate::tableau::{ChaseSym, Row, Tableau};
 
+/// Null link of the intrusive membership lists.
+const NIL: u32 = u32::MAX;
+
 /// One recorded fd-rule firing: fd index, merge column, and the two
 /// rows (representative, probed) the rule was applied to.
 #[derive(Clone, Copy, Debug)]
@@ -154,11 +157,23 @@ pub struct IncrementalChase {
     parent: Vec<u32>,
     /// Canonical symbol per class (valid at roots).
     sym: Vec<ChaseSym>,
-    /// Rows whose cell canonicalises into this class (valid at roots).
-    /// Classes never span columns, so a row appears at most once.
-    members: Vec<Vec<u32>>,
-    /// Per row, per column: the node held by that cell.
-    cells: Vec<Vec<u32>>,
+    /// Intrusive membership lists, replacing the old per-class
+    /// `Vec<Vec<u32>>`: per class root, head/tail of a singly-linked
+    /// list of *cell entries* (entry id = `row * width + col`, [`NIL`]
+    /// when empty). Classes never span columns and a row has one cell
+    /// per column, so a row appears at most once per class — and a
+    /// union splices the loser's list onto the winner's in O(1) with
+    /// zero allocation, where the nested-vec shape reallocated the
+    /// winner on almost every merge.
+    member_head: Vec<u32>,
+    /// Tail of each class's membership list (valid at roots).
+    member_tail: Vec<u32>,
+    /// Next links of the membership lists, parallel to `cells`.
+    member_next: Vec<u32>,
+    /// The node held by each cell, as one flat arena: row `r`'s cells
+    /// occupy `r*width .. (r+1)*width`. One allocation for the whole
+    /// tableau instead of one `Vec<u32>` per row.
+    cells: Vec<u32>,
     /// Origin tags, parallel to `cells`.
     tags: Vec<Option<usize>>,
     /// Per-column interner for constant nodes: a constant's node is
@@ -168,6 +183,14 @@ pub struct IncrementalChase {
     /// Per-column node for the distinguished variable, allocated lazily.
     dv_nodes: Vec<Option<u32>>,
     next_ndv: u32,
+    /// Hard ceiling on the `u32` id spaces (nodes, rows, cell entries);
+    /// `u32::MAX` by default, shrinkable via
+    /// [`with_node_capacity`](IncrementalChase::with_node_capacity) so
+    /// unit tests can exercise the guard. Hitting the ceiling is a
+    /// typed [`ExecError::CapacityExceeded`], never a silent `as u32`
+    /// wrap (which would alias node 2^32 with node 0 and corrupt the
+    /// union-find).
+    node_cap: u32,
     /// Per-fd index: canonical LHS node vector → representative row.
     keyidx: Vec<HashMap<Box<[u32]>, u32>>,
     /// Reusable probe buffers: [`step_row`](IncrementalChase::step_row)
@@ -212,12 +235,15 @@ impl IncrementalChase {
             fds: fds.clone(),
             parent: Vec::new(),
             sym: Vec::new(),
-            members: Vec::new(),
+            member_head: Vec::new(),
+            member_tail: Vec::new(),
+            member_next: Vec::new(),
             cells: Vec::new(),
             tags: Vec::new(),
             const_nodes: vec![HashMap::new(); width],
             dv_nodes: vec![None; width],
             next_ndv: 0,
+            node_cap: u32::MAX,
             key_scratch: Vec::new(),
             rep_scratch: Vec::new(),
             work: Vec::new(),
@@ -287,6 +313,34 @@ impl IncrementalChase {
         self.provenance
     }
 
+    /// Caps the engine's `u32` id spaces (default `u32::MAX`). Exceeding
+    /// the cap trips a typed [`ExecError::CapacityExceeded`] from
+    /// [`push_tuple`](IncrementalChase::push_tuple); unit tests use a
+    /// tiny cap to exercise the guard without allocating 2^32 nodes.
+    pub fn with_node_capacity(mut self, cap: u32) -> Self {
+        self.node_cap = cap;
+        self
+    }
+
+    /// Rejects a row append that could exhaust a `u32` id space — node
+    /// ids (a row allocates at most `width` fresh nodes), the row id
+    /// itself, or the cell-entry ids of the membership lists. Checked
+    /// *before* any mutation so a refused push leaves no half-linked
+    /// row behind.
+    fn ensure_row_headroom(&self) -> Result<(), ExecError> {
+        let cap = self.node_cap as usize;
+        if self.parent.len() + self.width > cap
+            || self.tags.len() >= cap
+            || self.cells.len() + self.width > cap
+        {
+            return Err(ExecError::CapacityExceeded {
+                what: "chase node ids",
+                limit: self.node_cap as u64,
+            });
+        }
+        Ok(())
+    }
+
     /// Swaps the trace sink, keeping the labels rendered when
     /// observability was attached. The block-parallel engine uses this at
     /// its join barrier: blocks chase into private per-block shards, then
@@ -298,42 +352,49 @@ impl IncrementalChase {
 
     /// The engine over the state tableau `T_r` (§2.2): one row per tuple,
     /// constants on the origin scheme, fresh ndvs elsewhere. Call
-    /// [`run`](IncrementalChase::run) to chase.
-    pub fn of_state(scheme: &DatabaseScheme, state: &DatabaseState, fds: &FdSet) -> Self {
+    /// [`run`](IncrementalChase::run) to chase. Fails with a typed
+    /// [`ExecError::CapacityExceeded`] if the state overflows the `u32`
+    /// id spaces.
+    pub fn of_state(
+        scheme: &DatabaseScheme,
+        state: &DatabaseState,
+        fds: &FdSet,
+    ) -> Result<Self, ExecError> {
         let mut e = IncrementalChase::new(scheme.universe().len(), fds);
         for (i, t) in state.iter_all() {
-            e.push_tuple(t, Some(i));
+            e.push_tuple(t, Some(i))?;
         }
-        e
+        Ok(e)
     }
 
     /// The engine over an existing tableau (any mix of constants, dvs and
     /// ndvs); symbols equal within a column start in the same class.
-    pub fn of_tableau(t: &Tableau, fds: &FdSet) -> Self {
+    pub fn of_tableau(t: &Tableau, fds: &FdSet) -> Result<Self, ExecError> {
         let mut e = IncrementalChase::new(t.width(), fds);
         // Per-column interner for the initial build: rows of a tableau may
         // legitimately share ndvs within a column.
         let mut interned: Vec<HashMap<ChaseSym, u32>> = vec![HashMap::new(); t.width()];
         for row in t.rows() {
-            let r = e.cells.len() as u32;
-            let mut cells = Vec::with_capacity(e.width);
+            e.ensure_row_headroom()?;
+            let r = e.tags.len() as u32;
             for (col, intern) in interned.iter_mut().enumerate() {
                 let s = row.sym(Attribute::from_index(col));
                 if let ChaseSym::Ndv(i) = s {
                     e.next_ndv = e.next_ndv.max(i + 1);
                 }
-                let node = *intern.entry(s).or_insert_with(|| {
-                    let id = e.parent.len() as u32;
-                    e.parent.push(id);
-                    e.sym.push(s);
-                    e.members.push(Vec::new());
-                    e.link.push(None);
-                    id
-                });
-                e.members[node as usize].push(r);
-                cells.push(node);
+                let node = match intern.get(&s) {
+                    Some(&n) => n,
+                    None => {
+                        let id = e.fresh_node(s);
+                        intern.insert(s, id);
+                        id
+                    }
+                };
+                let entry = e.cells.len() as u32;
+                e.cells.push(node);
+                e.member_next.push(NIL);
+                e.push_member(node, entry);
             }
-            e.cells.push(cells);
             e.tags.push(row.tag);
             e.queued.push(true);
             e.work.push(r);
@@ -350,19 +411,21 @@ impl IncrementalChase {
                 }
             }
         }
-        e
+        Ok(e)
     }
 
     /// Appends a row for a (possibly partial) tuple — constants where the
     /// tuple is defined, fresh ndvs elsewhere — and marks it dirty.
-    /// Returns the row index.
+    /// Returns the row index, or a typed
+    /// [`ExecError::CapacityExceeded`] (before any mutation) when the
+    /// row would exhaust a `u32` id space.
     ///
     /// After a completed [`run`](IncrementalChase::run), pushing a tuple
     /// and running again is the *incremental insert* path: only the new
     /// row and the rows it transitively merges with are re-examined.
-    pub fn push_tuple(&mut self, tuple: &Tuple, tag: Option<usize>) -> usize {
-        let r = self.cells.len() as u32;
-        let mut cells = Vec::with_capacity(self.width);
+    pub fn push_tuple(&mut self, tuple: &Tuple, tag: Option<usize>) -> Result<usize, ExecError> {
+        self.ensure_row_headroom()?;
+        let r = self.tags.len() as u32;
         for col in 0..self.width {
             let node = match tuple.get(Attribute::from_index(col)) {
                 Some(v) => self.const_node(col, v),
@@ -373,14 +436,107 @@ impl IncrementalChase {
                 }
             };
             let root = self.find(node);
-            self.members[root as usize].push(r);
-            cells.push(node);
+            let entry = self.cells.len() as u32;
+            self.cells.push(node);
+            self.member_next.push(NIL);
+            self.push_member(root, entry);
         }
-        self.cells.push(cells);
         self.tags.push(tag);
         self.queued.push(true);
         self.work.push(r);
-        r as usize
+        Ok(r as usize)
+    }
+
+    /// Applies a batch of inserts as one unit: rows are appended and
+    /// swept to fixpoint in cache-sized chunks under one guard charge
+    /// stream and one `ChaseStarted`/`RowsDirtied` event pair for the
+    /// whole batch instead of one per tuple. Returns the accumulated
+    /// stats on success.
+    ///
+    /// The chase is Church–Rosser, so a batch that chases to a fixpoint
+    /// yields a tableau *identical* to pushing and running each tuple
+    /// serially. The batch has a **single rollback point**: on any error
+    /// — inconsistency (which does not attribute a culprit tuple) or a
+    /// resource trip (which leaves every batch row speculative) — the
+    /// caller must discard this engine and rebuild from the pre-batch
+    /// state. `core::serving` pairs that contract with the PR4
+    /// abort-marker discipline so log == memory still holds; see
+    /// DESIGN.md §16.
+    pub fn insert_batch<'a, I>(&mut self, tuples: I, guard: &Guard) -> Result<ChaseStats, ExecError>
+    where
+        I: IntoIterator<Item = (&'a Tuple, Option<usize>)>,
+    {
+        if let Some(f) = &self.failure {
+            return Err(f.clone().into());
+        }
+        self.trace.emit_with(|| TraceEvent::ChaseStarted {
+            scope: self.scope.clone(),
+            rows: self.tags.len(),
+            fds: self.fds.fds().len(),
+        });
+        self.dirtied_in_run = 0;
+        // Seed-and-sweep in bounded chunks rather than all at once: a
+        // freshly pushed row is still in cache when its chunk is swept,
+        // whereas seeding 10^6 rows first forces the sweep to re-fault
+        // every one of them (measured ~2x slower at that scale). Within
+        // a chunk, the worklist stack would pop rows in reverse
+        // insertion order — entity fragments probing the indexes before
+        // their earlier siblings have registered, every late merge
+        // re-dirtying rows already swept — so each seeded suffix is
+        // reversed to sweep in insertion order; cascade re-enqueues
+        // still go on top of the stack and are processed eagerly.
+        // Confluence makes the fixpoint independent of this schedule.
+        const SEED_CHUNK: usize = 4096;
+        let mut it = tuples.into_iter();
+        loop {
+            let first = self.work.len();
+            let mut pushed = 0usize;
+            for (t, tag) in it.by_ref().take(SEED_CHUNK) {
+                self.push_tuple(t, tag)?;
+                pushed += 1;
+            }
+            if pushed == 0 {
+                break;
+            }
+            self.work[first..].reverse();
+            self.drain(guard)?;
+        }
+        let count = self.dirtied_in_run;
+        self.trace.emit_with(|| TraceEvent::RowsDirtied {
+            scope: self.scope.clone(),
+            count,
+        });
+        Ok(self.stats)
+    }
+
+    /// Applies a batch of deletes. The union-find cannot unmerge, so a
+    /// delete is inherently a rebuild — but a batch costs **one**
+    /// rebuild from the post-delete state instead of one per op: the
+    /// caller removes the tuples from `state` first and hands the
+    /// result here. The engine is replaced wholesale (fd set, trace
+    /// sink, rendered labels, provenance flag and capacity cap are
+    /// kept; poisoning is discarded — the post-delete state is chased
+    /// fresh) and run to fixpoint under `guard`. On error the engine
+    /// holds the *unchased* post-delete rows; the caller rebuilds, as
+    /// with [`insert_batch`](IncrementalChase::insert_batch).
+    pub fn delete_batch(
+        &mut self,
+        scheme: &DatabaseScheme,
+        state: &DatabaseState,
+        guard: &Guard,
+    ) -> Result<ChaseStats, ExecError> {
+        let mut fresh = IncrementalChase::new(scheme.universe().len(), &self.fds);
+        fresh.trace = self.trace.clone();
+        fresh.scope = self.scope.clone();
+        fresh.fd_labels = self.fd_labels.clone();
+        fresh.col_labels = self.col_labels.clone();
+        fresh.provenance = self.provenance;
+        fresh.node_cap = self.node_cap;
+        for (i, t) in state.iter_all() {
+            fresh.push_tuple(t, Some(i))?;
+        }
+        *self = fresh;
+        self.run(guard)
     }
 
     /// Chases to fixpoint (or resumes a budget-interrupted chase),
@@ -397,10 +553,24 @@ impl IncrementalChase {
         }
         self.trace.emit_with(|| TraceEvent::ChaseStarted {
             scope: self.scope.clone(),
-            rows: self.cells.len(),
+            rows: self.tags.len(),
             fds: self.fds.fds().len(),
         });
         self.dirtied_in_run = 0;
+        self.drain(guard)?;
+        let count = self.dirtied_in_run;
+        self.trace.emit_with(|| TraceEvent::RowsDirtied {
+            scope: self.scope.clone(),
+            count,
+        });
+        Ok(self.stats)
+    }
+
+    /// Pops dirty rows until the worklist is empty, without bracketing
+    /// trace events — the shared sweep loop behind
+    /// [`run`](IncrementalChase::run) and the chunked
+    /// [`insert_batch`](IncrementalChase::insert_batch).
+    fn drain(&mut self, guard: &Guard) -> Result<(), ExecError> {
         while let Some(r) = self.work.pop() {
             self.queued[r as usize] = false;
             self.stats.passes += 1;
@@ -415,12 +585,7 @@ impl IncrementalChase {
                 return Err(e);
             }
         }
-        let count = self.dirtied_in_run;
-        self.trace.emit_with(|| TraceEvent::RowsDirtied {
-            scope: self.scope.clone(),
-            count,
-        });
-        Ok(self.stats)
+        Ok(())
     }
 
     /// Probes one dirty row against every fd. Key canonicalisation goes
@@ -464,8 +629,8 @@ impl IncrementalChase {
                     let fd = self.fds.fds()[fi];
                     let mut any = false;
                     for a in fd.rhs.iter() {
-                        let na = self.cells[rep as usize][a.index()];
-                        let nb = self.cells[r as usize][a.index()];
+                        let na = self.cell(rep, a.index());
+                        let nb = self.cell(r, a.index());
                         if self.union(na, nb, fi, a, (rep, r), guard)? {
                             any = true;
                         }
@@ -546,13 +711,30 @@ impl IncrementalChase {
             });
             self.link[lose as usize] = Some(MergeLink { winner: win, firing });
         }
-        let moved = std::mem::take(&mut self.members[lose as usize]);
-        for &row in &moved {
-            self.enqueue(row);
+        // Walk the losing class once to enqueue its rows — exactly the
+        // rows whose visible symbol changed — then splice the whole list
+        // onto the winner in O(1). No allocation on either step.
+        let width = self.width as u32;
+        let mut entry = self.member_head[lose as usize];
+        let mut dirtied = 0;
+        while entry != NIL {
+            self.enqueue(entry / width);
+            dirtied += 1;
+            entry = self.member_next[entry as usize];
         }
-        let dirtied = moved.len();
         self.dirtied_in_run += dirtied;
-        self.members[win as usize].extend(moved);
+        let lose_head = self.member_head[lose as usize];
+        if lose_head != NIL {
+            let win_tail = self.member_tail[win as usize];
+            if win_tail == NIL {
+                self.member_head[win as usize] = lose_head;
+            } else {
+                self.member_next[win_tail as usize] = lose_head;
+            }
+            self.member_tail[win as usize] = self.member_tail[lose as usize];
+            self.member_head[lose as usize] = NIL;
+            self.member_tail[lose as usize] = NIL;
+        }
         self.trace.emit_with(|| TraceEvent::FdRuleFired {
             fd: self.fd_labels[fi].clone(),
             column: self.col_labels[column.index()].clone(),
@@ -576,7 +758,7 @@ impl IncrementalChase {
         let lhs = self.fds.fds()[fi].lhs;
         out.clear();
         for a in lhs.iter() {
-            let n = self.cells[r as usize][a.index()];
+            let n = self.cell(r, a.index());
             out.push(self.find(n));
         }
     }
@@ -612,13 +794,44 @@ impl IncrementalChase {
         n
     }
 
+    /// Allocates a fresh union-find node. Infallible by construction:
+    /// every row-append path checks
+    /// [`ensure_row_headroom`](IncrementalChase::ensure_row_headroom)
+    /// before allocating, so `parent.len()` here never reaches the cap
+    /// and the `as u32` cannot wrap.
     fn fresh_node(&mut self, s: ChaseSym) -> u32 {
+        debug_assert!(self.parent.len() < self.node_cap as usize);
         let id = self.parent.len() as u32;
         self.parent.push(id);
         self.sym.push(s);
-        self.members.push(Vec::new());
+        self.member_head.push(NIL);
+        self.member_tail.push(NIL);
         self.link.push(None);
         id
+    }
+
+    /// Appends cell `entry` to class `root`'s membership list.
+    fn push_member(&mut self, root: u32, entry: u32) {
+        self.member_next[entry as usize] = NIL;
+        let tail = self.member_tail[root as usize];
+        if tail == NIL {
+            self.member_head[root as usize] = entry;
+        } else {
+            self.member_next[tail as usize] = entry;
+        }
+        self.member_tail[root as usize] = entry;
+    }
+
+    /// The node held by cell `(r, col)` in the flat arena.
+    #[inline]
+    fn cell(&self, r: u32, col: usize) -> u32 {
+        self.cells[r as usize * self.width + col]
+    }
+
+    /// Row `r`'s cell slice in the flat arena.
+    #[inline]
+    fn row_cells(&self, r: usize) -> &[u32] {
+        &self.cells[r * self.width..(r + 1) * self.width]
     }
 
     /// The inconsistency that poisoned the engine, if any.
@@ -653,7 +866,7 @@ impl IncrementalChase {
     /// recording ([`with_provenance`](IncrementalChase::with_provenance))
     /// is off.
     pub fn explain_cell(&self, row: usize, column: Attribute) -> Vec<FiringInfo> {
-        self.chain_of(self.cells[row][column.index()])
+        self.chain_of(self.cells[row * self.width + column.index()])
     }
 
     /// Provenance for the derived total tuple `t` on `x`: the first row
@@ -661,7 +874,8 @@ impl IncrementalChase {
     /// per-column firing chains. `None` when no chased row witnesses
     /// `t`.
     pub fn explain_tuple(&self, x: AttrSet, t: &Tuple) -> Option<TupleExplanation> {
-        'rows: for (r, cells) in self.cells.iter().enumerate() {
+        'rows: for r in 0..self.len() {
+            let cells = self.row_cells(r);
             for a in x.iter() {
                 match self.sym[self.find_ro(cells[a.index()]) as usize] {
                     ChaseSym::Const(v) if t.get(a) == Some(v) => {}
@@ -716,12 +930,12 @@ impl IncrementalChase {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.tags.len()
     }
 
     /// Whether the engine holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.tags.is_empty()
     }
 
     /// Number of columns (universe size).
@@ -733,7 +947,8 @@ impl IncrementalChase {
     /// rows all-constant on `x`, projected and deduplicated.
     pub fn total_projection(&self, x: AttrSet) -> Vec<Tuple> {
         let mut out = Vec::new();
-        'rows: for cells in &self.cells {
+        'rows: for r in 0..self.len() {
+            let cells = self.row_cells(r);
             let mut pairs = Vec::with_capacity(x.len());
             for a in x.iter() {
                 match self.sym[self.find_ro(cells[a.index()]) as usize] {
@@ -754,15 +969,14 @@ impl IncrementalChase {
     }
 
     fn materialize_rows(&self) -> Vec<Row> {
-        self.cells
-            .iter()
-            .zip(&self.tags)
-            .map(|(cells, &tag)| Row {
-                syms: cells
+        (0..self.len())
+            .map(|r| Row {
+                syms: self
+                    .row_cells(r)
                     .iter()
                     .map(|&n| self.sym[self.find_ro(n) as usize])
                     .collect(),
-                tag,
+                tag: self.tags[r],
             })
             .collect()
     }
@@ -778,7 +992,7 @@ pub fn chase_incremental(
     fds: &FdSet,
     guard: &Guard,
 ) -> Result<ChaseStats, ExecError> {
-    let mut engine = IncrementalChase::of_tableau(t, fds);
+    let mut engine = IncrementalChase::of_tableau(t, fds)?;
     let stats = engine.run(guard)?;
     *t.rows_mut() = engine.materialize_rows();
     Ok(stats)
@@ -840,7 +1054,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
         let err = e.run(&Guard::unlimited()).unwrap_err();
         assert!(matches!(err, ExecError::Inconsistent { .. }));
         assert!(e.failure().is_some());
@@ -906,9 +1120,9 @@ mod tests {
         chase(&mut t_batch, kd.full(), &Guard::unlimited()).unwrap();
 
         // Incremental: run, then push the tuple, then run again.
-        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
         e.run(&Guard::unlimited()).unwrap();
-        e.push_tuple(&extra, Some(0));
+        e.push_tuple(&extra, Some(0)).unwrap();
         e.run(&Guard::unlimited()).unwrap();
 
         let all = u.all();
@@ -924,7 +1138,7 @@ mod tests {
         let (scheme, state) = merging_fixture();
         let kd = KeyDeps::of(&scheme);
         let u = scheme.universe();
-        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
         e.run(&Guard::unlimited()).unwrap();
         // Insert R2(a, c2): conflicts with the existing R2(a, c) under
         // key A → inconsistency must be detected incrementally.
@@ -934,7 +1148,7 @@ mod tests {
         let (av, _, _) = (sym.intern("a"), sym.intern("b"), sym.intern("c"));
         let c2 = sym.intern("c2");
         let bad = Tuple::from_pairs([(u.attr_of("A"), av), (u.attr_of("C"), c2)]);
-        e.push_tuple(&bad, Some(1));
+        e.push_tuple(&bad, Some(1)).unwrap();
         let err = e.run(&Guard::unlimited()).unwrap_err();
         assert!(matches!(err, ExecError::Inconsistent { .. }));
     }
@@ -961,7 +1175,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
         let tight = Guard::new(Budget::unlimited().with_max_chase_steps(1));
         assert!(matches!(
             e.run(&tight),
@@ -981,7 +1195,9 @@ mod tests {
         let (scheme, state) = merging_fixture();
         let kd = KeyDeps::of(&scheme);
         let log = Arc::new(EventLog::new(256));
-        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).with_observability(
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full())
+            .unwrap()
+            .with_observability(
             TraceHandle::to_log(Arc::clone(&log)),
             Some(scheme.universe()),
             "whole",
@@ -1026,7 +1242,9 @@ mod tests {
         )
         .unwrap();
         let log = Arc::new(EventLog::new(64));
-        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).with_observability(
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full())
+            .unwrap()
+            .with_observability(
             TraceHandle::to_log(Arc::clone(&log)),
             Some(scheme.universe()),
             "whole",
@@ -1062,7 +1280,9 @@ mod tests {
         let kd = KeyDeps::of(&scheme);
         let u = scheme.universe();
         let mut e =
-            IncrementalChase::of_state(&scheme, &state, kd.full()).with_provenance(true);
+            IncrementalChase::of_state(&scheme, &state, kd.full())
+            .unwrap()
+            .with_provenance(true);
         e.run(&Guard::unlimited()).unwrap();
         assert!(e.provenance_enabled());
         // Row 0 (R1: a,b) became total on C via A→C between rows 0 and 1.
@@ -1097,7 +1317,7 @@ mod tests {
     fn provenance_off_by_default_and_chains_empty() {
         let (scheme, state) = merging_fixture();
         let kd = KeyDeps::of(&scheme);
-        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full());
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
         e.run(&Guard::unlimited()).unwrap();
         assert!(!e.provenance_enabled());
         for r in 0..e.len() {
@@ -1129,7 +1349,9 @@ mod tests {
         )
         .unwrap();
         let mut e =
-            IncrementalChase::of_state(&scheme, &state, kd.full()).with_provenance(true);
+            IncrementalChase::of_state(&scheme, &state, kd.full())
+            .unwrap()
+            .with_provenance(true);
         e.run(&Guard::unlimited()).unwrap_err();
         let why = e.explain_rejection().expect("engine is poisoned");
         assert_eq!(why.fd.render(scheme.universe()), "B→C");
@@ -1144,10 +1366,11 @@ mod tests {
         use idr_obs::EventLog;
         let (scheme, state) = merging_fixture();
         let kd = KeyDeps::of(&scheme);
-        let mut plain = IncrementalChase::of_state(&scheme, &state, kd.full());
+        let mut plain = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
         plain.run(&Guard::unlimited()).unwrap();
         let log = Arc::new(EventLog::new(256));
         let mut traced = IncrementalChase::of_state(&scheme, &state, kd.full())
+            .unwrap()
             .with_observability(
                 TraceHandle::to_log(Arc::clone(&log)),
                 Some(scheme.universe()),
@@ -1169,5 +1392,143 @@ mod tests {
         chase(&mut t1, &f, &Guard::unlimited()).unwrap();
         chase_incremental(&mut t2, &f, &Guard::unlimited()).unwrap();
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn capacity_guard_trips_typed_and_leaves_engine_usable() {
+        let (scheme, _) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        // Width 3; a tuple defining one column allocates 3 nodes (one
+        // const + two fresh ndvs), so a cap of 8 admits two rows and
+        // refuses the third before touching anything.
+        let mut e = IncrementalChase::new(3, kd.full()).with_node_capacity(8);
+        let a = scheme.universe().attr_of("A");
+        for i in 0..2 {
+            let t = Tuple::from_pairs([(a, sym.intern(&format!("a{i}")))]);
+            e.push_tuple(&t, None).unwrap();
+        }
+        let t = Tuple::from_pairs([(a, sym.intern("a2"))]);
+        let err = e.push_tuple(&t, None).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::CapacityExceeded {
+                what: "chase node ids",
+                limit: 8
+            }
+        );
+        assert!(!err.is_resource_exhaustion(), "capacity is not resumable");
+        // The refused push mutated nothing: the engine still holds two
+        // rows and chases them fine.
+        assert_eq!(e.len(), 2);
+        e.run(&Guard::unlimited()).unwrap();
+        assert_eq!(e.to_tableau().rows().len(), 2);
+    }
+
+    #[test]
+    fn of_state_propagates_capacity_trip() {
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        // The same guard protects the bulk constructors: of_state builds
+        // through push_tuple, so an overflowing state fails typed.
+        let err = IncrementalChase::of_state(&scheme, &state, kd.full())
+            .map(|e| e.with_node_capacity(0))
+            .and_then(|mut e| {
+                let mut s = SymbolTable::new();
+                let a = scheme.universe().attr_of("A");
+                e.push_tuple(&Tuple::from_pairs([(a, s.intern("x"))]), None)
+                    .map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(err, ExecError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn insert_batch_equals_per_op_serial() {
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let u = scheme.universe();
+        let (a, b, c) = (u.attr_of("A"), u.attr_of("B"), u.attr_of("C"));
+        // A mix of fresh keys and key-sharing rows so the batch both
+        // claims new index slots and fires fd rules across its own rows.
+        let extra: Vec<(usize, Tuple)> = (0..12)
+            .map(|i| {
+                if i % 3 == 0 {
+                    (0, Tuple::from_pairs([(a, sym.intern(&format!("k{}", i / 3)))]))
+                } else if i % 3 == 1 {
+                    (
+                        0,
+                        Tuple::from_pairs([
+                            (a, sym.intern(&format!("k{}", i / 3))),
+                            (b, sym.intern(&format!("b{}", i / 3))),
+                        ]),
+                    )
+                } else {
+                    (
+                        1,
+                        Tuple::from_pairs([
+                            (a, sym.intern(&format!("k{}", i / 3))),
+                            (c, sym.intern(&format!("c{}", i / 3))),
+                        ]),
+                    )
+                }
+            })
+            .collect();
+        let mut serial = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
+        serial.run(&Guard::unlimited()).unwrap();
+        for (rel, t) in &extra {
+            serial.push_tuple(t, Some(*rel)).unwrap();
+            serial.run(&Guard::unlimited()).unwrap();
+        }
+        let mut batch = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
+        batch.run(&Guard::unlimited()).unwrap();
+        batch
+            .insert_batch(extra.iter().map(|(rel, t)| (t, Some(*rel))), &Guard::unlimited())
+            .unwrap();
+        // Church–Rosser: not just equivalent — identical tableaux.
+        assert_eq!(batch.to_tableau(), serial.to_tableau());
+    }
+
+    #[test]
+    fn insert_batch_detects_cross_batch_inconsistency() {
+        let scheme = SchemeBuilder::new("AB")
+            .scheme("R1", "AB", ["A"])
+            .build()
+            .unwrap();
+        let kd = KeyDeps::of(&scheme);
+        let mut sym = SymbolTable::new();
+        let t1 = Tuple::from_pairs([(
+            scheme.universe().attr_of("A"),
+            sym.intern("a"),
+        ), (scheme.universe().attr_of("B"), sym.intern("b1"))]);
+        let t2 = Tuple::from_pairs([(
+            scheme.universe().attr_of("A"),
+            sym.intern("a"),
+        ), (scheme.universe().attr_of("B"), sym.intern("b2"))]);
+        let mut e = IncrementalChase::new(2, kd.full());
+        let err = e
+            .insert_batch([(&t1, Some(0)), (&t2, Some(0))], &Guard::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Inconsistent { .. }));
+        // Single rollback point: the whole batch is poisoned, callers
+        // rebuild from the pre-batch state.
+        assert!(e.failure().is_some());
+    }
+
+    #[test]
+    fn delete_batch_rebuilds_once_from_post_delete_state() {
+        let (scheme, state) = merging_fixture();
+        let kd = KeyDeps::of(&scheme);
+        let mut e = IncrementalChase::of_state(&scheme, &state, kd.full()).unwrap();
+        e.run(&Guard::unlimited()).unwrap();
+        // Delete R2's tuple: the post-delete state has only R1's.
+        let mut after = state.clone();
+        let victim = state.relation(1).iter().next().unwrap().clone();
+        assert!(after.remove(1, &victim).unwrap());
+        e.delete_batch(&scheme, &after, &Guard::unlimited()).unwrap();
+        let mut oracle = IncrementalChase::of_state(&scheme, &after, kd.full()).unwrap();
+        oracle.run(&Guard::unlimited()).unwrap();
+        assert_eq!(e.to_tableau(), oracle.to_tableau());
     }
 }

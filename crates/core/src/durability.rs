@@ -102,6 +102,26 @@ pub trait DurabilitySink: std::fmt::Debug + Send + Sync {
     /// lock; on `Err` the mutation is not attempted.
     fn log_op(&self, op: DurableOp<'_>) -> Result<(), ExecError>;
 
+    /// Appends (and makes durable) the intent records for a whole batch
+    /// of ops, in order, as one durability unit. The batch write path
+    /// ([`WriteHandle::apply_batch`](crate::WriteHandle::apply_batch))
+    /// calls this once per batch while holding every involved block's
+    /// write lock, *after* chase verdicts are known and *before* any
+    /// in-memory state mutation — so a failed batch logs nothing and a
+    /// logged batch always applies, keeping log == memory without abort
+    /// markers.
+    ///
+    /// The default implementation loops [`log_op`](DurabilitySink::log_op)
+    /// (N commit barriers); `idr_store::SharedStore` overrides it to ride
+    /// the whole batch on one group-commit barrier — one write pass, one
+    /// fsync.
+    fn log_ops(&self, ops: &[DurableOp<'_>]) -> Result<(), ExecError> {
+        for &op in ops {
+            self.log_op(op)?;
+        }
+        Ok(())
+    }
+
     /// Marks this writer's most recently logged op as rolled back.
     /// Called under the same block lock as the `log_op` it cancels, so
     /// the abort marker lands before any later op of the same block.

@@ -379,7 +379,7 @@ impl Engine {
             .with_provenance(self.obs.provenance);
         for &i in &ir.partition[b] {
             for t in state.relation(i).iter() {
-                e.push_tuple(t, Some(i));
+                e.push_tuple(t, Some(i))?;
             }
         }
         let e = finish_run(e, guard)?;
@@ -397,7 +397,7 @@ impl Engine {
         state: &DatabaseState,
         guard: &Guard,
     ) -> Result<IncrementalChase, ExecError> {
-        let e = IncrementalChase::of_state(&self.scheme, state, self.kd.full())
+        let e = IncrementalChase::of_state(&self.scheme, state, self.kd.full())?
             .with_observability(self.obs.tracer.clone(), Some(self.scheme.universe()), "whole")
             .with_provenance(self.obs.provenance);
         let e = finish_run(e, guard)?;

@@ -65,7 +65,7 @@ pub use classify::{classify, Classification};
 pub use durability::{Durability, DurabilitySink, DurableOp};
 pub use engine::{Engine, Observability, Session};
 pub use replay::{ReplayError, ReplayOutcome};
-pub use serving::{Hub, ReadView, Snapshot, WriteHandle};
+pub use serving::{BatchOp, Hub, ReadView, Snapshot, WriteHandle};
 pub use exec::{
     Budget, CancelToken, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, Guard,
     GuardSnapshot, RepAccess, Resource, RetryPolicy, StateAccess,

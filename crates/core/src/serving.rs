@@ -75,6 +75,7 @@
 //! assert_eq!(view.total_projection(x, &guard).unwrap().unwrap().len(), 1);
 //! ```
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -106,6 +107,19 @@ pub struct Snapshot {
 struct Slot {
     chase: IncrementalChase,
     state: DatabaseState,
+}
+
+/// How phase 3 of [`Hub::batch_op`] commits one slot's share of a
+/// batch, decided per slot by [`Hub::batch_slot_verdicts`].
+#[derive(Debug)]
+enum SlotPlan {
+    /// The pure-insert fast path already chased the slot's live tableau
+    /// in place; only the substate still has to catch up.
+    InPlace,
+    /// The group was speculated on clones; swap them in wholesale.
+    /// Boxed: the pair is two orders of magnitude larger than the
+    /// `InPlace` tag, and phase 3 moves it exactly once.
+    Swap(Box<(IncrementalChase, DatabaseState)>),
 }
 
 /// State shared by every handle of one hub.
@@ -255,6 +269,44 @@ impl Clone for ReadView<'_> {
         ReadView {
             engine: self.engine,
             snap: Arc::clone(&self.snap),
+        }
+    }
+}
+
+/// One op of a framed batch group, applied through
+/// [`WriteHandle::apply_batch`]. The verdict contract per op matches the
+/// single-op paths: an insert's verdict is *accepted*, a delete's is
+/// *removed*.
+#[derive(Clone, Debug)]
+pub enum BatchOp {
+    /// Insert `t` into relation `rel`.
+    Insert {
+        /// Target relation index.
+        rel: usize,
+        /// The tuple being inserted.
+        t: Tuple,
+    },
+    /// Delete `t` from relation `rel`.
+    Delete {
+        /// Target relation index.
+        rel: usize,
+        /// The tuple being deleted.
+        t: Tuple,
+    },
+}
+
+impl BatchOp {
+    /// The op's target relation.
+    pub fn rel(&self) -> usize {
+        match self {
+            BatchOp::Insert { rel, .. } | BatchOp::Delete { rel, .. } => *rel,
+        }
+    }
+
+    fn as_durable(&self) -> DurableOp<'_> {
+        match self {
+            BatchOp::Insert { rel, t } => DurableOp::Insert { rel: *rel, t },
+            BatchOp::Delete { rel, t } => DurableOp::Delete { rel: *rel, t },
         }
     }
 }
@@ -503,8 +555,10 @@ impl<'e> Hub<'e> {
         // Durable sinks stamp wal-append where the record is queued;
         // this fallback covers in-memory sinks (first write wins).
         timeline::stamp_current(Phase::WalAppend);
-        slot.chase.push_tuple(&t, Some(i));
-        let outcome = match slot.chase.run(guard) {
+        // A capacity trip from the push takes the same rollback branch
+        // as a guard trip mid-chase: rebuild + abort marker.
+        let pushed = slot.chase.push_tuple(&t, Some(i)).map(|_| ());
+        let outcome = match pushed.and_then(|()| slot.chase.run(guard).map(|_| ())) {
             Ok(_) => {
                 slot.state
                     .insert(i, t)
@@ -639,6 +693,248 @@ impl<'e> Hub<'e> {
         Ok(removed)
     }
 
+    /// The slot half of the batch pipeline: applies a framed op group as
+    /// one unit across every block it touches. See
+    /// [`WriteHandle::apply_batch`] for the contract; returns the per-op
+    /// verdicts (in op order) and the number of blocks touched.
+    ///
+    /// Unlike the single-op paths, the batch logs **after** chase
+    /// verdicts are known and **before** any substate mutation. A
+    /// pure-insert group earns its verdicts by chasing the slot's live
+    /// tableau in place — the tableau is *derived* state, so mutating it
+    /// before the log call is safe as long as a failure rebuilds it from
+    /// the (untouched) substate, which is exactly the batch's **single
+    /// rollback point**. Groups containing deletes, and pure-insert
+    /// groups whose combined run turns inconsistent, instead speculate
+    /// on clones of the slot's tableau and substate and swap them in
+    /// after the log call. Either way a typed error before the log call
+    /// leaves both the log and every substate untouched, so log ==
+    /// memory holds without any abort markers (DESIGN.md §16).
+    pub(crate) fn batch_op(
+        &self,
+        ops: &[BatchOp],
+        guard: &Guard,
+    ) -> Result<(Vec<bool>, usize), ExecError> {
+        if ops.is_empty() {
+            return Ok((Vec::new(), 0));
+        }
+        let mut by_slot: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (k, op) in ops.iter().enumerate() {
+            by_slot.entry(self.slot_of(op.rel())).or_default().push(k);
+        }
+        // Every involved block lock, acquired in index order — per-op
+        // writers hold at most one slot at a time, so ordered
+        // acquisition cannot deadlock against them, and holding all of
+        // them across log → apply keeps per-block WAL order equal to
+        // apply order exactly as in the single-op paths.
+        let mut guards: Vec<MutexGuard<'_, Slot>> = by_slot
+            .keys()
+            .map(|&si| lock_slot(&self.shared.slots[si]))
+            .collect();
+        timeline::stamp_current(Phase::LaneAcquire);
+        let lane_t0 = Instant::now();
+        for slot in &guards {
+            if let Some(f) = slot.chase.failure() {
+                return Err(f.clone().into());
+            }
+        }
+        // Phase 1 — earn every verdict. No substate is mutated; in-place
+        // slots mutate their (derived) tableau and are rebuilt below if
+        // any later slot or the log call fails.
+        let mut verdicts = vec![false; ops.len()];
+        let mut plans: Vec<SlotPlan> = Vec::with_capacity(guards.len());
+        let mut last_why: Option<RejectionExplanation> = None;
+        let mut failure: Option<ExecError> = None;
+        for (slot, (&si, idxs)) in guards.iter_mut().zip(&by_slot) {
+            match self.batch_slot_verdicts(si, slot, ops, idxs, &mut verdicts, guard) {
+                Ok((plan, why)) => {
+                    if why.is_some() {
+                        last_why = why;
+                    }
+                    plans.push(plan);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // Phase 2 — write-ahead for the whole group: one sink batch, one
+        // group-commit barrier, one fsync.
+        if failure.is_none() {
+            if let Some(d) = &self.shared.sink {
+                let records: Vec<DurableOp<'_>> = ops.iter().map(BatchOp::as_durable).collect();
+                if let Err(e) = d.log_ops(&records) {
+                    failure = Some(e);
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // Single rollback point: clone-based plans just drop;
+            // in-place slots rebuild their tableau from the untouched
+            // substate. Nothing was logged, so log == memory holds.
+            for (slot, (plan, (&si, _))) in guards.iter_mut().zip(plans.iter().zip(&by_slot)) {
+                if matches!(plan, SlotPlan::InPlace) {
+                    slot.chase = self
+                        .rebuilt_chase(si, &slot.state, &Guard::unlimited())
+                        .expect("rebuilding the consistent pre-batch substate cannot fail");
+                }
+            }
+            return Err(e);
+        }
+        // Phase 3 — apply: in-place slots catch their substate up to the
+        // already-chased tableau; clone-based slots swap the speculated
+        // tableau and substate in.
+        let applied = verdicts.iter().filter(|&&v| v).count() as u64;
+        for (slot, (plan, (_, idxs))) in guards.iter_mut().zip(plans.into_iter().zip(&by_slot)) {
+            match plan {
+                SlotPlan::InPlace => {
+                    for &k in idxs {
+                        let BatchOp::Insert { rel, t } = &ops[k] else {
+                            unreachable!("in-place plans are pure-insert")
+                        };
+                        slot.state
+                            .insert(*rel, t.clone())
+                            .expect("tuple was chased against scheme rel, so it matches");
+                    }
+                }
+                SlotPlan::Swap(pair) => {
+                    let (chase, state) = *pair;
+                    slot.chase = chase;
+                    slot.state = state;
+                }
+            }
+        }
+        timeline::stamp_current(Phase::Apply);
+        if applied > 0 {
+            self.shared.stale.store(true, Ordering::Release);
+        }
+        if let Some(hm) = &self.shared.metrics {
+            let lane_us = lane_t0.elapsed().as_micros() as u64;
+            for (&si, idxs) in &by_slot {
+                hm.lane_ops[si].add(idxs.len() as u64);
+                hm.lane_busy_us[si].add(lane_us);
+            }
+            hm.epoch_lag.add(applied);
+        }
+        drop(guards);
+        if last_why.is_some() {
+            *self
+                .shared
+                .last_rejection
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = last_why;
+        }
+        Ok((verdicts, by_slot.len()))
+    }
+
+    /// Earns one slot's share of a batch's verdicts, filling `verdicts`
+    /// at the ops' original batch positions, and returns how phase 3
+    /// should commit the slot plus the provenance of the last rejected
+    /// insert (if any).
+    ///
+    /// Pure-insert groups take the fast path — the rows seed and sweep
+    /// the slot's live tableau **in place** (no million-row tableau or
+    /// substate clone per group; Church–Rosser makes the combined
+    /// tableau identical to serial application, and on a consistent
+    /// outcome monotonicity makes every serial prefix verdict
+    /// *accepted*), leaving the substate to catch up after the log
+    /// call. A combined-run inconsistency (which cannot attribute a
+    /// culprit op) rolls the tableau back — one rebuild from the
+    /// untouched substate — and falls back to clone-based per-op replay
+    /// so each op re-earns exactly its serial verdict; any other error
+    /// rolls back the same way and aborts the group. Groups containing
+    /// deletes replay serially on clones too, deferring the
+    /// delete-triggered rebuild until the next insert (or the end), so
+    /// a run of deletes costs one rebuild instead of one per op.
+    fn batch_slot_verdicts(
+        &self,
+        si: usize,
+        slot: &mut Slot,
+        ops: &[BatchOp],
+        idxs: &[usize],
+        verdicts: &mut [bool],
+        guard: &Guard,
+    ) -> Result<(SlotPlan, Option<RejectionExplanation>), ExecError> {
+        let all_inserts = idxs
+            .iter()
+            .all(|&k| matches!(ops[k], BatchOp::Insert { .. }));
+        if all_inserts {
+            let group = idxs.iter().map(|&k| match &ops[k] {
+                BatchOp::Insert { rel, t } => (t, Some(*rel)),
+                BatchOp::Delete { .. } => unreachable!("all_inserts was checked"),
+            });
+            match slot.chase.insert_batch(group, guard) {
+                Ok(_) => {
+                    for &k in idxs {
+                        verdicts[k] = true;
+                    }
+                    return Ok((SlotPlan::InPlace, None));
+                }
+                // The group is inconsistent *as a whole* (the tableau is
+                // now poisoned): roll it back, then fall through to
+                // per-op replay so every op re-earns its serial verdict.
+                Err(ExecError::Inconsistent { .. }) => {
+                    slot.chase = self
+                        .rebuilt_chase(si, &slot.state, &Guard::unlimited())
+                        .expect("rebuilding the consistent pre-batch substate cannot fail");
+                }
+                // Guard or capacity trip mid-sweep: the tableau holds
+                // speculative rows, so restore it before aborting.
+                Err(e) => {
+                    slot.chase = self
+                        .rebuilt_chase(si, &slot.state, &Guard::unlimited())
+                        .expect("rebuilding the consistent pre-batch substate cannot fail");
+                    return Err(e);
+                }
+            }
+        }
+        let mut state = slot.state.clone();
+        let mut chase = slot.chase.clone();
+        // `true` while `chase` trails `state` by one or more deletes.
+        let mut stale = false;
+        let mut why = None;
+        for &k in idxs {
+            match &ops[k] {
+                BatchOp::Insert { rel, t } => {
+                    if stale {
+                        // The deferred delete rebuild — charged against
+                        // the batch guard like the per-op delete path.
+                        chase = self.rebuilt_chase(si, &state, guard)?;
+                        stale = false;
+                    }
+                    let pushed = chase.push_tuple(t, Some(*rel)).map(|_| ());
+                    match pushed.and_then(|()| chase.run(guard).map(|_| ())) {
+                        Ok(()) => {
+                            state
+                                .insert(*rel, t.clone())
+                                .expect("tuple was chased against scheme rel, so it matches");
+                            verdicts[k] = true;
+                        }
+                        Err(ExecError::Inconsistent { .. }) => {
+                            why = chase.explain_rejection().or(why);
+                            chase = self
+                                .rebuilt_chase(si, &state, &Guard::unlimited())
+                                .expect("rebuilding a consistent prefix state cannot fail");
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                BatchOp::Delete { rel, t } => {
+                    let removed = state
+                        .remove(*rel, t)
+                        .expect("relation index was validated by slot_of");
+                    verdicts[k] = removed;
+                    stale |= removed;
+                }
+            }
+        }
+        if stale {
+            chase = self.rebuilt_chase(si, &state, guard)?;
+        }
+        Ok((SlotPlan::Swap(Box::new((chase, state))), why))
+    }
+
     /// A fresh chase of slot `si` from substate `state` (the rollback /
     /// rebuild path), emitting into the hub's live tracer.
     fn rebuilt_chase(
@@ -766,6 +1062,62 @@ impl<'e> WriteHandle<'e> {
             hm.record_timeline(tl);
         }
         Ok(removed)
+    }
+
+    /// Applies a framed group of ops as **one unit**: one write-lock
+    /// acquisition and one dirty-row chase seeding per involved block,
+    /// one WAL batch (one group-commit barrier, one fsync), one
+    /// aggregated [`TraceEvent::BatchApplied`] event. Returns the per-op
+    /// verdicts in op order — observationally identical to applying the
+    /// ops one by one through [`insert`](WriteHandle::insert) /
+    /// [`delete`](WriteHandle::delete) (the `idr fuzz --batch` oracle arm
+    /// pins this).
+    ///
+    /// On a typed error (a block already poisoned, a guard trip or a
+    /// capacity trip mid-batch, a storage failure) the **whole group** is
+    /// rolled back: no op of the batch is applied and nothing is logged —
+    /// the batch's single rollback point sits before its WAL append, so
+    /// log == memory holds without abort markers (DESIGN.md §16).
+    pub fn apply_batch(&self, ops: &[BatchOp], guard: &Guard) -> Result<Vec<bool>, ExecError> {
+        self.apply_batch_timed(ops, guard, &Arc::new(OpTimeline::new()))
+    }
+
+    /// [`apply_batch`](WriteHandle::apply_batch) with a caller-owned
+    /// [`OpTimeline`] — see [`insert_timed`](WriteHandle::insert_timed).
+    pub fn apply_batch_timed(
+        &self,
+        ops: &[BatchOp],
+        guard: &Guard,
+        tl: &Arc<OpTimeline>,
+    ) -> Result<Vec<bool>, ExecError> {
+        let _cur = timeline::set_current(tl);
+        let hub = self.hub();
+        let (verdicts, blocks) = hub.batch_op(ops, guard)?;
+        hub.sink_op_finished()?;
+        tl.stamp(Phase::Publish);
+        let applied = verdicts.iter().filter(|&&v| v).count();
+        let obs = self.engine.observability();
+        obs.tracer.emit_with(|| TraceEvent::BatchApplied {
+            ops: ops.len(),
+            applied,
+            blocks,
+        });
+        if let Some(hm) = &self.shared.metrics {
+            let (mut accepted, mut rejected, mut deletes) = (0u64, 0u64, 0u64);
+            for (op, &v) in ops.iter().zip(&verdicts) {
+                match op {
+                    BatchOp::Insert { .. } if v => accepted += 1,
+                    BatchOp::Insert { .. } => rejected += 1,
+                    BatchOp::Delete { .. } => deletes += 1,
+                }
+            }
+            hm.inserts_accepted.add(accepted);
+            hm.inserts_rejected.add(rejected);
+            hm.deletes.add(deletes);
+            hm.record_guard(guard);
+            hm.record_timeline(tl);
+        }
+        Ok(verdicts)
     }
 
     /// An epoch-stamped read view (see [`Hub::read_view`]) — gives every
@@ -1102,6 +1454,114 @@ mod tests {
         assert!(v.is_consistent());
         let x = AttrSet::from_iter([u.attr_of("K"), u.attr_of("A2")]);
         assert!(hub.explain(x, &t).is_none(), "speculative row leaked");
+    }
+
+    #[test]
+    fn apply_batch_matches_per_op_application() {
+        // Mixed inserts and deletes across two blocks, including a
+        // rejected insert and a delete of an absent tuple: the batch
+        // verdicts and final state must equal per-op serial application.
+        let db = two_block_scheme();
+        let engine_a = Engine::new(db.clone());
+        let engine_b = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let mut sym = SymbolTable::new();
+        let state = state_of(&db, &mut sym, &[("R1", &[("A", "a"), ("B", "b")])]).unwrap();
+        let u = db.universe();
+        let pair = |x: &str, xv: &str, y: &str, yv: &str, sym: &mut SymbolTable| {
+            Tuple::from_pairs([(u.attr_of(x), sym.intern(xv)), (u.attr_of(y), sym.intern(yv))])
+        };
+        let ops = vec![
+            BatchOp::Insert {
+                rel: 1,
+                t: pair("C", "c", "D", "d", &mut sym),
+            },
+            BatchOp::Insert {
+                rel: 0,
+                t: pair("A", "a2", "B", "b2", &mut sym),
+            },
+            // Rejected: clashes with the seeded (a, b) on key A.
+            BatchOp::Insert {
+                rel: 0,
+                t: pair("A", "a", "B", "bX", &mut sym),
+            },
+            BatchOp::Delete {
+                rel: 0,
+                t: pair("A", "a", "B", "b", &mut sym),
+            },
+            // Absent: was never inserted.
+            BatchOp::Delete {
+                rel: 1,
+                t: pair("C", "cX", "D", "dX", &mut sym),
+            },
+            // Accepted: the clashing (a, b) is gone by now.
+            BatchOp::Insert {
+                rel: 0,
+                t: pair("A", "a", "B", "bX", &mut sym),
+            },
+        ];
+
+        let hub_a = engine_a.hub(&state, &g).unwrap();
+        let batch_verdicts = hub_a.write_handle().apply_batch(&ops, &g).unwrap();
+
+        let hub_b = engine_b.hub(&state, &g).unwrap();
+        let wb = hub_b.write_handle();
+        let serial_verdicts: Vec<bool> = ops
+            .iter()
+            .map(|op| match op {
+                BatchOp::Insert { rel, t } => wb.insert(*rel, t.clone(), &g).unwrap(),
+                BatchOp::Delete { rel, t } => wb.delete(*rel, t, &g).unwrap(),
+            })
+            .collect();
+
+        assert_eq!(batch_verdicts, serial_verdicts);
+        assert_eq!(batch_verdicts, vec![true, true, false, true, false, true]);
+        let va = hub_a.read_view();
+        let vb = hub_b.read_view();
+        assert_eq!(va.is_consistent(), vb.is_consistent());
+        let dump = |v: &ReadView<'_>| {
+            let mut all: Vec<(usize, Tuple)> =
+                v.state().iter_all().map(|(i, t)| (i, t.clone())).collect();
+            all.sort();
+            all
+        };
+        assert_eq!(dump(&va), dump(&vb));
+        assert!(hub_a.explain_rejection().is_some(), "rejection provenance kept");
+    }
+
+    #[test]
+    fn apply_batch_rolls_back_whole_group_on_guard_trip() {
+        let db = idr_workload::generators::star_scheme(3);
+        let mut sym = SymbolTable::new();
+        let state = state_of(
+            &db,
+            &mut sym,
+            &[
+                ("R0", &[("K", "k"), ("A0", "x0")]),
+                ("R1", &[("K", "k"), ("A1", "x1")]),
+            ],
+        )
+        .unwrap();
+        let engine = Engine::new(db.clone());
+        let g = Guard::unlimited();
+        let hub = engine.hub(&state, &g).unwrap();
+        let w = hub.write_handle();
+        let u = db.universe();
+        let t = Tuple::from_pairs([
+            (u.attr_of("K"), sym.intern("k")),
+            (u.attr_of("A2"), sym.intern("x2")),
+        ]);
+        let ops = vec![BatchOp::Insert { rel: 2, t: t.clone() }];
+        let tight = Guard::new(Budget::unlimited().with_max_chase_steps(0));
+        let err = w.apply_batch(&ops, &tight).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }), "{err:?}");
+        let v = hub.read_view();
+        assert!(v.is_consistent());
+        assert!(!v.state().relation(2).contains(&t), "speculative op leaked");
+        // The hub is fully usable afterwards: the same batch under a
+        // real guard applies.
+        assert_eq!(w.apply_batch(&ops, &g).unwrap(), vec![true]);
+        assert!(hub.read_view().state().relation(2).contains(&t));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Tier-1 batch==per-op equivalence.
+//!
+//! The batch pipeline's contract is observational equivalence with
+//! per-op serial application: same per-op verdicts, same final state,
+//! same consistency verdict. The fuzzing arm (`idr fuzz --batch`)
+//! checks this over random schemes; these tests pin it over every
+//! scheme the paper actually names — all thirteen worked examples,
+//! accepted and rejected inserts, deletes of present and absent tuples,
+//! frames of mixed sizes — plus one 10^5-tuple bulk family.
+
+use idr_core::exec::Guard;
+use idr_core::serving::BatchOp;
+use idr_core::Engine;
+use idr_relation::rng::SplitMix64;
+use idr_relation::{DatabaseState, SymbolTable, Tuple};
+use idr_workload::paper_examples;
+use idr_workload::scale::{bulk_families, bulk_inserts};
+use idr_workload::states::{generate, WorkloadConfig};
+
+/// Sorted relation/tuple dump — `DatabaseState` has no `PartialEq`, and
+/// order must not matter anyway.
+fn dump(state: &DatabaseState) -> Vec<(usize, Tuple)> {
+    let mut all: Vec<(usize, Tuple)> = state.iter_all().map(|(i, t)| (i, t.clone())).collect();
+    all.sort();
+    all
+}
+
+/// Cuts `ops` into deterministic frames of cycling sizes (1, 3, 2, 5,
+/// 4, ...) and applies them through `apply_batch`; returns the
+/// concatenated verdicts and the hub's final state + verdict.
+fn apply_framed(
+    engine: &Engine,
+    state: &DatabaseState,
+    ops: &[BatchOp],
+    g: &Guard,
+) -> (Vec<bool>, Vec<(usize, Tuple)>, bool) {
+    let hub = engine.hub(state, g).expect("consistent base state");
+    let writer = hub.write_handle();
+    let mut verdicts = Vec::with_capacity(ops.len());
+    let sizes = [1usize, 3, 2, 5, 4];
+    let mut next = 0;
+    let mut k = 0;
+    while next < ops.len() {
+        let sz = sizes[k % sizes.len()].min(ops.len() - next);
+        k += 1;
+        let group = &ops[next..next + sz];
+        next += sz;
+        verdicts.extend(writer.apply_batch(group, g).expect("batch within budget"));
+    }
+    let view = hub.read_view();
+    let final_state = dump(view.state());
+    let consistent = view.is_consistent();
+    (verdicts, final_state, consistent)
+}
+
+/// The same ops one at a time.
+fn apply_serial(
+    engine: &Engine,
+    state: &DatabaseState,
+    ops: &[BatchOp],
+    g: &Guard,
+) -> (Vec<bool>, Vec<(usize, Tuple)>, bool) {
+    let hub = engine.hub(state, g).expect("consistent base state");
+    let writer = hub.write_handle();
+    let verdicts: Vec<bool> = ops
+        .iter()
+        .map(|op| match op {
+            BatchOp::Insert { rel, t } => writer.insert(*rel, t.clone(), g).expect("insert"),
+            BatchOp::Delete { rel, t } => writer.delete(*rel, t, g).expect("delete"),
+        })
+        .collect();
+    let view = hub.read_view();
+    let final_state = dump(view.state());
+    let consistent = view.is_consistent();
+    (verdicts, final_state, consistent)
+}
+
+#[test]
+fn batch_equals_per_op_on_every_paper_fixture() {
+    let g = Guard::unlimited();
+    for fixture in paper_examples() {
+        let db = fixture.scheme;
+        let mut sym = SymbolTable::new();
+        // A consistent seeded state plus a mixed insert stream: fresh
+        // entities (accepted) and corrupted cross-entity tuples (mostly
+        // rejected).
+        let w = generate(
+            &db,
+            &mut sym,
+            WorkloadConfig {
+                entities: 12,
+                fragment_pct: 60,
+                inserts: 24,
+                corrupt_pct: 40,
+                seed: 0x9A7C4 ^ fixture.name.len() as u64,
+            },
+        );
+        // Interleave deletes: every fourth op deletes an earlier insert's
+        // tuple (present if that insert was accepted and not yet deleted,
+        // absent otherwise) — both delete verdicts get exercised.
+        let mut ops: Vec<BatchOp> = Vec::new();
+        let mut rng = SplitMix64::new(0xDE1E7E);
+        for (k, (i, t)) in w.inserts.iter().enumerate() {
+            ops.push(BatchOp::Insert {
+                rel: *i,
+                t: t.clone(),
+            });
+            if k % 4 == 3 {
+                let (j, tj) = &w.inserts[rng.gen_range(0, k + 1)];
+                ops.push(BatchOp::Delete {
+                    rel: *j,
+                    t: tj.clone(),
+                });
+            }
+        }
+        let engine = Engine::new(db.clone());
+        let batch = apply_framed(&engine, &w.state, &ops, &g);
+        let serial = apply_serial(&engine, &w.state, &ops, &g);
+        assert_eq!(
+            batch.0, serial.0,
+            "{}: batch verdicts != per-op verdicts",
+            fixture.name
+        );
+        assert_eq!(
+            batch.1, serial.1,
+            "{}: batch final state != per-op final state",
+            fixture.name
+        );
+        assert_eq!(batch.2, serial.2, "{}: consistency differs", fixture.name);
+    }
+}
+
+#[test]
+fn batch_equals_per_op_on_a_100k_tuple_family() {
+    let g = Guard::unlimited();
+    let (name, db) = bulk_families()
+        .into_iter()
+        .find(|(n, _)| *n == "block_chain(4,4)")
+        .expect("family exists");
+    let mut sym = SymbolTable::new();
+    let ops: Vec<BatchOp> = bulk_inserts(&db, &mut sym, 100_000)
+        .into_iter()
+        .map(|(i, t)| BatchOp::Insert { rel: i, t })
+        .collect();
+    let engine = Engine::new(db.clone());
+    let empty = DatabaseState::empty(&db);
+
+    let hub = engine.hub(&empty, &g).expect("empty state");
+    let batch_verdicts = hub
+        .write_handle()
+        .apply_batch(&ops, &g)
+        .expect("bulk batch");
+    assert!(
+        batch_verdicts.iter().all(|&v| v),
+        "{name}: bulk stream must be accepted wholesale"
+    );
+
+    let hub2 = engine.hub(&empty, &g).expect("empty state");
+    let writer = hub2.write_handle();
+    for op in &ops {
+        let BatchOp::Insert { rel, t } = op else {
+            unreachable!()
+        };
+        assert!(writer.insert(*rel, t.clone(), &g).expect("insert"));
+    }
+
+    assert_eq!(
+        dump(hub.read_view().state()),
+        dump(hub2.read_view().state()),
+        "{name}: batch and per-op states diverge at 10^5 tuples"
+    );
+    assert!(hub.read_view().is_consistent());
+}

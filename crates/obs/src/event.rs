@@ -226,6 +226,20 @@ pub enum TraceEvent {
         /// Framed bytes written.
         bytes: usize,
     },
+    /// A framed op group went through the batch write path as one unit:
+    /// one dirty-row seeding per involved block, one WAL batch, one
+    /// fsync. The per-op `insert_applied`/`delete_applied` events are
+    /// *not* emitted for the group's ops — this single aggregate stands
+    /// for all of them.
+    BatchApplied {
+        /// Ops in the group.
+        ops: usize,
+        /// Ops whose verdict was positive (insert accepted / tuple
+        /// removed).
+        applied: usize,
+        /// Distinct blocks the group touched.
+        blocks: usize,
+    },
     /// One write op's trip through the serving pipeline, broken into
     /// per-phase durations (microseconds attributed to each phase; 0
     /// for phases the op did not reach). The only event carrying wall
@@ -282,6 +296,7 @@ impl TraceEvent {
             TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
             TraceEvent::EpochPublished { .. } => "epoch_published",
             TraceEvent::GroupCommitted { .. } => "group_committed",
+            TraceEvent::BatchApplied { .. } => "batch_applied",
             TraceEvent::OpTimeline { .. } => "op_timeline",
         }
     }
@@ -390,6 +405,11 @@ impl TraceEvent {
             TraceEvent::GroupCommitted { ops, bytes } => {
                 format!("group_committed ops={ops} bytes={bytes}")
             }
+            TraceEvent::BatchApplied {
+                ops,
+                applied,
+                blocks,
+            } => format!("batch_applied ops={ops} applied={applied} blocks={blocks}"),
             TraceEvent::OpTimeline {
                 verb,
                 op,
@@ -602,6 +622,18 @@ impl TraceEvent {
             TraceEvent::GroupCommitted { ops, bytes } => {
                 w.key("ops").u64(*ops as u64).key("bytes").u64(*bytes as u64);
             }
+            TraceEvent::BatchApplied {
+                ops,
+                applied,
+                blocks,
+            } => {
+                w.key("ops")
+                    .u64(*ops as u64)
+                    .key("applied")
+                    .u64(*applied as u64)
+                    .key("blocks")
+                    .u64(*blocks as u64);
+            }
             TraceEvent::OpTimeline {
                 verb,
                 op,
@@ -752,6 +784,11 @@ mod tests {
                 consistent: true,
             },
             TraceEvent::GroupCommitted { ops: 3, bytes: 96 },
+            TraceEvent::BatchApplied {
+                ops: 6,
+                applied: 5,
+                blocks: 2,
+            },
             TraceEvent::OpTimeline {
                 verb: Arc::from("insert"),
                 op: 12,

@@ -100,6 +100,7 @@ fn err_class(e: &ExecError) -> &'static str {
         ExecError::Cancelled => "cancelled",
         ExecError::Faulted { .. } => "fault",
         ExecError::Inconsistent { .. } => "inconsistent",
+        ExecError::CapacityExceeded { .. } => "capacity",
     }
 }
 

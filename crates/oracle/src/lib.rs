@@ -45,8 +45,16 @@
 //! claim under real threads (`idr fuzz --concurrent`). Its crash-side
 //! twin, [`crash::concurrent_crash_fuzz`], cuts a group-commit WAL at
 //! every byte, mid-batch included (`idr fuzz --crash --concurrent`).
+//!
+//! The eighth arm pins the batch write pipeline:
+//! [`batch::batch_fuzz`] cuts generated op streams into framed groups,
+//! applies them through `WriteHandle::apply_batch` over a real durable
+//! store, and diffs per-op verdicts, state, verdict and probe answers
+//! against per-op serial application — then recovers the data dir and
+//! diffs again (`idr fuzz --batch`).
 
 #![warn(missing_docs)]
+pub mod batch;
 pub mod concurrent;
 pub mod crash;
 pub mod gen;
@@ -57,6 +65,7 @@ pub mod sync_fuzz;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+pub use batch::{batch_fuzz, BatchFailure, BatchFuzzSummary};
 pub use concurrent::{
     concurrent_fuzz, concurrent_fuzz_with, ConcurrentFailure, ConcurrentFuzzSummary,
 };

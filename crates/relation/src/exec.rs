@@ -134,6 +134,16 @@ pub enum ExecError {
         /// Rendered description of the violated dependency.
         detail: String,
     },
+    /// A fixed-width identifier space ran out (e.g. the chase's `u32`
+    /// node ids or the symbol table's `u32` intern ids). Unlike
+    /// [`ExecError::BudgetExceeded`] this is not resumable: retrying with
+    /// a larger budget cannot help, the structure is full.
+    CapacityExceeded {
+        /// Which identifier space ran out.
+        what: &'static str,
+        /// The hard ceiling that was hit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -162,6 +172,9 @@ impl fmt::Display for ExecError {
             ),
             ExecError::Inconsistent { detail } => {
                 write!(f, "state inconsistent: {detail}")
+            }
+            ExecError::CapacityExceeded { what, limit } => {
+                write!(f, "capacity exceeded: {what} full at {limit}")
             }
         }
     }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 pub mod fixtures;
 pub mod generators;
+pub mod scale;
 pub mod states;
 
 pub use fixtures::{paper_examples, Expectations, Fixture};

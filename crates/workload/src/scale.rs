@@ -1,0 +1,188 @@
+//! Bulk-load families at 10^5–10^7 tuples for the batch-pipeline
+//! experiments (EXPERIMENTS.md §batch, `scripts/bench.sh` chase-scale
+//! section).
+//!
+//! The existing [`crate::states`] generator materialises a
+//! [`DatabaseState`](idr_relation::DatabaseState) up front and streams a
+//! few dozen inserts; at a million tuples the interesting object is the
+//! *op stream itself* — the framed groups a bulk load pushes through
+//! `WriteHandle::apply_batch`. [`bulk_inserts`] produces exactly that: a
+//! pure-insert stream of `tuples` entity fragments, round-robin over the
+//! scheme's relations, where the fragments of one entity share symbols
+//! (so the chase's work is real reassembly, not disjoint no-ops) and
+//! distinct entities share nothing (so the stream is consistent by
+//! construction and every insert is accepted).
+//!
+//! Three named families scale differently:
+//!
+//! * `star(16)` — 16 relations around one hub key: every entity's
+//!   fragments merge through a single equivalence class per entity;
+//!   wide fan-in, shallow chase.
+//! * `chain(8)` — 8 two-attribute relations in a line: fragments merge
+//!   pairwise along the chain; deep equality propagation.
+//! * `block_chain(4,4)` — 4 independent blocks bridged in a line: the
+//!   serving layer shards these across lanes, so this is the family the
+//!   batch-vs-per-op comparison uses.
+
+use idr_relation::rng::SplitMix64;
+use idr_relation::{DatabaseScheme, SymbolTable, Tuple};
+
+use crate::generators::{block_chain_scheme, chain_scheme, star_scheme};
+
+/// The named bulk families, smallest universe first. Tuple counts are
+/// chosen by the caller ([`bulk_inserts`] takes the count).
+pub fn bulk_families() -> Vec<(&'static str, DatabaseScheme)> {
+    vec![
+        ("chain(8)", chain_scheme(8)),
+        ("star(16)", star_scheme(16)),
+        ("block_chain(4,4)", block_chain_scheme(4, 4)),
+    ]
+}
+
+/// A pure-insert bulk stream of exactly `tuples` ops.
+///
+/// Op `k` is entity `k / db.len()` projected onto relation `k % db.len()`
+/// — so consecutive ops hit different relations (and, on sharded
+/// schemes, different serving lanes), and an entity's `db.len()`
+/// fragments arrive as a contiguous run that the chase must reassemble.
+/// Only the attributes each fragment actually carries are interned, so
+/// generating 10^7 tuples stays linear in output size.
+pub fn bulk_inserts(
+    db: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+    tuples: usize,
+) -> Vec<(usize, Tuple)> {
+    let u = db.universe();
+    let mut out = Vec::with_capacity(tuples);
+    let mut buf = String::new();
+    for k in 0..tuples {
+        let i = k % db.len();
+        let id = k / db.len();
+        let t = Tuple::from_pairs(db.scheme(i).attrs().iter().map(|a| {
+            buf.clear();
+            buf.push_str(u.name(a));
+            buf.push('#');
+            buf.push_str(itoa(id).as_str());
+            (a, symbols.intern(&buf))
+        }));
+        out.push((i, t));
+    }
+    out
+}
+
+/// `bulk_inserts` with a deterministic shuffle: same multiset of ops,
+/// but an entity's fragments are scattered through the stream, so the
+/// chase sees late merges instead of contiguous runs. Used by the
+/// equivalence tests to decorrelate frame boundaries from entity
+/// boundaries.
+pub fn bulk_inserts_shuffled(
+    db: &DatabaseScheme,
+    symbols: &mut SymbolTable,
+    tuples: usize,
+    seed: u64,
+) -> Vec<(usize, Tuple)> {
+    let mut ops = bulk_inserts(db, symbols, tuples);
+    let mut rng = SplitMix64::new(seed);
+    for k in (1..ops.len()).rev() {
+        ops.swap(k, rng.gen_range(0, k + 1));
+    }
+    ops
+}
+
+/// Decimal rendering without `format!` (hot loop: called once per tuple).
+fn itoa(mut n: usize) -> ArrayStr {
+    let mut s = ArrayStr {
+        buf: [0; 20],
+        len: 0,
+    };
+    let start = s.buf.len();
+    let mut end = start;
+    loop {
+        end -= 1;
+        s.buf[end] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    s.buf.copy_within(end..start, 0);
+    s.len = start - end;
+    s
+}
+
+struct ArrayStr {
+    buf: [u8; 20],
+    len: usize,
+}
+
+impl ArrayStr {
+    fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len]).expect("ascii digits")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idr_fd::KeyDeps;
+    use idr_relation::exec::Guard;
+    use idr_relation::DatabaseState;
+
+    #[test]
+    fn bulk_stream_shape_and_determinism() {
+        for (name, db) in bulk_families() {
+            let mut sym = SymbolTable::new();
+            let ops = bulk_inserts(&db, &mut sym, 1000);
+            assert_eq!(ops.len(), 1000, "{name}");
+            for (i, t) in &ops {
+                assert_eq!(t.attrs(), db.scheme(*i).attrs(), "{name}");
+            }
+            let mut sym2 = SymbolTable::new();
+            assert_eq!(ops, bulk_inserts(&db, &mut sym2, 1000), "{name}");
+        }
+    }
+
+    #[test]
+    fn bulk_stream_is_consistent_and_merges_entities() {
+        let (_, db) = bulk_families().remove(1); // star(16): one class/entity
+        let mut sym = SymbolTable::new();
+        let ops = bulk_inserts(&db, &mut sym, 320); // 20 full entities
+        let mut state = DatabaseState::empty(&db);
+        for (i, t) in &ops {
+            state.insert(*i, t.clone()).unwrap();
+        }
+        let kd = KeyDeps::of(&db);
+        let g = Guard::unlimited();
+        assert!(idr_chase::is_consistent(&db, &state, kd.full(), &g).unwrap());
+        // Reassembly is real: the hub key joins all 16 fragments, so the
+        // total projection over one spoke is answerable for every entity.
+        let probe = db.scheme(0).attrs();
+        let ans = idr_chase::total_projection(&db, &state, kd.full(), probe, &g)
+            .unwrap()
+            .expect("consistent");
+        assert_eq!(ans.len(), 20);
+    }
+
+    #[test]
+    fn shuffle_permutes_but_preserves_the_multiset() {
+        let (_, db) = bulk_families().remove(0);
+        let mut sym = SymbolTable::new();
+        let plain = bulk_inserts(&db, &mut sym, 500);
+        let mut sym2 = SymbolTable::new();
+        let shuffled = bulk_inserts_shuffled(&db, &mut sym2, 500, 0xF00D);
+        assert_ne!(plain, shuffled);
+        let mut a = plain.clone();
+        let mut b = shuffled.clone();
+        let key = |(i, t): &(usize, Tuple)| (*i, format!("{t:?}"));
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn itoa_matches_format() {
+        for n in [0usize, 1, 9, 10, 99, 100, 123456789, usize::MAX] {
+            assert_eq!(itoa(n).as_str(), n.to_string());
+        }
+    }
+}

@@ -19,15 +19,22 @@
 #     serves a fixed durable op budget faster with 4 clients than with 1
 #     (clients ride shared commit barriers), and grouping cuts
 #     fsyncs-per-op below the classic one-fsync-per-op discipline;
-#   * the PR 8 trajectory gate — the 4-client serving throughput of this
+#   * the PR 9 headline — the chase_scale section carries absolute-ms
+#     numbers for ≥10^6-tuple bulk streams, and the durable bulk load of
+#     one million tuples through framed batch groups (one WAL batch, one
+#     fsync per group) beats the per-op serving discipline (one fsync
+#     per op) by ≥5x;
+#   * the trajectory gate — the 4-client serving throughput of this
 #     build must stay within a generous tolerance of the checked-in
-#     BENCH_pr7.json, so the always-on serving-path instrumentation
-#     (pre-resolved metric handles, pipeline timelines) cannot silently
-#     halve the serving path.
+#     BENCH_pr8.json, so neither the batch plumbing nor new
+#     instrumentation can silently halve the serving path.
+#
+# The durable bulk-load section fsyncs one million per-op commits, so a
+# full run takes a few minutes on ordinary disks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr8.json}"
+OUT="${1:-BENCH_pr9.json}"
 
 cargo build -p bench --release
 ./target/release/bench-smoke > "$OUT"
@@ -132,22 +139,52 @@ assert gc["grouped"]["fsyncs_per_op"] < gc["per_op"]["fsyncs_per_op"], \
 print("OK: group commit measurably reduces fsyncs-per-op")
 
 # Absolute-throughput trajectory gate: 4-client serving ops/s against the
-# PR 7 baseline. The tolerance is deliberately generous (half the
+# PR 8 baseline. The tolerance is deliberately generous (half the
 # baseline) — fsync-bound medians jitter hard on shared runners — but a
-# hot-path regression from the new instrumentation (an accidental
-# registry lock per op, say) costs well over 2x and will trip it.
-if os.path.exists("BENCH_pr7.json") and os.path.abspath("BENCH_pr7.json") != \
+# hot-path regression from the batch plumbing (an accidental lock or
+# clone per op, say) costs well over 2x and will trip it.
+if os.path.exists("BENCH_pr8.json") and os.path.abspath("BENCH_pr8.json") != \
         os.path.abspath(os.environ["OUT"]):
-    with open("BENCH_pr7.json") as f:
+    with open("BENCH_pr8.json") as f:
         base = json.load(f)
     base_rate = {c["clients"]: c["ops_per_sec"] for c in base["serve"]["clients"]}[4]
     got_rate = by_clients[4]["ops_per_sec"]
     floor = base_rate * 0.5
     assert got_rate >= floor, \
         f"serve trajectory: 4-client {got_rate:.0f} ops/s fell below half the " \
-        f"PR7 baseline ({base_rate:.0f} ops/s)"
-    print(f"OK: 4-client serve throughput {got_rate:.0f} ops/s holds the PR7 "
+        f"PR8 baseline ({base_rate:.0f} ops/s)"
+    print(f"OK: 4-client serve throughput {got_rate:.0f} ops/s holds the PR8 "
           f"trajectory (baseline {base_rate:.0f}, floor {floor:.0f})")
 else:
-    print("note: BENCH_pr7.json baseline missing; skipping the serve trajectory gate")
+    print("note: BENCH_pr8.json baseline missing; skipping the serve trajectory gate")
+
+# Chase-scale section: honest absolute-ms numbers at 10^5-10^6 tuples.
+# The gate is existence + sanity (a ≥10^6-tuple family with real
+# timings); absolute wall-clock is machine-dependent, so no ms ceiling.
+cs = doc["chase_scale"]
+big = [f for f in cs["families"] if f["tuples"] >= 1_000_000]
+assert big, "chase_scale must include a >=10^6-tuple family"
+for f in cs["families"]:
+    print(f"chase_scale {f['name']} x{f['tuples']}: gen {f['gen_ms']:.0f} ms, "
+          f"hub per-op {f['hub_per_op_ms']:.0f} ms, hub batch {f['hub_batch_ms']:.0f} ms")
+    assert f["hub_batch_ms"] > 0 and f["hub_per_op_ms"] > 0
+print(f"OK: chase_scale carries {len(big)} family run(s) at >=10^6 tuples")
+
+# Durable bulk-load headline: framed batch groups (one WAL batch + one
+# fsync per group) vs the per-op serving discipline (one fsync per op)
+# on a >=10^6-tuple family. This is the batch pipeline's reason to
+# exist; gate it at 5x.
+bl = doc["durable_bulk_load"]
+print(f"durable_bulk_load {bl['family']} x{bl['tuples']} (groups of {bl['group_size']}): "
+      f"per-op {bl['per_op_ms']:.0f} ms / {bl['per_op_fsyncs']} fsyncs  vs  "
+      f"batch {bl['batch_ms']:.0f} ms / {bl['batch_fsyncs']} fsyncs  "
+      f"= {bl['speedup']:.1f}x")
+assert bl["tuples"] >= 1_000_000, "bulk-load headline must run at >=10^6 tuples"
+assert bl["per_op_fsyncs"] >= bl["tuples"], \
+    "per-op discipline must fsync every op"
+assert bl["batch_fsyncs"] <= bl["tuples"] // bl["group_size"] + 1, \
+    "batch groups must commit one fsync per group"
+assert bl["speedup"] >= 5.0, \
+    f"batch bulk load must beat the per-op loop by >=5x (got {bl['speedup']:.1f}x)"
+print("OK: batched bulk load beats the per-op serving discipline by >=5x")
 EOF

@@ -42,6 +42,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 # recovered and checked against the committed-prefix oracle.
 ./target/release/idr fuzz --crash --concurrent --seed 20260806 --cases 100
 
+# Batch-vs-serial equivalence fuzzing: framed op groups applied through
+# apply_batch over a real durable store, diffed per-op against serial
+# application (verdicts, state, consistency, probe answers), then the
+# data dir recovered and diffed again. Exits 8 on any divergence.
+./target/release/idr fuzz --batch --seed 42 --cases 50
+
 # The checked-in demo scenario must converge (and exercises the CLI
 # round-trace path end to end).
 ./target/release/idr sync examples/scenarios/partition-heal.txt > /dev/null

@@ -45,6 +45,7 @@
 //! idr fuzz     --crash [--concurrent] [--seed N] [--cases K]
 //! idr fuzz     --sync  [--seed N] [--cases K] [--out DIR]
 //! idr fuzz     --concurrent [--seed N] [--cases K] [--out DIR]
+//! idr fuzz     --batch [--seed N] [--cases K]
 //! idr init     <data-dir> <scheme-file>
 //! idr serve    --data-dir <dir> [--snapshot-every N] [--clients N] [--group-commit-window US] [--stats-every N] [--slow-op-us T]
 //! idr recover  --data-dir <dir> [<ATTR> ...]
@@ -68,6 +69,13 @@
 //! microseconds so concurrent lanes share one WAL batch and one fsync.
 //! Queries answer from an epoch-stamped snapshot and never block the
 //! lanes.
+//! A `begin` line opens a framed op group: subsequent mutations buffer
+//! until `commit` applies them as **one batch** — one dirty-row chase
+//! seeding per touched block, one WAL batch, one fsync — with per-op
+//! verdicts reported under the commit's `[op K]` tag. A typed error
+//! rolls the whole group back (nothing applied, nothing logged). This
+//! is the bulk-load fast path: see the README walkthrough for a
+//! million-tuple transcript.
 //! `idr recover` replays snapshot + WAL tail through the guarded engine,
 //! reports what it found (records replayed, aborts honoured, torn bytes
 //! truncated) and the re-earned consistency verdict; trailing attribute
@@ -322,7 +330,7 @@ fn flush_obs(
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash [--concurrent] | --sync | --concurrent\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N] [--clients N] [--group-commit-window US] [--stats-every N] [--slow-op-us T]   (ops from stdin; `.stats` prints live stats)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH (.prom extension selects text exposition)\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash [--concurrent] | --sync | --concurrent | --batch\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N] [--clients N] [--group-commit-window US] [--stats-every N] [--slow-op-us T]   (ops from stdin; `.stats` prints live stats)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH (.prom extension selects text exposition)\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -425,6 +433,9 @@ fn exec_exit(e: &ExecError) -> u8 {
         ExecError::TimedOut { .. } => EXIT_TIMEOUT,
         ExecError::Cancelled | ExecError::Faulted { .. } => EXIT_FAULT,
         ExecError::Inconsistent { .. } => EXIT_INCONSISTENT,
+        // Not resumable — retrying with a larger budget cannot help, so
+        // it is a fault, not a budget trip.
+        ExecError::CapacityExceeded { .. } => EXIT_FAULT,
     }
 }
 
@@ -864,6 +875,7 @@ struct FuzzOpts {
     crash: bool,
     sync: bool,
     concurrent: bool,
+    batch: bool,
 }
 
 fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
@@ -876,6 +888,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
         crash: false,
         sync: false,
         concurrent: false,
+        batch: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -901,6 +914,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
             "--crash" => opts.crash = true,
             "--sync" => opts.sync = true,
             "--concurrent" => opts.concurrent = true,
+            "--batch" => opts.batch = true,
             other => return Err(format!("unknown fuzz option {other:?}")),
         }
     }
@@ -912,14 +926,47 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
 /// crash-recovery arm with `--crash` (multi-writer group-commit cuts
 /// with `--crash --concurrent`), the replication-convergence arm with
 /// `--sync`, the serial==concurrent serving-layer arm with
-/// `--concurrent`. Divergences become replayable fixtures under
-/// `--out` and the run exits with [`EXIT_DIVERGENCE`].
+/// `--concurrent`, and the batch==per-op pipeline arm with `--batch`.
+/// Divergences become replayable fixtures under `--out` and the run
+/// exits with [`EXIT_DIVERGENCE`].
 fn fuzz_cmd(rest: &[String], obs: &Observability) -> ExitCode {
     use independence_reducible::oracle;
     let opts = match parse_fuzz_flags(rest) {
         Ok(o) => o,
         Err(e) => return usage(&e),
     };
+    if opts.batch {
+        if opts.replay.is_some() || opts.shrink || opts.crash || opts.sync || opts.concurrent {
+            return usage(
+                "--batch cannot be combined with --replay, --shrink, --crash, --sync or --concurrent",
+            );
+        }
+        let mut progress = |done: usize, failures: usize| {
+            if done.is_multiple_of(50) {
+                eprintln!(
+                    "batch fuzz: {done}/{} cases, {failures} failure(s)",
+                    opts.cases
+                );
+            }
+        };
+        let summary = oracle::batch_fuzz(opts.seed, opts.cases, Some(&mut progress));
+        println!(
+            "batch fuzz: {} case(s) from seed {}, {} framed group(s) committed, {} op(s) applied, {} failure(s)",
+            summary.cases,
+            opts.seed,
+            summary.groups,
+            summary.ops_run,
+            summary.failures.len()
+        );
+        for f in summary.failures.iter().take(10) {
+            println!("  {f}");
+        }
+        return if summary.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(EXIT_DIVERGENCE)
+        };
+    }
     if opts.sync {
         if opts.replay.is_some() || opts.shrink || opts.crash || opts.concurrent {
             return usage(
@@ -1361,15 +1408,25 @@ fn recover_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: b
     }
 }
 
-/// A mutation dispatched to a serve worker lane: the op number, whether
-/// it is an insert, and the parsed target.
-struct ServeJob {
-    op: usize,
-    insert: bool,
-    rel: usize,
-    t: Tuple,
-    /// The op's pipeline timeline; `enqueue` is stamped at dispatch.
-    tl: Arc<obs::OpTimeline>,
+/// A mutation dispatched to a serve worker lane.
+enum ServeJob {
+    /// One insert or delete: the op number, whether it is an insert, and
+    /// the parsed target.
+    One {
+        op: usize,
+        insert: bool,
+        rel: usize,
+        t: Tuple,
+        /// The op's pipeline timeline; `enqueue` is stamped at dispatch.
+        tl: Arc<obs::OpTimeline>,
+    },
+    /// A `begin`/`commit` framed op group, applied as one unit (one WAL
+    /// batch, one fsync) under the `commit` line's op number.
+    Batch {
+        op: usize,
+        ops: Vec<BatchOp>,
+        tl: Arc<obs::OpTimeline>,
+    },
 }
 
 /// One tagged response line bundle: the op number, the rendered body
@@ -1653,19 +1710,58 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
                 let tracer = obs.tracer.clone();
                 s.spawn(move || {
                     for job in rx {
-                        let ServeJob { op, insert, rel, t, tl } = job;
-                        let verb = if insert { "insert" } else { "delete" };
-                        let (body, code) = if insert {
-                            match writer.insert_timed(rel, t, guard, &tl) {
-                                Ok(true) => ("accepted".to_string(), None),
-                                Ok(false) => ("rejected (state unchanged)".to_string(), None),
-                                Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
+                        let (op, verb, tl, body, code) = match job {
+                            ServeJob::One { op, insert, rel, t, tl } => {
+                                let verb = if insert { "insert" } else { "delete" };
+                                let (body, code) = if insert {
+                                    match writer.insert_timed(rel, t, guard, &tl) {
+                                        Ok(true) => ("accepted".to_string(), None),
+                                        Ok(false) => {
+                                            ("rejected (state unchanged)".to_string(), None)
+                                        }
+                                        Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
+                                    }
+                                } else {
+                                    match writer.delete_timed(rel, &t, guard, &tl) {
+                                        Ok(true) => ("removed".to_string(), None),
+                                        Ok(false) => ("absent (state unchanged)".to_string(), None),
+                                        Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
+                                    }
+                                };
+                                (op, verb, tl, body, code)
                             }
-                        } else {
-                            match writer.delete_timed(rel, &t, guard, &tl) {
-                                Ok(true) => ("removed".to_string(), None),
-                                Ok(false) => ("absent (state unchanged)".to_string(), None),
-                                Err(e) => (format!("error: {e}"), Some(exec_exit(&e))),
+                            ServeJob::Batch { op, ops: group, tl } => {
+                                let (body, code) =
+                                    match writer.apply_batch_timed(&group, guard, &tl) {
+                                        Ok(verdicts) => {
+                                            let applied =
+                                                verdicts.iter().filter(|&&v| v).count();
+                                            let mut body = format!(
+                                                "committed {} op(s), {} applied",
+                                                group.len(),
+                                                applied
+                                            );
+                                            for (j, (o, v)) in
+                                                group.iter().zip(&verdicts).enumerate()
+                                            {
+                                                let verdict = match (o, v) {
+                                                    (BatchOp::Insert { .. }, true) => "accepted",
+                                                    (BatchOp::Insert { .. }, false) => "rejected",
+                                                    (BatchOp::Delete { .. }, true) => "removed",
+                                                    (BatchOp::Delete { .. }, false) => "absent",
+                                                };
+                                                body.push_str(&format!("\n  [{j}] {verdict}"));
+                                            }
+                                            (body, None)
+                                        }
+                                        Err(e) => (
+                                            format!(
+                                                "error: batch rolled back, nothing applied: {e}"
+                                            ),
+                                            Some(exec_exit(&e)),
+                                        ),
+                                    };
+                                (op, "batch", tl, body, code)
                             }
                         };
                         stats.queue_depth.sub(1);
@@ -1684,6 +1780,10 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
             })
             .collect();
         let stdin = std::io::stdin();
+        // `begin` opens a framed op group: mutations buffer here until
+        // `commit` dispatches them as one batch job (reads run
+        // immediately — they never join a group).
+        let mut pending_batch: Option<Vec<BatchOp>> = None;
         for line in stdin.lock().lines() {
             let line = match line {
                 Ok(l) => l,
@@ -1701,6 +1801,13 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
                 None => (line, ""),
             };
             if matches!(verb, "quit" | "exit") {
+                if pending_batch.take().is_some() {
+                    let _ = res_tx.send((
+                        ops,
+                        "error: open batch discarded (quit before commit)".to_string(),
+                        None,
+                    ));
+                }
                 break;
             }
             ops += 1;
@@ -1717,10 +1824,18 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
                     };
                     match parsed {
                         Ok((rel, t)) => {
+                            if let Some(batch) = &mut pending_batch {
+                                batch.push(if verb == "insert" {
+                                    BatchOp::Insert { rel, t }
+                                } else {
+                                    BatchOp::Delete { rel, t }
+                                });
+                                continue;
+                            }
                             let tl = Arc::new(obs::OpTimeline::new());
                             tl.stamp(obs::Phase::Enqueue);
                             stats.queue_depth.add(1);
-                            let job = ServeJob {
+                            let job = ServeJob::One {
                                 op,
                                 insert: verb == "insert",
                                 rel,
@@ -1734,6 +1849,27 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
                         }
                     }
                 }
+                "begin" => {
+                    let body = if pending_batch.is_some() {
+                        "error: batch already begun (commit it first)"
+                    } else {
+                        pending_batch = Some(Vec::new());
+                        "batch begun"
+                    };
+                    let _ = res_tx.send((op, body.to_string(), None));
+                }
+                "commit" => match pending_batch.take() {
+                    None => {
+                        let _ = res_tx.send((op, "error: no batch begun".to_string(), None));
+                    }
+                    Some(group) => {
+                        let tl = Arc::new(obs::OpTimeline::new());
+                        tl.stamp(obs::Phase::Enqueue);
+                        stats.queue_depth.add(1);
+                        let job = ServeJob::Batch { op, ops: group, tl };
+                        let _ = lanes[(op - 1) % clients].send(job);
+                    }
+                },
                 "query" => {
                     let attrs: Vec<String> =
                         tail.split_whitespace().map(str::to_string).collect();
@@ -1746,7 +1882,9 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
                 other => {
                     let _ = res_tx.send((
                         op,
-                        format!("error: unknown op {other:?} (insert/delete/query/.stats/quit)"),
+                        format!(
+                            "error: unknown op {other:?} (insert/delete/begin/commit/query/.stats/quit)"
+                        ),
                         None,
                     ));
                 }

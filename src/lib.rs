@@ -106,7 +106,7 @@ pub mod prelude {
     pub use idr_core::durability::{Durability, DurabilitySink, DurableOp};
     pub use idr_core::engine::{Engine, Session};
     pub use idr_core::engine::Observability;
-    pub use idr_core::serving::{Hub, ReadView, Snapshot, WriteHandle};
+    pub use idr_core::serving::{BatchOp, Hub, ReadView, Snapshot, WriteHandle};
     pub use idr_core::exec::{Budget, ExecError, Guard, GuardSnapshot, RetryPolicy};
     pub use idr_core::maintain::{CtmMaintainer, IrMaintainer, MaintenanceOutcome};
     pub use idr_obs::{EventLog, MetricsRegistry, TraceEvent, TraceHandle};
