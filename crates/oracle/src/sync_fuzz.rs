@@ -21,7 +21,9 @@ use idr_relation::exec::Guard;
 use idr_relation::parse::render_tuple_line;
 use idr_relation::rng::SplitMix64;
 use idr_relation::{AttrSet, SymbolTable};
-use idr_sync::{render_scenario, FaultPlan, Replica, Scenario, ScriptedOp, SyncPolicy};
+use idr_sync::{
+    render_scenario, FaultPlan, Replica, Scenario, ScriptedOp, SyncPolicy, Transport,
+};
 
 use crate::crash::{corrupt_tuple, entity_tuple, gen_scheme};
 
@@ -123,6 +125,7 @@ fn gen_scenario(seed: u64) -> Scenario {
         },
         plan: FaultPlan::random(&mut rng, replicas, 8),
         ops,
+        transport: Transport::Sim,
     }
 }
 
@@ -143,7 +146,63 @@ fn baseline(s: &Scenario, guard: &Guard) -> Result<Replica, String> {
 
 /// Runs a scenario and checks every replica against the baseline.
 /// `Ok(stats)` on convergence; `Err((kind, detail))` otherwise.
+/// Dispatches on the scenario's transport: the in-process simulator
+/// (with per-replica probe checks) or the real-socket wire runner.
 fn check_scenario(s: &Scenario) -> Result<(usize, usize, usize), (String, String)> {
+    match s.transport {
+        Transport::Sim => check_sim_scenario(s),
+        Transport::Wire => check_wire_scenario(s),
+    }
+}
+
+/// The wire arm's check: the same scripted faults executed over real
+/// loopback sockets with journal files, then the report's converged
+/// state (every replica byte-checked against replica 0 by the runner)
+/// diffed against the never-partitioned baseline.
+fn check_wire_scenario(s: &Scenario) -> Result<(usize, usize, usize), (String, String)> {
+    let guard = Guard::unlimited();
+    let setup = |e: String| ("setup".to_string(), e);
+    let base = baseline(s, &guard).map_err(setup)?;
+    let report = idr_sync::run_wire_scenario(s, idr_obs::TraceHandle::none(), None)
+        .map_err(|e| setup(format!("wire: {e}")))?;
+    let stats = (report.rounds, report.ops_shipped, report.crashes);
+    if let Some(d) = &report.diverged {
+        return Err(("diverged".to_string(), d.clone()));
+    }
+    if !report.converged {
+        return Err((
+            "liveness".to_string(),
+            format!(
+                "no convergence within {} rounds; last: {}",
+                s.max_rounds,
+                report.trace.last().cloned().unwrap_or_default()
+            ),
+        ));
+    }
+    if report.state_lines != base.state_lines() {
+        return Err((
+            "state".to_string(),
+            format!(
+                "wire group [{}] != baseline [{}]",
+                report.state_lines.join("; "),
+                base.state_lines().join("; ")
+            ),
+        ));
+    }
+    if report.consistent != base.is_consistent() {
+        return Err((
+            "verdict".to_string(),
+            format!(
+                "wire group consistent={} baseline={}",
+                report.consistent,
+                base.is_consistent()
+            ),
+        ));
+    }
+    Ok(stats)
+}
+
+fn check_sim_scenario(s: &Scenario) -> Result<(usize, usize, usize), (String, String)> {
     let guard = Guard::unlimited();
     let setup = |e: String| ("setup".to_string(), e);
     let base = baseline(s, &guard).map_err(setup)?;
@@ -272,8 +331,9 @@ fn shrink(mut s: Scenario, kind: &str) -> Scenario {
 }
 
 /// Runs one case end to end, recording stats and (shrunk) failures.
-fn run_case(seed: u64, summary: &mut SyncFuzzSummary) {
-    let scenario = gen_scenario(seed);
+fn run_case(seed: u64, transport: Transport, summary: &mut SyncFuzzSummary) {
+    let mut scenario = gen_scenario(seed);
+    scenario.transport = transport;
     match check_scenario(&scenario) {
         Ok((rounds, shipped, crashes)) => {
             summary.rounds += rounds;
@@ -294,11 +354,14 @@ fn run_case(seed: u64, summary: &mut SyncFuzzSummary) {
 
 /// Runs `cases` convergence cases from master seed `seed`; per-case
 /// seeds are drawn from the master stream (the same convention as the
-/// other arms). `progress` is called after each case with `(index,
-/// failures so far)`.
+/// other arms). `transport` selects the runner under test: the
+/// in-process simulator (the model) or real loopback sockets with
+/// durable journals (`idr fuzz --sync --wire`). `progress` is called
+/// after each case with `(index, failures so far)`.
 pub fn sync_fuzz(
     seed: u64,
     cases: usize,
+    transport: Transport,
     mut progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> SyncFuzzSummary {
     let mut master = SplitMix64::new(seed);
@@ -306,7 +369,7 @@ pub fn sync_fuzz(
     for k in 0..cases {
         let case_seed = master.next_u64();
         summary.cases += 1;
-        run_case(case_seed, &mut summary);
+        run_case(case_seed, transport, &mut summary);
         if let Some(p) = progress.as_deref_mut() {
             p(k + 1, summary.failures.len());
         }
@@ -321,8 +384,28 @@ mod tests {
     /// The in-process equivalent of the CI sync-fuzz smoke step.
     #[test]
     fn bounded_sync_fuzz_is_clean() {
-        let summary = sync_fuzz(42, 25, None);
+        let summary = sync_fuzz(42, 25, Transport::Sim, None);
         assert_eq!(summary.cases, 25);
+        assert!(summary.rounds > 0);
+        assert!(
+            summary.is_clean(),
+            "failures: {}",
+            summary
+                .failures
+                .iter()
+                .map(|f| format!("{f}\n--- scenario ---\n{}", f.scenario))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// The wire arm: the same scripted fault plans replayed over real
+    /// loopback sockets against durable journals (bounded here; CI runs
+    /// 50 cases via `idr fuzz --sync --wire`).
+    #[test]
+    fn bounded_wire_fuzz_is_clean() {
+        let summary = sync_fuzz(42, 8, Transport::Wire, None);
+        assert_eq!(summary.cases, 8);
         assert!(summary.rounds > 0);
         assert!(
             summary.is_clean(),
@@ -338,8 +421,8 @@ mod tests {
 
     #[test]
     fn sync_fuzz_is_deterministic() {
-        let a = sync_fuzz(7, 6, None);
-        let b = sync_fuzz(7, 6, None);
+        let a = sync_fuzz(7, 6, Transport::Sim, None);
+        let b = sync_fuzz(7, 6, Transport::Sim, None);
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.ops_shipped, b.ops_shipped);
         assert_eq!(a.crashes, b.crashes);

@@ -1,0 +1,158 @@
+//! Durable backing for replication journals: one WAL-framed segment
+//! file per origin.
+//!
+//! The sync layer keeps one append-only op journal per origin (see
+//! `idr-sync`). This module gives each of those journals a disk file in
+//! the store's WAL record framing (`[len][crc32][payload]`,
+//! [`crate::wal`]), so a replica that restarts recovers every op it had
+//! durably appended and nothing else:
+//!
+//! * opening scans the file with the same torn-tail discipline as crash
+//!   recovery — a write cut mid-record truncates to the last complete
+//!   record, while a complete record with a bad CRC is surfaced as
+//!   [`StoreError::Corrupt`];
+//! * recovery reports the chained CRC32 of the surviving records
+//!   ([`crate::wal::chain_of`]), which is exactly the digest value the
+//!   sync layer advertises to peers — the chain is *recomputed from the
+//!   payloads*, never trusted from a header, so a journal that round-
+//!   trips through disk digests identically to one that never did;
+//! * appends come in two flavours: [`JournalFile::append`] (one record,
+//!   one fsync when sync is on) for single client ops, and
+//!   [`JournalFile::append_batch`] (N records, one fsync) for attaching
+//!   a shipped range — replicated appends are group-committed by
+//!   construction.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::wal::{self, chain_of, WalWriter};
+
+/// What opening a journal file recovered.
+#[derive(Debug)]
+pub struct JournalRecovery {
+    /// The open, append-ready file positioned after the last complete
+    /// record.
+    pub file: JournalFile,
+    /// The recovered op payloads, in append order.
+    pub records: Vec<String>,
+    /// The chained CRC32 over `records` (seed 0) — the origin digest a
+    /// journal holding exactly these ops reports.
+    pub chain: u32,
+    /// Bytes of torn tail discarded (a crash mid-append), 0 normally.
+    pub torn_bytes: u64,
+}
+
+/// One origin's durable journal segment.
+#[derive(Debug)]
+pub struct JournalFile {
+    writer: WalWriter,
+    path: PathBuf,
+}
+
+impl JournalFile {
+    /// Opens (or creates) the journal at `path`, recovering its
+    /// records. A torn tail is truncated, exactly as WAL recovery does;
+    /// corruption in a complete record is an error, not data loss.
+    pub fn open(path: &Path, sync: bool) -> Result<JournalRecovery, StoreError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| StoreError::Io {
+                    operation: "create journal dir".to_string(),
+                    path: parent.to_path_buf(),
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        let (records, torn_bytes, writer) = if path.exists() {
+            let scan = wal::scan_file(path)?;
+            let writer = WalWriter::open_at(path, scan.valid_len, sync)?;
+            (scan.records, scan.torn_bytes, writer)
+        } else {
+            (Vec::new(), 0, WalWriter::create(path, sync)?)
+        };
+        let chain = chain_of(0, records.iter().map(String::as_str));
+        Ok(JournalRecovery {
+            file: JournalFile {
+                writer,
+                path: path.to_path_buf(),
+            },
+            records,
+            chain,
+            torn_bytes,
+        })
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one op durably (fsyncs when sync is on).
+    pub fn append(&mut self, op: &str) -> Result<(), StoreError> {
+        self.writer.append(op)?;
+        Ok(())
+    }
+
+    /// Appends a range of ops with a single fsync at the end — the
+    /// group-commit path for attaching a shipped journal suffix.
+    pub fn append_batch<'a, I: IntoIterator<Item = &'a str>>(
+        &mut self,
+        ops: I,
+    ) -> Result<(), StoreError> {
+        let mut any = false;
+        for op in ops {
+            self.writer.append_unsynced(op)?;
+            any = true;
+        }
+        if any {
+            self.writer.sync_now()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    #[test]
+    fn round_trips_records_and_chain() {
+        let dir = TempDir::new("journal-file");
+        let path = dir.path().join("sync/origin-0.log");
+        let ops = ["insert R1: A=a B=b", "delete R1: A=a B=b"];
+        {
+            let mut rec = JournalFile::open(&path, true).unwrap();
+            assert!(rec.records.is_empty());
+            assert_eq!(rec.chain, 0);
+            rec.file.append(ops[0]).unwrap();
+            rec.file.append(ops[1]).unwrap();
+        }
+        let rec = JournalFile::open(&path, true).unwrap();
+        assert_eq!(rec.records, ops);
+        assert_eq!(rec.chain, chain_of(0, ops.iter().copied()));
+        assert_eq!(rec.torn_bytes, 0);
+    }
+
+    #[test]
+    fn batch_append_recovers_and_torn_tail_truncates() {
+        let dir = TempDir::new("journal-batch");
+        let path = dir.path().join("origin-1.log");
+        {
+            let mut rec = JournalFile::open(&path, false).unwrap();
+            rec.file.append_batch(["a", "b", "c"]).unwrap();
+        }
+        // Tear the tail mid-record: recovery keeps the complete prefix.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let rec = JournalFile::open(&path, false).unwrap();
+        assert_eq!(rec.records, ["a", "b"]);
+        assert!(rec.torn_bytes > 0);
+        assert_eq!(rec.chain, chain_of(0, ["a", "b"]));
+        // The truncated file appends cleanly after the surviving prefix.
+        let mut rec = JournalFile::open(&path, false).unwrap();
+        rec.file.append("c2").unwrap();
+        let rec = JournalFile::open(&path, false).unwrap();
+        assert_eq!(rec.records, ["a", "b", "c2"]);
+    }
+}

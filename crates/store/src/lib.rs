@@ -78,6 +78,7 @@
 pub mod crc32;
 pub mod error;
 pub mod group;
+pub mod journal;
 pub mod recover;
 pub mod snapshot;
 pub mod store;
@@ -86,6 +87,7 @@ pub mod wal;
 
 pub use error::StoreError;
 pub use group::{GroupWal, SharedStore};
+pub use journal::{JournalFile, JournalRecovery};
 pub use recover::{recover, recover_with, Recovered, RecoveryStats};
 pub use store::Store;
 pub use tempdir::TempDir;

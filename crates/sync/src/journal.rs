@@ -12,8 +12,12 @@
 //! head) so it can classify a peer's digest at any length in O(1) and
 //! verify the overlap of a shipped range op by op.
 
+use std::path::Path;
+
 use crate::digest::{DigestStatus, OriginDigest};
+use idr_store::journal::JournalFile;
 use idr_store::wal::fold_chain;
+use idr_store::StoreError;
 
 /// Why a shipped op range could not be attached to a journal.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,6 +37,14 @@ pub enum AttachError {
         /// The op index where the chains first contradict.
         at: u64,
     },
+    /// Persisting the verified suffix to the durable backing failed.
+    /// Unlike the protocol-level cases above this is a storage fault:
+    /// the in-memory journal is left untouched so digests never
+    /// advertise ops the disk does not hold.
+    Storage {
+        /// The rendered store error.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for AttachError {
@@ -42,22 +54,56 @@ impl std::fmt::Display for AttachError {
                 write!(f, "range starts at {from} but journal holds {have} ops")
             }
             AttachError::Diverged { at } => write!(f, "chain mismatch at op {at}"),
+            AttachError::Storage { detail } => write!(f, "journal persistence failed: {detail}"),
         }
     }
 }
 
 /// One origin's append-only op journal with per-op chained CRCs.
-#[derive(Clone, Debug, Default)]
+///
+/// A journal is either purely in-memory (the simulator's replicas) or
+/// backed by a durable [`JournalFile`] segment
+/// ([`Journal::open_durable`]), in which case every append persists
+/// before it is acknowledged in memory — a digest never advertises an
+/// op the disk would forget.
+#[derive(Debug, Default)]
 pub struct Journal {
     ops: Vec<String>,
     /// `chains[i]` is the chain value after folding `ops[..=i]`.
     chains: Vec<u32>,
+    /// Durable backing, when this journal outlives its process.
+    sink: Option<JournalFile>,
 }
 
 impl Journal {
-    /// An empty journal.
+    /// An empty in-memory journal.
     pub fn new() -> Journal {
         Journal::default()
+    }
+
+    /// Opens (or creates) a durable journal backed by the WAL-framed
+    /// segment at `path`, recovering every op that was durably
+    /// appended. The chain values are recomputed from the recovered
+    /// payloads — the digest a restarted replica advertises is earned
+    /// from disk bytes, not trusted from any header. Returns the
+    /// journal and the torn bytes truncated from the tail (a crash cut
+    /// mid-append), 0 normally.
+    pub fn open_durable(path: &Path, sync: bool) -> Result<(Journal, u64), StoreError> {
+        let rec = JournalFile::open(path, sync)?;
+        let mut j = Journal::new();
+        for op in rec.records {
+            let chain = fold_chain(j.chain_at(j.len()).unwrap_or(0), &op);
+            j.ops.push(op);
+            j.chains.push(chain);
+        }
+        debug_assert_eq!(j.digest().chain, rec.chain);
+        j.sink = Some(rec.file);
+        Ok((j, rec.torn_bytes))
+    }
+
+    /// Whether this journal persists its ops to disk.
+    pub fn is_durable(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// Ops in the journal.
@@ -101,11 +147,16 @@ impl Journal {
     }
 
     /// Appends one op (the single-writer path: a client op at this
-    /// journal's origin).
-    pub fn append(&mut self, op: String) {
+    /// journal's origin), persisting it first when the journal is
+    /// durable.
+    pub fn append(&mut self, op: String) -> Result<(), StoreError> {
+        if let Some(sink) = &mut self.sink {
+            sink.append(&op)?;
+        }
         let chain = fold_chain(self.chain_at(self.len()).unwrap_or(0), &op);
         self.ops.push(op);
         self.chains.push(chain);
+        Ok(())
     }
 
     /// Classifies a peer's digest of this origin against our journal.
@@ -157,8 +208,10 @@ impl Journal {
         if self.chain_at(from) != Some(base_chain) {
             return Err(AttachError::Diverged { at: from });
         }
+        // Verify first, without mutating: overlap op by op, then the
+        // genuinely new suffix.
         let mut chain = base_chain;
-        let mut appended = 0;
+        let mut fresh: Vec<(String, u32)> = Vec::new();
         for (i, record) in records.iter().enumerate() {
             let idx = from + i as u64;
             chain = fold_chain(chain, record);
@@ -167,10 +220,23 @@ impl Journal {
                     return Err(AttachError::Diverged { at: idx });
                 }
             } else {
-                self.ops.push(record.clone());
-                self.chains.push(chain);
-                appended += 1;
+                fresh.push((record.clone(), chain));
             }
+        }
+        // Persist the whole suffix with one fsync (the group-commit
+        // path), then acknowledge it in memory.
+        if !fresh.is_empty() {
+            if let Some(sink) = &mut self.sink {
+                sink.append_batch(fresh.iter().map(|(op, _)| op.as_str()))
+                    .map_err(|e| AttachError::Storage {
+                        detail: e.to_string(),
+                    })?;
+            }
+        }
+        let appended = fresh.len() as u64;
+        for (op, chain) in fresh {
+            self.ops.push(op);
+            self.chains.push(chain);
         }
         Ok(appended)
     }
@@ -183,7 +249,7 @@ mod tests {
     fn journal(ops: &[&str]) -> Journal {
         let mut j = Journal::new();
         for op in ops {
-            j.append(op.to_string());
+            j.append(op.to_string()).unwrap();
         }
         j
     }
@@ -240,5 +306,30 @@ mod tests {
             Err(AttachError::Diverged { at: 1 })
         ));
         assert_eq!(mine.len(), 2, "failed attaches must not mutate");
+    }
+
+    #[test]
+    fn durable_journal_survives_reopen_with_identical_digest() {
+        let dir = idr_store::TempDir::new("sync-journal");
+        let path = dir.path().join("origin-0.log");
+        let reference = journal(&["a", "b", "c", "d"]);
+        {
+            let (mut j, torn) = Journal::open_durable(&path, false).unwrap();
+            assert_eq!(torn, 0);
+            assert!(j.is_durable());
+            j.append("a".to_string()).unwrap();
+            j.append("b".to_string()).unwrap();
+            // Attach a shipped range on top of the appends.
+            let records: Vec<String> = reference.ops_from(1).to_vec();
+            let appended = j
+                .attach(1, reference.chain_at(1).unwrap(), &records)
+                .unwrap();
+            assert_eq!(appended, 2);
+            assert_eq!(j.digest(), reference.digest());
+        }
+        let (j, torn) = Journal::open_durable(&path, false).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(j.digest(), reference.digest());
+        assert_eq!(j.ops_from(0), reference.ops_from(0));
     }
 }

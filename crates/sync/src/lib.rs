@@ -39,6 +39,7 @@
 pub mod digest;
 pub mod fault;
 pub mod journal;
+pub mod net;
 pub mod proto;
 pub mod replica;
 pub mod scenario;
@@ -47,7 +48,12 @@ pub mod sim;
 pub use digest::{DigestStatus, JournalDigest, OriginDigest};
 pub use fault::{CrashPoint, CrashStep, FaultPlan, Partition, SyncPolicy};
 pub use journal::{AttachError, Journal};
+pub use net::{
+    connect, connect_with_retry, handshake, initiate_exchange, respond_exchange,
+    run_wire_scenario, scheme_digest, ExchangeFaults, ExchangeOutcome, FramedConn, Hello,
+    WireError, WireMsg, MAX_WIRE_FRAME, WIRE_VERSION,
+};
 pub use proto::Message;
 pub use replica::Replica;
-pub use scenario::{parse_scenario, render_scenario, Scenario};
+pub use scenario::{parse_scenario, render_scenario, Scenario, Transport};
 pub use sim::{ScriptedOp, Simulator, SyncReport};

@@ -25,8 +25,10 @@
 //! durable log); [`Replica::crash`] rebuilds exactly as a restarted
 //! process would.
 
+use std::path::{Path, PathBuf};
+
 use idr_core::{Engine, ReplayError};
-use idr_relation::exec::{ExecError, Guard};
+use idr_relation::exec::{ExecError, FaultKind, Guard};
 use idr_relation::parse::render_tuple_line;
 use idr_relation::{AttrSet, DatabaseScheme, DatabaseState, SymbolTable};
 
@@ -63,10 +65,13 @@ pub struct Replica {
     applied: Vec<OpId>,
     diverged: Option<String>,
     rebuilds: u64,
+    /// When durable: the directory holding the per-origin journal
+    /// segments, plus whether appends fsync.
+    durable: Option<(PathBuf, bool)>,
 }
 
 impl Replica {
-    /// A fresh replica `id` in a group of `n`, over `db`.
+    /// A fresh in-memory replica `id` in a group of `n`, over `db`.
     pub fn new(id: usize, n: usize, db: &DatabaseScheme) -> Replica {
         Replica {
             id,
@@ -78,7 +83,60 @@ impl Replica {
             applied: Vec::new(),
             diverged: None,
             rebuilds: 0,
+            durable: None,
         }
+    }
+
+    /// Opens a durable replica whose per-origin journals are backed by
+    /// WAL-framed segments `origin-K.log` under `dir` (created if
+    /// missing). Recovery re-earns the materialised state by
+    /// canonical-order replay of the recovered journals — the same
+    /// discipline [`Replica::crash`] exercises in memory. `sync_writes`
+    /// selects whether appends fsync before acknowledging.
+    pub fn open_durable(
+        id: usize,
+        n: usize,
+        db: &DatabaseScheme,
+        dir: &Path,
+        sync_writes: bool,
+        guard: &Guard,
+    ) -> Result<Replica, ExecError> {
+        let mut r = Replica::new(id, n, db);
+        r.durable = Some((dir.to_path_buf(), sync_writes));
+        r.load_journals(guard)?;
+        Ok(r)
+    }
+
+    /// Reloads every journal from the durable directory and rebuilds
+    /// the state: restart-from-disk semantics, the wire runner's
+    /// process-kill crash. In-memory replicas fall back to
+    /// [`Replica::crash`] (journals survive, state is rebuilt).
+    pub fn reopen(&mut self, guard: &Guard) -> Result<(), ExecError> {
+        if self.durable.is_some() {
+            self.load_journals(guard)
+        } else {
+            self.crash(guard)
+        }
+    }
+
+    /// (Re)opens the per-origin journal segments and rebuilds the
+    /// materialised state from them.
+    fn load_journals(&mut self, guard: &Guard) -> Result<(), ExecError> {
+        let (dir, sync_writes) = self
+            .durable
+            .clone()
+            .expect("load_journals requires a durable replica");
+        let mut journals = Vec::with_capacity(self.journals.len());
+        for k in 0..self.journals.len() {
+            let path = dir.join(format!("origin-{k}.log"));
+            let (j, _torn) = Journal::open_durable(&path, sync_writes)?;
+            journals.push(j);
+        }
+        self.journals = journals;
+        self.applied.clear();
+        self.state = DatabaseState::empty(self.engine.scheme());
+        self.consistent = true;
+        self.refresh(guard)
     }
 
     /// This replica's id (also its origin id).
@@ -115,7 +173,7 @@ impl Replica {
     /// final verdict is whatever canonical-order replay decides once
     /// all journals converge.
     pub fn client_op(&mut self, line: &str, guard: &Guard) -> Result<(), ExecError> {
-        self.journals[self.id].append(line.to_string());
+        self.journals[self.id].append(line.to_string())?;
         self.refresh(guard)
     }
 
@@ -126,7 +184,7 @@ impl Replica {
     /// canonical-order replay yields the state the group must converge
     /// to.
     pub fn adopt_op(&mut self, origin: usize, line: &str, guard: &Guard) -> Result<(), ExecError> {
-        self.journals[origin].append(line.to_string());
+        self.journals[origin].append(line.to_string())?;
         self.refresh(guard)
     }
 
@@ -191,7 +249,7 @@ impl Replica {
                 base_chain,
                 frame,
             } => {
-                out.appended = self.attach_frame(*origin, *range_from, *base_chain, frame);
+                out.appended = self.attach_frame(*origin, *range_from, *base_chain, frame)?;
                 if out.appended > 0 {
                     self.refresh(guard)?;
                 }
@@ -203,26 +261,38 @@ impl Replica {
     /// Attaches a shipped frame to the `origin` journal, returning how
     /// many ops were appended. Gaps are tolerated (a later round
     /// re-ships); chain contradictions and undecodable frames mark the
-    /// replica diverged.
-    fn attach_frame(&mut self, origin: usize, from: u64, base_chain: u32, frame: &[u8]) -> u64 {
+    /// replica diverged; a durable-backing write failure is a storage
+    /// fault and propagates as an error.
+    fn attach_frame(
+        &mut self,
+        origin: usize,
+        from: u64,
+        base_chain: u32,
+        frame: &[u8],
+    ) -> Result<u64, ExecError> {
         if origin >= self.journals.len() {
             self.mark_diverged(format!("ops push for unknown origin {origin}"));
-            return 0;
+            return Ok(0);
         }
         let records = match proto::decode_frame(frame) {
             Ok((records, _torn)) => records,
             Err(detail) => {
                 self.mark_diverged(format!("origin {origin}: bad frame: {detail}"));
-                return 0;
+                return Ok(0);
             }
         };
         match self.journals[origin].attach(from, base_chain, &records) {
-            Ok(n) => n,
-            Err(AttachError::Gap { .. }) => 0,
+            Ok(n) => Ok(n),
+            Err(AttachError::Gap { .. }) => Ok(0),
             Err(e @ AttachError::Diverged { .. }) => {
                 self.mark_diverged(format!("origin {origin}: {e}"));
-                0
+                Ok(0)
             }
+            Err(AttachError::Storage { detail }) => Err(ExecError::Faulted {
+                kind: FaultKind::Permanent,
+                operation: format!("journal attach (origin {origin}): {detail}"),
+                attempts: 1,
+            }),
         }
     }
 
@@ -426,5 +496,36 @@ mod tests {
         // other re-rejected on both replicas.
         assert_eq!(a.state_lines(), vec!["R1: A=k B=from_a".to_string()]);
         assert!(b.rebuilds() >= 1, "b spliced an earlier op and must rebuild");
+    }
+
+    #[test]
+    fn durable_replica_recovers_state_and_digest_across_reopen() {
+        let db = db();
+        let guard = Guard::unlimited();
+        let dir = idr_store::TempDir::new("replica-durable");
+        let mut mem = Replica::new(1, 2, &db);
+        mem.client_op("insert R2: B=b C=c", &guard).unwrap();
+
+        let (digest, lines) = {
+            let mut a = Replica::open_durable(0, 2, &db, dir.path(), false, &guard).unwrap();
+            a.client_op("insert R1: A=a B=b", &guard).unwrap();
+            // Receive a push from the in-memory peer so a non-own
+            // origin journal also hits disk.
+            let req = Message::Digest {
+                digest: a.digest(),
+                want_reply: true,
+            };
+            let out = mem.receive(0, &req, &guard).unwrap();
+            for (_, msg) in out.messages {
+                a.receive(1, &msg, &guard).unwrap();
+            }
+            assert_eq!(a.ops_held(), 2);
+            (a.digest(), a.state_lines())
+        };
+        // A brand-new process over the same dir recovers everything.
+        let b = Replica::open_durable(0, 2, &db, dir.path(), false, &guard).unwrap();
+        assert_eq!(b.digest(), digest);
+        assert_eq!(b.state_lines(), lines);
+        assert!(b.is_consistent());
     }
 }

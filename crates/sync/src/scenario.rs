@@ -34,6 +34,28 @@ use idr_relation::DatabaseScheme;
 use crate::fault::{CrashPoint, CrashStep, FaultPlan, Partition, SyncPolicy};
 use crate::sim::{ScriptedOp, Simulator, SyncReport};
 
+/// Which runner executes a scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// The deterministic in-process simulator (the model).
+    #[default]
+    Sim,
+    /// Real loopback sockets with durable journals
+    /// ([`crate::net::run_wire_scenario`] — the implementation under
+    /// test).
+    Wire,
+}
+
+impl Transport {
+    /// The directive token (`sim` / `wire`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Sim => "sim",
+            Transport::Wire => "wire",
+        }
+    }
+}
+
 /// A parsed scenario: everything a [`Simulator`] run needs.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -51,6 +73,8 @@ pub struct Scenario {
     pub plan: FaultPlan,
     /// The scripted client ops.
     pub ops: Vec<ScriptedOp>,
+    /// Which runner executes it (`transport:` directive, default sim).
+    pub transport: Transport,
 }
 
 impl Scenario {
@@ -67,6 +91,9 @@ impl Scenario {
         tracer: TraceHandle,
         metrics: Option<std::sync::Arc<idr_obs::MetricsRegistry>>,
     ) -> Result<SyncReport, idr_relation::exec::ExecError> {
+        if self.transport == Transport::Wire {
+            return crate::net::run_wire_scenario(self, tracer, metrics);
+        }
         let mut sim = Simulator::new(
             &self.db,
             self.replicas,
@@ -107,6 +134,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
     let mut max_rounds = 64usize;
     let mut policy = SyncPolicy::default();
     let mut plan = FaultPlan::clean();
+    let mut transport = Transport::default();
     let mut ops = Vec::new();
     let mut scheme_text: Option<String> = None;
     let mut lines = text.lines().enumerate();
@@ -145,6 +173,17 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
                     .map_err(|_| at(format!("seed: bad number {rest:?}")))?
             }
             "max-rounds" => max_rounds = parse_usize(rest, "max-rounds").map_err(&at)?,
+            "transport" => {
+                transport = match rest {
+                    "sim" => Transport::Sim,
+                    "wire" => Transport::Wire,
+                    other => {
+                        return Err(at(format!(
+                            "transport: want 'sim' or 'wire', got {other:?}"
+                        )))
+                    }
+                }
+            }
             "policy" => {
                 for clause in rest.split_whitespace() {
                     let mut known = false;
@@ -262,6 +301,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
         policy,
         plan,
         ops,
+        transport,
     })
 }
 
@@ -272,6 +312,9 @@ pub fn render_scenario(s: &Scenario) -> String {
     out.push_str(&format!("replicas: {}\n", s.replicas));
     out.push_str(&format!("seed: {}\n", s.seed));
     out.push_str(&format!("max-rounds: {}\n", s.max_rounds));
+    if s.transport != Transport::Sim {
+        out.push_str(&format!("transport: {}\n", s.transport.name()));
+    }
     out.push_str(&format!(
         "policy: retries={} backoff={} timeout={}\n",
         s.policy.max_retries, s.policy.backoff_rounds, s.policy.round_timeout
@@ -374,11 +417,33 @@ op: 1 2 insert R2: B=b C=c
     }
 
     #[test]
+    fn transport_directive_round_trips() {
+        let s = parse_scenario(EXAMPLE).unwrap();
+        assert_eq!(s.transport, Transport::Sim, "sim is the default");
+        assert!(
+            !render_scenario(&s).contains("transport:"),
+            "the default transport renders implicitly"
+        );
+        let mut wire = s.clone();
+        wire.transport = Transport::Wire;
+        let rendered = render_scenario(&wire);
+        assert!(rendered.contains("transport: wire\n"), "{rendered}");
+        let back = parse_scenario(&rendered).unwrap();
+        assert_eq!(back.transport, Transport::Wire);
+        assert_eq!(back.plan, wire.plan);
+        assert_eq!(back.ops, wire.ops);
+        // And an explicit `transport: sim` parses too.
+        let explicit = parse_scenario(&format!("transport: sim\n{EXAMPLE}")).unwrap();
+        assert_eq!(explicit.transport, Transport::Sim);
+    }
+
+    #[test]
     fn rejects_malformed_directives() {
         for (bad, want) in [
             ("replicas: x\n", "expected a number"),
             ("bogus: 1\n", "unknown directive"),
             ("crash: 1 0 explode\nreplicas: 1\n", "unknown crash step"),
+            ("transport: carrier-pigeon\nreplicas: 1\n", "transport: want"),
             ("replicas: 1\n", "missing 'scheme"),
         ] {
             let err = parse_scenario(bad).unwrap_err();

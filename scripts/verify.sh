@@ -12,6 +12,28 @@ cargo clippy --workspace --all-targets -- -D warnings
 # missing_docs) and no broken intra-doc links.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# Markdown doc gate: every intra-repo reference in the tracked docs —
+# markdown links to .md files, and backticked repo paths — must resolve
+# to a file that exists, so specs like docs/WIRE.md cannot silently
+# drift away from the pages that cite them.
+docs_ok=1
+while read -r ref; do
+  ref="${ref%%#*}"
+  if [ ! -e "$ref" ]; then
+    echo "broken doc reference: $ref" >&2
+    docs_ok=0
+  fi
+done < <(
+  {
+    grep -ohE '\]\([A-Za-z0-9_./-]+\.md(#[A-Za-z0-9_-]+)?\)' \
+      README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md |
+      sed -E 's/^\]\(//; s/\)$//'
+    grep -ohE '`(docs|examples|scripts|tests|src|crates)/[A-Za-z0-9_./-]+`' \
+      README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md | tr -d '`'
+  } | sort -u
+)
+[ "$docs_ok" = 1 ] || exit 1
+
 # Bounded differential-fuzzing smoke run: 100 seed-deterministic cases
 # replayed against four oracles in lockstep (parallel session, serial
 # session, naive chase, Theorem 4.1 expressions). Exits 8 and writes
@@ -48,6 +70,91 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 # data dir recovered and diffed again. Exits 8 on any divergence.
 ./target/release/idr fuzz --batch --seed 42 --cases 50
 
+# Wire-transport replication fuzzing (docs/WIRE.md): the same scripted
+# fault plans replayed over real loopback sockets, each replica holding
+# durable journal files on disk, diffed byte-for-byte against the
+# never-partitioned baseline. Exits 8 on any miss.
+./target/release/idr fuzz --sync --wire --seed 42 --cases 50
+
 # The checked-in demo scenario must converge (and exercises the CLI
-# round-trace path end to end).
+# round-trace path end to end) — on the simulator and over sockets.
 ./target/release/idr sync examples/scenarios/partition-heal.txt > /dev/null
+./target/release/idr sync --wire examples/scenarios/partition-heal.txt > /dev/null
+
+# Two-process loopback convergence smoke: two real `idr serve` peers on
+# ephemeral ports (published via DIR/listen.addr), one client op each,
+# a partition via SIGSTOP and a heal via SIGCONT, then byte-identical
+# digests within a bounded wall time. Exit codes must be clean.
+smoke="$(mktemp -d "${TMPDIR:-/tmp}/idr-wire-smoke.XXXXXX")"
+pa='' pb=''
+cleanup_smoke() {
+  [ -n "$pb" ] && { kill -CONT "$pb" 2>/dev/null || true; }
+  [ -n "$pa" ] && { kill "$pa" 2>/dev/null || true; }
+  [ -n "$pb" ] && { kill "$pb" 2>/dev/null || true; }
+  rm -rf "$smoke"
+}
+trap cleanup_smoke EXIT
+
+./target/release/idr init "$smoke/a" examples/schemes/university.scm > /dev/null
+./target/release/idr init "$smoke/b" examples/schemes/university.scm > /dev/null
+mkfifo "$smoke/a.in" "$smoke/b.in"
+
+./target/release/idr serve --data-dir "$smoke/a" --listen 127.0.0.1:0 \
+  --origin 0 --origins 2 --sync-interval-ms 25 \
+  < "$smoke/a.in" > "$smoke/a.out" 2>&1 &
+pa=$!
+exec 3> "$smoke/a.in"
+
+wait_addr() {
+  for _ in $(seq 1 200); do
+    if [ -s "$1/listen.addr" ]; then tr -d '\n' < "$1/listen.addr"; return 0; fi
+    sleep 0.05
+  done
+  echo "serve never published $1/listen.addr" >&2
+  return 1
+}
+addr_a="$(wait_addr "$smoke/a")"
+
+./target/release/idr serve --data-dir "$smoke/b" --listen 127.0.0.1:0 \
+  --peer "$addr_a" --origin 1 --origins 2 --sync-interval-ms 25 \
+  < "$smoke/b.in" > "$smoke/b.out" 2>&1 &
+pb=$!
+exec 4> "$smoke/b.in"
+wait_addr "$smoke/b" > /dev/null
+
+echo "insert R1: H=h1 R=r1 C=c1" >&3
+
+# Partition: freeze B, journal an op at A it cannot see, then heal.
+kill -STOP "$pb"
+echo "insert R2: H=h1 T=t1 R=r1" >&3
+sleep 0.3
+kill -CONT "$pb"
+echo "insert R4: C=c1 S=s1 G=g1" >&4
+
+deadline=$((SECONDS + 30))
+converged=0
+while [ "$SECONDS" -lt "$deadline" ]; do
+  printf '.digest\n' >&3
+  printf '.digest\n' >&4
+  sleep 0.2
+  da="$(grep '^digest ' "$smoke/a.out" | tail -n 1 || true)"
+  db="$(grep '^digest ' "$smoke/b.out" | tail -n 1 || true)"
+  if [ -n "$da" ] && [ "$da" = "$db" ] && ! printf '%s' "$da" | grep -q '0/00000000'; then
+    converged=1
+    break
+  fi
+done
+if [ "$converged" != 1 ]; then
+  echo "wire smoke: no convergence within 30s" >&2
+  echo "--- A ---" >&2; cat "$smoke/a.out" >&2
+  echo "--- B ---" >&2; cat "$smoke/b.out" >&2
+  exit 1
+fi
+
+echo quit >&3
+echo quit >&4
+exec 3>&- 4>&-
+wait "$pa"
+wait "$pb"
+pa='' pb=''
+echo "wire smoke: converged at $da"

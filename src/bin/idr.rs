@@ -43,13 +43,14 @@
 //! idr fuzz     [--seed N] [--cases K] [--shrink] [--out DIR]
 //! idr fuzz     --replay <fixture-file>
 //! idr fuzz     --crash [--concurrent] [--seed N] [--cases K]
-//! idr fuzz     --sync  [--seed N] [--cases K] [--out DIR]
+//! idr fuzz     --sync [--wire] [--seed N] [--cases K] [--out DIR]
 //! idr fuzz     --concurrent [--seed N] [--cases K] [--out DIR]
 //! idr fuzz     --batch [--seed N] [--cases K]
 //! idr init     <data-dir> <scheme-file>
 //! idr serve    --data-dir <dir> [--snapshot-every N] [--clients N] [--group-commit-window US] [--stats-every N] [--slow-op-us T]
+//! idr serve    --data-dir <dir> --listen ADDR [--peer ADDR]... --origin K --origins N
 //! idr recover  --data-dir <dir> [<ATTR> ...]
-//! idr sync     <scenario-file>        # scripted replication scenario
+//! idr sync     [--wire] <scenario-file>   # scripted replication scenario
 //! idr demo                            # runs on the paper's Example 1
 //! ```
 //!
@@ -112,11 +113,22 @@
 //! then the converged state; a scenario that fails to converge inside
 //! its round budget (or diverges outright) exits 8. The scenario format
 //! is documented in `idr_sync::scenario` and demonstrated under
-//! `examples/`. `idr fuzz --sync` is the matching oracle: random op
-//! streams partitioned across replicas under random fault plans, with
-//! every replica's converged state checked byte-for-byte against a
-//! never-partitioned baseline; failures shrink to replayable scenario
-//! files under `--out`.
+//! `examples/`. A scenario with `transport: wire` (or the `--wire`
+//! flag) runs over real loopback sockets with journal files on disk
+//! instead of the in-process simulator — same fault plan, same
+//! convergence oracle. `idr fuzz --sync` is the matching oracle:
+//! random op streams partitioned across replicas under random fault
+//! plans, with every replica's converged state checked byte-for-byte
+//! against a never-partitioned baseline; failures shrink to replayable
+//! scenario files under `--out`. `idr fuzz --sync --wire` replays the
+//! same scripted fault plans over loopback sockets.
+//!
+//! `idr serve --listen ADDR --peer ADDR --origin K --origins N` is the
+//! real thing: replicas as separate processes exchanging the same
+//! protocol frames over TCP, per-origin journals durable under
+//! `DIR/sync/`. The wire contract — framing, handshake, digest-chain
+//! verification, torn-frame semantics — is written down in
+//! `docs/WIRE.md`.
 //!
 //! `idr maintain` routes each tuple through the paper's maintenance
 //! algorithms (Algorithm 5 on constant-time-maintainable schemes,
@@ -161,7 +173,7 @@
 //! | 4 | scheme is not independence-reducible |
 //! | 5 | budget exceeded (`--max-steps`) |
 //! | 6 | timed out (`--timeout-ms`) |
-//! | 7 | fault or cancellation |
+//! | 7 | fault, cancellation, or a rejected replication handshake |
 //! | 8 | differential fuzzing found a divergence (`idr fuzz`), or replicas failed to converge (`idr sync`) |
 
 use std::io::{BufRead, Write};
@@ -266,9 +278,9 @@ fn main() -> ExitCode {
         Some("closure") if args.len() == 4 => closure(&args[1], &args[2], &args[3]),
         Some("fuzz") => fuzz_cmd(&args[1..], &obs),
         Some("init") if args.len() == 3 => init_cmd(&args[1], &args[2]),
-        Some("serve") => serve_cmd(&args[1..], budget, &obs, parallel),
+        Some("serve") => serve_cmd(&args[1..], budget, &obs, parallel, &retry),
         Some("recover") => recover_cmd(&args[1..], budget, &obs, parallel),
-        Some("sync") if args.len() == 2 => sync_cmd(&args[1], &obs),
+        Some("sync") if args.len() >= 2 => sync_cmd(&args[1..], &obs),
         Some("demo") => {
             let db = SchemeBuilder::new("CTHRSG")
                 .scheme("R1", "HRC", ["HR"])
@@ -330,7 +342,7 @@ fn flush_obs(
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash [--concurrent] | --sync | --concurrent | --batch\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N] [--clients N] [--group-commit-window US] [--stats-every N] [--slow-op-us T]   (ops from stdin; `.stats` prints live stats)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH (.prom extension selects text exposition)\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
+        "usage ({msg}):\n  idr classify <scheme-file>\n  idr project <scheme-file> <ATTR>...\n  idr chase <scheme-file> <state-file>\n  idr query <scheme-file> <state-file> <ATTR>...\n  idr maintain <scheme-file> <state-file> <TUPLE>...\n  idr explain <scheme-file> <state-file> <ATTR>... | --insert <TUPLE>\n  idr closure <UNIVERSE> <FDS> <X>\n  idr fuzz [--seed N] [--cases K] [--shrink] [--out DIR] | --replay FILE | --crash [--concurrent] | --sync [--wire] | --concurrent | --batch\n  idr init <data-dir> <scheme-file>\n  idr serve --data-dir DIR [--snapshot-every N] [--clients N] [--group-commit-window US] [--stats-every N] [--slow-op-us T]   (ops from stdin; `.stats` prints live stats)\n  idr serve --data-dir DIR --listen ADDR [--peer ADDR]... --origin K --origins N [--sync-interval-ms MS]   (networked replication; see docs/WIRE.md)\n  idr recover --data-dir DIR [<ATTR>...]\n  idr sync [--wire] <scenario-file>\n  idr demo\noptions: --max-steps N, --timeout-ms N, --serial, --retries N, --backoff-ms M, --trace[=text|json], --metrics PATH (.prom extension selects text exposition)\n<TUPLE> is a quoted state line, e.g. \"R1: H=h2 R=r2 C=c9\""
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -874,6 +886,7 @@ struct FuzzOpts {
     replay: Option<String>,
     crash: bool,
     sync: bool,
+    wire: bool,
     concurrent: bool,
     batch: bool,
 }
@@ -887,6 +900,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
         replay: None,
         crash: false,
         sync: false,
+        wire: false,
         concurrent: false,
         batch: false,
     };
@@ -913,6 +927,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzOpts, String> {
             "--replay" => opts.replay = Some(value("--replay")?),
             "--crash" => opts.crash = true,
             "--sync" => opts.sync = true,
+            "--wire" => opts.wire = true,
             "--concurrent" => opts.concurrent = true,
             "--batch" => opts.batch = true,
             other => return Err(format!("unknown fuzz option {other:?}")),
@@ -935,6 +950,9 @@ fn fuzz_cmd(rest: &[String], obs: &Observability) -> ExitCode {
         Ok(o) => o,
         Err(e) => return usage(&e),
     };
+    if opts.wire && !opts.sync {
+        return usage("--wire only applies together with --sync");
+    }
     if opts.batch {
         if opts.replay.is_some() || opts.shrink || opts.crash || opts.sync || opts.concurrent {
             return usage(
@@ -973,20 +991,24 @@ fn fuzz_cmd(rest: &[String], obs: &Observability) -> ExitCode {
                 "--sync cannot be combined with --replay, --shrink, --crash or --concurrent",
             );
         }
+        let transport = if opts.wire {
+            independence_reducible::sync::Transport::Wire
+        } else {
+            independence_reducible::sync::Transport::Sim
+        };
+        let label = if opts.wire { "wire sync fuzz" } else { "sync fuzz" };
         let mut progress = |done: usize, failures: usize| {
             if done.is_multiple_of(50) {
-                eprintln!(
-                    "sync fuzz: {done}/{} cases, {failures} failure(s)",
-                    opts.cases
-                );
+                eprintln!("{label}: {done}/{} cases, {failures} failure(s)", opts.cases);
             }
         };
-        let summary = oracle::sync_fuzz(opts.seed, opts.cases, Some(&mut progress));
+        let summary = oracle::sync_fuzz(opts.seed, opts.cases, transport, Some(&mut progress));
         println!(
-            "sync fuzz: {} case(s) from seed {}, {} round(s) simulated, {} op(s) shipped, {} crash(es) fired, {} failure(s)",
+            "{label}: {} case(s) from seed {}, {} round(s) {}, {} op(s) shipped, {} crash(es) fired, {} failure(s)",
             summary.cases,
             opts.seed,
             summary.rounds,
+            if opts.wire { "run on loopback sockets" } else { "simulated" },
             summary.ops_shipped,
             summary.crashes,
             summary.failures.len()
@@ -1154,21 +1176,39 @@ fn fuzz_cmd(rest: &[String], obs: &Observability) -> ExitCode {
     ExitCode::from(EXIT_DIVERGENCE)
 }
 
-/// `idr sync <scenario-file>`: runs one scripted replication scenario
-/// through the deterministic simulator and prints the round-by-round
-/// digest trace. Exit 0 when the replicas converge to a byte-identical
-/// state inside the round budget, [`EXIT_DIVERGENCE`] otherwise,
-/// [`EXIT_PARSE`] on a malformed scenario file.
-fn sync_cmd(path: &str, obs: &Observability) -> ExitCode {
+/// `idr sync [--wire] <scenario-file>`: runs one scripted replication
+/// scenario and prints the round-by-round digest trace. The scenario's
+/// own `transport:` directive picks the deterministic in-process
+/// simulator (the default) or the loopback-socket wire runner;
+/// `--wire` forces the wire runner regardless. Exit 0 when the
+/// replicas converge to a byte-identical state inside the round
+/// budget, [`EXIT_DIVERGENCE`] otherwise, [`EXIT_PARSE`] on a
+/// malformed scenario file.
+fn sync_cmd(rest: &[String], obs: &Observability) -> ExitCode {
     use independence_reducible::sync;
+    let mut path = None;
+    let mut wire = false;
+    for a in rest {
+        match a.as_str() {
+            "--wire" => wire = true,
+            _ if path.is_none() => path = Some(a.as_str()),
+            other => return usage(&format!("sync takes one scenario file, got extra {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("sync needs a scenario file");
+    };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => return fail(EXIT_PARSE, &format!("cannot read {path}: {e}")),
     };
-    let scenario = match sync::parse_scenario(&text) {
+    let mut scenario = match sync::parse_scenario(&text) {
         Ok(s) => s,
         Err(e) => return fail(EXIT_PARSE, &format!("{path}: {e}")),
     };
+    if wire {
+        scenario.transport = sync::Transport::Wire;
+    }
     let report = match scenario.run_with(obs.tracer.clone(), obs.metrics.clone()) {
         Ok(r) => r,
         Err(e) => return fail(exec_exit(&e), &format!("{e}")),
@@ -1267,6 +1307,19 @@ struct StoreOpts {
     /// Emit a structured slow-op record to stderr for ops at or above
     /// this many microseconds end to end.
     slow_op_us: Option<u64>,
+    /// Networked replication (serve only): the address to accept
+    /// anti-entropy exchanges on. Presence of `--listen` selects peer
+    /// mode; port 0 binds an ephemeral port, written to
+    /// `DIR/listen.addr` either way.
+    listen: Option<String>,
+    /// Peer addresses to initiate periodic exchanges with (repeatable).
+    peers: Vec<String>,
+    /// This node's origin id within the replica group.
+    origin: Option<usize>,
+    /// The replica-group size.
+    origins: Option<usize>,
+    /// Milliseconds between exchange rounds with each peer.
+    sync_interval_ms: Option<u64>,
     rest: Vec<String>,
 }
 
@@ -1277,6 +1330,11 @@ fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
     let mut group_commit_window_us = None;
     let mut stats_every = None;
     let mut slow_op_us = None;
+    let mut listen = None;
+    let mut peers = Vec::new();
+    let mut origin = None;
+    let mut origins = None;
+    let mut sync_interval_ms = None;
     let mut out = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -1313,7 +1371,42 @@ fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
                 stats_every = Some(n);
             }
             "--slow-op-us" => slow_op_us = Some(numeric("--slow-op-us")?),
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or_else(|| "--listen needs an address".to_string())?
+                        .clone(),
+                );
+            }
+            "--peer" => {
+                peers.push(
+                    it.next()
+                        .ok_or_else(|| "--peer needs an address".to_string())?
+                        .clone(),
+                );
+            }
+            "--origin" => origin = Some(numeric("--origin")? as usize),
+            "--origins" => {
+                let n = numeric("--origins")?;
+                if n < 2 {
+                    return Err("--origins needs a group of at least 2".to_string());
+                }
+                origins = Some(n as usize);
+            }
+            "--sync-interval-ms" => sync_interval_ms = Some(numeric("--sync-interval-ms")?),
             _ => out.push(a.clone()),
+        }
+    }
+    let peer_mode = listen.is_some() || !peers.is_empty();
+    if peer_mode && (origin.is_none() || origins.is_none()) {
+        return Err("--listen/--peer need --origin N and --origins N".to_string());
+    }
+    if !peer_mode && (origin.is_some() || origins.is_some() || sync_interval_ms.is_some()) {
+        return Err("--origin/--origins/--sync-interval-ms only apply with --listen/--peer".to_string());
+    }
+    if let (Some(o), Some(n)) = (origin, origins) {
+        if o >= n {
+            return Err(format!("--origin {o} is outside the group 0..{n}"));
         }
     }
     Ok(StoreOpts {
@@ -1323,6 +1416,11 @@ fn parse_store_flags(rest: &[String]) -> Result<StoreOpts, String> {
         group_commit_window_us,
         stats_every,
         slow_op_us,
+        listen,
+        peers,
+        origin,
+        origins,
+        sync_interval_ms,
         rest: out,
     })
 }
@@ -1364,9 +1462,11 @@ fn recover_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: b
         || opts.group_commit_window_us.is_some()
         || opts.stats_every.is_some()
         || opts.slow_op_us.is_some()
+        || opts.listen.is_some()
+        || !opts.peers.is_empty()
     {
         return usage(
-            "--snapshot-every/--clients/--group-commit-window/--stats-every/--slow-op-us only apply to idr serve",
+            "--snapshot-every/--clients/--group-commit-window/--stats-every/--slow-op-us/--listen/--peer only apply to idr serve",
         );
     }
     let rec = match store::recover_with(
@@ -1608,6 +1708,370 @@ fn slow_op_json(verb: &str, op: usize, threshold_us: u64, tl: &obs::OpTimeline) 
     w.finish()
 }
 
+/// `idr serve --data-dir DIR --listen ADDR [--peer ADDR]... --origin K
+/// --origins N`: the networked replication mode. The node is one
+/// origin of an N-replica group; its per-origin journals live as
+/// WAL-framed segments under `DIR/sync/` and survive restarts. A
+/// listener thread answers anti-entropy exchanges from peers
+/// (`respond_exchange`), and one thread per `--peer` address initiates
+/// an exchange every `--sync-interval-ms` (default 200), reconnecting
+/// under the global `--retries`/`--backoff-ms` policy. The wire
+/// contract is specified in `docs/WIRE.md`.
+///
+/// Stdin drives the node: `insert R1: A=a B=b` / `delete …` journal a
+/// client op at this origin (the verdict is provisional until the
+/// group converges), `query A B` answers from the materialised state,
+/// `.digest` prints the digest vector (byte-identical across
+/// converged peers), `.state` prints the sorted state fixture lines,
+/// `quit` or EOF shuts down. The bound listen address is written to
+/// `DIR/listen.addr` so scripts can use `--listen 127.0.0.1:0`.
+///
+/// A handshake rejection from a peer — wrong protocol version, wrong
+/// scheme digest, wrong group shape — is a configuration error, not a
+/// transient fault: the process exits with [`EXIT_FAULT`].
+fn peer_serve_cmd(
+    opts: &StoreOpts,
+    budget: Budget,
+    obs: &Observability,
+    retry: &RetryPolicy,
+) -> ExitCode {
+    use independence_reducible::sync::{
+        connect_with_retry, initiate_exchange, respond_exchange, ExchangeFaults, Replica,
+        WireError,
+    };
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    let origin = opts.origin.expect("peer mode validated --origin");
+    let origins = opts.origins.expect("peer mode validated --origins");
+    let scheme_path = Path::new(&opts.dir).join("scheme.idr");
+    let text = match std::fs::read_to_string(&scheme_path) {
+        Ok(t) => t,
+        Err(e) => {
+            return fail(
+                EXIT_PARSE,
+                &format!("cannot read {} (run idr init first): {e}", scheme_path.display()),
+            )
+        }
+    };
+    let db = match parse_scheme(&text) {
+        Ok(db) => db,
+        Err(e) => return fail(EXIT_PARSE, &format!("{}: {e}", scheme_path.display())),
+    };
+    let guard = Guard::new(budget);
+    let sync_dir = Path::new(&opts.dir).join("sync");
+    let replica = match Replica::open_durable(origin, origins, &db, &sync_dir, true, &guard) {
+        Ok(r) => r,
+        Err(e) => return fail(exec_exit(&e), &format!("{e}")),
+    };
+    println!(
+        "origin {origin}/{origins} recovered from {}: {} op(s) held, digest {}",
+        sync_dir.display(),
+        replica.ops_held(),
+        replica.digest().render()
+    );
+    let engine = Engine::new(db.clone()).with_observability(obs.clone());
+    let hello = independence_reducible::sync::Hello::new(origin, origins, &db);
+    let replica = Mutex::new(replica);
+    let timeout = Duration::from_secs(5);
+    let interval = Duration::from_millis(opts.sync_interval_ms.unwrap_or(200));
+    let shutdown = AtomicBool::new(false);
+    // A fatal condition observed by a background thread: the worst exit
+    // code plus its message, reported once the node drains.
+    let fatal: Mutex<Option<(u8, String)>> = Mutex::new(None);
+    let listener = match opts.listen.as_deref() {
+        None => None,
+        Some(addr) => match TcpListener::bind(addr) {
+            Ok(l) => Some(l),
+            Err(e) => return fail(EXIT_FAULT, &format!("cannot listen on {addr}: {e}")),
+        },
+    };
+    if let Some(l) = &listener {
+        let bound = match l.local_addr() {
+            Ok(a) => a,
+            Err(e) => return fail(EXIT_FAULT, &format!("listener has no local address: {e}")),
+        };
+        // The actual bound address (resolves `--listen 127.0.0.1:0`),
+        // published for scripts that wire processes together.
+        let addr_file = Path::new(&opts.dir).join("listen.addr");
+        if let Err(e) = std::fs::write(&addr_file, format!("{bound}\n")) {
+            return fail(EXIT_FAULT, &format!("cannot write {}: {e}", addr_file.display()));
+        }
+        println!("listening on {bound}");
+        if let Err(e) = l.set_nonblocking(true) {
+            return fail(EXIT_FAULT, &format!("listener set_nonblocking: {e}"));
+        }
+    }
+    let _ = std::io::stdout().flush();
+    // One bootstrap exchange per peer on the main thread: a handshake
+    // rejection here (or later, in the periodic threads) is a
+    // misconfigured group and must fail loudly, not spin.
+    for addr in &opts.peers {
+        let res = connect_with_retry(addr, timeout, retry.max_retries, retry.base_backoff)
+            .and_then(|stream| {
+                initiate_exchange(
+                    stream,
+                    &hello,
+                    &replica,
+                    &ExchangeFaults::none(),
+                    timeout,
+                    &guard,
+                    &obs.tracer,
+                )
+            });
+        match res {
+            Ok(out) => {
+                let r = replica.lock().unwrap_or_else(|p| p.into_inner());
+                println!(
+                    "peer {addr}: shipped {}, appended {}, digest {}",
+                    out.shipped,
+                    out.appended,
+                    r.digest().render()
+                );
+            }
+            Err(WireError::Handshake { detail }) => {
+                return fail(EXIT_FAULT, &format!("peer {addr} rejected us: {detail}"));
+            }
+            Err(e) => eprintln!("peer {addr} unreachable, will keep trying: {e}"),
+        }
+    }
+    let _ = std::io::stdout().flush();
+    let sleep_watching = |total: Duration| {
+        let mut left = total;
+        while !shutdown.load(Ordering::Relaxed) && !left.is_zero() {
+            let step = left.min(Duration::from_millis(25));
+            std::thread::sleep(step);
+            left -= step;
+        }
+    };
+    std::thread::scope(|s| {
+        if let Some(l) = &listener {
+            let replica = &replica;
+            let guard = &guard;
+            let shutdown = &shutdown;
+            let hello = &hello;
+            let tracer = &obs.tracer;
+            s.spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match l.accept() {
+                        Ok((stream, from)) => {
+                            // The listener polls, but each accepted
+                            // exchange blocks with a read deadline.
+                            let _ = stream.set_nonblocking(false);
+                            match respond_exchange(
+                                stream,
+                                hello,
+                                replica,
+                                &ExchangeFaults::none(),
+                                timeout,
+                                guard,
+                                tracer,
+                            ) {
+                                Ok(_) => {}
+                                Err(e) => eprintln!("exchange from {from}: {e}"),
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(e) => {
+                            eprintln!("accept: {e}");
+                            std::thread::sleep(Duration::from_millis(100));
+                        }
+                    }
+                }
+            });
+        }
+        for addr in &opts.peers {
+            let replica = &replica;
+            let guard = &guard;
+            let shutdown = &shutdown;
+            let fatal = &fatal;
+            let hello = &hello;
+            let tracer = &obs.tracer;
+            let sleep_watching = &sleep_watching;
+            let metrics = obs.metrics.clone();
+            // Ahead-of-peer op count, updated after every exchange from
+            // the two digest vectors: how much this peer still lags us.
+            let lag = metrics.as_ref().map(|m| {
+                m.gauge(&format!(
+                    "sync.peer_lag.{}",
+                    addr.replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+                ))
+            });
+            s.spawn(move || loop {
+                sleep_watching(interval);
+                if shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let res =
+                    connect_with_retry(addr, timeout, retry.max_retries, retry.base_backoff)
+                        .and_then(|stream| {
+                            initiate_exchange(
+                                stream,
+                                hello,
+                                replica,
+                                &ExchangeFaults::none(),
+                                timeout,
+                                guard,
+                                tracer,
+                            )
+                        });
+                match res {
+                    Ok(out) => {
+                        if let (Some(lag), Some(theirs)) = (&lag, &out.peer_digest) {
+                            let ours = {
+                                let r = replica.lock().unwrap_or_else(|p| p.into_inner());
+                                r.digest()
+                            };
+                            let behind: u64 = ours
+                                .origins
+                                .iter()
+                                .zip(&theirs.origins)
+                                .map(|(a, b)| a.len.saturating_sub(b.len))
+                                .sum();
+                            lag.set(behind);
+                        }
+                    }
+                    Err(WireError::Handshake { detail }) => {
+                        let mut f = fatal.lock().unwrap_or_else(|p| p.into_inner());
+                        if f.is_none() {
+                            *f = Some((
+                                EXIT_FAULT,
+                                format!("peer {addr} rejected us: {detail}"),
+                            ));
+                        }
+                        shutdown.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(WireError::Exec(e)) => {
+                        let mut f = fatal.lock().unwrap_or_else(|p| p.into_inner());
+                        if f.is_none() {
+                            *f = Some((exec_exit(&e), format!("exchange with {addr}: {e}")));
+                        }
+                        shutdown.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    // Connection-level trouble is the network's
+                    // business: anti-entropy retries forever.
+                    Err(_) => {}
+                }
+            });
+        }
+        // Stdin drives the node from the main thread.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let (verb, tail) = match line.split_once(char::is_whitespace) {
+                Some((v, t)) => (v, t.trim()),
+                None => (line, ""),
+            };
+            match verb {
+                "quit" | "exit" => break,
+                "insert" | "delete" => {
+                    // Validate before journalling: a malformed line in a
+                    // journal would replicate as divergence, not error.
+                    let parsed = {
+                        let mut scratch = SymbolTable::new();
+                        parse_tuple_line(tail, &db, &mut scratch).map(|_| ())
+                    };
+                    match parsed {
+                        Err(e) => println!("error: {e}"),
+                        Ok(()) => {
+                            let mut r = replica.lock().unwrap_or_else(|p| p.into_inner());
+                            match r.client_op(line, &guard) {
+                                Ok(()) => println!(
+                                    "journalled at origin {origin}: {} op(s) held, digest {}",
+                                    r.ops_held(),
+                                    r.digest().render()
+                                ),
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                    }
+                }
+                "query" => {
+                    let attrs: Vec<String> =
+                        tail.split_whitespace().map(str::to_string).collect();
+                    match parse_attrs(&engine, &attrs) {
+                        Err(e) => println!("error: {e}"),
+                        Ok(x) => {
+                            let r = replica.lock().unwrap_or_else(|p| p.into_inner());
+                            match r.answer(x, &guard) {
+                                Ok(Some(lines)) => {
+                                    println!(
+                                        "[{}]: {} tuple(s)",
+                                        db.universe().render(x),
+                                        lines.len()
+                                    );
+                                    for l in &lines {
+                                        println!("  {l}");
+                                    }
+                                }
+                                Ok(None) => println!("state is inconsistent"),
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                    }
+                }
+                ".digest" => {
+                    let r = replica.lock().unwrap_or_else(|p| p.into_inner());
+                    println!("digest {}", r.digest().render());
+                }
+                ".state" => {
+                    let r = replica.lock().unwrap_or_else(|p| p.into_inner());
+                    let lines = r.state_lines();
+                    println!(
+                        "state: {} tuple(s), {}",
+                        lines.len(),
+                        if r.is_consistent() { "consistent" } else { "inconsistent" }
+                    );
+                    for l in &lines {
+                        println!("  {l}");
+                    }
+                }
+                other => println!(
+                    "error: unknown op {other:?} (insert/delete/query/.digest/.state/quit)"
+                ),
+            }
+            let _ = std::io::stdout().flush();
+        }
+        shutdown.store(true, Ordering::Relaxed);
+    });
+    if let Some((code, msg)) = fatal.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return fail(code, &msg);
+    }
+    let r = replica.into_inner().unwrap_or_else(|p| p.into_inner());
+    if let Some(d) = r.diverged() {
+        return fail(EXIT_DIVERGENCE, &format!("replica diverged: {d}"));
+    }
+    let consistent = r.is_consistent();
+    println!(
+        "served {} as origin {origin}/{origins}: {} op(s) held, digest {}, {}",
+        opts.dir,
+        r.ops_held(),
+        r.digest().render(),
+        if consistent { "consistent" } else { "inconsistent" }
+    );
+    if consistent {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_INCONSISTENT)
+    }
+}
+
 /// `idr serve --data-dir DIR [--snapshot-every N] [--clients N]
 /// [--group-commit-window US]`: recovers the data dir and serves ops
 /// from stdin through `--clients` concurrent writer lanes over one
@@ -1624,7 +2088,13 @@ fn slow_op_json(verb: &str, op: usize, threshold_us: u64, tl: &obs::OpTimeline) 
 /// order; queries run against an epoch-stamped [`ReadView`] snapshot
 /// (they never block writers and report the epoch they read). `quit`
 /// or EOF drains: queued mutations finish, then the summary prints.
-fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: bool) -> ExitCode {
+fn serve_cmd(
+    rest: &[String],
+    budget: Budget,
+    obs: &Observability,
+    parallel: bool,
+    retry: &RetryPolicy,
+) -> ExitCode {
     use std::sync::mpsc;
     let opts = match parse_store_flags(rest) {
         Ok(o) => o,
@@ -1632,6 +2102,19 @@ fn serve_cmd(rest: &[String], budget: Budget, obs: &Observability, parallel: boo
     };
     if let Some(extra) = opts.rest.first() {
         return usage(&format!("serve takes no positional argument {extra:?}"));
+    }
+    if opts.listen.is_some() || !opts.peers.is_empty() {
+        if opts.snapshot_every.is_some()
+            || opts.clients.is_some()
+            || opts.group_commit_window_us.is_some()
+            || opts.stats_every.is_some()
+            || opts.slow_op_us.is_some()
+        {
+            return usage(
+                "peer mode (--listen/--peer) replicates journals, not client lanes: --snapshot-every/--clients/--group-commit-window/--stats-every/--slow-op-us do not apply",
+            );
+        }
+        return peer_serve_cmd(&opts, budget, obs, retry);
     }
     // Serve mode always runs with a registry: `.stats`, `--stats-every`
     // and `--slow-op-us` all read from it, and pre-resolved handles make
@@ -2065,9 +2548,53 @@ scheme R5: H S R  keys H S
         let opts = parse_fuzz_flags(&strs(&["--sync", "--seed", "9"])).unwrap();
         assert!(opts.sync);
         assert_eq!(opts.seed, 9);
+        let opts = parse_fuzz_flags(&strs(&["--sync", "--wire", "--cases", "50"])).unwrap();
+        assert!(opts.sync && opts.wire);
+        assert_eq!(opts.cases, 50);
         assert!(parse_fuzz_flags(&strs(&["--seed"])).is_err());
         assert!(parse_fuzz_flags(&strs(&["--cases", "many"])).is_err());
         assert!(parse_fuzz_flags(&strs(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn peer_serve_flags_parse() {
+        let opts = parse_store_flags(&strs(&[
+            "--data-dir",
+            "d",
+            "--listen",
+            "127.0.0.1:0",
+            "--peer",
+            "127.0.0.1:4001",
+            "--peer",
+            "127.0.0.1:4002",
+            "--origin",
+            "0",
+            "--origins",
+            "3",
+            "--sync-interval-ms",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.peers, strs(&["127.0.0.1:4001", "127.0.0.1:4002"]));
+        assert_eq!(opts.origin, Some(0));
+        assert_eq!(opts.origins, Some(3));
+        assert_eq!(opts.sync_interval_ms, Some(50));
+        // Peer mode needs the group shape...
+        assert!(parse_store_flags(&strs(&["--data-dir", "d", "--listen", ":0"])).is_err());
+        // ...the origin must be inside it...
+        assert!(parse_store_flags(&strs(&[
+            "--data-dir", "d", "--listen", ":0", "--origin", "2", "--origins", "2",
+        ]))
+        .is_err());
+        // ...a group of one replicates nothing...
+        assert!(parse_store_flags(&strs(&[
+            "--data-dir", "d", "--listen", ":0", "--origin", "0", "--origins", "1",
+        ]))
+        .is_err());
+        // ...and the group flags are meaningless outside peer mode.
+        assert!(parse_store_flags(&strs(&["--data-dir", "d", "--origin", "0"])).is_err());
+        assert!(parse_store_flags(&strs(&["--data-dir", "d", "--sync-interval-ms", "50"])).is_err());
     }
 
     #[test]

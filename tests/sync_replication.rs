@@ -20,6 +20,7 @@ use independence_reducible::prelude::*;
 use independence_reducible::relation::parse::parse_scheme;
 use independence_reducible::sync::{
     parse_scenario, render_scenario, FaultPlan, Partition, ScriptedOp, Simulator, SyncPolicy,
+    Transport,
 };
 
 const EXAMPLE1: &str = "
@@ -77,6 +78,17 @@ fn scenario_files_round_trip_through_render_and_parse() {
     assert_eq!(a.replicas, b.replicas);
     assert_eq!(a.seed, b.seed);
     assert_eq!(a.ops.len(), b.ops.len());
+
+    // The wire-transport directive survives the same round trip, so a
+    // shrunk `fuzz --sync --wire` failure replays on the right runner.
+    assert_eq!(a.transport, Transport::Sim, "demo scenario is sim");
+    let mut wired = a;
+    wired.transport = Transport::Wire;
+    let rendered = render_scenario(&wired);
+    assert!(rendered.contains("transport: wire\n"), "{rendered}");
+    let back = parse_scenario(&rendered).expect("wire form parses");
+    assert_eq!(back.transport, Transport::Wire);
+    assert_eq!(render_scenario(&back), rendered);
 }
 
 /// Same scheme, same script, same seed: the whole run — every round's
@@ -174,7 +186,7 @@ fn unhealed_partition_prevents_convergence_and_healing_restores_it() {
 /// version of the CI `idr fuzz --sync` step.
 #[test]
 fn bounded_sync_fuzz_run_is_clean() {
-    let summary = sync_fuzz(42, 40, None);
+    let summary = sync_fuzz(42, 40, Transport::Sim, None);
     assert_eq!(summary.cases, 40);
     assert!(
         summary.is_clean(),
